@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one paper artifact (see
+DESIGN.md's experiment index): the ``benchmark`` fixture times the
+regeneration, and plain asserts check the reproduction against the
+paper's published numbers and shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import simulated_snapdragon_835
+
+
+@pytest.fixture(scope="session")
+def platform():
+    """A calibrated simulated Snapdragon 835 (thermally controlled)."""
+    return simulated_snapdragon_835()
+
+
+@pytest.fixture(scope="session")
+def generic_spec():
+    """The Figure 3 generic SoC, lowered to Gables parameters."""
+    from repro.soc import generic_soc
+
+    return generic_soc().to_gables_spec()

@@ -1,0 +1,55 @@
+"""Figure 6 (a-d): the two-IP Gables walkthrough.
+
+Regenerates the paper's appendix numbers exactly — the closed-form
+heart of the reproduction — and times the model evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FIGURE_6_EXPECTED_GOPS,
+    FIGURE_6_SEQUENCE,
+    evaluate,
+)
+from repro.units import GIGA
+
+
+@pytest.mark.parametrize("scenario", FIGURE_6_SEQUENCE, ids=lambda s: s.name)
+def test_fig6_attainable(benchmark, scenario):
+    soc, workload = scenario.soc(), scenario.workload()
+    result = benchmark(lambda: evaluate(soc, workload))
+    expected = FIGURE_6_EXPECTED_GOPS[scenario.name]
+    assert result.attainable / GIGA == pytest.approx(expected, rel=1e-3)
+
+
+def test_fig6_walkthrough_story(benchmark):
+    """The whole sequence: offload collapse, bandwidth band-aid,
+    balance — evaluated end to end."""
+
+    def run():
+        return [scenario.evaluate() for scenario in FIGURE_6_SEQUENCE]
+
+    results = benchmark(run)
+    gops = [r.attainable / GIGA for r in results]
+    assert gops == pytest.approx([40.0, 1.3278, 2.0, 160.0], rel=1e-3)
+    bottlenecks = [r.bottleneck for r in results]
+    assert bottlenecks == ["CPU", "memory", "GPU", "CPU"]
+    assert results[3].is_balanced()
+
+
+def test_fig6_plot_renders(benchmark):
+    """The Section III-C visualization of the final balanced design."""
+    from repro.core import FIGURE_6D
+    from repro.viz import RooflinePlotData, roofline_svg
+
+    def render():
+        data = RooflinePlotData.from_model(
+            FIGURE_6D.soc(), FIGURE_6D.workload(), title="Figure 6d"
+        )
+        return roofline_svg(data)
+
+    svg = benchmark(render)
+    assert svg.startswith("<svg")
+    assert "160G" in svg  # the annotated attainable point

@@ -1,0 +1,119 @@
+"""Figure 8: CPU+GPU work mixing on the simulated Snapdragon 835.
+
+Regenerates the paper's offload sweep: performance normalized to
+all-work-on-CPU at I=1, for f in {0..1 step 1/8} and intensities
+1..1024 — including the headline 39.4x and the low-intensity slowdown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import run_mixing_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep(platform):
+    return run_mixing_sweep(platform)
+
+
+def test_fig8_full_grid(benchmark, platform):
+    result = benchmark(lambda: run_mixing_sweep(platform))
+    assert len(result.points) == 9 * 6  # the paper's grid
+
+
+def test_fig8_peak_speedup(sweep, benchmark):
+    peak = benchmark(sweep.peak_speedup)
+    # Paper: "substantial speedup, e.g., 39.4 for I0 = I1 = 1024".
+    assert peak.normalized == pytest.approx(39.4, rel=0.05)
+    assert peak.intensity == 1024
+    assert peak.fraction == 1.0
+
+
+def test_fig8_low_intensity_slowdown(sweep, benchmark):
+    line = benchmark(lambda: sweep.line(1))
+    # Paper: low-intensity offload slows down, though not as badly as
+    # Fig. 6b's collapse (which was ~3% of baseline).
+    finals = [p.normalized for p in line if p.fraction >= 0.5]
+    assert all(value < 1.0 for value in finals)
+    assert min(finals) > 0.033
+
+
+def test_fig8_crossover_structure(sweep, benchmark):
+    """Who wins where: at I=1 offloading never beats f=1/8's mild win;
+    at I>=16 the GPU side wins decisively at high f."""
+    low = benchmark(lambda: sweep.line(1))
+    assert max(p.normalized for p in low) < 1.5
+    high = sweep.line(64)
+    assert high[-1].normalized > 4.0
+    top = sweep.line(1024)
+    values = [p.normalized for p in top]
+    assert values == sorted(values)  # monotone benefit at high reuse
+
+
+def test_fig8_analytic_grid_dominates_measured(sweep, benchmark):
+    """The model's (f, I) surface — evaluated with the ERT-calibrated
+    parameters — upper-bounds the simulator's measured grid cell by
+    cell, and both agree on the bottleneck-region structure (bandwidth
+    rules the low-I rows, the offload engine the high-I, high-f
+    corner)."""
+    from repro.core import IPBlock, SoCSpec
+    from repro.explore import analytic_mixing_grid
+
+    soc = SoCSpec(
+        peak_perf=7.5e9,
+        memory_bandwidth=30e9,
+        ips=(IPBlock("CPU", 1.0, 15.2e9), IPBlock("GPU", 46.6, 24.5e9)),
+    )
+    grid = benchmark(lambda: analytic_mixing_grid(soc))
+    baseline = grid.at(0.0, 1.0).attainable
+    for point in sweep.points:
+        cell = grid.at(point.fraction, point.intensity)
+        assert point.normalized <= (
+            cell.attainable / baseline
+        ) * 1.02, (point.fraction, point.intensity)
+    regions = grid.bottleneck_regions()
+    assert "GPU" in regions and sum(regions.values()) == 54
+
+
+def test_fig8_heatmap_render(sweep, benchmark):
+    """The analytic surface as a heatmap artifact."""
+    from repro.core import IPBlock, SoCSpec
+    from repro.explore import analytic_mixing_grid
+    from repro.viz import heatmap_svg
+
+    soc = SoCSpec(
+        peak_perf=7.5e9,
+        memory_bandwidth=30e9,
+        ips=(IPBlock("CPU", 1.0, 15.2e9), IPBlock("GPU", 46.6, 24.5e9)),
+    )
+    grid = analytic_mixing_grid(soc)
+    base = grid.at(0.0, 1.0).attainable
+    svg = benchmark(
+        lambda: heatmap_svg(grid, "Fig. 8 analytic upper bound",
+                            normalize_to=base)
+    )
+    assert svg.startswith("<svg")
+
+
+def test_fig8_series_render(sweep, benchmark):
+    """The figure itself, as a multi-line SVG chart."""
+    from repro.viz import line_chart_svg
+
+    def render():
+        series = {
+            f"I={int(intensity)}": [
+                (p.fraction, p.normalized) for p in sweep.line(intensity)
+            ]
+            for intensity in sweep.intensities()
+        }
+        return line_chart_svg(
+            series,
+            title="Figure 8: offload mixing",
+            x_label="fraction of work at GPU (f)",
+            y_label="normalized performance",
+            log_y=True,
+        )
+
+    svg = benchmark(render)
+    assert "I=1024" in svg

@@ -1,0 +1,67 @@
+"""Figure 9: the Hexagon DSP scalar-unit roofline.
+
+Regenerates the paper's Section IV-D measurement: 3.0 GFLOP/s scalar
+peak (below the 3.6 spec), 5.4 GB/s DRAM (the figure's axis label;
+the body text attributes the overall limit to the 12.5 GB/s fabric),
+and the 'too wimpy to perturb' mixing observation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ert import acceleration_between, fit_roofline, run_sweep
+from repro.sim import dsp_perturbation
+
+
+def test_fig9_dsp_roofline(benchmark, platform):
+    fitted = benchmark(lambda: fit_roofline(run_sweep(platform, "DSP")))
+    assert fitted.peak_gflops == pytest.approx(3.0, rel=0.01)
+    assert fitted.peak_gflops < 3.6  # below the four-thread spec number
+    assert fitted.dram_bandwidth == pytest.approx(5.4e9, rel=0.03)
+
+
+def test_fig9_dsp_bandwidth_well_below_cpu_gpu(benchmark, platform):
+    """Paper: 'much less than the CPU and GPU and likely due to using a
+    different interconnect fabric'."""
+
+    def measure():
+        return {
+            engine: fit_roofline(run_sweep(platform, engine)).dram_bandwidth
+            for engine in ("CPU", "GPU", "DSP")
+        }
+
+    bandwidths = benchmark(measure)
+    assert bandwidths["DSP"] < bandwidths["CPU"] / 2
+    assert bandwidths["DSP"] < bandwidths["GPU"] / 2
+
+
+def test_fig9_dsp_fabric_cap(benchmark, platform):
+    """The DSP's fabric cap (12.5 GB/s, Sec. IV-D) shows up for
+    TCM-spilling but cache-friendlier footprints."""
+    fitted = benchmark(lambda: fit_roofline(run_sweep(platform, "DSP")))
+    assert any(
+        bandwidth <= 12.5e9 * 1.01
+        for bandwidth in fitted.cache_bandwidths.values()
+    ) or fitted.dram_bandwidth <= 12.5e9
+
+
+def test_fig9_low_power_offload_value(benchmark, platform):
+    """The DSP accelerates nothing (A < 1) yet the paper argues it has
+    value for low-power offload; the model agrees it cannot speed up a
+    balanced CPU workload."""
+
+    def derive():
+        cpu = fit_roofline(run_sweep(platform, "CPU"))
+        dsp = fit_roofline(run_sweep(platform, "DSP"))
+        return acceleration_between(cpu, dsp)
+
+    acceleration = benchmark(derive)
+    assert acceleration == pytest.approx(0.4, rel=0.02)
+
+
+def test_fig9_mixing_perturbation(benchmark, platform):
+    """Section IV-D: adding the scalar DSP to a CPU+GPU mix leaves
+    their behaviour essentially unchanged."""
+    perturbation = benchmark(lambda: dsp_perturbation(platform))
+    assert perturbation < 0.05

@@ -1,0 +1,78 @@
+"""Library performance benchmarks: model-evaluation throughput.
+
+Not a paper artifact — these track the cost of the library's own hot
+paths (a single N-IP evaluation, a dense sweep, a 17-IP usecase
+lowering) so regressions in the analytics layer are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SoCSpec, Workload, evaluate
+from repro.explore import optimal_fraction, sensitivity, sweep_fraction
+from repro.units import GIGA
+
+
+@pytest.fixture(scope="module")
+def large_soc():
+    """A 16-IP SoC stressing the N-IP loop."""
+    from repro.core import IPBlock
+
+    ips = [IPBlock("cpu", 1.0, 15 * GIGA)]
+    ips += [
+        IPBlock(f"acc{i}", float(2 + i), (4 + i) * GIGA) for i in range(15)
+    ]
+    return SoCSpec(
+        peak_perf=10 * GIGA, memory_bandwidth=30 * GIGA, ips=tuple(ips)
+    )
+
+
+@pytest.fixture(scope="module")
+def large_workload(large_soc):
+    n = large_soc.n_ips
+    return Workload(
+        fractions=tuple(1.0 / n for _ in range(n)),
+        intensities=tuple(float(2**(i % 8)) for i in range(n)),
+    )
+
+
+def test_single_evaluation_throughput(benchmark, large_soc, large_workload):
+    result = benchmark(lambda: evaluate(large_soc, large_workload))
+    assert result.attainable > 0
+
+
+def test_fraction_sweep_throughput(benchmark, large_soc, large_workload):
+    values = [k / 64 for k in range(65)]
+    series = benchmark(
+        lambda: sweep_fraction(large_soc, large_workload, 1, values)
+    )
+    assert len(series.points) == 65
+
+
+def test_optimal_fraction_solver_throughput(benchmark):
+    from repro.core import FIGURE_6D
+
+    soc, workload = FIGURE_6D.soc(), FIGURE_6D.workload()
+    f_star, p_star = benchmark(
+        lambda: optimal_fraction(soc, workload, resolution=512)
+    )
+    assert 0 <= f_star <= 1
+    assert p_star >= 160 * GIGA * (1 - 1e-9)
+
+
+def test_sensitivity_throughput(benchmark, large_soc, large_workload):
+    report = benchmark(lambda: sensitivity(large_soc, large_workload))
+    assert report.elasticities
+
+
+def test_usecase_lowering_throughput(benchmark, generic_spec):
+    from repro.usecases import hdr_plus
+
+    def run():
+        dataflow = hdr_plus()
+        workload = dataflow.to_workload(generic_spec.ip_names)
+        return evaluate(generic_spec, workload)
+
+    result = benchmark(run)
+    assert result.attainable > 0

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Early-stage SoC design exploration with Gables.
+
+The workflow the paper advocates for the "which IPs, roughly how big?"
+stage: start from a candidate design and a usecase, read the
+sensitivity report, size the memory system with the balance solvers,
+pick the work split, and down-select between competing chips on a
+usecase portfolio (worst-case, not average).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import dataclasses
+
+from repro.core import SoCSpec, Workload, evaluate
+from repro.explore import (
+    UsecaseRequirement,
+    balance_report,
+    explore_bandwidth_frontier,
+    intensity_for_balance,
+    minimum_sufficient_bandwidth,
+    optimal_fraction,
+    rank_socs,
+    sensitivity,
+    sweep_fraction,
+)
+from repro.units import GIGA, format_bandwidth, format_ops
+
+
+def main() -> None:
+    # A candidate design: CPU + 8x NPU sharing 12 GB/s of DRAM.
+    soc = SoCSpec.two_ip(
+        peak_perf=20 * GIGA, memory_bandwidth=12 * GIGA,
+        acceleration=8, cpu_bandwidth=8 * GIGA, acc_bandwidth=20 * GIGA,
+        cpu_name="CPU", acc_name="NPU", name="candidate-A",
+    )
+    usecase = Workload.two_ip(f=0.8, i0=6, i1=2, name="vision-pipeline")
+
+    result = evaluate(soc, usecase)
+    print(f"candidate-A on {usecase.name}: {format_ops(result.attainable)} "
+          f"({result.bottleneck}-bound)")
+
+    # 1. What moves the needle?
+    report = sensitivity(soc, usecase)
+    print("\nelasticities (dP/P per dX/X):")
+    for name, value in sorted(report.elasticities.items()):
+        print(f"  {name:>7}: {value:+.2f}")
+    print(f"  top lever: {report.top_lever()}; "
+          f"dead knobs: {', '.join(report.dead_knobs()) or 'none'}")
+
+    # 2. Size the memory system.
+    sufficient = minimum_sufficient_bandwidth(soc, usecase)
+    print(f"\nminimum sufficient Bpeak: {format_bandwidth(sufficient)} "
+          f"(current {format_bandwidth(soc.memory_bandwidth)})")
+    needed_i = intensity_for_balance(soc, usecase, 1)
+    print(f"NPU reuse needed so its link never binds: "
+          f"{needed_i:.1f} ops/byte (usecase has {usecase.intensities[1]:g})")
+
+    # 3. Pick the work split.
+    f_star, p_star = optimal_fraction(soc, usecase)
+    print(f"optimal offload fraction f* = {f_star:.3f} -> "
+          f"{format_ops(p_star)}")
+    series = sweep_fraction(soc, usecase, 1, [k / 8 for k in range(9)])
+    for value, before, after in series.bottleneck_transitions():
+        print(f"  bottleneck flips {before} -> {after} at f = {value:g}")
+
+    # 4. Slack report: what is over-provisioned for this usecase?
+    print("\nslack per component (1.0 = fully idle):")
+    for name, slack in balance_report(soc, usecase).items():
+        print(f"  {name:>7}: {slack:.2f}")
+
+    # 5. Cost/performance frontier over Bpeak choices.
+    print("\nBpeak Pareto frontier (cost = GB/s + 0.2 * total Gops):")
+    front = explore_bandwidth_frontier(
+        soc, usecase, [6e9, 9e9, 12e9, sufficient, 24e9, 48e9]
+    )
+    for point in front:
+        print(f"  {point.label:>16}: perf {format_ops(point.performance)} "
+              f"at cost {point.cost:.0f}")
+
+    # 6. Down-select between two candidates on a portfolio.
+    candidate_b = dataclasses.replace(
+        soc.with_memory_bandwidth(sufficient), name="candidate-B"
+    )
+    portfolio = [
+        UsecaseRequirement(usecase, required=40 * GIGA),
+        UsecaseRequirement(
+            Workload.two_ip(f=0.2, i0=8, i1=8, name="ui-compose"),
+            required=15 * GIGA,
+        ),
+    ]
+    print("\nportfolio ranking (worst-case headroom decides):")
+    for score in rank_socs([soc, candidate_b], portfolio):
+        status = "feasible" if score.feasible else "INFEASIBLE"
+        print(f"  {score.soc_name}: worst headroom "
+              f"{score.worst_headroom:.2f}x ({status})")
+
+
+if __name__ == "__main__":
+    main()

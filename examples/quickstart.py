@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: model a two-IP SoC and find its bottleneck.
+
+Builds the paper's running example (a CPU complex plus a 5x-accelerated
+GPU sharing 10 GB/s of DRAM bandwidth), evaluates a usecase that
+offloads 75% of the work, prints the bottleneck analysis, and renders
+the scaled-roofline plot to the terminal.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import SoCSpec, Workload, evaluate
+from repro.units import format_ops
+from repro.viz import RooflinePlotData, roofline_ascii
+
+
+def main() -> None:
+    # Hardware: Ppeak=40 Gops/s CPU (link 6 GB/s), a 5x accelerator
+    # (link 15 GB/s), and 10 GB/s of shared DRAM bandwidth.
+    soc = SoCSpec.two_ip(
+        peak_perf=40e9,
+        memory_bandwidth=10e9,
+        acceleration=5,
+        cpu_bandwidth=6e9,
+        acc_bandwidth=15e9,
+        cpu_name="CPU",
+        acc_name="GPU",
+        name="quickstart-soc",
+    )
+
+    # Software: 75% of the work offloaded to the GPU, but with poor
+    # data reuse there (0.1 ops/byte vs the CPU's 8).
+    usecase = Workload.two_ip(f=0.75, i0=8, i1=0.1, name="naive-offload")
+
+    result = evaluate(soc, usecase)
+    print(result.summary())
+    print()
+    print(f"=> offloading collapsed performance to "
+          f"{format_ops(result.attainable)}; the {result.bottleneck} "
+          "interface is the bottleneck.")
+    print()
+
+    # The fix the paper walks through: raise the GPU's reuse to match.
+    fixed = evaluate(soc.with_memory_bandwidth(20e9),
+                     Workload.two_ip(f=0.75, i0=8, i1=8, name="tuned"))
+    print(f"with I1=8 and Bpeak=20 GB/s: {format_ops(fixed.attainable)} "
+          f"(balanced: {fixed.is_balanced()})")
+    print()
+
+    print(roofline_ascii(
+        RooflinePlotData.from_model(soc, usecase, title="naive offload")
+    ))
+
+
+if __name__ == "__main__":
+    main()

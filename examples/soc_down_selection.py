@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Down-select between candidate SoCs for a usecase portfolio.
+
+The system-integrator question from the paper's introduction:
+"end-users need to evaluate several different trade-offs between the
+different SoCs to determine which SoC best suits their performance,
+power and cost targets."  We compare the Snapdragon-835-like and
+821-like presets (plus a cost-reduced 835 variant) against a mixed
+usecase portfolio, rank by worst-case headroom — the paper is explicit
+that "the average is immaterial" — and close the loop by synthesizing
+the cheapest chip that would clear the same portfolio.
+
+Run:  python examples/soc_down_selection.py
+"""
+
+import dataclasses
+
+from repro.core import Workload
+from repro.explore import (
+    UsecaseRequirement,
+    cost_of_design,
+    rank_socs,
+    synthesize_soc,
+)
+from repro.soc import snapdragon_821, snapdragon_835
+from repro.units import GIGA, format_bandwidth, format_ops
+
+
+def build_portfolio() -> list:
+    """Workloads over (CPU, GPU, DSP), with quality floors in ops/s."""
+    return [
+        UsecaseRequirement(
+            Workload(fractions=(0.2, 0.8, 0.0),
+                     intensities=(8, 32, 1), name="game-render"),
+            required=30 * GIGA,
+        ),
+        UsecaseRequirement(
+            Workload(fractions=(0.6, 0.3, 0.1),
+                     intensities=(4, 16, 2), name="camera-preview"),
+            required=12 * GIGA,
+        ),
+        UsecaseRequirement(
+            Workload(fractions=(0.9, 0.0, 0.1),
+                     intensities=(2, 1, 1), name="app-launch"),
+            required=5 * GIGA,
+        ),
+        UsecaseRequirement(
+            Workload(fractions=(0.3, 0.0, 0.7),
+                     intensities=(4, 1, 8), name="voice-ml"),
+            required=2.5 * GIGA,
+        ),
+    ]
+
+
+def main() -> None:
+    portfolio = build_portfolio()
+
+    sd835 = snapdragon_835().to_gables_spec()
+    sd821 = snapdragon_821().to_gables_spec()
+    # A hypothetical cost-reduced 835: half the DRAM channels.
+    reduced = dataclasses.replace(
+        sd835.with_memory_bandwidth(15 * GIGA), name="sd835-lowcost"
+    )
+
+    print("candidates:")
+    for soc in (sd835, sd821, reduced):
+        print(f"  {soc.name}: Ppeak {format_ops(soc.peak_perf)}, "
+              f"Bpeak {format_bandwidth(soc.memory_bandwidth)}")
+
+    print("\nportfolio ranking (worst-case headroom decides):")
+    for score in rank_socs([sd835, sd821, reduced], portfolio):
+        status = "feasible" if score.feasible else "INFEASIBLE"
+        detail = ", ".join(
+            f"{name} {headroom:.2f}x"
+            for name, headroom in sorted(score.headrooms.items())
+        )
+        print(f"  {score.soc_name}: worst {score.worst_headroom:.2f}x "
+              f"({status})")
+        print(f"    per usecase: {detail}")
+        if not score.feasible:
+            print(f"    fails: {', '.join(score.failing_usecases())}")
+
+    print("\ncheapest chip that would clear the portfolio "
+          "(exact synthesis):")
+    design = synthesize_soc(portfolio, 3, ip_names=("CPU", "GPU", "DSP"),
+                            name="synthesized-min")
+    soc = design.soc
+    print(f"  Ppeak {format_ops(soc.peak_perf)}, "
+          f"Bpeak {format_bandwidth(soc.memory_bandwidth)}")
+    for ip in soc.ips[1:]:
+        print(f"  {ip.name}: A={ip.acceleration:.1f}, "
+              f"B={format_bandwidth(ip.bandwidth)}")
+    print(f"  sizing driven by: {', '.join(design.binding_usecases())}")
+    print(f"  abstract cost: synthesized {cost_of_design(soc):.0f} vs "
+          f"sd835 {cost_of_design(sd835):.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The modern PEP 660 editable-install path requires the ``wheel``
+package, which is unavailable in fully offline environments; keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``develop`` path there.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

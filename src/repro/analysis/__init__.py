@@ -1,0 +1,42 @@
+"""Generic bottleneck analysis (Lazowska et al.), the substrate under
+both classic Roofline and Gables.
+
+The public surface is a tiny algebra of throughput *stages*:
+
+- :class:`Stage` — a named component with a throughput bound,
+- :func:`series` — pipeline composition (minimum of throughputs),
+- :func:`parallel` — concurrent composition (sum of throughputs),
+- :class:`BottleneckReport` — which component binds a composed system.
+"""
+
+from .bottleneck import (
+    BottleneckReport,
+    Stage,
+    SystemNode,
+    bottleneck_of,
+    parallel,
+    series,
+)
+from .operational import (
+    ServiceDemands,
+    gables_demands,
+    response_time_bound,
+    saturation_population,
+    throughput_bound,
+    utilization,
+)
+
+__all__ = [
+    "BottleneckReport",
+    "ServiceDemands",
+    "Stage",
+    "SystemNode",
+    "bottleneck_of",
+    "gables_demands",
+    "parallel",
+    "response_time_bound",
+    "saturation_population",
+    "series",
+    "throughput_bound",
+    "utilization",
+]

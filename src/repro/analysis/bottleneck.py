@@ -1,0 +1,157 @@
+"""Bottleneck analysis: recursive series/parallel throughput composition.
+
+The Gables paper (Section VI) frames both Roofline and Gables as special
+cases of bottleneck analysis [Lazowska et al., 1984]:
+
+- the throughput of components *in series* (a pipeline every unit of
+  work must traverse) is the **minimum** of the component throughputs;
+- the throughput of components *in parallel* (work is split among them)
+  is the **sum** of the component throughputs.
+
+This module implements that algebra over an explicit expression tree so
+the composed system can both *evaluate* its throughput and *attribute*
+the result to the binding component — the attribution is what makes
+roofline-style models actionable ("memory-bound" vs "compute-bound").
+
+Example
+-------
+A two-stage pipeline feeding two parallel workers::
+
+    >>> ingest = Stage("ingest", 100.0)
+    >>> workers = parallel(Stage("w0", 30.0), Stage("w1", 50.0))
+    >>> system = series(ingest, workers)
+    >>> system.throughput()
+    80.0
+    >>> bottleneck_of(system).stage.name
+    'w0'
+
+(The pipeline binds at the parallel pair's 80 units/s, and within that
+subsystem ``w0`` is the slower worker.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SpecError
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A leaf component with a fixed throughput bound.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label used in bottleneck attribution.
+    throughput_bound:
+        Maximum rate (any consistent unit: ops/s, bytes/s, frames/s).
+        ``math.inf`` models a component that can never bind.
+    """
+
+    name: str
+    throughput_bound: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("Stage name must be non-empty")
+        bound = self.throughput_bound
+        if isinstance(bound, bool) or not isinstance(bound, (int, float)):
+            raise SpecError(f"Stage {self.name!r} throughput must be a number")
+        if math.isnan(bound) or bound <= 0:
+            raise SpecError(
+                f"Stage {self.name!r} throughput must be positive, got {bound!r}"
+            )
+
+    def throughput(self) -> float:
+        """The stage's own bound (leaves have nothing to compose)."""
+        return float(self.throughput_bound)
+
+
+@dataclass(frozen=True)
+class SystemNode:
+    """An internal node composing children in series or in parallel."""
+
+    mode: str  # "series" | "parallel"
+    children: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("series", "parallel"):
+            raise SpecError(f"mode must be 'series' or 'parallel', got {self.mode!r}")
+        if not self.children:
+            raise SpecError(f"{self.mode} composition needs at least one child")
+        for child in self.children:
+            if not isinstance(child, (Stage, SystemNode)):
+                raise SpecError(
+                    f"children must be Stage or SystemNode, got {type(child).__name__}"
+                )
+
+    def throughput(self) -> float:
+        """Composed throughput: min over series, sum over parallel."""
+        rates = [child.throughput() for child in self.children]
+        if self.mode == "series":
+            return min(rates)
+        return math.fsum(rates)
+
+
+def series(*components: Stage | SystemNode) -> SystemNode:
+    """Compose components in series: every unit of work visits each one.
+
+    The composed throughput is the minimum of the children, i.e. the
+    pipeline runs at the pace of its slowest stage.
+    """
+    return SystemNode("series", tuple(components))
+
+
+def parallel(*components: Stage | SystemNode) -> SystemNode:
+    """Compose components in parallel: work is divided among them.
+
+    The composed throughput is the sum of the children, assuming work is
+    divisible and perfectly balanced — the same optimistic assumption
+    Gables makes when IPs operate concurrently.
+    """
+    return SystemNode("parallel", tuple(components))
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Attribution of a composed system's throughput to one leaf stage.
+
+    Attributes
+    ----------
+    stage:
+        The leaf whose bound determines the system throughput.  For a
+        parallel composition (where every child contributes) this is the
+        *slowest contributor*, the component whose improvement raises
+        system throughput the most per unit of added capacity.
+    throughput:
+        The composed system throughput.
+    path:
+        Names of the nodes from the root to the binding leaf, useful for
+        reporting nested compositions.
+    """
+
+    stage: Stage
+    throughput: float
+    path: tuple
+
+
+def bottleneck_of(system: Stage | SystemNode) -> BottleneckReport:
+    """Find the leaf stage that binds ``system``'s throughput.
+
+    For ``series`` nodes the binding child is the one with the minimum
+    throughput; ties resolve to the first child in declaration order so
+    the answer is deterministic.  For ``parallel`` nodes every child
+    contributes, so we descend into the child with the *lowest*
+    throughput — the limiting contributor.
+    """
+    throughput = system.throughput()
+    node: Stage | SystemNode = system
+    path: list = []
+    while isinstance(node, SystemNode):
+        label = f"[{node.mode}]"
+        path.append(label)
+        node = min(node.children, key=lambda child: child.throughput())
+    path.append(node.name)
+    return BottleneckReport(stage=node, throughput=throughput, path=tuple(path))

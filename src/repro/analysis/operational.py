@@ -1,0 +1,153 @@
+"""Operational analysis: the asymptotic bounds behind bottleneck models.
+
+Gables cites Lazowska et al.'s *Quantitative System Performance* for
+bottleneck analysis; that book's operational laws are the general
+theory the roofline family specializes.  This module implements the
+classic single-class results for a system of queueing centers with
+per-job service demands ``D_k``:
+
+- **Utilization law**: ``U_k = X * D_k``;
+- **Bottleneck bound** (throughput): ``X <= 1 / D_max``;
+- **Asymptotic bounds** with ``N`` customers and think time ``Z``:
+  ``X(N) <= min(N / (D + Z), 1 / D_max)`` and
+  ``R(N) >= max(D, N * D_max - Z)``;
+- ``N*`` — the saturation population where the two throughput
+  asymptotes cross.
+
+The test suite uses these to re-derive Gables: one "customer" in flight
+(N=1, Z=0) gives ``X = 1/D`` — serialized Gables — while ``N -> inf``
+gives ``X = 1/D_max`` — concurrent Gables.  Pipelining a usecase is,
+operationally, raising N.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_finite_positive, require_nonnegative
+from ..errors import SpecError
+
+
+@dataclass(frozen=True)
+class ServiceDemands:
+    """Per-job service demands at each center, in seconds.
+
+    ``demands[k]`` is the total time a job requires from center ``k``
+    across all its visits (visit count x service time).
+    """
+
+    demands: tuple
+    names: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.demands, tuple):
+            object.__setattr__(self, "demands", tuple(self.demands))
+        if not self.demands:
+            raise SpecError("ServiceDemands needs at least one center")
+        for index, demand in enumerate(self.demands):
+            require_nonnegative(demand, f"demands[{index}]")
+        if math.fsum(self.demands) <= 0:
+            raise SpecError("at least one demand must be positive")
+        if not self.names:
+            object.__setattr__(
+                self,
+                "names",
+                tuple(f"center{k}" for k in range(len(self.demands))),
+            )
+        elif len(self.names) != len(self.demands):
+            raise SpecError("names must align with demands")
+
+    @property
+    def total(self) -> float:
+        """``D`` — the sum of demands (minimum response time)."""
+        return math.fsum(self.demands)
+
+    @property
+    def max_demand(self) -> float:
+        """``D_max`` — the bottleneck center's demand."""
+        return max(self.demands)
+
+    @property
+    def bottleneck(self) -> str:
+        """Name of the center with the largest demand."""
+        index = max(range(len(self.demands)), key=lambda k: self.demands[k])
+        return self.names[index]
+
+
+def utilization(demands: ServiceDemands, throughput: float) -> dict:
+    """Utilization law: ``U_k = X * D_k`` per center.
+
+    Raises when the requested throughput would push any center past
+    100% busy — operationally impossible.
+    """
+    require_finite_positive(throughput, "throughput")
+    result = {}
+    for name, demand in zip(demands.names, demands.demands):
+        u = throughput * demand
+        if u > 1.0 + 1e-12:
+            raise SpecError(
+                f"throughput {throughput:.4g} would drive {name!r} to "
+                f"{u:.2%} utilization"
+            )
+        result[name] = u
+    return result
+
+
+def throughput_bound(demands: ServiceDemands, population: float,
+                     think_time: float = 0.0) -> float:
+    """Asymptotic throughput bound for ``population`` jobs in flight.
+
+    ``X(N) <= min(N / (D + Z), 1 / D_max)`` — light-load linearity
+    capped by the bottleneck center.
+    """
+    require_finite_positive(population, "population")
+    require_nonnegative(think_time, "think_time")
+    light = population / (demands.total + think_time)
+    heavy = 1.0 / demands.max_demand
+    return min(light, heavy)
+
+
+def response_time_bound(demands: ServiceDemands, population: float,
+                        think_time: float = 0.0) -> float:
+    """Asymptotic response-time lower bound.
+
+    ``R(N) >= max(D, N * D_max - Z)``.
+    """
+    require_finite_positive(population, "population")
+    require_nonnegative(think_time, "think_time")
+    return max(demands.total, population * demands.max_demand - think_time)
+
+
+def saturation_population(demands: ServiceDemands,
+                          think_time: float = 0.0) -> float:
+    """``N* = (D + Z) / D_max`` — where the asymptotes cross.
+
+    Below ``N*`` the system is latency-limited (adding jobs adds
+    throughput); above it the bottleneck center saturates.  For a
+    usecase pipeline, ``N*`` is the depth worth buffering for.
+    """
+    require_nonnegative(think_time, "think_time")
+    return (demands.total + think_time) / demands.max_demand
+
+
+def gables_demands(soc, workload) -> ServiceDemands:
+    """A Gables evaluation as operational service demands.
+
+    Each component's time-per-unit-work is a per-job service demand:
+    centers are the IPs plus the DRAM interface.  Then
+
+    - ``throughput_bound(demands, 1)``   = serialized-ish Gables
+      (one item in flight; no overlap);
+    - ``throughput_bound(demands, inf)`` = concurrent Gables
+      (Equation 11) exactly — the bridge the paper's Section VI
+      gestures at.
+    """
+    from ..core.gables import evaluate
+
+    result = evaluate(soc, workload)
+    times = result.component_times()
+    names = tuple(times)
+    return ServiceDemands(
+        demands=tuple(times[name] for name in names), names=names
+    )

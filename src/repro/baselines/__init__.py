@@ -1,0 +1,65 @@
+"""Baseline performance models the paper positions Gables against.
+
+- :mod:`.amdahl` — Amdahl's Law (1967) and Gustafson's Law (1988);
+- :mod:`.hill_marty` — multicore-era Amdahl (symmetric / asymmetric /
+  dynamic chip organizations, Hill & Marty 2008);
+- :mod:`.multiamdahl` — N-IP sequential-work area-allocation model
+  (Keslassy et al. 2012), the closest relative of Gables;
+- :mod:`.logca` — a compact accelerator-offload model with fixed
+  overheads (Altaf & Wood 2017);
+- :mod:`.guz_valley` — the unified many-core / many-thread model
+  (Guz et al. 2009), the on-chip-memory sub-model the paper cites for
+  future per-IP sophistication.
+"""
+
+from .amdahl import (
+    amdahl_fraction_needed,
+    amdahl_limit,
+    amdahl_speedup,
+    gustafson_speedup,
+)
+from .guz_valley import (
+    GuzMachine,
+    ValleyReport,
+    find_valley,
+    power_law_hit_rate,
+    to_ip_roofline,
+)
+from .hill_marty import (
+    asymmetric_speedup,
+    best_core_size,
+    default_perf,
+    dynamic_speedup,
+    symmetric_speedup,
+)
+from .logca import LogCA
+from .multiamdahl import (
+    MultiAmdahlChip,
+    MultiAmdahlIP,
+    optimal_allocation,
+    runtime,
+    speedup_over_uniform,
+)
+
+__all__ = [
+    "GuzMachine",
+    "LogCA",
+    "MultiAmdahlChip",
+    "MultiAmdahlIP",
+    "ValleyReport",
+    "find_valley",
+    "power_law_hit_rate",
+    "to_ip_roofline",
+    "amdahl_fraction_needed",
+    "amdahl_limit",
+    "amdahl_speedup",
+    "asymmetric_speedup",
+    "best_core_size",
+    "default_perf",
+    "dynamic_speedup",
+    "gustafson_speedup",
+    "optimal_allocation",
+    "runtime",
+    "speedup_over_uniform",
+    "symmetric_speedup",
+]

@@ -1,0 +1,73 @@
+"""Amdahl's Law [Amdahl, 1967] and Gustafson's reevaluation [1988].
+
+Gables generalizes Amdahl's Law two ways: work at different IPs runs
+*concurrently* rather than serially, and data movement is modeled
+alongside computation.  These classic laws are the baselines the paper
+positions against (Section VI) and are used by the test suite to pin
+down the limiting behaviour of the serialized extension.
+"""
+
+from __future__ import annotations
+
+from .._validation import require_finite_positive, require_fraction
+from ..errors import SpecError
+
+
+def amdahl_speedup(parallel_fraction: float, speedup_factor: float) -> float:
+    """Amdahl's Law: overall speedup when a fraction is accelerated.
+
+    ``S = 1 / ((1 - f) + f / s)`` where ``f`` is the fraction of the
+    original runtime that is sped up by factor ``s``.  As ``s -> inf``
+    the speedup is bounded by ``1 / (1 - f)`` — the serial fraction
+    rules.
+
+    Parameters
+    ----------
+    parallel_fraction:
+        ``f`` in [0, 1] — fraction of runtime that benefits.
+    speedup_factor:
+        ``s > 0`` — how much faster that fraction runs.
+    """
+    f = require_fraction(parallel_fraction, "parallel_fraction")
+    s = require_finite_positive(speedup_factor, "speedup_factor")
+    return 1.0 / ((1.0 - f) + f / s)
+
+
+def amdahl_limit(parallel_fraction: float) -> float:
+    """The ``s -> inf`` asymptote ``1 / (1 - f)`` (``inf`` when f=1)."""
+    f = require_fraction(parallel_fraction, "parallel_fraction")
+    if f == 1.0:
+        return float("inf")
+    return 1.0 / (1.0 - f)
+
+
+def amdahl_fraction_needed(target_speedup: float, speedup_factor: float) -> float:
+    """Invert Amdahl: the ``f`` needed to hit a target overall speedup.
+
+    Solves ``S = 1 / ((1-f) + f/s)`` for ``f``.  Raises
+    :class:`~repro.errors.SpecError` when the target exceeds what the
+    factor can deliver even at ``f = 1`` (i.e. ``target > s``).
+    """
+    target = require_finite_positive(target_speedup, "target_speedup")
+    s = require_finite_positive(speedup_factor, "speedup_factor")
+    if target < 1.0:
+        raise SpecError(f"target_speedup must be >= 1, got {target!r}")
+    if target > s:
+        raise SpecError(
+            f"target speedup {target!r} unreachable with factor {s!r}"
+        )
+    if s == 1.0:
+        return 0.0
+    return (1.0 - 1.0 / target) / (1.0 - 1.0 / s)
+
+
+def gustafson_speedup(parallel_fraction: float, processors: float) -> float:
+    """Gustafson's Law: scaled speedup for a grown problem.
+
+    ``S = (1 - f) + f * N`` — with the *scaled* workload, the parallel
+    part grows with processor count ``N`` so speedup is linear in ``N``
+    rather than bounded by the serial fraction.
+    """
+    f = require_fraction(parallel_fraction, "parallel_fraction")
+    n = require_finite_positive(processors, "processors")
+    return (1.0 - f) + f * n

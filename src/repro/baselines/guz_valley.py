@@ -1,0 +1,247 @@
+"""The Guz et al. unified many-core / many-thread model ("the valley").
+
+[Guz, Bolotin, Keidar, Kolodny, Mendelson & Weiser, IEEE CAL 2009] —
+cited by Gables (Section VI) as the kind of "more-sophisticated
+sub-model regarding on-chip memory trade-offs" a future Gables could
+embed per IP.  The model spans cache-reliant many-core machines and
+latency-hiding many-thread machines with one formula over the thread
+count ``n``:
+
+- per-thread cache shrinks as ``C_total / n``, so the hit rate falls
+  as threads are added;
+- each PE interleaves the threads assigned to it, hiding miss latency
+  when enough threads are resident;
+- off-chip bandwidth caps the miss stream.
+
+Performance first *falls* as threads outgrow the cache (not yet enough
+of them to hide latency) and recovers once multithreading covers the
+misses — the "valley" between the two ridges the paper warns machines
+away from.
+
+This module implements the model with a pluggable hit-rate curve and
+provides :func:`find_valley` to locate the two ridges and the valley
+floor, plus :func:`to_ip_roofline` to collapse an operating point into
+the ``(peak, bandwidth)`` pair a Gables IP needs — the embedding the
+Gables paper sketches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .._validation import require_finite_positive, require_fraction
+from ..errors import SpecError
+
+
+def power_law_hit_rate(s0_bytes: float = 64e3, theta: float = 0.5,
+                       max_rate: float = 0.98) -> Callable[[float], float]:
+    """A concave cache hit-rate curve ``P_hit(cache_per_thread)``.
+
+    ``P(S) = max_rate * (1 - (1 + S/s0)^(-theta))`` — zero at S=0,
+    saturating at ``max_rate``; ``s0`` sets the working-set scale and
+    ``theta`` the curvature (smaller = heavier tail).
+    """
+    require_finite_positive(s0_bytes, "s0_bytes")
+    require_finite_positive(theta, "theta")
+    require_fraction(max_rate, "max_rate", SpecError)
+
+    def hit_rate(cache_per_thread: float) -> float:
+        if cache_per_thread < 0:
+            raise SpecError("cache_per_thread must be >= 0")
+        return max_rate * (1.0 - (1.0 + cache_per_thread / s0_bytes) ** -theta)
+
+    return hit_rate
+
+
+@dataclass(frozen=True)
+class GuzMachine:
+    """The unified machine of the Guz model.
+
+    Parameters
+    ----------
+    n_pe:
+        Processing elements (cores/lanes).
+    frequency:
+        Clock, Hz.
+    cpi_exe:
+        Execution cycles per instruction, all hits.
+    mem_fraction:
+        ``r_m`` — fraction of instructions touching memory.
+    miss_penalty_cycles:
+        ``t_m`` — cycles to DRAM on a miss.
+    cache_bytes:
+        Total on-chip cache shared by all threads.
+    line_bytes:
+        Bytes fetched per miss.
+    memory_bandwidth:
+        Off-chip bytes/s cap.
+    hit_rate:
+        ``P_hit(cache_per_thread_bytes)`` — defaults to a power law.
+    """
+
+    n_pe: int
+    frequency: float
+    cpi_exe: float
+    mem_fraction: float
+    miss_penalty_cycles: float
+    cache_bytes: float
+    line_bytes: float
+    memory_bandwidth: float
+    hit_rate: Callable[[float], float] = field(
+        default_factory=power_law_hit_rate
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_pe < 1:
+            raise SpecError(f"n_pe must be >= 1, got {self.n_pe}")
+        require_finite_positive(self.frequency, "frequency")
+        require_finite_positive(self.cpi_exe, "cpi_exe")
+        require_fraction(self.mem_fraction, "mem_fraction", SpecError)
+        require_finite_positive(self.miss_penalty_cycles,
+                                "miss_penalty_cycles")
+        require_finite_positive(self.cache_bytes, "cache_bytes")
+        require_finite_positive(self.line_bytes, "line_bytes")
+        require_finite_positive(self.memory_bandwidth, "memory_bandwidth")
+
+    def miss_rate(self, threads: int) -> float:
+        """Per-access miss probability with ``threads`` sharing the cache."""
+        if threads < 1:
+            raise SpecError(f"threads must be >= 1, got {threads}")
+        return 1.0 - self.hit_rate(self.cache_bytes / threads)
+
+    def effective_cpi(self, threads: int) -> float:
+        """Cycles per instruction including exposed miss stalls."""
+        return (
+            self.cpi_exe
+            + self.mem_fraction
+            * self.miss_rate(threads)
+            * self.miss_penalty_cycles
+        )
+
+    def pe_utilization(self, threads: int) -> float:
+        """Fraction of PE issue slots doing work.
+
+        ``threads / n_pe`` threads interleave on each PE; a PE is busy
+        whenever any resident thread is not stalled, captured by the
+        standard interleaving bound
+        ``min(1, (threads/n_pe) * cpi_exe / cpi_eff)``.
+        """
+        per_pe = threads / self.n_pe
+        return min(1.0, per_pe * self.cpi_exe / self.effective_cpi(threads))
+
+    def performance(self, threads: int) -> float:
+        """Attained instructions/s at ``threads``, bandwidth-capped.
+
+        The compute term is ``n_pe * utilization * f / cpi_exe``; the
+        miss stream it implies must also fit the off-chip bandwidth,
+        which caps performance at
+        ``BW / (r_m * miss_rate * line_bytes)`` instructions/s.
+        """
+        compute = (
+            self.n_pe
+            * self.pe_utilization(threads)
+            * self.frequency
+            / self.cpi_exe
+        )
+        bytes_per_instruction = (
+            self.mem_fraction * self.miss_rate(threads) * self.line_bytes
+        )
+        if bytes_per_instruction == 0:
+            return compute
+        bandwidth_cap = self.memory_bandwidth / bytes_per_instruction
+        return min(compute, bandwidth_cap)
+
+
+@dataclass(frozen=True)
+class ValleyReport:
+    """The landscape of performance vs thread count."""
+
+    cache_ridge_threads: int  # best thread count in the cache regime
+    cache_ridge_performance: float
+    valley_threads: int  # the floor between the ridges
+    valley_performance: float
+    thread_ridge_threads: int  # best count in the many-thread regime
+    thread_ridge_performance: float
+
+    @property
+    def has_valley(self) -> bool:
+        """True when a genuine dip separates the two ridges."""
+        return (
+            self.valley_performance
+            < 0.95 * min(self.cache_ridge_performance,
+                         self.thread_ridge_performance)
+        )
+
+    @property
+    def valley_depth(self) -> float:
+        """Floor performance relative to the lower ridge (< 1 = dip)."""
+        lower_ridge = min(self.cache_ridge_performance,
+                          self.thread_ridge_performance)
+        return self.valley_performance / lower_ridge
+
+
+def find_valley(machine: GuzMachine, max_threads: int = 1 << 16) -> ValleyReport:
+    """Sweep thread counts and locate the ridges and the valley floor.
+
+    Scans powers of two (plus n_pe multiples near the low end), finds
+    the global pre-peak, the post-peak, and the minimum between them.
+    """
+    if max_threads < machine.n_pe:
+        raise SpecError("max_threads must be at least n_pe")
+    counts = sorted(
+        {machine.n_pe * k for k in (1, 2, 3, 4, 6, 8)}
+        | {1 << k for k in range(0, max_threads.bit_length())}
+    )
+    counts = [n for n in counts if 1 <= n <= max_threads]
+    perf = {n: machine.performance(n) for n in counts}
+
+    # Cache ridge: the global peak of the low-thread regime (the first
+    # local maximum, scanning upward).
+    best_first = counts[0]
+    for n in counts[1:]:
+        if perf[n] < perf[best_first]:
+            break
+        best_first = n
+    after = [n for n in counts if n > best_first]
+    if not after:
+        return ValleyReport(best_first, perf[best_first], best_first,
+                            perf[best_first], best_first, perf[best_first])
+    # Valley floor: the first local minimum after the cache ridge (the
+    # point where adding threads starts helping again); thread ridge:
+    # the best recovery at or beyond the floor.
+    valley = after[-1]
+    for position, n in enumerate(after[:-1]):
+        if perf[after[position + 1]] > perf[n]:
+            valley = n
+            break
+    recovery = [n for n in counts if n >= valley]
+    thread_ridge = max(recovery, key=lambda n: perf[n])
+    return ValleyReport(
+        cache_ridge_threads=best_first,
+        cache_ridge_performance=perf[best_first],
+        valley_threads=valley,
+        valley_performance=perf[valley],
+        thread_ridge_threads=thread_ridge,
+        thread_ridge_performance=perf[thread_ridge],
+    )
+
+
+def to_ip_roofline(machine: GuzMachine, threads: int,
+                   ops_per_instruction: float = 1.0) -> tuple:
+    """Collapse an operating point into Gables IP inputs.
+
+    Returns ``(peak_ops_per_second, offchip_bytes_per_second)`` — the
+    ``Ai * Ppeak`` and effective traffic of a Gables IP built from this
+    machine at the chosen thread count; the embedding the Gables paper
+    suggests for more-sophisticated per-IP sub-models.
+    """
+    require_finite_positive(ops_per_instruction, "ops_per_instruction")
+    instructions = machine.performance(threads)
+    bytes_per_instruction = (
+        machine.mem_fraction * machine.miss_rate(threads) * machine.line_bytes
+    )
+    return (
+        instructions * ops_per_instruction,
+        instructions * bytes_per_instruction,
+    )

@@ -1,0 +1,105 @@
+"""Amdahl's Law in the multicore era [Hill & Marty, IEEE Computer 2008].
+
+A chip has ``n`` base-core-equivalent (BCE) resources.  A core built
+from ``r`` BCEs delivers sequential performance ``perf(r)`` — modeled,
+as in the paper, as ``sqrt(r)`` by default.  Three organizations:
+
+- **symmetric**: ``n/r`` identical cores of size ``r``;
+- **asymmetric**: one big core of size ``r`` plus ``n - r`` single-BCE
+  cores, all usable in the parallel phase;
+- **dynamic**: ``r`` BCEs fuse into one big core for the serial phase
+  and scatter into ``n`` base cores for the parallel phase.
+
+These are the intellectual ancestors of Gables' per-IP acceleration
+``Ai``: both ask how to spend chip resources across heterogeneous
+compute.  Gables adds the bandwidth axis they lack.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from .._validation import require_finite_positive, require_fraction
+from ..errors import SpecError
+
+
+def default_perf(r: float) -> float:
+    """Pollack's-rule-style core performance: ``perf(r) = sqrt(r)``."""
+    return math.sqrt(r)
+
+
+def _check(n: float, r: float) -> None:
+    require_finite_positive(n, "n (total BCEs)")
+    require_finite_positive(r, "r (BCEs per big core)")
+    if r > n:
+        raise SpecError(f"core size r={r!r} exceeds chip budget n={n!r}")
+
+
+def symmetric_speedup(
+    f: float, n: float, r: float, perf: Callable[[float], float] = default_perf
+) -> float:
+    """Speedup of a symmetric multicore of ``n/r`` cores of size ``r``.
+
+    ``S = 1 / ((1-f)/perf(r) + f * r / (perf(r) * n))``
+    """
+    f = require_fraction(f, "f")
+    _check(n, r)
+    p = perf(r)
+    return 1.0 / ((1.0 - f) / p + f * r / (p * n))
+
+
+def asymmetric_speedup(
+    f: float, n: float, r: float, perf: Callable[[float], float] = default_perf
+) -> float:
+    """Speedup of one ``r``-BCE core plus ``n - r`` base cores.
+
+    ``S = 1 / ((1-f)/perf(r) + f / (perf(r) + n - r))``
+    """
+    f = require_fraction(f, "f")
+    _check(n, r)
+    p = perf(r)
+    return 1.0 / ((1.0 - f) / p + f / (p + n - r))
+
+
+def dynamic_speedup(
+    f: float, n: float, r: float, perf: Callable[[float], float] = default_perf
+) -> float:
+    """Speedup when ``r`` BCEs fuse for serial work, scatter for parallel.
+
+    ``S = 1 / ((1-f)/perf(r) + f / n)``
+    """
+    f = require_fraction(f, "f")
+    _check(n, r)
+    return 1.0 / ((1.0 - f) / perf(r) + f / n)
+
+
+def best_core_size(
+    f: float,
+    n: float,
+    organization: str = "symmetric",
+    perf: Callable[[float], float] = default_perf,
+    resolution: int = 512,
+) -> tuple:
+    """Grid-search the core size ``r`` maximizing speedup.
+
+    Returns ``(r_best, speedup_best)``.  A dense geometric grid over
+    ``[1, n]`` suffices for the model's smooth, single-peaked curves.
+    """
+    speedup_fn = {
+        "symmetric": symmetric_speedup,
+        "asymmetric": asymmetric_speedup,
+        "dynamic": dynamic_speedup,
+    }.get(organization)
+    if speedup_fn is None:
+        raise SpecError(f"unknown organization {organization!r}")
+    require_finite_positive(n, "n (total BCEs)")
+    if resolution < 2:
+        raise SpecError(f"resolution must be >= 2, got {resolution}")
+    best_r, best_s = 1.0, -math.inf
+    for k in range(resolution + 1):
+        r = n ** (k / resolution)  # geometric grid from 1 to n
+        s = speedup_fn(f, n, r, perf)
+        if s > best_s:
+            best_r, best_s = r, s
+    return best_r, best_s

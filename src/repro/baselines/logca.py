@@ -1,0 +1,127 @@
+"""LogCA-lite: a high-level accelerator offload model.
+
+[Altaf & Wood, ISCA 2017] model a host offloading work of granularity
+``g`` to an accelerator with five parameters:
+
+- ``L`` — latency: cycles to move a byte of data to the accelerator;
+- ``o`` — overhead: fixed host cycles to set up one offload;
+- ``g`` — granularity: bytes of data per offload;
+- ``C`` — computational index: host cycles of work per byte
+  (``C * g^beta`` total work for granularity ``g``);
+- ``A`` — peak acceleration.
+
+Unaccelerated time ``T0(g) = C * g^beta``; accelerated time
+``T1(g) = o + L * g + C * g^beta / A``; speedup is their ratio.  The
+break-even granularity ``g1`` (speedup = 1) is the model's signature
+output: below it, offload overheads swamp the acceleration.
+
+The paper cites LogCA as a "more sophisticated sub-model" that future
+Gables work could incorporate per IP; we include this compact form both
+as a baseline and to let examples contrast fixed-overhead effects that
+Gables deliberately abstracts away.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_finite_positive, require_nonnegative
+from ..errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class LogCA:
+    """LogCA accelerator parameters (all in host-cycle units).
+
+    Parameters
+    ----------
+    latency:
+        ``L`` — cycles per byte moved to/from the accelerator.
+    overhead:
+        ``o`` — fixed cycles to dispatch one offload.
+    compute_index:
+        ``C`` — host cycles of computation per byte of data.
+    acceleration:
+        ``A`` — the accelerator's speedup on the kernel itself.
+    beta:
+        Work growth exponent: total work is ``C * g**beta``
+        (1.0 = linear kernels like streaming; >1 for e.g. matrix math).
+    """
+
+    latency: float
+    overhead: float
+    compute_index: float
+    acceleration: float
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative(self.latency, "latency")
+        require_nonnegative(self.overhead, "overhead")
+        require_finite_positive(self.compute_index, "compute_index")
+        require_finite_positive(self.acceleration, "acceleration")
+        require_finite_positive(self.beta, "beta")
+
+    def unaccelerated_time(self, granularity: float) -> float:
+        """``T0(g) = C * g**beta`` — all work on the host."""
+        g = require_finite_positive(granularity, "granularity")
+        return self.compute_index * g**self.beta
+
+    def accelerated_time(self, granularity: float) -> float:
+        """``T1(g) = o + L*g + C * g**beta / A``."""
+        g = require_finite_positive(granularity, "granularity")
+        return (
+            self.overhead
+            + self.latency * g
+            + self.compute_index * g**self.beta / self.acceleration
+        )
+
+    def speedup(self, granularity: float) -> float:
+        """``T0(g) / T1(g)`` — offload benefit at granularity ``g``."""
+        return self.unaccelerated_time(granularity) / self.accelerated_time(granularity)
+
+    def asymptotic_speedup(self) -> float:
+        """``g -> inf`` limit of the speedup.
+
+        ``A`` when work grows super-linearly (``beta > 1``); for linear
+        kernels the latency term never amortizes and the limit is
+        ``C / (L + C/A)`` — bounded below ``A`` whenever ``L > 0``.
+        """
+        if self.beta > 1.0:
+            return self.acceleration
+        if self.beta < 1.0:
+            if self.latency > 0:
+                return 0.0
+            return self.acceleration
+        return self.compute_index / (
+            self.latency + self.compute_index / self.acceleration
+        )
+
+    def break_even_granularity(self, g_max: float = 1e18) -> float:
+        """Smallest ``g`` with speedup >= 1 (``inf`` if never reached).
+
+        Solved by bisection on the continuous, monotone-difference
+        function ``T0(g) - T1(g)``; exact enough for model purposes.
+        """
+        if self.speedup(1e-12) >= 1.0:
+            return 0.0
+
+        def gain(g: float) -> float:
+            return self.unaccelerated_time(g) - self.accelerated_time(g)
+
+        lo, hi = 1e-12, 1.0
+        while gain(hi) < 0:
+            hi *= 2.0
+            if hi > g_max:
+                return math.inf
+        for _ in range(200):
+            mid = math.sqrt(lo * hi)
+            if gain(mid) < 0:
+                lo = mid
+            else:
+                hi = mid
+            if hi / lo < 1 + 1e-12:
+                break
+        else:
+            raise EvaluationError("break-even bisection failed to converge")
+        return hi

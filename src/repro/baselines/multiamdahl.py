@@ -1,0 +1,196 @@
+"""MultiAmdahl [Keslassy, Weiser & Zidenberg, CAL 2012].
+
+The model closest to Gables (paper Section VI).  MultiAmdahl models an
+N-IP SoC where a workload spends time fraction ``ti`` in the code
+region served by IP ``i``, work is *sequential* (one IP at a time), and
+each IP's performance is a function of the chip resources (area)
+allocated to it.  Given a total area budget it finds the allocation
+minimizing total runtime:
+
+    minimize    T(a) = sum_i ti / perf_i(a_i)
+    subject to  sum_i a_i = A_total,  a_i >= 0
+
+The key differences from Gables, which our benchmark harness
+demonstrates side by side:
+
+- MultiAmdahl has **no bandwidth terms** — neither per-IP links ``Bi``
+  nor the shared ``Bpeak`` — so it cannot see memory-bound designs
+  (e.g. the collapse in paper Fig. 6b);
+- base Gables assumes **concurrent** work, MultiAmdahl sequential
+  (Gables' Section V-C extension closes that gap).
+
+Performance functions default to Pollack-rule ``perf(a) = k * sqrt(a)``
+but any positive increasing callable works.  For power-law functions
+``perf_i(a) = k_i * a^alpha`` the optimum has a closed form via
+Lagrange multipliers, which :func:`optimal_allocation` uses to seed and
+verify the numeric solver.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from .._validation import require_finite_positive, require_fractions_sum_to_one
+from ..errors import EvaluationError, SpecError
+
+
+@dataclass(frozen=True)
+class MultiAmdahlIP:
+    """One IP in a MultiAmdahl chip: a name and ``perf_i(area)``.
+
+    ``power_law(k, alpha)`` builds the common ``k * a^alpha`` form; an
+    arbitrary callable may be supplied instead via ``perf``.
+    """
+
+    name: str
+    perf: Callable[[float], float]
+    k: float | None = None  # power-law coefficient, if applicable
+    alpha: float | None = None  # power-law exponent, if applicable
+
+    @classmethod
+    def power_law(cls, name: str, k: float = 1.0, alpha: float = 0.5) -> "MultiAmdahlIP":
+        """``perf(a) = k * a**alpha`` (alpha=0.5 is Pollack's rule)."""
+        require_finite_positive(k, f"IP {name!r} k")
+        require_finite_positive(alpha, f"IP {name!r} alpha")
+        if alpha >= 1.0:
+            raise SpecError(
+                f"IP {name!r} alpha must be < 1 for a well-posed optimum, "
+                f"got {alpha!r}"
+            )
+        return cls(name=name, perf=lambda a: k * a**alpha, k=k, alpha=alpha)
+
+    @property
+    def is_power_law(self) -> bool:
+        """True when a closed-form optimum is available."""
+        return self.k is not None and self.alpha is not None
+
+
+@dataclass(frozen=True)
+class MultiAmdahlChip:
+    """N IPs sharing a total area budget."""
+
+    ips: tuple
+    total_area: float
+    name: str = "multiamdahl-chip"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ips, tuple):
+            object.__setattr__(self, "ips", tuple(self.ips))
+        if not self.ips:
+            raise SpecError("MultiAmdahlChip needs at least one IP")
+        require_finite_positive(self.total_area, "total_area")
+
+    @property
+    def n_ips(self) -> int:
+        """Number of IPs sharing the budget."""
+        return len(self.ips)
+
+
+def runtime(chip: MultiAmdahlChip, time_fractions: Sequence[float],
+            areas: Sequence[float]) -> float:
+    """``T(a) = sum_i ti / perf_i(a_i)`` for a concrete allocation."""
+    if len(time_fractions) != chip.n_ips or len(areas) != chip.n_ips:
+        raise SpecError("time_fractions and areas must match the chip's IP count")
+    require_fractions_sum_to_one(time_fractions, "time_fractions")
+    total = 0.0
+    for ip, t, a in zip(chip.ips, time_fractions, areas):
+        if a < 0:
+            raise SpecError(f"area for {ip.name!r} must be >= 0, got {a!r}")
+        if t == 0:
+            continue
+        if a == 0:
+            return math.inf
+        perf = ip.perf(a)
+        if perf <= 0:
+            raise EvaluationError(f"perf_{ip.name}({a!r}) must be positive")
+        total += t / perf
+    return total
+
+
+def _closed_form_power_law(chip: MultiAmdahlChip,
+                           time_fractions: Sequence[float]) -> list | None:
+    """Lagrange closed form when every active IP is a power law.
+
+    With ``perf_i = k_i * a^alpha_i``, stationarity gives
+    ``t_i * alpha_i / (k_i * a_i^(alpha_i + 1)) = lambda`` for all active
+    IPs.  For a *common* alpha this reduces to
+    ``a_i ∝ (t_i / k_i)^(1 / (alpha + 1))``; mixed alphas fall back to
+    the numeric solver (returns None).
+    """
+    active = [
+        (ip, t) for ip, t in zip(chip.ips, time_fractions) if t > 0
+    ]
+    if not all(ip.is_power_law for ip, _ in active):
+        return None
+    alphas = {ip.alpha for ip, _ in active}
+    if len(alphas) != 1:
+        return None
+    alpha = alphas.pop()
+    exponent = 1.0 / (alpha + 1.0)
+    weights = [
+        (t * alpha / ip.k) ** exponent if t > 0 else 0.0
+        for ip, t in zip(chip.ips, time_fractions)
+    ]
+    scale = chip.total_area / math.fsum(weights)
+    return [w * scale for w in weights]
+
+
+def optimal_allocation(chip: MultiAmdahlChip,
+                       time_fractions: Sequence[float]) -> tuple:
+    """Area allocation minimizing runtime; returns ``(areas, runtime)``.
+
+    Uses the power-law closed form when available and a projected
+    numeric solve (SLSQP over a softmax-free simplex parameterization)
+    otherwise.  IPs with ``ti = 0`` receive zero area — spending budget
+    on unused hardware can only hurt.
+    """
+    require_fractions_sum_to_one(time_fractions, "time_fractions")
+    if len(time_fractions) != chip.n_ips:
+        raise SpecError("time_fractions must match the chip's IP count")
+
+    closed = _closed_form_power_law(chip, time_fractions)
+    if closed is not None:
+        return tuple(closed), runtime(chip, time_fractions, closed)
+
+    active = [i for i, t in enumerate(time_fractions) if t > 0]
+    if not active:
+        raise SpecError("at least one time fraction must be positive")
+    n_active = len(active)
+
+    def objective(x: np.ndarray) -> float:
+        areas = [0.0] * chip.n_ips
+        for slot, i in enumerate(active):
+            areas[i] = float(x[slot])
+        return runtime(chip, time_fractions, areas)
+
+    x0 = np.full(n_active, chip.total_area / n_active)
+    result = optimize.minimize(
+        objective,
+        x0,
+        method="SLSQP",
+        bounds=[(1e-12 * chip.total_area, chip.total_area)] * n_active,
+        constraints=[
+            {"type": "eq", "fun": lambda x: float(np.sum(x)) - chip.total_area}
+        ],
+        options={"maxiter": 500, "ftol": 1e-14},
+    )
+    if not result.success:
+        raise EvaluationError(f"MultiAmdahl optimization failed: {result.message}")
+    areas = [0.0] * chip.n_ips
+    for slot, i in enumerate(active):
+        areas[i] = float(result.x[slot])
+    return tuple(areas), runtime(chip, time_fractions, areas)
+
+
+def speedup_over_uniform(chip: MultiAmdahlChip,
+                         time_fractions: Sequence[float]) -> float:
+    """How much the optimal allocation beats an even area split."""
+    uniform = [chip.total_area / chip.n_ips] * chip.n_ips
+    t_uniform = runtime(chip, time_fractions, uniform)
+    _, t_optimal = optimal_allocation(chip, time_fractions)
+    return t_uniform / t_optimal

@@ -1,0 +1,344 @@
+"""Command-line interface: ``gables`` (or ``python -m repro.cli``).
+
+Subcommands::
+
+    gables eval     --soc soc.json --workload usecase.json
+    gables eval     --figure 6b
+    gables plot     --figure 6d --out fig6d.svg       (or --ascii)
+    gables sweep    --figure 6b --param f --steps 9
+    gables measure  --engine CPU                       (simulated ERT)
+    gables report   fig2 | fig6 | fig7 | fig8 | fig9 | table1 | all
+    gables presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import io as repro_io
+from .core import FIGURE_6_SEQUENCE, evaluate
+from .core.two_ip import TwoIPScenario
+from .errors import ReproError
+from .units import format_bandwidth, format_ops
+
+
+def _figure_scenario(tag: str) -> TwoIPScenario:
+    by_name = {s.name: s for s in FIGURE_6_SEQUENCE}
+    key = f"fig{tag}" if not tag.startswith("fig") else tag
+    if key not in by_name:
+        raise ReproError(
+            f"unknown figure {tag!r}; choose from "
+            f"{sorted(name[3:] for name in by_name)}"
+        )
+    return by_name[key]
+
+
+def _load_pair(args) -> tuple:
+    if args.figure:
+        scenario = _figure_scenario(args.figure)
+        return scenario.soc(), scenario.workload()
+    if not (args.soc and args.workload):
+        raise ReproError("provide either --figure or both --soc and --workload")
+    return repro_io.load(args.soc), repro_io.load(args.workload)
+
+
+def _cmd_eval(args) -> int:
+    soc, workload = _load_pair(args)
+    result = evaluate(soc, workload)
+    print(f"SoC: {soc.name}   usecase: {workload.name}")
+    print(result.summary())
+    return 0
+
+
+def _cmd_plot(args) -> int:
+    from .viz import RooflinePlotData, roofline_ascii, roofline_svg
+
+    soc, workload = _load_pair(args)
+    data = RooflinePlotData.from_model(soc, workload)
+    if args.ascii or not args.out:
+        print(roofline_ascii(data))
+        return 0
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(roofline_svg(data))
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .explore import sweep_fraction, sweep_intensity, sweep_memory_bandwidth
+
+    soc, workload = _load_pair(args)
+    steps = args.steps
+    if args.param == "f":
+        values = [k / (steps - 1) for k in range(steps)]
+        series = sweep_fraction(soc, workload, args.ip, values)
+    elif args.param == "intensity":
+        values = [2.0**k for k in range(-4, steps - 4)]
+        series = sweep_intensity(soc, workload, args.ip, values)
+    elif args.param == "bpeak":
+        base = soc.memory_bandwidth
+        values = [base * (0.25 + 0.25 * k) for k in range(steps)]
+        series = sweep_memory_bandwidth(soc, workload, values)
+    else:
+        raise ReproError(f"unknown sweep parameter {args.param!r}")
+    print(f"sweep {series.parameter}:")
+    for point in series.points:
+        print(
+            f"  {point.value:>12.6g}  {format_ops(point.attainable):>14}"
+            f"  ({point.bottleneck})"
+        )
+    for value, before, after in series.bottleneck_transitions():
+        print(f"  transition at {value:g}: {before} -> {after}")
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    from .ert import fit_roofline, roofline_summary, run_sweep
+    from .sim import simulated_snapdragon_835
+
+    platform = simulated_snapdragon_835()
+    fitted = fit_roofline(run_sweep(platform, args.engine))
+    print(roofline_summary(fitted))
+    return 0
+
+
+def _cmd_html(args) -> int:
+    from .viz import save_interactive_report
+
+    soc, workload = _load_pair(args)
+    save_interactive_report(soc, workload, args.out)
+    print(f"wrote {args.out} (open in any browser; fully offline)")
+    return 0
+
+
+def _cmd_power(args) -> int:
+    from .power import (
+        EnergyModel,
+        evaluate_power_constrained,
+        max_tdp_needed,
+        usecase_energy,
+    )
+
+    soc, workload = _load_pair(args)
+    model = EnergyModel.mobile_default(soc)
+    result = evaluate_power_constrained(soc, workload, model, args.tdp)
+    energy = usecase_energy(soc, workload, model)
+    print(f"TDP {args.tdp:g} W: attainable {format_ops(result.attainable)} "
+          f"(bottleneck: {result.bottleneck})")
+    print(f"unconstrained Gables bound: "
+          f"{format_ops(result.gables.attainable)}")
+    print(f"sustained fraction: {result.sustained_fraction():.2f}")
+    print(f"TDP needed for the full bound: "
+          f"{max_tdp_needed(soc, workload, model):.2f} W")
+    print(f"energy per op: {energy.energy_per_op:.3e} J "
+          f"(avg power at full rate: {energy.average_power:.2f} W)")
+    return 0
+
+
+def _cmd_interval(args) -> int:
+    from .core.uncertainty import evaluate_with_margin
+
+    soc, workload = _load_pair(args)
+    result = evaluate_with_margin(soc, workload, args.margin)
+    print(f"attainable in [{format_ops(result.lo)}, "
+          f"{format_ops(result.hi)}] at ±{args.margin:g}% inputs "
+          f"(x{result.width_ratio:.2f} spread)")
+    if result.regime_stable:
+        print(f"bottleneck stable: {result.pessimistic_bottleneck}")
+    else:
+        print(f"bottleneck REGIME CHANGES across the uncertainty: "
+              f"{result.pessimistic_bottleneck} (pessimistic) vs "
+              f"{result.optimistic_bottleneck} (optimistic)")
+    return 0
+
+
+def _cmd_drift(args) -> int:
+    from .explore import TechnologyTrend, bottleneck_drift
+    from .viz import drift_table
+
+    soc, workload = _load_pair(args)
+    trend = TechnologyTrend(
+        compute_growth=args.compute_growth,
+        memory_bandwidth_growth=args.memory_growth,
+        link_bandwidth_growth=args.link_growth,
+    )
+    points = bottleneck_drift(soc, workload, years=args.years, trend=trend)
+    print(f"generational drift for {workload.name} on {soc.name}:")
+    print(drift_table(points))
+    for before, after in zip(points, points[1:]):
+        if before.bottleneck != after.bottleneck:
+            print(f"bottleneck flips {before.bottleneck} -> "
+                  f"{after.bottleneck} at year {after.year:g}")
+    return 0
+
+
+def _cmd_diagram(args) -> int:
+    from .soc import PRESETS
+    from .viz import soc_diagram_svg
+
+    factory = PRESETS.get(args.preset)
+    if factory is None:
+        raise ReproError(
+            f"unknown preset {args.preset!r}; choose from {sorted(PRESETS)}"
+        )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(soc_diagram_svg(factory()))
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .figures import main_figures
+
+    return main_figures(args.out)
+
+
+def _cmd_presets(_args) -> int:
+    from .soc import PRESETS
+
+    for name, factory in sorted(PRESETS.items()):
+        description = factory()
+        spec = description.to_gables_spec()
+        print(
+            f"{name}: {spec.n_ips} IPs, Ppeak {format_ops(spec.peak_perf)}, "
+            f"Bpeak {format_bandwidth(spec.memory_bandwidth)}"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .reports import REPORTS
+
+    report = REPORTS.get(args.experiment)
+    if report is None:
+        raise ReproError(
+            f"unknown experiment {args.experiment!r}; choose from "
+            f"{sorted(REPORTS)}"
+        )
+    print(report())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="gables",
+        description="Gables: a Roofline model for mobile SoCs (HPCA 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--soc", help="path to a soc JSON document")
+        p.add_argument("--workload", help="path to a workload JSON document")
+        p.add_argument(
+            "--figure", help="use a paper Figure 6 scenario: 6a|6b|6c|6d"
+        )
+
+    p_eval = sub.add_parser("eval", help="evaluate a usecase on an SoC")
+    add_model_args(p_eval)
+    p_eval.set_defaults(handler=_cmd_eval)
+
+    p_plot = sub.add_parser("plot", help="render a scaled-roofline plot")
+    add_model_args(p_plot)
+    p_plot.add_argument("--out", help="output SVG path (omit for ASCII)")
+    p_plot.add_argument("--ascii", action="store_true",
+                        help="render to the terminal")
+    p_plot.set_defaults(handler=_cmd_plot)
+
+    p_sweep = sub.add_parser("sweep", help="sweep a model parameter")
+    add_model_args(p_sweep)
+    p_sweep.add_argument("--param", default="f",
+                         choices=("f", "intensity", "bpeak"))
+    p_sweep.add_argument("--ip", type=int, default=1,
+                         help="IP index for f/intensity sweeps")
+    p_sweep.add_argument("--steps", type=int, default=9)
+    p_sweep.set_defaults(handler=_cmd_sweep)
+
+    p_measure = sub.add_parser(
+        "measure", help="empirical roofline of a simulated engine"
+    )
+    p_measure.add_argument("--engine", default="CPU",
+                           choices=("CPU", "GPU", "DSP"))
+    p_measure.set_defaults(handler=_cmd_measure)
+
+    p_html = sub.add_parser(
+        "html", help="write the interactive explorer (the paper's web tool)"
+    )
+    add_model_args(p_html)
+    p_html.add_argument("--out", default="gables_explorer.html")
+    p_html.set_defaults(handler=_cmd_html)
+
+    p_power = sub.add_parser(
+        "power", help="TDP-constrained evaluation (mobile energy model)"
+    )
+    add_model_args(p_power)
+    p_power.add_argument("--tdp", type=float, default=3.0,
+                         help="thermal design power, watts")
+    p_power.set_defaults(handler=_cmd_power)
+
+    p_interval = sub.add_parser(
+        "interval", help="attainable-performance bounds under input margins"
+    )
+    add_model_args(p_interval)
+    p_interval.add_argument("--margin", type=float, default=20.0,
+                            help="±%% uncertainty on every rate input")
+    p_interval.set_defaults(handler=_cmd_interval)
+
+    p_drift = sub.add_parser(
+        "drift", help="project the design across future chip generations"
+    )
+    add_model_args(p_drift)
+    p_drift.add_argument("--years", type=int, default=5)
+    p_drift.add_argument("--compute-growth", type=float, default=1.30)
+    p_drift.add_argument("--memory-growth", type=float, default=1.12)
+    p_drift.add_argument("--link-growth", type=float, default=1.20)
+    p_drift.set_defaults(handler=_cmd_drift)
+
+    p_diagram = sub.add_parser(
+        "diagram", help="render a preset SoC's block diagram (Fig. 3 style)"
+    )
+    p_diagram.add_argument("--preset", default="generic")
+    p_diagram.add_argument("--out", default="soc_diagram.svg")
+    p_diagram.set_defaults(handler=_cmd_diagram)
+
+    p_figures = sub.add_parser(
+        "figures", help="regenerate every paper artifact into a directory"
+    )
+    p_figures.add_argument("--out", default="gables_figures")
+    p_figures.set_defaults(handler=_cmd_figures)
+
+    p_report = sub.add_parser("report", help="regenerate a paper artifact")
+    p_report.add_argument(
+        "experiment",
+        help="fig2 | fig6 | fig7 | fig8 | fig9 | table1 | all",
+    )
+    p_report.set_defaults(handler=_cmd_report)
+
+    p_presets = sub.add_parser("presets", help="list built-in SoC presets")
+    p_presets.set_defaults(handler=_cmd_presets)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Console entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, the
+        # Unix way.  Detach stdout so the interpreter's shutdown flush
+        # does not raise again.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Gables core: the paper's primary contribution.
+
+The public surface:
+
+- :class:`SoCSpec` / :class:`IPBlock` — hardware parameters
+  (``Ppeak``, ``Bpeak``, per-IP ``Ai`` and ``Bi``);
+- :class:`Workload` — software usecase parameters (``fi``, ``Ii``);
+- :func:`evaluate` — the base N-IP model (Equations 9-11), returning a
+  :class:`GablesResult` with bottleneck attribution;
+- :func:`attainable_performance_dual` — the performance-domain dual
+  (Equations 12-14), used for cross-checking and plotting;
+- :class:`Roofline` — the classic single-chip model Gables builds on;
+- :mod:`repro.core.extensions` — memory-side SRAM, interconnect
+  topology, serialized work, and phased usecases.
+"""
+
+from .blend import blend_workloads, interference_slowdown
+from .curves import RooflineCurve, min_envelope
+from .gables import (
+    attainable_performance,
+    attainable_performance_dual,
+    drop_lines,
+    evaluate,
+    ip_terms,
+    scaled_roofline_curves,
+)
+from .params import IPBlock, SoCSpec, Workload
+from .result import GablesResult, IPTerm
+from .roofline import Ceiling, Roofline, machine_balance
+from .uncertainty import (
+    Interval,
+    IntervalResult,
+    UncertainSoC,
+    UncertainWorkload,
+    evaluate_interval,
+    evaluate_with_margin,
+)
+from .two_ip import (
+    FIGURE_6_EXPECTED_GOPS,
+    FIGURE_6_SEQUENCE,
+    FIGURE_6A,
+    FIGURE_6B,
+    FIGURE_6C,
+    FIGURE_6D,
+    TwoIPScenario,
+    evaluate_two_ip,
+)
+
+__all__ = [
+    "Ceiling",
+    "FIGURE_6A",
+    "FIGURE_6B",
+    "FIGURE_6C",
+    "FIGURE_6D",
+    "FIGURE_6_EXPECTED_GOPS",
+    "FIGURE_6_SEQUENCE",
+    "GablesResult",
+    "IPBlock",
+    "IPTerm",
+    "Interval",
+    "IntervalResult",
+    "Roofline",
+    "RooflineCurve",
+    "SoCSpec",
+    "TwoIPScenario",
+    "UncertainSoC",
+    "UncertainWorkload",
+    "Workload",
+    "evaluate_interval",
+    "evaluate_with_margin",
+    "attainable_performance",
+    "attainable_performance_dual",
+    "blend_workloads",
+    "interference_slowdown",
+    "drop_lines",
+    "evaluate",
+    "evaluate_two_ip",
+    "ip_terms",
+    "machine_balance",
+    "min_envelope",
+    "scaled_roofline_curves",
+]

@@ -1,0 +1,91 @@
+"""Workload algebra: blending concurrent usecases.
+
+Phones rarely run one usecase: music plays during navigation, a
+download streams behind a game.  Two Gables workloads running on the
+same SoC *simultaneously* combine into one workload whose traffic adds
+— which means intensities combine *harmonically* per IP, weighted by
+each constituent's share of the work at that IP:
+
+    f_i   = alpha * f1_i + (1 - alpha) * f2_i
+    bytes_i = alpha * f1_i / I1_i + (1 - alpha) * f2_i / I2_i
+    I_i   = f_i / bytes_i
+
+where ``alpha`` is usecase 1's share of the combined op stream.  The
+blend preserves total traffic exactly, so evaluating the blend charges
+the memory interface the same bytes-per-op as the two usecases would
+jointly — the right accounting for shared-bandwidth interference.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import require_fraction
+from ..errors import WorkloadError
+from .params import Workload
+
+
+def blend_workloads(first: Workload, second: Workload, alpha: float,
+                    name: str | None = None) -> Workload:
+    """Combine two concurrent usecases into one Gables workload.
+
+    Parameters
+    ----------
+    first, second:
+        Workloads over the same IP set.
+    alpha:
+        ``first``'s share of the combined operation stream, in [0, 1].
+    """
+    alpha = require_fraction(alpha, "alpha")
+    if first.n_ips != second.n_ips:
+        raise WorkloadError(
+            f"cannot blend workloads over {first.n_ips} and "
+            f"{second.n_ips} IPs"
+        )
+    if alpha == 0:
+        return second
+    if alpha == 1:
+        return first
+    fractions = []
+    intensities = []
+    for index in range(first.n_ips):
+        f1, f2 = first.fractions[index], second.fractions[index]
+        combined = alpha * f1 + (1 - alpha) * f2
+        fractions.append(combined)
+        bytes_per_op = 0.0
+        if f1 > 0 and not math.isinf(first.intensities[index]):
+            bytes_per_op += alpha * f1 / first.intensities[index]
+        if f2 > 0 and not math.isinf(second.intensities[index]):
+            bytes_per_op += (1 - alpha) * f2 / second.intensities[index]
+        if combined == 0:
+            intensities.append(1.0)  # idle IP; value unused
+        elif bytes_per_op == 0:
+            intensities.append(math.inf)
+        else:
+            intensities.append(combined / bytes_per_op)
+    return Workload(
+        fractions=tuple(fractions),
+        intensities=tuple(intensities),
+        name=name or f"{first.name}+{second.name}",
+    )
+
+
+def interference_slowdown(soc, foreground: Workload,
+                          background: Workload, alpha: float) -> float:
+    """Foreground throughput loss from a concurrent background usecase.
+
+    Evaluates the blend and attributes the foreground its ``alpha``
+    share of the combined attainable rate; the return value is that
+    share relative to the foreground running alone (1.0 = no
+    interference, 0.5 = halved).
+    """
+    from .gables import evaluate
+
+    alpha = require_fraction(alpha, "alpha")
+    if alpha == 0:
+        raise WorkloadError("foreground share alpha must be positive")
+    alone = evaluate(soc, foreground).attainable
+    together = evaluate(
+        soc, blend_workloads(foreground, background, alpha)
+    ).attainable
+    return (alpha * together) / alone

@@ -1,0 +1,124 @@
+"""Roofline curve geometry shared by the models and the plotting layer.
+
+A roofline is a piecewise function of operational intensity ``I``:
+
+    P(I) = min(slope * I, roof) / scale
+
+- ``slope`` is a bandwidth (bytes/s), giving the slanted left segment;
+- ``roof`` is a compute bound (ops/s), giving the flat right segment —
+  ``math.inf`` for a memory/bus roofline which is slanted-only;
+- ``scale`` divides the whole curve; Gables' *scaled rooflines*
+  (Equations 5-6 / 12) divide an IP's roofline by its fraction of work.
+
+The ridge point ``I* = roof / slope`` is where the two segments meet:
+below it the curve is bandwidth-bound, above it compute-bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_positive
+from ..errors import SpecError
+
+
+@dataclass(frozen=True)
+class RooflineCurve:
+    """One roofline on a Gables plot (an IP roofline or the memory line).
+
+    Parameters
+    ----------
+    name:
+        Legend label, e.g. ``"IP[1] / f"`` or ``"memory"``.
+    slope:
+        Bandwidth term in ops-per-(ops/byte)-per-second — numerically a
+        bytes/s bandwidth, since ``bytes/s * ops/byte = ops/s``.
+    roof:
+        Flat compute bound in ops/s, or ``math.inf`` for slanted-only.
+    scale:
+        Divisor applied to the whole curve (Gables work fraction).
+    """
+
+    name: str
+    slope: float
+    roof: float = math.inf
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.slope, f"curve {self.name!r} slope")
+        require_positive(self.roof, f"curve {self.name!r} roof")
+        require_positive(self.scale, f"curve {self.name!r} scale")
+        if math.isinf(self.scale):
+            raise SpecError(f"curve {self.name!r} scale must be finite")
+
+    def __call__(self, intensity: float) -> float:
+        """Attainable performance at operational intensity ``intensity``."""
+        if intensity <= 0:
+            raise SpecError(f"intensity must be positive, got {intensity!r}")
+        if math.isinf(intensity):
+            bound = self.roof
+        else:
+            bound = min(self.slope * intensity, self.roof)
+        return bound / self.scale
+
+    @property
+    def ridge_point(self) -> float:
+        """Intensity where bandwidth and compute bounds meet (ops/byte).
+
+        ``inf`` for a slanted-only curve (it never flattens).
+        """
+        if math.isinf(self.roof):
+            return math.inf
+        if math.isinf(self.slope):
+            return 0.0
+        return self.roof / self.slope
+
+    @property
+    def peak(self) -> float:
+        """The flat-roof height after scaling (``inf`` if slanted-only)."""
+        return self.roof / self.scale
+
+    def is_memory_bound_at(self, intensity: float) -> bool:
+        """True when the slanted segment binds at ``intensity``."""
+        return intensity < self.ridge_point
+
+    def crossover_with(self, other: "RooflineCurve") -> float | None:
+        """Intensity where this curve and ``other`` intersect, if any.
+
+        Returns the unique positive intensity where the two piecewise
+        curves cross, or ``None`` when one dominates everywhere or they
+        coincide on a segment.  Useful for annotating "who wins where"
+        on multi-roofline plots.
+        """
+        candidates = []
+        # Slant vs slant: a*I = b*I only crosses at 0 unless equal.
+        # Slant of self vs roof of other.
+        if not math.isinf(other.roof) and not math.isinf(self.slope):
+            i = (other.roof / other.scale) / (self.slope / self.scale)
+            candidates.append(i)
+        if not math.isinf(self.roof) and not math.isinf(other.slope):
+            i = (self.roof / self.scale) / (other.slope / other.scale)
+            candidates.append(i)
+        for i in sorted(set(candidates)):
+            if i <= 0 or not math.isfinite(i):
+                continue
+            below = self(i * (1 - 1e-9)) - other(i * (1 - 1e-9))
+            above = self(i * (1 + 1e-9)) - other(i * (1 + 1e-9))
+            if below == 0 and above == 0:
+                continue
+            if (below <= 0 <= above) or (above <= 0 <= below):
+                return i
+        return None
+
+
+def min_envelope(curves, intensity: float) -> float:
+    """Lower envelope of several curves at one intensity.
+
+    This is Equation 8/14's ``min(...)`` when every curve is queried at
+    the *same* intensity; Gables proper queries each scaled roofline at
+    its own IP intensity (see :mod:`repro.core.gables`).
+    """
+    if not curves:
+        raise SpecError("min_envelope needs at least one curve")
+    return min(curve(intensity) for curve in curves)

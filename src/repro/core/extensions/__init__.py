@@ -1,0 +1,57 @@
+"""Gables model extensions (paper Section V).
+
+Three published extensions plus one composition layer:
+
+- :mod:`.memory_side` — a memory-side SRAM/scratchpad/cache that
+  filters DRAM traffic with per-IP miss probabilities ``mi`` (Eq. 15);
+- :mod:`.interconnect` — explicit bus/fabric topology with per-bus
+  bandwidth bounds (Eqs. 16-17);
+- :mod:`.serialized` — exclusive (one-IP-at-a-time) work, the
+  MultiAmdahl-style regime with data movement added (Eqs. 18-19);
+- :mod:`.phases` — usecases as sequences of concurrent phases, the
+  "more complex combinations of parallel and serialized work" the
+  paper sketches at the end of Section V-C;
+- :mod:`.multipath` — multiple alternative bus paths per IP with
+  LP-optimal traffic splitting, the "richer topologies" Section V-B
+  defers;
+- :mod:`.coordination` — host-routed IP dispatch overhead, the third
+  usecase bottleneck of Section II-B, in the LogCA spirit the paper
+  cites for future work.
+"""
+
+from .coordination import (
+    COORDINATION,
+    CoordinationModel,
+    coordination_break_even_items,
+    evaluate_with_coordination,
+    max_item_rate_with_coordination,
+)
+from .interconnect import Bus, InterconnectSpec, evaluate_with_buses
+from .memory_side import MemorySideCache, evaluate_with_memory_side
+from .multipath import (
+    MultiPathInterconnect,
+    evaluate_with_multipath,
+    optimal_route_split,
+)
+from .phases import Phase, PhasedUsecase, evaluate_phases
+from .serialized import evaluate_serialized
+
+__all__ = [
+    "COORDINATION",
+    "Bus",
+    "CoordinationModel",
+    "InterconnectSpec",
+    "MemorySideCache",
+    "MultiPathInterconnect",
+    "Phase",
+    "PhasedUsecase",
+    "coordination_break_even_items",
+    "evaluate_phases",
+    "evaluate_serialized",
+    "evaluate_with_coordination",
+    "max_item_rate_with_coordination",
+    "evaluate_with_buses",
+    "evaluate_with_memory_side",
+    "evaluate_with_multipath",
+    "optimal_route_split",
+]

@@ -1,0 +1,155 @@
+"""Memory-side SRAM / scratchpad / cache extension (paper Section V-A).
+
+Base Gables routes all inter-IP communication through DRAM.  This
+extension adds an on-chip (or on-package) memory on the *memory side*
+of the interconnect: IP[i]'s references reach DRAM only with
+probability ``mi`` (its miss ratio into the new memory) and are reused
+from the SRAM with probability ``1 - mi``.  Off-chip traffic becomes
+
+    D'i = mi * Di            (per-IP filtered traffic)
+    T_memory = sum(D'i) / Bpeak                     (Equation 15)
+
+while the per-IP link times ``Di / Bi`` are *unchanged*: every
+reference still crosses the IP's own link, it just may be served from
+SRAM instead of DRAM.  The attainable performance is Equation 11 with
+the filtered memory term.
+
+``mi`` values depend on both hardware (SRAM capacity) and software
+(reuse pattern); :func:`miss_ratio_for_capacity` offers a simple
+working-set estimator for early-stage what-ifs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..._validation import require_finite_positive, require_probability
+from ...errors import SpecError, WorkloadError
+from ..gables import ip_terms
+from ..params import SoCSpec, Workload
+from ..result import MEMORY, GablesResult, pick_bottleneck
+
+
+class MemorySideCache:
+    """The memory-side SRAM: per-IP DRAM miss probabilities ``mi``.
+
+    Parameters
+    ----------
+    miss_ratios:
+        One ``mi`` in [0, 1] per IP.  ``mi = 1`` means the SRAM never
+        captures that IP's traffic (base model); ``mi = 0`` means
+        perfect capture (no off-chip traffic from that IP).
+    capacity_bytes:
+        Optional SRAM capacity, recorded for reporting; the model
+        itself only consumes the miss ratios.
+    name:
+        Label for reports.
+    """
+
+    def __init__(self, miss_ratios, capacity_bytes: float | None = None,
+                 name: str = "memory-side-sram") -> None:
+        ratios = tuple(float(m) for m in miss_ratios)
+        if not ratios:
+            raise SpecError("MemorySideCache needs at least one miss ratio")
+        for index, ratio in enumerate(ratios):
+            require_probability(ratio, f"miss_ratios[{index}]")
+        if capacity_bytes is not None:
+            require_finite_positive(capacity_bytes, "capacity_bytes")
+        self.miss_ratios = ratios
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+
+    @property
+    def n_ips(self) -> int:
+        """Number of per-IP miss ratios (must match the SoC)."""
+        return len(self.miss_ratios)
+
+    @classmethod
+    def uniform(cls, n_ips: int, miss_ratio: float, **kwargs) -> "MemorySideCache":
+        """The same miss ratio for every IP."""
+        if n_ips < 1:
+            raise SpecError(f"n_ips must be >= 1, got {n_ips}")
+        return cls((miss_ratio,) * n_ips, **kwargs)
+
+    @classmethod
+    def disabled(cls, n_ips: int) -> "MemorySideCache":
+        """An SRAM that captures nothing: ``mi = 1`` everywhere.
+
+        With this cache the extension reduces exactly to base Gables,
+        which the test suite verifies as a consistency property.
+        """
+        return cls.uniform(n_ips, 1.0, name="no-sram")
+
+    def __repr__(self) -> str:
+        return (
+            f"MemorySideCache(name={self.name!r}, "
+            f"miss_ratios={self.miss_ratios!r})"
+        )
+
+
+def evaluate_with_memory_side(
+    soc: SoCSpec, workload: Workload, cache: MemorySideCache
+) -> GablesResult:
+    """Evaluate Gables with the memory-side SRAM (Equation 15).
+
+    Identical to :func:`repro.core.gables.evaluate` except the memory
+    term uses the filtered traffic ``D'i = mi * Di``.  The result's
+    ``memory_perf_bound`` is correspondingly ``Bpeak * I'avg`` where
+    ``I'avg`` is the effective intensity after filtering.
+    """
+    if cache.n_ips != soc.n_ips:
+        raise WorkloadError(
+            f"cache has {cache.n_ips} miss ratios but SoC has {soc.n_ips} IPs"
+        )
+    terms = ip_terms(soc, workload)
+    filtered_bytes = math.fsum(
+        cache.miss_ratios[term.index] * term.data_bytes for term in terms
+    )
+    t_memory = filtered_bytes / soc.memory_bandwidth
+    # Effective average intensity: ops per *off-chip* byte after filtering.
+    effective_iavg = math.inf if filtered_bytes == 0 else 1.0 / filtered_bytes
+    memory_perf_bound = (
+        math.inf if t_memory == 0 else soc.memory_bandwidth * effective_iavg
+    )
+
+    times = {term.name: term.time for term in terms}
+    times[MEMORY] = t_memory
+    primary, binding = pick_bottleneck(times)
+
+    return GablesResult(
+        ip_terms=terms,
+        memory_time=t_memory,
+        memory_perf_bound=memory_perf_bound,
+        average_intensity=effective_iavg,
+        attainable=1.0 / max(times.values()),
+        bottleneck=primary,
+        binding_components=binding,
+    )
+
+
+def miss_ratio_for_capacity(
+    working_set_bytes: float, capacity_bytes: float, reuse_fraction: float = 1.0
+) -> float:
+    """A simple working-set estimator for ``mi`` what-if studies.
+
+    If the IP's working set fits in the SRAM, only the ``1 -
+    reuse_fraction`` streaming share misses; otherwise misses scale with
+    the uncaptured share of the working set.  This is deliberately
+    crude — the paper leaves ``mi`` as an input — but gives design
+    explorations a defensible knob tied to a capacity.
+
+    Parameters
+    ----------
+    working_set_bytes:
+        Bytes the IP touches with potential reuse.
+    capacity_bytes:
+        SRAM capacity available to this IP.
+    reuse_fraction:
+        Fraction of the IP's references that *would* hit given infinite
+        capacity (1.0 = fully reusable, 0.0 = pure streaming).
+    """
+    require_finite_positive(working_set_bytes, "working_set_bytes")
+    require_finite_positive(capacity_bytes, "capacity_bytes")
+    require_probability(reuse_fraction, "reuse_fraction")
+    captured = min(1.0, capacity_bytes / working_set_bytes)
+    return 1.0 - reuse_fraction * captured

@@ -1,0 +1,145 @@
+"""Phased usecases: sequences of concurrent phases (beyond Section V-C).
+
+The paper notes that "more complex combinations of parallel and
+serialized work are possible with more assumptions, parameters, and
+notation".  This module writes those down in the most economical form:
+a usecase is an ordered list of *phases*; within a phase IPs run
+concurrently (base Gables), while phases themselves are serialized.
+Pure-concurrent (one phase) and pure-serialized (one active IP per
+phase) usecases are special cases, which the test suite exploits.
+
+Each phase carries its own share of the total work and its own
+per-IP split and intensities::
+
+    T_phase[k]   = phase_work[k] / P_gables(phase k)
+    P_attainable = 1 / sum_k(T_phase[k])
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..._validation import require_fractions_sum_to_one
+from ...errors import EvaluationError, WorkloadError
+from ..gables import evaluate
+from ..params import SoCSpec, Workload
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One concurrent phase: a share of the work plus its Gables split.
+
+    Parameters
+    ----------
+    work:
+        This phase's share of the total usecase work, in (0, 1].
+        Phase shares across a :class:`PhasedUsecase` must sum to one.
+    workload:
+        How the phase's work divides among IPs (a normalized
+        :class:`~repro.core.params.Workload` — its fractions are
+        *within-phase* fractions).
+    name:
+        Label for reports.
+    """
+
+    work: float
+    workload: Workload
+    name: str = "phase"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.work <= 1:
+            raise WorkloadError(
+                f"phase {self.name!r} work must lie in (0, 1], got {self.work!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PhasedUsecase:
+    """An ordered sequence of serialized concurrent phases."""
+
+    phases: tuple
+    name: str = "phased-usecase"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.phases, tuple):
+            object.__setattr__(self, "phases", tuple(self.phases))
+        if not self.phases:
+            raise WorkloadError("PhasedUsecase needs at least one phase")
+        n_ips = {phase.workload.n_ips for phase in self.phases}
+        if len(n_ips) != 1:
+            raise WorkloadError(
+                f"all phases must cover the same IP count, got {sorted(n_ips)!r}"
+            )
+        require_fractions_sum_to_one(
+            [phase.work for phase in self.phases], "phase works"
+        )
+
+    @property
+    def n_ips(self) -> int:
+        """IP count every phase's workload covers."""
+        return self.phases[0].workload.n_ips
+
+    @classmethod
+    def single(cls, workload: Workload, name: str = "concurrent") -> "PhasedUsecase":
+        """A one-phase usecase — exactly base (concurrent) Gables."""
+        return cls(phases=(Phase(1.0, workload),), name=name)
+
+
+@dataclass(frozen=True)
+class PhasedResult:
+    """Evaluation of a phased usecase.
+
+    Attributes
+    ----------
+    attainable:
+        Overall ops/s upper bound across the phase sequence.
+    phase_results:
+        ``(phase, GablesResult)`` pairs in execution order.
+    phase_times:
+        Seconds each phase contributes per unit of total work.
+    bottleneck_phase:
+        Name of the phase consuming the largest share of the runtime.
+    """
+
+    attainable: float
+    phase_results: tuple
+    phase_times: tuple
+    bottleneck_phase: str
+
+    def phase_share(self) -> dict:
+        """Fraction of total runtime spent in each phase, by name."""
+        total = math.fsum(self.phase_times)
+        return {
+            phase.name: t / total
+            for (phase, _), t in zip(self.phase_results, self.phase_times)
+        }
+
+
+def evaluate_phases(soc: SoCSpec, usecase: PhasedUsecase) -> PhasedResult:
+    """Evaluate a phased usecase: concurrent within, serial across.
+
+    Phase ``k`` contributes time ``work_k / P_k`` where ``P_k`` is the
+    base-Gables attainable performance of its within-phase workload;
+    the usecase's attainable performance is the reciprocal of the sum.
+    """
+    if usecase.n_ips != soc.n_ips:
+        raise WorkloadError(
+            f"usecase covers {usecase.n_ips} IPs but SoC has {soc.n_ips}"
+        )
+    results = []
+    times = []
+    for phase in usecase.phases:
+        result = evaluate(soc, phase.workload)
+        results.append((phase, result))
+        times.append(phase.work / result.attainable)
+    total = math.fsum(times)
+    if total <= 0:
+        raise EvaluationError("phased usecase takes zero time")
+    slowest = max(range(len(times)), key=lambda k: times[k])
+    return PhasedResult(
+        attainable=1.0 / total,
+        phase_results=tuple(results),
+        phase_times=tuple(times),
+        bottleneck_phase=usecase.phases[slowest].name,
+    )

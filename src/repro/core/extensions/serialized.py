@@ -1,0 +1,100 @@
+"""Exclusive/serialized work extension (paper Section V-C).
+
+Base Gables assumes all IPs run *concurrently*.  This extension models
+the opposite regime — only one IP active at a time, generalizing
+Amdahl's Law and matching MultiAmdahl's computational assumptions, but
+with data transfer times included (which neither of those models has).
+
+Each IP still overlaps its own compute with its own data movement, but
+because nothing else runs, its off-chip transfer now competes only with
+itself, adding a ``Di / Bpeak`` term to its time:
+
+    T'_IP[i] = max(Di / Bpeak, Di / Bi, Ci)             (Equation 18)
+
+and the usecase time is the *sum* of the per-IP times (no overlap
+across IPs), with the separate memory term dropped because off-chip
+transfer is already accounted inside each ``T'``:
+
+    P_attainable = 1 / (T'_IP[0] + ... + T'_IP[N-1])    (Equation 19)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from ...errors import EvaluationError
+from ..gables import ip_terms
+from ..params import SoCSpec, Workload
+from ..result import GablesResult, pick_bottleneck
+
+
+def serialized_ip_times(soc: SoCSpec, workload: Workload) -> tuple:
+    """Per-IP serialized terms ``T'_IP[i]`` (Equation 18).
+
+    Returns :class:`~repro.core.result.IPTerm` tuples whose ``time``
+    and ``perf_bound`` reflect the serialized formulation.  The
+    ``limiter`` field distinguishes ``"memory"`` (the new ``Di/Bpeak``
+    term binding) from ``"bandwidth"`` (the IP link) and ``"compute"``.
+    """
+    terms = []
+    for term in ip_terms(soc, workload):
+        dram_time = term.data_bytes / soc.memory_bandwidth
+        time = max(dram_time, term.transfer_time, term.compute_time)
+        if term.fraction == 0:
+            limiter = "idle"
+            perf_bound = None
+        elif time == dram_time and dram_time > max(
+            term.transfer_time, term.compute_time
+        ):
+            limiter = "memory"
+            perf_bound = math.inf if time == 0 else 1.0 / time
+        else:
+            limiter = term.limiter
+            perf_bound = math.inf if time == 0 else 1.0 / time
+        terms.append(replace(term, time=time, perf_bound=perf_bound, limiter=limiter))
+    return tuple(terms)
+
+
+def evaluate_serialized(soc: SoCSpec, workload: Workload) -> GablesResult:
+    """Evaluate the serialized-work model (Equations 18-19).
+
+    The result reuses :class:`~repro.core.result.GablesResult` with the
+    conventions: ``memory_time`` is 0 (folded into the per-IP terms),
+    the ``attainable`` is ``1 / sum(T')``, and the ``bottleneck`` is
+    the IP contributing the largest share of the serialized runtime.
+    """
+    terms = serialized_ip_times(soc, workload)
+    total_time = math.fsum(term.time for term in terms)
+    if total_time <= 0:
+        raise EvaluationError("serialized usecase takes zero time")
+
+    times = {term.name: term.time for term in terms}
+    primary, binding = pick_bottleneck(times)
+
+    return GablesResult(
+        ip_terms=terms,
+        memory_time=0.0,
+        memory_perf_bound=math.inf,
+        average_intensity=workload.average_intensity(),
+        attainable=1.0 / total_time,
+        bottleneck=primary,
+        binding_components=binding,
+    )
+
+
+def concurrency_benefit(soc: SoCSpec, workload: Workload) -> float:
+    """Speedup of concurrent execution over serialized execution.
+
+    ``P_concurrent / P_serialized >= 1`` always: running IPs in parallel
+    can only help under bottleneck analysis.  (The concurrent model
+    charges the *shared* memory interface with all traffic at once,
+    yet max() of the component times still never exceeds their sum.)
+    A value near 1 means the usecase is dominated by a single component
+    and concurrency buys nothing — useful early-design signal.
+    """
+    from ..gables import evaluate  # local import to avoid cycle at module load
+
+    concurrent = evaluate(soc, workload).attainable
+    serialized = evaluate_serialized(soc, workload).attainable
+    return concurrent / serialized

@@ -1,0 +1,156 @@
+"""The classic Roofline model [Williams, Waterman, Patterson, CACM'09].
+
+Gables builds on Roofline: every IP on the SoC gets one of these, and
+the memory interface contributes a slanted-only roofline.  This module
+implements the original single-chip model — peak performance ``Ppeak``,
+peak memory bandwidth ``Bpeak``, and optional *ceilings* (lesser bounds
+from missing optimizations such as no-SIMD or no-prefetch) — both for
+its own sake (paper Fig. 1) and as the per-IP building block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .._validation import require_finite_positive, require_positive
+from ..errors import SpecError
+from .curves import RooflineCurve
+
+
+@dataclass(frozen=True)
+class Ceiling:
+    """A lesser bound below the roofline's outermost roof.
+
+    A *compute* ceiling caps performance (e.g. "no SIMD": 1/8 of peak);
+    a *bandwidth* ceiling caps the slanted segment (e.g. "no prefetch").
+    """
+
+    name: str
+    kind: str  # "compute" | "bandwidth"
+    value: float  # ops/s for compute, bytes/s for bandwidth
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("compute", "bandwidth"):
+            raise SpecError(f"ceiling kind must be compute|bandwidth, got {self.kind!r}")
+        require_finite_positive(self.value, f"ceiling {self.name!r} value")
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A single-processor roofline with optional ceilings.
+
+    Parameters
+    ----------
+    peak_perf:
+        Peak computation rate, ops/s (the flat roof).
+    peak_bandwidth:
+        Peak memory bandwidth, bytes/s (the slanted roof).
+    ceilings:
+        Optional lesser bounds; see :class:`Ceiling`.
+    name:
+        Label for reports and plots.
+    """
+
+    peak_perf: float
+    peak_bandwidth: float
+    ceilings: tuple = field(default_factory=tuple)
+    name: str = "roofline"
+
+    def __post_init__(self) -> None:
+        require_finite_positive(self.peak_perf, "peak_perf")
+        require_positive(self.peak_bandwidth, "peak_bandwidth")
+        if not isinstance(self.ceilings, tuple):
+            object.__setattr__(self, "ceilings", tuple(self.ceilings))
+        for ceiling in self.ceilings:
+            if not isinstance(ceiling, Ceiling):
+                raise SpecError("ceilings must contain Ceiling instances")
+            if ceiling.kind == "compute" and ceiling.value > self.peak_perf:
+                raise SpecError(
+                    f"compute ceiling {ceiling.name!r} exceeds peak_perf"
+                )
+            if ceiling.kind == "bandwidth" and ceiling.value > self.peak_bandwidth:
+                raise SpecError(
+                    f"bandwidth ceiling {ceiling.name!r} exceeds peak_bandwidth"
+                )
+
+    @property
+    def ridge_point(self) -> float:
+        """Intensity (ops/byte) where memory and compute bounds meet."""
+        if math.isinf(self.peak_bandwidth):
+            return 0.0
+        return self.peak_perf / self.peak_bandwidth
+
+    def attainable(self, intensity: float) -> float:
+        """``min(Ppeak, Bpeak * I)`` — the roofline bound at ``I``."""
+        require_positive(intensity, "intensity")
+        if math.isinf(intensity):
+            return self.peak_perf
+        return min(self.peak_perf, self.peak_bandwidth * intensity)
+
+    def attainable_under(self, intensity: float, *ceiling_names: str) -> float:
+        """Bound at ``I`` when only the named ceilings are overcome.
+
+        Ceilings not named remain in force; this answers questions like
+        "what do I get before enabling SIMD?".
+        """
+        named = set(ceiling_names)
+        unknown = named - {c.name for c in self.ceilings}
+        if unknown:
+            raise SpecError(f"unknown ceilings: {sorted(unknown)!r}")
+        perf = self.peak_perf
+        bandwidth = self.peak_bandwidth
+        for ceiling in self.ceilings:
+            if ceiling.name in named:
+                continue
+            if ceiling.kind == "compute":
+                perf = min(perf, ceiling.value)
+            else:
+                bandwidth = min(bandwidth, ceiling.value)
+        if math.isinf(intensity):
+            return perf
+        return min(perf, bandwidth * intensity)
+
+    def is_memory_bound(self, intensity: float) -> bool:
+        """True when the bandwidth segment binds at ``intensity``."""
+        return intensity < self.ridge_point
+
+    def curve(self, scale: float = 1.0, name: str | None = None) -> RooflineCurve:
+        """This roofline as a (possibly scaled) plottable curve."""
+        return RooflineCurve(
+            name=name or self.name,
+            slope=self.peak_bandwidth,
+            roof=self.peak_perf,
+            scale=scale,
+        )
+
+    def ceiling_curves(self) -> tuple:
+        """One curve per ceiling, each capped by that single ceiling."""
+        curves = []
+        for ceiling in self.ceilings:
+            if ceiling.kind == "compute":
+                curves.append(
+                    RooflineCurve(
+                        name=f"{self.name}: {ceiling.name}",
+                        slope=self.peak_bandwidth,
+                        roof=ceiling.value,
+                    )
+                )
+            else:
+                curves.append(
+                    RooflineCurve(
+                        name=f"{self.name}: {ceiling.name}",
+                        slope=ceiling.value,
+                        roof=self.peak_perf,
+                    )
+                )
+        return tuple(curves)
+
+
+def machine_balance(roofline: Roofline) -> float:
+    """Machine balance (ops/byte): synonym for the ridge point.
+
+    Software with intensity below the machine balance cannot saturate
+    the compute units no matter how well it is tuned.
+    """
+    return roofline.ridge_point

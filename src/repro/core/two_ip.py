@@ -1,0 +1,133 @@
+"""The two-IP Gables primer (paper Section III-B and Figure 6).
+
+A thin, heavily-documented convenience layer over the N-IP model for
+the pedagogical two-IP SoC: IP[0] is the CPU complex (``Ppeak``, link
+``B0``) and IP[1] an accelerator (``A * Ppeak``, link ``B1``).  A
+usecase assigns ``1 - f`` work at intensity ``I0`` to the CPU and ``f``
+at ``I1`` to the accelerator.
+
+The module also ships the exact parameter sets of the paper's Figure 6
+walkthrough (reproduced numerically in the paper's appendix), which the
+benchmark harness asserts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import GIGA
+from .gables import evaluate
+from .params import SoCSpec, Workload
+from .result import GablesResult
+
+
+@dataclass(frozen=True)
+class TwoIPScenario:
+    """One fully-specified two-IP design point (hardware + usecase)."""
+
+    name: str
+    peak_perf: float  # Ppeak, ops/s
+    memory_bandwidth: float  # Bpeak, bytes/s
+    acceleration: float  # A1
+    cpu_bandwidth: float  # B0, bytes/s
+    acc_bandwidth: float  # B1, bytes/s
+    i0: float  # ops/byte at IP[0]
+    i1: float  # ops/byte at IP[1]
+    f: float  # fraction of work at IP[1]
+
+    def soc(self) -> SoCSpec:
+        """The hardware half of the scenario."""
+        return SoCSpec.two_ip(
+            peak_perf=self.peak_perf,
+            memory_bandwidth=self.memory_bandwidth,
+            acceleration=self.acceleration,
+            cpu_bandwidth=self.cpu_bandwidth,
+            acc_bandwidth=self.acc_bandwidth,
+            cpu_name="CPU",
+            acc_name="GPU",
+            name=self.name,
+        )
+
+    def workload(self) -> Workload:
+        """The software half of the scenario."""
+        return Workload.two_ip(f=self.f, i0=self.i0, i1=self.i1, name=self.name)
+
+    def evaluate(self) -> GablesResult:
+        """Run the base Gables model on this scenario."""
+        return evaluate(self.soc(), self.workload())
+
+
+def evaluate_two_ip(
+    peak_perf: float,
+    memory_bandwidth: float,
+    acceleration: float,
+    cpu_bandwidth: float,
+    acc_bandwidth: float,
+    i0: float,
+    i1: float,
+    f: float,
+) -> GablesResult:
+    """One-call two-IP evaluation with the paper's parameter names.
+
+    Mirrors the appendix formulae::
+
+        1/T_IP[0]   = min(B0 * I0, Ppeak) / (1 - f)        (f != 1)
+        1/T_IP[1]   = min(B1 * I1, A1 * Ppeak) / f          (f != 0)
+        1/T_memory  = Bpeak * Iavg,
+                      Iavg = 1 / ((1 - f)/I0 + f/I1)
+        P_attainable = min(of the above)
+    """
+    scenario = TwoIPScenario(
+        name="two-ip",
+        peak_perf=peak_perf,
+        memory_bandwidth=memory_bandwidth,
+        acceleration=acceleration,
+        cpu_bandwidth=cpu_bandwidth,
+        acc_bandwidth=acc_bandwidth,
+        i0=i0,
+        i1=i1,
+        f=f,
+    )
+    return scenario.evaluate()
+
+
+def _figure6(name: str, bpeak_gb: float, i1: float, f: float) -> TwoIPScenario:
+    """Shared hardware of the Fig. 6 walkthrough with the stated deltas."""
+    return TwoIPScenario(
+        name=name,
+        peak_perf=40 * GIGA,
+        memory_bandwidth=bpeak_gb * GIGA,
+        acceleration=5.0,
+        cpu_bandwidth=6 * GIGA,
+        acc_bandwidth=15 * GIGA,
+        i0=8.0,
+        i1=i1,
+        f=f,
+    )
+
+
+#: Figure 6a: all work on the CPU; attainable 40 Gops/s (CPU-bound).
+FIGURE_6A = _figure6("fig6a", bpeak_gb=10, i1=0.1, f=0.0)
+
+#: Figure 6b: offload f=0.75 to the low-reuse GPU; attainable collapses
+#: to ~1.33 Gops/s (memory-bound).
+FIGURE_6B = _figure6("fig6b", bpeak_gb=10, i1=0.1, f=0.75)
+
+#: Figure 6c: raise Bpeak to 30 GB/s; only 2 Gops/s (GPU-link-bound).
+FIGURE_6C = _figure6("fig6c", bpeak_gb=30, i1=0.1, f=0.75)
+
+#: Figure 6d: raise GPU reuse to I1=8 and trim Bpeak to 20 GB/s;
+#: 160 Gops/s with all three rooflines equal — a balanced design.
+FIGURE_6D = _figure6("fig6d", bpeak_gb=20, i1=8.0, f=0.75)
+
+#: The walkthrough in paper order.
+FIGURE_6_SEQUENCE = (FIGURE_6A, FIGURE_6B, FIGURE_6C, FIGURE_6D)
+
+#: Attainable performance the paper's appendix reports for each step
+#: (Gops/s, quoted at the appendix's printed precision).
+FIGURE_6_EXPECTED_GOPS = {
+    "fig6a": 40.0,
+    "fig6b": 1.3278,
+    "fig6c": 2.0,
+    "fig6d": 160.0,
+}

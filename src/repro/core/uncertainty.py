@@ -1,0 +1,235 @@
+"""Interval propagation through the Gables model.
+
+Early-stage parameters are guesses: pre-silicon `Bi` comes off a spec
+sheet, `Ii` from back-of-envelope reuse arguments, `Bpeak` from a DRAM
+part not yet chosen.  This module propagates *ranges* instead of point
+values and returns a guaranteed interval on attainable performance.
+
+The key observation making this exact (not just first-order): for
+fixed work fractions, ``P_attainable`` is monotone **non-decreasing**
+in every remaining input — ``Ppeak``, ``Bpeak``, every ``Ai``, every
+``Bi``, and every ``Ii`` (more reuse means less data moved).  The
+interval bound is therefore just two evaluations: all-pessimistic and
+all-optimistic.  (Work fractions are *not* monotone — the whole point
+of Figure 8 — so they stay fixed here; sweep them explicitly with
+:mod:`repro.explore`.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_positive
+from ..errors import SpecError, WorkloadError
+from .gables import evaluate
+from .params import IPBlock, SoCSpec, Workload
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` with ``0 < lo <= hi``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.lo, "interval lo")
+        require_positive(self.hi, "interval hi")
+        if self.lo > self.hi:
+            raise SpecError(f"interval lo {self.lo!r} exceeds hi {self.hi!r}")
+
+    @classmethod
+    def exact(cls, value: float) -> "Interval":
+        """A degenerate (point) interval."""
+        return cls(value, value)
+
+    @classmethod
+    def pct(cls, value: float, plus_minus_percent: float) -> "Interval":
+        """``value`` with a symmetric relative uncertainty.
+
+        ``Interval.pct(10e9, 20)`` is ``[8e9, 12e9]``.
+        """
+        if not 0 <= plus_minus_percent < 100:
+            raise SpecError(
+                f"plus_minus_percent must lie in [0, 100), got "
+                f"{plus_minus_percent!r}"
+            )
+        delta = value * plus_minus_percent / 100.0
+        return cls(value - delta, value + delta)
+
+    @property
+    def width_ratio(self) -> float:
+        """``hi / lo`` — the interval's multiplicative width."""
+        if math.isinf(self.hi):
+            return math.inf
+        return self.hi / self.lo
+
+
+@dataclass(frozen=True)
+class UncertainSoC:
+    """An SoC whose hardware numbers are intervals.
+
+    Parameters mirror :class:`~repro.core.params.SoCSpec` with every
+    rate replaced by an :class:`Interval`; ``accelerations[0]`` must be
+    the exact interval [1, 1].
+    """
+
+    peak_perf: Interval
+    memory_bandwidth: Interval
+    accelerations: tuple
+    bandwidths: tuple
+    ip_names: tuple
+    name: str = "uncertain-soc"
+
+    def __post_init__(self) -> None:
+        for field_name in ("accelerations", "bandwidths", "ip_names"):
+            value = getattr(self, field_name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, field_name, tuple(value))
+        n = len(self.ip_names)
+        if len(self.accelerations) != n or len(self.bandwidths) != n:
+            raise SpecError(
+                "accelerations, bandwidths and ip_names must align"
+            )
+        if n < 1:
+            raise SpecError("UncertainSoC needs at least one IP")
+        first = self.accelerations[0]
+        if first.lo != 1.0 or first.hi != 1.0:
+            raise SpecError("IP[0] acceleration must be exactly [1, 1]")
+
+    @classmethod
+    def from_spec(cls, soc: SoCSpec, plus_minus_percent: float
+                  ) -> "UncertainSoC":
+        """Blanket symmetric uncertainty on every rate of a point SoC."""
+        return cls(
+            peak_perf=Interval.pct(soc.peak_perf, plus_minus_percent),
+            memory_bandwidth=Interval.pct(
+                soc.memory_bandwidth, plus_minus_percent
+            ),
+            accelerations=tuple(
+                Interval.exact(1.0) if i == 0
+                else Interval.pct(ip.acceleration, plus_minus_percent)
+                for i, ip in enumerate(soc.ips)
+            ),
+            bandwidths=tuple(
+                Interval.exact(ip.bandwidth) if math.isinf(ip.bandwidth)
+                else Interval.pct(ip.bandwidth, plus_minus_percent)
+                for ip in soc.ips
+            ),
+            ip_names=soc.ip_names,
+            name=f"{soc.name}±{plus_minus_percent:g}%",
+        )
+
+    def corner(self, optimistic: bool) -> SoCSpec:
+        """The all-lo or all-hi concrete SoC."""
+        pick = (lambda iv: iv.hi) if optimistic else (lambda iv: iv.lo)
+        ips = tuple(
+            IPBlock(name, pick(accel), pick(bandwidth))
+            for name, accel, bandwidth in zip(
+                self.ip_names, self.accelerations, self.bandwidths
+            )
+        )
+        return SoCSpec(
+            peak_perf=pick(self.peak_perf),
+            memory_bandwidth=pick(self.memory_bandwidth),
+            ips=ips,
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class UncertainWorkload:
+    """A workload with interval intensities (fractions stay exact)."""
+
+    fractions: tuple
+    intensities: tuple  # Intervals
+    name: str = "uncertain-usecase"
+
+    def __post_init__(self) -> None:
+        for field_name in ("fractions", "intensities"):
+            value = getattr(self, field_name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, field_name, tuple(value))
+        if len(self.fractions) != len(self.intensities):
+            raise WorkloadError("fractions and intensities must align")
+
+    @classmethod
+    def from_workload(cls, workload: Workload, plus_minus_percent: float
+                      ) -> "UncertainWorkload":
+        """Blanket symmetric uncertainty on every intensity."""
+        return cls(
+            fractions=workload.fractions,
+            intensities=tuple(
+                Interval.exact(i) if math.isinf(i)
+                else Interval.pct(i, plus_minus_percent)
+                for i in workload.intensities
+            ),
+            name=f"{workload.name}±{plus_minus_percent:g}%",
+        )
+
+    def corner(self, optimistic: bool) -> Workload:
+        """The all-lo or all-hi concrete workload."""
+        pick = (lambda iv: iv.hi) if optimistic else (lambda iv: iv.lo)
+        return Workload(
+            fractions=self.fractions,
+            intensities=tuple(pick(iv) for iv in self.intensities),
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class IntervalResult:
+    """Guaranteed bounds on attainable performance.
+
+    ``pessimistic``/``optimistic`` carry the two corner evaluations;
+    their bottlenecks may differ — when they do, the uncertainty spans
+    a design-regime boundary, the most actionable warning the interval
+    analysis produces.
+    """
+
+    lo: float
+    hi: float
+    pessimistic_bottleneck: str
+    optimistic_bottleneck: str
+
+    @property
+    def width_ratio(self) -> float:
+        """``hi / lo`` — how much the guess-quality matters."""
+        return self.hi / self.lo
+
+    @property
+    def regime_stable(self) -> bool:
+        """True when both corners bind on the same component."""
+        return self.pessimistic_bottleneck == self.optimistic_bottleneck
+
+
+def evaluate_interval(
+    soc: UncertainSoC, workload: UncertainWorkload
+) -> IntervalResult:
+    """Exact bounds on ``P_attainable`` over the parameter box.
+
+    Correct by monotonicity: with fractions fixed, attainable
+    performance is non-decreasing in every interval-valued input, so
+    the extremes occur at the all-lo and all-hi corners.
+    """
+    pessimistic = evaluate(soc.corner(False), workload.corner(False))
+    optimistic = evaluate(soc.corner(True), workload.corner(True))
+    return IntervalResult(
+        lo=pessimistic.attainable,
+        hi=optimistic.attainable,
+        pessimistic_bottleneck=pessimistic.bottleneck,
+        optimistic_bottleneck=optimistic.bottleneck,
+    )
+
+
+def evaluate_with_margin(
+    soc: SoCSpec,
+    workload: Workload,
+    plus_minus_percent: float,
+) -> IntervalResult:
+    """One-call blanket-uncertainty interval for a point design."""
+    return evaluate_interval(
+        UncertainSoC.from_spec(soc, plus_minus_percent),
+        UncertainWorkload.from_workload(workload, plus_minus_percent),
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Gables reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause
+while still being able to distinguish configuration problems from
+evaluation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecError(ReproError, ValueError):
+    """A hardware specification is malformed or inconsistent.
+
+    Raised when constructing or validating :class:`repro.core.SoCSpec`
+    and related hardware description objects (e.g. a negative bandwidth,
+    an acceleration ``A0 != 1`` for IP[0], or a bus matrix whose shape
+    does not match the IP count).
+    """
+
+
+class WorkloadError(ReproError, ValueError):
+    """A software usecase description is malformed.
+
+    Raised for invalid work fractions (negative, or not summing to one),
+    non-positive operational intensities, or a workload whose IP count
+    does not match the SoC it is evaluated against.
+    """
+
+
+class EvaluationError(ReproError, RuntimeError):
+    """Model evaluation could not produce a well-defined answer."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulated SoC substrate reached an inconsistent state."""
+
+
+class FittingError(ReproError, RuntimeError):
+    """Empirical roofline extraction failed (e.g. too few samples)."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A document could not be encoded to or decoded from JSON."""

@@ -1,0 +1,42 @@
+"""Empirical Roofline Toolkit driver for the simulated SoC.
+
+Reproduces the paper's Section IV methodology: sweep Algorithm 1 over
+intensity and footprint grids on one engine (:func:`run_sweep`),
+extract the attained ceilings (:func:`fit_roofline`), and derive the
+Gables hardware parameters from the measurements
+(:func:`acceleration_between`, :func:`gables_parameter_table`).
+"""
+
+from .fitting import (
+    EmpiricalRoofline,
+    acceleration_between,
+    fit_roofline,
+    optimistic_roofline,
+    pessimism_ratio,
+)
+from .report import gables_parameter_table, roofline_summary, sweep_table
+from .sweep import (
+    DEFAULT_FOOTPRINTS,
+    DEFAULT_INTENSITIES,
+    VARIANT_BY_ENGINE,
+    RooflineSample,
+    SweepResult,
+    run_sweep,
+)
+
+__all__ = [
+    "DEFAULT_FOOTPRINTS",
+    "DEFAULT_INTENSITIES",
+    "EmpiricalRoofline",
+    "RooflineSample",
+    "SweepResult",
+    "VARIANT_BY_ENGINE",
+    "acceleration_between",
+    "fit_roofline",
+    "gables_parameter_table",
+    "optimistic_roofline",
+    "pessimism_ratio",
+    "roofline_summary",
+    "run_sweep",
+    "sweep_table",
+]

@@ -1,0 +1,156 @@
+"""Empirical roofline sweep driver (paper Section IV-A).
+
+Following the Empirical Roofline Toolkit methodology the paper adopted,
+the driver runs Algorithm 1 across a grid of operational intensities
+(the unroll ladder) and array footprints (cache sweep) on one simulated
+engine, recording attained GFLOP/s per configuration.  The resulting
+samples are the *pessimistic* roofline estimate the paper argues for:
+attainable-by-construction, possibly below the true ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SpecError
+from ..sim.kernel import KernelSpec
+from ..sim.platform import SimulatedSoC
+from ..units import KIB
+
+#: Default intensity ladder: 1/16 to 1024 ops/byte in powers of two.
+DEFAULT_INTENSITIES = tuple(2.0**k for k in range(-4, 11))
+
+#: Default footprint ladder: 16 KiB to 512 MiB in powers of four.
+DEFAULT_FOOTPRINTS = tuple(16 * KIB * 4**k for k in range(8))
+
+#: Which kernel variant the paper used per engine kind.
+VARIANT_BY_ENGINE = {"CPU": "inplace", "GPU": "stream", "DSP": "inplace"}
+
+
+@dataclass(frozen=True)
+class RooflineSample:
+    """One (footprint, intensity) measurement."""
+
+    engine: str
+    elements: int
+    footprint_bytes: float
+    intensity: float
+    gflops: float
+    service_level: str
+
+    @property
+    def attained_bandwidth(self) -> float:
+        """Bytes/s implied by the attained rate and the intensity."""
+        return self.gflops * 1e9 / self.intensity
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All samples of one engine's empirical sweep."""
+
+    engine: str
+    variant: str
+    simd: bool
+    samples: tuple
+
+    def at_intensity(self, intensity: float) -> tuple:
+        """Samples of one intensity column, ordered by footprint."""
+        selected = [s for s in self.samples if s.intensity == intensity]
+        return tuple(sorted(selected, key=lambda s: s.footprint_bytes))
+
+    def dram_samples(self) -> tuple:
+        """Samples whose working set spilled to DRAM."""
+        return tuple(s for s in self.samples if s.service_level == "DRAM")
+
+    def intensities(self) -> tuple:
+        """Distinct intensities measured, ascending."""
+        return tuple(sorted({s.intensity for s in self.samples}))
+
+    def max_gflops(self) -> float:
+        """Best attained rate anywhere in the sweep."""
+        return max(s.gflops for s in self.samples)
+
+
+def run_sweep(
+    platform: SimulatedSoC,
+    engine: str,
+    intensities=DEFAULT_INTENSITIES,
+    footprints=DEFAULT_FOOTPRINTS,
+    variant: str | None = None,
+    simd: bool = False,
+    repeats: int = 1,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> SweepResult:
+    """Measure one engine's empirical roofline on a simulated platform.
+
+    Parameters
+    ----------
+    platform, engine:
+        Where to run.
+    intensities:
+        Ops/byte ladder (the compiled-in unroll depths).
+    footprints:
+        Working-set sizes in bytes; each is converted to an element
+        count for the engine's kernel variant.
+    variant:
+        Kernel traffic shape; defaults to the paper's choice for the
+        engine name (stream for GPUs, in-place update otherwise).
+    simd:
+        Vector-compile the kernel (the paper's NEON aside).
+    repeats:
+        Runs per configuration; the **best** run is kept, mirroring
+        the paper's methodology ("repeatedly benchmark this kernel ...
+        to seek the best achievable performance").
+    noise:
+        Relative one-sided measurement degradation (0.05 = runs lose
+        up to ~5% to interference).  Noise only ever *reduces* attained
+        performance — the pessimistic-estimate framing — and is drawn
+        from a seeded RNG so sweeps stay reproducible.
+    """
+    if not intensities:
+        raise SpecError("need at least one intensity")
+    if not footprints:
+        raise SpecError("need at least one footprint")
+    if repeats < 1:
+        raise SpecError(f"repeats must be >= 1, got {repeats}")
+    if noise < 0 or noise >= 1:
+        raise SpecError(f"noise must lie in [0, 1), got {noise!r}")
+    rng = None
+    if noise > 0:
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+    variant = variant or VARIANT_BY_ENGINE.get(engine, "inplace")
+    samples = []
+    for footprint in footprints:
+        # The stream variant keeps two arrays resident; size each so the
+        # *total* footprint matches the requested working set.
+        arrays = 2 if variant == "stream" else 1
+        elements = max(1, int(footprint / (4 * arrays)))
+        for intensity in intensities:
+            kernel = KernelSpec(
+                elements=elements, variant=variant, simd=simd
+            ).with_intensity(intensity)
+            best_gflops = 0.0
+            service_level = "DRAM"
+            for _ in range(repeats):
+                result = platform.run_kernel(engine, kernel)
+                observed = result.gflops
+                if rng is not None:
+                    observed *= 1.0 - noise * float(rng.random())
+                if observed > best_gflops:
+                    best_gflops = observed
+                    service_level = result.service_level
+            samples.append(
+                RooflineSample(
+                    engine=engine,
+                    elements=elements,
+                    footprint_bytes=kernel.footprint_bytes,
+                    intensity=intensity,
+                    gflops=best_gflops,
+                    service_level=service_level,
+                )
+            )
+    return SweepResult(engine=engine, variant=variant, simd=simd,
+                       samples=tuple(samples))

@@ -1,0 +1,95 @@
+"""Design-space exploration on top of the Gables model.
+
+- :mod:`.sweep` — 1-D parameter sweeps with bottleneck transitions;
+- :mod:`.balance` — balanced-design solvers (sufficient ``Bpeak``,
+  required reuse, optimal work split, slack reports);
+- :mod:`.sensitivity` — elasticity of attainable performance to every
+  hardware knob;
+- :mod:`.ranking` — SoC down-selection over a usecase portfolio
+  (worst-case, not average — the paper's criterion);
+- :mod:`.pareto` — cost/performance frontiers;
+- :mod:`.synthesis` — exact minimal-SoC synthesis for a portfolio of
+  quality floors (the inverse Gables question).
+"""
+
+from .balance import (
+    balance_report,
+    intensity_for_balance,
+    is_over_provisioned,
+    minimum_sufficient_bandwidth,
+    optimal_fraction,
+)
+from .pareto import (
+    DesignPoint,
+    default_cost_model,
+    explore_bandwidth_frontier,
+    pareto_front,
+)
+from .ranking import CandidateScore, UsecaseRequirement, rank_socs, score_candidate
+from .scaling import (
+    DriftPoint,
+    TechnologyTrend,
+    bottleneck_drift,
+    project_soc,
+    years_until_memory_bound,
+)
+from .sensitivity import SensitivityReport, sensitivity
+from .synthesis import (
+    SynthesizedDesign,
+    cost_of_design,
+    required_bandwidths,
+    synthesize_soc,
+)
+from .sweep2d import (
+    GridCell,
+    SweepGrid,
+    analytic_mixing_grid,
+    sweep_grid,
+)
+from .sweep import (
+    SweepPoint,
+    SweepSeries,
+    sweep_acceleration,
+    sweep_fraction,
+    sweep_intensity,
+    sweep_ip_bandwidth,
+    sweep_memory_bandwidth,
+)
+
+__all__ = [
+    "CandidateScore",
+    "DesignPoint",
+    "DriftPoint",
+    "TechnologyTrend",
+    "bottleneck_drift",
+    "project_soc",
+    "years_until_memory_bound",
+    "SensitivityReport",
+    "GridCell",
+    "SweepGrid",
+    "SweepPoint",
+    "SweepSeries",
+    "analytic_mixing_grid",
+    "sweep_grid",
+    "SynthesizedDesign",
+    "UsecaseRequirement",
+    "cost_of_design",
+    "required_bandwidths",
+    "synthesize_soc",
+    "balance_report",
+    "default_cost_model",
+    "explore_bandwidth_frontier",
+    "intensity_for_balance",
+    "is_over_provisioned",
+    "minimum_sufficient_bandwidth",
+    "optimal_fraction",
+    "pareto_front",
+    "rank_socs",
+    "score_candidate",
+    "sensitivity",
+    "sweep_acceleration",
+    "sweep_fraction",
+    "sweep_intensity",
+    "sweep_ip_bandwidth",
+    "sweep_memory_bandwidth",
+]

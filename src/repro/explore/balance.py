@@ -1,0 +1,139 @@
+"""Balanced-design solvers (the Fig. 6d endgame).
+
+The paper's walkthrough ends at a *perfectly balanced* design: all
+three rooflines equal at the operating intensity, with no component
+over-provisioned.  These solvers automate the steps the authors did by
+hand:
+
+- :func:`minimum_sufficient_bandwidth` — the smallest ``Bpeak`` that
+  keeps memory from binding (Fig. 6d trimmed 30 GB/s down to 20);
+- :func:`intensity_for_balance` — the reuse an IP must achieve so its
+  link stops binding (Fig. 6d raised ``I1`` from 0.1 to 8);
+- :func:`optimal_fraction` — the work split maximizing attainable
+  performance on a two-IP SoC;
+- :func:`balance_report` — which components are over-provisioned, and
+  by how much, for a given design point.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.gables import evaluate, ip_terms
+from ..core.params import SoCSpec, Workload
+from ..errors import EvaluationError, SpecError
+
+
+def minimum_sufficient_bandwidth(soc: SoCSpec, workload: Workload) -> float:
+    """Smallest ``Bpeak`` at which memory is not the (sole) bottleneck.
+
+    Memory time is ``sum(Di) / Bpeak``; the slowest non-memory
+    component takes ``T* = max(T_IP[i])``.  Any ``Bpeak >= sum(Di)/T*``
+    leaves attainable performance unchanged — spending more is pure
+    cost without benefit, the Fig. 6c trap.
+    """
+    terms = ip_terms(soc, workload)
+    total_bytes = math.fsum(term.data_bytes for term in terms)
+    if total_bytes == 0:
+        raise EvaluationError("usecase moves no data; any Bpeak is sufficient")
+    slowest_ip = max(term.time for term in terms)
+    if slowest_ip <= 0:
+        raise EvaluationError("degenerate usecase: no IP takes time")
+    return total_bytes / slowest_ip
+
+
+def intensity_for_balance(soc: SoCSpec, workload: Workload, ip_index: int) -> float:
+    """Reuse IP ``ip_index`` needs so its *link* no longer binds it.
+
+    The IP's transfer time ``(fi / Ii) / Bi`` drops below its compute
+    time ``fi / (Ai * Ppeak)`` once ``Ii >= Ai * Ppeak / Bi`` — the
+    IP's own ridge point.  This is hardware-and-software work ("easier
+    said than done", per the paper): more local memory *and* an
+    algorithm that uses it.
+    """
+    if not 0 <= ip_index < soc.n_ips:
+        raise SpecError(f"ip_index {ip_index} out of range for N={soc.n_ips}")
+    ip = soc.ips[ip_index]
+    if math.isinf(ip.bandwidth):
+        return 0.0  # an unconstrained link never binds
+    return soc.ip_peak(ip_index) / ip.bandwidth
+
+
+def optimal_fraction(
+    soc: SoCSpec,
+    workload: Workload,
+    ip_index: int = 1,
+    resolution: int = 4096,
+) -> tuple:
+    """Work split maximizing attainable performance; ``(f*, P*)``.
+
+    Dense grid search over ``f in [0, 1]``; the objective is piecewise
+    smooth with at most a handful of breakpoints (each component's
+    bound), so a fine grid plus local refinement is exact enough for
+    model work.
+    """
+    if resolution < 8:
+        raise SpecError(f"resolution must be >= 8, got {resolution}")
+
+    def perf(f: float) -> float:
+        return evaluate(soc, workload.with_fraction_at(ip_index, f)).attainable
+
+    best_f, best_p = 0.0, -math.inf
+    for k in range(resolution + 1):
+        f = k / resolution
+        p = perf(f)
+        if p > best_p:
+            best_f, best_p = f, p
+    # Golden-section refinement around the grid winner.
+    lo = max(0.0, best_f - 1.0 / resolution)
+    hi = min(1.0, best_f + 1.0 / resolution)
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c, d = b - phi * (b - a), a + phi * (b - a)
+    for _ in range(60):
+        if perf(c) >= perf(d):
+            b = d
+        else:
+            a = c
+        c, d = b - phi * (b - a), a + phi * (b - a)
+    f_star = (a + b) / 2.0
+    p_star = perf(f_star)
+    if p_star < best_p:
+        f_star, p_star = best_f, best_p
+    return f_star, p_star
+
+
+def balance_report(soc: SoCSpec, workload: Workload) -> dict:
+    """Slack per component: 0.0 = binding, 0.9 = 90% over-provisioned.
+
+    Slack is ``1 - time/binding_time``; a balanced design (Fig. 6d)
+    has (near-)zero slack on every *active* component.  Idle IPs are
+    reported with slack 1.0 — candidates for removal in this usecase's
+    context (though other usecases may need them; Table I's point).
+    """
+    result = evaluate(soc, workload)
+    binding = max(result.component_times().values())
+    slack = {}
+    for term in result.ip_terms:
+        slack[term.name] = 1.0 if not term.active else 1.0 - term.time / binding
+    slack["memory"] = (
+        1.0 if result.memory_time == 0 else 1.0 - result.memory_time / binding
+    )
+    return slack
+
+
+def is_over_provisioned(
+    soc: SoCSpec, workload: Workload, component: str, threshold: float = 0.5
+) -> bool:
+    """True when a component has more than ``threshold`` slack.
+
+    The paper's third conjecture: estimating ``fi`` per usecase
+    "can illuminate whether an IP is over-designed to provide more
+    acceleration than is justified by the work assigned to it".
+    """
+    slack = balance_report(soc, workload)
+    if component not in slack:
+        raise SpecError(
+            f"unknown component {component!r}; known: {sorted(slack)}"
+        )
+    return slack[component] > threshold

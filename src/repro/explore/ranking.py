@@ -1,0 +1,105 @@
+"""SoC down-selection: rank candidate chips across a usecase portfolio.
+
+The paper's framing: "a consumer SoC must enable 10-20 important
+usecases ... to all run acceptably well.  The average is immaterial."
+Selection therefore scores a chip by its *worst* headroom across the
+portfolio (every usecase must clear its requirement), with the
+portfolio-wide minimum attainable as the tie-breaker — not by any mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.gables import evaluate
+from ..core.params import SoCSpec, Workload
+from ..errors import SpecError
+
+
+@dataclass(frozen=True)
+class UsecaseRequirement:
+    """One portfolio entry: a workload and the ops/s it must sustain.
+
+    ``required`` is the performance needed for acceptable quality
+    (e.g. ``ops_per_frame * target_fps``); 0 means "no hard floor".
+    """
+
+    workload: Workload
+    required: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.required < 0:
+            raise SpecError(f"required must be >= 0, got {self.required!r}")
+        if not self.name:
+            object.__setattr__(self, "name", self.workload.name)
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """One SoC's evaluation against the whole portfolio."""
+
+    soc_name: str
+    headrooms: dict  # usecase -> attainable / required (inf if no floor)
+    attainable: dict  # usecase -> ops/s
+    worst_headroom: float
+    feasible: bool  # every usecase meets its floor
+
+    def failing_usecases(self) -> tuple:
+        """Usecases whose requirement this SoC cannot meet."""
+        return tuple(
+            sorted(name for name, h in self.headrooms.items() if h < 1.0)
+        )
+
+
+def score_candidate(soc: SoCSpec, requirements) -> CandidateScore:
+    """Evaluate one SoC against every portfolio requirement."""
+    requirements = list(requirements)
+    if not requirements:
+        raise SpecError("portfolio needs at least one usecase")
+    headrooms: dict = {}
+    attainable: dict = {}
+    for requirement in requirements:
+        result = evaluate(soc, requirement.workload)
+        attainable[requirement.name] = result.attainable
+        if requirement.required == 0:
+            headrooms[requirement.name] = math.inf
+        else:
+            headrooms[requirement.name] = result.attainable / requirement.required
+    worst = min(headrooms.values())
+    return CandidateScore(
+        soc_name=soc.name,
+        headrooms=headrooms,
+        attainable=attainable,
+        worst_headroom=worst,
+        feasible=worst >= 1.0,
+    )
+
+
+def rank_socs(socs, requirements) -> tuple:
+    """Rank candidate SoCs for a usecase portfolio.
+
+    Feasible chips come first, ordered by worst-case headroom
+    descending (most margin on the hardest usecase wins); infeasible
+    chips follow, ordered by how close they come.  Ties break on the
+    minimum raw attainable across the portfolio, then on name for
+    determinism.
+    """
+    socs = list(socs)
+    if not socs:
+        raise SpecError("need at least one candidate SoC")
+    names = [soc.name for soc in socs]
+    if len(set(names)) != len(names):
+        raise SpecError(f"candidate names must be unique, got {names!r}")
+    scores = [score_candidate(soc, requirements) for soc in socs]
+
+    def key(score: CandidateScore) -> tuple:
+        return (
+            0 if score.feasible else 1,
+            -score.worst_headroom,
+            -min(score.attainable.values()),
+            score.soc_name,
+        )
+
+    return tuple(sorted(scores, key=key))

@@ -1,0 +1,147 @@
+"""Generational scaling studies: planning SoCs 2-3 years out.
+
+The paper's framing problem: "one must plan for future usecases 2-3
+years in advance of when the SoC is deployed."  Compute and bandwidth
+do not scale together — logic rides what is left of Moore's law while
+off-chip bandwidth crawls with memory standards (the memory wall) — so
+a usecase that is compute-bound on today's chip drifts memory-bound on
+tomorrow's.  This module projects a design forward under explicit
+annual growth rates and reports when each usecase's bottleneck flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require_finite_positive
+from ..core.gables import evaluate
+from ..core.params import IPBlock, SoCSpec, Workload
+from ..errors import SpecError
+
+
+@dataclass(frozen=True)
+class TechnologyTrend:
+    """Annual growth multipliers for each hardware axis.
+
+    Defaults reflect the late-2010s mobile reality: logic throughput
+    ~1.3x/year (process + architecture), off-chip bandwidth ~1.12x/year
+    (LPDDR generations), IP links tracking logic more than memory.
+    """
+
+    compute_growth: float = 1.30
+    memory_bandwidth_growth: float = 1.12
+    link_bandwidth_growth: float = 1.20
+
+    def __post_init__(self) -> None:
+        for field_name in ("compute_growth", "memory_bandwidth_growth",
+                           "link_bandwidth_growth"):
+            value = getattr(self, field_name)
+            require_finite_positive(value, field_name)
+            if value < 1.0:
+                raise SpecError(
+                    f"{field_name} must be >= 1 (technology regresses "
+                    "only in fiction)"
+                )
+
+    @property
+    def balance_drift_per_year(self) -> float:
+        """How fast machine balance (ops/byte) rises: the memory wall.
+
+        > 1 means every year demands more data reuse from software to
+        stay compute-bound — the quantitative version of the paper's
+        conjecture that operational intensity "bears careful thought".
+        """
+        return self.compute_growth / self.memory_bandwidth_growth
+
+
+def project_soc(soc: SoCSpec, years: float,
+                trend: TechnologyTrend | None = None) -> SoCSpec:
+    """The same design, fabricated ``years`` later under ``trend``.
+
+    Compute (``Ppeak``; accelerations are relative and stay put) and
+    bandwidths scale by their compounded growth.  Infinite link
+    bandwidths stay infinite.
+    """
+    if years < 0:
+        raise SpecError(f"years must be >= 0, got {years!r}")
+    trend = trend or TechnologyTrend()
+    compute = trend.compute_growth**years
+    memory = trend.memory_bandwidth_growth**years
+    link = trend.link_bandwidth_growth**years
+    ips = tuple(
+        IPBlock(
+            ip.name,
+            ip.acceleration,
+            ip.bandwidth if ip.bandwidth == float("inf")
+            else ip.bandwidth * link,
+        )
+        for ip in soc.ips
+    )
+    return SoCSpec(
+        peak_perf=soc.peak_perf * compute,
+        memory_bandwidth=soc.memory_bandwidth * memory,
+        ips=ips,
+        name=f"{soc.name}+{years:g}y",
+    )
+
+
+@dataclass(frozen=True)
+class DriftPoint:
+    """One year of a bottleneck-drift projection."""
+
+    year: float
+    attainable: float
+    bottleneck: str
+    speedup_vs_today: float
+
+
+def bottleneck_drift(
+    soc: SoCSpec,
+    workload: Workload,
+    years: int = 5,
+    trend: TechnologyTrend | None = None,
+) -> tuple:
+    """Project a fixed usecase across future chip generations.
+
+    Returns one :class:`DriftPoint` per year 0..years.  The classic
+    outcome: early years ride compute growth near-linearly; once the
+    usecase's intensity falls below the growing machine balance, gains
+    flatten to the bandwidth growth rate and the bottleneck reads
+    ``memory`` — the model's argument for investing in reuse rather
+    than FLOPs.
+    """
+    if years < 0:
+        raise SpecError(f"years must be >= 0, got {years}")
+    trend = trend or TechnologyTrend()
+    today = evaluate(soc, workload).attainable
+    points = []
+    for year in range(years + 1):
+        future = project_soc(soc, year, trend)
+        result = evaluate(future, workload)
+        points.append(
+            DriftPoint(
+                year=float(year),
+                attainable=result.attainable,
+                bottleneck=result.bottleneck,
+                speedup_vs_today=result.attainable / today,
+            )
+        )
+    return tuple(points)
+
+
+def years_until_memory_bound(
+    soc: SoCSpec,
+    workload: Workload,
+    trend: TechnologyTrend | None = None,
+    horizon: int = 20,
+) -> float:
+    """First projected year the memory interface binds (inf if never).
+
+    The planning number the drift study produces: how long the current
+    software (its intensities) stays ahead of the memory wall.
+    """
+    trend = trend or TechnologyTrend()
+    for point in bottleneck_drift(soc, workload, horizon, trend):
+        if point.bottleneck == "memory":
+            return point.year
+    return float("inf")

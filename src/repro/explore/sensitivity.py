@@ -1,0 +1,98 @@
+"""Sensitivity analysis: which knob moves attainable performance most.
+
+For early-stage design the first-order question is "what do I get per
+unit of X?".  We report *elasticities* — relative change in
+``P_attainable`` per relative change in each hardware parameter — via
+central finite differences.  Under bottleneck analysis most
+elasticities are exactly 0 (slack components) or 1 (the binding
+component scales through), so the report doubles as crisp bottleneck
+attribution with magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.gables import evaluate
+from ..core.params import SoCSpec, Workload
+from ..errors import SpecError
+
+#: Relative perturbation for finite differences.
+_DEFAULT_STEP = 1e-4
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Elasticity of attainable performance to each hardware input.
+
+    Keys: ``"Ppeak"``, ``"Bpeak"``, ``"A[i]"`` and ``"B[i]"`` per IP.
+    """
+
+    baseline: float
+    elasticities: dict
+
+    def top_lever(self) -> str:
+        """The parameter with the largest positive elasticity."""
+        return max(self.elasticities, key=lambda k: self.elasticities[k])
+
+    def dead_knobs(self, tol: float = 1e-6) -> tuple:
+        """Parameters whose improvement buys (to first order) nothing."""
+        return tuple(
+            sorted(k for k, e in self.elasticities.items() if abs(e) < tol)
+        )
+
+
+def _elasticity(perf_at, value: float, step: float) -> float:
+    up = perf_at(value * (1.0 + step))
+    down = perf_at(value * (1.0 - step))
+    base = perf_at(value)
+    if base == 0:
+        raise SpecError("degenerate baseline performance")
+    return (up - down) / (2.0 * step * base)
+
+
+def sensitivity(
+    soc: SoCSpec, workload: Workload, step: float = _DEFAULT_STEP
+) -> SensitivityReport:
+    """Compute the full elasticity report for one design point."""
+    if not 0 < step < 0.1:
+        raise SpecError(f"step must lie in (0, 0.1), got {step!r}")
+    baseline = evaluate(soc, workload).attainable
+    elasticities: dict = {}
+
+    def of_ppeak(value: float) -> float:
+        changed = SoCSpec(
+            peak_perf=value,
+            memory_bandwidth=soc.memory_bandwidth,
+            ips=soc.ips,
+            name=soc.name,
+        )
+        return evaluate(changed, workload).attainable
+
+    elasticities["Ppeak"] = _elasticity(of_ppeak, soc.peak_perf, step)
+
+    def of_bpeak(value: float) -> float:
+        return evaluate(soc.with_memory_bandwidth(value), workload).attainable
+
+    elasticities["Bpeak"] = _elasticity(of_bpeak, soc.memory_bandwidth, step)
+
+    for index, ip in enumerate(soc.ips):
+        if index > 0:
+            def of_accel(value: float, i: int = index) -> float:
+                return evaluate(
+                    soc.with_ip(i, acceleration=value), workload
+                ).attainable
+
+            elasticities[f"A[{index}]"] = _elasticity(
+                of_accel, ip.acceleration, step
+            )
+
+        if ip.bandwidth != float("inf"):
+            def of_bw(value: float, i: int = index) -> float:
+                return evaluate(
+                    soc.with_ip(i, bandwidth=value), workload
+                ).attainable
+
+            elasticities[f"B[{index}]"] = _elasticity(of_bw, ip.bandwidth, step)
+
+    return SensitivityReport(baseline=baseline, elasticities=elasticities)

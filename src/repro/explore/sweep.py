@@ -1,0 +1,175 @@
+"""One-dimensional parameter sweeps over the Gables model.
+
+The paper's analyses are sweeps: Figure 6 walks ``f``, ``Bpeak`` and
+``I1``; Figure 8 sweeps ``f`` per intensity line.  This module provides
+those sweeps over *any* evaluator with the model's signature, recording
+the attainable performance and the binding component at every point —
+the bottleneck transitions are where the design insight lives.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, replace
+
+from ..core.gables import evaluate
+from ..core.params import SoCSpec, Workload
+from ..errors import SpecError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: input value, bound, and attribution."""
+
+    value: float
+    attainable: float
+    bottleneck: str
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """An ordered sweep with transition analysis."""
+
+    parameter: str
+    points: tuple
+
+    def values(self) -> tuple:
+        """The swept input values."""
+        return tuple(p.value for p in self.points)
+
+    def attainables(self) -> tuple:
+        """Attainable performance at each point."""
+        return tuple(p.attainable for p in self.points)
+
+    def best(self) -> SweepPoint:
+        """The point with the highest attainable performance."""
+        return max(self.points, key=lambda p: p.attainable)
+
+    def bottleneck_transitions(self) -> tuple:
+        """Values where the binding component changes.
+
+        Returns ``(value, from_component, to_component)`` triples —
+        e.g. the ``f`` where a two-IP design flips from CPU-bound to
+        memory-bound.
+        """
+        transitions = []
+        for before, after in zip(self.points, self.points[1:]):
+            if before.bottleneck != after.bottleneck:
+                transitions.append(
+                    (after.value, before.bottleneck, after.bottleneck)
+                )
+        return tuple(transitions)
+
+
+EvaluateFn = Callable[[SoCSpec, Workload], object]
+
+
+def _series(
+    parameter: str,
+    values: Sequence[float],
+    build: Callable[[float], tuple],
+    evaluate_fn: EvaluateFn,
+) -> SweepSeries:
+    if not values:
+        raise SpecError(f"sweep over {parameter!r} needs at least one value")
+    points = []
+    for value in values:
+        soc, workload = build(value)
+        result = evaluate_fn(soc, workload)
+        points.append(
+            SweepPoint(
+                value=float(value),
+                attainable=result.attainable,
+                bottleneck=result.bottleneck,
+            )
+        )
+    return SweepSeries(parameter=parameter, points=tuple(points))
+
+
+def sweep_fraction(
+    soc: SoCSpec,
+    workload: Workload,
+    ip_index: int,
+    fractions: Sequence[float],
+    evaluate_fn: EvaluateFn = evaluate,
+) -> SweepSeries:
+    """Sweep the share of work at one IP (the paper's f-sweeps).
+
+    Work removed from / granted to IP ``ip_index`` is redistributed
+    proportionally among the rest (see
+    :meth:`~repro.core.params.Workload.with_fraction_at`).
+    """
+    return _series(
+        f"f[{ip_index}]",
+        fractions,
+        lambda f: (soc, workload.with_fraction_at(ip_index, f)),
+        evaluate_fn,
+    )
+
+
+def sweep_intensity(
+    soc: SoCSpec,
+    workload: Workload,
+    ip_index: int,
+    intensities: Sequence[float],
+    evaluate_fn: EvaluateFn = evaluate,
+) -> SweepSeries:
+    """Sweep one IP's operational intensity (Fig. 6c -> 6d's ``I1``)."""
+    if not 0 <= ip_index < workload.n_ips:
+        raise SpecError(f"ip_index {ip_index} out of range")
+
+    def build(value: float) -> tuple:
+        intensities_new = list(workload.intensities)
+        intensities_new[ip_index] = value
+        return soc, replace(workload, intensities=tuple(intensities_new))
+
+    return _series(f"I[{ip_index}]", intensities, build, evaluate_fn)
+
+
+def sweep_memory_bandwidth(
+    soc: SoCSpec,
+    workload: Workload,
+    bandwidths: Sequence[float],
+    evaluate_fn: EvaluateFn = evaluate,
+) -> SweepSeries:
+    """Sweep ``Bpeak`` (Fig. 6b -> 6c's question: does more DRAM help?)."""
+    return _series(
+        "Bpeak",
+        bandwidths,
+        lambda b: (soc.with_memory_bandwidth(b), workload),
+        evaluate_fn,
+    )
+
+
+def sweep_ip_bandwidth(
+    soc: SoCSpec,
+    workload: Workload,
+    ip_index: int,
+    bandwidths: Sequence[float],
+    evaluate_fn: EvaluateFn = evaluate,
+) -> SweepSeries:
+    """Sweep one IP's link bandwidth ``Bi``."""
+    return _series(
+        f"B[{ip_index}]",
+        bandwidths,
+        lambda b: (soc.with_ip(ip_index, bandwidth=b), workload),
+        evaluate_fn,
+    )
+
+
+def sweep_acceleration(
+    soc: SoCSpec,
+    workload: Workload,
+    ip_index: int,
+    accelerations: Sequence[float],
+    evaluate_fn: EvaluateFn = evaluate,
+) -> SweepSeries:
+    """Sweep one IP's acceleration ``Ai`` (how big should the IP be?)."""
+    if ip_index == 0:
+        raise SpecError("IP[0] defines Ppeak; its acceleration is fixed at 1")
+    return _series(
+        f"A[{ip_index}]",
+        accelerations,
+        lambda a: (soc.with_ip(ip_index, acceleration=a), workload),
+        evaluate_fn,
+    )

@@ -1,0 +1,128 @@
+"""Two-dimensional sweeps: the analytic (f, I) mixing grid.
+
+Figure 8 measures normalized performance over offload fraction x
+operational intensity on real hardware; the same grid evaluated on the
+*model* is the analytic upper-bound surface.  Comparing the two
+(`benchmarks/test_bench_fig8_mixing.py` does) separates what the
+hardware loses to coordination from what the model says is possible.
+
+The grid generalizes: any two of the model's swept parameters can form
+the axes via the ``build`` callback.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from ..core.gables import evaluate
+from ..core.params import SoCSpec, Workload
+from ..errors import SpecError
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One (x, y) evaluation."""
+
+    x: float
+    y: float
+    attainable: float
+    bottleneck: str
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A dense 2-D sweep with axis metadata."""
+
+    x_name: str
+    y_name: str
+    cells: tuple
+
+    def x_values(self) -> tuple:
+        """Distinct x coordinates, ascending."""
+        return tuple(sorted({cell.x for cell in self.cells}))
+
+    def y_values(self) -> tuple:
+        """Distinct y coordinates, ascending."""
+        return tuple(sorted({cell.y for cell in self.cells}))
+
+    def at(self, x: float, y: float) -> GridCell:
+        """The cell at exact coordinates (raises if absent)."""
+        for cell in self.cells:
+            if cell.x == x and cell.y == y:
+                return cell
+        raise SpecError(f"no cell at ({x!r}, {y!r})")
+
+    def row(self, y: float) -> tuple:
+        """All cells of one y line, ordered by x."""
+        selected = [cell for cell in self.cells if cell.y == y]
+        return tuple(sorted(selected, key=lambda cell: cell.x))
+
+    def best(self) -> GridCell:
+        """The cell with the highest attainable performance."""
+        return max(self.cells, key=lambda cell: cell.attainable)
+
+    def bottleneck_regions(self) -> dict:
+        """Bottleneck name -> number of cells it governs.
+
+        The region map is the design insight Figure 8 encodes: where
+        in (f, I) space each resource rules.
+        """
+        census: dict = {}
+        for cell in self.cells:
+            census[cell.bottleneck] = census.get(cell.bottleneck, 0) + 1
+        return census
+
+
+def sweep_grid(
+    soc: SoCSpec,
+    x_name: str,
+    x_values: Sequence[float],
+    y_name: str,
+    y_values: Sequence[float],
+    build: Callable[[float, float], Workload],
+) -> SweepGrid:
+    """Evaluate a workload builder over a dense (x, y) grid."""
+    if not x_values or not y_values:
+        raise SpecError("both axes need at least one value")
+    cells = []
+    for y in y_values:
+        for x in x_values:
+            workload = build(x, y)
+            result = evaluate(soc, workload)
+            cells.append(
+                GridCell(
+                    x=float(x),
+                    y=float(y),
+                    attainable=result.attainable,
+                    bottleneck=result.bottleneck,
+                )
+            )
+    return SweepGrid(x_name=x_name, y_name=y_name, cells=tuple(cells))
+
+
+def analytic_mixing_grid(
+    soc: SoCSpec,
+    fractions: Sequence[float] = tuple(i / 8 for i in range(9)),
+    intensities: Sequence[float] = (1, 4, 16, 64, 256, 1024),
+    ip_index: int = 1,
+) -> SweepGrid:
+    """The Figure 8 grid evaluated on the model (the upper bound).
+
+    x = fraction of work at IP ``ip_index``, y = common operational
+    intensity.  The paper's normalization (vs f=0, I=1) is a caller
+    concern: divide by ``grid.at(0.0, 1.0).attainable``.
+    """
+    if not 0 < ip_index < soc.n_ips:
+        raise SpecError(f"ip_index must address an accelerator, got {ip_index}")
+
+    def build(f: float, intensity: float) -> Workload:
+        fractions_vector = [0.0] * soc.n_ips
+        fractions_vector[0] = 1.0 - f
+        fractions_vector[ip_index] = f
+        return Workload(
+            fractions=tuple(fractions_vector),
+            intensities=tuple(intensity for _ in range(soc.n_ips)),
+        )
+
+    return sweep_grid(soc, "f", fractions, "I", intensities, build)

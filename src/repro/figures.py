@@ -1,0 +1,163 @@
+"""One-shot regeneration of every paper artifact to files.
+
+``gables figures --out DIR`` (or :func:`generate_all`) writes the full
+reproduction bundle: SVG charts for every figure, text for every
+table, and the interactive explorer — the artifact set a reader checks
+against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .errors import SpecError
+
+
+def generate_all(out_dir) -> dict:
+    """Write every artifact into ``out_dir``; returns name -> path.
+
+    Deterministic: the simulator and the market generator are seeded,
+    so repeated runs produce identical bytes.
+    """
+    out = Path(out_dir)
+    if out.exists() and not out.is_dir():
+        raise SpecError(f"{out} exists and is not a directory")
+    out.mkdir(parents=True, exist_ok=True)
+    written: dict = {}
+
+    def save(name: str, content: str) -> None:
+        path = out / name
+        path.write_text(content, encoding="utf-8")
+        written[name] = path
+
+    # --- Figure 2: market series ------------------------------------
+    from .market import generate_market_dataset, ip_count_by_generation
+    from .viz import bar_chart_svg
+
+    dataset = generate_market_dataset()
+    save("fig2a_chipsets_per_year.svg", bar_chart_svg(
+        dataset.introductions_by_year(),
+        title="Figure 2a: new SoC chipsets per year (synthetic)",
+        x_label="year", y_label="chipsets",
+    ))
+    save("fig2b_ips_per_generation.svg", bar_chart_svg(
+        ip_count_by_generation(),
+        title="Figure 2b: IP blocks per SoC generation",
+        x_label="generation", y_label="IP blocks",
+    ))
+
+    # --- Figure 1: the classic roofline the paper reprints ----------
+    from .core import Ceiling, Roofline
+    from .viz import classic_roofline_plot, roofline_svg as _roofline_svg
+
+    classic = Roofline(
+        peak_perf=42e9,
+        peak_bandwidth=20e9,
+        ceilings=(
+            Ceiling("no-SIMD", "compute", 7.5e9),
+            Ceiling("read+write", "bandwidth", 15.1e9),
+        ),
+        name="CPU",
+    )
+    save("fig1_classic_roofline.svg", _roofline_svg(
+        classic_roofline_plot(classic, intensity=2.0,
+                              title="Figure 1: the Roofline model")
+    ))
+
+    # --- Figure 3 / Figure 4: block diagrams ------------------------
+    from .soc import generic_soc
+    from .usecases import wifi_streaming
+    from .viz import dataflow_diagram_svg, soc_diagram_svg
+
+    save("fig3_soc_block_diagram.svg", soc_diagram_svg(generic_soc()))
+    save("fig4_wifi_streaming_dataflow.svg",
+         dataflow_diagram_svg(wifi_streaming()))
+
+    # --- Table I ------------------------------------------------------
+    from .reports import report_table1
+
+    save("table1_usecase_matrix.txt", report_table1() + "\n")
+
+    # --- Figure 6: the walkthrough ------------------------------------
+    from .core import FIGURE_6_SEQUENCE
+    from .reports import report_fig6
+    from .viz import RooflinePlotData, roofline_svg, save_interactive_report
+
+    save("fig6_appendix_numbers.txt", report_fig6() + "\n")
+    for scenario in FIGURE_6_SEQUENCE:
+        data = RooflinePlotData.from_model(
+            scenario.soc(), scenario.workload(), title=scenario.name
+        )
+        save(f"{scenario.name}_scaled_rooflines.svg", roofline_svg(data))
+    explorer = out / "fig6d_interactive_explorer.html"
+    last = FIGURE_6_SEQUENCE[-1]
+    save_interactive_report(last.soc(), last.workload(), explorer,
+                            title="Figure 6d explorer")
+    written[explorer.name] = explorer
+
+    # --- Figures 7-9: the measured rooflines and the mixing grid ----
+    from .ert import fit_roofline, gables_parameter_table, run_sweep
+    from .reports import report_fig7, report_fig8, report_fig9
+    from .sim import run_mixing_sweep, simulated_snapdragon_835
+    from .viz import line_chart_svg
+
+    platform = simulated_snapdragon_835()
+    save("fig7_cpu_gpu_rooflines.txt", report_fig7() + "\n")
+    save("fig9_dsp_roofline.txt", report_fig9() + "\n")
+    fits = {
+        engine: fit_roofline(run_sweep(platform, engine))
+        for engine in ("CPU", "GPU", "DSP")
+    }
+    save("gables_parameters_measured.txt", gables_parameter_table(
+        fits["CPU"], [fits["GPU"], fits["DSP"]]) + "\n")
+
+    mixing = run_mixing_sweep(platform)
+    save("fig8_mixing_grid.txt", report_fig8() + "\n")
+    series = {
+        f"I={int(intensity)}": [
+            (p.fraction, p.normalized) for p in mixing.line(intensity)
+        ]
+        for intensity in mixing.intensities()
+    }
+    save("fig8_mixing_lines.svg", line_chart_svg(
+        series,
+        title="Figure 8: CPU+GPU mixing (simulated SD835)",
+        x_label="fraction of work at GPU (f)",
+        y_label="normalized performance",
+        log_y=True,
+    ))
+
+    # --- The analytic Fig. 8 surface (upper bound) -------------------
+    from .core import IPBlock, SoCSpec
+    from .explore import analytic_mixing_grid
+    from .viz import heatmap_svg
+
+    measured_soc = SoCSpec(
+        peak_perf=fits["CPU"].peak_gflops * 1e9,
+        memory_bandwidth=30e9,
+        ips=(
+            IPBlock("CPU", 1.0, fits["CPU"].dram_bandwidth),
+            IPBlock(
+                "GPU",
+                fits["GPU"].peak_gflops / fits["CPU"].peak_gflops,
+                fits["GPU"].dram_bandwidth,
+            ),
+        ),
+        name="measured-sd835",
+    )
+    grid = analytic_mixing_grid(measured_soc)
+    save("fig8_analytic_upper_bound.svg", heatmap_svg(
+        grid,
+        title="Figure 8 analytic upper bound (Gables)",
+        normalize_to=grid.at(0.0, 1.0).attainable,
+    ))
+    return written
+
+
+def main_figures(out_dir) -> int:
+    """CLI driver: generate and list the bundle."""
+    written = generate_all(out_dir)
+    for name in sorted(written):
+        print(f"wrote {written[name]}")
+    print(f"{len(written)} artifacts in {out_dir}")
+    return 0

@@ -1,0 +1,42 @@
+"""Serialization: JSON round-trip for specs and workloads.
+
+``save``/``load`` move :class:`~repro.core.params.SoCSpec` and
+:class:`~repro.core.params.Workload` documents to and from disk;
+results export one-way via :func:`dumps`.
+"""
+
+from .soc_codec import (
+    decode_description,
+    encode_description,
+    load_description,
+    save_description,
+)
+from .json_codec import (
+    SCHEMA,
+    decode_soc,
+    decode_workload,
+    dumps,
+    encode_result,
+    encode_soc,
+    encode_workload,
+    load,
+    loads,
+    save,
+)
+
+__all__ = [
+    "SCHEMA",
+    "decode_description",
+    "decode_soc",
+    "decode_workload",
+    "dumps",
+    "encode_description",
+    "load_description",
+    "save_description",
+    "encode_result",
+    "encode_soc",
+    "encode_workload",
+    "load",
+    "loads",
+    "save",
+]

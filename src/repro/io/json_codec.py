@@ -1,0 +1,188 @@
+"""JSON serialization for model inputs and results.
+
+Specs and workloads round-trip (``encode`` then ``decode`` is
+identity); results export one-way for logging and comparison.  Every
+document carries a ``"kind"`` tag and a ``"schema"`` version so stored
+files stay debuggable.
+
+Infinity-valued intensities (perfect reuse) are encoded as the string
+``"inf"`` because JSON has no infinity literal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from ..core.params import IPBlock, SoCSpec, Workload
+from ..core.result import GablesResult
+from ..errors import SerializationError
+
+#: Current document schema version.
+SCHEMA = 1
+
+
+def _encode_number(value: float):
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_number(value, field: str) -> float:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SerializationError(f"{field} must be a number, got {value!r}")
+    return float(value)
+
+
+def encode_soc(soc: SoCSpec) -> dict:
+    """SoCSpec -> JSON-ready dict."""
+    return {
+        "kind": "soc",
+        "schema": SCHEMA,
+        "name": soc.name,
+        "peak_perf": soc.peak_perf,
+        "memory_bandwidth": soc.memory_bandwidth,
+        "ips": [
+            {
+                "name": ip.name,
+                "acceleration": ip.acceleration,
+                "bandwidth": _encode_number(ip.bandwidth),
+            }
+            for ip in soc.ips
+        ],
+    }
+
+
+def decode_soc(document: dict) -> SoCSpec:
+    """JSON dict -> SoCSpec (validates via the dataclass)."""
+    _expect_kind(document, "soc")
+    try:
+        ips = tuple(
+            IPBlock(
+                name=entry["name"],
+                acceleration=float(entry["acceleration"]),
+                bandwidth=_decode_number(entry["bandwidth"], "ip bandwidth"),
+            )
+            for entry in document["ips"]
+        )
+        return SoCSpec(
+            peak_perf=float(document["peak_perf"]),
+            memory_bandwidth=float(document["memory_bandwidth"]),
+            ips=ips,
+            name=document.get("name", "soc"),
+        )
+    except (KeyError, TypeError) as err:
+        raise SerializationError(f"malformed soc document: {err}") from err
+
+
+def encode_workload(workload: Workload) -> dict:
+    """Workload -> JSON-ready dict."""
+    return {
+        "kind": "workload",
+        "schema": SCHEMA,
+        "name": workload.name,
+        "fractions": list(workload.fractions),
+        "intensities": [_encode_number(i) for i in workload.intensities],
+    }
+
+
+def decode_workload(document: dict) -> Workload:
+    """JSON dict -> Workload (validates via the dataclass)."""
+    _expect_kind(document, "workload")
+    try:
+        return Workload(
+            fractions=tuple(float(f) for f in document["fractions"]),
+            intensities=tuple(
+                _decode_number(i, "intensity") for i in document["intensities"]
+            ),
+            name=document.get("name", "usecase"),
+        )
+    except (KeyError, TypeError) as err:
+        raise SerializationError(f"malformed workload document: {err}") from err
+
+
+def encode_result(result: GablesResult) -> dict:
+    """GablesResult -> JSON-ready dict (export only)."""
+    return {
+        "kind": "result",
+        "schema": SCHEMA,
+        "attainable": result.attainable,
+        "bottleneck": result.bottleneck,
+        "binding_components": list(result.binding_components),
+        "memory_time": result.memory_time,
+        "average_intensity": _encode_number(result.average_intensity),
+        "ip_terms": [
+            {
+                "name": term.name,
+                "fraction": term.fraction,
+                "intensity": _encode_number(term.intensity),
+                "time": term.time,
+                "limiter": term.limiter,
+            }
+            for term in result.ip_terms
+        ],
+        "extra_times": dict(result.extra_times),
+    }
+
+
+_DECODERS = {"soc": decode_soc, "workload": decode_workload}
+
+
+def _expect_kind(document: dict, kind: str) -> None:
+    if not isinstance(document, dict):
+        raise SerializationError(f"expected an object, got {type(document).__name__}")
+    got = document.get("kind")
+    if got != kind:
+        raise SerializationError(f"expected kind {kind!r}, got {got!r}")
+    schema = document.get("schema")
+    if schema != SCHEMA:
+        raise SerializationError(
+            f"unsupported schema {schema!r} (this library reads {SCHEMA})"
+        )
+
+
+def dumps(obj) -> str:
+    """Serialize a SoCSpec / Workload / GablesResult to a JSON string."""
+    if isinstance(obj, SoCSpec):
+        document = encode_soc(obj)
+    elif isinstance(obj, Workload):
+        document = encode_workload(obj)
+    elif isinstance(obj, GablesResult):
+        document = encode_result(obj)
+    else:
+        raise SerializationError(f"cannot serialize {type(obj).__name__}")
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def loads(text: str):
+    """Deserialize a JSON string into a SoCSpec or Workload."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise SerializationError(f"invalid JSON: {err}") from err
+    if not isinstance(document, dict):
+        raise SerializationError("top-level JSON value must be an object")
+    kind = document.get("kind")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise SerializationError(
+            f"unknown or non-loadable kind {kind!r}; loadable: "
+            f"{sorted(_DECODERS)}"
+        )
+    return decoder(document)
+
+
+def save(obj, path) -> None:
+    """Serialize ``obj`` to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(obj))
+
+
+def load(path):
+    """Deserialize a SoCSpec or Workload from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,107 @@
+"""JSON round-trip for full SoC descriptions (IPs + fabric hierarchy).
+
+Complements :mod:`repro.io.json_codec` (which handles the model-level
+``SoCSpec``/``Workload``): architects store the richer
+:class:`~repro.soc.description.SoCDescription` sketch once and lower
+it to model inputs per analysis.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import SerializationError
+from ..soc.description import FabricTier, IPInstance, SoCDescription
+from .json_codec import SCHEMA
+
+
+def encode_description(description: SoCDescription) -> dict:
+    """SoCDescription -> JSON-ready dict."""
+    return {
+        "kind": "soc-description",
+        "schema": SCHEMA,
+        "name": description.name,
+        "memory_bandwidth": description.memory_bandwidth,
+        "fabrics": [
+            {
+                "name": fabric.name,
+                "bandwidth": fabric.bandwidth,
+                "parent": fabric.parent,
+            }
+            for fabric in description.fabrics
+        ],
+        "ips": [
+            {
+                "name": ip.name,
+                "kind": ip.kind,
+                "peak_perf": ip.peak_perf,
+                "bandwidth": ip.bandwidth,
+                "fabric": ip.fabric,
+                "local_memory_bytes": ip.local_memory_bytes,
+            }
+            for ip in description.ips
+        ],
+    }
+
+
+def decode_description(document: dict) -> SoCDescription:
+    """JSON dict -> SoCDescription (re-validates everything)."""
+    if not isinstance(document, dict):
+        raise SerializationError("expected an object")
+    if document.get("kind") != "soc-description":
+        raise SerializationError(
+            f"expected kind 'soc-description', got {document.get('kind')!r}"
+        )
+    if document.get("schema") != SCHEMA:
+        raise SerializationError(
+            f"unsupported schema {document.get('schema')!r}"
+        )
+    try:
+        fabrics = tuple(
+            FabricTier(
+                name=entry["name"],
+                bandwidth=float(entry["bandwidth"]),
+                parent=entry.get("parent"),
+            )
+            for entry in document.get("fabrics", [])
+        )
+        ips = tuple(
+            IPInstance(
+                name=entry["name"],
+                kind=entry["kind"],
+                peak_perf=float(entry["peak_perf"]),
+                bandwidth=float(entry["bandwidth"]),
+                fabric=entry.get("fabric"),
+                local_memory_bytes=float(
+                    entry.get("local_memory_bytes", 0.0)
+                ),
+            )
+            for entry in document["ips"]
+        )
+        return SoCDescription(
+            name=document.get("name", "soc"),
+            memory_bandwidth=float(document["memory_bandwidth"]),
+            fabrics=fabrics,
+            ips=ips,
+        )
+    except (KeyError, TypeError) as err:
+        raise SerializationError(
+            f"malformed soc-description document: {err}"
+        ) from err
+
+
+def save_description(description: SoCDescription, path) -> None:
+    """Write a description to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(encode_description(description), handle, indent=2,
+                  sort_keys=True)
+
+
+def load_description(path) -> SoCDescription:
+    """Read a description back from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise SerializationError(f"invalid JSON: {err}") from err
+    return decode_description(document)

@@ -1,0 +1,53 @@
+"""Synthetic SoC market dataset (paper Figure 2).
+
+The paper mined GSM Arena (9165 phone models, 109 brands) for Figure
+2a — new SoC chipsets introduced per year, growing to a ~2015 peak and
+declining as vendors consolidated — and cites Shao et al. for Figure
+2b's IP-count-per-generation climb past 30.  The proprietary scrape is
+not redistributable, so this package generates a deterministic
+synthetic dataset calibrated to the published aggregates:
+
+- the yearly introduction totals (:data:`SOC_INTRODUCTIONS_BY_YEAR`)
+  follow the figure's shape;
+- the vendor structure reproduces the paper's named facts: Qualcomm's
+  consolidation from 49 chipsets (2014) to 27 (2017), and TI/Intel
+  exiting after the peak;
+- record-level data (one row per chipset) is generated with a seeded
+  RNG so tests and benchmarks are exactly reproducible.
+"""
+
+from .analytics import (
+    concentration_series,
+    consolidation_report,
+    herfindahl_index,
+    vendors_per_year,
+)
+from .dataset import (
+    ChipsetRecord,
+    MarketDataset,
+    generate_market_dataset,
+)
+from .series import (
+    IP_COUNT_BY_GENERATION,
+    QUALCOMM_CHIPSETS,
+    SOC_INTRODUCTIONS_BY_YEAR,
+    VENDOR_EXITS,
+    ip_count_by_generation,
+    soc_introductions_by_year,
+)
+
+__all__ = [
+    "ChipsetRecord",
+    "concentration_series",
+    "consolidation_report",
+    "herfindahl_index",
+    "vendors_per_year",
+    "IP_COUNT_BY_GENERATION",
+    "MarketDataset",
+    "QUALCOMM_CHIPSETS",
+    "SOC_INTRODUCTIONS_BY_YEAR",
+    "VENDOR_EXITS",
+    "generate_market_dataset",
+    "ip_count_by_generation",
+    "soc_introductions_by_year",
+]

@@ -1,0 +1,66 @@
+"""Market-structure analytics over the synthetic chipset dataset.
+
+The paper's footnote reads consolidation off two observations (vendor
+exits; Qualcomm's shrinking lineup).  These helpers make the claim
+quantitative: vendor counts, the Herfindahl-Hirschman concentration
+index per year, and the post-peak consolidation trend.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SpecError
+from .dataset import MarketDataset
+
+
+def vendors_per_year(dataset: MarketDataset) -> dict:
+    """Year -> number of vendors with at least one introduction."""
+    return {
+        year: len(dataset.vendors_active_in(year))
+        for year in dataset.introductions_by_year()
+    }
+
+
+def herfindahl_index(dataset: MarketDataset, year: int) -> float:
+    """HHI of introduction share in ``year`` (0 exclusive, 1 = monopoly).
+
+    ``HHI = sum_v share_v^2`` over vendors' shares of that year's
+    introductions — the standard concentration measure.
+    """
+    counts = dataset.vendor_counts(year)
+    if not counts:
+        raise SpecError(f"no records for year {year}")
+    total = sum(counts.values())
+    return math.fsum((count / total) ** 2 for count in counts.values())
+
+
+def concentration_series(dataset: MarketDataset) -> dict:
+    """Year -> HHI across the dataset's span."""
+    return {
+        year: herfindahl_index(dataset, year)
+        for year in dataset.introductions_by_year()
+    }
+
+
+def consolidation_report(dataset: MarketDataset) -> dict:
+    """Headline consolidation facts, computed not asserted.
+
+    Returns the peak year, vendor counts at peak and at the end, and
+    the HHI change from peak to end (positive = concentrating).
+    """
+    by_year = dataset.introductions_by_year()
+    peak_year = max(by_year, key=by_year.get)
+    last_year = max(by_year)
+    vendors = vendors_per_year(dataset)
+    return {
+        "peak_year": peak_year,
+        "vendors_at_peak": vendors[peak_year],
+        "vendors_at_end": vendors[last_year],
+        "hhi_at_peak": herfindahl_index(dataset, peak_year),
+        "hhi_at_end": herfindahl_index(dataset, last_year),
+        "hhi_change": (
+            herfindahl_index(dataset, last_year)
+            - herfindahl_index(dataset, peak_year)
+        ),
+    }

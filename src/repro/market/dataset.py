@@ -1,0 +1,147 @@
+"""Record-level synthetic chipset dataset (the GSM-Arena stand-in).
+
+Generates one :class:`ChipsetRecord` per introduced chipset, with a
+vendor, year, core count, and estimated IP count, such that the
+aggregates reproduce :mod:`repro.market.series` exactly: yearly totals
+match Figure 2a, Qualcomm's 2014/2017 counts match the paper's
+footnote, exited vendors stop appearing after their exit year, and IP
+counts track the Figure 2b generation curve with vendor-level spread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpecError
+from .series import (
+    IP_COUNT_BY_GENERATION,
+    QUALCOMM_CHIPSETS,
+    SOC_INTRODUCTIONS_BY_YEAR,
+    VENDOR_EXITS,
+)
+
+#: Vendors synthesized, with rough long-run market weights.
+VENDOR_WEIGHTS = {
+    "Qualcomm": 0.34,
+    "MediaTek": 0.26,
+    "Samsung": 0.10,
+    "HiSilicon": 0.08,
+    "Spreadtrum": 0.08,
+    "TI": 0.05,
+    "Intel": 0.04,
+    "Rockchip": 0.05,
+}
+_OTHERS = "Allwinner"  # absorbs rounding remainders
+
+
+@dataclass(frozen=True)
+class ChipsetRecord:
+    """One synthesized chipset introduction."""
+
+    vendor: str
+    year: int
+    model: str
+    cpu_cores: int
+    ip_count: int
+
+
+@dataclass(frozen=True)
+class MarketDataset:
+    """The full synthetic dataset plus aggregate accessors."""
+
+    records: tuple
+    seed: int
+
+    def introductions_by_year(self) -> dict:
+        """Figure 2a recomputed from the records."""
+        counts: dict = {}
+        for record in self.records:
+            counts[record.year] = counts.get(record.year, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def vendor_counts(self, year: int) -> dict:
+        """Chipsets per vendor in one year."""
+        counts: dict = {}
+        for record in self.records:
+            if record.year == year:
+                counts[record.vendor] = counts.get(record.vendor, 0) + 1
+        return counts
+
+    def vendors_active_in(self, year: int) -> tuple:
+        """Vendors with at least one introduction that year."""
+        return tuple(sorted(self.vendor_counts(year)))
+
+    def mean_ip_count(self, year: int) -> float:
+        """Average estimated IP count of that year's chipsets."""
+        counts = [r.ip_count for r in self.records if r.year == year]
+        if not counts:
+            raise SpecError(f"no records for year {year}")
+        return math.fsum(counts) / len(counts)
+
+
+def _generation_for_year(year: int) -> int:
+    """Map a calendar year onto the Figure 2b generation index."""
+    first = min(SOC_INTRODUCTIONS_BY_YEAR)
+    span = max(SOC_INTRODUCTIONS_BY_YEAR) - first
+    generations = len(IP_COUNT_BY_GENERATION)
+    position = (year - first) / span if span else 0.0
+    return 1 + min(generations - 1, int(position * generations))
+
+
+def _vendor_quota(year: int, total: int) -> dict:
+    """Split a year's total among vendors, honoring pinned facts."""
+    pinned: dict = {}
+    if year in QUALCOMM_CHIPSETS:
+        pinned["Qualcomm"] = QUALCOMM_CHIPSETS[year]
+    active = {
+        vendor: weight
+        for vendor, weight in VENDOR_WEIGHTS.items()
+        if VENDOR_EXITS.get(vendor, math.inf) >= year and vendor not in pinned
+    }
+    remaining = total - sum(pinned.values())
+    if remaining < 0:
+        raise SpecError(
+            f"pinned counts exceed the year-{year} total ({total})"
+        )
+    weight_sum = math.fsum(active.values())
+    quotas = dict(pinned)
+    assigned = 0
+    for vendor, weight in active.items():
+        share = int(remaining * weight / weight_sum)
+        quotas[vendor] = share
+        assigned += share
+    quotas[_OTHERS] = quotas.get(_OTHERS, 0) + (remaining - assigned)
+    return {vendor: count for vendor, count in quotas.items() if count > 0}
+
+
+def generate_market_dataset(seed: int = 20190216) -> MarketDataset:
+    """Generate the synthetic dataset (default seed: HPCA'19 dates).
+
+    Deterministic for a given seed; aggregate invariants (yearly
+    totals, Qualcomm pins, vendor exits) hold for *every* seed, which
+    the property-based tests exploit.
+    """
+    rng = np.random.default_rng(seed)
+    records = []
+    for year, total in sorted(SOC_INTRODUCTIONS_BY_YEAR.items()):
+        generation = _generation_for_year(year)
+        base_ips = IP_COUNT_BY_GENERATION[generation]
+        for vendor, count in sorted(_vendor_quota(year, total).items()):
+            for index in range(count):
+                ip_count = max(2, int(rng.normal(base_ips, 2.0)))
+                cores = int(rng.choice((1, 2, 4, 8), p=(0.1, 0.25, 0.45, 0.2)))
+                if year >= 2014:
+                    cores = max(cores, 4)
+                records.append(
+                    ChipsetRecord(
+                        vendor=vendor,
+                        year=year,
+                        model=f"{vendor}-{year}-{index:03d}",
+                        cpu_cores=cores,
+                        ip_count=ip_count,
+                    )
+                )
+    return MarketDataset(records=tuple(records), seed=seed)

@@ -1,0 +1,73 @@
+"""Published aggregate series behind Figure 2.
+
+Values marked "paper" are stated in the text; the remaining points are
+read off the figure's shape and are clearly engineering estimates — the
+reproduction targets the *trend* (growth to a mid-decade peak, then
+consolidation decline; IP counts climbing past 30), not digitized
+pixels.
+"""
+
+from __future__ import annotations
+
+from ..errors import SpecError
+
+#: Figure 2a: new SoC chipsets introduced per year (shape estimate;
+#: growth from 2007, peak around 2015, decline through 2017).
+SOC_INTRODUCTIONS_BY_YEAR = {
+    2007: 12,
+    2008: 18,
+    2009: 27,
+    2010: 40,
+    2011: 58,
+    2012: 78,
+    2013: 97,
+    2014: 112,
+    2015: 121,
+    2016: 95,
+    2017: 72,
+}
+
+#: Paper (footnote 2): Qualcomm's chipset-count consolidation.
+QUALCOMM_CHIPSETS = {2014: 49, 2017: 27}
+
+#: Paper (footnote 2): vendors that left the consumer SoC market after
+#: the peak (year = last year with introductions in our synthesis).
+VENDOR_EXITS = {"TI": 2012, "Intel": 2016}
+
+#: Figure 2b (after Shao et al.): IP blocks per SoC generation,
+#: climbing "to over 30 IPs".  Generation 1 is the oldest.
+IP_COUNT_BY_GENERATION = {
+    1: 8,
+    2: 11,
+    3: 14,
+    4: 18,
+    5: 22,
+    6: 26,
+    7: 30,
+    8: 33,
+}
+
+
+def soc_introductions_by_year() -> dict:
+    """Figure 2a's series as a fresh year -> count mapping."""
+    return dict(SOC_INTRODUCTIONS_BY_YEAR)
+
+
+def ip_count_by_generation() -> dict:
+    """Figure 2b's series as a fresh generation -> IP-count mapping."""
+    return dict(IP_COUNT_BY_GENERATION)
+
+
+def peak_year() -> int:
+    """The year introductions peaked (the consolidation inflection)."""
+    return max(SOC_INTRODUCTIONS_BY_YEAR, key=SOC_INTRODUCTIONS_BY_YEAR.get)
+
+
+def growth_multiple(first_year: int = 2007, last_year: int = 2015) -> float:
+    """How many-fold introductions grew between two years."""
+    series = SOC_INTRODUCTIONS_BY_YEAR
+    if first_year not in series or last_year not in series:
+        raise SpecError(
+            f"years must be within {min(series)}..{max(series)}"
+        )
+    return series[last_year] / series[first_year]

@@ -1,0 +1,59 @@
+"""Power and energy extension: the axis the paper motivates but defers.
+
+The paper frames every SoC decision inside a ~3 W thermal design point
+and an all-day battery; this package adds that axis to Gables without
+new workload inputs:
+
+- :mod:`.energy` — per-IP energy models, usecase energy accounting,
+  battery-life estimates, offload energy ratios;
+- :mod:`.tdp` — TDP-constrained attainable performance (the "power
+  roofline") and the sufficient-TDP solver;
+- :mod:`.scenario` — day-level episode accounting (the all-day-battery
+  constraint).
+"""
+
+from .energy import (
+    EnergyModel,
+    IPEnergy,
+    UsecaseEnergy,
+    battery_life_hours,
+    offload_energy_ratio,
+    usecase_energy,
+)
+from .scenario import (
+    DayReport,
+    Episode,
+    EpisodeCost,
+    day_report,
+    episode_cost,
+    hours_of_usecase_within_budget,
+)
+from .tdp import (
+    POWER,
+    PowerConstrainedResult,
+    dynamic_energy_per_op,
+    evaluate_power_constrained,
+    max_tdp_needed,
+    power_roofline_curve,
+)
+
+__all__ = [
+    "DayReport",
+    "EnergyModel",
+    "Episode",
+    "EpisodeCost",
+    "IPEnergy",
+    "POWER",
+    "day_report",
+    "episode_cost",
+    "hours_of_usecase_within_budget",
+    "PowerConstrainedResult",
+    "UsecaseEnergy",
+    "battery_life_hours",
+    "dynamic_energy_per_op",
+    "evaluate_power_constrained",
+    "max_tdp_needed",
+    "offload_energy_ratio",
+    "power_roofline_curve",
+    "usecase_energy",
+]

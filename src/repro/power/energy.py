@@ -1,0 +1,217 @@
+"""Energy models for SoC usecases.
+
+The paper's motivation is energy-first: consumer SoCs live under "a
+tight 3 Watt thermal design point" with all-day-battery requirements,
+and accelerators exist because they are "an order of magnitude" more
+energy-efficient than CPUs.  Base Gables models performance only; this
+package adds the energy axis so early-stage studies can ask the
+paper's implicit questions — does an offload that *speeds things up*
+also fit the power budget, and what does a usecase cost in battery?
+
+An :class:`EnergyModel` assigns each IP an energy per operation and a
+static (leakage/idle) power, plus a DRAM energy per byte.  Usecase
+energy then follows directly from the same ``fi``/``Ii`` parameters
+Gables already uses — no new workload inputs required.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_finite_positive, require_nonnegative
+from ..core.gables import evaluate, ip_terms
+from ..core.params import SoCSpec, Workload
+from ..errors import SpecError, WorkloadError
+
+
+@dataclass(frozen=True)
+class IPEnergy:
+    """Energy parameters for one IP block.
+
+    Parameters
+    ----------
+    joules_per_op:
+        Dynamic energy of one operation on this IP.  Accelerators have
+        much lower values than the CPU — the paper quotes the Hexagon
+        DSP at ~8x and ~25x better than CPU and GPU respectively.
+    idle_watts:
+        Static power whenever the SoC is on (clock/leakage).
+    """
+
+    joules_per_op: float
+    idle_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_finite_positive(self.joules_per_op, "joules_per_op")
+        require_nonnegative(self.idle_watts, "idle_watts")
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-IP energy plus the DRAM interface cost.
+
+    Parameters
+    ----------
+    ip_energy:
+        One :class:`IPEnergy` per IP, in SoC order.
+    dram_joules_per_byte:
+        Energy to move one byte across the off-chip interface (LPDDR
+        I/O + controller).  Off-chip movement often dominates — the
+        reason operational intensity is an *energy* knob too.
+    """
+
+    ip_energy: tuple
+    dram_joules_per_byte: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ip_energy, tuple):
+            object.__setattr__(self, "ip_energy", tuple(self.ip_energy))
+        if not self.ip_energy:
+            raise SpecError("EnergyModel needs at least one IP entry")
+        for entry in self.ip_energy:
+            if not isinstance(entry, IPEnergy):
+                raise SpecError("ip_energy must contain IPEnergy instances")
+        require_finite_positive(self.dram_joules_per_byte,
+                                "dram_joules_per_byte")
+
+    @property
+    def n_ips(self) -> int:
+        """Number of IPs this model covers."""
+        return len(self.ip_energy)
+
+    def check_matches(self, soc: SoCSpec) -> None:
+        """Raise unless this model covers exactly ``soc``'s IPs."""
+        if self.n_ips != soc.n_ips:
+            raise WorkloadError(
+                f"energy model covers {self.n_ips} IPs but SoC has "
+                f"{soc.n_ips}"
+            )
+
+    @classmethod
+    def mobile_default(cls, soc: SoCSpec) -> "EnergyModel":
+        """A defensible mobile default, scaled by acceleration.
+
+        The CPU is pinned at 50 pJ/op (a big-core ballpark); each
+        accelerator is assumed ``5x + Ai/2`` more efficient — crude,
+        but it reproduces the order-of-magnitude gap the paper cites.
+        DRAM costs 100 pJ/byte (LPDDR4-class).
+        """
+        cpu_pj = 50e-12
+        entries = []
+        for index, ip in enumerate(soc.ips):
+            if index == 0:
+                entries.append(IPEnergy(cpu_pj, idle_watts=0.05))
+            else:
+                efficiency = 5.0 + ip.acceleration / 2.0
+                entries.append(
+                    IPEnergy(cpu_pj / efficiency, idle_watts=0.01)
+                )
+        return cls(ip_energy=tuple(entries), dram_joules_per_byte=100e-12)
+
+
+@dataclass(frozen=True)
+class UsecaseEnergy:
+    """Energy accounting for one unit of usecase work.
+
+    All figures are per normalized work unit (1 op of usecase work);
+    multiply by the usecase's total ops for absolute joules.
+    """
+
+    compute_joules: float  # sum over IPs of fi * J/op
+    dram_joules: float  # total off-chip bytes * J/byte
+    static_joules: float  # idle power * runtime
+    runtime: float  # seconds per unit work (from Gables)
+
+    @property
+    def total_joules(self) -> float:
+        """Everything, per unit work."""
+        return self.compute_joules + self.dram_joules + self.static_joules
+
+    @property
+    def average_power(self) -> float:
+        """Watts drawn while the usecase runs."""
+        return self.total_joules / self.runtime
+
+    @property
+    def energy_per_op(self) -> float:
+        """Joules per operation (work is normalized to 1 op)."""
+        return self.total_joules
+
+
+def usecase_energy(
+    soc: SoCSpec, workload: Workload, model: EnergyModel
+) -> UsecaseEnergy:
+    """Energy of one unit of usecase work at the Gables operating point.
+
+    Uses the Gables runtime (the attainable bound) for the static
+    term: a faster design finishes sooner and leaks less — the
+    race-to-idle effect.
+    """
+    model.check_matches(soc)
+    result = evaluate(soc, workload)
+    runtime = 1.0 / result.attainable
+
+    compute = math.fsum(
+        workload.fractions[i] * model.ip_energy[i].joules_per_op
+        for i in range(soc.n_ips)
+    )
+    total_bytes = math.fsum(term.data_bytes for term in ip_terms(soc, workload))
+    dram = total_bytes * model.dram_joules_per_byte
+    static = runtime * math.fsum(
+        entry.idle_watts for entry in model.ip_energy
+    )
+    return UsecaseEnergy(
+        compute_joules=compute,
+        dram_joules=dram,
+        static_joules=static,
+        runtime=runtime,
+    )
+
+
+def battery_life_hours(
+    soc: SoCSpec,
+    workload: Workload,
+    model: EnergyModel,
+    battery_watt_hours: float,
+    ops_per_second: float | None = None,
+) -> float:
+    """Hours of continuous usecase execution on a given battery.
+
+    By default the usecase runs at the Gables attainable rate; pass
+    ``ops_per_second`` for a fixed-rate usecase (e.g. locked 30 FPS),
+    which draws proportionally less dynamic power.
+    """
+    require_finite_positive(battery_watt_hours, "battery_watt_hours")
+    energy = usecase_energy(soc, workload, model)
+    attainable = 1.0 / energy.runtime
+    if ops_per_second is None:
+        rate = attainable
+    else:
+        require_finite_positive(ops_per_second, "ops_per_second")
+        if ops_per_second > attainable:
+            raise WorkloadError(
+                f"requested rate {ops_per_second:.3g} ops/s exceeds the "
+                f"attainable bound {attainable:.3g}"
+            )
+        rate = ops_per_second
+    dynamic_watts = (energy.compute_joules + energy.dram_joules) * rate
+    static_watts = energy.static_joules / energy.runtime
+    total_watts = dynamic_watts + static_watts
+    return battery_watt_hours / total_watts
+
+
+def offload_energy_ratio(
+    soc: SoCSpec, workload: Workload, model: EnergyModel
+) -> float:
+    """Energy of the usecase relative to running it all on the CPU.
+
+    < 1 means the offload saves energy.  The comparison keeps the
+    CPU-only intensity equal to the usecase's ``I0``.
+    """
+    cpu_only = Workload.single_ip(
+        soc.n_ips, 0, workload.intensities[0], name="cpu-only"
+    )
+    offloaded = usecase_energy(soc, workload, model).total_joules
+    baseline = usecase_energy(soc, cpu_only, model).total_joules
+    return offloaded / baseline

@@ -1,0 +1,165 @@
+"""Day-scenario energy accounting: the all-day-battery constraint.
+
+The paper's opening constraint set is "strict power, thermal and
+energy constraints ... and all-day battery life".  A phone's day is a
+sequence of usecase episodes — camera for minutes, video for an hour,
+idle for most of it.  This module composes the per-usecase energy
+model into day-level answers: total energy, battery drain, and which
+episode dominates the budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_finite_positive, require_nonnegative
+from ..core.params import SoCSpec, Workload
+from ..errors import SpecError, WorkloadError
+from .energy import EnergyModel, usecase_energy
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One stretch of the day running a usecase at a fixed rate.
+
+    Parameters
+    ----------
+    workload:
+        The usecase's Gables parameters.
+    duration_s:
+        Wall-clock seconds the episode lasts.
+    ops_per_second:
+        Demand rate (e.g. ``ops_per_frame * fps``); ``None`` means
+        flat-out at the SoC's attainable bound.
+    name:
+        Label for reports.
+    """
+
+    workload: Workload
+    duration_s: float
+    ops_per_second: float | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        require_finite_positive(self.duration_s, "duration_s")
+        if self.ops_per_second is not None:
+            require_finite_positive(self.ops_per_second, "ops_per_second")
+        if not self.name:
+            object.__setattr__(self, "name", self.workload.name)
+
+
+@dataclass(frozen=True)
+class EpisodeCost:
+    """Energy accounting for one episode."""
+
+    name: str
+    duration_s: float
+    average_watts: float
+    joules: float
+
+
+@dataclass(frozen=True)
+class DayReport:
+    """Energy accounting for a whole scenario."""
+
+    episodes: tuple
+    total_joules: float
+    battery_watt_hours: float
+
+    @property
+    def battery_drain_fraction(self) -> float:
+        """Share of the battery the scenario consumes (may exceed 1)."""
+        return self.total_joules / (self.battery_watt_hours * 3600.0)
+
+    @property
+    def survives(self) -> bool:
+        """True when the battery outlasts the scenario."""
+        return self.battery_drain_fraction <= 1.0
+
+    def dominant_episode(self) -> EpisodeCost:
+        """The episode consuming the most energy."""
+        return max(self.episodes, key=lambda episode: episode.joules)
+
+    def energy_share(self) -> dict:
+        """Episode name -> fraction of the day's energy."""
+        return {
+            episode.name: episode.joules / self.total_joules
+            for episode in self.episodes
+        }
+
+
+def episode_cost(soc: SoCSpec, episode: Episode,
+                 model: EnergyModel) -> EpisodeCost:
+    """Watts and joules for one episode on one SoC.
+
+    At a fixed demand rate below the attainable bound, dynamic power
+    scales down proportionally (the SoC idles between items); static
+    power runs for the whole episode either way.
+    """
+    energy = usecase_energy(soc, episode.workload, model)
+    attainable = 1.0 / energy.runtime
+    rate = episode.ops_per_second
+    if rate is None:
+        rate = attainable
+    elif rate > attainable * (1 + 1e-9):
+        raise WorkloadError(
+            f"episode {episode.name!r} demands {rate:.3g} ops/s but the "
+            f"SoC attains only {attainable:.3g}"
+        )
+    dynamic_watts = (energy.compute_joules + energy.dram_joules) * rate
+    static_watts = energy.static_joules / energy.runtime
+    watts = dynamic_watts + static_watts
+    return EpisodeCost(
+        name=episode.name,
+        duration_s=episode.duration_s,
+        average_watts=watts,
+        joules=watts * episode.duration_s,
+    )
+
+
+def day_report(soc: SoCSpec, episodes, model: EnergyModel,
+               battery_watt_hours: float) -> DayReport:
+    """Evaluate a whole scenario against a battery.
+
+    Episode names must be unique so the energy-share report is
+    unambiguous.
+    """
+    require_finite_positive(battery_watt_hours, "battery_watt_hours")
+    episodes = list(episodes)
+    if not episodes:
+        raise SpecError("a day scenario needs at least one episode")
+    names = [episode.name for episode in episodes]
+    if len(set(names)) != len(names):
+        raise SpecError(f"episode names must be unique, got {names!r}")
+    costs = tuple(episode_cost(soc, episode, model) for episode in episodes)
+    return DayReport(
+        episodes=costs,
+        total_joules=math.fsum(cost.joules for cost in costs),
+        battery_watt_hours=battery_watt_hours,
+    )
+
+
+def hours_of_usecase_within_budget(
+    soc: SoCSpec,
+    workload: Workload,
+    model: EnergyModel,
+    battery_watt_hours: float,
+    background_watts: float = 0.3,
+    ops_per_second: float | None = None,
+) -> float:
+    """Hours of one usecase a battery sustains, with system overhead.
+
+    Adds a constant ``background_watts`` (display, radios, rails) on
+    top of the SoC's draw — the difference between a chip-level and a
+    phone-level battery answer.
+    """
+    require_nonnegative(background_watts, "background_watts")
+    cost = episode_cost(
+        soc,
+        Episode(workload, duration_s=3600.0,
+                ops_per_second=ops_per_second),
+        model,
+    )
+    total_watts = cost.average_watts + background_watts
+    return battery_watt_hours / total_watts

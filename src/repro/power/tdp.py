@@ -1,0 +1,166 @@
+"""TDP-constrained Gables: the power roofline.
+
+Mobile SoCs live under a thermal design power (the paper: "a tight 3
+Watt thermal design point constraint").  Sustained performance is
+therefore bounded not only by compute and bandwidth but by power:
+
+    P_power = (TDP - P_static) / E_avg
+
+where ``E_avg`` is the usecase's average energy per op (dynamic compute
+plus off-chip movement).  This extension adds that bound as one more
+term in the Gables min() — a *horizontal* roofline in (intensity,
+performance) space whose height rises with operational intensity
+(fewer off-chip joules per op), making data reuse a power lever just
+as Section VII's fourth conjecture treats it as a bandwidth lever.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_finite_positive
+from ..core.curves import RooflineCurve
+from ..core.gables import evaluate, ip_terms
+from ..core.params import SoCSpec, Workload
+from ..core.result import GablesResult, pick_bottleneck
+from ..errors import EvaluationError
+from .energy import EnergyModel
+
+#: Component label for the power bound in results.
+POWER = "power"
+
+
+@dataclass(frozen=True)
+class PowerConstrainedResult:
+    """Gables result plus the TDP term.
+
+    ``gables`` carries the unconstrained evaluation; ``attainable`` is
+    the power-aware bound, ``power_bound`` the TDP-only ceiling, and
+    ``bottleneck`` may now be ``"power"``.
+    """
+
+    gables: GablesResult
+    power_bound: float
+    attainable: float
+    bottleneck: str
+    tdp_watts: float
+
+    @property
+    def power_limited(self) -> bool:
+        """True when TDP, not compute or bandwidth, binds."""
+        return self.bottleneck == POWER
+
+    def sustained_fraction(self) -> float:
+        """Share of the performance-only bound that TDP permits."""
+        return self.attainable / self.gables.attainable
+
+
+def dynamic_energy_per_op(
+    soc: SoCSpec, workload: Workload, model: EnergyModel
+) -> float:
+    """Average dynamic joules per usecase op (compute + DRAM traffic)."""
+    model.check_matches(soc)
+    compute = math.fsum(
+        workload.fractions[i] * model.ip_energy[i].joules_per_op
+        for i in range(soc.n_ips)
+    )
+    total_bytes = math.fsum(
+        term.data_bytes for term in ip_terms(soc, workload)
+    )
+    return compute + total_bytes * model.dram_joules_per_byte
+
+
+def evaluate_power_constrained(
+    soc: SoCSpec,
+    workload: Workload,
+    model: EnergyModel,
+    tdp_watts: float,
+) -> PowerConstrainedResult:
+    """Evaluate Gables with the TDP term added to the min().
+
+    The static power of all IPs is burned regardless; only the
+    remainder buys dynamic work.  Raises when static power alone
+    exceeds the TDP (the design cannot even idle).
+    """
+    require_finite_positive(tdp_watts, "tdp_watts")
+    base = evaluate(soc, workload)
+
+    static = math.fsum(entry.idle_watts for entry in model.ip_energy)
+    headroom = tdp_watts - static
+    if headroom <= 0:
+        raise EvaluationError(
+            f"static power {static:.3g} W alone exceeds the "
+            f"{tdp_watts:.3g} W TDP"
+        )
+    energy_per_op = dynamic_energy_per_op(soc, workload, model)
+    power_bound = headroom / energy_per_op
+
+    times = {term.name: term.time for term in base.ip_terms}
+    times["memory"] = base.memory_time
+    times[POWER] = 1.0 / power_bound
+    primary, _ = pick_bottleneck(times)
+
+    attainable = min(base.attainable, power_bound)
+    return PowerConstrainedResult(
+        gables=base,
+        power_bound=power_bound,
+        attainable=attainable,
+        bottleneck=primary,
+        tdp_watts=tdp_watts,
+    )
+
+
+def power_roofline_curve(
+    soc: SoCSpec,
+    workload: Workload,
+    model: EnergyModel,
+    tdp_watts: float,
+    name: str = POWER,
+) -> RooflineCurve:
+    """The power bound as a plottable curve over average intensity.
+
+    At average intensity ``I`` the off-chip term is ``E_dram / I``
+    joules per op, so the bound is::
+
+        P(I) = (TDP - P_static) / (E_compute + E_dram_per_byte / I)
+
+    We approximate it on the scaled-roofline axes with the slant/roof
+    form: slope ``headroom / E_dram_per_byte`` (the I -> 0 asymptote is
+    linear in I) and roof ``headroom / E_compute`` (the I -> inf
+    limit).  The min() of the two *over*-estimates the smooth curve by
+    at most 2x (worst at the ridge, where both energy terms are equal)
+    — still a valid upper bound, in keeping with the plot's roofline
+    grammar; :func:`evaluate_power_constrained` uses the exact form.
+    """
+    require_finite_positive(tdp_watts, "tdp_watts")
+    model.check_matches(soc)
+    static = math.fsum(entry.idle_watts for entry in model.ip_energy)
+    headroom = tdp_watts - static
+    if headroom <= 0:
+        raise EvaluationError("no TDP headroom above static power")
+    compute_energy = math.fsum(
+        workload.fractions[i] * model.ip_energy[i].joules_per_op
+        for i in range(soc.n_ips)
+    )
+    return RooflineCurve(
+        name=name,
+        slope=headroom / model.dram_joules_per_byte,
+        roof=headroom / compute_energy,
+    )
+
+
+def max_tdp_needed(
+    soc: SoCSpec, workload: Workload, model: EnergyModel
+) -> float:
+    """TDP at which power stops binding for this usecase.
+
+    Power draw at the performance-only bound, plus static power: any
+    budget at or above this leaves the Gables answer unchanged — the
+    thermal analogue of
+    :func:`repro.explore.minimum_sufficient_bandwidth`.
+    """
+    base = evaluate(soc, workload)
+    static = math.fsum(entry.idle_watts for entry in model.ip_energy)
+    energy_per_op = dynamic_energy_per_op(soc, workload, model)
+    return static + energy_per_op * base.attainable

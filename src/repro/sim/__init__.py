@@ -1,0 +1,76 @@
+"""Simulated SoC hardware — the substrate replacing the paper's phones.
+
+The paper measured physical Snapdragon 835/821 devices through an
+Android app; offline we reproduce the methodology on a behavioural
+simulator with the same observable surface: run Algorithm 1 kernels on
+an engine (:meth:`SimulatedSoC.run_kernel`), or on several engines
+concurrently with shared-DRAM contention
+(:meth:`SimulatedSoC.run_concurrent`).
+:func:`simulated_snapdragon_835` is calibrated to every number the
+paper publishes.
+"""
+
+from .contention import contention_efficiency, max_min_fair, weighted_fair
+from .dvfs import (
+    OperatingPoint,
+    OPPTable,
+    energy_per_flop,
+    fastest_point_within,
+    power_at,
+    scaled_rate,
+)
+from .engine import ComputeEngine
+from .kernel import VARIANTS, KernelSpec
+from .memory import MemoryHierarchy, MemoryLevel
+from .mixing import (
+    DEFAULT_FRACTIONS,
+    DEFAULT_INTENSITIES,
+    MixingPoint,
+    MixingSweep,
+    dsp_perturbation,
+    run_mixing_sweep,
+)
+from .platform import (
+    ConcurrentJob,
+    ConcurrentResult,
+    KernelResult,
+    PowerModel,
+    SimulatedSoC,
+    TimelineStep,
+    simulated_snapdragon_821,
+    simulated_snapdragon_835,
+)
+from .thermal import ThermalSpec, ThermalState
+
+__all__ = [
+    "ComputeEngine",
+    "ConcurrentJob",
+    "ConcurrentResult",
+    "DEFAULT_FRACTIONS",
+    "DEFAULT_INTENSITIES",
+    "KernelResult",
+    "KernelSpec",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "MixingPoint",
+    "MixingSweep",
+    "OPPTable",
+    "OperatingPoint",
+    "PowerModel",
+    "energy_per_flop",
+    "fastest_point_within",
+    "power_at",
+    "scaled_rate",
+    "SimulatedSoC",
+    "ThermalSpec",
+    "ThermalState",
+    "TimelineStep",
+    "VARIANTS",
+    "contention_efficiency",
+    "dsp_perturbation",
+    "max_min_fair",
+    "run_mixing_sweep",
+    "simulated_snapdragon_821",
+    "simulated_snapdragon_835",
+    "weighted_fair",
+]

@@ -1,0 +1,180 @@
+"""DVFS: frequency/voltage operating points for simulated engines.
+
+Mobile SoCs never run at one clock: governors pick an operating
+performance point (OPP) per engine, trading rate against power
+(dynamic power scales roughly with ``f * V^2``, and the voltage each
+frequency needs rises with frequency).  The paper's measurement
+methodology pins clocks at peak ("many vendor-specific knobs are used
+to disable performance and power monitoring governors"); this module
+models what those knobs hold still — so the library can also answer
+energy-aware questions like race-to-idle versus pace-to-fit.
+
+An :class:`OperatingPoint` scales an engine's rates; an :class:`OPPTable`
+holds the ladder; helpers pick the fastest point under a power budget
+and compare energy across points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require_finite_positive
+from ..errors import SpecError
+from .engine import ComputeEngine
+from .platform import PowerModel
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS step.
+
+    Parameters
+    ----------
+    name:
+        Label ("turbo", "nominal", "efficient").
+    frequency_scale:
+        Clock relative to the engine's calibrated peak (<= 1).
+    voltage_scale:
+        Supply voltage relative to peak.  Dynamic energy per op scales
+        with ``voltage_scale ** 2`` (CV^2); static power scales with
+        ``voltage_scale`` (leakage is super-linear in V in reality;
+        linear keeps the model honest without extra parameters).
+    """
+
+    name: str
+    frequency_scale: float
+    voltage_scale: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("OperatingPoint name must be non-empty")
+        require_finite_positive(self.frequency_scale, "frequency_scale")
+        require_finite_positive(self.voltage_scale, "voltage_scale")
+        if self.frequency_scale > 1.0 or self.voltage_scale > 1.0:
+            raise SpecError(
+                f"OPP {self.name!r} scales must be <= 1 (peak-relative)"
+            )
+
+    @property
+    def dynamic_energy_scale(self) -> float:
+        """Energy per op relative to peak: ``V^2`` (CV^2 switching)."""
+        return self.voltage_scale**2
+
+    @property
+    def dynamic_power_scale(self) -> float:
+        """Power relative to peak at full utilization: ``f * V^2``."""
+        return self.frequency_scale * self.voltage_scale**2
+
+
+@dataclass(frozen=True)
+class OPPTable:
+    """An engine's DVFS ladder, fastest first."""
+
+    points: tuple
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.points, tuple):
+            object.__setattr__(self, "points", tuple(self.points))
+        if not self.points:
+            raise SpecError("OPPTable needs at least one point")
+        for point in self.points:
+            if not isinstance(point, OperatingPoint):
+                raise SpecError("points must contain OperatingPoint")
+        frequencies = [p.frequency_scale for p in self.points]
+        if frequencies != sorted(frequencies, reverse=True):
+            raise SpecError("OPPTable points must be ordered fastest first")
+        names = [p.name for p in self.points]
+        if len(set(names)) != len(names):
+            raise SpecError(f"OPP names must be unique, got {names!r}")
+
+    @property
+    def peak(self) -> OperatingPoint:
+        """The fastest point."""
+        return self.points[0]
+
+    def by_name(self, name: str) -> OperatingPoint:
+        """Look up a point by name."""
+        for point in self.points:
+            if point.name == name:
+                return point
+        raise SpecError(f"no OPP named {name!r}")
+
+    @classmethod
+    def mobile_default(cls) -> "OPPTable":
+        """A typical three-step mobile ladder."""
+        return cls(points=(
+            OperatingPoint("turbo", 1.0, 1.0),
+            OperatingPoint("nominal", 0.75, 0.85),
+            OperatingPoint("efficient", 0.5, 0.7),
+        ))
+
+
+def scaled_rate(engine: ComputeEngine, point: OperatingPoint,
+                elements: int, flops_per_byte: float,
+                simd: bool = False) -> float:
+    """Attained FLOP/s at an OPP.
+
+    The compute bound scales with frequency; the memory path does not
+    (DRAM and fabric clocks are independent domains), so memory-bound
+    kernels lose nothing at lower engine clocks — the classic reason
+    governors down-clock during streaming phases.
+    """
+    compute_bound = (
+        engine.peak_flops(simd)
+        * engine.utilization(elements)
+        * point.frequency_scale
+    )
+    bandwidth = engine.hierarchy.streaming_bandwidth(
+        elements * 4.0, engine.write_fraction
+    )
+    return min(compute_bound, bandwidth * flops_per_byte)
+
+
+def power_at(point: OperatingPoint, model: PowerModel,
+             flops_per_s: float, bytes_per_s: float) -> float:
+    """Watts at an OPP: scaled dynamic terms plus scaled leakage."""
+    dynamic = (
+        model.joules_per_gflop * flops_per_s / 1e9
+        + model.joules_per_gbyte * bytes_per_s / 1e9
+    ) * point.dynamic_energy_scale
+    static = model.idle_watts * point.voltage_scale
+    return static + dynamic
+
+
+def fastest_point_within(
+    table: OPPTable,
+    engine: ComputeEngine,
+    model: PowerModel,
+    elements: int,
+    flops_per_byte: float,
+    power_budget: float,
+    simd: bool = False,
+) -> OperatingPoint:
+    """The governor's choice: the fastest OPP whose draw fits the budget.
+
+    Falls back to the most efficient point when nothing fits (real
+    governors cannot turn the engine off mid-usecase either).
+    """
+    require_finite_positive(power_budget, "power_budget")
+    for point in table.points:
+        rate = scaled_rate(engine, point, elements, flops_per_byte, simd)
+        draw = power_at(point, model, rate, rate / flops_per_byte)
+        if draw <= power_budget:
+            return point
+    return table.points[-1]
+
+
+def energy_per_flop(point: OperatingPoint, model: PowerModel,
+                    engine: ComputeEngine, elements: int,
+                    flops_per_byte: float, simd: bool = False) -> float:
+    """Joules per useful FLOP at an OPP, static power amortized in.
+
+    Exposes the race-to-idle trade: a slower point saves CV^2 energy
+    per op but pays leakage for longer.  Which wins depends on the
+    leakage share — exactly what this function lets callers compute.
+    """
+    rate = scaled_rate(engine, point, elements, flops_per_byte, simd)
+    if rate <= 0:
+        raise SpecError("degenerate rate at this operating point")
+    watts = power_at(point, model, rate, rate / flops_per_byte)
+    return watts / rate

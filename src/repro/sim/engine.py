@@ -1,0 +1,154 @@
+"""Compute-engine models for the simulated SoC.
+
+An engine is a throughput model of one programmable IP: scalar FLOP
+rate, optional SIMD multiplier, thread/workgroup count (which gates how
+much of the peak small problems can use), and the memory hierarchy it
+streams through.  Engines deliberately stay at the fidelity Gables
+needs — attained rate as a function of kernel shape — not cycle level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require_finite_positive
+from ..errors import SpecError
+from .memory import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class ComputeEngine:
+    """One programmable engine (CPU complex, GPU, DSP scalar unit).
+
+    Parameters
+    ----------
+    name:
+        Engine name (matches the SoC description's IP instance).
+    scalar_flops:
+        Peak FLOP/s without SIMD/vector issue — what the paper's plain
+        C kernel attains (e.g. 7.5 GFLOP/s on the Kryo CPU).
+    simd_multiplier:
+        Peak gain from full vector issue (e.g. the paper's >5x NEON
+        gain on the CPU).  1.0 for engines whose quoted rate already
+        assumes full-width issue (the GPU numbers do).
+    parallel_lanes:
+        Hardware contexts that must all be fed to reach peak (cores x
+        threads, or workgroups).  Problems smaller than
+        ``min_elements_per_lane * parallel_lanes`` attain
+        proportionally less — visible as a left-edge droop in measured
+        rooflines.
+    hierarchy:
+        The engine's cache hierarchy and DRAM path.
+    write_fraction:
+        Share of the kernel's traffic that is writes (the paper's CPU
+        kernel updates in place: 0.5; its GPU stream variant also reads
+        one array and writes another: 0.5).
+    min_elements_per_lane:
+        Elements each lane needs to reach full utilization.
+    supports_float:
+        False for engines that cannot run the single-precision kernel
+        at all (e.g. the Hexagon HVX *vector* unit is integer-only —
+        the paper had to measure the scalar unit instead).
+    """
+
+    name: str
+    scalar_flops: float
+    hierarchy: MemoryHierarchy
+    simd_multiplier: float = 1.0
+    parallel_lanes: int = 1
+    write_fraction: float = 0.5
+    min_elements_per_lane: int = 1024
+    supports_float: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("ComputeEngine name must be non-empty")
+        require_finite_positive(self.scalar_flops, f"{self.name!r} scalar_flops")
+        require_finite_positive(self.simd_multiplier, f"{self.name!r} simd_multiplier")
+        if self.simd_multiplier < 1.0:
+            raise SpecError(f"{self.name!r} simd_multiplier must be >= 1")
+        if self.parallel_lanes < 1:
+            raise SpecError(f"{self.name!r} parallel_lanes must be >= 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise SpecError(f"{self.name!r} write_fraction must lie in [0, 1]")
+        if self.min_elements_per_lane < 1:
+            raise SpecError(f"{self.name!r} min_elements_per_lane must be >= 1")
+
+    def peak_flops(self, simd: bool = False) -> float:
+        """Peak FLOP/s with or without vectorization."""
+        return self.scalar_flops * (self.simd_multiplier if simd else 1.0)
+
+    def utilization(self, elements: int) -> float:
+        """Fraction of peak reachable for a problem of ``elements``.
+
+        Small problems cannot fill every lane: utilization ramps
+        linearly until each lane has ``min_elements_per_lane`` work.
+        """
+        if elements < 1:
+            raise SpecError(f"elements must be >= 1, got {elements}")
+        needed = self.parallel_lanes * self.min_elements_per_lane
+        return min(1.0, elements / needed)
+
+    def attained_flops(
+        self,
+        elements: int,
+        flops_per_byte: float,
+        simd: bool = False,
+        bandwidth_cap: float | None = None,
+        write_fraction: float | None = None,
+        footprint_bytes: float | None = None,
+    ) -> float:
+        """Steady-state FLOP/s for a streaming kernel on this engine.
+
+        The engine-level roofline: compute bound is the (possibly
+        SIMD) peak derated by lane utilization; bandwidth bound is the
+        hierarchy's streaming bandwidth for the kernel's footprint —
+        optionally capped from outside (fabric share or contended DRAM
+        allocation) — times the kernel's intensity.
+
+        Parameters
+        ----------
+        elements:
+            Array elements the kernel walks (footprint/4 bytes).
+        flops_per_byte:
+            The kernel's operational intensity.
+        simd:
+            Whether the kernel is vectorized.
+        bandwidth_cap:
+            Externally-imposed bytes/s limit (contention or fabric).
+        write_fraction:
+            Traffic mix override (e.g. a read-only kernel); defaults to
+            the engine's configured mix.
+        footprint_bytes:
+            Resident working set override (a two-array streaming kernel
+            occupies twice its element count); defaults to one array of
+            single-precision words.
+        """
+        require_finite_positive(flops_per_byte, "flops_per_byte")
+        if not self.supports_float:
+            raise SpecError(
+                f"engine {self.name!r} cannot execute the floating-point kernel"
+            )
+        compute_bound = self.peak_flops(simd) * self.utilization(elements)
+        footprint = footprint_bytes or elements * 4.0  # single-precision words
+        mix = self.write_fraction if write_fraction is None else write_fraction
+        bandwidth = self.hierarchy.streaming_bandwidth(footprint, mix)
+        if bandwidth_cap is not None:
+            bandwidth = min(bandwidth, bandwidth_cap)
+        return min(compute_bound, bandwidth * flops_per_byte)
+
+    def demand_bytes_per_second(
+        self, elements: int, flops_per_byte: float, simd: bool = False
+    ) -> float:
+        """Bytes/s this engine *wants* from shared memory when unbounded.
+
+        Used by the contention solver: an engine's demand is its
+        compute-bound rate divided by intensity, capped by what its own
+        hierarchy path can stream.
+        """
+        unbounded = self.attained_flops(elements, flops_per_byte, simd)
+        return unbounded / flops_per_byte
+
+    def dram_resident(self, footprint_bytes: float) -> bool:
+        """True when a working set spills past all cache levels."""
+        return self.hierarchy.service_level(footprint_bytes) == "DRAM"

@@ -1,0 +1,123 @@
+"""The paper's Algorithm 1 micro-benchmark as a kernel specification.
+
+The kernel walks an array of ``size`` single-precision words ``trials``
+times, performing an unrolled chain of multiply-adds per element whose
+length is compiled in (the ``FLOPS_PER_BYTE`` macro ladder in the
+paper's pseudocode).  Varying the unroll depth controls operational
+intensity; varying the array size moves the footprint across the cache
+hierarchy.  Three traffic variants, matching Section IV-A/B:
+
+- ``inplace`` — the CPU form: read each word, update it in place
+  (4 bytes read + 4 written per element per trial);
+- ``stream`` — the GPU form: stream-read one array, write another
+  ("much like the CPU STREAM kernel");
+- ``read_only`` — the paper's sanity-check variant (~20 GB/s vs
+  15.1 GB/s read+write on the Snapdragon CPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import SpecError
+from ..units import SP_WORD_BYTES
+
+#: Traffic variants and their (bytes-moved, footprint-arrays) shape.
+VARIANTS = {
+    "inplace": {"bytes_per_element": 2 * SP_WORD_BYTES, "arrays": 1,
+                "write_fraction": 0.5},
+    "stream": {"bytes_per_element": 2 * SP_WORD_BYTES, "arrays": 2,
+               "write_fraction": 0.5},
+    "read_only": {"bytes_per_element": SP_WORD_BYTES, "arrays": 1,
+                  "write_fraction": 0.0},
+}
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One configuration of the Algorithm 1 micro-benchmark.
+
+    Parameters
+    ----------
+    elements:
+        Array length in single-precision words (``size`` in the paper).
+    trials:
+        Outer repetitions; total work scales linearly.
+    flops_per_element:
+        Multiply-add chain length per element per trial.
+    variant:
+        Traffic shape: ``"inplace"`` | ``"stream"`` | ``"read_only"``.
+    simd:
+        Whether the kernel is vector-compiled (the paper's NEON case).
+    """
+
+    elements: int
+    trials: int = 1
+    flops_per_element: float = 2.0
+    variant: str = "inplace"
+    simd: bool = False
+
+    def __post_init__(self) -> None:
+        if self.elements < 1:
+            raise SpecError(f"elements must be >= 1, got {self.elements}")
+        if self.trials < 1:
+            raise SpecError(f"trials must be >= 1, got {self.trials}")
+        if self.flops_per_element <= 0:
+            raise SpecError(
+                f"flops_per_element must be positive, got {self.flops_per_element!r}"
+            )
+        if self.variant not in VARIANTS:
+            raise SpecError(
+                f"unknown variant {self.variant!r}; known: {sorted(VARIANTS)}"
+            )
+
+    @property
+    def bytes_per_element(self) -> float:
+        """Bytes moved per element per trial."""
+        return VARIANTS[self.variant]["bytes_per_element"]
+
+    @property
+    def write_fraction(self) -> float:
+        """Share of moved bytes that are writes."""
+        return VARIANTS[self.variant]["write_fraction"]
+
+    @property
+    def footprint_bytes(self) -> float:
+        """Resident working set (1 array in place, 2 for streaming)."""
+        return self.elements * SP_WORD_BYTES * VARIANTS[self.variant]["arrays"]
+
+    @property
+    def intensity(self) -> float:
+        """Operational intensity in FLOPs per byte moved."""
+        return self.flops_per_element / self.bytes_per_element
+
+    @property
+    def total_flops(self) -> float:
+        """FLOPs executed across all trials."""
+        return self.elements * self.trials * self.flops_per_element
+
+    @property
+    def total_bytes(self) -> float:
+        """Bytes moved across all trials."""
+        return self.elements * self.trials * self.bytes_per_element
+
+    def with_intensity(self, flops_per_byte: float) -> "KernelSpec":
+        """The same kernel re-unrolled to hit a target intensity."""
+        if flops_per_byte <= 0:
+            raise SpecError(f"intensity must be positive, got {flops_per_byte!r}")
+        return replace(
+            self, flops_per_element=flops_per_byte * self.bytes_per_element
+        )
+
+    @classmethod
+    def intensity_sweep(
+        cls,
+        elements: int,
+        intensities,
+        variant: str = "inplace",
+        trials: int = 1,
+        simd: bool = False,
+    ) -> tuple:
+        """Kernels covering a list of target intensities (ops/byte)."""
+        base = cls(elements=elements, trials=trials, variant=variant, simd=simd)
+        return tuple(base.with_intensity(i) for i in intensities)

@@ -1,0 +1,136 @@
+"""Thermal throttling model for the simulated SoC.
+
+The paper stresses that its FP-intensive microbenchmark overheats
+phones — "performance can vary significantly from one run to another"
+— so all measurements were taken in a thermally controlled unit with
+monitoring governors disabled.  The simulator reproduces both regimes:
+
+- ``thermally_controlled=True`` (the paper's chamber): no throttling,
+  perfectly repeatable numbers;
+- uncontrolled: a first-order thermal RC model heats the die with the
+  run's power draw; when the junction temperature would exceed the
+  limit, the governor scales the sustained rate down to the power the
+  package can dissipate.
+
+The model is deterministic: "variance" across back-to-back runs is
+modeled by the starting temperature carried over from the previous
+run, the dominant real-world effect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_finite_positive, require_nonnegative
+from ..errors import SpecError
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """Package thermal parameters.
+
+    Parameters
+    ----------
+    ambient_c:
+        Ambient temperature, Celsius.
+    limit_c:
+        Junction temperature at which the governor throttles.
+    resistance_c_per_w:
+        Thermal resistance junction->ambient (C/W): steady-state rise
+        is ``power * resistance``.
+    time_constant_s:
+        RC time constant of the package.
+    sustainable_watts:
+        Convenience: power at which steady-state just touches the limit
+        (``(limit - ambient) / resistance``).
+    """
+
+    ambient_c: float = 25.0
+    limit_c: float = 75.0
+    resistance_c_per_w: float = 12.0
+    time_constant_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        require_finite_positive(self.resistance_c_per_w, "resistance_c_per_w")
+        require_finite_positive(self.time_constant_s, "time_constant_s")
+        if self.limit_c <= self.ambient_c:
+            raise SpecError(
+                f"limit_c ({self.limit_c}) must exceed ambient_c ({self.ambient_c})"
+            )
+
+    @property
+    def sustainable_watts(self) -> float:
+        """Steady-state power budget before throttling engages."""
+        return (self.limit_c - self.ambient_c) / self.resistance_c_per_w
+
+
+class ThermalState:
+    """Mutable die temperature evolved across simulated runs."""
+
+    def __init__(self, spec: ThermalSpec, controlled: bool = True) -> None:
+        self.spec = spec
+        self.controlled = controlled
+        self.temperature_c = spec.ambient_c
+
+    def reset(self) -> None:
+        """Cool the die back to ambient (e.g. between benchmark sets)."""
+        self.temperature_c = self.spec.ambient_c
+
+    def throttle_factor(self, power_watts: float) -> float:
+        """Rate multiplier the governor imposes for a sustained draw.
+
+        In the controlled chamber this is always 1.0.  Otherwise, if
+        the steady-state temperature for ``power_watts`` exceeds the
+        limit, the sustained rate is scaled so dissipation matches the
+        budget; a hot die (from previous runs) has less headroom.
+        """
+        require_nonnegative(power_watts, "power_watts")
+        if self.controlled or power_watts == 0:
+            return 1.0
+        headroom_c = self.spec.limit_c - self.temperature_c
+        if headroom_c <= 0:
+            # Already at/above limit: only the sustainable share runs.
+            return self.spec.sustainable_watts / power_watts \
+                if power_watts > self.spec.sustainable_watts else 1.0
+        steady_rise = power_watts * self.spec.resistance_c_per_w
+        allowed_rise = self.spec.limit_c - self.spec.ambient_c
+        if steady_rise <= allowed_rise:
+            return 1.0
+        return allowed_rise / steady_rise
+
+    def time_to_limit(self, power_watts: float) -> float:
+        """Seconds until the die reaches the governor limit at ``power``.
+
+        Returns ``inf`` when the steady-state temperature for this power
+        never reaches the limit (or in controlled mode), and 0 when the
+        die is already at/above it.  First-order RC response.
+        """
+        require_nonnegative(power_watts, "power_watts")
+        if self.controlled:
+            return math.inf
+        target = self.spec.ambient_c + power_watts * self.spec.resistance_c_per_w
+        if target <= self.spec.limit_c:
+            return math.inf
+        if self.temperature_c >= self.spec.limit_c:
+            return 0.0
+        # temp(t) = target + (T0 - target) * exp(-t / tau); solve = limit.
+        ratio = (target - self.temperature_c) / (target - self.spec.limit_c)
+        return self.spec.time_constant_s * math.log(ratio)
+
+    def advance(self, power_watts: float, duration_s: float) -> None:
+        """Evolve die temperature through a run of the given power.
+
+        First-order response toward the steady-state temperature for
+        ``power_watts``, clamped at the governor limit.
+        """
+        require_nonnegative(power_watts, "power_watts")
+        require_nonnegative(duration_s, "duration_s")
+        if self.controlled:
+            return
+        target = min(
+            self.spec.ambient_c + power_watts * self.spec.resistance_c_per_w,
+            self.spec.limit_c,
+        )
+        decay = math.exp(-duration_s / self.spec.time_constant_s)
+        self.temperature_c = target + (self.temperature_c - target) * decay

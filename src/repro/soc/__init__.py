@@ -1,0 +1,30 @@
+"""SoC description substrate: IP catalog, fabric hierarchy, presets.
+
+:class:`SoCDescription` is the architect-facing sketch of a chip; it
+lowers to the Gables model's :class:`~repro.core.params.SoCSpec` via
+:meth:`~repro.soc.description.SoCDescription.to_gables_spec` and to the
+Section V-B interconnect extension via
+:meth:`~repro.soc.description.SoCDescription.interconnect_spec`.
+"""
+
+from . import catalog
+from .catalog import ALL_KINDS, PROGRAMMABLE_KINDS, IPKind, is_programmable, kind_info
+from .description import MEMORY_NODE, FabricTier, IPInstance, SoCDescription
+from .presets import PRESETS, generic_soc, snapdragon_821, snapdragon_835
+
+__all__ = [
+    "ALL_KINDS",
+    "FabricTier",
+    "IPInstance",
+    "IPKind",
+    "MEMORY_NODE",
+    "PRESETS",
+    "PROGRAMMABLE_KINDS",
+    "SoCDescription",
+    "catalog",
+    "generic_soc",
+    "is_programmable",
+    "kind_info",
+    "snapdragon_821",
+    "snapdragon_835",
+]

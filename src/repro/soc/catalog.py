@@ -1,0 +1,92 @@
+"""Catalog of mobile-SoC IP block kinds (paper Section II, Figure 3).
+
+A modern consumer SoC clusters 30+ IPs across fabric hierarchies.  The
+catalog enumerates the kinds the paper names, with the roles they play
+in usecases, so SoC descriptions and usecase dataflows can share a
+vocabulary.  The kind constants double as the IP names in Table I's
+usecase/IP matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SpecError
+
+# Programmable engines (the three the paper measures).
+AP = "AP"  # application processor (CPU complex)
+GPU = "GPU"
+DSP = "DSP"  # e.g. Qualcomm Hexagon
+
+# Camera / imaging pipeline.
+ISP = "ISP"  # image signal processor
+IPU = "IPU"  # image processing unit (e.g. Pixel Visual Core)
+JPEG = "JPEG"
+G2DS = "G2DS"  # 2D graphics / scaler
+
+# Media.
+VDEC = "VDEC"  # video decoder
+VENC = "VENC"  # video encoder
+DISPLAY = "Display"
+AUDIO = "Audio"
+
+# Connectivity and system.
+MODEM = "Modem"
+WIFI = "WiFi"
+GPS = "GPS"
+CRYPTO = "Crypto"
+SENSOR_HUB = "SensorHub"
+USB = "USB"
+
+#: Every catalogued IP kind.
+ALL_KINDS = (
+    AP, GPU, DSP, ISP, IPU, JPEG, G2DS, VDEC, VENC, DISPLAY, AUDIO,
+    MODEM, WIFI, GPS, CRYPTO, SENSOR_HUB, USB,
+)
+
+#: Kinds that execute user-programmable code (vs fixed-function).
+PROGRAMMABLE_KINDS = frozenset({AP, GPU, DSP, IPU})
+
+
+@dataclass(frozen=True)
+class IPKind:
+    """Descriptive metadata for one IP kind."""
+
+    kind: str
+    description: str
+    programmable: bool
+    typical_fabric: str  # which fabric tier it usually attaches to
+
+
+_CATALOG = {
+    AP: IPKind(AP, "CPU complex (big/mid/little cores)", True, "high-bandwidth"),
+    GPU: IPKind(GPU, "graphics/compute shader array", True, "high-bandwidth"),
+    DSP: IPKind(DSP, "scalar+vector signal processor", True, "multimedia"),
+    ISP: IPKind(ISP, "camera image signal processor", False, "multimedia"),
+    IPU: IPKind(IPU, "programmable image processing unit", True, "multimedia"),
+    JPEG: IPKind(JPEG, "JPEG encode/decode block", False, "multimedia"),
+    G2DS: IPKind(G2DS, "2D graphics and scaler", False, "multimedia"),
+    VDEC: IPKind(VDEC, "video decoder", False, "multimedia"),
+    VENC: IPKind(VENC, "video encoder", False, "multimedia"),
+    DISPLAY: IPKind(DISPLAY, "display controller", False, "multimedia"),
+    AUDIO: IPKind(AUDIO, "audio DSP / codec", False, "system"),
+    MODEM: IPKind(MODEM, "LTE/5G modem", False, "system"),
+    WIFI: IPKind(WIFI, "WiFi/BT radio interface", False, "system"),
+    GPS: IPKind(GPS, "GNSS receiver", False, "system"),
+    CRYPTO: IPKind(CRYPTO, "crypto/DRM engine", False, "system"),
+    SENSOR_HUB: IPKind(SENSOR_HUB, "always-on sensor hub", False, "peripheral"),
+    USB: IPKind(USB, "USB controller", False, "peripheral"),
+}
+
+
+def kind_info(kind: str) -> IPKind:
+    """Metadata for a catalogued kind (raises on unknown kinds)."""
+    try:
+        return _CATALOG[kind]
+    except KeyError:
+        raise SpecError(f"unknown IP kind {kind!r}; see repro.soc.ALL_KINDS") from None
+
+
+def is_programmable(kind: str) -> bool:
+    """True for engines that run user code (AP/GPU/DSP/IPU)."""
+    return kind_info(kind).programmable

@@ -1,0 +1,199 @@
+"""Rich SoC descriptions: IPs, fabric hierarchy, and DRAM.
+
+:class:`SoCDescription` carries more than the four numbers per IP that
+Gables consumes — fabric attachment, kind metadata, local memory sizes
+— and lowers to the model's :class:`~repro.core.params.SoCSpec` plus an
+:class:`~repro.core.extensions.interconnect.InterconnectSpec` on
+demand.  This mirrors how the model is used in practice: an architect
+sketches the chip once and asks Gables questions about many usecases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from .._validation import require_finite_positive, require_positive
+from ..core.extensions.interconnect import InterconnectSpec
+from ..core.params import IPBlock, SoCSpec
+from ..errors import SpecError
+from . import catalog
+
+#: Node name used for the DRAM side of the fabric graph.
+MEMORY_NODE = "memory"
+
+
+@dataclass(frozen=True)
+class FabricTier:
+    """One interconnect fabric (bus) tier with a bandwidth bound."""
+
+    name: str
+    bandwidth: float  # bytes/s
+    parent: str | None = None  # next fabric toward memory, or None = memory
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("FabricTier name must be non-empty")
+        require_positive(self.bandwidth, f"fabric {self.name!r} bandwidth")
+
+
+@dataclass(frozen=True)
+class IPInstance:
+    """One IP placed on the SoC.
+
+    Parameters
+    ----------
+    name:
+        Unique instance name (``"big-CPU"``, ``"GPU"``).
+    kind:
+        Catalog kind from :mod:`repro.soc.catalog`.
+    peak_perf:
+        Peak ops/s of this IP in isolation.
+    bandwidth:
+        ``Bi`` — link bandwidth to its fabric, bytes/s.
+    fabric:
+        Name of the :class:`FabricTier` it attaches to, or ``None`` for
+        a dedicated port on the memory controller.
+    local_memory_bytes:
+        Scratchpad/cache private to the IP (informs intensity
+        reasoning; the base model does not consume it directly).
+    """
+
+    name: str
+    kind: str
+    peak_perf: float
+    bandwidth: float
+    fabric: str | None = None
+    local_memory_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("IPInstance name must be non-empty")
+        catalog.kind_info(self.kind)  # validates the kind
+        require_finite_positive(self.peak_perf, f"IP {self.name!r} peak_perf")
+        require_positive(self.bandwidth, f"IP {self.name!r} bandwidth")
+        if self.local_memory_bytes < 0:
+            raise SpecError(f"IP {self.name!r} local_memory_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class SoCDescription:
+    """A full SoC sketch: IPs, fabric tiers, and the DRAM interface.
+
+    The first IP is the reference processor (the AP complex); Gables'
+    ``Ppeak`` is its peak performance and every other IP's acceleration
+    is derived as ``peak_perf / Ppeak``.
+    """
+
+    name: str
+    ips: tuple
+    fabrics: tuple = field(default_factory=tuple)
+    memory_bandwidth: float = 0.0  # Bpeak, bytes/s
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ips, tuple):
+            object.__setattr__(self, "ips", tuple(self.ips))
+        if not isinstance(self.fabrics, tuple):
+            object.__setattr__(self, "fabrics", tuple(self.fabrics))
+        if not self.ips:
+            raise SpecError("SoCDescription needs at least one IP")
+        require_finite_positive(self.memory_bandwidth, "memory_bandwidth")
+        names = [ip.name for ip in self.ips]
+        if len(set(names)) != len(names):
+            raise SpecError(f"IP instance names must be unique: {names!r}")
+        fabric_names = {f.name for f in self.fabrics}
+        if len(fabric_names) != len(self.fabrics):
+            raise SpecError("fabric names must be unique")
+        if MEMORY_NODE in fabric_names or MEMORY_NODE in names:
+            raise SpecError(f"{MEMORY_NODE!r} is reserved for the DRAM node")
+        for fabric in self.fabrics:
+            if fabric.parent is not None and fabric.parent not in fabric_names:
+                raise SpecError(
+                    f"fabric {fabric.name!r} parent {fabric.parent!r} unknown"
+                )
+        for ip in self.ips:
+            if ip.fabric is not None and ip.fabric not in fabric_names:
+                raise SpecError(f"IP {ip.name!r} fabric {ip.fabric!r} unknown")
+        self._check_fabric_acyclic()
+
+    def _check_fabric_acyclic(self) -> None:
+        graph = self.fabric_graph()
+        if not nx.is_directed_acyclic_graph(graph):
+            raise SpecError(f"SoC {self.name!r} fabric hierarchy contains a cycle")
+
+    @property
+    def n_ips(self) -> int:
+        """Number of IP instances."""
+        return len(self.ips)
+
+    @property
+    def ip_names(self) -> tuple:
+        """Instance names in index order."""
+        return tuple(ip.name for ip in self.ips)
+
+    def ip(self, name: str) -> IPInstance:
+        """Look up an IP instance by name."""
+        for instance in self.ips:
+            if instance.name == name:
+                return instance
+        raise SpecError(f"SoC {self.name!r} has no IP named {name!r}")
+
+    def ips_of_kind(self, kind: str) -> tuple:
+        """All instances of a catalog kind."""
+        return tuple(ip for ip in self.ips if ip.kind == kind)
+
+    def fabric_graph(self) -> nx.DiGraph:
+        """The fabric hierarchy as a digraph with edges toward memory.
+
+        Fabric nodes carry their ``bandwidth`` attribute, which is what
+        :meth:`interconnect_spec` and the plotting layer consume.
+        """
+        graph = nx.DiGraph()
+        graph.add_node(MEMORY_NODE)
+        for fabric in self.fabrics:
+            graph.add_node(fabric.name, bandwidth=fabric.bandwidth)
+        for fabric in self.fabrics:
+            graph.add_edge(fabric.name, fabric.parent or MEMORY_NODE)
+        for ip in self.ips:
+            graph.add_node(ip.name)
+            graph.add_edge(ip.name, ip.fabric or MEMORY_NODE)
+        return graph
+
+    def to_gables_spec(self) -> SoCSpec:
+        """Lower to the base model's hardware parameters.
+
+        ``Ppeak`` is the first IP's peak; accelerations follow.  The
+        fabric hierarchy is dropped (base Gables assumes it never
+        binds); use :meth:`interconnect_spec` for the Section V-B
+        extension.
+        """
+        ppeak = self.ips[0].peak_perf
+        blocks = tuple(
+            IPBlock(ip.name, ip.peak_perf / ppeak, ip.bandwidth) for ip in self.ips
+        )
+        return SoCSpec(
+            peak_perf=ppeak,
+            memory_bandwidth=self.memory_bandwidth,
+            ips=blocks,
+            name=self.name,
+        )
+
+    def interconnect_spec(self) -> InterconnectSpec:
+        """The fabric hierarchy as a Section V-B interconnect spec."""
+        if not self.fabrics:
+            raise SpecError(
+                f"SoC {self.name!r} declares no fabrics; base Gables applies"
+            )
+        return InterconnectSpec.from_fabric_graph(
+            self.fabric_graph(), self.ip_names, memory_node=MEMORY_NODE
+        )
+
+    def total_ip_peak(self) -> float:
+        """Sum of all IP peaks — the chip's headline 'TOPS' number.
+
+        Rarely attainable (shared ``Bpeak`` binds first); comparing it
+        to Gables' answer for a usecase quantifies the marketing gap.
+        """
+        return math.fsum(ip.peak_perf for ip in self.ips)

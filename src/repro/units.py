@@ -1,0 +1,100 @@
+"""Unit constants and human-readable formatting helpers.
+
+The Gables paper quotes hardware in Gops/s (or GFLOP/s) and GB/s.  The
+library stores everything in base SI units (operations per second,
+bytes per second, bytes, seconds) and uses these helpers at the API and
+reporting boundaries.  Decimal prefixes are used throughout, matching
+the paper (1 GB/s = 1e9 bytes/s), except for memory *capacities* where
+binary prefixes are conventional (1 KiB = 1024 bytes).
+"""
+
+from __future__ import annotations
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+#: Bytes per single-precision word, the paper's default element size.
+SP_WORD_BYTES = 4
+#: Bytes per double-precision word.
+DP_WORD_BYTES = 8
+
+_DECIMAL_STEPS = (
+    (TERA, "T"),
+    (GIGA, "G"),
+    (MEGA, "M"),
+    (KILO, "K"),
+)
+
+_BINARY_STEPS = (
+    (GIB, "GiB"),
+    (MIB, "MiB"),
+    (KIB, "KiB"),
+)
+
+
+def _format_decimal(value: float, unit: str, precision: int = 3) -> str:
+    """Render ``value`` with the largest decimal prefix that fits."""
+    if value != value:  # NaN
+        return f"nan {unit}"
+    if value in (float("inf"), float("-inf")):
+        sign = "-" if value < 0 else ""
+        return f"{sign}inf {unit}"
+    magnitude = abs(value)
+    for step, prefix in _DECIMAL_STEPS:
+        if magnitude >= step:
+            return f"{value / step:.{precision}g} {prefix}{unit}"
+    return f"{value:.{precision}g} {unit}"
+
+
+def format_ops(ops_per_second: float, precision: int = 3) -> str:
+    """Format a performance value, e.g. ``4.0e10 -> '40 Gops/s'``."""
+    return _format_decimal(ops_per_second, "ops/s", precision)
+
+
+def format_flops(flops_per_second: float, precision: int = 3) -> str:
+    """Format a floating-point rate, e.g. ``7.5e9 -> '7.5 GFLOP/s'``."""
+    return _format_decimal(flops_per_second, "FLOP/s", precision)
+
+
+def format_bandwidth(bytes_per_second: float, precision: int = 3) -> str:
+    """Format a bandwidth, e.g. ``1.51e10 -> '15.1 GB/s'``."""
+    return _format_decimal(bytes_per_second, "B/s", precision)
+
+
+def format_bytes(num_bytes: float, precision: int = 3) -> str:
+    """Format a capacity with binary prefixes, e.g. ``2097152 -> '2 MiB'``."""
+    if num_bytes != num_bytes:
+        return "nan B"
+    magnitude = abs(num_bytes)
+    for step, prefix in _BINARY_STEPS:
+        if magnitude >= step:
+            return f"{num_bytes / step:.{precision}g} {prefix}"
+    return f"{num_bytes:.{precision}g} B"
+
+
+def format_seconds(seconds: float, precision: int = 3) -> str:
+    """Format a duration, scaling down to ms/us/ns for small values."""
+    if seconds != seconds:
+        return "nan s"
+    if seconds in (float("inf"), float("-inf")):
+        return "inf s" if seconds > 0 else "-inf s"
+    magnitude = abs(seconds)
+    if magnitude >= 1 or magnitude == 0:
+        return f"{seconds:.{precision}g} s"
+    for scale, suffix in ((1e-3, "ms"), (1e-6, "us"), (1e-9, "ns")):
+        if magnitude >= scale:
+            return f"{seconds / scale:.{precision}g} {suffix}"
+    return f"{seconds / 1e-12:.{precision}g} ps"
+
+
+def format_intensity(ops_per_byte: float, precision: int = 3) -> str:
+    """Format an operational intensity, e.g. ``8 -> '8 ops/byte'``."""
+    if ops_per_byte == float("inf"):
+        return "inf ops/byte"
+    return f"{ops_per_byte:.{precision}g} ops/byte"

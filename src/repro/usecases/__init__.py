@@ -1,0 +1,75 @@
+"""Usecase substrate: dataflow graphs, the Table I catalog, frame math.
+
+Usecases are DAGs of IP-pinned stages connected by DRAM-buffered flows
+(:class:`Dataflow`); they lower to Gables workloads via
+:meth:`Dataflow.to_workload` and answer frame-rate questions via
+:meth:`Dataflow.max_item_rate`.
+"""
+
+from .catalog import (
+    TABLE_I,
+    TABLE_I_COLUMNS,
+    USECASES,
+    activity_matrix,
+    google_lens,
+    hdr_plus,
+    video_capture,
+    video_capture_hfr,
+    video_playback_ui,
+)
+from .dataflow import WORLD, Dataflow, DataflowSummary, Flow, Stage
+from .generator import (
+    monte_carlo_attainable,
+    perturbed_workload,
+    random_dataflow,
+    random_workload,
+)
+from .framemath import (
+    BYTES_PER_PIXEL,
+    RESOLUTIONS,
+    FrameSpec,
+    hfr_capture_traffic,
+    saturation_fps,
+    stream_bandwidth,
+)
+from .mapping import (
+    pipeline_speedup,
+    single_item_latency,
+    single_item_phases,
+    stage_traffic,
+    steady_state_period,
+)
+from .streaming import wifi_streaming
+
+__all__ = [
+    "BYTES_PER_PIXEL",
+    "Dataflow",
+    "DataflowSummary",
+    "Flow",
+    "FrameSpec",
+    "RESOLUTIONS",
+    "Stage",
+    "TABLE_I",
+    "TABLE_I_COLUMNS",
+    "USECASES",
+    "WORLD",
+    "activity_matrix",
+    "google_lens",
+    "hdr_plus",
+    "hfr_capture_traffic",
+    "monte_carlo_attainable",
+    "perturbed_workload",
+    "pipeline_speedup",
+    "single_item_latency",
+    "single_item_phases",
+    "stage_traffic",
+    "steady_state_period",
+    "random_dataflow",
+    "random_workload",
+    "saturation_fps",
+    "stream_bandwidth",
+    "video_capture",
+    "video_capture_hfr",
+    "video_playback_ui",
+    "wifi_streaming",
+]

@@ -1,0 +1,273 @@
+"""Dataflow usecases: stages on IPs connected by DRAM-buffered flows.
+
+The paper describes usecases as "application-level data flows from
+sensors to the processing engines" (Section II-B, Figure 4), with
+inter-IP communication buffered in DRAM.  This module models exactly
+that: a DAG of :class:`Stage` nodes (each pinned to an IP and doing
+some compute per item) connected by :class:`Flow` edges (bytes per item
+through a DRAM buffer), plus the lowering that turns a dataflow into
+Gables ``(fi, Ii)`` inputs:
+
+- ``fi``   — IP[i]'s share of the total ops per item;
+- ``Ii``   — IP[i]'s ops per byte it moves: every flow edge incident
+  to one of its stages crosses the IP's link once (written or read
+  through the DRAM buffer), so ``Ii = ops_i / bytes_i``.
+
+Because a DRAM buffer is written by the producer *and* read by the
+consumer, the flow's bytes appear in both endpoint IPs' traffic — and
+therefore twice at the DRAM interface, matching Gables' accounting
+where ``T_memory`` sums every IP's ``Di``.
+
+External inputs (a sensor, the radio) and outputs (panel, speaker) are
+edges whose producer/consumer stage is the reserved ``WORLD`` node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .._validation import require_finite_positive, require_nonnegative
+from ..core.params import Workload
+from ..errors import SpecError, WorkloadError
+
+#: Reserved endpoint for data entering/leaving the SoC.
+WORLD = "<world>"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One processing stage, pinned to an IP.
+
+    Parameters
+    ----------
+    name:
+        Unique stage name within the dataflow.
+    ip:
+        The IP (instance name or catalog kind) executing this stage.
+    ops_per_item:
+        Compute operations per item (frame, packet, tile).  Zero is
+        allowed for pure-DMA stages (their traffic still counts).
+    """
+
+    name: str
+    ip: str
+    ops_per_item: float
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name == WORLD:
+            raise SpecError(f"invalid stage name {self.name!r}")
+        if not self.ip:
+            raise SpecError(f"stage {self.name!r} needs an IP name")
+        require_nonnegative(self.ops_per_item, f"stage {self.name!r} ops_per_item")
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One producer->consumer data movement per item.
+
+    ``via_memory=True`` (the default, and base Gables' assumption)
+    means the data crosses DRAM: it counts against both endpoint IPs'
+    links and twice against ``Bpeak``.  ``via_memory=False`` models a
+    direct IP-to-IP path (e.g. an ISP->IPU line buffer) and charges
+    both links but not DRAM — usable with the interconnect extension.
+    """
+
+    producer: str
+    consumer: str
+    bytes_per_item: float
+    via_memory: bool = True
+
+    def __post_init__(self) -> None:
+        require_finite_positive(
+            self.bytes_per_item, f"flow {self.producer}->{self.consumer} bytes"
+        )
+        if self.producer == self.consumer:
+            raise SpecError(f"flow cannot self-loop on {self.producer!r}")
+
+
+class Dataflow:
+    """A validated usecase dataflow DAG."""
+
+    def __init__(self, name: str, stages, flows) -> None:
+        if not name:
+            raise SpecError("Dataflow name must be non-empty")
+        self.name = name
+        self.stages = tuple(stages)
+        self.flows = tuple(flows)
+        if not self.stages:
+            raise SpecError(f"dataflow {name!r} needs at least one stage")
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise SpecError(f"dataflow {name!r} stage names must be unique")
+        self._by_name = {stage.name: stage for stage in self.stages}
+        for flow in self.flows:
+            for endpoint in (flow.producer, flow.consumer):
+                if endpoint != WORLD and endpoint not in self._by_name:
+                    raise SpecError(
+                        f"dataflow {name!r} flow references unknown stage "
+                        f"{endpoint!r}"
+                    )
+        graph = self.graph()
+        internal = graph.subgraph(n for n in graph if n != WORLD)
+        if not nx.is_directed_acyclic_graph(internal):
+            raise SpecError(f"dataflow {name!r} has a cycle among its stages")
+
+    def graph(self) -> nx.DiGraph:
+        """The dataflow as a digraph (stages + the WORLD node)."""
+        graph = nx.DiGraph()
+        for stage in self.stages:
+            graph.add_node(stage.name, ip=stage.ip, ops=stage.ops_per_item)
+        for flow in self.flows:
+            graph.add_edge(
+                flow.producer,
+                flow.consumer,
+                bytes=flow.bytes_per_item,
+                via_memory=flow.via_memory,
+            )
+        return graph
+
+    def stage(self, name: str) -> Stage:
+        """Look up a stage by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpecError(f"dataflow {self.name!r} has no stage {name!r}") from None
+
+    @property
+    def active_ips(self) -> tuple:
+        """IPs touched by this usecase, in first-appearance order.
+
+        This is one row of the paper's Table I.
+        """
+        seen: dict = {}
+        for stage in self.stages:
+            seen.setdefault(stage.ip, None)
+        return tuple(seen)
+
+    def total_ops_per_item(self) -> float:
+        """Sum of compute across all stages, per item."""
+        return math.fsum(stage.ops_per_item for stage in self.stages)
+
+    def ops_by_ip(self) -> dict:
+        """Per-IP ops per item."""
+        ops: dict = {}
+        for stage in self.stages:
+            ops[stage.ip] = ops.get(stage.ip, 0.0) + stage.ops_per_item
+        return ops
+
+    def traffic_by_ip(self) -> dict:
+        """Per-IP bytes moved over its link per item.
+
+        Each flow charges its producer's IP and its consumer's IP once;
+        a WORLD endpoint charges only the on-chip side.
+        """
+        traffic = {stage.ip: 0.0 for stage in self.stages}
+        for flow in self.flows:
+            for endpoint in (flow.producer, flow.consumer):
+                if endpoint == WORLD:
+                    continue
+                traffic[self._by_name[endpoint].ip] += flow.bytes_per_item
+        return traffic
+
+    def dram_traffic_per_item(self) -> float:
+        """Bytes crossing the DRAM interface per item.
+
+        A via-memory flow is written then read (2x); a WORLD-endpoint
+        via-memory flow crosses once (e.g. the radio DMA-ing packets
+        into a buffer that an IP then reads counts the read only — the
+        inbound DMA is charged to the producing IP if modeled as a
+        stage).  Direct flows contribute nothing.
+        """
+        total = 0.0
+        for flow in self.flows:
+            if not flow.via_memory:
+                continue
+            crossings = 2
+            if flow.producer == WORLD or flow.consumer == WORLD:
+                crossings = 1
+            total += crossings * flow.bytes_per_item
+        return total
+
+    def to_workload(self, ip_order) -> Workload:
+        """Lower to Gables ``(fi, Ii)`` for the IPs in ``ip_order``.
+
+        ``ip_order`` is the SoC's IP name tuple; IPs this dataflow does
+        not touch get ``fi = 0``.  Raises
+        :class:`~repro.errors.WorkloadError` if the dataflow touches an
+        IP missing from ``ip_order`` or does no compute at all.
+        """
+        ip_order = tuple(ip_order)
+        ops = self.ops_by_ip()
+        traffic = self.traffic_by_ip()
+        missing = set(ops) - set(ip_order)
+        if missing:
+            raise WorkloadError(
+                f"dataflow {self.name!r} uses IPs absent from the SoC: "
+                f"{sorted(missing)!r}"
+            )
+        total_ops = self.total_ops_per_item()
+        if total_ops <= 0:
+            raise WorkloadError(
+                f"dataflow {self.name!r} performs no compute; cannot form "
+                "work fractions"
+            )
+        fractions = []
+        intensities = []
+        for ip in ip_order:
+            ip_ops = ops.get(ip, 0.0)
+            ip_bytes = traffic.get(ip, 0.0)
+            fractions.append(ip_ops / total_ops)
+            if ip_bytes == 0:
+                intensities.append(math.inf)
+            elif ip_ops == 0:
+                # Pure-DMA IP: no compute but real traffic.  Gables
+                # cannot charge traffic to an IP with f=0, so surface
+                # the smallest meaningful intensity for visibility; the
+                # fraction stays 0 and callers may model such stages as
+                # tiny compute instead.
+                intensities.append(1.0)
+            else:
+                intensities.append(ip_ops / ip_bytes)
+        return Workload(
+            fractions=tuple(fractions),
+            intensities=tuple(intensities),
+            name=self.name,
+        )
+
+    def max_item_rate(self, soc_spec, evaluate_fn=None) -> float:
+        """Upper bound on items/s (frames/s) for this usecase on a SoC.
+
+        ``P_attainable`` is ops/s; dividing by ops-per-item converts the
+        Gables bound into the frame-rate bound architects care about.
+        """
+        from ..core.gables import evaluate as default_evaluate
+
+        evaluate_fn = evaluate_fn or default_evaluate
+        workload = self.to_workload(soc_spec.ip_names)
+        result = evaluate_fn(soc_spec, workload)
+        return result.attainable / self.total_ops_per_item()
+
+
+@dataclass(frozen=True)
+class DataflowSummary:
+    """Headline numbers for reports and the Table I harness."""
+
+    name: str
+    n_stages: int
+    active_ips: tuple
+    total_ops_per_item: float
+    dram_bytes_per_item: float
+
+    @classmethod
+    def of(cls, dataflow: Dataflow) -> "DataflowSummary":
+        """Summarize a dataflow."""
+        return cls(
+            name=dataflow.name,
+            n_stages=len(dataflow.stages),
+            active_ips=dataflow.active_ips,
+            total_ops_per_item=dataflow.total_ops_per_item(),
+            dram_bytes_per_item=dataflow.dram_traffic_per_item(),
+        )

@@ -1,0 +1,135 @@
+"""Frame-format arithmetic for camera/video usecases (paper Sec. II-B).
+
+The paper's worked example: a 4K frame is 3840x2160 pixels; YUV420
+encodes 6 bytes per 4 pixels (1.5 bytes/pixel), so a frame is ~12 MB,
+and recording at 240 FPS while the ISP tracks five reference frames
+pushes a mobile SoC's ~30 GB/s DRAM bandwidth to the bottleneck.  This
+module provides the arithmetic behind that example and behind the
+dataflow usecases' byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require_finite_positive
+from ..errors import SpecError
+
+#: Bytes per pixel for common interchange formats.
+BYTES_PER_PIXEL = {
+    "YUV420": 1.5,  # 6 bytes per 4 pixels, the paper's example
+    "YUV422": 2.0,
+    "YUV444": 3.0,
+    "RGB888": 3.0,
+    "RGBA8888": 4.0,
+    "RAW10": 1.25,
+    "RAW16": 2.0,
+}
+
+#: Common resolutions, (width, height).
+RESOLUTIONS = {
+    "1080p": (1920, 1080),
+    "1440p": (2560, 1440),
+    "4K": (3840, 2160),
+    "8K": (7680, 4320),
+    "12MP": (4000, 3000),
+}
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """A video/camera frame: geometry plus pixel format."""
+
+    width: int
+    height: int
+    pixel_format: str = "YUV420"
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise SpecError(
+                f"frame dimensions must be positive, got {self.width}x{self.height}"
+            )
+        if self.pixel_format not in BYTES_PER_PIXEL:
+            raise SpecError(
+                f"unknown pixel format {self.pixel_format!r}; "
+                f"known: {sorted(BYTES_PER_PIXEL)}"
+            )
+
+    @property
+    def pixels(self) -> int:
+        """Pixel count per frame."""
+        return self.width * self.height
+
+    @property
+    def bytes_per_frame(self) -> float:
+        """Frame size in bytes (paper: 4K YUV420 ~ 12.4 MB)."""
+        return self.pixels * BYTES_PER_PIXEL[self.pixel_format]
+
+    @classmethod
+    def named(cls, resolution: str, pixel_format: str = "YUV420") -> "FrameSpec":
+        """Build from a named resolution, e.g. ``FrameSpec.named("4K")``."""
+        if resolution not in RESOLUTIONS:
+            raise SpecError(
+                f"unknown resolution {resolution!r}; known: {sorted(RESOLUTIONS)}"
+            )
+        width, height = RESOLUTIONS[resolution]
+        return cls(width, height, pixel_format)
+
+
+def stream_bandwidth(frame: FrameSpec, fps: float, streams: float = 1.0) -> float:
+    """Bytes/s for ``streams`` copies of the frame moving at ``fps``.
+
+    One "stream" is one traversal of the frame through DRAM; a
+    processing stage that reads and writes a frame per output frame
+    counts as two streams.
+    """
+    require_finite_positive(fps, "fps")
+    require_finite_positive(streams, "streams")
+    return frame.bytes_per_frame * fps * streams
+
+
+def hfr_capture_traffic(
+    frame: FrameSpec,
+    fps: float,
+    reference_frames: int = 5,
+    stages: int = 2,
+) -> float:
+    """DRAM traffic (bytes/s) of the paper's HFR camera example.
+
+    Each captured frame is written by the sensor path, then each noise-
+    reduction stage (WNR, TNR, ...) reads it plus ``reference_frames``
+    references and writes a result.  The paper's point: at 4K240 this
+    alone approaches the SoC's whole ~30 GB/s budget.
+
+    Parameters
+    ----------
+    frame, fps:
+        Capture geometry and rate.
+    reference_frames:
+        References each temporal stage consults (paper: "as many as
+        five").
+    stages:
+        Number of full-frame processing stages between sensor and
+        encoder (paper names WNR and TNR).
+    """
+    if reference_frames < 0:
+        raise SpecError(f"reference_frames must be >= 0, got {reference_frames}")
+    if stages < 1:
+        raise SpecError(f"stages must be >= 1, got {stages}")
+    # Sensor write + per-stage (read input + read refs + write output).
+    streams = 1 + stages * (1 + reference_frames + 1)
+    return stream_bandwidth(frame, fps, streams)
+
+
+def saturation_fps(
+    frame: FrameSpec,
+    memory_bandwidth: float,
+    reference_frames: int = 5,
+    stages: int = 2,
+) -> float:
+    """Frame rate at which HFR capture alone saturates DRAM bandwidth."""
+    require_finite_positive(memory_bandwidth, "memory_bandwidth")
+    per_frame = hfr_capture_traffic(frame, fps=1.0,
+                                    reference_frames=reference_frames,
+                                    stages=stages)
+    return memory_bandwidth / per_frame

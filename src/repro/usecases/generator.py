@@ -1,0 +1,193 @@
+"""Synthetic usecase and workload generators.
+
+Real usecase parameters (``fi``, ``Ii``) are scarce pre-silicon — the
+whole reason Gables exists.  These seeded generators produce plausible
+random workloads and dataflows for stress-testing designs, Monte-Carlo
+robustness studies ("does this SoC survive usecases *near* the ones we
+planned for?"), and the library's own property tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import require_finite_positive
+from ..core.params import Workload
+from ..errors import SpecError
+from .dataflow import WORLD, Dataflow, Flow, Stage
+
+
+def random_workload(
+    n_ips: int,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    sparsity: float = 0.5,
+    intensity_log2_range: tuple = (-4, 10),
+    name: str = "random-usecase",
+) -> Workload:
+    """A random usecase over ``n_ips`` IPs.
+
+    Work fractions are Dirichlet-distributed over a random subset of
+    IPs (each IP is idle with probability ``sparsity`` — real usecases
+    exercise a subset, per Table I); intensities are log-uniform over
+    the given power-of-two range.
+    """
+    if n_ips < 1:
+        raise SpecError(f"n_ips must be >= 1, got {n_ips}")
+    if not 0 <= sparsity < 1:
+        raise SpecError(f"sparsity must lie in [0, 1), got {sparsity!r}")
+    lo, hi = intensity_log2_range
+    if lo >= hi:
+        raise SpecError("intensity_log2_range must be (lo, hi) with lo < hi")
+    rng = rng or np.random.default_rng(seed)
+
+    active = rng.random(n_ips) >= sparsity
+    if not active.any():
+        active[int(rng.integers(n_ips))] = True
+    weights = np.zeros(n_ips)
+    weights[active] = rng.dirichlet(np.ones(int(active.sum())))
+    intensities = 2.0 ** rng.uniform(lo, hi, size=n_ips)
+    # Exact normalization (dirichlet sums to 1 up to fp error).
+    weights = weights / weights.sum()
+    return Workload(
+        fractions=tuple(float(w) for w in weights),
+        intensities=tuple(float(i) for i in intensities),
+        name=name,
+    )
+
+
+def perturbed_workload(
+    workload: Workload,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    fraction_jitter: float = 0.2,
+    intensity_jitter: float = 0.5,
+    name: str | None = None,
+) -> Workload:
+    """A usecase *near* ``workload`` — for robustness studies.
+
+    Fractions get multiplicative lognormal jitter then renormalize;
+    intensities get lognormal jitter in log2 space.  Idle IPs stay
+    idle (the IP set is a structural property of the usecase).
+    """
+    require_finite_positive(fraction_jitter + 1e-12, "fraction_jitter")
+    require_finite_positive(intensity_jitter + 1e-12, "intensity_jitter")
+    rng = rng or np.random.default_rng(seed)
+    weights = []
+    for fraction in workload.fractions:
+        if fraction == 0:
+            weights.append(0.0)
+        else:
+            weights.append(fraction * float(rng.lognormal(0, fraction_jitter)))
+    total = math.fsum(weights)
+    intensities = []
+    for intensity in workload.intensities:
+        if math.isinf(intensity):
+            intensities.append(intensity)
+        else:
+            intensities.append(
+                intensity * float(rng.lognormal(0, intensity_jitter))
+            )
+    return Workload(
+        fractions=tuple(w / total for w in weights),
+        intensities=tuple(intensities),
+        name=name or f"{workload.name}~perturbed",
+    )
+
+
+def random_dataflow(
+    ip_names,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+    n_stages: int = 6,
+    ops_scale: float = 1e9,
+    bytes_scale: float = 4e6,
+    name: str = "random-dataflow",
+) -> Dataflow:
+    """A random pipeline-shaped dataflow over a subset of ``ip_names``.
+
+    Stages form a chain (with occasional skip edges) from a WORLD
+    source to a WORLD sink — the sensor-to-display shape of Section
+    II-B — with log-normal ops and bytes per item.
+    """
+    ip_names = tuple(ip_names)
+    if not ip_names:
+        raise SpecError("need at least one IP name")
+    if n_stages < 1:
+        raise SpecError(f"n_stages must be >= 1, got {n_stages}")
+    rng = rng or np.random.default_rng(seed)
+
+    stages = []
+    for index in range(n_stages):
+        ip = ip_names[int(rng.integers(len(ip_names)))]
+        ops = float(rng.lognormal(0, 0.8)) * ops_scale
+        stages.append(Stage(f"stage{index}", ip, ops_per_item=ops))
+
+    flows = [Flow(WORLD, "stage0", float(rng.lognormal(0, 0.5)) * bytes_scale)]
+    for index in range(n_stages - 1):
+        flows.append(
+            Flow(
+                f"stage{index}",
+                f"stage{index + 1}",
+                float(rng.lognormal(0, 0.5)) * bytes_scale,
+            )
+        )
+        # Occasional skip edge two stages ahead (reference frames,
+        # side-band metadata).
+        if index + 2 < n_stages and rng.random() < 0.3:
+            flows.append(
+                Flow(
+                    f"stage{index}",
+                    f"stage{index + 2}",
+                    float(rng.lognormal(0, 0.5)) * bytes_scale * 0.25,
+                )
+            )
+    flows.append(
+        Flow(f"stage{n_stages - 1}", WORLD,
+             float(rng.lognormal(0, 0.5)) * bytes_scale)
+    )
+    return Dataflow(name, stages=tuple(stages), flows=tuple(flows))
+
+
+def monte_carlo_attainable(
+    soc,
+    workload: Workload,
+    samples: int = 100,
+    seed: int = 0,
+    fraction_jitter: float = 0.2,
+    intensity_jitter: float = 0.5,
+) -> dict:
+    """Robustness study: attainable performance under usecase jitter.
+
+    Evaluates ``samples`` perturbations of ``workload`` on ``soc`` and
+    returns summary statistics plus the worst-case bottleneck census —
+    how often each component binds across the neighbourhood.
+    """
+    from ..core.gables import evaluate
+
+    if samples < 1:
+        raise SpecError(f"samples must be >= 1, got {samples}")
+    rng = np.random.default_rng(seed)
+    values = []
+    census: dict = {}
+    for _ in range(samples):
+        candidate = perturbed_workload(
+            workload, rng=rng,
+            fraction_jitter=fraction_jitter,
+            intensity_jitter=intensity_jitter,
+        )
+        result = evaluate(soc, candidate)
+        values.append(result.attainable)
+        census[result.bottleneck] = census.get(result.bottleneck, 0) + 1
+    array = np.array(values)
+    return {
+        "mean": float(array.mean()),
+        "p5": float(np.percentile(array, 5)),
+        "p50": float(np.percentile(array, 50)),
+        "p95": float(np.percentile(array, 95)),
+        "min": float(array.min()),
+        "max": float(array.max()),
+        "bottleneck_census": census,
+    }

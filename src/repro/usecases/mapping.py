@@ -1,0 +1,115 @@
+"""Mapping dataflows onto the model's two execution regimes.
+
+A usecase dataflow can run two ways, and Gables models both:
+
+- **steady state** — the pipeline is full and every stage processes a
+  different item concurrently.  This is base Gables
+  (:meth:`~repro.usecases.dataflow.Dataflow.to_workload`) and governs
+  sustained frame rate.
+- **single item** — one item traverses the stages in dependency order
+  with nothing else in flight.  This is the phased/serialized regime
+  (Section V-C) and governs *latency*: shutter-to-shot for HDR+, tap-
+  to-answer for Lens.
+
+The two answers differ by up to the pipeline depth; comparing them is
+how an architect reads pipeline-fill cost off the model.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..core.extensions.phases import Phase, PhasedUsecase, evaluate_phases
+from ..core.params import Workload
+from ..errors import WorkloadError
+from .dataflow import WORLD, Dataflow
+
+
+def stage_traffic(dataflow: Dataflow) -> dict:
+    """Bytes each *stage* moves over its IP's link per item."""
+    traffic = {stage.name: 0.0 for stage in dataflow.stages}
+    for flow in dataflow.flows:
+        for endpoint in (flow.producer, flow.consumer):
+            if endpoint != WORLD:
+                traffic[endpoint] += flow.bytes_per_item
+    return traffic
+
+
+def single_item_phases(dataflow: Dataflow, ip_order) -> PhasedUsecase:
+    """The dataflow as a serialized phase sequence (one stage per phase).
+
+    Stages execute in topological order; each phase puts that stage's
+    work on its IP at the stage's own operational intensity
+    (``stage ops / stage bytes``).  Stages with zero compute are
+    skipped (their traffic is charged to the adjacent compute stages'
+    phases in the steady-state model; in the latency model a pure-DMA
+    stage would need a latency term Gables does not define).
+    """
+    ip_order = tuple(ip_order)
+    total_ops = dataflow.total_ops_per_item()
+    if total_ops <= 0:
+        raise WorkloadError(
+            f"dataflow {dataflow.name!r} performs no compute"
+        )
+    traffic = stage_traffic(dataflow)
+    graph = dataflow.graph()
+    internal = graph.subgraph(n for n in graph if n != WORLD)
+    order = list(nx.topological_sort(internal))
+
+    phases = []
+    for stage_name in order:
+        stage = dataflow.stage(stage_name)
+        if stage.ops_per_item == 0:
+            continue
+        if stage.ip not in ip_order:
+            raise WorkloadError(
+                f"dataflow {dataflow.name!r} uses IP {stage.ip!r} absent "
+                "from the SoC"
+            )
+        index = ip_order.index(stage.ip)
+        stage_bytes = traffic[stage_name]
+        intensity = (
+            float("inf") if stage_bytes == 0
+            else stage.ops_per_item / stage_bytes
+        )
+        workload = Workload.single_ip(
+            len(ip_order), index, intensity, name=stage_name
+        )
+        phases.append(
+            Phase(
+                work=stage.ops_per_item / total_ops,
+                workload=workload,
+                name=stage_name,
+            )
+        )
+    if not phases:
+        raise WorkloadError(
+            f"dataflow {dataflow.name!r} has no compute stages"
+        )
+    return PhasedUsecase(phases=tuple(phases), name=dataflow.name)
+
+
+def single_item_latency(soc, dataflow: Dataflow) -> float:
+    """Seconds for one item to traverse the empty pipeline."""
+    usecase = single_item_phases(dataflow, soc.ip_names)
+    result = evaluate_phases(soc, usecase)
+    return dataflow.total_ops_per_item() / result.attainable
+
+
+def steady_state_period(soc, dataflow: Dataflow) -> float:
+    """Seconds between completions once the pipeline is full."""
+    rate = dataflow.max_item_rate(soc)
+    return 1.0 / rate
+
+
+def pipeline_speedup(soc, dataflow: Dataflow) -> float:
+    """Latency over period: how much the full pipeline overlaps.
+
+    1.0 means the dataflow gains nothing from pipelining (one stage
+    dominates); values near the compute-stage count mean near-perfect
+    overlap.  Always >= 1 up to numerical tolerance, by the concurrent
+    >= serialized property.
+    """
+    return single_item_latency(soc, dataflow) / steady_state_period(
+        soc, dataflow
+    )

@@ -1,0 +1,59 @@
+"""The paper's Figure 4 usecase: streaming Internet content over WiFi.
+
+The flow, per the paper: IP packets arrive over WiFi into an insecure
+user-level buffer; the CPU (or crypto block) splits and decrypts audio
+and video streams into secure memory; the video decoder generates frame
+buffers consumed by the display controller; the audio DSP DMAs its
+stream into local SRAM and plays it out.  The CPU additionally handles
+the control-flow coordination the paper calls out as the third usecase
+bottleneck.
+
+IP names match :func:`repro.soc.presets.generic_soc`.
+"""
+
+from __future__ import annotations
+
+from ..units import GIGA, KILO, MEGA
+from .dataflow import WORLD, Dataflow, Flow, Stage
+from .framemath import FrameSpec
+
+
+def wifi_streaming(
+    frame: FrameSpec | None = None,
+    bitrate_bytes_per_item: float = 2.5 * MEGA,
+) -> Dataflow:
+    """Build the WiFi streaming dataflow (one item = one video frame).
+
+    Parameters
+    ----------
+    frame:
+        Decoded frame geometry (default 1080p YUV420).
+    bitrate_bytes_per_item:
+        Compressed stream bytes per frame (default ~2.5 MB/s at 30 FPS
+        quality, i.e. ~83 KB/frame scaled up for bursts).
+    """
+    frame = frame or FrameSpec.named("1080p")
+    decoded = frame.bytes_per_frame
+    compressed = bitrate_bytes_per_item / 30.0  # per frame at 30 FPS
+    audio = 8 * KILO
+    return Dataflow(
+        "WiFi streaming",
+        stages=(
+            Stage("wifi-rx", "WiFi", ops_per_item=0.005 * GIGA),
+            Stage("demux-decrypt", "Crypto", ops_per_item=0.01 * GIGA),
+            Stage("stream-control", "AP", ops_per_item=0.03 * GIGA),
+            Stage("video-decode", "VDEC", ops_per_item=0.15 * GIGA),
+            Stage("audio-play", "Audio", ops_per_item=0.002 * GIGA),
+            Stage("scanout", "Display", ops_per_item=0.02 * GIGA),
+        ),
+        flows=(
+            Flow(WORLD, "wifi-rx", compressed + audio),
+            Flow("wifi-rx", "demux-decrypt", compressed + audio),
+            Flow("demux-decrypt", "video-decode", compressed),
+            Flow("demux-decrypt", "audio-play", audio),
+            Flow("demux-decrypt", "stream-control", 64 * KILO),
+            Flow("video-decode", "scanout", decoded),
+            Flow("scanout", WORLD, decoded),
+            Flow("audio-play", WORLD, audio),
+        ),
+    )

@@ -1,0 +1,60 @@
+"""Dependency-free visualization: SVG and ASCII scaled-roofline plots.
+
+The paper's Section III-C plots (per-IP scaled rooflines, the memory
+roofline, drop lines at each operating intensity, and the attainable
+point) are produced by :func:`roofline_svg` / :func:`roofline_ascii`
+from a :class:`RooflinePlotData` extracted from any model evaluation.
+Sweep and market figures use :func:`line_chart_svg` /
+:func:`bar_chart_svg`.
+"""
+
+from .ascii_art import SERIES_GLYPHS, AsciiCanvas, render_log_log
+from .diagram import dataflow_diagram_svg, soc_diagram_svg
+from .heatmap import SEQUENTIAL_RAMP, heatmap_svg
+from .html_report import interactive_report, save_interactive_report
+from .roofline_plot import (
+    RooflinePlotData,
+    classic_roofline_plot,
+    roofline_ascii,
+    roofline_svg,
+    save_roofline_svg,
+)
+from .scale import LogScale, si_label
+from .svg import SERIES_COLORS, SvgCanvas, series_color
+from .sweep_plot import bar_chart_svg, line_chart_svg
+from .tables import (
+    csv_table,
+    drift_table,
+    markdown_table,
+    result_table,
+    sweep_table,
+)
+
+__all__ = [
+    "AsciiCanvas",
+    "LogScale",
+    "RooflinePlotData",
+    "SEQUENTIAL_RAMP",
+    "SERIES_COLORS",
+    "SERIES_GLYPHS",
+    "SvgCanvas",
+    "bar_chart_svg",
+    "classic_roofline_plot",
+    "csv_table",
+    "dataflow_diagram_svg",
+    "drift_table",
+    "heatmap_svg",
+    "interactive_report",
+    "markdown_table",
+    "result_table",
+    "sweep_table",
+    "line_chart_svg",
+    "save_interactive_report",
+    "render_log_log",
+    "soc_diagram_svg",
+    "roofline_ascii",
+    "roofline_svg",
+    "save_roofline_svg",
+    "series_color",
+    "si_label",
+]

@@ -1,0 +1,116 @@
+"""ASCII terminal rendering for quick model inspection.
+
+A character-grid canvas with log-log axes, used by the CLI to show
+rooflines without leaving the terminal.  Deliberately simple: one
+glyph per series (identity never rides on color alone here — there is
+no color), axis tick labels on the decades, and a legend line.
+"""
+
+from __future__ import annotations
+
+from ..errors import SpecError
+from .scale import LogScale, si_label
+
+#: Glyphs assigned to series in fixed order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+class AsciiCanvas:
+    """A character grid with (0,0) at the top-left."""
+
+    def __init__(self, width: int = 72, height: int = 24) -> None:
+        if width < 20 or height < 8:
+            raise SpecError(f"ascii canvas too small: {width}x{height}")
+        self.width = width
+        self.height = height
+        self._grid = [[" "] * width for _ in range(height)]
+
+    def put(self, col: int, row: int, glyph: str) -> None:
+        """Place one glyph, silently clipping out-of-range positions."""
+        if len(glyph) != 1:
+            raise SpecError(f"glyph must be a single character, got {glyph!r}")
+        if 0 <= row < self.height and 0 <= col < self.width:
+            self._grid[row][col] = glyph
+
+    def write(self, col: int, row: int, text: str) -> None:
+        """Write a string leftward-clipped at the canvas edge."""
+        for offset, char in enumerate(text):
+            self.put(col + offset, row, char)
+
+    def to_string(self) -> str:
+        """The grid as newline-joined rows, right-stripped."""
+        return "\n".join("".join(row).rstrip() for row in self._grid)
+
+
+def render_log_log(
+    series: dict,
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 76,
+    height: int = 22,
+    markers: dict | None = None,
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` series on log-log axes.
+
+    ``markers`` optionally maps a name to a single highlighted (x, y)
+    point drawn with ``O``.  Returns the plot as a string.
+    """
+    if not series:
+        raise SpecError("render_log_log needs at least one series")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    if markers:
+        xs += [x for x, _ in markers.values()]
+        ys += [y for _, y in markers.values()]
+    x_scale = LogScale.spanning(xs)
+    y_scale = LogScale.spanning(ys)
+
+    margin_left = 8
+    margin_bottom = 3
+    plot_w = width - margin_left - 1
+    plot_h = height - margin_bottom - 1
+    canvas = AsciiCanvas(width, height)
+
+    # Axes.
+    for row in range(plot_h + 1):
+        canvas.put(margin_left, row, "|")
+    for col in range(plot_w + 1):
+        canvas.put(margin_left + col, plot_h, "-")
+    canvas.put(margin_left, plot_h, "+")
+
+    def to_cell(x: float, y: float) -> tuple:
+        col = margin_left + round(x_scale(x) * (plot_w - 1)) + 1
+        row = round((1.0 - y_scale(y)) * (plot_h - 1))
+        return col, row
+
+    # Ticks.
+    for tick in x_scale.ticks():
+        col, _ = to_cell(tick, y_scale.hi)
+        canvas.put(col, plot_h, "+")
+        canvas.write(max(0, col - 1), plot_h + 1, si_label(tick))
+    for tick in y_scale.ticks():
+        _, row = to_cell(x_scale.hi, tick)
+        canvas.put(margin_left, row, "+")
+        label = si_label(tick)
+        canvas.write(max(0, margin_left - len(label) - 1), row, label)
+
+    # Series.
+    for index, (name, points) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for x, y in points:
+            if x <= 0 or y <= 0:
+                continue
+            col, row = to_cell(x, y)
+            canvas.put(col, row, glyph)
+
+    # Highlight markers.
+    for name, (x, y) in (markers or {}).items():
+        col, row = to_cell(x, y)
+        canvas.put(col, row, "O")
+
+    legend = "  ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    footer = f"x: {x_label}   y: {y_label}"
+    return canvas.to_string() + "\n" + legend + "\n" + footer

@@ -1,0 +1,152 @@
+"""Block-diagram rendering: SoC fabric maps and usecase dataflows.
+
+Reproduces the paper's two descriptive figures as generated SVG:
+
+- :func:`soc_diagram_svg` — Figure 3's shape: fabric tiers as rows
+  ordered by distance from the memory controller, IPs as blocks on
+  their tier, bandwidths annotated;
+- :func:`dataflow_diagram_svg` — Figure 4's shape: usecase stages in
+  topological layers, flows as arrows with byte labels.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import SpecError
+from ..soc.description import MEMORY_NODE, SoCDescription
+from ..units import format_bandwidth, format_bytes
+from ..usecases.dataflow import WORLD, Dataflow
+from .svg import GRID, TEXT_PRIMARY, TEXT_SECONDARY, SvgCanvas, series_color
+
+_BLOCK_W, _BLOCK_H = 96, 40
+_GAP_X, _GAP_Y = 16, 64
+
+
+def _tier_depths(description: SoCDescription) -> dict:
+    """Fabric name -> hops to the memory controller."""
+    graph = description.fabric_graph()
+    depths = {}
+    for fabric in description.fabrics:
+        depths[fabric.name] = nx.shortest_path_length(
+            graph, fabric.name, MEMORY_NODE
+        )
+    return depths
+
+
+def soc_diagram_svg(description: SoCDescription) -> str:
+    """Render a SoC description as a Figure 3-style block diagram."""
+    depths = _tier_depths(description)
+    tiers = sorted(
+        description.fabrics, key=lambda fabric: depths[fabric.name]
+    )
+    rows = [("memory", None)] + [(f.name, f) for f in tiers]
+    by_fabric: dict = {}
+    for ip in description.ips:
+        by_fabric.setdefault(ip.fabric, []).append(ip)
+
+    widest = max(
+        [len(by_fabric.get(f.name, [])) for f in tiers]
+        + [len(by_fabric.get(None, [])) + 1]
+    )
+    width = max(640, 140 + widest * (_BLOCK_W + _GAP_X))
+    height = 100 + len(rows) * (_BLOCK_H + _GAP_Y)
+    canvas = SvgCanvas(width, height)
+    canvas.text(24, 28, f"SoC: {description.name}", color=TEXT_PRIMARY,
+                size=14, weight="bold")
+
+    y_of: dict = {}
+    for row_index, (label, fabric) in enumerate(rows):
+        y = 60 + row_index * (_BLOCK_H + _GAP_Y)
+        y_of[label] = y
+        bandwidth = (
+            format_bandwidth(description.memory_bandwidth)
+            if fabric is None
+            else format_bandwidth(fabric.bandwidth)
+        )
+        # Tier rail.
+        canvas.line(120, y + _BLOCK_H / 2, width - 24, y + _BLOCK_H / 2,
+                    color=GRID, width=6)
+        canvas.text(24, y + _BLOCK_H / 2 + 4,
+                    "DRAM" if fabric is None else label,
+                    color=TEXT_PRIMARY, size=12, weight="bold")
+        canvas.text(24, y + _BLOCK_H / 2 + 18, bandwidth, size=10)
+
+        attached = by_fabric.get(None, []) if fabric is None else \
+            by_fabric.get(label, [])
+        for column, ip in enumerate(attached):
+            x = 140 + column * (_BLOCK_W + _GAP_X)
+            color = series_color(row_index % 8)
+            canvas.rect(x, y, _BLOCK_W, _BLOCK_H, color=color, rx=6,
+                        tooltip=f"{ip.name} ({ip.kind}): "
+                                f"{format_bandwidth(ip.bandwidth)} link")
+            canvas.text(x + _BLOCK_W / 2, y + 17, ip.name,
+                        color="#ffffff", size=11, anchor="middle",
+                        weight="bold")
+            canvas.text(x + _BLOCK_W / 2, y + 31,
+                        format_bandwidth(ip.bandwidth),
+                        color="#ffffff", size=9, anchor="middle")
+    # Vertical connectors between consecutive tiers.
+    for (label_a, _), (label_b, _) in zip(rows, rows[1:]):
+        canvas.line(110, y_of[label_a] + _BLOCK_H / 2,
+                    110, y_of[label_b] + _BLOCK_H / 2,
+                    color=GRID, width=3)
+    return canvas.to_string()
+
+
+def _layers(dataflow: Dataflow) -> list:
+    """Stages grouped by topological depth (WORLD excluded)."""
+    graph = dataflow.graph()
+    internal = graph.subgraph(n for n in graph if n != WORLD)
+    depth: dict = {}
+    for node in nx.topological_sort(internal):
+        parents = [p for p in internal.predecessors(node)]
+        depth[node] = 1 + max((depth[p] for p in parents), default=-1)
+    layers: dict = {}
+    for node, d in depth.items():
+        layers.setdefault(d, []).append(node)
+    return [sorted(layers[d]) for d in sorted(layers)]
+
+
+def dataflow_diagram_svg(dataflow: Dataflow) -> str:
+    """Render a usecase dataflow as a Figure 4-style diagram."""
+    layers = _layers(dataflow)
+    if not layers:
+        raise SpecError(f"dataflow {dataflow.name!r} has no stages")
+    widest = max(len(layer) for layer in layers)
+    width = max(560, 80 + widest * (_BLOCK_W + _GAP_X) + 60)
+    height = 100 + len(layers) * (_BLOCK_H + _GAP_Y)
+    canvas = SvgCanvas(width, height)
+    canvas.text(24, 28, f"usecase: {dataflow.name}", color=TEXT_PRIMARY,
+                size=14, weight="bold")
+
+    ips = list(dataflow.active_ips)
+    position: dict = {}
+    for row, layer in enumerate(layers):
+        y = 60 + row * (_BLOCK_H + _GAP_Y)
+        row_width = len(layer) * (_BLOCK_W + _GAP_X) - _GAP_X
+        x0 = (width - row_width) / 2
+        for column, name in enumerate(layer):
+            stage = dataflow.stage(name)
+            x = x0 + column * (_BLOCK_W + _GAP_X)
+            position[name] = (x + _BLOCK_W / 2, y)
+            color = series_color(ips.index(stage.ip) % 8)
+            canvas.rect(x, y, _BLOCK_W, _BLOCK_H, color=color, rx=6,
+                        tooltip=f"{name} on {stage.ip}: "
+                                f"{stage.ops_per_item:.3g} ops/item")
+            canvas.text(x + _BLOCK_W / 2, y + 17, name, color="#ffffff",
+                        size=10, anchor="middle", weight="bold")
+            canvas.text(x + _BLOCK_W / 2, y + 31, stage.ip,
+                        color="#ffffff", size=9, anchor="middle")
+
+    for flow in dataflow.flows:
+        if flow.producer == WORLD or flow.consumer == WORLD:
+            continue
+        x1, y1 = position[flow.producer]
+        x2, y2 = position[flow.consumer]
+        canvas.line(x1, y1 + _BLOCK_H, x2, y2, color=TEXT_SECONDARY,
+                    width=1.5)
+        mid_x, mid_y = (x1 + x2) / 2, (y1 + _BLOCK_H + y2) / 2
+        canvas.text(mid_x + 6, mid_y, format_bytes(flow.bytes_per_item),
+                    size=9)
+    return canvas.to_string()

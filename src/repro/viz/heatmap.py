@@ -1,0 +1,117 @@
+"""Heatmap rendering for 2-D sweep grids.
+
+One sequential hue (light -> dark = low -> high), log-scaled color for
+the orders-of-magnitude spreads roofline surfaces produce, selective
+cell labels (corners and the maximum), and native tooltips per cell.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SpecError
+from .scale import si_label
+from .svg import SURFACE, TEXT_PRIMARY, TEXT_SECONDARY, SvgCanvas
+
+#: Sequential blue ramp, steps 100 -> 700 (validated palette).
+SEQUENTIAL_RAMP = (
+    "#cde2fb", "#9ec5f4", "#6da7ec", "#3987e5",
+    "#256abf", "#184f95", "#0d366b",
+)
+
+
+def _ramp_color(fraction: float) -> str:
+    """Pick the ramp step for a [0, 1] normalized magnitude."""
+    index = min(
+        len(SEQUENTIAL_RAMP) - 1,
+        int(fraction * len(SEQUENTIAL_RAMP)),
+    )
+    return SEQUENTIAL_RAMP[index]
+
+
+def heatmap_svg(
+    grid,
+    title: str,
+    value_label: str = "attainable (ops/s)",
+    width: int = 720,
+    height: int = 480,
+    normalize_to: float | None = None,
+) -> str:
+    """Render a :class:`~repro.explore.sweep2d.SweepGrid` as a heatmap.
+
+    Color encodes log-magnitude; pass ``normalize_to`` to divide every
+    cell first (e.g. the Fig. 8 baseline).  Cells carry tooltips with
+    exact values and the binding component.
+    """
+    xs = grid.x_values()
+    ys = grid.y_values()
+    if not xs or not ys:
+        raise SpecError("grid has no cells")
+    left, right, top, bottom = 88, 140, 48, 56
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    cell_w = plot_w / len(xs)
+    cell_h = plot_h / len(ys)
+
+    values = []
+    for cell in grid.cells:
+        value = cell.attainable
+        if normalize_to:
+            value /= normalize_to
+        if value <= 0:
+            raise SpecError("heatmap values must be positive")
+        values.append(value)
+    lo, hi = min(values), max(values)
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    span = (log_hi - log_lo) or 1.0
+
+    canvas = SvgCanvas(width, height)
+    canvas.text(left, 28, title, color=TEXT_PRIMARY, size=14, weight="bold")
+
+    best = grid.best()
+    for cell in grid.cells:
+        value = cell.attainable / normalize_to if normalize_to \
+            else cell.attainable
+        fraction = (math.log10(value) - log_lo) / span
+        x = left + xs.index(cell.x) * cell_w
+        # y axis ascends upward: biggest y at the top row.
+        y = top + (len(ys) - 1 - ys.index(cell.y)) * cell_h
+        tooltip = (
+            f"{grid.x_name}={cell.x:g}, {grid.y_name}={cell.y:g}: "
+            f"{value:.4g} ({cell.bottleneck}-bound)"
+        )
+        canvas.rect(x + 1, y + 1, cell_w - 2, cell_h - 2,
+                    color=_ramp_color(fraction), rx=3, tooltip=tooltip)
+        labeled = (
+            (cell.x == best.x and cell.y == best.y)
+            or (cell.x == xs[0] and cell.y == ys[0])
+            or (cell.x == xs[-1] and cell.y == ys[-1])
+        )
+        if labeled:
+            ink = TEXT_PRIMARY if fraction < 0.55 else SURFACE
+            canvas.text(x + cell_w / 2, y + cell_h / 2 + 4,
+                        f"{value:.3g}", color=ink, size=10,
+                        anchor="middle")
+
+    for index, x_value in enumerate(xs):
+        canvas.text(left + (index + 0.5) * cell_w, top + plot_h + 18,
+                    f"{x_value:g}", anchor="middle", size=10)
+    for index, y_value in enumerate(ys):
+        y = top + (len(ys) - 1 - index + 0.5) * cell_h
+        canvas.text(left - 8, y + 4, f"{y_value:g}", anchor="end", size=10)
+    canvas.text(left + plot_w / 2, height - 16, grid.x_name,
+                anchor="middle")
+    canvas.text(24, top + plot_h / 2, grid.y_name, anchor="middle",
+                rotate=-90)
+
+    # Legend ramp.
+    legend_x = left + plot_w + 24
+    step_h = plot_h / len(SEQUENTIAL_RAMP)
+    for index, color in enumerate(SEQUENTIAL_RAMP):
+        y = top + plot_h - (index + 1) * step_h
+        canvas.rect(legend_x, y, 16, step_h - 1, color=color, rx=0)
+    canvas.text(legend_x + 22, top + 10, si_label(hi), size=10)
+    canvas.text(legend_x + 22, top + plot_h, si_label(lo), size=10)
+    canvas.text(legend_x, top - 10, value_label, size=10,
+                color=TEXT_SECONDARY)
+    return canvas.to_string()

@@ -1,0 +1,303 @@
+"""Interactive HTML Gables explorer (the paper's web tool, recreated).
+
+The Gables home page shipped "an interactive visualization tool to
+facilitate deeper understanding" for two- and three-IP SoCs.  This
+module generates a *self-contained* HTML document (no network, no
+dependencies) with the same affordances for any N-IP design:
+
+- sliders for each IP's work weight and operational intensity and for
+  the DRAM bandwidth multiplier;
+- the scaled-roofline plot (Section III-C) re-rendered live: per-IP
+  curves, the memory roofline, drop lines, and the attainable point;
+- the bottleneck and attainable performance restated as text.
+
+The embedded JavaScript reimplements Equations 12-14 exactly; the
+Python test suite cross-checks the embedded parameters and the initial
+server-side numbers against :func:`repro.core.evaluate`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.gables import evaluate
+from ..core.params import SoCSpec, Workload
+from .svg import SERIES_COLORS
+
+#: Sliders cover intensities 2^-7 .. 2^10 ops/byte.
+_LOG2_I_MIN, _LOG2_I_MAX = -7, 10
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+  :root {
+    --surface-1: #fcfcfb; --text-primary: #0b0b0b;
+    --text-secondary: #52514e; --grid: #e4e3de; --axis: #b5b4ac;
+  }
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 24px;
+         background: var(--surface-1); color: var(--text-primary);
+         max-width: 980px; }
+  h1 { font-size: 18px; }
+  .panel { display: flex; gap: 24px; flex-wrap: wrap; }
+  .controls { min-width: 300px; }
+  .controls fieldset { border: 1px solid var(--grid); border-radius: 6px;
+                       margin-bottom: 12px; }
+  .controls label { display: block; margin: 6px 0 0; font-size: 12px;
+                    color: var(--text-secondary); }
+  .controls input[type=range] { width: 100%; }
+  .swatch { display: inline-block; width: 10px; height: 10px;
+            border-radius: 2px; margin-right: 6px; }
+  #answer { font-weight: 600; margin: 8px 0; }
+  svg text { font: 11px system-ui, sans-serif; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<p>Gables scaled rooflines (Hill &amp; Reddi, HPCA 2019).  Drag the
+sliders: work weights are renormalized to fractions, intensities are
+log&#8322; scales, and the plot re-evaluates Equations 12&ndash;14 live.</p>
+<div class="panel">
+  <div class="controls" id="controls"></div>
+  <div>
+    <div id="answer"></div>
+    <svg id="plot" width="640" height="440" role="img"
+         aria-label="Gables scaled roofline plot"></svg>
+  </div>
+</div>
+<script>
+"use strict";
+const MODEL = __MODEL_JSON__;
+const COLORS = __COLORS_JSON__;
+const LOG2_I_MIN = __I_MIN__, LOG2_I_MAX = __I_MAX__;
+
+const state = {
+  weights: MODEL.fractions.slice(),
+  log2I: MODEL.intensities.map(i => Math.log2(i)),
+  bpeakScale: 1.0,
+};
+
+function fractions() {
+  const total = state.weights.reduce((a, b) => a + b, 0);
+  if (total <= 0) { const f = MODEL.fractions.slice(); return f; }
+  return state.weights.map(w => w / total);
+}
+
+function evaluateGables() {
+  // Equations 12-14: min over active scaled rooflines + memory.
+  const f = fractions();
+  const bpeak = MODEL.bpeak * state.bpeakScale;
+  let best = Infinity, bottleneck = "?";
+  const points = [];
+  let invIavg = 0;
+  for (let i = 0; i < MODEL.ips.length; i++) {
+    if (f[i] <= 0) continue;
+    const I = Math.pow(2, state.log2I[i]);
+    invIavg += f[i] / I;
+    const bound = Math.min(MODEL.ips[i].bandwidth * I,
+                           MODEL.ips[i].accel * MODEL.ppeak) / f[i];
+    points.push({ name: MODEL.ips[i].name, x: I, y: bound, index: i });
+    if (bound < best) { best = bound; bottleneck = MODEL.ips[i].name; }
+  }
+  if (invIavg > 0) {
+    const iavg = 1 / invIavg;
+    const memBound = bpeak * iavg;
+    points.push({ name: "memory", x: iavg, y: memBound,
+                  index: MODEL.ips.length });
+    if (memBound < best) { best = memBound; bottleneck = "memory"; }
+  }
+  return { attainable: best, bottleneck, points, f, bpeak };
+}
+
+function fmt(v) {
+  const units = [[1e12, "T"], [1e9, "G"], [1e6, "M"], [1e3, "K"]];
+  for (const [s, p] of units)
+    if (v >= s) return (v / s).toPrecision(3) + p;
+  return v.toPrecision(3);
+}
+
+function render() {
+  const result = evaluateGables();
+  const svg = document.getElementById("plot");
+  const W = 640, H = 440, L = 64, R = 90, T = 20, B = 44;
+  const xs = result.points.map(p => p.x);
+  const xmin = Math.min(...xs) / 8, xmax = Math.max(...xs) * 8;
+  let ys = result.points.map(p => p.y);
+  for (const p of result.points) {
+    ys.push(p.y * 0.1); ys.push(p.y * 10);
+  }
+  const ymin = Math.min(...ys), ymax = Math.max(...ys);
+  const lx = v => L + (Math.log10(v) - Math.log10(xmin)) /
+      (Math.log10(xmax) - Math.log10(xmin)) * (W - L - R);
+  const ly = v => T + (1 - (Math.log10(v) - Math.log10(ymin)) /
+      (Math.log10(ymax) - Math.log10(ymin))) * (H - T - B);
+  let parts = [];
+  // Decade grid.
+  for (let k = Math.ceil(Math.log10(xmin)); k <= Math.log10(xmax); k++) {
+    const x = lx(Math.pow(10, k));
+    parts.push(`<line x1="${x}" y1="${T}" x2="${x}" y2="${H - B}"
+        stroke="var(--grid)"/>`);
+    parts.push(`<text x="${x}" y="${H - B + 16}" text-anchor="middle"
+        fill="var(--text-secondary)">${fmt(Math.pow(10, k))}</text>`);
+  }
+  for (let k = Math.ceil(Math.log10(ymin)); k <= Math.log10(ymax); k++) {
+    const y = ly(Math.pow(10, k));
+    parts.push(`<line x1="${L}" y1="${y}" x2="${W - R}" y2="${y}"
+        stroke="var(--grid)"/>`);
+    parts.push(`<text x="${L - 6}" y="${y + 4}" text-anchor="end"
+        fill="var(--text-secondary)">${fmt(Math.pow(10, k))}</text>`);
+  }
+  parts.push(`<line x1="${L}" y1="${H - B}" x2="${W - R}" y2="${H - B}"
+      stroke="var(--axis)" stroke-width="1.5"/>`);
+  parts.push(`<line x1="${L}" y1="${T}" x2="${L}" y2="${H - B}"
+      stroke="var(--axis)" stroke-width="1.5"/>`);
+  // Scaled rooflines + memory line, sampled geometrically.
+  const curveAt = (p, I) => p.name === "memory"
+      ? result.bpeak * I
+      : Math.min(MODEL.ips[p.index].bandwidth * I,
+                 MODEL.ips[p.index].accel * MODEL.ppeak) /
+        result.f[p.index];
+  for (const p of result.points) {
+    const color = COLORS[p.index % COLORS.length];
+    const coords = [];
+    for (let s = 0; s <= 64; s++) {
+      const I = xmin * Math.pow(xmax / xmin, s / 64);
+      const y = Math.min(Math.max(curveAt(p, I), ymin), ymax);
+      coords.push(`${lx(I).toFixed(1)},${ly(y).toFixed(1)}`);
+    }
+    parts.push(`<polyline points="${coords.join(" ")}" fill="none"
+        stroke="${color}" stroke-width="2"/>`);
+    parts.push(`<text x="${W - R + 6}" y="${ly(Math.min(Math.max(
+        curveAt(p, xmax), ymin), ymax)) + 4}"
+        fill="var(--text-secondary)">${p.name}</text>`);
+    // Drop line + operating point.
+    parts.push(`<line x1="${lx(p.x)}" y1="${ly(p.y)}" x2="${lx(p.x)}"
+        y2="${H - B}" stroke="${color}" stroke-dasharray="4 4"/>`);
+    parts.push(`<circle cx="${lx(p.x)}" cy="${ly(p.y)}" r="4"
+        fill="${color}" stroke="var(--surface-1)" stroke-width="2">
+        <title>${p.name}: I=${p.x.toPrecision(3)},
+        P=${fmt(p.y)}ops/s</title></circle>`);
+  }
+  const binding = result.points.find(p => p.name === result.bottleneck);
+  if (binding) {
+    parts.push(`<circle cx="${lx(binding.x)}" cy="${ly(binding.y)}" r="6"
+        fill="var(--text-primary)" stroke="var(--surface-1)"
+        stroke-width="2"/>`);
+  }
+  parts.push(`<text x="${(L + W - R) / 2}" y="${H - 8}"
+      text-anchor="middle" fill="var(--text-secondary)">
+      operational intensity (ops/byte)</text>`);
+  svg.innerHTML = parts.join("");
+  document.getElementById("answer").textContent =
+      `P_attainable = ${fmt(result.attainable)}ops/s ` +
+      `(bottleneck: ${result.bottleneck}, ` +
+      `Bpeak = ${fmt(result.bpeak)}B/s)`;
+}
+
+function buildControls() {
+  const host = document.getElementById("controls");
+  let html = "";
+  MODEL.ips.forEach((ip, i) => {
+    const color = COLORS[i % COLORS.length];
+    html += `<fieldset><legend><span class="swatch"
+        style="background:${color}"></span>${ip.name}
+        (A=${ip.accel}, B=${fmt(ip.bandwidth)}B/s)</legend>
+      <label>work weight: <span id="wv${i}"></span></label>
+      <input type="range" id="w${i}" min="0" max="100"
+             value="${Math.round(MODEL.fractions[i] * 100)}">
+      <label>intensity I (ops/byte): <span id="iv${i}"></span></label>
+      <input type="range" id="i${i}" min="${LOG2_I_MIN}"
+             max="${LOG2_I_MAX}" step="0.1"
+             value="${Math.log2(MODEL.intensities[i]).toFixed(1)}">
+    </fieldset>`;
+  });
+  html += `<fieldset><legend>memory</legend>
+    <label>Bpeak multiplier: <span id="bv"></span></label>
+    <input type="range" id="b" min="-2" max="2" step="0.1" value="0">
+    </fieldset>`;
+  host.innerHTML = html;
+  MODEL.ips.forEach((ip, i) => {
+    document.getElementById(`w${i}`).addEventListener("input", e => {
+      state.weights[i] = Number(e.target.value) / 100; update();
+    });
+    document.getElementById(`i${i}`).addEventListener("input", e => {
+      state.log2I[i] = Number(e.target.value); update();
+    });
+  });
+  document.getElementById("b").addEventListener("input", e => {
+    state.bpeakScale = Math.pow(2, Number(e.target.value)); update();
+  });
+}
+
+function update() {
+  const f = fractions();
+  MODEL.ips.forEach((ip, i) => {
+    document.getElementById(`wv${i}`).textContent =
+        `f = ${f[i].toFixed(3)}`;
+    document.getElementById(`iv${i}`).textContent =
+        Math.pow(2, state.log2I[i]).toPrecision(3);
+  });
+  document.getElementById("bv").textContent =
+      `${state.bpeakScale.toFixed(2)}x`;
+  render();
+}
+
+buildControls();
+update();
+</script>
+</body>
+</html>
+"""
+
+
+def interactive_report(
+    soc: SoCSpec, workload: Workload, title: str | None = None
+) -> str:
+    """Generate the self-contained interactive explorer HTML.
+
+    The initial slider positions reproduce ``workload`` on ``soc``;
+    the document needs no network access or external assets.
+    """
+    model = {
+        "ppeak": soc.peak_perf,
+        "bpeak": soc.memory_bandwidth,
+        "ips": [
+            {
+                "name": ip.name,
+                "accel": ip.acceleration,
+                # JSON has no Infinity; clamp unconstrained links far
+                # above any plausible operating point instead.
+                "bandwidth": min(ip.bandwidth, 1e18),
+            }
+            for ip in soc.ips
+        ],
+        "fractions": list(workload.fractions),
+        "intensities": [
+            min(max(i, 2.0**_LOG2_I_MIN), 2.0**_LOG2_I_MAX)
+            for i in workload.intensities
+        ],
+    }
+    # Keep the initial answer honest: server-side evaluation goes into
+    # the title so tests can cross-check Python vs the JS reimplementation.
+    result = evaluate(soc, workload)
+    heading = title or (
+        f"{soc.name} / {workload.name} - "
+        f"{result.attainable / 1e9:.4g} Gops/s ({result.bottleneck})"
+    )
+    html = _TEMPLATE
+    html = html.replace("__TITLE__", heading)
+    html = html.replace("__MODEL_JSON__", json.dumps(model))
+    html = html.replace("__COLORS_JSON__", json.dumps(list(SERIES_COLORS)))
+    html = html.replace("__I_MIN__", str(_LOG2_I_MIN))
+    html = html.replace("__I_MAX__", str(_LOG2_I_MAX))
+    return html
+
+
+def save_interactive_report(
+    soc: SoCSpec, workload: Workload, path, title: str | None = None
+) -> None:
+    """Write the explorer to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(interactive_report(soc, workload, title=title))

@@ -1,0 +1,210 @@
+"""Gables scaled-roofline plots (paper Section III-C, Figure 6).
+
+Renders the multi-roofline visualization the paper develops: Roofline
+axes (log intensity vs log attainable performance), one scaled roofline
+per active IP plus the memory roofline, "drop lines" where each
+component's operating intensity selects its bound, and the attainable
+point — the lowest selection — highlighted.
+
+Output is either an SVG document (:func:`roofline_svg`) or an ASCII
+terminal rendering (:func:`roofline_ascii`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.gables import drop_lines, evaluate, scaled_roofline_curves
+from ..core.params import SoCSpec, Workload
+from ..errors import SpecError
+from .ascii_art import render_log_log
+from .scale import LogScale, si_label
+from .svg import AXIS, GRID, TEXT_PRIMARY, TEXT_SECONDARY, SvgCanvas, series_color
+
+#: Plot margins in pixels: left, right, top, bottom.
+_MARGINS = (72, 24, 40, 56)
+
+
+@dataclass(frozen=True)
+class RooflinePlotData:
+    """Everything a renderer needs, extracted from one evaluation."""
+
+    curves: tuple  # RooflineCurve per component (memory last)
+    operating_points: tuple  # (name, intensity, performance)
+    attainable: float
+    bottleneck: str
+    title: str
+
+    @classmethod
+    def from_model(
+        cls, soc: SoCSpec, workload: Workload, title: str | None = None
+    ) -> "RooflinePlotData":
+        """Evaluate the model and package the plot geometry."""
+        result = evaluate(soc, workload)
+        return cls(
+            curves=scaled_roofline_curves(soc, workload),
+            operating_points=drop_lines(soc, workload),
+            attainable=result.attainable,
+            bottleneck=result.bottleneck,
+            title=title or f"{soc.name} / {workload.name}",
+        )
+
+    def intensity_domain(self) -> tuple:
+        """A (lo, hi) intensity range covering all interesting features."""
+        interesting = [i for _, i, _ in self.operating_points]
+        interesting += [
+            c.ridge_point for c in self.curves if math.isfinite(c.ridge_point)
+        ]
+        finite = [i for i in interesting if i > 0 and math.isfinite(i)]
+        if not finite:
+            finite = [1.0]
+        return min(finite) / 8, max(finite) * 8
+
+
+def roofline_svg(
+    data: RooflinePlotData, width: int = 720, height: int = 480
+) -> str:
+    """Render a scaled-roofline plot as an SVG document string."""
+    left, right, top, bottom = _MARGINS
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    if plot_w < 100 or plot_h < 80:
+        raise SpecError("canvas too small for the configured margins")
+
+    lo, hi = data.intensity_domain()
+    x_scale = LogScale(lo, hi)
+    perfs = [p for _, _, p in data.operating_points]
+    perfs += [c(hi) for c in data.curves] + [c(lo) for c in data.curves]
+    perfs.append(data.attainable)
+    y_scale = LogScale.spanning(perfs)
+
+    def to_px(intensity: float, perf: float) -> tuple:
+        x = left + x_scale(intensity) * plot_w
+        y = top + (1.0 - y_scale(perf)) * plot_h
+        return x, y
+
+    canvas = SvgCanvas(width, height)
+
+    # Recessive grid on decade ticks, then axes.
+    for tick in x_scale.ticks():
+        x, _ = to_px(tick, y_scale.hi)
+        canvas.line(x, top, x, top + plot_h, color=GRID, width=1)
+        canvas.text(x, top + plot_h + 18, si_label(tick), anchor="middle")
+    for tick in y_scale.ticks():
+        _, y = to_px(x_scale.hi, tick)
+        canvas.line(left, y, left + plot_w, y, color=GRID, width=1)
+        canvas.text(left - 8, y + 4, si_label(tick), anchor="end")
+    canvas.line(left, top + plot_h, left + plot_w, top + plot_h, color=AXIS,
+                width=1.5)
+    canvas.line(left, top, left, top + plot_h, color=AXIS, width=1.5)
+
+    canvas.text(left + plot_w / 2, height - 16,
+                "operational intensity (ops/byte)", anchor="middle")
+    canvas.text(20, top + plot_h / 2, "attainable performance (ops/s)",
+                anchor="middle", rotate=-90)
+    canvas.text(left, 24, data.title, color=TEXT_PRIMARY, size=14,
+                weight="bold")
+
+    # The scaled rooflines.
+    samples = x_scale.sample(96)
+    for index, curve in enumerate(data.curves):
+        color = series_color(index)
+        points = [to_px(i, curve(i)) for i in samples]
+        canvas.polyline(points, color=color,
+                        tooltip=f"{curve.name} scaled roofline")
+        # Direct label at the right edge of the curve.
+        label_x, label_y = points[-1]
+        canvas.text(min(label_x + 4, width - 4), label_y - 6, curve.name,
+                    color=TEXT_SECONDARY, size=11)
+
+    # Drop lines + operating points.
+    name_to_index = {curve.name: i for i, curve in enumerate(data.curves)}
+    floor_y = top + plot_h
+    for name, intensity, perf in data.operating_points:
+        x, y = to_px(intensity, perf)
+        color = series_color(name_to_index[name])
+        canvas.line(x, y, x, floor_y, color=color, width=1, dash="4 4")
+        canvas.circle(x, y, r=4, color=color,
+                      tooltip=f"{name}: I={intensity:.4g}, "
+                              f"P={si_label(perf)}ops/s")
+
+    # The attainable point (the lowest selection).
+    binding = [p for p in data.operating_points if p[0] == data.bottleneck]
+    if binding:
+        _, intensity, perf = binding[0]
+        x, y = to_px(intensity, perf)
+        canvas.circle(x, y, r=6, color=TEXT_PRIMARY,
+                      tooltip=f"attainable: {si_label(data.attainable)}ops/s "
+                              f"({data.bottleneck}-bound)")
+        canvas.text(x + 10, y + 4,
+                    f"P = {si_label(data.attainable)} ({data.bottleneck})",
+                    color=TEXT_PRIMARY, size=12, weight="bold")
+    return canvas.to_string()
+
+
+def roofline_ascii(data: RooflinePlotData, width: int = 76,
+                   height: int = 22) -> str:
+    """Render the same plot for a terminal."""
+    lo, hi = data.intensity_domain()
+    x_scale = LogScale(lo, hi)
+    samples = x_scale.sample(width)
+    series = {
+        curve.name: [(i, curve(i)) for i in samples] for curve in data.curves
+    }
+    markers = {
+        name: (intensity, perf)
+        for name, intensity, perf in data.operating_points
+    }
+    title = (
+        f"{data.title} - attainable {si_label(data.attainable)}ops/s "
+        f"({data.bottleneck}-bound)"
+    )
+    body = render_log_log(
+        series,
+        x_label="ops/byte (log)",
+        y_label="ops/s (log)",
+        width=width,
+        height=height,
+        markers=markers,
+    )
+    return title + "\n" + body
+
+
+def save_roofline_svg(soc: SoCSpec, workload: Workload, path,
+                      title: str | None = None) -> None:
+    """One-call evaluate-and-save (used by the CLI and examples)."""
+    data = RooflinePlotData.from_model(soc, workload, title=title)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(roofline_svg(data))
+
+
+def classic_roofline_plot(roofline, intensity: float,
+                          title: str | None = None) -> RooflinePlotData:
+    """Plot data for a *classic* single-chip roofline (paper Figure 1).
+
+    The original Williams-et-al. picture: one roofline (plus its
+    ceilings, if any) with an operating point at the software's
+    operational intensity.  Reuses the Gables plot machinery — a
+    classic roofline is the one-IP, f=1 special case.
+
+    Parameters
+    ----------
+    roofline:
+        A :class:`~repro.core.roofline.Roofline`.
+    intensity:
+        The software's operational intensity, marking the drop line.
+    """
+    curves = [roofline.curve()] + list(roofline.ceiling_curves())
+    attainable = roofline.attainable(intensity)
+    bound_kind = (
+        "memory" if roofline.is_memory_bound(intensity) else "compute"
+    )
+    return RooflinePlotData(
+        curves=tuple(curves),
+        operating_points=((roofline.name, intensity, attainable),),
+        attainable=attainable,
+        bottleneck=roofline.name,
+        title=title or f"{roofline.name} roofline ({bound_kind}-bound "
+                       f"at I={intensity:g})",
+    )

@@ -1,0 +1,78 @@
+"""Axis scales and tick generation for log-log roofline plots.
+
+Roofline plots are log-log by construction (Figure 1): operational
+intensity spans 0.01-100+ ops/byte and performance spans orders of
+magnitude.  :class:`LogScale` maps data values to the unit interval and
+generates decade ticks with SI-prefixed labels.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SpecError
+
+
+class LogScale:
+    """A base-10 logarithmic scale from a data domain to [0, 1]."""
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if not (lo > 0 and hi > 0):
+            raise SpecError(f"log scale domain must be positive, got [{lo}, {hi}]")
+        if not lo < hi:
+            raise SpecError(f"log scale needs lo < hi, got [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+        self._log_lo = math.log10(lo)
+        self._span = math.log10(hi) - self._log_lo
+
+    def __call__(self, value: float) -> float:
+        """Map a data value to [0, 1] (values outside clamp)."""
+        if value <= 0:
+            raise SpecError(f"cannot place non-positive value {value!r} on log scale")
+        position = (math.log10(value) - self._log_lo) / self._span
+        return min(1.0, max(0.0, position))
+
+    def invert(self, position: float) -> float:
+        """Map a [0, 1] position back to the data domain."""
+        return 10 ** (self._log_lo + position * self._span)
+
+    def ticks(self) -> tuple:
+        """Decade ticks covering the domain (at least two)."""
+        first = math.ceil(self._log_lo - 1e-9)
+        last = math.floor(self._log_lo + self._span + 1e-9)
+        ticks = [10.0**k for k in range(first, last + 1)]
+        if len(ticks) < 2:
+            ticks = [self.lo, self.hi]
+        return tuple(ticks)
+
+    def sample(self, n: int = 128) -> tuple:
+        """Geometrically spaced sample points across the domain."""
+        if n < 2:
+            raise SpecError(f"need at least 2 samples, got {n}")
+        return tuple(self.invert(k / (n - 1)) for k in range(n))
+
+    @classmethod
+    def spanning(cls, values, pad_decades: float = 0.15) -> "LogScale":
+        """A scale covering ``values`` with padding on each side."""
+        finite = [v for v in values if v > 0 and math.isfinite(v)]
+        if not finite:
+            raise SpecError("no positive finite values to span")
+        lo, hi = min(finite), max(finite)
+        if lo == hi:
+            lo, hi = lo / 10, hi * 10
+        factor = 10**pad_decades
+        return cls(lo / factor, hi * factor)
+
+
+def si_label(value: float) -> str:
+    """Short SI-prefixed tick label: ``1e9 -> '1G'``, ``0.1 -> '0.1'``."""
+    if value == 0:
+        return "0"
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            scaled = value / threshold
+            return f"{scaled:g}{suffix}"
+    if abs(value) >= 1:
+        return f"{value:g}"
+    return f"{value:g}"

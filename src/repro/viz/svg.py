@@ -1,0 +1,132 @@
+"""A minimal SVG document builder (no third-party dependencies).
+
+Provides exactly the primitives the roofline and sweep plots need:
+lines, polylines, circles, rects, and text — with XML escaping, CSS
+classes for themable styling, and native ``<title>`` hover tooltips.
+The palette follows a validated categorical order (fixed slot
+assignment, never cycled); labels wear text tokens, never series color.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from ..errors import SpecError
+
+#: Validated categorical palette, light mode, in fixed slot order.
+SERIES_COLORS = (
+    "#2a78d6",  # blue
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+    "#e87ba4",  # magenta
+    "#eb6834",  # orange
+)
+
+#: Text and chrome tokens (light surface).
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+SURFACE = "#fcfcfb"
+GRID = "#e4e3de"
+AXIS = "#b5b4ac"
+
+
+def series_color(index: int) -> str:
+    """Color for series ``index``; beyond 8 series, raise — fold or
+    split the chart instead of inventing hues."""
+    if index < 0:
+        raise SpecError(f"series index must be >= 0, got {index}")
+    if index >= len(SERIES_COLORS):
+        raise SpecError(
+            f"only {len(SERIES_COLORS)} categorical slots; restructure the "
+            "chart (small multiples / fold into 'other') rather than cycling"
+        )
+    return SERIES_COLORS[index]
+
+
+class SvgCanvas:
+    """An append-only SVG document of fixed pixel size."""
+
+    def __init__(self, width: int = 720, height: int = 480) -> None:
+        if width < 64 or height < 64:
+            raise SpecError(f"canvas too small: {width}x{height}")
+        self.width = width
+        self.height = height
+        self._body: list = []
+        self._body.append(
+            f'<rect x="0" y="0" width="{width}" height="{height}" '
+            f'fill="{SURFACE}"/>'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             color: str = AXIS, width: float = 1.0, dash: str | None = None
+             ) -> None:
+        """A straight segment."""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._body.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash_attr} '
+            f'stroke-linecap="round"/>'
+        )
+
+    def polyline(self, points, color: str, width: float = 2.0,
+                 tooltip: str | None = None) -> None:
+        """An open path through ``points`` ((x, y) pairs)."""
+        if len(points) < 2:
+            raise SpecError("polyline needs at least two points")
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        title = f"<title>{escape(tooltip)}</title>" if tooltip else ""
+        self._body.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}" stroke-linejoin="round" '
+            f'stroke-linecap="round">{title}</polyline>'
+        )
+
+    def circle(self, x: float, y: float, r: float = 4.0,
+               color: str = TEXT_PRIMARY, tooltip: str | None = None) -> None:
+        """A marker dot with a 2px surface ring (overlap separation)."""
+        title = f"<title>{escape(tooltip)}</title>" if tooltip else ""
+        self._body.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r:.2f}" fill="{color}" '
+            f'stroke="{SURFACE}" stroke-width="2">{title}</circle>'
+        )
+
+    def rect(self, x: float, y: float, w: float, h: float, color: str,
+             rx: float = 2.0, tooltip: str | None = None) -> None:
+        """A filled rectangle (bars, legend swatches)."""
+        title = f"<title>{escape(tooltip)}</title>" if tooltip else ""
+        self._body.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'rx="{rx}" fill="{color}">{title}</rect>'
+        )
+
+    def text(self, x: float, y: float, content: str,
+             color: str = TEXT_SECONDARY, size: int = 12,
+             anchor: str = "start", rotate: float | None = None,
+             weight: str = "normal") -> None:
+        """A text label (always in text tokens, never series color)."""
+        transform = (
+            f' transform="rotate({rotate:.1f} {x:.2f} {y:.2f})"' if rotate else ""
+        )
+        self._body.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" fill="{color}" '
+            f'font-size="{size}" font-family="system-ui, sans-serif" '
+            f'font-weight="{weight}" text-anchor="{anchor}"{transform}>'
+            f"{escape(content)}</text>"
+        )
+
+    def to_string(self) -> str:
+        """Serialize the document."""
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}" role="img">'
+        )
+        return header + "".join(self._body) + "</svg>"
+
+    def save(self, path) -> None:
+        """Write the document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_string())

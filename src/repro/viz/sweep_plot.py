@@ -1,0 +1,181 @@
+"""Line charts for sweeps and series (Figs. 2a and 8 renderings).
+
+Generic multi-series line charts on linear or log axes, used for the
+mixing sweep (normalized performance vs offload fraction, one line per
+intensity) and the market series (introductions per year).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SpecError
+from .scale import si_label
+from .svg import (
+    AXIS,
+    GRID,
+    TEXT_PRIMARY,
+    TEXT_SECONDARY,
+    SvgCanvas,
+    series_color,
+)
+
+_MARGINS = (72, 110, 40, 56)  # left, right (room for direct labels), top, bottom
+
+
+def _nice_linear_ticks(lo: float, hi: float, target: int = 6) -> tuple:
+    if not hi > lo:
+        raise SpecError(f"need lo < hi, got [{lo}, {hi}]")
+    raw = (hi - lo) / target
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for step in (1, 2, 2.5, 5, 10):
+        if raw <= step * magnitude:
+            spacing = step * magnitude
+            break
+    first = math.ceil(lo / spacing) * spacing
+    ticks = []
+    tick = first
+    while tick <= hi + 1e-9 * spacing:
+        ticks.append(round(tick, 12))
+        tick += spacing
+    return tuple(ticks)
+
+
+def line_chart_svg(
+    series: dict,
+    title: str,
+    x_label: str,
+    y_label: str,
+    log_y: bool = False,
+    width: int = 720,
+    height: int = 480,
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a multi-series line chart.
+
+    Series keep their insertion order for slot colors; each line gets a
+    direct label at its right end (identity is never color-alone).
+    """
+    if not series:
+        raise SpecError("line_chart_svg needs at least one series")
+    for name, points in series.items():
+        if not points:
+            raise SpecError(f"series {name!r} is empty")
+    left, right, top, bottom = _MARGINS
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    if x_lo == x_hi:
+        x_lo, x_hi = x_lo - 1, x_hi + 1
+    if log_y:
+        positive = [y for y in ys if y > 0]
+        if not positive:
+            raise SpecError("log_y requires positive values")
+        y_lo, y_hi = min(positive) / 1.5, max(positive) * 1.5
+    else:
+        y_lo, y_hi = min(ys), max(ys)
+        if y_lo == y_hi:
+            y_lo, y_hi = y_lo - 1, y_hi + 1
+        pad = 0.06 * (y_hi - y_lo)
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    def to_px(x: float, y: float) -> tuple:
+        px = left + (x - x_lo) / (x_hi - x_lo) * plot_w
+        if log_y:
+            frac = (math.log10(y) - math.log10(y_lo)) / (
+                math.log10(y_hi) - math.log10(y_lo)
+            )
+        else:
+            frac = (y - y_lo) / (y_hi - y_lo)
+        return px, top + (1.0 - frac) * plot_h
+
+    canvas = SvgCanvas(width, height)
+    for tick in _nice_linear_ticks(x_lo, x_hi):
+        x, _ = to_px(tick, y_hi)
+        canvas.line(x, top, x, top + plot_h, color=GRID, width=1)
+        canvas.text(x, top + plot_h + 18, f"{tick:g}", anchor="middle")
+    if log_y:
+        k_lo = math.ceil(math.log10(y_lo))
+        k_hi = math.floor(math.log10(y_hi))
+        y_ticks = [10.0**k for k in range(k_lo, k_hi + 1)] or [y_lo, y_hi]
+    else:
+        y_ticks = _nice_linear_ticks(y_lo, y_hi)
+    for tick in y_ticks:
+        _, y = to_px(x_hi, tick)
+        canvas.line(left, y, left + plot_w, y, color=GRID, width=1)
+        canvas.text(left - 8, y + 4, si_label(tick), anchor="end")
+    canvas.line(left, top + plot_h, left + plot_w, top + plot_h,
+                color=AXIS, width=1.5)
+    canvas.line(left, top, left, top + plot_h, color=AXIS, width=1.5)
+    canvas.text(left + plot_w / 2, height - 16, x_label, anchor="middle")
+    canvas.text(20, top + plot_h / 2, y_label, anchor="middle", rotate=-90)
+    canvas.text(left, 24, title, color=TEXT_PRIMARY, size=14, weight="bold")
+
+    for index, (name, points) in enumerate(series.items()):
+        if not points:
+            raise SpecError(f"series {name!r} is empty")
+        color = series_color(index)
+        ordered = sorted(points, key=lambda p: p[0])
+        pixels = [to_px(x, y) for x, y in ordered]
+        if len(pixels) >= 2:
+            canvas.polyline(pixels, color=color, tooltip=name)
+        for (x, y), (px, py) in zip(ordered, pixels):
+            canvas.circle(px, py, r=3.5, color=color,
+                          tooltip=f"{name}: ({x:g}, {y:.4g})")
+        end_x, end_y = pixels[-1]
+        canvas.text(end_x + 8, end_y + 4, name, color=TEXT_SECONDARY, size=11)
+    return canvas.to_string()
+
+
+def bar_chart_svg(
+    values: dict,
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int = 720,
+    height: int = 480,
+) -> str:
+    """Render ``{category: value}`` as a single-series bar chart.
+
+    One measure, one hue (slot 1); 2px surface gaps between bars;
+    values labeled selectively (first, last, and max only).
+    """
+    if not values:
+        raise SpecError("bar_chart_svg needs at least one bar")
+    left, right, top, bottom = 72, 24, 40, 56
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    y_hi = max(values.values())
+    if y_hi <= 0:
+        raise SpecError("bar values must include a positive maximum")
+
+    canvas = SvgCanvas(width, height)
+    for tick in _nice_linear_ticks(0, y_hi):
+        y = top + (1.0 - tick / (y_hi * 1.08)) * plot_h
+        canvas.line(left, y, left + plot_w, y, color=GRID, width=1)
+        canvas.text(left - 8, y + 4, si_label(tick), anchor="end")
+    canvas.line(left, top + plot_h, left + plot_w, top + plot_h,
+                color=AXIS, width=1.5)
+    canvas.text(left + plot_w / 2, height - 16, x_label, anchor="middle")
+    canvas.text(20, top + plot_h / 2, y_label, anchor="middle", rotate=-90)
+    canvas.text(left, 24, title, color=TEXT_PRIMARY, size=14, weight="bold")
+
+    n = len(values)
+    slot = plot_w / n
+    bar_w = max(4.0, slot - 2.0)  # 2px surface gap between bars
+    color = series_color(0)
+    labeled = {0, n - 1, max(range(n), key=lambda i: list(values.values())[i])}
+    for index, (category, value) in enumerate(values.items()):
+        h = value / (y_hi * 1.08) * plot_h
+        x = left + index * slot + 1.0
+        y = top + plot_h - h
+        canvas.rect(x, y, bar_w, h, color=color, rx=4,
+                    tooltip=f"{category}: {value:g}")
+        canvas.text(x + bar_w / 2, top + plot_h + 18, str(category),
+                    anchor="middle", size=10)
+        if index in labeled:
+            canvas.text(x + bar_w / 2, y - 6, f"{value:g}",
+                        anchor="middle", size=10, color=TEXT_SECONDARY)
+    return canvas.to_string()

@@ -1,0 +1,104 @@
+"""Plain-text, Markdown, and CSV table rendering for model outputs.
+
+Reports frequently leave the terminal: Markdown goes into design docs,
+CSV into spreadsheets.  These helpers render generic header/rows
+tables plus adapters for the library's common result shapes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+
+from ..errors import SpecError
+
+
+def _check(headers, rows) -> list:
+    headers = list(headers)
+    if not headers:
+        raise SpecError("table needs at least one column")
+    normalized = []
+    for index, row in enumerate(rows):
+        row = list(row)
+        if len(row) != len(headers):
+            raise SpecError(
+                f"row {index} has {len(row)} cells for {len(headers)} "
+                "columns"
+            )
+        normalized.append([str(cell) for cell in row])
+    return normalized
+
+
+def markdown_table(headers, rows) -> str:
+    """A GitHub-flavoured Markdown table."""
+    body = _check(headers, rows)
+    header_line = "| " + " | ".join(str(h) for h in headers) + " |"
+    rule = "|" + "|".join(" --- " for _ in headers) + "|"
+    lines = [header_line, rule]
+    for row in body:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def csv_table(headers, rows) -> str:
+    """RFC-4180 CSV (proper quoting via the stdlib writer)."""
+    body = _check(headers, rows)
+    buffer = _io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([str(h) for h in headers])
+    writer.writerows(body)
+    return buffer.getvalue()
+
+
+def result_table(result, fmt: str = "markdown") -> str:
+    """A :class:`~repro.core.result.GablesResult` per-component table."""
+    headers = ("component", "f", "I (ops/B)", "time (s/op)",
+               "bound (ops/s)", "limiter")
+    rows = []
+    for term in result.ip_terms:
+        rows.append((
+            term.name,
+            f"{term.fraction:.4g}",
+            "idle" if not term.active else f"{term.intensity:.4g}",
+            f"{term.time:.4g}",
+            "-" if term.perf_bound is None else f"{term.perf_bound:.4g}",
+            term.limiter,
+        ))
+    rows.append((
+        "memory", "-", f"{result.average_intensity:.4g}",
+        f"{result.memory_time:.4g}",
+        f"{result.memory_perf_bound:.4g}", "-",
+    ))
+    for name, time in result.extra_times.items():
+        rows.append((name, "-", "-", f"{time:.4g}",
+                     "inf" if time == 0 else f"{1.0 / time:.4g}", "-"))
+    return _render(headers, rows, fmt)
+
+
+def sweep_table(series, fmt: str = "markdown") -> str:
+    """A :class:`~repro.explore.sweep.SweepSeries` as a table."""
+    headers = (series.parameter, "attainable (ops/s)", "bottleneck")
+    rows = [
+        (f"{point.value:.6g}", f"{point.attainable:.6g}", point.bottleneck)
+        for point in series.points
+    ]
+    return _render(headers, rows, fmt)
+
+
+def drift_table(points, fmt: str = "markdown") -> str:
+    """A generational-drift projection as a table."""
+    headers = ("year", "attainable (ops/s)", "bottleneck", "vs today")
+    rows = [
+        (f"{p.year:g}", f"{p.attainable:.4g}", p.bottleneck,
+         f"{p.speedup_vs_today:.2f}x")
+        for p in points
+    ]
+    return _render(headers, rows, fmt)
+
+
+def _render(headers, rows, fmt: str) -> str:
+    if fmt == "markdown":
+        return markdown_table(headers, rows)
+    if fmt == "csv":
+        return csv_table(headers, rows)
+    raise SpecError(f"unknown table format {fmt!r}; use markdown|csv")

@@ -1,0 +1,211 @@
+"""Unit tests for the baseline models (Amdahl, Hill-Marty, MultiAmdahl,
+LogCA)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    LogCA,
+    MultiAmdahlChip,
+    MultiAmdahlIP,
+    amdahl_fraction_needed,
+    amdahl_limit,
+    amdahl_speedup,
+    asymmetric_speedup,
+    best_core_size,
+    dynamic_speedup,
+    gustafson_speedup,
+    optimal_allocation,
+    runtime,
+    speedup_over_uniform,
+    symmetric_speedup,
+)
+from repro.errors import SpecError
+
+
+class TestAmdahl:
+    def test_known_values(self):
+        assert amdahl_speedup(0.5, 2) == pytest.approx(4 / 3)
+        assert amdahl_speedup(0.9, 10) == pytest.approx(1 / 0.19)
+
+    def test_no_parallel_fraction_no_speedup(self):
+        assert amdahl_speedup(0.0, 100) == 1.0
+
+    def test_all_parallel_full_speedup(self):
+        assert amdahl_speedup(1.0, 7) == pytest.approx(7.0)
+
+    def test_limit(self):
+        assert amdahl_limit(0.9) == pytest.approx(10.0)
+        assert math.isinf(amdahl_limit(1.0))
+
+    def test_fraction_needed_inverts(self):
+        f = amdahl_fraction_needed(3.0, 10.0)
+        assert amdahl_speedup(f, 10.0) == pytest.approx(3.0)
+
+    def test_fraction_needed_unreachable(self):
+        with pytest.raises(SpecError):
+            amdahl_fraction_needed(20.0, 10.0)
+
+    def test_gustafson_linear_in_processors(self):
+        assert gustafson_speedup(0.5, 100) == pytest.approx(50.5)
+        assert gustafson_speedup(1.0, 64) == 64
+
+    @given(st.floats(0, 1), st.floats(1, 1e4))
+    @settings(max_examples=60, deadline=None)
+    def test_speedup_never_exceeds_factor(self, f, s):
+        assert amdahl_speedup(f, s) <= s * (1 + 1e-12)
+
+    @given(st.floats(0, 1), st.floats(1, 1e4))
+    @settings(max_examples=60, deadline=None)
+    def test_gustafson_dominates_amdahl(self, f, n):
+        """Scaled speedup is always >= fixed-size speedup."""
+        assert gustafson_speedup(f, n) >= amdahl_speedup(f, n) * (1 - 1e-12)
+
+
+class TestHillMarty:
+    def test_symmetric_one_big_core(self):
+        # r = n: a single core of all resources; speedup = perf(n).
+        assert symmetric_speedup(0.5, 16, 16) == pytest.approx(4.0)
+
+    def test_symmetric_base_cores(self):
+        # r = 1, f = 1: n base cores give n-fold speedup.
+        assert symmetric_speedup(1.0, 16, 1) == pytest.approx(16.0)
+
+    def test_asymmetric_beats_symmetric_at_high_f(self):
+        # Hill & Marty's headline: asymmetric dominates for mixed f.
+        f, n = 0.975, 256
+        _, best_sym = best_core_size(f, n, "symmetric")
+        _, best_asym = best_core_size(f, n, "asymmetric")
+        assert best_asym > best_sym
+
+    def test_dynamic_dominates_asymmetric(self):
+        f, n = 0.975, 256
+        for r in (1, 4, 16, 64, 256):
+            assert dynamic_speedup(f, n, r) >= asymmetric_speedup(f, n, r) \
+                * (1 - 1e-12)
+
+    def test_core_too_big_rejected(self):
+        with pytest.raises(SpecError):
+            symmetric_speedup(0.5, 16, 17)
+
+    def test_unknown_organization_rejected(self):
+        with pytest.raises(SpecError):
+            best_core_size(0.5, 16, organization="quantum")
+
+    def test_best_core_size_serial_workload(self):
+        # f = 0: all serial; the best symmetric design is one big core.
+        r, _ = best_core_size(0.0, 64, "symmetric")
+        assert r == pytest.approx(64, rel=0.05)
+
+    def test_custom_perf_function(self):
+        linear = symmetric_speedup(0.5, 16, 4, perf=lambda r: r)
+        assert linear == pytest.approx(1 / (0.5 / 4 + 0.5 * 4 / (4 * 16)))
+
+
+class TestMultiAmdahl:
+    @pytest.fixture()
+    def chip(self):
+        return MultiAmdahlChip(
+            ips=(
+                MultiAmdahlIP.power_law("cpu", k=1.0),
+                MultiAmdahlIP.power_law("acc", k=4.0),
+            ),
+            total_area=100.0,
+        )
+
+    def test_runtime_formula(self, chip):
+        t = runtime(chip, (0.5, 0.5), (50.0, 50.0))
+        expected = 0.5 / math.sqrt(50) + 0.5 / (4 * math.sqrt(50))
+        assert t == pytest.approx(expected)
+
+    def test_zero_area_for_active_ip_is_infinite(self, chip):
+        assert runtime(chip, (0.5, 0.5), (100.0, 0.0)) == math.inf
+
+    def test_optimal_beats_uniform(self, chip):
+        assert speedup_over_uniform(chip, (0.9, 0.1)) > 1.0
+
+    def test_optimal_allocation_closed_form(self, chip):
+        """Common-alpha power law: a_i proportional to (ti/ki)^(2/3)."""
+        areas, _ = optimal_allocation(chip, (0.5, 0.5))
+        expected_ratio = (0.5 / 1.0) ** (2 / 3) / (0.5 / 4.0) ** (2 / 3)
+        assert areas[0] / areas[1] == pytest.approx(expected_ratio)
+        assert sum(areas) == pytest.approx(100.0)
+
+    def test_unused_ip_gets_no_area(self, chip):
+        areas, _ = optimal_allocation(chip, (1.0, 0.0))
+        assert areas[1] == 0.0
+        assert areas[0] == pytest.approx(100.0)
+
+    def test_numeric_path_matches_closed_form(self):
+        """Force the SLSQP path with a non-power-law IP and compare."""
+        sqrt_ips = (
+            MultiAmdahlIP.power_law("a", k=1.0),
+            MultiAmdahlIP("b", perf=lambda area: 4.0 * area**0.5),
+        )
+        closed_ips = (
+            MultiAmdahlIP.power_law("a", k=1.0),
+            MultiAmdahlIP.power_law("b", k=4.0),
+        )
+        numeric = MultiAmdahlChip(sqrt_ips, 100.0)
+        closed = MultiAmdahlChip(closed_ips, 100.0)
+        fractions = (0.3, 0.7)
+        _, t_numeric = optimal_allocation(numeric, fractions)
+        _, t_closed = optimal_allocation(closed, fractions)
+        assert t_numeric == pytest.approx(t_closed, rel=1e-4)
+
+    def test_alpha_must_be_below_one(self):
+        with pytest.raises(SpecError):
+            MultiAmdahlIP.power_law("x", alpha=1.5)
+
+    def test_multiamdahl_blind_to_bandwidth(self, chip):
+        """The key Gables-vs-MultiAmdahl difference (paper Sec. VI):
+        MultiAmdahl's answer ignores operational intensity entirely,
+        so the Fig. 6b collapse is invisible to it."""
+        # Same fractions, any data behaviour: identical runtime.
+        t1 = runtime(chip, (0.25, 0.75), (40.0, 60.0))
+        t2 = runtime(chip, (0.25, 0.75), (40.0, 60.0))
+        assert t1 == t2  # no bandwidth/intensity input exists to vary
+
+
+class TestLogCA:
+    @pytest.fixture()
+    def model(self):
+        return LogCA(latency=0.1, overhead=100, compute_index=1.0,
+                     acceleration=10)
+
+    def test_speedup_monotone_in_granularity(self, model):
+        values = [model.speedup(g) for g in (1, 10, 100, 1e4, 1e6)]
+        assert values == sorted(values)
+
+    def test_break_even(self, model):
+        g1 = model.break_even_granularity()
+        assert model.speedup(g1 * 0.9) < 1.0
+        assert model.speedup(g1 * 1.1) > 1.0
+
+    def test_asymptote_linear_kernel(self, model):
+        # beta=1: limit = C / (L + C/A) = 1/(0.1 + 0.1) = 5 < A = 10.
+        assert model.asymptotic_speedup() == pytest.approx(5.0)
+        assert model.speedup(1e12) == pytest.approx(5.0, rel=1e-3)
+
+    def test_asymptote_superlinear_reaches_full_acceleration(self):
+        model = LogCA(latency=0.1, overhead=100, compute_index=1.0,
+                      acceleration=10, beta=1.5)
+        assert model.asymptotic_speedup() == 10.0
+        assert model.speedup(1e9) == pytest.approx(10.0, rel=1e-2)
+
+    def test_zero_overhead_zero_latency(self):
+        model = LogCA(latency=0.0, overhead=0.0, compute_index=1.0,
+                      acceleration=8)
+        assert model.speedup(1.0) == pytest.approx(8.0)
+        assert model.break_even_granularity() == 0.0
+
+    def test_never_profitable(self):
+        # Acceleration 1 with positive overhead: never breaks even.
+        model = LogCA(latency=1.0, overhead=10.0, compute_index=0.5,
+                      acceleration=1.0)
+        assert math.isinf(model.break_even_granularity())

@@ -1,0 +1,168 @@
+"""Tests for workload blending and the concurrent-run timeline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FIGURE_6D,
+    Workload,
+    blend_workloads,
+    evaluate,
+    interference_slowdown,
+)
+from repro.core.gables import ip_terms
+from repro.errors import WorkloadError
+from repro.sim import ConcurrentJob, KernelSpec
+from repro.units import GIGA
+
+
+@pytest.fixture()
+def soc():
+    return FIGURE_6D.soc()
+
+
+@pytest.fixture()
+def camera():
+    return Workload.two_ip(f=0.8, i0=8, i1=16, name="camera")
+
+
+@pytest.fixture()
+def music():
+    return Workload.two_ip(f=0.0, i0=2, i1=1, name="music")
+
+
+class TestBlend:
+    def test_self_blend_is_identity(self, camera):
+        blended = blend_workloads(camera, camera, 0.5)
+        for a, b in zip(blended.fractions, camera.fractions):
+            assert a == pytest.approx(b)
+        for a, b in zip(blended.intensities, camera.intensities):
+            assert a == pytest.approx(b)
+
+    def test_degenerate_alphas(self, camera, music):
+        assert blend_workloads(camera, music, 1.0) is camera
+        assert blend_workloads(camera, music, 0.0) is music
+
+    def test_traffic_is_conserved(self, soc, camera, music):
+        """The blend's bytes-per-op equals the alpha-weighted sum of
+        the constituents' — memory accounting stays exact."""
+        alpha = 0.6
+        blended = blend_workloads(camera, music, alpha)
+
+        def bytes_per_op(workload):
+            return math.fsum(
+                term.data_bytes for term in ip_terms(soc, workload)
+            )
+
+        expected = (alpha * bytes_per_op(camera)
+                    + (1 - alpha) * bytes_per_op(music))
+        assert bytes_per_op(blended) == pytest.approx(expected)
+
+    def test_fractions_sum_to_one(self, camera, music):
+        blended = blend_workloads(camera, music, 0.3)
+        assert math.fsum(blended.fractions) == pytest.approx(1.0)
+
+    def test_infinite_intensity_propagates(self):
+        pure = Workload(fractions=(1.0, 0.0),
+                        intensities=(math.inf, 1.0), name="compute")
+        blended = blend_workloads(pure, pure, 0.5)
+        assert math.isinf(blended.intensities[0])
+
+    def test_mismatched_sizes_rejected(self, camera):
+        other = Workload(fractions=(1.0,), intensities=(1.0,))
+        with pytest.raises(WorkloadError):
+            blend_workloads(camera, other, 0.5)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=40, deadline=None)
+    def test_blend_attainable_between_constituent_regimes(self, alpha):
+        """Blending cannot beat the better constituent run alone."""
+        soc = FIGURE_6D.soc()
+        heavy = Workload.two_ip(f=0.75, i0=8, i1=8)
+        light = Workload.two_ip(f=0.1, i0=2, i1=2)
+        blended = blend_workloads(heavy, light, alpha)
+        p_blend = evaluate(soc, blended).attainable
+        p_best = max(evaluate(soc, heavy).attainable,
+                     evaluate(soc, light).attainable)
+        assert p_blend <= p_best * (1 + 1e-9)
+
+
+class TestInterference:
+    def test_background_slows_foreground(self, soc, camera):
+        """A bandwidth-hungry background usecase steals shared DRAM."""
+        hog = Workload.two_ip(f=0.5, i0=0.05, i1=0.05, name="download")
+        slowdown = interference_slowdown(soc, camera, hog, alpha=0.5)
+        assert slowdown < 0.6
+
+    def test_idle_background_harmless_at_full_share(self, soc, camera):
+        slowdown = interference_slowdown(soc, camera, camera, alpha=1.0)
+        assert slowdown == pytest.approx(1.0)
+
+    def test_zero_foreground_share_rejected(self, soc, camera, music):
+        with pytest.raises(WorkloadError):
+            interference_slowdown(soc, camera, music, alpha=0.0)
+
+
+class TestTimeline:
+    def test_timeline_covers_the_run(self, platform):
+        big = 32 * 1024 * 1024
+        jobs = [
+            ConcurrentJob("CPU",
+                          KernelSpec(elements=big).with_intensity(16),
+                          20 * GIGA),
+            ConcurrentJob(
+                "GPU",
+                KernelSpec(elements=big, variant="stream")
+                .with_intensity(16),
+                5 * GIGA,
+            ),
+        ]
+        result = platform.run_concurrent(jobs)
+        assert result.timeline
+        assert result.timeline[0].start_s == 0.0
+        assert result.timeline[-1].end_s == pytest.approx(
+            result.total_runtime_s
+        )
+        for before, after in zip(result.timeline, result.timeline[1:]):
+            assert after.start_s == pytest.approx(before.end_s)
+
+    def test_work_integrates_to_job_totals(self, platform):
+        big = 32 * 1024 * 1024
+        jobs = [
+            ConcurrentJob("CPU",
+                          KernelSpec(elements=big).with_intensity(8),
+                          10 * GIGA),
+            ConcurrentJob(
+                "GPU",
+                KernelSpec(elements=big, variant="stream")
+                .with_intensity(8),
+                3 * GIGA,
+            ),
+        ]
+        result = platform.run_concurrent(jobs)
+        assert result.work_done("CPU") == pytest.approx(10 * GIGA, rel=1e-4)
+        assert result.work_done("GPU") == pytest.approx(3 * GIGA, rel=1e-4)
+
+    def test_rates_change_when_a_job_departs(self, platform):
+        """After the short GPU job completes, it drops from the rates."""
+        big = 32 * 1024 * 1024
+        jobs = [
+            ConcurrentJob("CPU",
+                          KernelSpec(elements=big).with_intensity(0.5),
+                          20 * GIGA),
+            ConcurrentJob(
+                "GPU",
+                KernelSpec(elements=big, variant="stream")
+                .with_intensity(0.5),
+                1 * GIGA,
+            ),
+        ]
+        result = platform.run_concurrent(jobs)
+        assert len(result.timeline) >= 2
+        assert "GPU" in result.timeline[0].rates
+        assert "GPU" not in result.timeline[-1].rates

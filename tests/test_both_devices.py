@@ -1,0 +1,99 @@
+"""The paper's cross-device claim: "Our findings hold true for both
+systems" (Snapdragon 835 and 821) — verified on both simulators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ert import acceleration_between, fit_roofline, run_sweep
+from repro.sim import (
+    dsp_perturbation,
+    run_mixing_sweep,
+    simulated_snapdragon_821,
+    simulated_snapdragon_835,
+)
+
+
+@pytest.fixture(scope="module", params=["sd835", "sd821"])
+def device(request):
+    """Each paper device as a calibrated simulator."""
+    factory = {
+        "sd835": simulated_snapdragon_835,
+        "sd821": simulated_snapdragon_821,
+    }[request.param]
+    return factory()
+
+
+@pytest.fixture(scope="module")
+def fits(device):
+    return {
+        engine: fit_roofline(run_sweep(device, engine))
+        for engine in ("CPU", "GPU", "DSP")
+    }
+
+
+class TestSectionIVFindingsHoldOnBothDevices:
+    def test_roofline_ordering(self, fits):
+        """GPU >> CPU > DSP in compute; GPU > CPU >> DSP in bandwidth."""
+        assert fits["GPU"].peak_gflops > 20 * fits["CPU"].peak_gflops
+        assert fits["CPU"].peak_gflops > fits["DSP"].peak_gflops
+        assert fits["GPU"].dram_bandwidth > fits["CPU"].dram_bandwidth
+        assert fits["DSP"].dram_bandwidth < fits["CPU"].dram_bandwidth / 2
+
+    def test_gpu_acceleration_order_of_magnitude(self, fits):
+        acceleration = acceleration_between(fits["CPU"], fits["GPU"])
+        assert 20 < acceleration < 60  # "~47x" class, both devices
+
+    def test_dsp_low_power_not_accelerator(self, fits):
+        assert acceleration_between(fits["CPU"], fits["DSP"]) < 1.0
+
+    def test_mixing_shape(self, device):
+        """Low-I offload slows down; high-I offload wins big; benefit
+        monotone in intensity — on both chips."""
+        sweep = run_mixing_sweep(device)
+        low = sweep.line(1)
+        assert min(point.normalized for point in low) < 0.5
+        peak = sweep.peak_speedup()
+        assert peak.intensity == 1024 and peak.fraction == 1.0
+        assert peak.normalized > 25
+        finals = [
+            sweep.line(intensity)[-1].normalized
+            for intensity in sweep.intensities()
+        ]
+        assert finals == sorted(finals)
+
+    def test_dsp_too_wimpy_on_both(self, device):
+        assert dsp_perturbation(device) < 0.05
+
+    def test_cache_bump_on_both(self, device):
+        from repro.sim import KernelSpec
+
+        small = device.run_kernel(
+            "CPU", KernelSpec(elements=32 * 1024).with_intensity(0.125)
+        )
+        big = device.run_kernel(
+            "CPU",
+            KernelSpec(elements=32 * 1024 * 1024).with_intensity(0.125),
+        )
+        assert small.attained_bandwidth > 1.5 * big.attained_bandwidth
+
+
+class TestGenerationalComparison:
+    """The 835 improves on the 821 along every measured axis."""
+
+    def test_newer_chip_dominates(self):
+        new = {
+            engine: fit_roofline(
+                run_sweep(simulated_snapdragon_835(), engine)
+            )
+            for engine in ("CPU", "GPU", "DSP")
+        }
+        old = {
+            engine: fit_roofline(
+                run_sweep(simulated_snapdragon_821(), engine)
+            )
+            for engine in ("CPU", "GPU", "DSP")
+        }
+        for engine in ("CPU", "GPU", "DSP"):
+            assert new[engine].peak_gflops > old[engine].peak_gflops
+            assert new[engine].dram_bandwidth > old[engine].dram_bandwidth

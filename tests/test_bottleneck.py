@@ -1,0 +1,113 @@
+"""Unit tests for the generic bottleneck-analysis substrate."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Stage, bottleneck_of, parallel, series
+from repro.errors import SpecError
+
+rate = st.floats(min_value=0.1, max_value=1e9, allow_nan=False,
+                 allow_infinity=False)
+
+
+class TestStage:
+    def test_throughput_is_own_bound(self):
+        assert Stage("x", 42.0).throughput() == 42.0
+
+    def test_infinite_bound_allowed(self):
+        assert math.isinf(Stage("x", math.inf).throughput())
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.nan])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(SpecError):
+            Stage("x", bad)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecError):
+            Stage("", 1.0)
+
+
+class TestComposition:
+    def test_series_is_minimum(self):
+        system = series(Stage("a", 10), Stage("b", 3), Stage("c", 7))
+        assert system.throughput() == 3
+
+    def test_parallel_is_sum(self):
+        system = parallel(Stage("a", 10), Stage("b", 3))
+        assert system.throughput() == 13
+
+    def test_nested_composition(self):
+        # A pipeline feeding two parallel workers (docstring example).
+        system = series(Stage("ingest", 100),
+                        parallel(Stage("w0", 30), Stage("w1", 50)))
+        assert system.throughput() == 80
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(SpecError):
+            series()
+
+    def test_non_stage_child_rejected(self):
+        with pytest.raises(SpecError):
+            series("not a stage")
+
+    def test_single_child_identity(self):
+        assert series(Stage("a", 5)).throughput() == 5
+        assert parallel(Stage("a", 5)).throughput() == 5
+
+
+class TestBottleneckAttribution:
+    def test_series_binds_at_minimum(self):
+        report = bottleneck_of(series(Stage("a", 10), Stage("b", 3)))
+        assert report.stage.name == "b"
+        assert report.throughput == 3
+
+    def test_parallel_descends_into_slowest_contributor(self):
+        report = bottleneck_of(parallel(Stage("a", 10), Stage("b", 3)))
+        assert report.stage.name == "b"
+        assert report.throughput == 13
+
+    def test_path_records_route(self):
+        system = series(Stage("in", 100),
+                        parallel(Stage("w0", 30), Stage("w1", 50)))
+        report = bottleneck_of(system)
+        assert report.path == ("[series]", "[parallel]", "w0")
+
+    def test_tie_resolves_to_first_child(self):
+        report = bottleneck_of(series(Stage("a", 3), Stage("b", 3)))
+        assert report.stage.name == "a"
+
+    def test_leaf_system(self):
+        report = bottleneck_of(Stage("only", 9))
+        assert report.stage.name == "only"
+        assert report.path == ("only",)
+
+
+class TestProperties:
+    @given(st.lists(rate, min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_series_never_exceeds_any_component(self, rates):
+        stages = [Stage(f"s{i}", r) for i, r in enumerate(rates)]
+        assert series(*stages).throughput() <= min(rates) * (1 + 1e-12)
+
+    @given(st.lists(rate, min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_parallel_equals_sum(self, rates):
+        stages = [Stage(f"s{i}", r) for i, r in enumerate(rates)]
+        assert parallel(*stages).throughput() == pytest.approx(sum(rates))
+
+    @given(st.lists(rate, min_size=2, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_gables_shape_identity(self, rates):
+        """Gables' max-of-times == series-composition of 1/time rates."""
+        # 1/max(t_i) == min(1/t_i): bottleneck analysis in disguise.
+        times = [1.0 / r for r in rates]
+        gables_style = 1.0 / max(times)
+        bottleneck_style = series(
+            *(Stage(f"s{i}", r) for i, r in enumerate(rates))
+        ).throughput()
+        assert gables_style == pytest.approx(bottleneck_style)

@@ -1,0 +1,171 @@
+"""Tests for the ``gables`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import FIGURE_6B
+from repro.io import save
+
+
+class TestEval:
+    def test_eval_figure(self, capsys):
+        assert main(["eval", "--figure", "6b"]) == 0
+        out = capsys.readouterr().out
+        assert "1.33 Gops/s" in out
+        assert "memory" in out
+
+    def test_eval_from_files(self, capsys, tmp_path):
+        soc_path = tmp_path / "soc.json"
+        workload_path = tmp_path / "workload.json"
+        save(FIGURE_6B.soc(), soc_path)
+        save(FIGURE_6B.workload(), workload_path)
+        assert main(["eval", "--soc", str(soc_path),
+                     "--workload", str(workload_path)]) == 0
+        assert "memory" in capsys.readouterr().out
+
+    def test_eval_missing_inputs_errors(self, capsys):
+        assert main(["eval"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["eval", "--figure", "9z"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+
+class TestPlot:
+    def test_ascii_plot(self, capsys):
+        assert main(["plot", "--figure", "6d", "--ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "memory" in out
+
+    def test_svg_plot(self, tmp_path, capsys):
+        out_path = tmp_path / "fig.svg"
+        assert main(["plot", "--figure", "6b", "--out", str(out_path)]) == 0
+        assert out_path.read_text().startswith("<svg")
+
+
+class TestSweep:
+    def test_fraction_sweep_prints_transition(self, capsys):
+        assert main(["sweep", "--figure", "6b", "--param", "f"]) == 0
+        out = capsys.readouterr().out
+        assert "transition" in out
+        assert "f[1]" in out
+
+    def test_bpeak_sweep(self, capsys):
+        assert main(["sweep", "--figure", "6b", "--param", "bpeak"]) == 0
+        assert "Bpeak" in capsys.readouterr().out
+
+
+class TestMeasureAndReports:
+    def test_measure_dsp(self, capsys):
+        assert main(["measure", "--engine", "DSP"]) == 0
+        out = capsys.readouterr().out
+        assert "3 GFLOP/s (Maximum)" in out
+
+    @pytest.mark.parametrize("experiment", ["fig2", "fig6", "table1"])
+    def test_reports_run(self, capsys, experiment):
+        assert main(["report", experiment]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_report_errors(self, capsys):
+        assert main(["report", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_presets_listed(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "snapdragon-835" in out
+        assert "generic" in out
+
+
+class TestExtensionsCommands:
+    def test_power_command(self, capsys):
+        assert main(["power", "--figure", "6d", "--tdp", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "98 Gops/s" in out
+        assert "power" in out
+
+    def test_power_high_tdp_not_limited(self, capsys):
+        assert main(["power", "--figure", "6d", "--tdp", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "sustained fraction: 1.00" in out
+
+    def test_interval_command(self, capsys):
+        assert main(["interval", "--figure", "6b", "--margin", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "attainable in [" in out
+        assert "memory" in out
+
+    def test_interval_regime_change_flagged(self, capsys):
+        assert main(["interval", "--figure", "6d", "--margin", "15"]) == 0
+        assert "REGIME CHANGES" in capsys.readouterr().out
+
+    def test_html_command(self, tmp_path, capsys):
+        out_path = tmp_path / "explorer.html"
+        assert main(["html", "--figure", "6b", "--out", str(out_path)]) == 0
+        assert out_path.read_text(encoding="utf-8").startswith(
+            "<!DOCTYPE html>"
+        )
+
+    def test_drift_command(self, capsys):
+        assert main(["drift", "--figure", "6d", "--years", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck flips CPU -> memory at year 1" in out
+        assert "| year |" in out
+
+    def test_diagram_command(self, tmp_path, capsys):
+        out_path = tmp_path / "soc.svg"
+        assert main(["diagram", "--preset", "generic",
+                     "--out", str(out_path)]) == 0
+        assert out_path.read_text(encoding="utf-8").startswith("<svg")
+
+    def test_diagram_unknown_preset_errors(self, capsys):
+        assert main(["diagram", "--preset", "exynos"]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+    def test_figures_bundle(self, tmp_path, capsys):
+        out_dir = tmp_path / "figs"
+        assert main(["figures", "--out", str(out_dir)]) == 0
+        names = {path.name for path in out_dir.iterdir()}
+        # One artifact per paper figure/table plus the extras.
+        for expected in (
+            "fig1_classic_roofline.svg",
+            "fig2a_chipsets_per_year.svg",
+            "fig2b_ips_per_generation.svg",
+            "fig3_soc_block_diagram.svg",
+            "fig4_wifi_streaming_dataflow.svg",
+            "table1_usecase_matrix.txt",
+            "fig6_appendix_numbers.txt",
+            "fig6a_scaled_rooflines.svg",
+            "fig6d_scaled_rooflines.svg",
+            "fig6d_interactive_explorer.html",
+            "fig7_cpu_gpu_rooflines.txt",
+            "fig8_mixing_grid.txt",
+            "fig8_mixing_lines.svg",
+            "fig8_analytic_upper_bound.svg",
+            "fig9_dsp_roofline.txt",
+            "gables_parameters_measured.txt",
+        ):
+            assert expected in names
+        assert "18 artifacts" in capsys.readouterr().out
+
+    def test_figures_deterministic(self, tmp_path):
+        from repro.figures import generate_all
+
+        a_dir, b_dir = tmp_path / "a", tmp_path / "b"
+        a = generate_all(a_dir)
+        b = generate_all(b_dir)
+        for name in a:
+            assert a[name].read_bytes() == b[name].read_bytes(), name
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_engine_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["measure", "--engine", "NPU"])

@@ -1,0 +1,76 @@
+"""Docs-vs-code synchronization guards.
+
+`docs/api.md` is generated from the packages' ``__all__`` exports;
+this test regenerates it in memory and fails with a diff-ready message
+when the file has drifted.  (Regenerate with
+``python -m tests.test_docs_sync`` from the repo root.)
+"""
+
+from __future__ import annotations
+
+import importlib
+from pathlib import Path
+
+DOC_PATH = Path(__file__).resolve().parent.parent / "docs" / "api.md"
+
+#: Packages indexed in the public API doc, in presentation order.
+PACKAGES = (
+    ("repro.core", "The Gables model"),
+    ("repro.core.extensions", "Model extensions (Section V and beyond)"),
+    ("repro.analysis", "Bottleneck & operational analysis"),
+    ("repro.baselines", "Related performance models"),
+    ("repro.soc", "SoC descriptions"),
+    ("repro.usecases", "Usecases and dataflows"),
+    ("repro.sim", "The simulated SoC"),
+    ("repro.ert", "Empirical roofline toolkit"),
+    ("repro.market", "Market dataset (Figure 2)"),
+    ("repro.explore", "Design-space exploration"),
+    ("repro.power", "Power and energy"),
+    ("repro.viz", "Visualization"),
+    ("repro.io", "Serialization"),
+)
+
+
+def generate_api_doc() -> str:
+    """Render the API index from the live packages."""
+    lines = [
+        "# Public API index",
+        "",
+        "Generated from each package's `__all__`; kept in sync by",
+        "`tests/test_docs_sync.py`.  See the docstrings (every public",
+        "item has one) for signatures and semantics.",
+        "",
+    ]
+    for module_name, title in PACKAGES:
+        module = importlib.import_module(module_name)
+        exports = sorted(getattr(module, "__all__"))
+        lines.append(f"## `{module_name}` — {title}")
+        lines.append("")
+        lines.append(", ".join(f"`{name}`" for name in exports))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def test_api_doc_is_current():
+    expected = generate_api_doc()
+    assert DOC_PATH.exists(), (
+        "docs/api.md missing; regenerate with "
+        "`python -m tests.test_docs_sync`"
+    )
+    actual = DOC_PATH.read_text(encoding="utf-8")
+    assert actual == expected, (
+        "docs/api.md is stale; regenerate with "
+        "`python -m tests.test_docs_sync`"
+    )
+
+
+def test_every_indexed_package_importable():
+    for module_name, _ in PACKAGES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__"):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+
+if __name__ == "__main__":
+    DOC_PATH.write_text(generate_api_doc(), encoding="utf-8")
+    print(f"wrote {DOC_PATH}")

@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy and error ergonomics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    FittingError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+    SpecError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        SpecError, WorkloadError, EvaluationError, SimulationError,
+        FittingError, SerializationError,
+    ])
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_config_errors_are_value_errors(self):
+        """Spec/workload/serialization problems are bad *values*, so
+        generic ValueError handlers also catch them."""
+        for exc in (SpecError, WorkloadError, SerializationError):
+            assert issubclass(exc, ValueError)
+
+    def test_runtime_errors_are_runtime_errors(self):
+        for exc in (EvaluationError, SimulationError, FittingError):
+            assert issubclass(exc, RuntimeError)
+
+    def test_one_except_clause_catches_the_library(self):
+        from repro.core import SoCSpec
+
+        with pytest.raises(ReproError):
+            SoCSpec(peak_perf=-1, memory_bandwidth=1, ips=())
+
+
+class TestMessagesNameTheField:
+    """A mis-specified model must say *which* input is wrong."""
+
+    def test_soc_field_named(self):
+        from repro.core import IPBlock
+
+        with pytest.raises(SpecError, match="acceleration"):
+            IPBlock("GPU", acceleration=-5, bandwidth=1e9)
+
+    def test_workload_index_named(self):
+        from repro.core import Workload
+
+        with pytest.raises(WorkloadError, match=r"intensities\[1\]"):
+            Workload(fractions=(0.5, 0.5), intensities=(1.0, -2.0))
+
+    def test_cli_surfaces_errors_cleanly(self, capsys):
+        """Library errors reach the CLI user as one line, not a
+        traceback."""
+        from repro.cli import main
+
+        code = main(["eval", "--figure", "9z"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err

@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Expected stdout fragments proving each example did its real work.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "bottleneck: memory",
+    "figure6_walkthrough.py": "final design balanced: True",
+    "camera_usecases.py": "memory-bound",
+    "design_space_exploration.py": "optimal offload fraction",
+    "power_and_robustness.py": "power-bound",
+    "soc_down_selection.py": "feasible",
+    "empirical_rooflines.py": "peak speedup 39.3x",
+}
+
+
+def test_every_example_has_an_expectation():
+    names = {path.name for path in EXAMPLES}
+    assert names == set(EXPECTED_OUTPUT), (
+        "examples/ and EXPECTED_OUTPUT drifted apart"
+    )
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example, tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,  # artifacts land in the temp dir, not the repo
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert EXPECTED_OUTPUT[example.name] in completed.stdout

@@ -1,0 +1,113 @@
+"""Fuzz tests across module boundaries.
+
+Random dataflows and workloads driven through the full pipeline
+(dataflow -> workload -> evaluate -> plot/serialize) must never crash
+and must respect the model's global invariants, whatever the seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import evaluate
+from repro.core.gables import attainable_performance_dual
+from repro.io import dumps, loads
+from repro.sim import KernelSpec, simulated_snapdragon_835
+from repro.usecases import random_dataflow, random_workload
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_random_dataflow_full_pipeline(seed):
+    """dataflow -> workload -> evaluate -> serialize round trip."""
+    from repro.soc import generic_soc
+
+    spec = generic_soc().to_gables_spec()
+    dataflow = random_dataflow(spec.ip_names, seed=seed)
+    workload = dataflow.to_workload(spec.ip_names)
+    result = evaluate(spec, workload)
+    assert result.attainable > 0
+    assert result.bottleneck in set(spec.ip_names) | {"memory"}
+    # Dual formulation agrees even for generated corner cases.
+    assert attainable_performance_dual(spec, workload) == pytest.approx(
+        result.attainable, rel=1e-9
+    )
+    # Serialization survives whatever the generator produced.
+    assert loads(dumps(workload)) == workload
+
+
+@given(seeds, st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_random_workload_plots_and_reports(seed, n_ips):
+    """Any valid workload renders: curves, drop lines, tables."""
+    from repro.core import IPBlock, SoCSpec
+    from repro.viz import RooflinePlotData, result_table, roofline_svg
+
+    ips = tuple(
+        IPBlock(f"ip{i}", 1.0 if i == 0 else float(i + 1), (i + 1) * 1e9)
+        for i in range(n_ips)
+    )
+    soc = SoCSpec(peak_perf=1e10, memory_bandwidth=1e10, ips=ips)
+    workload = random_workload(n_ips, seed=seed)
+    data = RooflinePlotData.from_model(soc, workload)
+    svg = roofline_svg(data)
+    assert svg.startswith("<svg")
+    table = result_table(evaluate(soc, workload))
+    assert "memory" in table
+
+
+class TestSimulatorRespectsRooflines:
+    """The behavioural simulator can never beat its own engine model."""
+
+    @given(
+        st.integers(min_value=10, max_value=26),  # log2 elements
+        st.integers(min_value=-4, max_value=10),  # log2 intensity
+        st.sampled_from(["inplace", "stream", "read_only"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_run_kernel_below_engine_bounds(self, log_elements,
+                                            log_intensity, variant):
+        platform = simulated_snapdragon_835()
+        kernel = KernelSpec(
+            elements=2**log_elements, variant=variant
+        ).with_intensity(2.0**log_intensity)
+        result = platform.run_kernel("CPU", kernel)
+        engine = platform.engine("CPU")
+        compute_cap = engine.peak_flops() * engine.utilization(
+            kernel.elements
+        )
+        bandwidth_cap = engine.hierarchy.streaming_bandwidth(
+            kernel.footprint_bytes, kernel.write_fraction
+        ) * kernel.intensity
+        assert result.gflops * 1e9 <= compute_cap * (1 + 1e-9)
+        assert result.gflops * 1e9 <= bandwidth_cap * (1 + 1e-9)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_monte_carlo_never_exceeds_component_sum(self, seed):
+        """Aggregate concurrent throughput never exceeds the sum of the
+        engines' solo rates."""
+        from repro.sim import ConcurrentJob
+        from repro.units import GIGA
+
+        platform = simulated_snapdragon_835()
+        intensity = 2.0 ** (seed % 8)
+        cpu_kernel = KernelSpec(
+            elements=32 * 1024 * 1024
+        ).with_intensity(intensity)
+        gpu_kernel = KernelSpec(
+            elements=32 * 1024 * 1024, variant="stream"
+        ).with_intensity(intensity)
+        solo_cpu = platform.run_kernel("CPU", cpu_kernel).gflops
+        solo_gpu = platform.run_kernel("GPU", gpu_kernel).gflops
+        pair = platform.run_concurrent([
+            ConcurrentJob("CPU", cpu_kernel, 2 * GIGA),
+            ConcurrentJob("GPU", gpu_kernel, 2 * GIGA),
+        ])
+        assert pair.aggregate_gflops <= (solo_cpu + solo_gpu) * (1 + 1e-9)

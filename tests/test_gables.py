@@ -1,0 +1,188 @@
+"""Unit tests for the base Gables model against the paper's appendix."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    FIGURE_6_EXPECTED_GOPS,
+    FIGURE_6_SEQUENCE,
+    SoCSpec,
+    Workload,
+    evaluate,
+    evaluate_two_ip,
+)
+from repro.core.gables import (
+    attainable_performance_dual,
+    drop_lines,
+    ip_terms,
+    scaled_roofline_curves,
+)
+from repro.errors import WorkloadError
+from repro.units import GIGA
+
+
+class TestFigure6Appendix:
+    """The paper's appendix numbers, reproduced exactly."""
+
+    @pytest.mark.parametrize("scenario", FIGURE_6_SEQUENCE,
+                             ids=lambda s: s.name)
+    def test_attainable_matches_appendix(self, scenario):
+        result = scenario.evaluate()
+        expected = FIGURE_6_EXPECTED_GOPS[scenario.name]
+        assert result.attainable / GIGA == pytest.approx(expected, rel=1e-3)
+
+    def test_fig6a_cpu_bound(self, fig6):
+        result = fig6["a"].evaluate()
+        assert result.bottleneck == "CPU"
+        # Memory roofline sits at 80 Gops/s (Bpeak * I0 = 10 * 8).
+        assert result.memory_perf_bound == pytest.approx(80 * GIGA)
+
+    def test_fig6a_unused_gpu_not_in_bounds(self, fig6):
+        result = fig6["a"].evaluate()
+        gpu_term = result.ip_terms[1]
+        assert gpu_term.perf_bound is None
+        assert gpu_term.limiter == "idle"
+        assert gpu_term.time == 0.0
+
+    def test_fig6b_memory_bound(self, fig6):
+        result = fig6["b"].evaluate()
+        assert result.bottleneck == "memory"
+        # Appendix: 1/T_IP0 = 160, 1/T_IP1 = 2, 1/Tmem = 1.3278.
+        assert result.ip_terms[0].perf_bound == pytest.approx(160 * GIGA)
+        assert result.ip_terms[1].perf_bound == pytest.approx(2 * GIGA)
+        assert result.memory_perf_bound == pytest.approx(1.3278 * GIGA,
+                                                         rel=1e-4)
+
+    def test_fig6c_gpu_link_bound(self, fig6):
+        result = fig6["c"].evaluate()
+        assert result.bottleneck == "GPU"
+        assert result.ip_terms[1].limiter == "bandwidth"
+        # Appendix: 1/Tmem rises to 3.98 with Bpeak = 30.
+        assert result.memory_perf_bound == pytest.approx(3.98 * GIGA, rel=1e-2)
+
+    def test_fig6d_balanced(self, fig6):
+        result = fig6["d"].evaluate()
+        assert result.is_balanced()
+        assert set(result.binding_components) == {"CPU", "GPU", "memory"}
+        assert result.attainable == pytest.approx(160 * GIGA)
+
+    def test_fig6_order_of_insights(self, fig6):
+        """The walkthrough's story: offload hurts, bandwidth alone barely
+        helps, reuse + right-sizing wins."""
+        p_a = fig6["a"].evaluate().attainable
+        p_b = fig6["b"].evaluate().attainable
+        p_c = fig6["c"].evaluate().attainable
+        p_d = fig6["d"].evaluate().attainable
+        assert p_b < p_a  # naive offload collapses performance
+        assert p_b < p_c < p_a  # 3x bandwidth buys only 1.3 -> 2
+        assert p_d == max(p_a, p_b, p_c, p_d)  # balance wins
+        assert p_d / p_a == pytest.approx(4.0)
+
+
+class TestEvaluateMechanics:
+    def test_ip_terms_quantities(self, fig6):
+        terms = ip_terms(fig6["b"].soc(), fig6["b"].workload())
+        cpu, gpu = terms
+        assert cpu.compute_time == pytest.approx(0.25 / (40 * GIGA))
+        assert cpu.data_bytes == pytest.approx(0.25 / 8)
+        assert gpu.data_bytes == pytest.approx(0.75 / 0.1)
+        assert gpu.transfer_time == pytest.approx((0.75 / 0.1) / (15 * GIGA))
+
+    def test_memory_time_sums_all_traffic(self, fig6):
+        result = fig6["b"].evaluate()
+        expected_bytes = 0.25 / 8 + 0.75 / 0.1
+        assert result.memory_time == pytest.approx(expected_bytes / (10 * GIGA))
+
+    def test_infinite_intensity_moves_no_data(self):
+        soc = SoCSpec.two_ip(10e9, 1e9, 2, 1e9, 1e9)
+        workload = Workload(fractions=(0.5, 0.5),
+                            intensities=(math.inf, math.inf))
+        result = evaluate(soc, workload)
+        assert result.memory_time == 0.0
+        assert math.isinf(result.memory_perf_bound)
+        # Purely compute-bound: slower IP is the CPU at f=0.5.
+        assert result.attainable == pytest.approx(10e9 / 0.5)
+
+    def test_shape_mismatch_raises(self, fig6):
+        workload = Workload(fractions=(1.0,), intensities=(1.0,))
+        with pytest.raises(WorkloadError):
+            evaluate(fig6["a"].soc(), workload)
+
+    def test_runtime_scales_linearly(self, fig6):
+        result = fig6["a"].evaluate()
+        assert result.runtime(2e9) == pytest.approx(2 * result.runtime(1e9))
+        assert result.runtime(0) == 0.0
+
+    def test_utilization_marks_bottleneck_at_one(self, fig6):
+        utilization = fig6["b"].evaluate().utilization()
+        assert utilization["memory"] == pytest.approx(1.0)
+        assert utilization["GPU"] < 1.0
+        assert utilization["CPU"] < utilization["GPU"]
+
+    def test_summary_mentions_bottleneck(self, fig6):
+        text = fig6["b"].evaluate().summary()
+        assert "memory" in text
+        assert "GPU" in text
+
+    def test_evaluate_two_ip_helper(self):
+        result = evaluate_two_ip(
+            peak_perf=40 * GIGA, memory_bandwidth=10 * GIGA,
+            acceleration=5, cpu_bandwidth=6 * GIGA,
+            acc_bandwidth=15 * GIGA, i0=8, i1=0.1, f=0.75,
+        )
+        assert result.attainable == pytest.approx(1.3278 * GIGA, rel=1e-4)
+
+
+class TestPerformanceDual:
+    """Equations 12-14 must agree with Equations 9-11."""
+
+    @pytest.mark.parametrize("scenario", FIGURE_6_SEQUENCE,
+                             ids=lambda s: s.name)
+    def test_dual_matches_time_domain(self, scenario):
+        dual = attainable_performance_dual(scenario.soc(), scenario.workload())
+        assert dual == pytest.approx(scenario.evaluate().attainable)
+
+    def test_dual_omits_idle_ip_terms(self):
+        # f=1: the IP[0] term would divide by zero if not omitted.
+        soc = SoCSpec.two_ip(40e9, 10e9, 5, 6e9, 15e9)
+        workload = Workload.two_ip(f=1.0, i0=8, i1=8)
+        dual = attainable_performance_dual(soc, workload)
+        assert dual == pytest.approx(evaluate(soc, workload).attainable)
+
+
+class TestPlotGeometry:
+    def test_scaled_curves_skip_idle_ips(self, fig6):
+        curves = scaled_roofline_curves(fig6["a"].soc(), fig6["a"].workload())
+        names = [curve.name for curve in curves]
+        assert names == ["CPU", "memory"]  # GPU idle at f=0
+
+    def test_memory_curve_is_slanted_only(self, fig6):
+        curves = scaled_roofline_curves(fig6["b"].soc(), fig6["b"].workload())
+        memory = curves[-1]
+        assert math.isinf(memory.roof)
+        assert memory.slope == 10 * GIGA
+
+    def test_drop_lines_select_component_bounds(self, fig6):
+        points = dict(
+            (name, (intensity, perf))
+            for name, intensity, perf in drop_lines(
+                fig6["b"].soc(), fig6["b"].workload()
+            )
+        )
+        assert points["CPU"][0] == 8
+        assert points["GPU"][0] == pytest.approx(0.1)
+        assert points["CPU"][1] == pytest.approx(160 * GIGA)
+        assert points["GPU"][1] == pytest.approx(2 * GIGA)
+        assert points["memory"][1] == pytest.approx(1.3278 * GIGA, rel=1e-4)
+
+    def test_lowest_drop_line_is_attainable(self, fig6):
+        for key in "abcd":
+            scenario = fig6[key]
+            result = scenario.evaluate()
+            points = drop_lines(scenario.soc(), scenario.workload())
+            assert min(p for _, _, p in points) == pytest.approx(
+                result.attainable
+            )

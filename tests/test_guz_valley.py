@@ -1,0 +1,137 @@
+"""Tests for the Guz et al. many-core/many-thread 'valley' model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    GuzMachine,
+    find_valley,
+    power_law_hit_rate,
+    to_ip_roofline,
+)
+from repro.errors import SpecError
+
+
+@pytest.fixture()
+def valley_machine():
+    """Parameters that exhibit the classic valley landscape."""
+    return GuzMachine(
+        n_pe=64, frequency=1e9, cpi_exe=1.0, mem_fraction=0.4,
+        miss_penalty_cycles=400, cache_bytes=4 * 1024 * 1024,
+        line_bytes=64, memory_bandwidth=200e9,
+        hit_rate=power_law_hit_rate(s0_bytes=16e3, theta=3.0, max_rate=1.0),
+    )
+
+
+class TestHitRateCurve:
+    def test_monotone_in_cache(self):
+        curve = power_law_hit_rate()
+        sizes = [1e3, 1e4, 1e5, 1e6, 1e7]
+        values = [curve(s) for s in sizes]
+        assert values == sorted(values)
+
+    def test_zero_cache_zero_hits(self):
+        assert power_law_hit_rate()(0.0) == 0.0
+
+    def test_saturates_at_max(self):
+        curve = power_law_hit_rate(max_rate=0.9)
+        assert curve(1e15) == pytest.approx(0.9, rel=1e-3)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SpecError):
+            power_law_hit_rate(s0_bytes=0)
+        with pytest.raises(SpecError):
+            power_law_hit_rate(theta=-1)
+
+
+class TestMachine:
+    def test_miss_rate_grows_with_threads(self, valley_machine):
+        rates = [valley_machine.miss_rate(n) for n in (1, 16, 256, 4096)]
+        assert rates == sorted(rates)
+
+    def test_effective_cpi_floor_is_cpi_exe(self, valley_machine):
+        assert valley_machine.effective_cpi(1) >= valley_machine.cpi_exe
+
+    def test_utilization_capped_at_one(self, valley_machine):
+        assert valley_machine.pe_utilization(10**6) == 1.0
+
+    def test_single_thread_performance(self, valley_machine):
+        # One thread: perf = f / cpi_eff exactly.
+        expected = 1e9 / valley_machine.effective_cpi(1)
+        assert valley_machine.performance(1) == pytest.approx(expected)
+
+    def test_bandwidth_caps_many_thread_regime(self, valley_machine):
+        # At huge n the miss stream saturates the off-chip interface:
+        # perf equals BW / (r_m * miss_rate * line) exactly.
+        n = 1 << 16
+        cap = 200e9 / (0.4 * valley_machine.miss_rate(n) * 64)
+        assert valley_machine.performance(n) == pytest.approx(cap)
+
+    def test_invalid_thread_count_rejected(self, valley_machine):
+        with pytest.raises(SpecError):
+            valley_machine.performance(0)
+
+
+class TestValley:
+    def test_valley_exists(self, valley_machine):
+        report = find_valley(valley_machine)
+        assert report.has_valley
+        assert (report.cache_ridge_threads < report.valley_threads
+                <= report.thread_ridge_threads)
+        assert report.valley_performance < report.cache_ridge_performance
+        assert report.valley_performance < report.thread_ridge_performance
+        assert report.valley_depth < 1.0
+
+    def test_huge_bandwidth_softens_valley(self, valley_machine):
+        """With effectively infinite bandwidth, the many-thread ridge
+        climbs back toward the full machine throughput."""
+        import dataclasses
+
+        wide = dataclasses.replace(valley_machine, memory_bandwidth=1e15)
+        report = find_valley(wide)
+        assert report.thread_ridge_performance > \
+            find_valley(valley_machine).thread_ridge_performance
+
+    def test_no_valley_when_cache_never_binds(self):
+        flat = GuzMachine(
+            n_pe=4, frequency=1e9, cpi_exe=1.0, mem_fraction=0.1,
+            miss_penalty_cycles=10, cache_bytes=1e9, line_bytes=64,
+            memory_bandwidth=1e12,
+            hit_rate=power_law_hit_rate(s0_bytes=1.0, theta=5.0,
+                                        max_rate=1.0),
+        )
+        report = find_valley(flat, max_threads=4096)
+        assert not report.has_valley
+
+    def test_max_threads_validated(self, valley_machine):
+        with pytest.raises(SpecError):
+            find_valley(valley_machine, max_threads=1)
+
+
+class TestGablesEmbedding:
+    def test_to_ip_roofline_shapes(self, valley_machine):
+        peak, traffic = to_ip_roofline(valley_machine, 64)
+        assert peak == pytest.approx(valley_machine.performance(64))
+        assert traffic > 0
+
+    def test_embedded_ip_drives_gables(self, valley_machine):
+        """The Section VI suggestion: use a sophisticated sub-model to
+        derive one IP's Gables inputs."""
+        from repro.core import IPBlock, SoCSpec, Workload, evaluate
+
+        ops, traffic = to_ip_roofline(valley_machine, 64)
+        intensity = ops / traffic
+        soc = SoCSpec(
+            peak_perf=7.5e9,
+            memory_bandwidth=30e9,
+            ips=(
+                IPBlock("CPU", 1.0, 15.1e9),
+                IPBlock("MT-engine", ops / 7.5e9, traffic * 2),
+            ),
+        )
+        workload = Workload(fractions=(0.3, 0.7),
+                            intensities=(8.0, intensity))
+        result = evaluate(soc, workload)
+        assert result.attainable > 0
+        assert result.bottleneck in ("CPU", "MT-engine", "memory")

@@ -1,0 +1,131 @@
+"""Tests for the interactive HTML explorer (the paper's web tool)."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+
+import pytest
+
+from repro.core import FIGURE_6B, FIGURE_6D, SoCSpec, Workload, evaluate
+from repro.viz import interactive_report, save_interactive_report
+
+_NODE = shutil.which("node")
+
+
+def _extract_model(html: str) -> dict:
+    payload = html.split("const MODEL = ")[1].split(";\n")[0]
+    return json.loads(payload)
+
+
+def _run_js_evaluation(html: str) -> dict:
+    """Execute the embedded evaluateGables() under node."""
+    script = html.split("<script>")[1].split("</script>")[0]
+    core = script[: script.index("function fmt")]
+    program = core + (
+        "const r = evaluateGables();"
+        "console.log(JSON.stringify("
+        "{attainable: r.attainable, bottleneck: r.bottleneck}));"
+    )
+    completed = subprocess.run(
+        [_NODE, "-e", program], capture_output=True, text=True, timeout=30
+    )
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout)
+
+
+class TestDocument:
+    def test_self_contained(self):
+        html = interactive_report(FIGURE_6B.soc(), FIGURE_6B.workload())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "http://" not in html and "https://" not in html  # offline
+        assert "<script>" in html
+
+    def test_embeds_model_parameters(self):
+        html = interactive_report(FIGURE_6B.soc(), FIGURE_6B.workload())
+        model = _extract_model(html)
+        assert model["ppeak"] == 40e9
+        assert model["bpeak"] == 10e9
+        assert [ip["name"] for ip in model["ips"]] == ["CPU", "GPU"]
+        assert model["fractions"] == [0.25, 0.75]
+
+    def test_title_carries_server_side_answer(self):
+        html = interactive_report(FIGURE_6B.soc(), FIGURE_6B.workload())
+        assert "1.328" in html
+        assert "memory" in html
+
+    def test_custom_title(self):
+        html = interactive_report(
+            FIGURE_6B.soc(), FIGURE_6B.workload(), title="My Design"
+        )
+        assert "<title>My Design</title>" in html
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "explorer.html"
+        save_interactive_report(FIGURE_6D.soc(), FIGURE_6D.workload(), path)
+        assert path.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_infinite_bandwidth_clamped_for_json(self):
+        import math
+
+        from repro.core import IPBlock
+
+        soc = SoCSpec(1e9, 1e9, (IPBlock("wide", 1.0, math.inf),))
+        workload = Workload(fractions=(1.0,), intensities=(4.0,))
+        model = _extract_model(interactive_report(soc, workload))
+        assert model["ips"][0]["bandwidth"] == 1e18  # finite in JSON
+
+
+@pytest.mark.skipif(_NODE is None, reason="node not available")
+class TestJsCrossCheck:
+    """The embedded JS must agree with the Python model exactly."""
+
+    @pytest.mark.parametrize("scenario_key", ["b", "d"])
+    def test_initial_state_matches_python(self, fig6, scenario_key):
+        scenario = fig6[scenario_key]
+        html = interactive_report(scenario.soc(), scenario.workload())
+        js = _run_js_evaluation(html)
+        python = evaluate(scenario.soc(), scenario.workload())
+        assert js["attainable"] == pytest.approx(python.attainable,
+                                                 rel=1e-9)
+        assert js["bottleneck"] == python.bottleneck
+
+    def test_slider_state_changes_reevaluate(self, fig6):
+        """Drive the embedded state the way the sliders do (change f
+        and Bpeak) and check the JS answer tracks the Python model."""
+        scenario = fig6["b"]
+        html = interactive_report(scenario.soc(), scenario.workload())
+        script = html.split("<script>")[1].split("</script>")[0]
+        core = script[: script.index("function fmt")]
+        program = core + (
+            "state.weights = [0.25, 0.25];"  # renormalizes to f = 0.5
+            "state.bpeakScale = 2.0;"
+            "const r = evaluateGables();"
+            "console.log(JSON.stringify("
+            "{attainable: r.attainable, bottleneck: r.bottleneck}));"
+        )
+        completed = subprocess.run(
+            [_NODE, "-e", program], capture_output=True, text=True,
+            timeout=30,
+        )
+        assert completed.returncode == 0, completed.stderr
+        js = json.loads(completed.stdout)
+        changed_soc = scenario.soc().with_memory_bandwidth(20e9)
+        changed_workload = Workload.two_ip(f=0.5, i0=8, i1=0.1)
+        python = evaluate(changed_soc, changed_workload)
+        assert js["attainable"] == pytest.approx(python.attainable,
+                                                 rel=1e-9)
+        assert js["bottleneck"] == python.bottleneck
+
+    def test_three_ip_soc(self, sd835_description):
+        spec = sd835_description.to_gables_spec()
+        workload = Workload(
+            fractions=(0.2, 0.7, 0.1), intensities=(8.0, 16.0, 2.0)
+        )
+        html = interactive_report(spec, workload)
+        js = _run_js_evaluation(html)
+        python = evaluate(spec, workload)
+        assert js["attainable"] == pytest.approx(python.attainable,
+                                                 rel=1e-9)
+        assert js["bottleneck"] == python.bottleneck

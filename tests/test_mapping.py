@@ -1,0 +1,150 @@
+"""Tests for dataflow -> execution-regime mapping (latency vs rate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.usecases import (
+    USECASES,
+    WORLD,
+    Dataflow,
+    Flow,
+    Stage,
+    hdr_plus,
+    pipeline_speedup,
+    single_item_latency,
+    single_item_phases,
+    stage_traffic,
+    steady_state_period,
+)
+
+
+class TestStageTraffic:
+    def test_counts_incident_flows(self):
+        dataflow = Dataflow(
+            "t",
+            stages=(Stage("a", "A", 1.0), Stage("b", "B", 1.0)),
+            flows=(
+                Flow(WORLD, "a", 10.0),
+                Flow("a", "b", 4.0),
+                Flow("b", WORLD, 2.0),
+            ),
+        )
+        traffic = stage_traffic(dataflow)
+        assert traffic["a"] == 14.0
+        assert traffic["b"] == 6.0
+
+
+class TestSingleItemPhases:
+    def test_phase_per_compute_stage_in_topological_order(self,
+                                                          generic_spec):
+        dataflow = hdr_plus()
+        usecase = single_item_phases(dataflow, generic_spec.ip_names)
+        names = [phase.name for phase in usecase.phases]
+        # Topological: capture before merge before tonemap.
+        assert names.index("sensor-capture") < names.index("align-merge")
+        assert names.index("align-merge") < names.index("tonemap")
+        assert sum(p.work for p in usecase.phases) == pytest.approx(1.0)
+
+    def test_each_phase_single_active_ip(self, generic_spec):
+        usecase = single_item_phases(hdr_plus(), generic_spec.ip_names)
+        for phase in usecase.phases:
+            assert len(phase.workload.active_ips) == 1
+
+    def test_zero_compute_stage_skipped(self, generic_spec):
+        dataflow = Dataflow(
+            "dma-mix",
+            stages=(
+                Stage("work", "AP", 1e9),
+                Stage("move", "Display", 0.0),
+            ),
+            flows=(Flow("work", "move", 1e6),),
+        )
+        usecase = single_item_phases(dataflow, generic_spec.ip_names)
+        assert [p.name for p in usecase.phases] == ["work"]
+
+    def test_unknown_ip_rejected(self):
+        dataflow = Dataflow(
+            "bad", stages=(Stage("s", "Mystery", 1e9),), flows=()
+        )
+        with pytest.raises(WorkloadError, match="absent"):
+            single_item_phases(dataflow, ("AP", "GPU"))
+
+    def test_no_compute_rejected(self, generic_spec):
+        dataflow = Dataflow(
+            "dma-only", stages=(Stage("s", "AP", 0.0),),
+            flows=(Flow(WORLD, "s", 1.0),),
+        )
+        with pytest.raises(WorkloadError):
+            single_item_phases(dataflow, generic_spec.ip_names)
+
+
+class TestLatencyVsRate:
+    @pytest.mark.parametrize("name", sorted(USECASES))
+    def test_latency_at_least_period(self, name, generic_spec):
+        """Single-item latency can never beat the steady-state period
+        (concurrent >= serialized, per phase algebra)."""
+        dataflow = USECASES[name]()
+        latency = single_item_latency(generic_spec, dataflow)
+        period = steady_state_period(generic_spec, dataflow)
+        assert latency >= period * (1 - 1e-9)
+
+    def test_pipeline_speedup_bounded_by_stage_count(self, generic_spec):
+        dataflow = hdr_plus()
+        speedup = pipeline_speedup(generic_spec, dataflow)
+        compute_stages = sum(
+            1 for stage in dataflow.stages if stage.ops_per_item > 0
+        )
+        assert 1.0 - 1e-9 <= speedup <= compute_stages + 1e-9
+
+    def test_dominant_stage_kills_pipelining(self, generic_spec):
+        """One giant stage: overlap buys nothing; speedup ~ 1."""
+        dataflow = Dataflow(
+            "lopsided",
+            stages=(
+                Stage("huge", "IPU", 100e9),
+                Stage("tiny", "AP", 0.01e9),
+            ),
+            flows=(Flow("huge", "tiny", 1e6),),
+        )
+        assert pipeline_speedup(generic_spec, dataflow) < 1.1
+
+    def test_balanced_stages_pipeline_well(self, generic_spec):
+        """Stages with equal *durations* (ops proportional to each
+        IP's peak) overlap nearly perfectly: speedup approaches the
+        stage count.  (Equal ops on unequal IPs would not — the
+        pipeline runs at the slowest stage's pace.)"""
+        # ISP 60 Gops, IPU 120 Gops, GPU 350 Gops on the generic SoC.
+        dataflow = Dataflow(
+            "balanced-pipe",
+            stages=(
+                Stage("s0", "ISP", 0.6e9),
+                Stage("s1", "IPU", 1.2e9),
+                Stage("s2", "GPU", 3.5e9),
+            ),
+            flows=(Flow("s0", "s1", 1e6), Flow("s1", "s2", 1e6)),
+        )
+        assert pipeline_speedup(generic_spec, dataflow) > 2.8
+
+    def test_speedup_equals_sum_over_max_of_stage_times(self, generic_spec):
+        """The exact pipeline algebra: latency/period == sum(ti)/max(ti)
+        when stage intensities are high enough that only compute binds."""
+        dataflow = Dataflow(
+            "algebra",
+            stages=(
+                Stage("a", "ISP", 1e9),
+                Stage("b", "IPU", 1e9),
+                Stage("c", "GPU", 1e9),
+            ),
+            flows=(Flow("a", "b", 1e3), Flow("b", "c", 1e3)),
+        )
+        times = [
+            1e9 / 60e9,  # ISP
+            1e9 / 120e9,  # IPU
+            1e9 / 350e9,  # GPU
+        ]
+        expected = sum(times) / max(times)
+        assert pipeline_speedup(generic_spec, dataflow) == pytest.approx(
+            expected, rel=1e-6
+        )

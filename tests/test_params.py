@@ -1,0 +1,187 @@
+"""Unit tests for the hardware/software parameter dataclasses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import IPBlock, SoCSpec, Workload
+from repro.errors import SpecError, WorkloadError
+
+
+class TestIPBlock:
+    def test_valid_block(self):
+        ip = IPBlock("GPU", acceleration=5.0, bandwidth=15e9)
+        assert ip.name == "GPU"
+        assert ip.peak_performance(40e9) == 200e9
+
+    def test_infinite_bandwidth_allowed(self):
+        ip = IPBlock("wide", 2.0, math.inf)
+        assert math.isinf(ip.bandwidth)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecError):
+            IPBlock("", 1.0, 1e9)
+
+    @pytest.mark.parametrize("acceleration", [0.0, -1.0, math.inf, math.nan])
+    def test_rejects_bad_acceleration(self, acceleration):
+        with pytest.raises(SpecError):
+            IPBlock("x", acceleration, 1e9)
+
+    @pytest.mark.parametrize("bandwidth", [0.0, -2.0, math.nan])
+    def test_rejects_bad_bandwidth(self, bandwidth):
+        with pytest.raises(SpecError):
+            IPBlock("x", 1.0, bandwidth)
+
+    def test_rejects_bool_acceleration(self):
+        with pytest.raises(SpecError):
+            IPBlock("x", True, 1e9)
+
+    def test_fractional_acceleration_allowed(self):
+        # The paper's DSP scalar unit: A < 1 relative to the CPU.
+        ip = IPBlock("DSP", acceleration=0.4, bandwidth=5.4e9)
+        assert ip.peak_performance(7.5e9) == pytest.approx(3.0e9)
+
+
+class TestSoCSpec:
+    def test_two_ip_constructor(self):
+        soc = SoCSpec.two_ip(40e9, 10e9, acceleration=5,
+                             cpu_bandwidth=6e9, acc_bandwidth=15e9)
+        assert soc.n_ips == 2
+        assert soc.ips[0].acceleration == 1.0
+        assert soc.ip_peak(1) == 200e9
+
+    def test_ip0_must_have_unit_acceleration(self):
+        with pytest.raises(SpecError, match="A0"):
+            SoCSpec(40e9, 10e9, (IPBlock("cpu", 2.0, 6e9),))
+
+    def test_rejects_duplicate_ip_names(self):
+        ips = (IPBlock("a", 1.0, 1e9), IPBlock("a", 2.0, 1e9))
+        with pytest.raises(SpecError, match="unique"):
+            SoCSpec(1e9, 1e9, ips)
+
+    def test_rejects_empty_ips(self):
+        with pytest.raises(SpecError):
+            SoCSpec(1e9, 1e9, ())
+
+    def test_rejects_non_ipblock(self):
+        with pytest.raises(SpecError):
+            SoCSpec(1e9, 1e9, ("not-an-ip",))
+
+    def test_ip_index_lookup(self):
+        soc = SoCSpec.two_ip(1e9, 1e9, 2, 1e9, 1e9,
+                             cpu_name="CPU", acc_name="GPU")
+        assert soc.ip_index("GPU") == 1
+        with pytest.raises(SpecError):
+            soc.ip_index("DSP")
+
+    def test_with_memory_bandwidth_copies(self):
+        soc = SoCSpec.two_ip(1e9, 1e9, 2, 1e9, 1e9)
+        changed = soc.with_memory_bandwidth(5e9)
+        assert changed.memory_bandwidth == 5e9
+        assert soc.memory_bandwidth == 1e9  # original untouched
+
+    def test_with_ip_replaces_fields(self):
+        soc = SoCSpec.two_ip(1e9, 1e9, 2, 1e9, 1e9)
+        changed = soc.with_ip(1, bandwidth=9e9)
+        assert changed.ips[1].bandwidth == 9e9
+        assert soc.ips[1].bandwidth == 1e9
+
+    def test_with_ip_out_of_range(self):
+        soc = SoCSpec.two_ip(1e9, 1e9, 2, 1e9, 1e9)
+        with pytest.raises(SpecError):
+            soc.with_ip(5, bandwidth=1e9)
+
+    def test_list_ips_coerced_to_tuple(self):
+        soc = SoCSpec(1e9, 1e9, [IPBlock("cpu", 1.0, 1e9)])
+        assert isinstance(soc.ips, tuple)
+
+    def test_ip_names(self):
+        soc = SoCSpec.two_ip(1e9, 1e9, 2, 1e9, 1e9,
+                             cpu_name="A", acc_name="B")
+        assert soc.ip_names == ("A", "B")
+
+
+class TestWorkload:
+    def test_two_ip_constructor(self):
+        workload = Workload.two_ip(f=0.75, i0=8, i1=0.1)
+        assert workload.fractions == (0.25, 0.75)
+        assert workload.intensities == (8.0, 0.1)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(WorkloadError, match="sum"):
+            Workload(fractions=(0.5, 0.4), intensities=(1, 1))
+
+    def test_fractions_must_be_nonnegative(self):
+        with pytest.raises(WorkloadError):
+            Workload(fractions=(1.5, -0.5), intensities=(1, 1))
+
+    def test_intensities_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            Workload(fractions=(1.0,), intensities=(0.0,))
+
+    def test_infinite_intensity_allowed(self):
+        workload = Workload(fractions=(1.0,), intensities=(math.inf,))
+        assert math.isinf(workload.average_intensity())
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(fractions=(1.0,), intensities=(1.0, 2.0))
+
+    def test_average_intensity_weighted_harmonic(self):
+        # Paper appendix, Fig 6b: Iavg = 1/((0.25/8) + (0.75/0.1)).
+        workload = Workload.two_ip(f=0.75, i0=8, i1=0.1)
+        assert workload.average_intensity() == pytest.approx(0.13278, rel=1e-4)
+
+    def test_average_intensity_single_ip(self):
+        workload = Workload.two_ip(f=0.0, i0=8, i1=0.1)
+        assert workload.average_intensity() == pytest.approx(8.0)
+
+    def test_active_ips(self):
+        workload = Workload(fractions=(0.5, 0.0, 0.5),
+                            intensities=(1, 1, 1))
+        assert workload.active_ips == (0, 2)
+
+    def test_with_fraction_at_redistributes_proportionally(self):
+        workload = Workload(fractions=(0.2, 0.3, 0.5), intensities=(1, 1, 1))
+        moved = workload.with_fraction_at(2, 0.0)
+        assert moved.fractions[2] == 0.0
+        assert moved.fractions[0] == pytest.approx(0.4)
+        assert moved.fractions[1] == pytest.approx(0.6)
+
+    def test_with_fraction_at_all_work(self):
+        workload = Workload(fractions=(0.2, 0.8), intensities=(1, 1))
+        moved = workload.with_fraction_at(1, 1.0)
+        assert moved.fractions == (0.0, 1.0)
+
+    def test_with_fraction_at_from_zero_others(self):
+        workload = Workload(fractions=(0.0, 1.0), intensities=(1, 1))
+        moved = workload.with_fraction_at(1, 0.25)
+        assert moved.fractions[0] == pytest.approx(0.75)
+        assert moved.fractions[1] == pytest.approx(0.25)
+
+    def test_with_fraction_at_rejects_out_of_range(self):
+        workload = Workload.two_ip(0.5, 1, 1)
+        with pytest.raises(WorkloadError):
+            workload.with_fraction_at(5, 0.5)
+        with pytest.raises(WorkloadError):
+            workload.with_fraction_at(1, 1.5)
+
+    def test_single_ip_constructor(self):
+        workload = Workload.single_ip(4, 2, intensity=16.0)
+        assert workload.fractions == (0, 0, 1.0, 0)
+        assert workload.intensities[2] == 16.0
+
+    def test_single_ip_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            Workload.single_ip(2, 3, intensity=1.0)
+
+    def test_two_ip_rejects_bad_f(self):
+        with pytest.raises(WorkloadError):
+            Workload.two_ip(f=1.2, i0=1, i1=1)
+
+    def test_fractions_coerced_to_float_tuple(self):
+        workload = Workload(fractions=[1], intensities=[2])
+        assert workload.fractions == (1.0,)
+        assert isinstance(workload.fractions, tuple)

@@ -1,0 +1,68 @@
+"""Tests for the per-experiment report generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reports import (
+    REPORTS,
+    report_fig2,
+    report_fig6,
+    report_fig7,
+    report_fig8,
+    report_fig9,
+    report_table1,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_a_report(self):
+        assert set(REPORTS) == {
+            "fig2", "fig6", "fig7", "fig8", "fig9", "table1", "all"
+        }
+
+    def test_all_report_concatenates_everything(self):
+        text = REPORTS["all"]()
+        for token in ("Figure 2a", "Table I", "Figure 6", "Figure 7",
+                      "Figure 8", "Figure 9"):
+            assert token in text
+
+    @pytest.mark.parametrize("name", sorted(REPORTS))
+    def test_reports_are_nonempty_text(self, name):
+        text = REPORTS[name]()
+        assert isinstance(text, str)
+        assert len(text.splitlines()) >= 3
+
+
+class TestContent:
+    def test_fig6_reports_appendix_numbers(self):
+        text = report_fig6()
+        for token in ("fig6a", "fig6b", "fig6c", "fig6d",
+                      "40", "1.328", "160"):
+            assert token in text
+
+    def test_fig7_reports_both_engines_and_acceleration(self):
+        text = report_fig7()
+        assert "CPU" in text and "GPU" in text
+        assert "46.6" in text
+        assert "7.5" in text and "349.6" in text
+
+    def test_fig8_reports_peak_speedup(self):
+        text = report_fig8()
+        assert "39." in text  # ~39.3 measured vs 39.4 paper
+        assert "1024" in text
+
+    def test_fig9_reports_dsp(self):
+        text = report_fig9()
+        assert "3" in text and "5.4" in text
+        assert "12.5" in text  # the text-vs-figure discrepancy noted
+
+    def test_fig2_reports_consolidation(self):
+        text = report_fig2()
+        assert "49" in text and "27" in text
+        assert "2015" in text
+
+    def test_table1_reports_concurrency_claim(self):
+        text = report_table1()
+        assert "HDR+" in text
+        assert "True" in text  # >= half of IPs concurrently active

@@ -1,0 +1,111 @@
+"""Unit tests for the classic Roofline model (paper Figure 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Ceiling, Roofline, machine_balance
+from repro.errors import SpecError
+
+
+@pytest.fixture()
+def cpu():
+    """The paper's measured Snapdragon 835 CPU roofline."""
+    return Roofline(peak_perf=7.5e9, peak_bandwidth=15.1e9, name="CPU")
+
+
+class TestAttainable:
+    def test_memory_bound_region(self, cpu):
+        assert cpu.attainable(0.1) == pytest.approx(1.51e9)
+
+    def test_compute_bound_region(self, cpu):
+        assert cpu.attainable(100) == 7.5e9
+
+    def test_ridge_point(self, cpu):
+        ridge = cpu.ridge_point
+        assert ridge == pytest.approx(7.5 / 15.1)
+        assert cpu.attainable(ridge) == pytest.approx(7.5e9)
+        assert cpu.is_memory_bound(ridge * 0.99)
+        assert not cpu.is_memory_bound(ridge * 1.01)
+
+    def test_machine_balance_synonym(self, cpu):
+        assert machine_balance(cpu) == cpu.ridge_point
+
+    def test_infinite_intensity(self, cpu):
+        assert cpu.attainable(math.inf) == 7.5e9
+
+    def test_rejects_nonpositive_intensity(self, cpu):
+        with pytest.raises(SpecError):
+            cpu.attainable(0)
+
+    def test_operational_intensity_footnote(self):
+        """Paper footnote 1: DP multiply-accumulate without reuse has
+        I = 2 ops / 32 bytes = 0.0625."""
+        intensity = 2 / (4 * 8)
+        assert intensity == 0.0625
+
+
+class TestCeilings:
+    @pytest.fixture()
+    def with_ceilings(self):
+        return Roofline(
+            peak_perf=42e9,
+            peak_bandwidth=20e9,
+            ceilings=(
+                Ceiling("no-SIMD", "compute", 7.5e9),
+                Ceiling("read+write", "bandwidth", 15.1e9),
+            ),
+            name="CPU",
+        )
+
+    def test_all_ceilings_in_force(self, with_ceilings):
+        # Without overcoming anything: both ceilings bind.
+        assert with_ceilings.attainable_under(100) == 7.5e9
+        assert with_ceilings.attainable_under(0.1) == pytest.approx(1.51e9)
+
+    def test_overcoming_simd_ceiling(self, with_ceilings):
+        assert with_ceilings.attainable_under(100, "no-SIMD") == 42e9
+
+    def test_overcoming_all(self, with_ceilings):
+        value = with_ceilings.attainable_under(100, "no-SIMD", "read+write")
+        assert value == 42e9
+        value = with_ceilings.attainable_under(0.5, "no-SIMD", "read+write")
+        assert value == 10e9
+
+    def test_unknown_ceiling_rejected(self, with_ceilings):
+        with pytest.raises(SpecError, match="unknown"):
+            with_ceilings.attainable_under(1.0, "no-such-ceiling")
+
+    def test_ceiling_above_roof_rejected(self):
+        with pytest.raises(SpecError):
+            Roofline(1e9, 1e9, ceilings=(Ceiling("x", "compute", 2e9),))
+
+    def test_bandwidth_ceiling_above_peak_rejected(self):
+        with pytest.raises(SpecError):
+            Roofline(1e9, 1e9, ceilings=(Ceiling("x", "bandwidth", 2e9),))
+
+    def test_bad_ceiling_kind_rejected(self):
+        with pytest.raises(SpecError):
+            Ceiling("x", "latency", 1e9)
+
+    def test_ceiling_curves_generated(self, with_ceilings):
+        curves = with_ceilings.ceiling_curves()
+        assert len(curves) == 2
+        # The no-SIMD ceiling flattens at 7.5 GF/s.
+        assert curves[0](1000) == 7.5e9
+        # The read+write ceiling slants at 15.1 GB/s.
+        assert curves[1](0.1) == pytest.approx(1.51e9)
+
+
+class TestCurveExport:
+    def test_curve_matches_attainable(self, cpu):
+        curve = cpu.curve()
+        for intensity in (0.01, 0.5, cpu.ridge_point, 10, 1000):
+            assert curve(intensity) == pytest.approx(cpu.attainable(intensity))
+
+    def test_scaled_curve(self, cpu):
+        curve = cpu.curve(scale=0.25, name="CPU/f")
+        assert curve(100) == pytest.approx(30e9)
+        assert curve.name == "CPU/f"

@@ -1,0 +1,130 @@
+"""Tests for day-scenario energy accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FIGURE_6D, Workload
+from repro.errors import SpecError, WorkloadError
+from repro.power import (
+    DayReport,
+    EnergyModel,
+    Episode,
+    day_report,
+    episode_cost,
+    hours_of_usecase_within_budget,
+)
+from repro.units import GIGA
+
+
+@pytest.fixture()
+def soc():
+    return FIGURE_6D.soc()
+
+
+@pytest.fixture()
+def model(soc):
+    return EnergyModel.mobile_default(soc)
+
+
+@pytest.fixture()
+def camera():
+    return Workload.two_ip(f=0.75, i0=8, i1=8, name="camera")
+
+
+@pytest.fixture()
+def idleish():
+    return Workload.two_ip(f=0.0, i0=4, i1=4, name="background")
+
+
+class TestEpisodeCost:
+    def test_flat_out_matches_usecase_energy(self, soc, model, camera):
+        from repro.power import usecase_energy
+
+        episode = Episode(camera, duration_s=60.0)
+        cost = episode_cost(soc, episode, model)
+        energy = usecase_energy(soc, camera, model)
+        assert cost.average_watts == pytest.approx(energy.average_power)
+        assert cost.joules == pytest.approx(energy.average_power * 60)
+
+    def test_throttled_rate_draws_less(self, soc, model, camera):
+        flat = episode_cost(soc, Episode(camera, 60.0), model)
+        paced = episode_cost(
+            soc, Episode(camera, 60.0, ops_per_second=1 * GIGA), model
+        )
+        assert paced.average_watts < flat.average_watts
+
+    def test_rate_above_bound_rejected(self, soc, model, camera):
+        with pytest.raises(WorkloadError, match="attains only"):
+            episode_cost(
+                soc, Episode(camera, 60.0, ops_per_second=1e15), model
+            )
+
+    def test_episode_name_defaults_to_workload(self, camera):
+        assert Episode(camera, 1.0).name == "camera"
+
+
+class TestDayReport:
+    @pytest.fixture()
+    def report(self, soc, model, camera, idleish) -> DayReport:
+        episodes = [
+            Episode(camera, duration_s=1800,
+                    ops_per_second=10 * GIGA, name="camera"),
+            Episode(idleish, duration_s=14 * 3600,
+                    ops_per_second=0.2 * GIGA, name="background"),
+        ]
+        return day_report(soc, episodes, model, battery_watt_hours=15.0)
+
+    def test_total_is_sum_of_episodes(self, report):
+        assert report.total_joules == pytest.approx(
+            sum(episode.joules for episode in report.episodes)
+        )
+
+    def test_drain_and_survival(self, report):
+        assert 0 < report.battery_drain_fraction < 1
+        assert report.survives
+
+    def test_energy_share_sums_to_one(self, report):
+        assert sum(report.energy_share().values()) == pytest.approx(1.0)
+
+    def test_dominant_episode(self, report):
+        dominant = report.dominant_episode()
+        assert dominant.joules == max(e.joules for e in report.episodes)
+
+    def test_heavy_day_fails_small_battery(self, soc, model, camera):
+        heavy = day_report(
+            soc,
+            [Episode(camera, duration_s=8 * 3600, name="marathon")],
+            model,
+            battery_watt_hours=5.0,
+        )
+        assert not heavy.survives
+
+    def test_duplicate_names_rejected(self, soc, model, camera):
+        with pytest.raises(SpecError, match="unique"):
+            day_report(soc, [Episode(camera, 1.0), Episode(camera, 1.0)],
+                       model, battery_watt_hours=10)
+
+    def test_empty_scenario_rejected(self, soc, model):
+        with pytest.raises(SpecError):
+            day_report(soc, [], model, battery_watt_hours=10)
+
+
+class TestPhoneLevelHours:
+    def test_background_overhead_shortens_life(self, soc, model, camera):
+        chip_only = hours_of_usecase_within_budget(
+            soc, camera, model, 15.0, background_watts=0.0,
+            ops_per_second=10 * GIGA,
+        )
+        phone = hours_of_usecase_within_budget(
+            soc, camera, model, 15.0, background_watts=1.5,
+            ops_per_second=10 * GIGA,
+        )
+        assert phone < chip_only
+
+    def test_pacing_extends_life(self, soc, model, camera):
+        flat = hours_of_usecase_within_budget(soc, camera, model, 15.0)
+        paced = hours_of_usecase_within_budget(
+            soc, camera, model, 15.0, ops_per_second=1 * GIGA
+        )
+        assert paced > flat

@@ -1,0 +1,124 @@
+"""Unit tests for the simulated memory hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.sim import MemoryHierarchy, MemoryLevel
+from repro.units import GIGA, KIB, MIB
+
+
+@pytest.fixture()
+def hierarchy():
+    return MemoryHierarchy(
+        levels=(
+            MemoryLevel("L1", 64 * KIB, 100 * GIGA),
+            MemoryLevel("L2", 2 * MIB, 40 * GIGA),
+        ),
+        dram_read_bandwidth=20 * GIGA,
+        write_penalty=0.6,
+    )
+
+
+class TestServiceLevel:
+    def test_fits_l1(self, hierarchy):
+        assert hierarchy.service_level(32 * KIB) == "L1"
+
+    def test_fits_l2(self, hierarchy):
+        assert hierarchy.service_level(1 * MIB) == "L2"
+
+    def test_spills_to_dram(self, hierarchy):
+        assert hierarchy.service_level(64 * MIB) == "DRAM"
+
+    def test_boundary_inclusive(self, hierarchy):
+        assert hierarchy.service_level(64 * KIB) == "L1"
+
+
+class TestStreamingBandwidth:
+    def test_within_level_bandwidth(self, hierarchy):
+        assert hierarchy.streaming_bandwidth(32 * KIB) == 100 * GIGA
+        # A 1 MiB set mostly streams from L2 but its L1-resident share
+        # still hits, so the blended rate sits between L2 and L1.
+        l2_region = hierarchy.streaming_bandwidth(1 * MIB)
+        assert 40 * GIGA <= l2_region < 100 * GIGA
+        assert l2_region == pytest.approx(40 * GIGA, rel=0.15)
+
+    def test_dram_asymptote(self, hierarchy):
+        far = hierarchy.streaming_bandwidth(1024 * MIB, write_fraction=0.0)
+        assert far == pytest.approx(20 * GIGA, rel=0.01)
+
+    def test_write_penalty_blend(self, hierarchy):
+        read_only = hierarchy.dram_bandwidth(0.0)
+        mixed = hierarchy.dram_bandwidth(0.5)
+        write_only = hierarchy.dram_bandwidth(1.0)
+        assert read_only == 20 * GIGA
+        assert write_only == pytest.approx(12 * GIGA)
+        assert write_only < mixed < read_only
+
+    def test_paper_cpu_write_penalty_calibration(self):
+        """The solved penalty turns 20 GB/s read into 15.1 read+write."""
+        hierarchy = MemoryHierarchy(
+            levels=(), dram_read_bandwidth=20 * GIGA, write_penalty=0.6064
+        )
+        assert hierarchy.dram_bandwidth(0.5) == pytest.approx(
+            15.1 * GIGA, rel=1e-3
+        )
+
+    def test_monotone_nonincreasing_in_footprint(self, hierarchy):
+        footprints = [2**k * KIB for k in range(0, 21)]
+        values = [hierarchy.streaming_bandwidth(f) for f in footprints]
+        for before, after in zip(values, values[1:]):
+            assert after <= before * (1 + 1e-12)
+
+    @given(st.floats(min_value=1.0, max_value=1e12))
+    @settings(max_examples=60, deadline=None)
+    def test_bandwidth_bounded_by_fastest_and_slowest(self, footprint):
+        hierarchy = MemoryHierarchy(
+            levels=(MemoryLevel("L1", 64 * KIB, 100 * GIGA),),
+            dram_read_bandwidth=10 * GIGA,
+        )
+        value = hierarchy.streaming_bandwidth(footprint)
+        assert hierarchy.dram_bandwidth(0.5) * (1 - 1e-9) <= value
+        assert value <= 100 * GIGA * (1 + 1e-9)
+
+
+class TestValidation:
+    def test_inverted_capacities_rejected(self):
+        with pytest.raises(SpecError, match="smaller"):
+            MemoryHierarchy(
+                levels=(
+                    MemoryLevel("L1", 2 * MIB, 100 * GIGA),
+                    MemoryLevel("L2", 64 * KIB, 40 * GIGA),
+                ),
+                dram_read_bandwidth=10 * GIGA,
+            )
+
+    def test_inverted_bandwidths_rejected(self):
+        with pytest.raises(SpecError, match="faster"):
+            MemoryHierarchy(
+                levels=(
+                    MemoryLevel("L1", 64 * KIB, 10 * GIGA),
+                    MemoryLevel("L2", 2 * MIB, 40 * GIGA),
+                ),
+                dram_read_bandwidth=5 * GIGA,
+            )
+
+    def test_dram_faster_than_cache_rejected(self):
+        with pytest.raises(SpecError, match="DRAM"):
+            MemoryHierarchy(
+                levels=(MemoryLevel("L1", 64 * KIB, 10 * GIGA),),
+                dram_read_bandwidth=50 * GIGA,
+            )
+
+    def test_zero_write_penalty_rejected(self):
+        with pytest.raises(SpecError):
+            MemoryHierarchy(levels=(), dram_read_bandwidth=1e9,
+                            write_penalty=0.0)
+
+    def test_cacheless_hierarchy_works(self):
+        flat = MemoryHierarchy(levels=(), dram_read_bandwidth=10 * GIGA)
+        assert flat.service_level(1.0) == "DRAM"
+        assert flat.streaming_bandwidth(1e9, 0.0) == 10 * GIGA

@@ -1,0 +1,95 @@
+"""Tests for the Fig. 8 mixing experiment on the simulated SoC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecError
+from repro.sim import (
+    DEFAULT_FRACTIONS,
+    DEFAULT_INTENSITIES,
+    dsp_perturbation,
+    run_mixing_sweep,
+)
+
+
+class TestSweepStructure:
+    def test_grid_dimensions(self, mixing_sweep):
+        assert len(mixing_sweep.points) == (
+            len(DEFAULT_FRACTIONS) * len(DEFAULT_INTENSITIES)
+        )
+        assert mixing_sweep.intensities() == tuple(
+            float(i) for i in DEFAULT_INTENSITIES
+        )
+
+    def test_lines_ordered_by_fraction(self, mixing_sweep):
+        line = mixing_sweep.line(16)
+        assert [p.fraction for p in line] == sorted(DEFAULT_FRACTIONS)
+
+    def test_every_line_starts_at_cpu_rate(self, mixing_sweep):
+        """f=0 puts everything on the compute-bound CPU: normalized 1.0
+        for every intensity >= 1 (CPU ridge is below 1 ops/byte)."""
+        for intensity in mixing_sweep.intensities():
+            start = mixing_sweep.line(intensity)[0]
+            assert start.normalized == pytest.approx(1.0, rel=1e-6)
+
+    def test_same_total_work_every_cell(self, mixing_sweep):
+        """The paper: 'All runs do the same total amount of work'."""
+        gflops_per_runtime = {
+            (p.fraction, p.intensity): p.gflops * p.runtime_s
+            for p in mixing_sweep.points
+        }
+        values = list(gflops_per_runtime.values())
+        assert all(v == pytest.approx(values[0], rel=1e-6) for v in values)
+
+
+class TestPaperFindings:
+    def test_peak_speedup_matches_paper(self, mixing_sweep):
+        """Paper: 'offloading ... results in substantial speedup, e.g.
+        39.4 for I0 = I1 = 1024'."""
+        peak = mixing_sweep.peak_speedup()
+        assert peak.intensity == 1024
+        assert peak.fraction == 1.0
+        assert peak.normalized == pytest.approx(39.4, rel=0.05)
+
+    def test_low_intensity_offload_slows_down(self, mixing_sweep):
+        """Paper: 'when operational intensity is low, offloading work
+        from the CPU to the GPU results in a performance slowdown'."""
+        line = mixing_sweep.line(1)
+        assert line[-1].normalized < 1.0  # f=1 worse than CPU-only
+        assert min(p.normalized for p in line) < 0.5
+
+    def test_slowdown_not_as_bad_as_fig6b(self, mixing_sweep):
+        """Paper: '(but not one as bad as the terrible performance of
+        Figure 6b)' — Fig. 6b collapsed to 1.3/40 ~ 3% of baseline."""
+        worst = min(p.normalized for p in mixing_sweep.line(1))
+        assert worst > 0.033
+
+    def test_high_intensity_monotone_in_f(self, mixing_sweep):
+        line = mixing_sweep.line(1024)
+        values = [p.normalized for p in line]
+        assert values == sorted(values)
+
+    def test_benefit_grows_with_intensity(self, mixing_sweep):
+        """The offload benefit at f=1 increases with intensity — the
+        paper's point that workload characteristics rule."""
+        finals = [
+            mixing_sweep.line(i)[-1].normalized
+            for i in mixing_sweep.intensities()
+        ]
+        assert finals == sorted(finals)
+
+    def test_dsp_too_wimpy_to_perturb(self, platform):
+        """Paper Section IV-D: the scalar DSP 'was too wimpy to
+        substantially perturb CPU-GPU behavior'."""
+        assert dsp_perturbation(platform) < 0.05
+
+
+class TestValidation:
+    def test_bad_fraction_rejected(self, platform):
+        with pytest.raises(SpecError):
+            run_mixing_sweep(platform, fractions=(0.0, 1.5))
+
+    def test_bad_intensity_rejected(self, platform):
+        with pytest.raises(SpecError):
+            run_mixing_sweep(platform, intensities=(0,))

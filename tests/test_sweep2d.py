@@ -1,0 +1,112 @@
+"""Tests for 2-D sweeps, heatmaps, and market analytics."""
+
+from __future__ import annotations
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.core import FIGURE_6D, SoCSpec, Workload, evaluate
+from repro.errors import SpecError
+from repro.explore import analytic_mixing_grid, sweep_grid
+from repro.market import (
+    concentration_series,
+    consolidation_report,
+    herfindahl_index,
+    vendors_per_year,
+)
+from repro.viz import heatmap_svg
+
+
+@pytest.fixture()
+def grid():
+    return analytic_mixing_grid(FIGURE_6D.soc())
+
+
+class TestSweepGrid:
+    def test_dimensions(self, grid):
+        assert len(grid.cells) == 9 * 6
+        assert grid.x_values() == tuple(i / 8 for i in range(9))
+        assert grid.y_values() == (1, 4, 16, 64, 256, 1024)
+
+    def test_cells_match_direct_evaluation(self, grid):
+        soc = FIGURE_6D.soc()
+        cell = grid.at(0.75, 16)
+        direct = evaluate(soc, Workload.two_ip(0.75, 16, 16))
+        assert cell.attainable == pytest.approx(direct.attainable)
+        assert cell.bottleneck == direct.bottleneck
+
+    def test_row_ordering(self, grid):
+        row = grid.row(64)
+        assert [cell.x for cell in row] == sorted(cell.x for cell in row)
+
+    def test_best_cell(self, grid):
+        best = grid.best()
+        assert best.attainable == max(c.attainable for c in grid.cells)
+
+    def test_bottleneck_regions_partition(self, grid):
+        census = grid.bottleneck_regions()
+        assert sum(census.values()) == len(grid.cells)
+        assert len(census) >= 2  # the grid spans regimes
+
+    def test_missing_cell_raises(self, grid):
+        with pytest.raises(SpecError):
+            grid.at(0.33, 7)
+
+    def test_custom_grid_builder(self):
+        soc = FIGURE_6D.soc()
+
+        def build(f: float, i0: float) -> Workload:
+            return Workload.two_ip(f, i0, 8.0)
+
+        custom = sweep_grid(soc, "f", (0.0, 0.5), "I0", (1.0, 8.0), build)
+        assert len(custom.cells) == 4
+        assert custom.x_name == "f"
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SpecError):
+            sweep_grid(FIGURE_6D.soc(), "x", (), "y", (1,),
+                       lambda x, y: Workload.two_ip(0.5, 1, 1))
+
+    def test_ip_index_validated(self):
+        with pytest.raises(SpecError):
+            analytic_mixing_grid(FIGURE_6D.soc(), ip_index=0)
+
+
+class TestHeatmap:
+    def test_valid_svg_with_tooltips(self, grid):
+        svg = heatmap_svg(grid, "Analytic mixing")
+        xml.dom.minidom.parseString(svg)
+        assert "Analytic mixing" in svg
+        assert "-bound" in svg  # per-cell tooltips name the bottleneck
+
+    def test_normalization(self, grid):
+        base = grid.at(0.0, 1.0).attainable
+        svg = heatmap_svg(grid, "normalized", normalize_to=base)
+        xml.dom.minidom.parseString(svg)
+        assert "1" in svg  # the f=0, I=1 corner labels 1.0
+
+    def test_axis_labels_present(self, grid):
+        svg = heatmap_svg(grid, "t")
+        assert ">f<" in svg and ">I<" in svg
+
+
+class TestMarketAnalytics:
+    def test_vendor_counts_shrink_after_peak(self, market_dataset):
+        vendors = vendors_per_year(market_dataset)
+        assert vendors[2017] < vendors[2011]
+
+    def test_hhi_in_unit_interval(self, market_dataset):
+        for year, hhi in concentration_series(market_dataset).items():
+            assert 0 < hhi <= 1, year
+
+    def test_consolidation_raises_concentration(self, market_dataset):
+        """Post-peak exits concentrate the market: HHI rises."""
+        report = consolidation_report(market_dataset)
+        assert report["peak_year"] == 2015
+        assert report["hhi_change"] > 0
+        assert report["vendors_at_end"] <= report["vendors_at_peak"]
+
+    def test_unknown_year_rejected(self, market_dataset):
+        with pytest.raises(SpecError):
+            herfindahl_index(market_dataset, 1999)

@@ -1,0 +1,160 @@
+"""Tests for exact minimal-SoC synthesis."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Workload, evaluate
+from repro.errors import SpecError
+from repro.explore import (
+    UsecaseRequirement,
+    cost_of_design,
+    required_bandwidths,
+    synthesize_soc,
+)
+from repro.units import GIGA
+
+
+@pytest.fixture()
+def portfolio():
+    return [
+        UsecaseRequirement(Workload.two_ip(0.75, 8, 8, name="heavy"),
+                           required=160 * GIGA),
+        UsecaseRequirement(Workload.two_ip(0.1, 4, 1, name="light"),
+                           required=20 * GIGA),
+    ]
+
+
+class TestClosedForm:
+    def test_required_bandwidths(self, portfolio):
+        bpeak, links, engines = required_bandwidths(portfolio, 2)
+        # heavy: bytes/op = 0.25/8 + 0.75/8 = 0.125 -> 20 GB/s at 160G.
+        # light: bytes/op = 0.9/4 + 0.1/1 = 0.325 -> 6.5 GB/s at 20G.
+        assert bpeak == pytest.approx(20 * GIGA)
+        # IP0 link: max(0.25/8*160, 0.9/4*20) = max(5, 4.5) GB/s.
+        assert links[0] == pytest.approx(5 * GIGA)
+        # IP1 link: max(0.75/8*160, 0.1/1*20) = max(15, 2) GB/s.
+        assert links[1] == pytest.approx(15 * GIGA)
+        # Engines: IP0 max(0.25*160, 0.9*20) = 40 G; IP1 0.75*160 = 120.
+        assert engines[0] == pytest.approx(40 * GIGA)
+        assert engines[1] == pytest.approx(120 * GIGA)
+
+    def test_synthesized_design_is_feasible(self, portfolio):
+        design = synthesize_soc(portfolio, 2, ip_names=("CPU", "GPU"))
+        for requirement in portfolio:
+            attained = evaluate(design.soc, requirement.workload).attainable
+            assert attained >= requirement.required * (1 - 1e-9)
+        assert all(headroom >= 1 - 1e-9
+                   for headroom in design.slack.values())
+
+    def test_design_is_minimal_per_knob(self, portfolio):
+        """Shrinking any synthesized knob breaks some usecase."""
+        design = synthesize_soc(portfolio, 2)
+        soc = design.soc
+
+        def feasible(candidate) -> bool:
+            return all(
+                evaluate(candidate, r.workload).attainable
+                >= r.required * (1 - 1e-9)
+                for r in portfolio
+            )
+
+        assert feasible(soc)
+        assert not feasible(
+            soc.with_memory_bandwidth(soc.memory_bandwidth * 0.95)
+        )
+        assert not feasible(
+            soc.with_ip(1, bandwidth=soc.ips[1].bandwidth * 0.95)
+        )
+        assert not feasible(
+            soc.with_ip(1, acceleration=soc.ips[1].acceleration * 0.95)
+        )
+
+    def test_binding_usecases_reported(self, portfolio):
+        design = synthesize_soc(portfolio, 2)
+        assert "heavy" in design.binding_usecases()
+
+    def test_reconstructs_fig6d_scale_hardware(self, portfolio):
+        """Requiring the Fig. 6d workload at 160 Gops/s recovers the
+        paper's Bpeak=20 GB/s and B1=15 GB/s sizing."""
+        design = synthesize_soc(portfolio, 2)
+        assert design.soc.memory_bandwidth == pytest.approx(20 * GIGA)
+        assert design.soc.ips[1].bandwidth == pytest.approx(15 * GIGA)
+
+
+class TestEdgeCases:
+    def test_infinite_intensity_means_unconstrained_link(self):
+        requirement = UsecaseRequirement(
+            Workload(fractions=(1.0,), intensities=(math.inf,),
+                     name="compute-only"),
+            required=10 * GIGA,
+        )
+        design = synthesize_soc([requirement], 1)
+        assert math.isinf(design.soc.ips[0].bandwidth)
+        assert design.soc.peak_perf == pytest.approx(10 * GIGA)
+
+    def test_explicit_ppeak_scales_accelerations(self, portfolio):
+        default = synthesize_soc(portfolio, 2)
+        pinned = synthesize_soc(portfolio, 2, peak_perf=80 * GIGA)
+        assert pinned.soc.peak_perf == 80 * GIGA
+        assert pinned.soc.ips[1].acceleration == pytest.approx(
+            default.soc.ips[1].acceleration
+            * default.soc.peak_perf / (80 * GIGA)
+        )
+
+    def test_ppeak_below_requirement_rejected(self, portfolio):
+        with pytest.raises(SpecError, match="below"):
+            synthesize_soc(portfolio, 2, peak_perf=1 * GIGA)
+
+    def test_no_ip0_work_requires_explicit_ppeak(self):
+        requirement = UsecaseRequirement(
+            Workload(fractions=(0.0, 1.0), intensities=(1.0, 4.0)),
+            required=10 * GIGA,
+        )
+        with pytest.raises(SpecError, match="peak_perf"):
+            synthesize_soc([requirement], 2)
+        design = synthesize_soc([requirement], 2, peak_perf=1 * GIGA)
+        assert design.soc.ips[1].acceleration == pytest.approx(10.0)
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(SpecError):
+            synthesize_soc([], 2)
+
+    def test_cost_handles_infinite_links(self):
+        requirement = UsecaseRequirement(
+            Workload(fractions=(1.0,), intensities=(math.inf,)),
+            required=1 * GIGA,
+        )
+        design = synthesize_soc([requirement], 1)
+        assert math.isfinite(cost_of_design(design.soc))
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.05, max_value=0.95),  # f
+                st.floats(min_value=0.5, max_value=64),  # i0
+                st.floats(min_value=0.5, max_value=64),  # i1
+                st.floats(min_value=1e9, max_value=1e12),  # required
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_synthesis_always_feasible(self, rows):
+        requirements = [
+            UsecaseRequirement(
+                Workload.two_ip(f, i0, i1, name=f"u{k}"), required=target
+            )
+            for k, (f, i0, i1, target) in enumerate(rows)
+        ]
+        design = synthesize_soc(requirements, 2)
+        for requirement in requirements:
+            attained = evaluate(design.soc, requirement.workload).attainable
+            assert attained >= requirement.required * (1 - 1e-9)

@@ -1,0 +1,180 @@
+"""Tests for interval propagation through the Gables model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FIGURE_6B,
+    FIGURE_6D,
+    Interval,
+    SoCSpec,
+    UncertainSoC,
+    UncertainWorkload,
+    Workload,
+    evaluate,
+    evaluate_interval,
+    evaluate_with_margin,
+)
+from repro.errors import SpecError
+
+
+class TestInterval:
+    def test_pct_constructor(self):
+        interval = Interval.pct(10e9, 20)
+        assert interval.lo == pytest.approx(8e9)
+        assert interval.hi == pytest.approx(12e9)
+        assert interval.width_ratio == pytest.approx(1.5)
+
+    def test_exact(self):
+        interval = Interval.exact(5.0)
+        assert interval.lo == interval.hi == 5.0
+        assert interval.width_ratio == 1.0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(SpecError):
+            Interval(2.0, 1.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(SpecError):
+            Interval(0.0, 1.0)
+
+    def test_bad_pct_rejected(self):
+        with pytest.raises(SpecError):
+            Interval.pct(10, 100)
+
+
+class TestEvaluateWithMargin:
+    def test_point_interval_reproduces_evaluate(self):
+        result = evaluate_with_margin(
+            FIGURE_6B.soc(), FIGURE_6B.workload(), 0.0
+        )
+        exact = evaluate(FIGURE_6B.soc(), FIGURE_6B.workload()).attainable
+        assert result.lo == pytest.approx(exact)
+        assert result.hi == pytest.approx(exact)
+        assert result.regime_stable
+
+    def test_bounds_bracket_the_point_value(self):
+        result = evaluate_with_margin(
+            FIGURE_6B.soc(), FIGURE_6B.workload(), 25.0
+        )
+        exact = evaluate(FIGURE_6B.soc(), FIGURE_6B.workload()).attainable
+        assert result.lo < exact < result.hi
+
+    def test_wider_margin_wider_interval(self):
+        narrow = evaluate_with_margin(FIGURE_6B.soc(),
+                                      FIGURE_6B.workload(), 10.0)
+        wide = evaluate_with_margin(FIGURE_6B.soc(),
+                                    FIGURE_6B.workload(), 30.0)
+        assert wide.lo < narrow.lo
+        assert wide.hi > narrow.hi
+        assert wide.width_ratio > narrow.width_ratio
+
+    def test_balanced_design_is_regime_fragile(self):
+        """Fig. 6d sits where three components tie: parameter
+        uncertainty flips the bottleneck between corners — the interval
+        analysis flags the knife-edge the Monte-Carlo study also sees."""
+        result = evaluate_with_margin(
+            FIGURE_6D.soc(), FIGURE_6D.workload(), 15.0
+        )
+        assert not result.regime_stable
+
+    def test_deep_memory_bound_design_is_regime_stable(self):
+        """Fig. 6b is memory-bound by ~1.5x over the next component;
+        ±10% inputs cannot flip that."""
+        result = evaluate_with_margin(
+            FIGURE_6B.soc(), FIGURE_6B.workload(), 10.0
+        )
+        assert result.regime_stable
+        assert result.pessimistic_bottleneck == "memory"
+
+    def test_memory_bound_interval_tracks_bpeak(self):
+        """For a purely memory-bound design the interval is exactly the
+        Bpeak x Iavg range."""
+        result = evaluate_with_margin(
+            FIGURE_6B.soc(), FIGURE_6B.workload(), 20.0
+        )
+        # Pessimistic corner: Bpeak*0.8 and every I*0.8.
+        workload_lo = Workload.two_ip(0.75, 8 * 0.8, 0.1 * 0.8)
+        expected_lo = evaluate(
+            FIGURE_6B.soc().with_memory_bandwidth(8e9), workload_lo
+        ).attainable
+        assert result.lo == pytest.approx(expected_lo)
+
+
+class TestExplicitIntervals:
+    def test_asymmetric_intervals(self):
+        soc = UncertainSoC(
+            peak_perf=Interval(35e9, 45e9),
+            memory_bandwidth=Interval(9e9, 14e9),
+            accelerations=(Interval.exact(1.0), Interval(4.0, 6.0)),
+            bandwidths=(Interval(5e9, 7e9), Interval(12e9, 18e9)),
+            ip_names=("CPU", "GPU"),
+        )
+        workload = UncertainWorkload(
+            fractions=(0.25, 0.75),
+            intensities=(Interval(6.0, 10.0), Interval(0.05, 0.2)),
+        )
+        result = evaluate_interval(soc, workload)
+        assert result.lo < result.hi
+        # Corners are the concrete models' answers.
+        assert result.lo == pytest.approx(
+            evaluate(soc.corner(False), workload.corner(False)).attainable
+        )
+        assert result.hi == pytest.approx(
+            evaluate(soc.corner(True), workload.corner(True)).attainable
+        )
+
+    def test_ip0_acceleration_must_be_exact_one(self):
+        with pytest.raises(SpecError, match="IP\\[0\\]"):
+            UncertainSoC(
+                peak_perf=Interval.exact(1e9),
+                memory_bandwidth=Interval.exact(1e9),
+                accelerations=(Interval(0.9, 1.1),),
+                bandwidths=(Interval.exact(1e9),),
+                ip_names=("CPU",),
+            )
+
+    def test_infinite_bandwidth_survives_from_spec(self):
+        from repro.core import IPBlock
+
+        soc = SoCSpec(1e9, 1e9, (IPBlock("x", 1.0, math.inf),))
+        uncertain = UncertainSoC.from_spec(soc, 20.0)
+        assert math.isinf(uncertain.bandwidths[0].lo)
+
+
+class TestSoundness:
+    """The interval must contain every evaluation inside the box."""
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),  # position in the box
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interior_points_inside_bounds(self, a, b, c):
+        margin = 30.0
+        base_soc = FIGURE_6B.soc()
+        base_wl = FIGURE_6B.workload()
+        result = evaluate_with_margin(base_soc, base_wl, margin)
+
+        def lerp(value: float, t: float) -> float:
+            return value * (1 - margin / 100) * (1 - t) + \
+                value * (1 + margin / 100) * t
+
+        soc = SoCSpec.two_ip(
+            peak_perf=lerp(base_soc.peak_perf, a),
+            memory_bandwidth=lerp(base_soc.memory_bandwidth, b),
+            acceleration=lerp(5.0, c),
+            cpu_bandwidth=lerp(6e9, a),
+            acc_bandwidth=lerp(15e9, b),
+        )
+        workload = Workload.two_ip(
+            f=0.75, i0=lerp(8.0, c), i1=lerp(0.1, a)
+        )
+        inside = evaluate(soc, workload).attainable
+        assert result.lo * (1 - 1e-9) <= inside <= result.hi * (1 + 1e-9)

@@ -1,0 +1,113 @@
+"""Tests for unit formatting and validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro._validation import (
+    as_float_tuple,
+    require_finite_positive,
+    require_fraction,
+    require_fractions_sum_to_one,
+    require_nonnegative,
+    require_positive,
+    require_same_length,
+)
+from repro.errors import SpecError, WorkloadError
+from repro.units import (
+    GIGA,
+    format_bandwidth,
+    format_bytes,
+    format_flops,
+    format_intensity,
+    format_ops,
+    format_seconds,
+)
+
+
+class TestFormatting:
+    def test_ops(self):
+        assert format_ops(40e9) == "40 Gops/s"
+        assert format_ops(1.3278e9) == "1.33 Gops/s"
+        assert format_ops(2.5e3) == "2.5 Kops/s"
+        assert format_ops(0.5) == "0.5 ops/s"
+
+    def test_flops(self):
+        assert format_flops(7.5e9) == "7.5 GFLOP/s"
+        assert format_flops(349.6e9, precision=4) == "349.6 GFLOP/s"
+
+    def test_bandwidth(self):
+        assert format_bandwidth(15.1e9) == "15.1 GB/s"
+        assert format_bandwidth(30e9) == "30 GB/s"
+
+    def test_bytes_binary(self):
+        assert format_bytes(2 * 1024**2) == "2 MiB"
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(3 * 1024**3) == "3 GiB"
+
+    def test_seconds_scaling(self):
+        assert format_seconds(2.0) == "2 s"
+        assert format_seconds(3e-3) == "3 ms"
+        assert format_seconds(4e-6) == "4 us"
+        assert format_seconds(5e-9) == "5 ns"
+
+    def test_intensity(self):
+        assert format_intensity(8) == "8 ops/byte"
+        assert format_intensity(math.inf) == "inf ops/byte"
+
+    def test_special_values(self):
+        assert "inf" in format_ops(math.inf)
+        assert "nan" in format_ops(math.nan)
+        assert "nan" in format_seconds(math.nan)
+
+    def test_giga_constant(self):
+        assert GIGA == 1e9
+
+
+class TestValidation:
+    def test_finite_positive(self):
+        assert require_finite_positive(5, "x") == 5.0
+        for bad in (0, -1, math.inf, math.nan, "five", None):
+            with pytest.raises(SpecError):
+                require_finite_positive(bad, "x")
+
+    def test_positive_allows_inf(self):
+        assert math.isinf(require_positive(math.inf, "x"))
+        with pytest.raises(SpecError):
+            require_positive(0, "x")
+
+    def test_nonnegative(self):
+        assert require_nonnegative(0, "x") == 0.0
+        with pytest.raises(SpecError):
+            require_nonnegative(-1e-9, "x")
+
+    def test_fraction(self):
+        assert require_fraction(0.5, "x") == 0.5
+        for bad in (-0.1, 1.1, math.nan):
+            with pytest.raises(WorkloadError):
+                require_fraction(bad, "x")
+
+    def test_fractions_sum(self):
+        require_fractions_sum_to_one([0.25, 0.75], "f")
+        with pytest.raises(WorkloadError):
+            require_fractions_sum_to_one([0.5, 0.6], "f")
+
+    def test_same_length(self):
+        require_same_length([1], [2], "a", "b")
+        with pytest.raises(SpecError):
+            require_same_length([1], [2, 3], "a", "b")
+
+    def test_bool_rejected_as_number(self):
+        with pytest.raises(SpecError):
+            require_positive(True, "x")
+
+    def test_float_tuple_coercion(self):
+        assert as_float_tuple([1, 2], "x") == (1.0, 2.0)
+        with pytest.raises(SpecError):
+            as_float_tuple(["a"], "x")
+
+    def test_error_messages_name_the_field(self):
+        with pytest.raises(SpecError, match="Bpeak"):
+            require_finite_positive(-1, "Bpeak")

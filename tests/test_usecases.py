@@ -1,0 +1,234 @@
+"""Unit tests for frame math, dataflows, and the Table I catalog."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.gables import evaluate
+from repro.errors import SpecError, WorkloadError
+from repro.units import GIGA, MEGA
+from repro.usecases import (
+    TABLE_I,
+    USECASES,
+    WORLD,
+    Dataflow,
+    DataflowSummary,
+    Flow,
+    FrameSpec,
+    Stage,
+    activity_matrix,
+    hfr_capture_traffic,
+    saturation_fps,
+    stream_bandwidth,
+    video_capture,
+    video_capture_hfr,
+    wifi_streaming,
+)
+
+
+class TestFrameMath:
+    def test_paper_4k_yuv420_frame_size(self):
+        """Section II-B: 4K YUV420 ~ 12 MB per frame."""
+        frame = FrameSpec.named("4K")
+        assert frame.bytes_per_frame == pytest.approx(12.44 * MEGA, rel=1e-2)
+
+    def test_yuv420_is_six_bytes_per_four_pixels(self):
+        frame = FrameSpec(4, 1, "YUV420")
+        assert frame.bytes_per_frame == 6
+
+    def test_stream_bandwidth(self):
+        frame = FrameSpec.named("4K")
+        assert stream_bandwidth(frame, 240) == pytest.approx(
+            frame.bytes_per_frame * 240
+        )
+
+    def test_hfr_saturates_mobile_bandwidth(self):
+        """The paper's claim: 4K240 with 5 reference frames exceeds a
+        mobile SoC's ~30 GB/s."""
+        frame = FrameSpec.named("4K")
+        traffic = hfr_capture_traffic(frame, 240, reference_frames=5)
+        assert traffic > 30e9
+
+    def test_saturation_fps_below_240(self):
+        frame = FrameSpec.named("4K")
+        fps = saturation_fps(frame, 30e9)
+        assert fps < 240
+        # Consistency: traffic at the saturation rate equals the budget.
+        assert hfr_capture_traffic(frame, fps) == pytest.approx(30e9)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SpecError):
+            FrameSpec(100, 100, "YUV999")
+
+    def test_unknown_resolution_rejected(self):
+        with pytest.raises(SpecError):
+            FrameSpec.named("16K")
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(SpecError):
+            FrameSpec(0, 100)
+
+
+class TestDataflow:
+    @pytest.fixture()
+    def simple(self):
+        return Dataflow(
+            "simple",
+            stages=(
+                Stage("produce", "A", ops_per_item=6 * GIGA),
+                Stage("consume", "B", ops_per_item=2 * GIGA),
+            ),
+            flows=(
+                Flow(WORLD, "produce", 1 * MEGA),
+                Flow("produce", "consume", 4 * MEGA),
+                Flow("consume", WORLD, 1 * MEGA),
+            ),
+        )
+
+    def test_active_ips_ordered(self, simple):
+        assert simple.active_ips == ("A", "B")
+
+    def test_ops_by_ip(self, simple):
+        assert simple.ops_by_ip() == {"A": 6 * GIGA, "B": 2 * GIGA}
+
+    def test_traffic_counts_both_endpoints(self, simple):
+        traffic = simple.traffic_by_ip()
+        assert traffic["A"] == 5 * MEGA  # 1 in + 4 out
+        assert traffic["B"] == 5 * MEGA  # 4 in + 1 out
+
+    def test_dram_traffic_double_counts_internal_flows(self, simple):
+        # internal flow crosses DRAM twice; WORLD flows once each.
+        assert simple.dram_traffic_per_item() == 2 * 4 * MEGA + 2 * MEGA
+
+    def test_direct_flow_skips_dram(self):
+        flow = Dataflow(
+            "direct",
+            stages=(Stage("a", "A", 1.0), Stage("b", "B", 1.0)),
+            flows=(Flow("a", "b", 100.0, via_memory=False),),
+        )
+        assert flow.dram_traffic_per_item() == 0.0
+        assert flow.traffic_by_ip() == {"A": 100.0, "B": 100.0}
+
+    def test_to_workload_fractions_and_intensities(self, simple):
+        workload = simple.to_workload(("A", "B", "C"))
+        assert workload.fractions == (0.75, 0.25, 0.0)
+        assert workload.intensities[0] == pytest.approx(6 * GIGA / (5 * MEGA))
+        assert workload.intensities[1] == pytest.approx(2 * GIGA / (5 * MEGA))
+
+    def test_to_workload_missing_ip_rejected(self, simple):
+        with pytest.raises(WorkloadError, match="absent"):
+            simple.to_workload(("A",))
+
+    def test_no_compute_rejected(self):
+        dma_only = Dataflow(
+            "dma",
+            stages=(Stage("move", "A", 0.0),),
+            flows=(Flow(WORLD, "move", 1.0),),
+        )
+        with pytest.raises(WorkloadError, match="no compute"):
+            dma_only.to_workload(("A",))
+
+    def test_compute_only_ip_gets_infinite_intensity(self):
+        flow = Dataflow(
+            "pure-compute",
+            stages=(Stage("think", "A", 10.0),),
+            flows=(),
+        )
+        workload = flow.to_workload(("A",))
+        assert math.isinf(workload.intensities[0])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SpecError, match="cycle"):
+            Dataflow(
+                "loop",
+                stages=(Stage("a", "A", 1.0), Stage("b", "B", 1.0)),
+                flows=(Flow("a", "b", 1.0), Flow("b", "a", 1.0)),
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(SpecError):
+            Flow("a", "a", 1.0)
+
+    def test_unknown_stage_in_flow_rejected(self):
+        with pytest.raises(SpecError, match="unknown stage"):
+            Dataflow(
+                "bad",
+                stages=(Stage("a", "A", 1.0),),
+                flows=(Flow("a", "ghost", 1.0),),
+            )
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(SpecError):
+            Dataflow(
+                "dup",
+                stages=(Stage("a", "A", 1.0), Stage("a", "B", 1.0)),
+                flows=(),
+            )
+
+    def test_summary(self, simple):
+        summary = DataflowSummary.of(simple)
+        assert summary.n_stages == 2
+        assert summary.total_ops_per_item == 8 * GIGA
+        assert summary.active_ips == ("A", "B")
+
+
+class TestTableI:
+    def test_activity_matrix_matches_paper(self):
+        assert activity_matrix() == TABLE_I
+
+    def test_every_usecase_uses_at_least_half_the_ips(self):
+        """The paper's observation that justifies concurrent work."""
+        for name, active in TABLE_I.items():
+            assert len(active) >= 5, name
+
+    def test_all_usecases_include_ap_and_dsp(self):
+        for active in TABLE_I.values():
+            assert "AP" in active
+            assert "DSP" in active
+
+    def test_different_usecases_use_different_ips(self):
+        distinct = {frozenset(v) for v in TABLE_I.values()}
+        assert len(distinct) >= 4  # HFR shares a row with Videocapture
+
+    @pytest.mark.parametrize("name", sorted(USECASES))
+    def test_usecases_lower_to_valid_workloads(self, name, generic_spec):
+        workload = USECASES[name]().to_workload(generic_spec.ip_names)
+        result = evaluate(generic_spec, workload)
+        assert result.attainable > 0
+
+    def test_hfr_is_memory_bound_on_generic_soc(self, generic_spec):
+        """Section II-B's story: high-frame-rate capture pushes DRAM
+        bandwidth to the bottleneck."""
+        dataflow = video_capture_hfr()
+        workload = dataflow.to_workload(generic_spec.ip_names)
+        result = evaluate(generic_spec, workload)
+        assert result.bottleneck == "memory"
+        # And the rate ceiling is below the 240 FPS target.
+        assert dataflow.max_item_rate(generic_spec) < 240
+
+    def test_regular_capture_feasible_at_30fps(self, generic_spec):
+        assert video_capture().max_item_rate(generic_spec) > 30
+
+    def test_hfr_slower_than_regular_capture(self, generic_spec):
+        assert (video_capture_hfr().max_item_rate(generic_spec)
+                < video_capture().max_item_rate(generic_spec))
+
+
+class TestWifiStreaming:
+    def test_figure_4_flow_shape(self):
+        dataflow = wifi_streaming()
+        active = dataflow.active_ips
+        # The paper's Figure 4 chain: radio -> crypto -> decoder/audio
+        # -> display, with the CPU in a control role.
+        for ip in ("WiFi", "Crypto", "AP", "VDEC", "Audio", "Display"):
+            assert ip in active
+
+    def test_playable_at_30fps(self, generic_spec):
+        assert wifi_streaming().max_item_rate(generic_spec) >= 30
+
+    def test_decoded_frames_dominate_traffic(self):
+        dataflow = wifi_streaming()
+        traffic = dataflow.traffic_by_ip()
+        assert traffic["Display"] > traffic["WiFi"]

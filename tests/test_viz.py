@@ -1,0 +1,262 @@
+"""Tests for the visualization layer (scales, SVG, ASCII, plots)."""
+
+from __future__ import annotations
+
+import math
+import xml.dom.minidom
+
+import pytest
+
+from repro.core import FIGURE_6A, FIGURE_6B, FIGURE_6D
+from repro.errors import SpecError
+from repro.viz import (
+    AsciiCanvas,
+    LogScale,
+    RooflinePlotData,
+    SvgCanvas,
+    bar_chart_svg,
+    line_chart_svg,
+    render_log_log,
+    roofline_ascii,
+    roofline_svg,
+    series_color,
+    si_label,
+)
+
+
+class TestLogScale:
+    def test_maps_endpoints(self):
+        scale = LogScale(1, 100)
+        assert scale(1) == 0.0
+        assert scale(100) == 1.0
+        assert scale(10) == pytest.approx(0.5)
+
+    def test_clamps_out_of_domain(self):
+        scale = LogScale(1, 100)
+        assert scale(0.01) == 0.0
+        assert scale(1e6) == 1.0
+
+    def test_invert_round_trips(self):
+        scale = LogScale(0.01, 1e4)
+        for value in (0.02, 1.0, 37.5, 9000):
+            assert scale.invert(scale(value)) == pytest.approx(value)
+
+    def test_ticks_are_decades(self):
+        assert LogScale(0.5, 2000).ticks() == (1, 10, 100, 1000)
+
+    def test_narrow_domain_gets_fallback_ticks(self):
+        ticks = LogScale(2, 5).ticks()
+        assert len(ticks) >= 2
+
+    def test_spanning_pads(self):
+        scale = LogScale.spanning([1, 100])
+        assert scale.lo < 1 and scale.hi > 100
+
+    def test_spanning_filters_nonpositive(self):
+        scale = LogScale.spanning([0, -5, 10, math.inf])
+        assert scale.lo < 10 < scale.hi
+
+    def test_spanning_all_bad_rejected(self):
+        with pytest.raises(SpecError):
+            LogScale.spanning([0, -1])
+
+    def test_nonpositive_domain_rejected(self):
+        with pytest.raises(SpecError):
+            LogScale(0, 10)
+
+    def test_sample_geometric(self):
+        samples = LogScale(1, 100).sample(3)
+        assert samples == pytest.approx((1, 10, 100))
+
+    def test_si_labels(self):
+        assert si_label(40e9) == "40G"
+        assert si_label(1500) == "1.5K"
+        assert si_label(0.1) == "0.1"
+        assert si_label(0) == "0"
+
+
+class TestSvgCanvas:
+    def test_produces_valid_xml(self):
+        canvas = SvgCanvas(200, 200)
+        canvas.line(0, 0, 10, 10)
+        canvas.polyline([(0, 0), (5, 5), (10, 0)], color="#2a78d6")
+        canvas.circle(5, 5, tooltip="a <point> & more")
+        canvas.rect(1, 1, 5, 5, "#eee")
+        canvas.text(10, 20, "label with <angle> & amp")
+        xml.dom.minidom.parseString(canvas.to_string())
+
+    def test_tooltip_escaped(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.circle(5, 5, tooltip="<script>")
+        assert "<script>" not in canvas.to_string()
+        assert "&lt;script&gt;" in canvas.to_string()
+
+    def test_series_colors_fixed_order(self):
+        assert series_color(0) == "#2a78d6"
+        assert series_color(1) == "#1baf7a"
+
+    def test_series_colors_never_cycle(self):
+        with pytest.raises(SpecError):
+            series_color(8)
+
+    def test_polyline_needs_two_points(self):
+        canvas = SvgCanvas(100, 100)
+        with pytest.raises(SpecError):
+            canvas.polyline([(0, 0)], color="#000")
+
+    def test_canvas_too_small_rejected(self):
+        with pytest.raises(SpecError):
+            SvgCanvas(10, 10)
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(100, 100)
+        path = tmp_path / "out.svg"
+        canvas.save(path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestAscii:
+    def test_canvas_put_and_clip(self):
+        canvas = AsciiCanvas(30, 10)
+        canvas.put(5, 5, "*")
+        canvas.put(100, 100, "*")  # silently clipped
+        text = canvas.to_string()
+        assert "*" in text
+
+    def test_write_string(self):
+        canvas = AsciiCanvas(30, 10)
+        canvas.write(0, 0, "hello")
+        assert canvas.to_string().splitlines()[0].startswith("hello")
+
+    def test_multichar_glyph_rejected(self):
+        with pytest.raises(SpecError):
+            AsciiCanvas(30, 10).put(0, 0, "ab")
+
+    def test_render_log_log_contains_legend(self):
+        text = render_log_log(
+            {"cpu": [(1, 10), (10, 100)], "mem": [(1, 5), (10, 50)]},
+            x_label="I", y_label="P",
+        )
+        assert "*=cpu" in text
+        assert "o=mem" in text
+        assert "x: I" in text
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(SpecError):
+            render_log_log({})
+
+
+class TestRooflinePlots:
+    def test_svg_is_valid_and_annotated(self):
+        data = RooflinePlotData.from_model(
+            FIGURE_6B.soc(), FIGURE_6B.workload(), title="Figure 6b"
+        )
+        svg = roofline_svg(data)
+        xml.dom.minidom.parseString(svg)
+        assert "Figure 6b" in svg
+        assert "memory" in svg
+        assert "operational intensity" in svg
+
+    def test_idle_ips_not_plotted(self):
+        data = RooflinePlotData.from_model(
+            FIGURE_6A.soc(), FIGURE_6A.workload()
+        )
+        names = [curve.name for curve in data.curves]
+        assert "GPU" not in names
+
+    def test_attainable_is_lowest_operating_point(self):
+        data = RooflinePlotData.from_model(
+            FIGURE_6D.soc(), FIGURE_6D.workload()
+        )
+        lowest = min(perf for _, _, perf in data.operating_points)
+        assert data.attainable == pytest.approx(lowest)
+
+    def test_ascii_mentions_bottleneck(self):
+        data = RooflinePlotData.from_model(
+            FIGURE_6B.soc(), FIGURE_6B.workload()
+        )
+        text = roofline_ascii(data)
+        assert "memory-bound" in text
+
+    def test_intensity_domain_covers_operating_points(self):
+        data = RooflinePlotData.from_model(
+            FIGURE_6B.soc(), FIGURE_6B.workload()
+        )
+        lo, hi = data.intensity_domain()
+        for _, intensity, _ in data.operating_points:
+            assert lo <= intensity <= hi
+
+
+class TestDiagrams:
+    def test_soc_diagram_valid_and_complete(self, generic_description):
+        from repro.viz import soc_diagram_svg
+
+        svg = soc_diagram_svg(generic_description)
+        xml.dom.minidom.parseString(svg)
+        # Every IP and every fabric tier appears.
+        for ip in generic_description.ips:
+            assert ip.name in svg
+        for fabric in generic_description.fabrics:
+            assert fabric.name in svg
+        assert "DRAM" in svg
+
+    def test_dataflow_diagram_valid_and_complete(self):
+        from repro.usecases import wifi_streaming
+        from repro.viz import dataflow_diagram_svg
+
+        dataflow = wifi_streaming()
+        svg = dataflow_diagram_svg(dataflow)
+        xml.dom.minidom.parseString(svg)
+        for stage in dataflow.stages:
+            assert stage.name in svg
+
+    def test_dataflow_diagram_layers_follow_dependencies(self):
+        """Producer stages render above their consumers (smaller y)."""
+        import re
+
+        from repro.usecases import hdr_plus
+        from repro.viz import dataflow_diagram_svg
+
+        svg = dataflow_diagram_svg(hdr_plus())
+
+        def block_y(name: str) -> float:
+            pattern = (
+                r'<rect x="[\d.]+" y="([\d.]+)"[^>]*><title>'
+                + re.escape(name) + " on"
+            )
+            return float(re.search(pattern, svg).group(1))
+
+        assert block_y("sensor-capture") < block_y("align-merge")
+        assert block_y("align-merge") < block_y("tonemap")
+
+
+class TestCharts:
+    def test_line_chart_valid_xml(self):
+        svg = line_chart_svg(
+            {"I=1": [(0, 1.0), (0.5, 0.5), (1, 0.2)],
+             "I=1024": [(0, 1.0), (0.5, 15), (1, 39)]},
+            title="Mixing", x_label="f", y_label="normalized", log_y=True,
+        )
+        xml.dom.minidom.parseString(svg)
+        assert "Mixing" in svg
+        assert "I=1024" in svg
+
+    def test_line_chart_empty_rejected(self):
+        with pytest.raises(SpecError):
+            line_chart_svg({}, title="x", x_label="x", y_label="y")
+
+    def test_line_chart_empty_series_rejected(self):
+        with pytest.raises(SpecError):
+            line_chart_svg({"a": []}, title="x", x_label="x", y_label="y")
+
+    def test_bar_chart_valid_xml(self):
+        svg = bar_chart_svg(
+            {2007: 12, 2008: 18, 2015: 121, 2017: 72},
+            title="SoCs per year", x_label="year", y_label="count",
+        )
+        xml.dom.minidom.parseString(svg)
+        assert "SoCs per year" in svg
+
+    def test_bar_chart_needs_positive_max(self):
+        with pytest.raises(SpecError):
+            bar_chart_svg({"a": 0.0}, title="t", x_label="x", y_label="y")
