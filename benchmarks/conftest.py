@@ -8,9 +8,23 @@ paper's published numbers and shapes.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
+from repro.obs import get_registry, write_metrics_json
 from repro.sim import simulated_snapdragon_835
+
+#: Where the end-of-run observability snapshot lands (repo root), so
+#: the metrics trajectory (evaluations run, sweep points, contention
+#: rounds, ...) is comparable across PRs alongside the timing numbers.
+OBS_SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the metrics registry accumulated by the benchmark run."""
+    if get_registry().names():
+        write_metrics_json(OBS_SNAPSHOT)
 
 
 @pytest.fixture(scope="session")

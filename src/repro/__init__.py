@@ -30,10 +30,14 @@ Subpackages
     Sweeps, sensitivity, balanced-design search, SoC ranking.
 ``repro.viz``
     Dependency-free SVG/ASCII scaled-roofline plots (Section III-C).
+``repro.obs``
+    Observability: tracing spans, metrics registry, and evaluation
+    provenance threaded through every hot path (see
+    docs/observability.md).
 """
 
 __version__ = "1.0.0"
 
-from . import core
+from . import core, obs
 
-__all__ = ["core", "__version__"]
+__all__ = ["core", "obs", "__version__"]

@@ -3,24 +3,44 @@
 Subcommands::
 
     gables eval     --soc soc.json --workload usecase.json
-    gables eval     --figure 6b
+    gables eval     --figure 6b [--explain]
     gables plot     --figure 6d --out fig6d.svg       (or --ascii)
     gables sweep    --figure 6b --param f --steps 9
     gables measure  --engine CPU                       (simulated ERT)
     gables report   fig2 | fig6 | fig7 | fig8 | fig9 | table1 | all
     gables presets
+    gables trace summarize trace.jsonl
+
+Observability flags (accepted globally and on every subcommand; see
+docs/observability.md)::
+
+    gables --trace t.jsonl --metrics m.json eval --figure 6b
+    gables -v sweep --figure 6b        # INFO logging (-vv for DEBUG)
+    gables --log-level debug report fig8
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from . import io as repro_io
+from . import obs
 from .core import FIGURE_6_SEQUENCE, evaluate
 from .core.two_ip import TwoIPScenario
 from .errors import ReproError
 from .units import format_bandwidth, format_ops
+
+_log = logging.getLogger("repro.cli")
+
+#: ``--log-level`` choices, mapped onto the stdlib levels.
+LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
 
 
 def _figure_scenario(tag: str) -> TwoIPScenario:
@@ -48,6 +68,12 @@ def _cmd_eval(args) -> int:
     result = evaluate(soc, workload)
     print(f"SoC: {soc.name}   usecase: {workload.name}")
     print(result.summary())
+    if getattr(args, "explain", False):
+        record = obs.provenance.from_result(soc, workload, result)
+        print()
+        print(record.narrative())
+        print(f"audit vs bottleneck analysis: "
+              f"{'agrees' if record.audit() else 'DISAGREES'}")
     return 0
 
 
@@ -220,13 +246,78 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args) -> int:
+    from .viz import trace_summary_table
+
+    try:
+        spans = obs.read_trace_jsonl(args.file)
+    except OSError as err:
+        raise ReproError(f"cannot read trace file: {err}") from err
+    summaries = obs.summarize_spans(spans)
+    if not summaries:
+        print(f"{args.file}: no finished spans")
+        return 0
+    total = obs.trace_total_seconds(summaries)
+    print(f"{args.file}: {len(spans)} spans, "
+          f"{total:.6f} s of root wall time")
+    print(trace_summary_table(summaries, fmt=args.format))
+    return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser, top_level: bool) -> None:
+    """Observability flags, shared by the root parser and every subcommand.
+
+    The root parser owns the real defaults; subcommand copies default to
+    ``SUPPRESS`` so ``gables --trace t.jsonl eval`` survives the
+    subparser re-parse (argparse sub-parsers overwrite namespace entries
+    with their own defaults otherwise).
+    """
+    missing = argparse.SUPPRESS
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", metavar="FILE",
+        default=None if top_level else missing,
+        help="record tracing spans and write them as JSONL on exit",
+    )
+    group.add_argument(
+        "--metrics", metavar="FILE",
+        default=None if top_level else missing,
+        help="write a JSON metrics snapshot on exit",
+    )
+    group.add_argument(
+        "-v", "--verbose", action="count",
+        default=0 if top_level else missing,
+        help="log progress to stderr (-v INFO, -vv DEBUG)",
+    )
+    group.add_argument(
+        "--log-level", choices=sorted(LOG_LEVELS),
+        default=None if top_level else missing,
+        help="explicit log level (overrides -v)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="gables",
         description="Gables: a Roofline model for mobile SoCs (HPCA 2019)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    _add_obs_flags(parser, top_level=True)
+    obs_common = argparse.ArgumentParser(add_help=False)
+    _add_obs_flags(obs_common, top_level=False)
+    root_sub = parser.add_subparsers(dest="command", required=True)
+
+    class _Sub:
+        """add_parser shim attaching the shared observability flags."""
+
+        def __init__(self, subparsers) -> None:
+            self._subparsers = subparsers
+
+        def add_parser(self, name, **kwargs):
+            kwargs.setdefault("parents", []).append(obs_common)
+            return self._subparsers.add_parser(name, **kwargs)
+
+    sub = _Sub(root_sub)
 
     def add_model_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--soc", help="path to a soc JSON document")
@@ -237,6 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_eval = sub.add_parser("eval", help="evaluate a usecase on an SoC")
     add_model_args(p_eval)
+    p_eval.add_argument(
+        "--explain", action="store_true",
+        help="print the evaluation's provenance record (which min() "
+             "branch won and why) with a bottleneck-analysis audit",
+    )
     p_eval.set_defaults(handler=_cmd_eval)
 
     p_plot = sub.add_parser("plot", help="render a scaled-roofline plot")
@@ -317,13 +413,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_presets = sub.add_parser("presets", help="list built-in SoC presets")
     p_presets.set_defaults(handler=_cmd_presets)
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect trace files written with --trace"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summarize = trace_sub.add_parser(
+        "summarize", help="per-span time breakdown of a JSONL trace"
+    )
+    p_summarize.add_argument("file", help="JSONL trace file")
+    p_summarize.add_argument("--format", default="markdown",
+                             choices=("markdown", "csv"))
+    p_summarize.set_defaults(handler=_cmd_trace_summarize)
     return parser
+
+
+def _configure_logging(args) -> None:
+    level_name = getattr(args, "log_level", None)
+    verbosity = getattr(args, "verbose", 0)
+    if level_name:
+        level = LOG_LEVELS[level_name]
+    elif verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        return
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+        force=True,
+    )
 
 
 def main(argv=None) -> int:
     """Console entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path:
+        tracer = obs.enable_tracing()
+        tracer.reset()  # one CLI run = one trace file
+    _log.info("dispatching %r", getattr(args, "command", None))
     try:
         return args.handler(args)
     except ReproError as err:
@@ -338,6 +472,26 @@ def main(argv=None) -> int:
         except BrokenPipeError:
             pass
         return 0
+    finally:
+        if trace_path:
+            obs.disable_tracing()
+            try:
+                events = obs.write_trace_jsonl(trace_path)
+            except OSError as err:
+                print(f"error: cannot write trace file: {err}",
+                      file=sys.stderr)
+            else:
+                print(f"wrote {events} trace events to {trace_path}",
+                      file=sys.stderr)
+        if metrics_path:
+            try:
+                obs.write_metrics_json(metrics_path)
+            except OSError as err:
+                print(f"error: cannot write metrics file: {err}",
+                      file=sys.stderr)
+            else:
+                print(f"wrote metrics snapshot to {metrics_path}",
+                      file=sys.stderr)
 
 
 if __name__ == "__main__":

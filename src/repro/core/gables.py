@@ -28,9 +28,17 @@ import math
 
 from .._validation import require_same_length
 from ..errors import WorkloadError
+from ..obs import provenance as _provenance
+from ..obs.metrics import counter as _counter
+from ..obs.trace import span as _span
+from ..obs.trace import tracing_enabled as _tracing_enabled
 from .curves import RooflineCurve
 from .params import SoCSpec, Workload
 from .result import MEMORY, GablesResult, IPTerm, pick_bottleneck
+
+#: Module-level instrument handle: resolved once so the hot path pays a
+#: single attribute add per evaluation, not a registry lookup.
+_EVAL_CALLS = _counter("core.evaluate.calls")
 
 
 def _check_shapes(soc: SoCSpec, workload: Workload) -> None:
@@ -99,6 +107,22 @@ def evaluate(soc: SoCSpec, workload: Workload) -> GablesResult:
         >>> result.bottleneck
         'memory'
     """
+    _EVAL_CALLS.inc()
+    if not _tracing_enabled():
+        result = _evaluate_impl(soc, workload)
+    else:
+        with _span(
+            "core.evaluate", soc=soc.name, workload=workload.name
+        ) as sp:
+            result = _evaluate_impl(soc, workload)
+            sp.set_attribute("bottleneck", result.bottleneck)
+            sp.set_attribute("attainable", result.attainable)
+    if _provenance.provenance_enabled():
+        _provenance.capture(soc, workload, result)
+    return result
+
+
+def _evaluate_impl(soc: SoCSpec, workload: Workload) -> GablesResult:
     terms = ip_terms(soc, workload)
     t_memory = memory_time(soc, terms)
     iavg = workload.average_intensity()

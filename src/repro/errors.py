@@ -46,3 +46,12 @@ class FittingError(ReproError, RuntimeError):
 
 class SerializationError(ReproError, ValueError):
     """A document could not be encoded to or decoded from JSON."""
+
+
+class ObservabilityError(ReproError, RuntimeError):
+    """The instrumentation layer was misused or hit bad telemetry data.
+
+    Raised by :mod:`repro.obs` for metric type conflicts (a name
+    registered as a counter requested as a gauge), invalid metric
+    updates, and malformed trace files handed to the summarizer.
+    """

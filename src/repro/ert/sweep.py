@@ -13,9 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import SpecError
+from ..obs.metrics import counter as _counter
+from ..obs.trace import span as _span
 from ..sim.kernel import KernelSpec
 from ..sim.platform import SimulatedSoC
 from ..units import KIB
+
+_SWEEP_RUNS = _counter("ert.sweep.runs")
+_SWEEP_POINTS = _counter("ert.sweep.points")
 
 #: Default intensity ladder: 1/16 to 1024 ops/byte in powers of two.
 DEFAULT_INTENSITIES = tuple(2.0**k for k in range(-4, 11))
@@ -122,6 +127,25 @@ def run_sweep(
 
         rng = np.random.default_rng(seed)
     variant = variant or VARIANT_BY_ENGINE.get(engine, "inplace")
+    _SWEEP_RUNS.inc()
+    with _span(
+        "ert.run_sweep",
+        engine=engine,
+        variant=variant,
+        grid=len(intensities) * len(footprints),
+    ):
+        samples = _sweep_samples(
+            platform, engine, intensities, footprints, variant, simd,
+            repeats, rng, noise,
+        )
+    return SweepResult(engine=engine, variant=variant, simd=simd,
+                       samples=tuple(samples))
+
+
+def _sweep_samples(
+    platform, engine, intensities, footprints, variant, simd, repeats,
+    rng, noise,
+) -> list:
     samples = []
     for footprint in footprints:
         # The stream variant keeps two arrays resident; size each so the
@@ -142,6 +166,7 @@ def run_sweep(
                 if observed > best_gflops:
                     best_gflops = observed
                     service_level = result.service_level
+            _SWEEP_POINTS.inc()
             samples.append(
                 RooflineSample(
                     engine=engine,
@@ -152,5 +177,4 @@ def run_sweep(
                     service_level=service_level,
                 )
             )
-    return SweepResult(engine=engine, variant=variant, simd=simd,
-                       samples=tuple(samples))
+    return samples

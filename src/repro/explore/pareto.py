@@ -14,6 +14,11 @@ from dataclasses import dataclass
 from ..core.gables import evaluate
 from ..core.params import SoCSpec, Workload
 from ..errors import SpecError
+from ..obs.metrics import counter as _counter
+from ..obs.trace import span as _span
+
+_PARETO_CANDIDATES = _counter("explore.pareto.candidates")
+_PARETO_KEPT = _counter("explore.pareto.kept")
 
 
 @dataclass(frozen=True)
@@ -39,13 +44,17 @@ def pareto_front(points: Sequence[DesignPoint]) -> tuple:
     """
     if not points:
         raise SpecError("pareto_front needs at least one point")
-    ordered = sorted(points, key=lambda p: (p.cost, -p.performance))
-    front = []
-    best_perf = float("-inf")
-    for point in ordered:
-        if point.performance > best_perf:
-            front.append(point)
-            best_perf = point.performance
+    _PARETO_CANDIDATES.inc(len(points))
+    with _span("explore.pareto_front", candidates=len(points)) as sp:
+        ordered = sorted(points, key=lambda p: (p.cost, -p.performance))
+        front = []
+        best_perf = float("-inf")
+        for point in ordered:
+            if point.performance > best_perf:
+                front.append(point)
+                best_perf = point.performance
+        _PARETO_KEPT.inc(len(front))
+        sp.set_attribute("kept", len(front))
     return tuple(front)
 
 

@@ -15,6 +15,11 @@ from dataclasses import dataclass, replace
 from ..core.gables import evaluate
 from ..core.params import SoCSpec, Workload
 from ..errors import SpecError
+from ..obs.metrics import counter as _counter
+from ..obs.trace import span as _span
+
+_SWEEP_SERIES = _counter("explore.sweep.series")
+_SWEEP_POINTS = _counter("explore.sweep.points")
 
 
 @dataclass(frozen=True)
@@ -72,17 +77,20 @@ def _series(
 ) -> SweepSeries:
     if not values:
         raise SpecError(f"sweep over {parameter!r} needs at least one value")
-    points = []
-    for value in values:
-        soc, workload = build(value)
-        result = evaluate_fn(soc, workload)
-        points.append(
-            SweepPoint(
-                value=float(value),
-                attainable=result.attainable,
-                bottleneck=result.bottleneck,
+    _SWEEP_SERIES.inc()
+    _SWEEP_POINTS.inc(len(values))
+    with _span("explore.sweep", parameter=parameter, points=len(values)):
+        points = []
+        for value in values:
+            soc, workload = build(value)
+            result = evaluate_fn(soc, workload)
+            points.append(
+                SweepPoint(
+                    value=float(value),
+                    attainable=result.attainable,
+                    bottleneck=result.bottleneck,
+                )
             )
-        )
     return SweepSeries(parameter=parameter, points=tuple(points))
 
 

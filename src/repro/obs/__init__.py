@@ -1,0 +1,119 @@
+"""Observability: tracing spans, metrics, and evaluation provenance.
+
+A dependency-free instrumentation layer threaded through the library's
+hot paths (model evaluation, the simulator, ERT and design-space
+sweeps, report generation):
+
+- :mod:`.trace` — nestable, thread-safe spans on a process-global
+  tracer that is a shared no-op when disabled;
+- :mod:`.metrics` — always-on named counters, gauges, and histograms;
+- :mod:`.provenance` — auditable *explain records* for every
+  ``evaluate()``, cross-checked against
+  :mod:`repro.analysis.bottleneck`;
+- :mod:`.export` — JSONL trace events, JSON metrics snapshots, and the
+  span-tree summaries behind ``gables trace summarize``.
+
+Quickstart::
+
+    from repro import obs
+
+    obs.enable_tracing()
+    result = evaluate(soc, workload)          # spans + counters recorded
+    obs.write_trace_jsonl("trace.jsonl")
+    print(obs.get_registry().snapshot())
+
+Everything here degrades to near-zero overhead when tracing is off —
+the benchmark suite holds instrumented ``evaluate()`` within a few
+percent of un-instrumented throughput.
+"""
+
+from .export import (
+    SpanSummary,
+    read_trace_jsonl,
+    summarize_spans,
+    trace_total_seconds,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    reset_metrics,
+)
+from .provenance import (
+    ExplainRecord,
+    TermExplain,
+    disable_provenance,
+    enable_provenance,
+    explain,
+    explain_history,
+    last_explain,
+    provenance_enabled,
+    reset_provenance,
+)
+from .trace import (
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    reset_tracing,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "ExplainRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "SpanSummary",
+    "TermExplain",
+    "Tracer",
+    "counter",
+    "disable_provenance",
+    "disable_tracing",
+    "enable_provenance",
+    "enable_tracing",
+    "explain",
+    "explain_history",
+    "gauge",
+    "get_registry",
+    "get_tracer",
+    "histogram",
+    "last_explain",
+    "provenance_enabled",
+    "read_trace_jsonl",
+    "reset_metrics",
+    "reset_provenance",
+    "reset_tracing",
+    "span",
+    "summarize_spans",
+    "trace_total_seconds",
+    "tracing_enabled",
+    "write_metrics_json",
+    "write_trace_jsonl",
+]
+
+
+def reset_observability() -> None:
+    """Reset tracing, metrics, and provenance to a pristine state.
+
+    The test-suite hook: tracing disabled and emptied, every metric
+    zeroed in place (handles stay live), provenance capture off with an
+    empty history.
+    """
+    reset_tracing()
+    reset_metrics()
+    reset_provenance()
+
+
+__all__.append("reset_observability")

@@ -1,0 +1,244 @@
+"""Named counters, gauges, and histograms in a process-global registry.
+
+Instrumented library code records *what happened* (how many DRAM
+arbitration rounds, how many sweep points, how many Pareto candidates)
+without deciding where the numbers go; callers snapshot the registry
+(:meth:`MetricsRegistry.snapshot`) or export it as JSON
+(:func:`repro.obs.export.write_metrics_json`).
+
+Conventions
+-----------
+Metric names are dotted paths, subsystem first::
+
+    core.evaluate.calls          counter
+    sim.dram.contention_rounds   counter
+    sim.thermal.throttle_events  counter
+    ert.sweep.points             counter
+    explore.pareto.candidates    counter
+
+Unlike tracing, metrics are *always on*: an increment is a plain
+attribute add on a pre-resolved instrument handle, cheap enough for
+every hot path, and the benchmark harness relies on them being
+collected with tracing disabled.  Increments are not individually
+locked — under CPython's GIL a lost update needs an adversarial thread
+interleaving, and these metrics inform engineering judgement, not
+billing.  Registry *structure* (instrument creation, reset, snapshot)
+is lock-protected.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from ..errors import ObservabilityError
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount!r})"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Aggregate distribution: count/sum/min/max plus a sample window.
+
+    Keeps the most recent ``max_samples`` observations (a ring buffer)
+    so :meth:`percentile` stays O(window) without unbounded memory on
+    long runs; count/sum/min/max always cover *every* observation.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_samples", "_max_samples", "_next")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        if max_samples < 1:
+            raise ObservabilityError(
+                f"histogram {name!r} needs max_samples >= 1"
+            )
+        self.name = name
+        self._max_samples = max_samples
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._samples = []
+        self._next = 0
+
+    def record(self, value: float) -> None:
+        """Observe one value."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self._max_samples:
+            self._samples.append(value)
+        else:
+            self._samples[self._next] = value
+            self._next = (self._next + 1) % self._max_samples
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained sample window."""
+        if not 0 <= p <= 100:
+            raise ObservabilityError(f"percentile must be in [0, 100], got {p!r}")
+        if not self._samples:
+            raise ObservabilityError(
+                f"histogram {self.name!r} has no observations"
+            )
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def reset(self) -> None:
+        self._init_state()
+
+    def to_dict(self) -> dict:
+        data = {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+        if self._samples:
+            data["p50"] = self.percentile(50)
+            data["p95"] = self.percentile(95)
+        return data
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    ``reset()`` zeroes every instrument *in place* so module-level
+    handles (``_CALLS = counter("core.evaluate.calls")``) stay wired to
+    the live registry across test-suite resets.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict = {}
+
+    def _get_or_create(self, name: str, cls):
+        if not name:
+            raise ObservabilityError("metric name must be non-empty")
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls(name)
+            elif not isinstance(instrument, cls):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__.lower()}, not "
+                    f"{cls.__name__.lower()}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def names(self) -> tuple:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._instruments))
+
+    def snapshot(self) -> dict:
+        """All instruments as a name -> JSON-ready mapping, sorted."""
+        with self._lock:
+            return {
+                name: self._instruments[name].to_dict()
+                for name in sorted(self._instruments)
+            }
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations and handles."""
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument (detaches existing handles)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: The process-global registry used by all library instrumentation.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    """Get or create a counter in the global registry."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get or create a gauge in the global registry."""
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Get or create a histogram in the global registry."""
+    return _REGISTRY.histogram(name)
+
+
+def reset_metrics() -> None:
+    """Zero every instrument in the global registry."""
+    _REGISTRY.reset()

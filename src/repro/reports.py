@@ -11,6 +11,8 @@ from __future__ import annotations
 
 
 from .core import FIGURE_6_SEQUENCE, FIGURE_6_EXPECTED_GOPS
+from .obs.metrics import counter as _counter
+from .obs.trace import span as _span
 from .units import GIGA
 
 #: Paper-published targets for the Section IV measurements.
@@ -163,13 +165,29 @@ def report_all() -> str:
     return rule.join(sections)
 
 
+def _instrumented(experiment: str, generator):
+    """Wrap a report generator with a span and a generation counter."""
+
+    def run() -> str:
+        _counter("reports.generated").inc()
+        with _span("report.generate", experiment=experiment):
+            return generator()
+
+    run.__name__ = generator.__name__
+    run.__doc__ = generator.__doc__
+    return run
+
+
 #: Experiment id -> report generator (the CLI's registry).
 REPORTS = {
-    "fig2": report_fig2,
-    "fig6": report_fig6,
-    "fig7": report_fig7,
-    "fig8": report_fig8,
-    "fig9": report_fig9,
-    "table1": report_table1,
-    "all": report_all,
+    experiment: _instrumented(experiment, generator)
+    for experiment, generator in {
+        "fig2": report_fig2,
+        "fig6": report_fig6,
+        "fig7": report_fig7,
+        "fig8": report_fig8,
+        "fig9": report_fig9,
+        "table1": report_table1,
+        "all": report_all,
+    }.items()
 }

@@ -29,12 +29,22 @@ from dataclasses import dataclass
 
 from .._validation import require_finite_positive, require_nonnegative
 from ..errors import SimulationError, SpecError
+from ..obs.metrics import counter as _counter
+from ..obs.metrics import histogram as _histogram
+from ..obs.trace import span as _span
 from ..units import GIGA, KIB, MIB
 from .contention import contention_efficiency, max_min_fair, weighted_fair
 from .engine import ComputeEngine
 from .kernel import KernelSpec
 from .memory import MemoryHierarchy, MemoryLevel
 from .thermal import ThermalSpec, ThermalState
+
+#: Simulator telemetry (see docs/observability.md for the name scheme).
+_KERNEL_RUNS = _counter("sim.kernel.runs")
+_KERNEL_RUNTIME = _histogram("sim.kernel.runtime_s")
+_THROTTLE_EVENTS = _counter("sim.thermal.throttle_events")
+_CONTENTION_ROUNDS = _counter("sim.dram.contention_rounds")
+_CONCURRENT_RUNS = _counter("sim.concurrent.runs")
 
 
 @dataclass(frozen=True)
@@ -217,6 +227,25 @@ class SimulatedSoC:
         its engine-level roofline at the kernel's intensity and
         footprint, derated by the thermal governor when uncontrolled.
         """
+        _KERNEL_RUNS.inc()
+        with _span(
+            "sim.run_kernel",
+            engine=engine_name,
+            intensity=kernel.intensity,
+            footprint_bytes=kernel.footprint_bytes,
+        ) as sp:
+            result = self._run_kernel_impl(engine_name, kernel)
+            sp.set_attribute("gflops", result.gflops)
+            sp.set_attribute("service_level", result.service_level)
+            sp.set_attribute("throttle_factor", result.throttle_factor)
+        _KERNEL_RUNTIME.record(result.runtime_s)
+        if result.throttle_factor < 1.0:
+            _THROTTLE_EVENTS.inc()
+        return result
+
+    def _run_kernel_impl(
+        self, engine_name: str, kernel: KernelSpec
+    ) -> KernelResult:
         engine = self.engine(engine_name)
         # Fabric and DRAM-interface caps gate off-chip traffic only;
         # cache/TCM-resident working sets never leave the engine.
@@ -335,6 +364,16 @@ class SimulatedSoC:
         for job in jobs:
             self.engine(job.engine)  # validate
 
+        _CONCURRENT_RUNS.inc()
+        with _span(
+            "sim.run_concurrent", engines=",".join(names)
+        ) as concurrent_span:
+            result = self._run_concurrent_impl(jobs, qos_weights)
+        concurrent_span.set_attribute("runtime_s", result.total_runtime_s)
+        concurrent_span.set_attribute("steps", len(result.timeline))
+        return result
+
+    def _run_concurrent_impl(self, jobs, qos_weights) -> ConcurrentResult:
         remaining = {job.engine: job.work_flops for job in jobs}
         job_by_engine = {job.engine: job for job in jobs}
         completions: dict = {}
@@ -345,6 +384,7 @@ class SimulatedSoC:
             active = [e for e, left in remaining.items() if left > 0]
             if not active:
                 break
+            _CONTENTION_ROUNDS.inc()
             dram_jobs = [
                 e
                 for e in active
@@ -379,6 +419,8 @@ class SimulatedSoC:
                     rate, rate / job.kernel.intensity
                 )
             throttle = self.thermal.throttle_factor(total_power)
+            if throttle < 1.0:
+                _THROTTLE_EVENTS.inc()
             rates = {e: r * throttle for e, r in rates.items()}
 
             dt = min(remaining[e] / rates[e] for e in active)

@@ -28,6 +28,7 @@ from .tables import (
     markdown_table,
     result_table,
     sweep_table,
+    trace_summary_table,
 )
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "markdown_table",
     "result_table",
     "sweep_table",
+    "trace_summary_table",
     "line_chart_svg",
     "save_interactive_report",
     "render_log_log",

@@ -96,6 +96,31 @@ def drift_table(points, fmt: str = "markdown") -> str:
     return _render(headers, rows, fmt)
 
 
+def trace_summary_table(summaries, fmt: str = "markdown") -> str:
+    """A span-tree time breakdown as a table.
+
+    ``summaries`` is the output of
+    :func:`repro.obs.export.summarize_spans` (depth-first tree order);
+    rows indent span names by depth and report each path's share of the
+    total root-span wall time.
+    """
+    total = sum(s.total_s for s in summaries if s.depth == 0)
+    headers = ("span", "count", "total (s)", "mean (s)",
+               "self (s)", "% of trace")
+    rows = []
+    for summary in summaries:
+        share = 100.0 * summary.total_s / total if total > 0 else 0.0
+        rows.append((
+            "  " * summary.depth + summary.name,
+            summary.count,
+            f"{summary.total_s:.6f}",
+            f"{summary.mean_s:.6f}",
+            f"{summary.self_s:.6f}",
+            f"{share:.1f}",
+        ))
+    return _render(headers, rows, fmt)
+
+
 def _render(headers, rows, fmt: str) -> str:
     if fmt == "markdown":
         return markdown_table(headers, rows)

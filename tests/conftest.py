@@ -13,6 +13,22 @@ from repro.sim import simulated_snapdragon_835
 from repro.soc import generic_soc, snapdragon_835
 
 
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Isolate tests from each other's telemetry.
+
+    Metrics are zeroed *in place* (module-level instrument handles stay
+    wired), the tracer is disabled and emptied, and provenance capture
+    is switched off — so a test that enables instrumentation cannot
+    leak spans or counts into the next one.
+    """
+    from repro.obs import reset_observability
+
+    reset_observability()
+    yield
+    reset_observability()
+
+
 @pytest.fixture(scope="session")
 def fig6():
     """The four Figure 6 scenarios, keyed by step letter."""

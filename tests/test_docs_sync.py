@@ -28,6 +28,7 @@ PACKAGES = (
     ("repro.power", "Power and energy"),
     ("repro.viz", "Visualization"),
     ("repro.io", "Serialization"),
+    ("repro.obs", "Observability"),
 )
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -10,6 +11,7 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 #: Expected stdout fragments proving each example did its real work.
 EXPECTED_OUTPUT = {
@@ -32,12 +34,20 @@ def test_every_example_has_an_expectation():
 
 @pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs(example, tmp_path):
+    # The subprocess must find `repro` regardless of how this suite was
+    # launched, so prepend src/ to an inherited PYTHONPATH explicitly.
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) + (os.pathsep + existing if existing else "")
+    )
     completed = subprocess.run(
         [sys.executable, str(example)],
         capture_output=True,
         text=True,
         cwd=tmp_path,  # artifacts land in the temp dir, not the repo
         timeout=600,
+        env=env,
     )
     assert completed.returncode == 0, completed.stderr
     assert EXPECTED_OUTPUT[example.name] in completed.stdout
