@@ -1,0 +1,102 @@
+"""Batch-evaluation engine benchmarks.
+
+The vectorized engine exists to make dense sweeps cheap: the ISSUE
+acceptance criterion is a >= 10x speedup on a 10k-point fraction sweep
+over the per-point scalar loop, at identical results.  These
+benchmarks pin that ratio (min-of-repeats timing, robust to scheduler
+noise) and track the absolute throughput of both paths.
+"""
+
+from __future__ import annotations
+
+import timeit
+
+import numpy as np
+
+from repro.core import (
+    FIGURE_6B,
+    SoCSpec,
+    Workload,
+    evaluate,
+    evaluate_batch,
+    fraction_grid,
+)
+from repro.explore import sweep_fraction
+from repro.units import GIGA
+
+#: A 10k-point offload-fraction grid over the paper's two-IP design.
+N_POINTS = 10_000
+F_VALUES = [k / (N_POINTS - 1) for k in range(N_POINTS)]
+
+
+def _pair():
+    soc = SoCSpec.two_ip(
+        peak_perf=20 * GIGA, memory_bandwidth=12 * GIGA, acceleration=8,
+        cpu_bandwidth=8 * GIGA, acc_bandwidth=20 * GIGA,
+    )
+    return soc, Workload.two_ip(f=0.8, i0=6, i1=2)
+
+
+def _scalar_evaluate(soc, workload):
+    # A wrapper defeats the `evaluate_fn is evaluate` identity check,
+    # forcing sweep_fraction onto the per-point scalar loop.
+    return evaluate(soc, workload)
+
+
+def test_batch_sweep_10x_faster_than_scalar_loop():
+    """The acceptance criterion: >= 10x on a 10k-point f-sweep."""
+    soc, workload = _pair()
+    fast = min(timeit.repeat(
+        lambda: sweep_fraction(soc, workload, 1, F_VALUES),
+        repeat=5, number=1,
+    ))
+    slow = min(timeit.repeat(
+        lambda: sweep_fraction(
+            soc, workload, 1, F_VALUES, evaluate_fn=_scalar_evaluate
+        ),
+        repeat=3, number=1,
+    ))
+    speedup = slow / fast
+    print(f"\n10k-point f-sweep: scalar {slow * 1e3:.1f} ms, "
+          f"batch {fast * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    assert speedup >= 10.0, (
+        f"batch sweep only {speedup:.1f}x faster than the scalar loop "
+        f"(scalar {slow:.4f}s, batch {fast:.4f}s); need >= 10x"
+    )
+
+
+def test_batch_sweep_matches_scalar_loop_exactly():
+    """Speed never trades accuracy: both paths agree point for point."""
+    soc, workload = _pair()
+    fast = sweep_fraction(soc, workload, 1, F_VALUES)
+    slow = sweep_fraction(
+        soc, workload, 1, F_VALUES, evaluate_fn=_scalar_evaluate
+    )
+    assert fast.attainables() == slow.attainables()
+    assert tuple(p.bottleneck for p in fast.points) == tuple(
+        p.bottleneck for p in slow.points
+    )
+
+
+def test_evaluate_batch_throughput(benchmark):
+    """Raw engine throughput on the 10k x 2 grid (no SweepPoint cost)."""
+    soc, workload = _pair()
+    grid = fraction_grid(workload.fractions, 1, np.asarray(F_VALUES))
+    intensities = np.broadcast_to(
+        np.asarray(workload.intensities), grid.shape
+    )
+    batch = benchmark(
+        lambda: evaluate_batch(soc, grid, intensities, validate=False)
+    )
+    assert len(batch) == N_POINTS
+
+
+def test_scalar_evaluate_figure6b_agreement(benchmark):
+    """The Figure 6b design point: batch of one == scalar, timed."""
+    soc, workload = FIGURE_6B.soc(), FIGURE_6B.workload()
+    batch = benchmark(
+        lambda: evaluate_batch(
+            soc, [workload.fractions], [workload.intensities]
+        )
+    )
+    assert batch.result(0) == evaluate(soc, workload)

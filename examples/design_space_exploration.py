@@ -61,8 +61,11 @@ def main() -> None:
     print(f"optimal offload fraction f* = {f_star:.3f} -> "
           f"{format_ops(p_star)}")
     series = sweep_fraction(soc, usecase, 1, [k / 8 for k in range(9)])
-    for value, before, after in series.bottleneck_transitions():
-        print(f"  bottleneck flips {before} -> {after} at f = {value:g}")
+    for transition in series.bottleneck_transitions():
+        print(f"  bottleneck flips {transition.from_component} -> "
+              f"{transition.to_component} between "
+              f"f = {transition.previous_value:g} and "
+              f"f = {transition.value:g}")
 
     # 4. Slack report: what is over-provisioned for this usecase?
     print("\nslack per component (1.0 = fully idle):")

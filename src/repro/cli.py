@@ -114,8 +114,12 @@ def _cmd_sweep(args) -> int:
             f"  {point.value:>12.6g}  {format_ops(point.attainable):>14}"
             f"  ({point.bottleneck})"
         )
-    for value, before, after in series.bottleneck_transitions():
-        print(f"  transition at {value:g}: {before} -> {after}")
+    for transition in series.bottleneck_transitions():
+        print(
+            f"  transition in ({transition.previous_value:g}, "
+            f"{transition.value:g}]: {transition.from_component} -> "
+            f"{transition.to_component}"
+        )
     return 0
 
 

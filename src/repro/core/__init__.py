@@ -14,6 +14,12 @@ The public surface:
   topology, serialized work, and phased usecases.
 """
 
+from .batch import (
+    BatchResult,
+    cached_evaluator,
+    evaluate_batch,
+    fraction_grid,
+)
 from .blend import blend_workloads, interference_slowdown
 from .curves import RooflineCurve, min_envelope
 from .gables import (
@@ -47,6 +53,7 @@ from .two_ip import (
 )
 
 __all__ = [
+    "BatchResult",
     "Ceiling",
     "FIGURE_6A",
     "FIGURE_6B",
@@ -71,10 +78,13 @@ __all__ = [
     "attainable_performance",
     "attainable_performance_dual",
     "blend_workloads",
+    "cached_evaluator",
     "interference_slowdown",
     "drop_lines",
     "evaluate",
+    "evaluate_batch",
     "evaluate_two_ip",
+    "fraction_grid",
     "ip_terms",
     "machine_balance",
     "min_envelope",

@@ -1,0 +1,448 @@
+"""Vectorized batch evaluation of the Gables model (Equations 9-11).
+
+Every analysis in the paper is a sweep — Figure 6 walks ``f``,
+``Bpeak`` and ``I1``; Figure 8 sweeps ``f`` per intensity line — and a
+sweep is just the same max-of-linear-terms model applied to many
+parameter points.  :func:`evaluate_batch` computes the whole sweep in
+one shot over numpy arrays: K points x N IPs in, K attainable values
+and K integer-coded bottleneck attributions out, with no per-point
+Python objects on the hot path.
+
+Semantics match :func:`repro.core.gables.evaluate` term for term.  Each
+arithmetic step performs the same IEEE-754 operations in the same
+order as the scalar path, so batch and scalar results agree *exactly*
+for up to two IPs; the only divergence channel is the reduction over
+per-IP byte counts (``math.fsum`` scalar vs pairwise ``numpy.sum``
+batch), which for N > 2 can differ in the last ulp.  The test suite
+(``tests/test_batch.py``) pins exact agreement on two-IP grids —
+including the ``f = 0``, ``I = inf`` and denormal-underflow edge cases
+— and agreement within 1e-12 relative beyond.
+
+Hardware parameters can vary across the batch too: ``memory_bandwidth``
+(per point), ``ip_bandwidths`` and ``ip_peaks`` (per point and IP)
+override the SoC's values, which is how the ``Bpeak``/``Bi``/``Ai``
+sweeps in :mod:`repro.explore.sweep` and the generational projections
+in :mod:`repro.explore.scaling` ride the same batch path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import EvaluationError, SpecError, WorkloadError
+from ..obs.metrics import counter as _counter
+from ..obs.trace import span as _span
+from ..obs.trace import tracing_enabled as _tracing_enabled
+from .._validation import FRACTION_SUM_TOL
+from .gables import evaluate
+from .params import SoCSpec, Workload
+from .result import BINDING_REL_TOL, MEMORY, GablesResult, IPTerm
+
+#: Module-level instrument handles (one registry lookup at import).
+_BATCH_CALLS = _counter("core.evaluate_batch.calls")
+_BATCH_POINTS = _counter("core.evaluate_batch.points")
+_CACHE_HITS = _counter("core.evaluate.cache_hits")
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """K model evaluations as parallel arrays (the batch dual of
+    :class:`~repro.core.result.GablesResult`).
+
+    All arrays share the leading batch axis K; per-IP quantities carry
+    a trailing IP axis N.  ``bottleneck_codes`` holds the *component
+    index* of the binding resource per point: ``0 .. N-1`` name the IPs
+    in SoC order and ``N`` (== :attr:`memory_code`) names the shared
+    DRAM interface — integer-coded so region maps and transition scans
+    stay in numpy.
+
+    Attributes
+    ----------
+    component_names:
+        IP names in index order plus ``"memory"`` last; the decoding
+        table for ``bottleneck_codes``.
+    fractions, intensities:
+        The (K, N) inputs echoed back.
+    compute_times, data_bytes, transfer_times, ip_times:
+        The (K, N) per-IP terms of Equation 9.
+    memory_times, memory_perf_bounds, average_intensities:
+        The (K,) memory terms of Equations 10 and 13.
+    attainables:
+        (K,) attainable performance (Equation 11).
+    bottleneck_codes:
+        (K,) integer component codes of the binding resource.
+    """
+
+    component_names: tuple
+    fractions: np.ndarray
+    intensities: np.ndarray
+    compute_times: np.ndarray
+    data_bytes: np.ndarray
+    transfer_times: np.ndarray
+    ip_times: np.ndarray
+    memory_times: np.ndarray
+    memory_perf_bounds: np.ndarray
+    average_intensities: np.ndarray
+    attainables: np.ndarray
+    bottleneck_codes: np.ndarray
+
+    def __len__(self) -> int:
+        """Number of evaluated points K."""
+        return self.attainables.shape[0]
+
+    @property
+    def n_ips(self) -> int:
+        """Number of IPs N."""
+        return len(self.component_names) - 1
+
+    @property
+    def memory_code(self) -> int:
+        """The ``bottleneck_codes`` value meaning "memory binds"."""
+        return self.n_ips
+
+    def bottleneck(self, index: int) -> str:
+        """The binding component's name at point ``index``."""
+        return self.component_names[self.bottleneck_codes[index]]
+
+    def bottlenecks(self) -> tuple:
+        """Binding component names for every point, in batch order."""
+        names = self.component_names
+        return tuple(names[code] for code in self.bottleneck_codes.tolist())
+
+    def result(self, index: int) -> GablesResult:
+        """Materialize point ``index`` as a full scalar result object.
+
+        Reconstructs the per-IP :class:`~repro.core.result.IPTerm`
+        records (limiter attribution, dual bounds) and the tied-binding
+        set exactly as the scalar evaluator reports them, so code built
+        against :class:`GablesResult` can drill into one batch point.
+        """
+        if not 0 <= index < len(self):
+            raise EvaluationError(
+                f"batch index {index} out of range for K={len(self)}"
+            )
+        terms = []
+        for i, name in enumerate(self.component_names[:-1]):
+            fraction = float(self.fractions[index, i])
+            time = float(self.ip_times[index, i])
+            compute_time = float(self.compute_times[index, i])
+            transfer_time = float(self.transfer_times[index, i])
+            if fraction == 0:
+                limiter = "idle"
+                perf_bound = None
+            else:
+                limiter = (
+                    "bandwidth" if transfer_time > compute_time else "compute"
+                )
+                perf_bound = math.inf if time == 0 else 1.0 / time
+            terms.append(
+                IPTerm(
+                    index=i,
+                    name=name,
+                    fraction=fraction,
+                    intensity=float(self.intensities[index, i]),
+                    compute_time=compute_time,
+                    data_bytes=float(self.data_bytes[index, i]),
+                    transfer_time=transfer_time,
+                    time=time,
+                    perf_bound=perf_bound,
+                    limiter=limiter,
+                )
+            )
+        memory_time = float(self.memory_times[index])
+        times = {term.name: term.time for term in terms}
+        times[MEMORY] = memory_time
+        binding_time = max(times.values())
+        binding = tuple(
+            name
+            for name, t in times.items()
+            if math.isclose(t, binding_time, rel_tol=BINDING_REL_TOL)
+        )
+        return GablesResult(
+            ip_terms=tuple(terms),
+            memory_time=memory_time,
+            memory_perf_bound=float(self.memory_perf_bounds[index]),
+            average_intensity=float(self.average_intensities[index]),
+            attainable=float(self.attainables[index]),
+            bottleneck=self.bottleneck(index),
+            binding_components=binding,
+        )
+
+
+def _as_batch_matrix(values, n_ips: int, name: str, exc: type) -> np.ndarray:
+    """Coerce per-IP input to a float (K, N) matrix."""
+    matrix = np.asarray(values, dtype=float)
+    if matrix.ndim == 1:
+        matrix = matrix[np.newaxis, :]
+    if matrix.ndim != 2:
+        raise exc(f"{name} must be a (K, N) matrix, got shape {matrix.shape}")
+    if matrix.shape[1] != n_ips:
+        raise exc(
+            f"{name} covers {matrix.shape[1]} IPs per point, "
+            f"expected {n_ips}"
+        )
+    return matrix
+
+
+def _validate_workload_arrays(
+    fractions: np.ndarray, intensities: np.ndarray
+) -> None:
+    """Vectorized equivalent of the ``Workload`` constructor checks."""
+    if fractions.shape[0] == 0:
+        raise WorkloadError("batch needs at least one point")
+    if not np.all(np.isfinite(fractions) & (fractions >= 0)
+                  & (fractions <= 1)):
+        raise WorkloadError(
+            "batch fractions must be finite values in [0, 1]"
+        )
+    totals = fractions.sum(axis=1)
+    if not np.all(np.abs(totals - 1.0) <= FRACTION_SUM_TOL):
+        bad = int(np.argmax(np.abs(totals - 1.0)))
+        raise WorkloadError(
+            f"batch fractions must sum to 1 per point; point {bad} "
+            f"sums to {totals[bad]!r}"
+        )
+    # Positive, possibly inf, never NaN — mirrors require_positive.
+    if not np.all((intensities > 0) & ~np.isnan(intensities)):
+        raise WorkloadError("batch intensities must be positive (inf allowed)")
+
+
+def _validate_hardware_arrays(
+    memory_bandwidth: np.ndarray,
+    ip_bandwidths: np.ndarray,
+    ip_peaks: np.ndarray,
+) -> None:
+    """Vectorized equivalent of the ``SoCSpec``/``IPBlock`` checks."""
+    if not np.all(np.isfinite(memory_bandwidth) & (memory_bandwidth > 0)):
+        raise SpecError(
+            "batch memory_bandwidth values must be finite and positive"
+        )
+    if not np.all((ip_bandwidths > 0) & ~np.isnan(ip_bandwidths)):
+        raise SpecError("batch IP bandwidths must be positive (inf allowed)")
+    if not np.all(np.isfinite(ip_peaks) & (ip_peaks > 0)):
+        raise SpecError("batch IP peaks must be finite and positive")
+
+
+def evaluate_batch(
+    soc: SoCSpec,
+    fractions,
+    intensities,
+    *,
+    memory_bandwidth=None,
+    ip_bandwidths=None,
+    ip_peaks=None,
+    validate: bool = True,
+) -> BatchResult:
+    """Evaluate Equations 9-11 over K parameter points in one shot.
+
+    Parameters
+    ----------
+    soc:
+        The SoC supplying IP names and default hardware rates.
+    fractions, intensities:
+        (K, N) arrays (an (N,) vector is promoted to K=1): row ``k``
+        is one workload's ``fi`` / ``Ii`` vector.
+    memory_bandwidth:
+        Optional ``Bpeak`` override — a scalar or (K,) array, one value
+        per point (a ``Bpeak`` sweep is a batch over this axis).
+    ip_bandwidths, ip_peaks:
+        Optional per-IP hardware overrides, broadcastable to (K, N).
+        ``ip_peaks`` holds *absolute* engine rates ``Ai * Ppeak`` in
+        ops/s.
+    validate:
+        When True (default), run the vectorized equivalent of the
+        scalar constructors' validation over every point.  Callers
+        batching already-validated :class:`Workload` objects may pass
+        False to skip the redundant pass.
+
+    Returns a :class:`BatchResult`; raises the same exception types as
+    the scalar constructors and evaluator (:class:`WorkloadError` for
+    bad workload arrays, :class:`SpecError` for bad hardware arrays,
+    :class:`EvaluationError` for degenerate all-zero-time points).
+    """
+    n = soc.n_ips
+    fractions = _as_batch_matrix(fractions, n, "fractions", WorkloadError)
+    intensities = _as_batch_matrix(
+        intensities, n, "intensities", WorkloadError
+    )
+    if fractions.shape != intensities.shape:
+        raise WorkloadError(
+            f"fractions and intensities must have the same shape, "
+            f"got {fractions.shape} and {intensities.shape}"
+        )
+    k = fractions.shape[0]
+
+    if memory_bandwidth is None:
+        memory_bandwidth = np.asarray(soc.memory_bandwidth, dtype=float)
+    else:
+        memory_bandwidth = np.asarray(memory_bandwidth, dtype=float)
+        if memory_bandwidth.ndim > 1 or (
+            memory_bandwidth.ndim == 1 and memory_bandwidth.shape[0] != k
+        ):
+            raise SpecError(
+                "memory_bandwidth must be a scalar or a (K,) array"
+            )
+    if ip_bandwidths is None:
+        ip_bandwidths = np.array([ip.bandwidth for ip in soc.ips])
+    else:
+        ip_bandwidths = _as_batch_matrix(
+            ip_bandwidths, n, "ip_bandwidths", SpecError
+        )
+    if ip_peaks is None:
+        ip_peaks = np.array([soc.ip_peak(i) for i in range(n)])
+    else:
+        ip_peaks = _as_batch_matrix(ip_peaks, n, "ip_peaks", SpecError)
+
+    if validate:
+        _validate_workload_arrays(fractions, intensities)
+        _validate_hardware_arrays(memory_bandwidth, ip_bandwidths, ip_peaks)
+
+    _BATCH_CALLS.inc()
+    _BATCH_POINTS.inc(k)
+    if not _tracing_enabled():
+        return _evaluate_batch_impl(
+            soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+            ip_peaks,
+        )
+    # One span per batch — never one per point (issue contract).
+    with _span("core.evaluate_batch", soc=soc.name, points=k):
+        return _evaluate_batch_impl(
+            soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+            ip_peaks,
+        )
+
+
+def _evaluate_batch_impl(
+    soc: SoCSpec,
+    fractions: np.ndarray,
+    intensities: np.ndarray,
+    memory_bandwidth: np.ndarray,
+    ip_bandwidths: np.ndarray,
+    ip_peaks: np.ndarray,
+) -> BatchResult:
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        # Equation 9 per point: Ci = fi / (Ai * Ppeak); Di = fi / Ii
+        # (f / inf == 0.0 covers the perfect-reuse case the scalar path
+        # special-cases); transfer = Di / Bi; T_IP = max of the two.
+        compute_times = fractions / ip_peaks
+        data_bytes = fractions / intensities
+        transfer_times = data_bytes / ip_bandwidths
+        ip_times = np.maximum(transfer_times, compute_times)
+
+        # Equation 10: Tmemory = sum(Di) / Bpeak, and the Iavg dual.
+        total_bytes = data_bytes.sum(axis=1)
+        memory_times = total_bytes / memory_bandwidth
+        average_intensities = np.where(
+            total_bytes == 0, np.inf, 1.0 / total_bytes
+        )
+        memory_perf_bounds = np.where(
+            memory_times == 0,
+            np.inf,
+            memory_bandwidth * average_intensities,
+        )
+
+        # Equation 11 plus bottleneck attribution: binding component is
+        # the *first* (IP order, memory last) whose time ties the max
+        # within BINDING_REL_TOL — same rule as pick_bottleneck().
+        all_times = np.concatenate(
+            [ip_times, memory_times[:, np.newaxis]], axis=1
+        )
+        binding = all_times.max(axis=1)
+        if not np.all(binding > 0):
+            bad = int(np.argmin(binding > 0))
+            raise EvaluationError(
+                f"degenerate usecase at batch point {bad}: every "
+                "component takes zero time"
+            )
+        attainables = 1.0 / binding
+        binding_col = binding[:, np.newaxis]
+        ties = (all_times == binding_col) | (
+            np.abs(all_times - binding_col)
+            <= BINDING_REL_TOL * np.maximum(np.abs(all_times), binding_col)
+        )
+        bottleneck_codes = ties.argmax(axis=1)
+
+    return BatchResult(
+        component_names=soc.ip_names + (MEMORY,),
+        fractions=fractions,
+        intensities=intensities,
+        compute_times=compute_times,
+        data_bytes=data_bytes,
+        transfer_times=transfer_times,
+        ip_times=ip_times,
+        memory_times=memory_times,
+        memory_perf_bounds=memory_perf_bounds,
+        average_intensities=average_intensities,
+        attainables=attainables,
+        bottleneck_codes=bottleneck_codes,
+    )
+
+
+def fraction_grid(base_fractions, ip_index: int, values) -> np.ndarray:
+    """Vectorized :meth:`~repro.core.params.Workload.with_fraction_at`.
+
+    Builds the (K, N) fraction matrix of an f-sweep: row ``k`` assigns
+    ``values[k]`` to IP ``ip_index`` and redistributes the remainder
+    among the other IPs proportionally to their base fractions (or
+    entirely to IP[0] when all other base fractions are zero), with the
+    same exact renormalization as the scalar method.
+    """
+    base = np.asarray(base_fractions, dtype=float)
+    n = base.shape[0]
+    if not 0 <= ip_index < n:
+        raise WorkloadError(f"IP index {ip_index} out of range for N={n}")
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise WorkloadError("sweep values must be a 1-D sequence")
+    if not np.all(np.isfinite(values) & (values >= 0) & (values <= 1)):
+        raise WorkloadError("swept fractions must lie in [0, 1]")
+
+    other_total = math.fsum(
+        f for i, f in enumerate(base.tolist()) if i != ip_index
+    )
+    k = values.shape[0]
+    if other_total > 0:
+        # Same op order as the scalar path: (1 - f) * fj, then / total.
+        grid = ((1.0 - values)[:, np.newaxis] * base) / other_total
+    else:
+        grid = np.zeros((k, n))
+        if ip_index != 0:
+            grid[:, 0] = 1.0 - values
+    grid[:, ip_index] = values
+    totals = grid.sum(axis=1)
+    drifted = (totals > 0) & (totals != 1.0)
+    if np.any(drifted):
+        grid[drifted] /= totals[drifted, np.newaxis]
+    return grid
+
+
+def cached_evaluator(maxsize: int = 4096):
+    """A memoized :func:`~repro.core.gables.evaluate`.
+
+    Keyed on the frozen ``(SoCSpec, Workload)`` pair — both are frozen
+    dataclasses of hashable fields, so structurally equal specs built
+    by different calls share one cache slot.  Useful for repeated-point
+    patterns (portfolio slack checks, report regeneration) where the
+    same design point is evaluated over and over; hits skip the model
+    entirely and are counted on the ``core.evaluate.cache_hits``
+    counter.
+
+    Returns a callable with ``cache_info()`` / ``cache_clear()``
+    attached (the :func:`functools.lru_cache` introspection surface).
+    """
+    cached = lru_cache(maxsize=maxsize)(evaluate)
+
+    def evaluator(soc: SoCSpec, workload: Workload) -> GablesResult:
+        hits_before = cached.cache_info().hits
+        result = cached(soc, workload)
+        if cached.cache_info().hits > hits_before:
+            _CACHE_HITS.inc()
+        return result
+
+    evaluator.cache_info = cached.cache_info
+    evaluator.cache_clear = cached.cache_clear
+    return evaluator

@@ -172,6 +172,14 @@ def attainable_performance_dual(soc: SoCSpec, workload: Workload) -> float:
     iavg = workload.average_intensity()
     if not math.isinf(iavg):
         bounds.append(soc.memory_bandwidth * iavg)
+    if not bounds:
+        # Every fraction is zero and no data moves: the dual has no
+        # bounding term.  The time-domain path rejects this usecase as
+        # degenerate too, so raise rather than crash on an empty min().
+        raise WorkloadError(
+            "usecase assigns no work to any IP and moves no data; "
+            "the performance-domain dual is undefined"
+        )
     return min(bounds)
 
 

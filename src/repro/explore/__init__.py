@@ -47,6 +47,7 @@ from .sweep2d import (
     sweep_grid,
 )
 from .sweep import (
+    BottleneckTransition,
     SweepPoint,
     SweepSeries,
     sweep_acceleration,
@@ -57,6 +58,7 @@ from .sweep import (
 )
 
 __all__ = [
+    "BottleneckTransition",
     "CandidateScore",
     "DesignPoint",
     "DriftPoint",

@@ -11,7 +11,9 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from ..core.gables import evaluate
+import numpy as np
+
+from ..core.batch import evaluate_batch
 from ..core.params import SoCSpec, Workload
 from ..errors import SpecError
 from ..obs.metrics import counter as _counter
@@ -101,15 +103,26 @@ def explore_bandwidth_frontier(
     if not bandwidths:
         raise SpecError("need at least one candidate bandwidth")
     cost_model = cost_model or default_cost_model()
-    points = []
-    for bandwidth in bandwidths:
-        candidate = soc.with_memory_bandwidth(bandwidth)
-        result = evaluate(candidate, workload)
-        points.append(
-            DesignPoint(
-                label=f"Bpeak={bandwidth / 1e9:.3g}GB/s",
-                cost=cost_model(candidate),
-                performance=result.attainable,
-            )
+    # Candidate SoC objects are still built per point (the cost model
+    # sees them); the model runs once over the whole bandwidth axis.
+    candidates = [soc.with_memory_bandwidth(b) for b in bandwidths]
+    k = len(bandwidths)
+    shape = (k, workload.n_ips)
+    batch = evaluate_batch(
+        soc,
+        np.broadcast_to(np.asarray(workload.fractions, dtype=float), shape),
+        np.broadcast_to(np.asarray(workload.intensities, dtype=float), shape),
+        memory_bandwidth=np.asarray(bandwidths, dtype=float),
+        validate=False,
+    )
+    points = [
+        DesignPoint(
+            label=f"Bpeak={bandwidth / 1e9:.3g}GB/s",
+            cost=cost_model(candidate),
+            performance=attainable,
         )
+        for bandwidth, candidate, attainable in zip(
+            bandwidths, candidates, batch.attainables.tolist()
+        )
+    ]
     return pareto_front(points)

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .._validation import require_finite_positive
-from ..core.gables import evaluate
+from ..core.batch import evaluate_batch
 from ..core.params import IPBlock, SoCSpec, Workload
 from ..errors import SpecError
 
@@ -113,20 +115,46 @@ def bottleneck_drift(
     if years < 0:
         raise SpecError(f"years must be >= 0, got {years}")
     trend = trend or TechnologyTrend()
-    today = evaluate(soc, workload).attainable
-    points = []
-    for year in range(years + 1):
-        future = project_soc(soc, year, trend)
-        result = evaluate(future, workload)
-        points.append(
-            DriftPoint(
-                year=float(year),
-                attainable=result.attainable,
-                bottleneck=result.bottleneck,
-                speedup_vs_today=result.attainable / today,
-            )
+    # All projected generations in one batch: each year is a row of
+    # scaled hardware rates (the same products project_soc computes),
+    # the workload is constant.  Year 0 scales by exactly 1.0, so row 0
+    # doubles as "today" for the speedup column.
+    year_axis = np.arange(years + 1, dtype=float)
+    compute = trend.compute_growth**year_axis
+    memory = soc.memory_bandwidth * trend.memory_bandwidth_growth**year_axis
+    link = trend.link_bandwidth_growth**year_axis
+    accelerations = np.array([ip.acceleration for ip in soc.ips])
+    base_bandwidths = np.array([ip.bandwidth for ip in soc.ips])
+    ip_peaks = accelerations * (soc.peak_perf * compute)[:, np.newaxis]
+    ip_bandwidths = np.where(
+        np.isinf(base_bandwidths),
+        np.inf,
+        base_bandwidths * link[:, np.newaxis],
+    )
+    shape = (years + 1, workload.n_ips)
+    batch = evaluate_batch(
+        soc,
+        np.broadcast_to(np.asarray(workload.fractions, dtype=float), shape),
+        np.broadcast_to(np.asarray(workload.intensities, dtype=float), shape),
+        memory_bandwidth=memory,
+        ip_bandwidths=ip_bandwidths,
+        ip_peaks=ip_peaks,
+        validate=False,
+    )
+    attainables = batch.attainables.tolist()
+    bottlenecks = batch.bottlenecks()
+    today = attainables[0]
+    return tuple(
+        DriftPoint(
+            year=float(year),
+            attainable=attainable,
+            bottleneck=bottleneck,
+            speedup_vs_today=attainable / today,
         )
-    return tuple(points)
+        for year, attainable, bottleneck in zip(
+            range(years + 1), attainables, bottlenecks
+        )
+    )
 
 
 def years_until_memory_bound(

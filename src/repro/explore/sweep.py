@@ -5,21 +5,34 @@ The paper's analyses are sweeps: Figure 6 walks ``f``, ``Bpeak`` and
 those sweeps over *any* evaluator with the model's signature, recording
 the attainable performance and the binding component at every point —
 the bottleneck transitions are where the design insight lives.
+
+Each built-in sweep runs on the vectorized batch engine
+(:func:`repro.core.batch.evaluate_batch`): the whole parameter grid is
+constructed as numpy arrays and evaluated in one shot, which is what
+makes dense, interactive sweeps cheap (see ``docs/performance.md``).
+Passing a custom ``evaluate_fn`` opts out of batching and falls back to
+the per-point scalar loop, preserving the pluggable-evaluator escape
+hatch for power-constrained or extended models.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, replace
+from typing import NamedTuple
 
+import numpy as np
+
+from ..core.batch import evaluate_batch, fraction_grid
 from ..core.gables import evaluate
 from ..core.params import SoCSpec, Workload
-from ..errors import SpecError
+from ..errors import SpecError, WorkloadError
 from ..obs.metrics import counter as _counter
 from ..obs.trace import span as _span
 
 _SWEEP_SERIES = _counter("explore.sweep.series")
 _SWEEP_POINTS = _counter("explore.sweep.points")
+_SWEEP_BATCHES = _counter("explore.sweep.batches")
 
 
 @dataclass(frozen=True)
@@ -29,6 +42,24 @@ class SweepPoint:
     value: float
     attainable: float
     bottleneck: str
+
+
+class BottleneckTransition(NamedTuple):
+    """One binding-component crossover, bracketed by its sample points.
+
+    The crossover happens somewhere in ``(previous_value, value]``:
+    ``previous_value`` is the last sample still bound by
+    ``from_component`` and ``value`` the first sample bound by
+    ``to_component`` (``index`` is that point's position in the
+    series).  Plots can bracket the crossover with both endpoints
+    instead of a single post-transition tick.
+    """
+
+    value: float
+    from_component: str
+    to_component: str
+    previous_value: float
+    index: int
 
 
 @dataclass(frozen=True)
@@ -51,17 +82,26 @@ class SweepSeries:
         return max(self.points, key=lambda p: p.attainable)
 
     def bottleneck_transitions(self) -> tuple:
-        """Values where the binding component changes.
+        """Crossovers where the binding component changes.
 
-        Returns ``(value, from_component, to_component)`` triples —
-        e.g. the ``f`` where a two-IP design flips from CPU-bound to
-        memory-bound.
+        Returns :class:`BottleneckTransition` records — e.g. the ``f``
+        interval over which a two-IP design flips from CPU-bound to
+        memory-bound.  Each record carries both the pre- and
+        post-transition sample values, bracketing the crossover.
         """
         transitions = []
-        for before, after in zip(self.points, self.points[1:]):
+        for index, (before, after) in enumerate(
+            zip(self.points, self.points[1:])
+        ):
             if before.bottleneck != after.bottleneck:
                 transitions.append(
-                    (after.value, before.bottleneck, after.bottleneck)
+                    BottleneckTransition(
+                        value=after.value,
+                        from_component=before.bottleneck,
+                        to_component=after.bottleneck,
+                        previous_value=before.value,
+                        index=index + 1,
+                    )
                 )
         return tuple(transitions)
 
@@ -74,24 +114,57 @@ def _series(
     values: Sequence[float],
     build: Callable[[float], tuple],
     evaluate_fn: EvaluateFn,
+    batch_fn=None,
 ) -> SweepSeries:
-    if not values:
+    if len(values) == 0:
         raise SpecError(f"sweep over {parameter!r} needs at least one value")
     _SWEEP_SERIES.inc()
     _SWEEP_POINTS.inc(len(values))
     with _span("explore.sweep", parameter=parameter, points=len(values)):
-        points = []
-        for value in values:
-            soc, workload = build(value)
-            result = evaluate_fn(soc, workload)
-            points.append(
+        if batch_fn is not None and evaluate_fn is evaluate:
+            # Fast path: the whole grid through the vectorized engine.
+            _SWEEP_BATCHES.inc()
+            batch = batch_fn(np.asarray(values, dtype=float))
+            names = batch.component_names
+            points = tuple(
                 SweepPoint(
                     value=float(value),
-                    attainable=result.attainable,
-                    bottleneck=result.bottleneck,
+                    attainable=attainable,
+                    bottleneck=names[code],
+                )
+                for value, attainable, code in zip(
+                    values,
+                    batch.attainables.tolist(),
+                    batch.bottleneck_codes.tolist(),
                 )
             )
-    return SweepSeries(parameter=parameter, points=tuple(points))
+        else:
+            # Escape hatch: a custom evaluator gets the scalar loop.
+            scalar_points = []
+            for value in values:
+                soc, workload = build(value)
+                result = evaluate_fn(soc, workload)
+                scalar_points.append(
+                    SweepPoint(
+                        value=float(value),
+                        attainable=result.attainable,
+                        bottleneck=result.bottleneck,
+                    )
+                )
+            points = tuple(scalar_points)
+    return SweepSeries(parameter=parameter, points=points)
+
+
+def _workload_matrices(workload: Workload, k: int) -> tuple:
+    """The workload's (fi, Ii) vectors tiled to K batch rows."""
+    shape = (k, workload.n_ips)
+    fractions = np.broadcast_to(
+        np.asarray(workload.fractions, dtype=float), shape
+    )
+    intensities = np.broadcast_to(
+        np.asarray(workload.intensities, dtype=float), shape
+    )
+    return fractions, intensities
 
 
 def sweep_fraction(
@@ -107,11 +180,20 @@ def sweep_fraction(
     proportionally among the rest (see
     :meth:`~repro.core.params.Workload.with_fraction_at`).
     """
+
+    def batch_fn(values: np.ndarray):
+        grid = fraction_grid(workload.fractions, ip_index, values)
+        intensities_m = np.broadcast_to(
+            np.asarray(workload.intensities, dtype=float), grid.shape
+        )
+        return evaluate_batch(soc, grid, intensities_m, validate=False)
+
     return _series(
         f"f[{ip_index}]",
         fractions,
         lambda f: (soc, workload.with_fraction_at(ip_index, f)),
         evaluate_fn,
+        batch_fn,
     )
 
 
@@ -131,7 +213,21 @@ def sweep_intensity(
         intensities_new[ip_index] = value
         return soc, replace(workload, intensities=tuple(intensities_new))
 
-    return _series(f"I[{ip_index}]", intensities, build, evaluate_fn)
+    def batch_fn(values: np.ndarray):
+        if not np.all((values > 0) & ~np.isnan(values)):
+            raise WorkloadError(
+                "swept intensities must be positive (inf allowed)"
+            )
+        matrix = np.tile(
+            np.asarray(workload.intensities, dtype=float), (len(values), 1)
+        )
+        matrix[:, ip_index] = values
+        fractions_m, _ = _workload_matrices(workload, len(values))
+        return evaluate_batch(soc, fractions_m, matrix, validate=False)
+
+    return _series(
+        f"I[{ip_index}]", intensities, build, evaluate_fn, batch_fn
+    )
 
 
 def sweep_memory_bandwidth(
@@ -141,11 +237,19 @@ def sweep_memory_bandwidth(
     evaluate_fn: EvaluateFn = evaluate,
 ) -> SweepSeries:
     """Sweep ``Bpeak`` (Fig. 6b -> 6c's question: does more DRAM help?)."""
+
+    def batch_fn(values: np.ndarray):
+        fractions_m, intensities_m = _workload_matrices(workload, len(values))
+        return evaluate_batch(
+            soc, fractions_m, intensities_m, memory_bandwidth=values
+        )
+
     return _series(
         "Bpeak",
         bandwidths,
         lambda b: (soc.with_memory_bandwidth(b), workload),
         evaluate_fn,
+        batch_fn,
     )
 
 
@@ -157,11 +261,25 @@ def sweep_ip_bandwidth(
     evaluate_fn: EvaluateFn = evaluate,
 ) -> SweepSeries:
     """Sweep one IP's link bandwidth ``Bi``."""
+    if not 0 <= ip_index < soc.n_ips:
+        raise SpecError(f"IP index {ip_index} out of range for N={soc.n_ips}")
+
+    def batch_fn(values: np.ndarray):
+        matrix = np.tile(
+            np.array([ip.bandwidth for ip in soc.ips]), (len(values), 1)
+        )
+        matrix[:, ip_index] = values
+        fractions_m, intensities_m = _workload_matrices(workload, len(values))
+        return evaluate_batch(
+            soc, fractions_m, intensities_m, ip_bandwidths=matrix
+        )
+
     return _series(
         f"B[{ip_index}]",
         bandwidths,
         lambda b: (soc.with_ip(ip_index, bandwidth=b), workload),
         evaluate_fn,
+        batch_fn,
     )
 
 
@@ -175,9 +293,28 @@ def sweep_acceleration(
     """Sweep one IP's acceleration ``Ai`` (how big should the IP be?)."""
     if ip_index == 0:
         raise SpecError("IP[0] defines Ppeak; its acceleration is fixed at 1")
+    if not 0 <= ip_index < soc.n_ips:
+        raise SpecError(f"IP index {ip_index} out of range for N={soc.n_ips}")
+
+    def batch_fn(values: np.ndarray):
+        if not np.all(np.isfinite(values) & (values > 0)):
+            raise SpecError(
+                "swept accelerations must be finite positive numbers"
+            )
+        matrix = np.tile(
+            np.array([soc.ip_peak(i) for i in range(soc.n_ips)]),
+            (len(values), 1),
+        )
+        matrix[:, ip_index] = values * soc.peak_perf
+        fractions_m, intensities_m = _workload_matrices(workload, len(values))
+        return evaluate_batch(
+            soc, fractions_m, intensities_m, ip_peaks=matrix
+        )
+
     return _series(
         f"A[{ip_index}]",
         accelerations,
         lambda a: (soc.with_ip(ip_index, acceleration=a), workload),
         evaluate_fn,
+        batch_fn,
     )

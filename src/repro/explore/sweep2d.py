@@ -15,9 +15,12 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from ..core.gables import evaluate
+import numpy as np
+
+from ..core.batch import evaluate_batch
 from ..core.params import SoCSpec, Workload
 from ..errors import SpecError
+from ..obs.trace import span as _span
 
 
 @dataclass(frozen=True)
@@ -82,23 +85,40 @@ def sweep_grid(
     y_values: Sequence[float],
     build: Callable[[float, float], Workload],
 ) -> SweepGrid:
-    """Evaluate a workload builder over a dense (x, y) grid."""
+    """Evaluate a workload builder over a dense (x, y) grid.
+
+    The ``build`` callback runs once per cell (it is arbitrary Python),
+    but the model itself is evaluated as one ``K = rows * cols`` batch
+    through :func:`repro.core.batch.evaluate_batch` — on dense grids
+    the per-cell model cost disappears into a handful of numpy passes.
+    """
     if not x_values or not y_values:
         raise SpecError("both axes need at least one value")
-    cells = []
-    for y in y_values:
-        for x in x_values:
-            workload = build(x, y)
-            result = evaluate(soc, workload)
-            cells.append(
-                GridCell(
-                    x=float(x),
-                    y=float(y),
-                    attainable=result.attainable,
-                    bottleneck=result.bottleneck,
-                )
+    coords = [(x, y) for y in y_values for x in x_values]
+    with _span("explore.sweep_grid", points=len(coords)):
+        workloads = [build(x, y) for x, y in coords]
+        # Workload construction already validated every row.
+        batch = evaluate_batch(
+            soc,
+            np.array([w.fractions for w in workloads]),
+            np.array([w.intensities for w in workloads]),
+            validate=False,
+        )
+        names = batch.component_names
+        cells = tuple(
+            GridCell(
+                x=float(x),
+                y=float(y),
+                attainable=attainable,
+                bottleneck=names[code],
             )
-    return SweepGrid(x_name=x_name, y_name=y_name, cells=tuple(cells))
+            for (x, y), attainable, code in zip(
+                coords,
+                batch.attainables.tolist(),
+                batch.bottleneck_codes.tolist(),
+            )
+        )
+    return SweepGrid(x_name=x_name, y_name=y_name, cells=cells)
 
 
 def analytic_mixing_grid(

@@ -21,7 +21,7 @@ from .roofline_plot import (
 )
 from .scale import LogScale, si_label
 from .svg import SERIES_COLORS, SvgCanvas, series_color
-from .sweep_plot import bar_chart_svg, line_chart_svg
+from .sweep_plot import bar_chart_svg, line_chart_svg, sweep_series_svg
 from .tables import (
     csv_table,
     drift_table,
@@ -59,4 +59,5 @@ __all__ = [
     "save_roofline_svg",
     "series_color",
     "si_label",
+    "sweep_series_svg",
 ]

@@ -41,6 +41,10 @@ def _nice_linear_ticks(lo: float, hi: float, target: int = 6) -> tuple:
     return tuple(ticks)
 
 
+#: Fill used for the transition bands bracketing a bottleneck crossover.
+_BAND_FILL = "#f0efe9"
+
+
 def line_chart_svg(
     series: dict,
     title: str,
@@ -49,11 +53,17 @@ def line_chart_svg(
     log_y: bool = False,
     width: int = 720,
     height: int = 480,
+    v_bands: tuple = (),
 ) -> str:
     """Render ``{name: [(x, y), ...]}`` as a multi-series line chart.
 
     Series keep their insertion order for slot colors; each line gets a
     direct label at its right end (identity is never color-alone).
+
+    ``v_bands`` is an optional sequence of ``(x0, x1, label)`` triples:
+    each is drawn as a shaded vertical band between the two x
+    coordinates with the label at its top — used to bracket bottleneck
+    crossovers between their two adjacent sweep samples.
     """
     if not series:
         raise SpecError("line_chart_svg needs at least one series")
@@ -92,6 +102,16 @@ def line_chart_svg(
         return px, top + (1.0 - frac) * plot_h
 
     canvas = SvgCanvas(width, height)
+    for x0, x1, band_label in v_bands:
+        left_px, _ = to_px(min(x0, x1), y_hi)
+        right_px, _ = to_px(max(x0, x1), y_hi)
+        canvas.rect(left_px, top, max(right_px - left_px, 1.0), plot_h,
+                    color=_BAND_FILL, rx=0, tooltip=band_label)
+        canvas.line(left_px, top, left_px, top + plot_h, color=AXIS, width=1)
+        canvas.line(right_px, top, right_px, top + plot_h, color=AXIS,
+                    width=1)
+        canvas.text((left_px + right_px) / 2, top + 14, band_label,
+                    anchor="middle", size=10)
     for tick in _nice_linear_ticks(x_lo, x_hi):
         x, _ = to_px(tick, y_hi)
         canvas.line(x, top, x, top + plot_h, color=GRID, width=1)
@@ -127,6 +147,37 @@ def line_chart_svg(
         end_x, end_y = pixels[-1]
         canvas.text(end_x + 8, end_y + 4, name, color=TEXT_SECONDARY, size=11)
     return canvas.to_string()
+
+
+def sweep_series_svg(
+    series,
+    title: str | None = None,
+    y_label: str = "attainable ops/s",
+    log_y: bool = False,
+    width: int = 720,
+    height: int = 480,
+) -> str:
+    """Render a :class:`~repro.explore.SweepSeries` as a line chart.
+
+    Each bottleneck transition becomes a shaded band bracketing the
+    crossover between the last sample with the old bottleneck
+    (``previous_value``) and the first with the new one (``value``).
+    """
+    points = list(zip(series.values(), series.attainables()))
+    bands = tuple(
+        (t.previous_value, t.value, f"{t.from_component} -> {t.to_component}")
+        for t in series.bottleneck_transitions()
+    )
+    return line_chart_svg(
+        {series.parameter: points},
+        title=title or f"sweep over {series.parameter}",
+        x_label=series.parameter,
+        y_label=y_label,
+        log_y=log_y,
+        width=width,
+        height=height,
+        v_bands=bands,
+    )
 
 
 def bar_chart_svg(

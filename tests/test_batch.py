@@ -1,0 +1,447 @@
+"""Batch-vs-scalar equivalence for the vectorized evaluation engine.
+
+The batch engine (:mod:`repro.core.batch`) promises the *same* IEEE-754
+operations in the same order as the scalar evaluator, so these tests
+pin exact agreement on two-IP grids — including the ``f = 0``,
+``I = inf`` and denormal-underflow edge cases — and agreement within
+1e-12 relative for wider SoCs (where ``math.fsum`` vs pairwise
+``numpy.sum`` over per-IP byte counts may differ in the last ulp).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FIGURE_6_SEQUENCE,
+    SoCSpec,
+    Workload,
+    cached_evaluator,
+    evaluate,
+    evaluate_batch,
+    fraction_grid,
+)
+from repro.core.batch import BatchResult
+from repro.core.gables import attainable_performance_dual
+from repro.errors import EvaluationError, SpecError, WorkloadError
+from repro.obs import enable_tracing, get_tracer
+from repro.obs.metrics import counter
+from repro.units import GIGA
+
+F_GRID = [k / 16 for k in range(17)]
+
+
+def _three_ip_soc() -> SoCSpec:
+    """A 3-IP SoC (CPU + GPU + DSP) for the N > 2 reduction cases."""
+    from repro.core import IPBlock
+
+    return SoCSpec(
+        peak_perf=7.5 * GIGA,
+        memory_bandwidth=30 * GIGA,
+        ips=(
+            IPBlock("CPU", 1.0, 15.1 * GIGA),
+            IPBlock("GPU", 46.6, 24.4 * GIGA),
+            IPBlock("DSP", 0.4, 5.4 * GIGA),
+        ),
+        name="three-ip",
+    )
+
+
+class TestExactTwoIPEquivalence:
+    """N <= 2: batch results must be bitwise identical to scalar."""
+
+    @pytest.mark.parametrize("scenario", FIGURE_6_SEQUENCE,
+                             ids=lambda s: s.name)
+    def test_fig6_f_grid_exact(self, scenario):
+        soc, workload = scenario.soc(), scenario.workload()
+        grid = fraction_grid(workload.fractions, 1, np.array(F_GRID))
+        intensities = np.broadcast_to(
+            np.asarray(workload.intensities), grid.shape
+        )
+        batch = evaluate_batch(soc, grid, intensities, validate=False)
+        for i, f in enumerate(F_GRID):
+            scalar = evaluate(soc, workload.with_fraction_at(1, f))
+            assert batch.attainables[i] == scalar.attainable
+            assert batch.bottleneck(i) == scalar.bottleneck
+
+    @pytest.mark.parametrize("scenario", FIGURE_6_SEQUENCE,
+                             ids=lambda s: s.name)
+    def test_fig6_full_result_reconstruction(self, scenario):
+        soc, workload = scenario.soc(), scenario.workload()
+        batch = evaluate_batch(
+            soc, [workload.fractions], [workload.intensities]
+        )
+        assert batch.result(0) == evaluate(soc, workload)
+
+    def test_idle_ip_with_infinite_intensity(self, two_ip_soc):
+        workload = Workload(fractions=(1.0, 0.0),
+                            intensities=(8.0, math.inf))
+        batch = evaluate_batch(
+            two_ip_soc, [workload.fractions], [workload.intensities]
+        )
+        assert batch.result(0) == evaluate(two_ip_soc, workload)
+        assert batch.bottleneck(0) != "memory" or math.isinf(
+            batch.average_intensities[0]
+        )
+
+    def test_all_data_free_usecase_is_compute_bound(self, two_ip_soc):
+        workload = Workload(fractions=(0.5, 0.5),
+                            intensities=(math.inf, math.inf))
+        batch = evaluate_batch(
+            two_ip_soc, [workload.fractions], [workload.intensities]
+        )
+        scalar = evaluate(two_ip_soc, workload)
+        assert batch.result(0) == scalar
+        assert math.isinf(batch.average_intensities[0])
+        assert math.isinf(batch.memory_perf_bounds[0])
+
+    def test_denormal_fraction_underflows_identically(self, two_ip_soc):
+        # 5e-324 / peak underflows to time == 0 on both paths; the sum
+        # of fractions is still exactly 1.0 in double precision.
+        workload = Workload(fractions=(1.0, 5e-324),
+                            intensities=(8.0, math.inf))
+        batch = evaluate_batch(
+            two_ip_soc, [workload.fractions], [workload.intensities]
+        )
+        scalar = evaluate(two_ip_soc, workload)
+        assert batch.ip_times[0, 1] == 0.0
+        assert batch.result(0) == scalar
+
+    def test_vector_input_promoted_to_single_point(self, two_ip_soc):
+        workload = Workload.two_ip(f=0.5, i0=8, i1=2)
+        batch = evaluate_batch(
+            two_ip_soc, workload.fractions, workload.intensities
+        )
+        assert len(batch) == 1
+        assert batch.result(0) == evaluate(two_ip_soc, workload)
+
+
+class TestWideSoCEquivalence:
+    """N > 2: agreement within 1e-12 relative (fsum vs pairwise sum)."""
+
+    def test_three_ip_grid(self):
+        soc = _three_ip_soc()
+        workloads = [
+            Workload(fractions=(0.2, 0.5, 0.3), intensities=(8.0, 2.0, 4.0)),
+            Workload(fractions=(1.0, 0.0, 0.0),
+                     intensities=(8.0, math.inf, 1.0)),
+            Workload(fractions=(0.0, 1.0, 0.0),
+                     intensities=(1.0, math.inf, 1.0)),
+            Workload(fractions=(1 / 3, 1 / 3, 1 / 3),
+                     intensities=(0.25, 1024.0, math.inf)),
+        ]
+        batch = evaluate_batch(
+            soc,
+            [w.fractions for w in workloads],
+            [w.intensities for w in workloads],
+        )
+        for i, workload in enumerate(workloads):
+            scalar = evaluate(soc, workload)
+            assert batch.attainables[i] == pytest.approx(
+                scalar.attainable, rel=1e-12
+            )
+            assert batch.bottleneck(i) == scalar.bottleneck
+
+    def test_bottlenecks_tuple_matches_pointwise(self):
+        soc = _three_ip_soc()
+        grid = fraction_grid((0.2, 0.5, 0.3), 1, np.array(F_GRID))
+        intensities = np.full(grid.shape, 2.0)
+        batch = evaluate_batch(soc, grid, intensities)
+        assert batch.bottlenecks() == tuple(
+            batch.bottleneck(i) for i in range(len(batch))
+        )
+        assert batch.memory_code == 3
+        assert batch.component_names == ("CPU", "GPU", "DSP", "memory")
+
+
+class TestBatchValidation:
+    """Error-type parity with the scalar constructors and evaluator."""
+
+    def test_empty_batch_rejected(self, two_ip_soc):
+        with pytest.raises(WorkloadError, match="at least one point"):
+            evaluate_batch(two_ip_soc, np.empty((0, 2)), np.empty((0, 2)))
+
+    def test_fractions_must_sum_to_one(self, two_ip_soc):
+        with pytest.raises(WorkloadError, match="sum to 1"):
+            evaluate_batch(two_ip_soc, [[0.5, 0.4]], [[8.0, 2.0]])
+
+    def test_negative_fraction_rejected(self, two_ip_soc):
+        with pytest.raises(WorkloadError, match=r"\[0, 1\]"):
+            evaluate_batch(two_ip_soc, [[-0.5, 1.5]], [[8.0, 2.0]])
+
+    def test_nonpositive_intensity_rejected(self, two_ip_soc):
+        with pytest.raises(WorkloadError, match="positive"):
+            evaluate_batch(two_ip_soc, [[0.5, 0.5]], [[8.0, 0.0]])
+
+    def test_wrong_ip_count_rejected(self, two_ip_soc):
+        with pytest.raises(WorkloadError, match="covers 3 IPs"):
+            evaluate_batch(two_ip_soc, [[0.2, 0.3, 0.5]], [[1.0, 1.0, 1.0]])
+
+    def test_shape_mismatch_rejected(self, two_ip_soc):
+        with pytest.raises(WorkloadError, match="same shape"):
+            evaluate_batch(
+                two_ip_soc, [[0.5, 0.5]], [[8.0, 2.0], [8.0, 2.0]]
+            )
+
+    def test_bad_memory_bandwidth_is_spec_error(self, two_ip_soc):
+        with pytest.raises(SpecError, match="memory_bandwidth"):
+            evaluate_batch(
+                two_ip_soc, [[0.5, 0.5]], [[8.0, 2.0]],
+                memory_bandwidth=[1e9, 2e9],
+            )
+        with pytest.raises(SpecError, match="finite and positive"):
+            evaluate_batch(
+                two_ip_soc, [[0.5, 0.5]], [[8.0, 2.0]],
+                memory_bandwidth=0.0,
+            )
+
+    def test_bad_ip_peaks_are_spec_errors(self, two_ip_soc):
+        with pytest.raises(SpecError, match="finite and positive"):
+            evaluate_batch(
+                two_ip_soc, [[0.5, 0.5]], [[8.0, 2.0]],
+                ip_peaks=[[1e9, math.inf]],
+            )
+        with pytest.raises(SpecError, match="positive"):
+            evaluate_batch(
+                two_ip_soc, [[0.5, 0.5]], [[8.0, 2.0]],
+                ip_bandwidths=[[0.0, 1e9]],
+            )
+
+    def test_degenerate_point_is_evaluation_error(self, two_ip_soc):
+        # Unreachable through a validated Workload (fractions must sum
+        # to 1) but reachable with validate=False — same error type as
+        # the scalar evaluator's degenerate-usecase guard.
+        with pytest.raises(EvaluationError, match="batch point 0"):
+            evaluate_batch(
+                two_ip_soc,
+                [[0.0, 0.0]],
+                [[math.inf, math.inf]],
+                validate=False,
+            )
+
+    def test_out_of_range_result_index(self, two_ip_soc):
+        batch = evaluate_batch(two_ip_soc, [[0.5, 0.5]], [[8.0, 2.0]])
+        with pytest.raises(EvaluationError, match="out of range"):
+            batch.result(1)
+
+
+class TestFractionGrid:
+    """The vectorized ``with_fraction_at`` builds identical rows."""
+
+    @pytest.mark.parametrize(
+        "base", [(0.5, 0.5), (1.0, 0.0), (0.0, 1.0), (0.25, 0.75)]
+    )
+    def test_rows_match_scalar_exactly(self, base):
+        workload = Workload(fractions=base, intensities=(8.0, 2.0))
+        grid = fraction_grid(base, 1, np.array(F_GRID))
+        for row, f in zip(grid, F_GRID):
+            expected = workload.with_fraction_at(1, f).fractions
+            assert tuple(row.tolist()) == expected
+
+    def test_all_other_fractions_zero_branch(self):
+        workload = Workload.single_ip(3, 1, 4.0)
+        grid = fraction_grid(workload.fractions, 1, np.array([0.0, 0.25, 1.0]))
+        for row, f in zip(grid, (0.0, 0.25, 1.0)):
+            expected = workload.with_fraction_at(1, f).fractions
+            assert tuple(row.tolist()) == expected
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(WorkloadError, match="out of range"):
+            fraction_grid((0.5, 0.5), 2, np.array([0.5]))
+        with pytest.raises(WorkloadError, match=r"\[0, 1\]"):
+            fraction_grid((0.5, 0.5), 1, np.array([1.5]))
+        with pytest.raises(WorkloadError, match="1-D"):
+            fraction_grid((0.5, 0.5), 1, np.array([[0.5]]))
+
+
+class TestCachedEvaluator:
+    """The memoized scalar evaluator for repeated-point patterns."""
+
+    def test_hits_skip_the_model_and_count(self, two_ip_soc):
+        cached = cached_evaluator()
+        hits = counter("core.evaluate.cache_hits")
+        workload = Workload.two_ip(f=0.5, i0=8, i1=2)
+        first = cached(two_ip_soc, workload)
+        assert cached.cache_info().hits == 0
+        # A structurally equal (but distinct) key shares the slot.
+        again = cached(two_ip_soc, Workload.two_ip(f=0.5, i0=8, i1=2))
+        assert again is first
+        assert cached.cache_info().hits == 1
+        assert hits.value == 1.0
+
+    def test_matches_plain_evaluate(self, two_ip_soc):
+        cached = cached_evaluator(maxsize=2)
+        workload = Workload.two_ip(f=0.8, i0=6, i1=2)
+        assert cached(two_ip_soc, workload) == evaluate(two_ip_soc, workload)
+        cached.cache_clear()
+        assert cached.cache_info().currsize == 0
+
+
+class TestDualEmptyBounds:
+    """Regression: Equation 14 on a no-work, no-data usecase."""
+
+    def test_dual_raises_workload_error_not_value_error(self, two_ip_soc):
+        # Such a Workload cannot be built through the validating
+        # constructor (fractions must sum to 1), so bypass it the way a
+        # corrupted deserialization would.
+        workload = object.__new__(Workload)
+        object.__setattr__(workload, "fractions", (0.0, 0.0))
+        object.__setattr__(workload, "intensities", (math.inf, math.inf))
+        object.__setattr__(workload, "name", "degenerate")
+        with pytest.raises(WorkloadError, match="no work"):
+            attainable_performance_dual(two_ip_soc, workload)
+
+
+class TestBatchObservability:
+    """Counters always; exactly one span per batch when tracing."""
+
+    def test_counters_increment_per_batch(self, two_ip_soc):
+        calls = counter("core.evaluate_batch.calls")
+        points = counter("core.evaluate_batch.points")
+        evaluate_batch(
+            two_ip_soc,
+            fraction_grid((0.5, 0.5), 1, np.array(F_GRID)),
+            np.full((len(F_GRID), 2), 2.0),
+        )
+        assert calls.value == 1.0
+        assert points.value == float(len(F_GRID))
+
+    def test_one_span_per_batch_not_per_point(self, two_ip_soc):
+        enable_tracing()
+        evaluate_batch(
+            two_ip_soc,
+            fraction_grid((0.5, 0.5), 1, np.array(F_GRID)),
+            np.full((len(F_GRID), 2), 2.0),
+        )
+        spans = [
+            s for s in get_tracer().finished_spans()
+            if s.name == "core.evaluate_batch"
+        ]
+        assert len(spans) == 1
+        assert spans[0].attributes["points"] == len(F_GRID)
+
+
+class TestSweepBatchPath:
+    """Built-in sweeps on the batch path agree with the scalar loop."""
+
+    @pytest.fixture()
+    def setup(self, two_ip_soc):
+        return two_ip_soc, Workload.two_ip(f=0.8, i0=6, i1=2)
+
+    @staticmethod
+    def _scalar(sweep, *args, **kwargs):
+        # A wrapper defeats the `evaluate_fn is evaluate` identity check
+        # and forces the per-point escape hatch.
+        return sweep(*args, evaluate_fn=lambda s, w: evaluate(s, w),
+                     **kwargs)
+
+    def _assert_same_series(self, fast, slow):
+        assert fast.parameter == slow.parameter
+        assert fast.values() == slow.values()
+        assert fast.attainables() == slow.attainables()
+        assert tuple(p.bottleneck for p in fast.points) == tuple(
+            p.bottleneck for p in slow.points
+        )
+
+    def test_fraction_sweep(self, setup):
+        from repro.explore import sweep_fraction
+
+        soc, workload = setup
+        batches = counter("explore.sweep.batches")
+        fast = sweep_fraction(soc, workload, 1, F_GRID)
+        assert batches.value == 1.0
+        slow = self._scalar(sweep_fraction, soc, workload, 1, F_GRID)
+        assert batches.value == 1.0  # escape hatch did not batch
+        self._assert_same_series(fast, slow)
+
+    def test_intensity_sweep(self, setup):
+        from repro.explore import sweep_intensity
+
+        soc, workload = setup
+        values = [0.25, 1.0, 4.0, 64.0, math.inf]
+        self._assert_same_series(
+            sweep_intensity(soc, workload, 1, values),
+            self._scalar(sweep_intensity, soc, workload, 1, values),
+        )
+
+    def test_memory_bandwidth_sweep(self, setup):
+        from repro.explore import sweep_memory_bandwidth
+
+        soc, workload = setup
+        values = [1 * GIGA, 10 * GIGA, 30 * GIGA]
+        self._assert_same_series(
+            sweep_memory_bandwidth(soc, workload, values),
+            self._scalar(sweep_memory_bandwidth, soc, workload, values),
+        )
+
+    def test_ip_bandwidth_sweep(self, setup):
+        from repro.explore import sweep_ip_bandwidth
+
+        soc, workload = setup
+        values = [1 * GIGA, 5 * GIGA, math.inf]
+        self._assert_same_series(
+            sweep_ip_bandwidth(soc, workload, 1, values),
+            self._scalar(sweep_ip_bandwidth, soc, workload, 1, values),
+        )
+
+    def test_acceleration_sweep(self, setup):
+        from repro.explore import sweep_acceleration
+
+        soc, workload = setup
+        values = [0.5, 2.0, 8.0, 64.0]
+        self._assert_same_series(
+            sweep_acceleration(soc, workload, 1, values),
+            self._scalar(sweep_acceleration, soc, workload, 1, values),
+        )
+
+    def test_sweep_error_parity(self, setup):
+        from repro.explore import sweep_acceleration, sweep_intensity
+
+        soc, workload = setup
+        with pytest.raises(WorkloadError):
+            sweep_intensity(soc, workload, 1, [1.0, -2.0])
+        with pytest.raises(SpecError):
+            sweep_acceleration(soc, workload, 1, [1.0, math.inf])
+
+
+class TestTransitionBracketing:
+    """Transitions carry both endpoints of the crossover interval."""
+
+    def test_previous_value_and_index(self, two_ip_soc):
+        from repro.explore import sweep_fraction
+
+        series = sweep_fraction(
+            two_ip_soc, Workload.two_ip(f=0.8, i0=6, i1=2), 1, F_GRID
+        )
+        transitions = series.bottleneck_transitions()
+        assert transitions
+        for t in transitions:
+            assert t.previous_value < t.value
+            point = series.points[t.index]
+            assert point.value == t.value
+            assert point.bottleneck == t.to_component
+            assert series.points[t.index - 1].value == t.previous_value
+            assert series.points[t.index - 1].bottleneck == t.from_component
+            # Tuple-position compatibility: [1] is still from_component.
+            assert t[1] == t.from_component
+
+    def test_sweep_series_svg_brackets_transitions(self, two_ip_soc):
+        from repro.explore import sweep_fraction
+        from repro.viz import sweep_series_svg
+
+        series = sweep_fraction(
+            two_ip_soc, Workload.two_ip(f=0.8, i0=6, i1=2), 1, F_GRID
+        )
+        svg = sweep_series_svg(series)
+        for t in series.bottleneck_transitions():
+            assert f"{t.from_component} -&gt; {t.to_component}" in svg
+
+
+def test_batch_result_is_frozen(two_ip_soc):
+    batch = evaluate_batch(two_ip_soc, [[0.5, 0.5]], [[8.0, 2.0]])
+    assert isinstance(batch, BatchResult)
+    with pytest.raises(AttributeError):
+        batch.attainables = None

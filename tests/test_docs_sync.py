@@ -39,7 +39,9 @@ def generate_api_doc() -> str:
         "",
         "Generated from each package's `__all__`; kept in sync by",
         "`tests/test_docs_sync.py`.  See the docstrings (every public",
-        "item has one) for signatures and semantics.",
+        "item has one) for signatures and semantics.  For the batch",
+        "evaluation engine and when to use it over the scalar",
+        "evaluator, see [performance.md](performance.md).",
         "",
     ]
     for module_name, title in PACKAGES:

@@ -27,7 +27,9 @@ class TestTraceFlag:
                      "--trace", str(path)]) == 0
         names = {json.loads(line)["name"]
                  for line in path.read_text().splitlines()}
-        assert names == {"explore.sweep", "core.evaluate"}
+        # The sweep rides the batch engine: one batch span, not one
+        # scalar-evaluate span per point.
+        assert names == {"explore.sweep", "core.evaluate_batch"}
 
     def test_tracing_disabled_again_after_run(self, tmp_path):
         assert main(["--trace", str(tmp_path / "t.jsonl"),
@@ -56,9 +58,9 @@ class TestTraceSummarize:
         assert "| span | count | total (s) | mean (s) | self (s) " \
                "| % of trace |" in out
         assert "| explore.sweep | 1 |" in out
-        assert "|   core.evaluate | 9 |" in out
+        assert "|   core.evaluate_batch | 1 |" in out
         assert "| 100.0 |" in out
-        assert "10 spans" in out
+        assert "2 spans" in out
 
     def test_summarize_csv_format(self, tmp_path, capsys):
         path = tmp_path / "t.jsonl"
