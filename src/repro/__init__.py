@@ -34,10 +34,14 @@ Subpackages
     Observability: tracing spans, metrics registry, and evaluation
     provenance threaded through every hot path (see
     docs/observability.md).
+``repro.resilience``
+    Fault injection, retry policies, sweep checkpoints, and the
+    partial-failure (``on_error``) vocabulary (see
+    docs/robustness.md).
 """
 
 __version__ = "1.0.0"
 
-from . import core, obs
+from . import core, obs, resilience
 
-__all__ = ["core", "obs", "__version__"]
+__all__ = ["core", "obs", "resilience", "__version__"]

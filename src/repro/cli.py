@@ -17,6 +17,18 @@ docs/observability.md)::
     gables --trace t.jsonl --metrics m.json eval --figure 6b
     gables -v sweep --figure 6b        # INFO logging (-vv for DEBUG)
     gables --log-level debug report fig8
+
+Resilience flags (see docs/robustness.md)::
+
+    gables measure --fault-plan chaos-default --seed 0
+    gables measure --engine GPU --checkpoint sweep.jsonl
+    gables sweep --figure 6b --on-error record
+    gables report all --on-error record
+
+Errors exit with the code of the failing exception class
+(:func:`repro.errors.exit_code_for`): 2 for a generic failure, and a
+stable per-class code (3 = spec, 4 = workload, ..., 10 = measurement)
+for everything more specific.
 """
 
 from __future__ import annotations
@@ -29,7 +41,8 @@ from . import io as repro_io
 from . import obs
 from .core import FIGURE_6_SEQUENCE, evaluate
 from .core.two_ip import TwoIPScenario
-from .errors import ReproError
+from .errors import ReproError, exit_code_for
+from .resilience import FAULT_PLANS, ON_ERROR_MODES, degraded_banner
 from .units import format_bandwidth, format_ops
 
 _log = logging.getLogger("repro.cli")
@@ -96,18 +109,27 @@ def _cmd_sweep(args) -> int:
 
     soc, workload = _load_pair(args)
     steps = args.steps
+    on_error = args.on_error
     if args.param == "f":
         values = [k / (steps - 1) for k in range(steps)]
-        series = sweep_fraction(soc, workload, args.ip, values)
+        series = sweep_fraction(
+            soc, workload, args.ip, values, on_error=on_error
+        )
     elif args.param == "intensity":
         values = [2.0**k for k in range(-4, steps - 4)]
-        series = sweep_intensity(soc, workload, args.ip, values)
+        series = sweep_intensity(
+            soc, workload, args.ip, values, on_error=on_error
+        )
     elif args.param == "bpeak":
         base = soc.memory_bandwidth
         values = [base * (0.25 + 0.25 * k) for k in range(steps)]
-        series = sweep_memory_bandwidth(soc, workload, values)
+        series = sweep_memory_bandwidth(
+            soc, workload, values, on_error=on_error
+        )
     else:
         raise ReproError(f"unknown sweep parameter {args.param!r}")
+    if series.errors:
+        print(degraded_banner(series.errors, len(values)))
     print(f"sweep {series.parameter}:")
     for point in series.points:
         print(
@@ -125,11 +147,40 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_measure(args) -> int:
     from .ert import fit_roofline, roofline_summary, run_sweep
+    from .resilience import DEFAULT_RETRY_POLICY, RetryPolicy
     from .sim import simulated_snapdragon_835
 
+    retry_policy = None
+    if args.retries is not None:
+        retry_policy = RetryPolicy(max_attempts=args.retries)
+    elif args.fault_plan:
+        # Injected dropouts need retries to converge; default to the
+        # stock policy whenever a fault plan is active.
+        retry_policy = DEFAULT_RETRY_POLICY
     platform = simulated_snapdragon_835()
-    fitted = fit_roofline(run_sweep(platform, args.engine))
+    sweep = run_sweep(
+        platform,
+        args.engine,
+        seed=args.seed,
+        fault_plan=args.fault_plan,
+        retry_policy=retry_policy,
+        checkpoint=args.checkpoint,
+    )
+    fitted = fit_roofline(sweep)
     print(roofline_summary(fitted))
+    if sweep.faults is not None:
+        counts = sweep.faults["counts"]
+        breakdown = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(counts.items())
+            if count
+        )
+        print(
+            f"fault plan {sweep.faults['plan']!r} "
+            f"(seed {sweep.faults['seed']}): "
+            f"{sweep.faults['injected']} faults injected"
+            + (f" ({breakdown})" if breakdown else "")
+        )
     return 0
 
 
@@ -239,6 +290,7 @@ def _cmd_presets(_args) -> int:
 
 def _cmd_report(args) -> int:
     from .reports import REPORTS
+    from .resilience import record_failure
 
     report = REPORTS.get(args.experiment)
     if report is None:
@@ -246,7 +298,18 @@ def _cmd_report(args) -> int:
             f"unknown experiment {args.experiment!r}; choose from "
             f"{sorted(REPORTS)}"
         )
-    print(report())
+    if args.experiment == "all":
+        # report_all owns the per-section capture and banner.
+        print(report(on_error=args.on_error))
+        return 0
+    if args.on_error == "raise":
+        print(report())
+        return 0
+    try:
+        print(report())
+    except ReproError as err:
+        failure = record_failure((args.experiment,), err)
+        print(degraded_banner((failure,), 1, what="sections"))
     return 0
 
 
@@ -353,6 +416,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--ip", type=int, default=1,
                          help="IP index for f/intensity sweeps")
     p_sweep.add_argument("--steps", type=int, default=9)
+    p_sweep.add_argument(
+        "--on-error", dest="on_error", default="raise",
+        choices=ON_ERROR_MODES,
+        help="tolerate failing sweep points: skip them, or record "
+             "them under a degraded-output banner",
+    )
     p_sweep.set_defaults(handler=_cmd_sweep)
 
     p_measure = sub.add_parser(
@@ -360,6 +429,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_measure.add_argument("--engine", default="CPU",
                            choices=("CPU", "GPU", "DSP"))
+    resilience = p_measure.add_argument_group("resilience")
+    resilience.add_argument(
+        "--fault-plan", dest="fault_plan", metavar="NAME", default=None,
+        choices=sorted(FAULT_PLANS),
+        help="inject deterministic faults from a named plan: "
+             + ", ".join(sorted(FAULT_PLANS)),
+    )
+    resilience.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for fault injection and measurement noise",
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max measurement attempts per sample (defaults to the "
+             "stock retry policy when a fault plan is active)",
+    )
+    resilience.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="JSONL sweep checkpoint; completed samples are replayed "
+             "on resume",
+    )
     p_measure.set_defaults(handler=_cmd_measure)
 
     p_html = sub.add_parser(
@@ -412,6 +502,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "experiment",
         help="fig2 | fig6 | fig7 | fig8 | fig9 | table1 | all",
+    )
+    p_report.add_argument(
+        "--on-error", dest="on_error", default="raise",
+        choices=ON_ERROR_MODES,
+        help="tolerate failing report sections: skip them, or keep a "
+             "placeholder, under a degraded-output banner",
     )
     p_report.set_defaults(handler=_cmd_report)
 
@@ -466,7 +562,7 @@ def main(argv=None) -> int:
         return args.handler(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
-        return 2
+        return exit_code_for(err)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe: exit quietly, the
         # Unix way.  Detach stdout so the interpreter's shutdown flush

@@ -37,6 +37,7 @@ from ..errors import EvaluationError, SpecError, WorkloadError
 from ..obs.metrics import counter as _counter
 from ..obs.trace import span as _span
 from ..obs.trace import tracing_enabled as _tracing_enabled
+from ..resilience.partial import check_on_error, point_failure
 from .._validation import FRACTION_SUM_TOL
 from .gables import evaluate
 from .params import SoCSpec, Workload
@@ -74,7 +75,21 @@ class BatchResult:
     attainables:
         (K,) attainable performance (Equation 11).
     bottleneck_codes:
-        (K,) integer component codes of the binding resource.
+        (K,) integer component codes of the binding resource; ``-1``
+        marks a point that failed under a tolerant ``on_error`` mode.
+    valid:
+        (K,) boolean mask of points that evaluated cleanly, or ``None``
+        for an ``on_error="raise"`` batch (everything valid by
+        construction).  Under ``on_error="record"`` invalid rows stay
+        in place with NaN-masked outputs.
+    errors:
+        Tuple of :class:`repro.resilience.PointFailure` records for the
+        failed points (``coords=(batch_index,)`` in the *original*
+        grid), empty for a clean batch.
+    point_indices:
+        Under ``on_error="skip"``, the original batch indices of the
+        retained rows (failed rows are compressed away); ``None``
+        otherwise.
     """
 
     component_names: tuple
@@ -89,6 +104,9 @@ class BatchResult:
     average_intensities: np.ndarray
     attainables: np.ndarray
     bottleneck_codes: np.ndarray
+    valid: np.ndarray | None = None
+    errors: tuple = ()
+    point_indices: np.ndarray | None = None
 
     def __len__(self) -> int:
         """Number of evaluated points K."""
@@ -105,13 +123,22 @@ class BatchResult:
         return self.n_ips
 
     def bottleneck(self, index: int) -> str:
-        """The binding component's name at point ``index``."""
-        return self.component_names[self.bottleneck_codes[index]]
+        """The binding component's name at point ``index``.
+
+        Failed points under a tolerant mode report ``"invalid"``.
+        """
+        code = int(self.bottleneck_codes[index])
+        if code < 0:
+            return "invalid"
+        return self.component_names[code]
 
     def bottlenecks(self) -> tuple:
         """Binding component names for every point, in batch order."""
         names = self.component_names
-        return tuple(names[code] for code in self.bottleneck_codes.tolist())
+        return tuple(
+            "invalid" if code < 0 else names[code]
+            for code in self.bottleneck_codes.tolist()
+        )
 
     def result(self, index: int) -> GablesResult:
         """Materialize point ``index`` as a full scalar result object.
@@ -124,6 +151,19 @@ class BatchResult:
         if not 0 <= index < len(self):
             raise EvaluationError(
                 f"batch index {index} out of range for K={len(self)}"
+            )
+        if self.valid is not None and not bool(self.valid[index]):
+            failure = next(
+                (f for f in self.errors if f.coords == (index,)), None
+            )
+            detail = (
+                f" ({failure.code}: {failure.message})"
+                if failure is not None
+                else ""
+            )
+            raise EvaluationError(
+                f"batch point {index} failed during tolerant "
+                f"evaluation{detail}"
             )
         terms = []
         for i, name in enumerate(self.component_names[:-1]):
@@ -227,6 +267,74 @@ def _validate_hardware_arrays(
         raise SpecError("batch IP peaks must be finite and positive")
 
 
+def _pointwise_failures(
+    fractions: np.ndarray,
+    intensities: np.ndarray,
+    memory_bandwidth: np.ndarray,
+    ip_bandwidths: np.ndarray,
+    ip_peaks: np.ndarray,
+) -> tuple:
+    """Per-row validity for the tolerant ``on_error`` modes.
+
+    Runs the same checks as the all-or-nothing validators but flags
+    individual rows instead of raising, returning ``(valid_mask,
+    failures)`` where each failure is ``(index, code, message)`` and a
+    row keeps only its *first* failure (check order mirrors the scalar
+    constructors: workload before hardware).
+    """
+    k = fractions.shape[0]
+    valid = np.ones(k, dtype=bool)
+    failures: list = []
+
+    def flag(row_mask: np.ndarray, code: str, message: str) -> None:
+        fresh = row_mask & valid
+        for index in np.nonzero(fresh)[0].tolist():
+            failures.append((index, code, message))
+        valid[fresh] = False
+
+    with np.errstate(invalid="ignore"):
+        flag(
+            ~(
+                np.isfinite(fractions)
+                & (fractions >= 0)
+                & (fractions <= 1)
+            ).all(axis=1),
+            "WORKLOAD_FRACTION_RANGE",
+            "fractions must be finite values in [0, 1]",
+        )
+        totals = fractions.sum(axis=1)
+        flag(
+            ~(np.abs(totals - 1.0) <= FRACTION_SUM_TOL),
+            "WORKLOAD_FRACTION_SUM",
+            "fractions must sum to 1",
+        )
+        flag(
+            ~((intensities > 0) & ~np.isnan(intensities)).all(axis=1),
+            "WORKLOAD_INTENSITY_NONPOSITIVE",
+            "intensities must be positive (inf allowed)",
+        )
+        n = fractions.shape[1]
+        bandwidth = np.broadcast_to(np.atleast_1d(memory_bandwidth), (k,))
+        flag(
+            ~(np.isfinite(bandwidth) & (bandwidth > 0)),
+            "SPEC_NEGATIVE_BANDWIDTH",
+            "memory_bandwidth must be finite and positive",
+        )
+        ip_bw = np.broadcast_to(ip_bandwidths, (k, n))
+        flag(
+            ~((ip_bw > 0) & ~np.isnan(ip_bw)).all(axis=1),
+            "SPEC_NEGATIVE_BANDWIDTH",
+            "IP bandwidths must be positive (inf allowed)",
+        )
+        peaks = np.broadcast_to(ip_peaks, (k, n))
+        flag(
+            ~(np.isfinite(peaks) & (peaks > 0)).all(axis=1),
+            "SPEC_NONPOSITIVE_PEAK",
+            "IP peaks must be finite and positive",
+        )
+    return valid, failures
+
+
 def evaluate_batch(
     soc: SoCSpec,
     fractions,
@@ -236,6 +344,7 @@ def evaluate_batch(
     ip_bandwidths=None,
     ip_peaks=None,
     validate: bool = True,
+    on_error: str = "raise",
 ) -> BatchResult:
     """Evaluate Equations 9-11 over K parameter points in one shot.
 
@@ -258,12 +367,24 @@ def evaluate_batch(
         scalar constructors' validation over every point.  Callers
         batching already-validated :class:`Workload` objects may pass
         False to skip the redundant pass.
+    on_error:
+        ``"raise"`` (default) aborts on the first bad point, exactly
+        as before.  ``"record"`` evaluates every point it can: invalid
+        rows stay in the batch with NaN outputs and code ``-1``
+        bottlenecks, and each failure is captured as a
+        :class:`repro.resilience.PointFailure` in ``errors`` — the
+        valid rows are bitwise identical to an all-valid run.
+        ``"skip"`` additionally compresses the failed rows out of the
+        arrays, recording the surviving rows' original indices in
+        ``point_indices``.  Structural problems (mismatched shapes, an
+        empty batch) always raise.
 
     Returns a :class:`BatchResult`; raises the same exception types as
     the scalar constructors and evaluator (:class:`WorkloadError` for
     bad workload arrays, :class:`SpecError` for bad hardware arrays,
     :class:`EvaluationError` for degenerate all-zero-time points).
     """
+    check_on_error(on_error)
     n = soc.n_ips
     fractions = _as_batch_matrix(fractions, n, "fractions", WorkloadError)
     intensities = _as_batch_matrix(
@@ -297,22 +418,37 @@ def evaluate_batch(
     else:
         ip_peaks = _as_batch_matrix(ip_peaks, n, "ip_peaks", SpecError)
 
-    if validate:
-        _validate_workload_arrays(fractions, intensities)
-        _validate_hardware_arrays(memory_bandwidth, ip_bandwidths, ip_peaks)
+    valid = None
+    failures: list = []
+    if on_error == "raise":
+        if validate:
+            _validate_workload_arrays(fractions, intensities)
+            _validate_hardware_arrays(
+                memory_bandwidth, ip_bandwidths, ip_peaks
+            )
+    else:
+        if fractions.shape[0] == 0:
+            raise WorkloadError("batch needs at least one point")
+        if validate:
+            valid, failures = _pointwise_failures(
+                fractions, intensities, memory_bandwidth, ip_bandwidths,
+                ip_peaks,
+            )
+        else:
+            valid = np.ones(k, dtype=bool)
 
     _BATCH_CALLS.inc()
     _BATCH_POINTS.inc(k)
     if not _tracing_enabled():
         return _evaluate_batch_impl(
             soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
-            ip_peaks,
+            ip_peaks, valid=valid, on_error=on_error, failures=failures,
         )
     # One span per batch — never one per point (issue contract).
     with _span("core.evaluate_batch", soc=soc.name, points=k):
         return _evaluate_batch_impl(
             soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
-            ip_peaks,
+            ip_peaks, valid=valid, on_error=on_error, failures=failures,
         )
 
 
@@ -323,6 +459,9 @@ def _evaluate_batch_impl(
     memory_bandwidth: np.ndarray,
     ip_bandwidths: np.ndarray,
     ip_peaks: np.ndarray,
+    valid: np.ndarray | None = None,
+    on_error: str = "raise",
+    failures: list | None = None,
 ) -> BatchResult:
     with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
         # Equation 9 per point: Ci = fi / (Ai * Ppeak); Di = fi / Ii
@@ -352,12 +491,24 @@ def _evaluate_batch_impl(
             [ip_times, memory_times[:, np.newaxis]], axis=1
         )
         binding = all_times.max(axis=1)
-        if not np.all(binding > 0):
-            bad = int(np.argmin(binding > 0))
-            raise EvaluationError(
-                f"degenerate usecase at batch point {bad}: every "
-                "component takes zero time"
-            )
+        if on_error == "raise":
+            if not np.all(binding > 0):
+                bad = int(np.argmin(binding > 0))
+                raise EvaluationError(
+                    f"degenerate usecase at batch point {bad}: every "
+                    "component takes zero time"
+                )
+        else:
+            # NaN compares False, so invalid rows are excluded too.
+            progressing = binding > 0
+            degenerate = valid & ~progressing
+            for index in np.nonzero(degenerate)[0].tolist():
+                failures.append((
+                    index,
+                    "EVAL_DEGENERATE_POINT",
+                    "degenerate usecase: every component takes zero time",
+                ))
+            valid = valid & progressing
         attainables = 1.0 / binding
         binding_col = binding[:, np.newaxis]
         ties = (all_times == binding_col) | (
@@ -365,6 +516,42 @@ def _evaluate_batch_impl(
             <= BINDING_REL_TOL * np.maximum(np.abs(all_times), binding_col)
         )
         bottleneck_codes = ties.argmax(axis=1)
+
+    errors = ()
+    point_indices = None
+    if on_error != "raise":
+        failures.sort(key=lambda item: item[0])
+        errors = tuple(
+            point_failure((index,), code, message)
+            for index, code, message in failures
+        )
+        # Masking touches only the freshly computed arrays (never the
+        # echoed inputs), so every valid row keeps the exact bit
+        # pattern an all-valid run produces.
+        bottleneck_codes = np.where(valid, bottleneck_codes, -1)
+        invalid = ~valid
+        for array in (
+            attainables, memory_times, memory_perf_bounds,
+            average_intensities,
+        ):
+            array[invalid] = np.nan
+        for array in (compute_times, data_bytes, transfer_times, ip_times):
+            array[invalid, :] = np.nan
+        if on_error == "skip":
+            point_indices = np.nonzero(valid)[0]
+            keep = point_indices
+            fractions = fractions[keep]
+            intensities = intensities[keep]
+            compute_times = compute_times[keep]
+            data_bytes = data_bytes[keep]
+            transfer_times = transfer_times[keep]
+            ip_times = ip_times[keep]
+            memory_times = memory_times[keep]
+            memory_perf_bounds = memory_perf_bounds[keep]
+            average_intensities = average_intensities[keep]
+            attainables = attainables[keep]
+            bottleneck_codes = bottleneck_codes[keep]
+            valid = np.ones(keep.shape[0], dtype=bool)
 
     return BatchResult(
         component_names=soc.ip_names + (MEMORY,),
@@ -379,6 +566,9 @@ def _evaluate_batch_impl(
         average_intensities=average_intensities,
         attainables=attainables,
         bottleneck_codes=bottleneck_codes,
+        valid=valid,
+        errors=errors,
+        point_indices=point_indices,
     )
 
 

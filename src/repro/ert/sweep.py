@@ -15,6 +15,10 @@ from dataclasses import dataclass
 from ..errors import SpecError
 from ..obs.metrics import counter as _counter
 from ..obs.trace import span as _span
+from ..resilience.checkpoint import SweepCheckpoint, sample_key
+from ..resilience.faults import FaultInjector, FaultPlan
+from ..resilience.faults import fault_plan as _named_fault_plan
+from ..resilience.retry import call_with_retry, reject_outliers_mad
 from ..sim.kernel import KernelSpec
 from ..sim.platform import SimulatedSoC
 from ..units import KIB
@@ -51,12 +55,17 @@ class RooflineSample:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """All samples of one engine's empirical sweep."""
+    """All samples of one engine's empirical sweep.
+
+    ``faults`` carries the provenance summary of the fault injector
+    active during the sweep (``None`` for a clean run).
+    """
 
     engine: str
     variant: str
     simd: bool
     samples: tuple
+    faults: dict | None = None
 
     def at_intensity(self, intensity: float) -> tuple:
         """Samples of one intensity column, ordered by footprint."""
@@ -86,6 +95,9 @@ def run_sweep(
     repeats: int = 1,
     noise: float = 0.0,
     seed: int = 0,
+    fault_plan=None,
+    retry_policy=None,
+    checkpoint=None,
 ) -> SweepResult:
     """Measure one engine's empirical roofline on a simulated platform.
 
@@ -112,6 +124,23 @@ def run_sweep(
         up to ~5% to interference).  Noise only ever *reduces* attained
         performance — the pessimistic-estimate framing — and is drawn
         from a seeded RNG so sweeps stay reproducible.
+    fault_plan:
+        A :class:`repro.resilience.FaultPlan` (or registered plan name)
+        attached to the platform for the duration of the sweep; the
+        same ``seed`` seeds the injector, so sweeps under faults are
+        bitwise reproducible.  Any injector already attached to the
+        platform is restored afterwards.
+    retry_policy:
+        A :class:`repro.resilience.RetryPolicy`; each sample's
+        measurement is retried per the policy when it raises
+        :class:`~repro.errors.MeasurementError` (an injected dropout,
+        or a real one on hardware), and repeat sets are trimmed by MAD
+        outlier rejection before the best-of reduction.  Without a
+        policy, a dropout propagates to the caller.
+    checkpoint:
+        Path or :class:`repro.resilience.SweepCheckpoint`; completed
+        samples are appended as JSONL and replayed on resume.  Note a
+        resumed sweep skips the RNG draws of replayed samples.
     """
     if not intensities:
         raise SpecError("need at least one intensity")
@@ -127,24 +156,52 @@ def run_sweep(
 
         rng = np.random.default_rng(seed)
     variant = variant or VARIANT_BY_ENGINE.get(engine, "inplace")
+
+    injector = None
+    if fault_plan is not None:
+        plan = (
+            _named_fault_plan(fault_plan)
+            if isinstance(fault_plan, str)
+            else fault_plan
+        )
+        if not isinstance(plan, FaultPlan):
+            raise SpecError("fault_plan must be a FaultPlan or plan name")
+        injector = FaultInjector(plan, seed=seed)
+    if checkpoint is not None and not isinstance(checkpoint, SweepCheckpoint):
+        checkpoint = SweepCheckpoint(checkpoint)
+
     _SWEEP_RUNS.inc()
-    with _span(
-        "ert.run_sweep",
+    previous_injector = platform.fault_injector
+    if injector is not None:
+        platform.attach_faults(injector)
+    try:
+        with _span(
+            "ert.run_sweep",
+            engine=engine,
+            variant=variant,
+            grid=len(intensities) * len(footprints),
+        ):
+            samples = _sweep_samples(
+                platform, engine, intensities, footprints, variant, simd,
+                repeats, rng, noise, retry_policy, checkpoint,
+            )
+    finally:
+        if injector is not None:
+            platform.attach_faults(previous_injector)
+
+    active = injector if injector is not None else platform.fault_injector
+    return SweepResult(
         engine=engine,
         variant=variant,
-        grid=len(intensities) * len(footprints),
-    ):
-        samples = _sweep_samples(
-            platform, engine, intensities, footprints, variant, simd,
-            repeats, rng, noise,
-        )
-    return SweepResult(engine=engine, variant=variant, simd=simd,
-                       samples=tuple(samples))
+        simd=simd,
+        samples=tuple(samples),
+        faults=active.summary() if active is not None else None,
+    )
 
 
 def _sweep_samples(
     platform, engine, intensities, footprints, variant, simd, repeats,
-    rng, noise,
+    rng, noise, retry_policy, checkpoint,
 ) -> list:
     samples = []
     for footprint in footprints:
@@ -156,17 +213,38 @@ def _sweep_samples(
             kernel = KernelSpec(
                 elements=elements, variant=variant, simd=simd
             ).with_intensity(intensity)
-            best_gflops = 0.0
-            service_level = "DRAM"
-            for _ in range(repeats):
-                result = platform.run_kernel(engine, kernel)
-                observed = result.gflops
-                if rng is not None:
-                    observed *= 1.0 - noise * float(rng.random())
-                if observed > best_gflops:
-                    best_gflops = observed
-                    service_level = result.service_level
+            key = sample_key(
+                engine=engine,
+                variant=variant,
+                simd=simd,
+                footprint=float(kernel.footprint_bytes),
+                intensity=float(intensity),
+            )
+            if checkpoint is not None:
+                cached = checkpoint.get(key)
+                if cached is not None:
+                    _SWEEP_POINTS.inc()
+                    samples.append(
+                        RooflineSample(
+                            engine=engine,
+                            elements=elements,
+                            footprint_bytes=kernel.footprint_bytes,
+                            intensity=intensity,
+                            gflops=float(cached["gflops"]),
+                            service_level=str(cached["service_level"]),
+                        )
+                    )
+                    continue
+            best_gflops, service_level = _measure_sample(
+                platform, engine, kernel, intensity, repeats, rng, noise,
+                retry_policy,
+            )
             _SWEEP_POINTS.inc()
+            if checkpoint is not None:
+                checkpoint.record(
+                    key,
+                    {"gflops": best_gflops, "service_level": service_level},
+                )
             samples.append(
                 RooflineSample(
                     engine=engine,
@@ -178,3 +256,42 @@ def _sweep_samples(
                 )
             )
     return samples
+
+
+def _measure_sample(
+    platform, engine, kernel, intensity, repeats, rng, noise, retry_policy
+) -> tuple:
+    """Best (gflops, service_level) over the repeat set for one config.
+
+    With a retry policy, each repeat retries injected dropouts and the
+    repeat set is MAD-trimmed before the best-of reduction; without
+    one, a :class:`~repro.errors.MeasurementError` propagates.
+    """
+    observations = []
+    for _ in range(repeats):
+        def attempt():
+            return platform.run_kernel(engine, kernel)
+
+        if retry_policy is not None:
+            result = call_with_retry(
+                attempt,
+                retry_policy,
+                context=(
+                    f"{engine} sample at I={intensity:g}, "
+                    f"{kernel.footprint_bytes:g} B"
+                ),
+            )
+        else:
+            result = attempt()
+        observed = result.gflops
+        if rng is not None:
+            observed *= 1.0 - noise * float(rng.random())
+        observations.append((observed, result.service_level))
+    values = [value for value, _ in observations]
+    if retry_policy is not None:
+        values = reject_outliers_mad(values, retry_policy.mad_threshold)
+    best = max(values)
+    service_level = next(
+        level for value, level in observations if value == best
+    )
+    return best, service_level

@@ -26,9 +26,10 @@ import numpy as np
 from ..core.batch import evaluate_batch, fraction_grid
 from ..core.gables import evaluate
 from ..core.params import SoCSpec, Workload
-from ..errors import SpecError, WorkloadError
+from ..errors import ReproError, SpecError, WorkloadError
 from ..obs.metrics import counter as _counter
 from ..obs.trace import span as _span
+from ..resilience.partial import check_on_error, record_failure
 
 _SWEEP_SERIES = _counter("explore.sweep.series")
 _SWEEP_POINTS = _counter("explore.sweep.points")
@@ -64,10 +65,16 @@ class BottleneckTransition(NamedTuple):
 
 @dataclass(frozen=True)
 class SweepSeries:
-    """An ordered sweep with transition analysis."""
+    """An ordered sweep with transition analysis.
+
+    ``errors`` holds :class:`repro.resilience.PointFailure` records
+    (``coords=(swept_value,)``) for points that failed under a tolerant
+    ``on_error`` mode; failed points are never part of ``points``.
+    """
 
     parameter: str
     points: tuple
+    errors: tuple = ()
 
     def values(self) -> tuple:
         """The swept input values."""
@@ -115,13 +122,20 @@ def _series(
     build: Callable[[float], tuple],
     evaluate_fn: EvaluateFn,
     batch_fn=None,
+    on_error: str = "raise",
 ) -> SweepSeries:
+    check_on_error(on_error)
     if len(values) == 0:
         raise SpecError(f"sweep over {parameter!r} needs at least one value")
     _SWEEP_SERIES.inc()
     _SWEEP_POINTS.inc(len(values))
+    errors: tuple = ()
     with _span("explore.sweep", parameter=parameter, points=len(values)):
-        if batch_fn is not None and evaluate_fn is evaluate:
+        if (
+            batch_fn is not None
+            and evaluate_fn is evaluate
+            and on_error == "raise"
+        ):
             # Fast path: the whole grid through the vectorized engine.
             _SWEEP_BATCHES.inc()
             batch = batch_fn(np.asarray(values, dtype=float))
@@ -139,11 +153,21 @@ def _series(
                 )
             )
         else:
-            # Escape hatch: a custom evaluator gets the scalar loop.
+            # Scalar loop: custom evaluators, and the tolerant modes
+            # (which need per-point exception capture).  Surviving
+            # points are bitwise identical to a fault-free run — the
+            # same scalar evaluation either way.
             scalar_points = []
+            failures = []
             for value in values:
-                soc, workload = build(value)
-                result = evaluate_fn(soc, workload)
+                try:
+                    soc, workload = build(value)
+                    result = evaluate_fn(soc, workload)
+                except ReproError as err:
+                    if on_error == "raise":
+                        raise
+                    failures.append(record_failure((float(value),), err))
+                    continue
                 scalar_points.append(
                     SweepPoint(
                         value=float(value),
@@ -152,7 +176,9 @@ def _series(
                     )
                 )
             points = tuple(scalar_points)
-    return SweepSeries(parameter=parameter, points=points)
+            if on_error == "record":
+                errors = tuple(failures)
+    return SweepSeries(parameter=parameter, points=points, errors=errors)
 
 
 def _workload_matrices(workload: Workload, k: int) -> tuple:
@@ -173,6 +199,7 @@ def sweep_fraction(
     ip_index: int,
     fractions: Sequence[float],
     evaluate_fn: EvaluateFn = evaluate,
+    on_error: str = "raise",
 ) -> SweepSeries:
     """Sweep the share of work at one IP (the paper's f-sweeps).
 
@@ -194,6 +221,7 @@ def sweep_fraction(
         lambda f: (soc, workload.with_fraction_at(ip_index, f)),
         evaluate_fn,
         batch_fn,
+        on_error=on_error,
     )
 
 
@@ -203,6 +231,7 @@ def sweep_intensity(
     ip_index: int,
     intensities: Sequence[float],
     evaluate_fn: EvaluateFn = evaluate,
+    on_error: str = "raise",
 ) -> SweepSeries:
     """Sweep one IP's operational intensity (Fig. 6c -> 6d's ``I1``)."""
     if not 0 <= ip_index < workload.n_ips:
@@ -226,7 +255,8 @@ def sweep_intensity(
         return evaluate_batch(soc, fractions_m, matrix, validate=False)
 
     return _series(
-        f"I[{ip_index}]", intensities, build, evaluate_fn, batch_fn
+        f"I[{ip_index}]", intensities, build, evaluate_fn, batch_fn,
+        on_error=on_error,
     )
 
 
@@ -235,6 +265,7 @@ def sweep_memory_bandwidth(
     workload: Workload,
     bandwidths: Sequence[float],
     evaluate_fn: EvaluateFn = evaluate,
+    on_error: str = "raise",
 ) -> SweepSeries:
     """Sweep ``Bpeak`` (Fig. 6b -> 6c's question: does more DRAM help?)."""
 
@@ -250,6 +281,7 @@ def sweep_memory_bandwidth(
         lambda b: (soc.with_memory_bandwidth(b), workload),
         evaluate_fn,
         batch_fn,
+        on_error=on_error,
     )
 
 
@@ -259,6 +291,7 @@ def sweep_ip_bandwidth(
     ip_index: int,
     bandwidths: Sequence[float],
     evaluate_fn: EvaluateFn = evaluate,
+    on_error: str = "raise",
 ) -> SweepSeries:
     """Sweep one IP's link bandwidth ``Bi``."""
     if not 0 <= ip_index < soc.n_ips:
@@ -280,6 +313,7 @@ def sweep_ip_bandwidth(
         lambda b: (soc.with_ip(ip_index, bandwidth=b), workload),
         evaluate_fn,
         batch_fn,
+        on_error=on_error,
     )
 
 
@@ -289,6 +323,7 @@ def sweep_acceleration(
     ip_index: int,
     accelerations: Sequence[float],
     evaluate_fn: EvaluateFn = evaluate,
+    on_error: str = "raise",
 ) -> SweepSeries:
     """Sweep one IP's acceleration ``Ai`` (how big should the IP be?)."""
     if ip_index == 0:
@@ -317,4 +352,5 @@ def sweep_acceleration(
         lambda a: (soc.with_ip(ip_index, acceleration=a), workload),
         evaluate_fn,
         batch_fn,
+        on_error=on_error,
     )

@@ -19,8 +19,9 @@ import numpy as np
 
 from ..core.batch import evaluate_batch
 from ..core.params import SoCSpec, Workload
-from ..errors import SpecError
+from ..errors import ReproError, SpecError
 from ..obs.trace import span as _span
+from ..resilience.partial import PointFailure, check_on_error, record_failure
 
 
 @dataclass(frozen=True)
@@ -35,11 +36,17 @@ class GridCell:
 
 @dataclass(frozen=True)
 class SweepGrid:
-    """A dense 2-D sweep with axis metadata."""
+    """A dense 2-D sweep with axis metadata.
+
+    ``errors`` holds :class:`repro.resilience.PointFailure` records
+    (``coords=(x, y)``) for cells that failed under a tolerant
+    ``on_error`` mode; failed cells are never part of ``cells``.
+    """
 
     x_name: str
     y_name: str
     cells: tuple
+    errors: tuple = ()
 
     def x_values(self) -> tuple:
         """Distinct x coordinates, ascending."""
@@ -84,6 +91,7 @@ def sweep_grid(
     y_name: str,
     y_values: Sequence[float],
     build: Callable[[float, float], Workload],
+    on_error: str = "raise",
 ) -> SweepGrid:
     """Evaluate a workload builder over a dense (x, y) grid.
 
@@ -91,19 +99,61 @@ def sweep_grid(
     but the model itself is evaluated as one ``K = rows * cols`` batch
     through :func:`repro.core.batch.evaluate_batch` — on dense grids
     the per-cell model cost disappears into a handful of numpy passes.
+
+    Under ``on_error="skip"``/``"record"``, cells whose ``build`` call
+    or model evaluation raises a :class:`~repro.errors.ReproError` are
+    dropped from the grid (and, for ``"record"``, captured in
+    ``errors``) instead of aborting the sweep; the surviving cells are
+    bitwise identical to a fault-free run.
     """
+    check_on_error(on_error)
     if not x_values or not y_values:
         raise SpecError("both axes need at least one value")
     coords = [(x, y) for y in y_values for x in x_values]
     with _span("explore.sweep_grid", points=len(coords)):
-        workloads = [build(x, y) for x, y in coords]
-        # Workload construction already validated every row.
+        failures: list = []
+        if on_error == "raise":
+            kept_coords = coords
+            workloads = [build(x, y) for x, y in coords]
+        else:
+            kept_coords = []
+            workloads = []
+            for x, y in coords:
+                try:
+                    workloads.append(build(x, y))
+                except ReproError as err:
+                    failures.append(
+                        record_failure((float(x), float(y)), err)
+                    )
+                    continue
+                kept_coords.append((x, y))
+        if not workloads:
+            return SweepGrid(
+                x_name=x_name,
+                y_name=y_name,
+                cells=(),
+                errors=tuple(failures) if on_error == "record" else (),
+            )
+        # Workload construction already validated every row; the batch
+        # skip mode still weeds out degenerate (all-zero-time) points.
         batch = evaluate_batch(
             soc,
             np.array([w.fractions for w in workloads]),
             np.array([w.intensities for w in workloads]),
             validate=False,
+            on_error="raise" if on_error == "raise" else "skip",
         )
+        for failure in batch.errors:
+            x, y = kept_coords[failure.coords[0]]
+            failures.append(
+                PointFailure(
+                    coords=(float(x), float(y)),
+                    code=failure.code,
+                    message=failure.message,
+                )
+            )
+        if batch.point_indices is not None:
+            kept_coords = [kept_coords[i] for i in batch.point_indices.tolist()]
         names = batch.component_names
         cells = tuple(
             GridCell(
@@ -113,12 +163,17 @@ def sweep_grid(
                 bottleneck=names[code],
             )
             for (x, y), attainable, code in zip(
-                coords,
+                kept_coords,
                 batch.attainables.tolist(),
                 batch.bottleneck_codes.tolist(),
             )
         )
-    return SweepGrid(x_name=x_name, y_name=y_name, cells=cells)
+    return SweepGrid(
+        x_name=x_name,
+        y_name=y_name,
+        cells=cells,
+        errors=tuple(failures) if on_error == "record" else (),
+    )
 
 
 def analytic_mixing_grid(
@@ -126,6 +181,7 @@ def analytic_mixing_grid(
     fractions: Sequence[float] = tuple(i / 8 for i in range(9)),
     intensities: Sequence[float] = (1, 4, 16, 64, 256, 1024),
     ip_index: int = 1,
+    on_error: str = "raise",
 ) -> SweepGrid:
     """The Figure 8 grid evaluated on the model (the upper bound).
 
@@ -145,4 +201,6 @@ def analytic_mixing_grid(
             intensities=tuple(intensity for _ in range(soc.n_ips)),
         )
 
-    return sweep_grid(soc, "f", fractions, "I", intensities, build)
+    return sweep_grid(
+        soc, "f", fractions, "I", intensities, build, on_error=on_error
+    )

@@ -6,7 +6,12 @@ document carries a ``"kind"`` tag and a ``"schema"`` version so stored
 files stay debuggable.
 
 Infinity-valued intensities (perfect reuse) are encoded as the string
-``"inf"`` because JSON has no infinity literal.
+``"inf"`` because JSON has no infinity literal.  Decoding *rejects*
+raw ``NaN``/``Infinity`` tokens (which Python's ``json`` would happily
+parse) with a :class:`~repro.errors.SerializationError` carrying the
+``SERIALIZATION_NONFINITE`` code and naming both the offending field
+and the source file — a truncated or corrupted measurement log fails
+loudly at the boundary instead of poisoning downstream arithmetic.
 """
 
 from __future__ import annotations
@@ -28,13 +33,42 @@ def _encode_number(value: float):
     return value
 
 
-def _decode_number(value, field: str) -> float:
+def _where(field: str, source) -> str:
+    """``field`` qualified by the source file path, when known."""
+    return f"{field} in {source}" if source else field
+
+
+def _nonfinite(value, field: str, source) -> SerializationError:
+    return SerializationError(
+        f"non-finite value {value!r} for {_where(field, source)}; "
+        'encode infinite intensities/bandwidths as the string "inf"',
+        code="SERIALIZATION_NONFINITE",
+    )
+
+
+def _decode_number(value, field: str, source=None) -> float:
+    """A number that may legitimately be the string-encoded infinity."""
     if value == "inf":
         return math.inf
     if value == "-inf":
         return -math.inf
     if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise SerializationError(f"{field} must be a number, got {value!r}")
+        raise SerializationError(
+            f"{_where(field, source)} must be a number, got {value!r}"
+        )
+    if math.isnan(value) or math.isinf(value):
+        raise _nonfinite(value, field, source)
+    return float(value)
+
+
+def _decode_finite(value, field: str, source=None) -> float:
+    """A number with no infinity escape hatch: must be finite."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SerializationError(
+            f"{_where(field, source)} must be a number, got {value!r}"
+        )
+    if not math.isfinite(value):
+        raise _nonfinite(value, field, source)
     return float(value)
 
 
@@ -57,21 +91,30 @@ def encode_soc(soc: SoCSpec) -> dict:
     }
 
 
-def decode_soc(document: dict) -> SoCSpec:
+def decode_soc(document: dict, source=None) -> SoCSpec:
     """JSON dict -> SoCSpec (validates via the dataclass)."""
     _expect_kind(document, "soc")
     try:
         ips = tuple(
             IPBlock(
                 name=entry["name"],
-                acceleration=float(entry["acceleration"]),
-                bandwidth=_decode_number(entry["bandwidth"], "ip bandwidth"),
+                acceleration=_decode_finite(
+                    entry["acceleration"], f"ips[{index}].acceleration",
+                    source,
+                ),
+                bandwidth=_decode_number(
+                    entry["bandwidth"], f"ips[{index}].bandwidth", source
+                ),
             )
-            for entry in document["ips"]
+            for index, entry in enumerate(document["ips"])
         )
         return SoCSpec(
-            peak_perf=float(document["peak_perf"]),
-            memory_bandwidth=float(document["memory_bandwidth"]),
+            peak_perf=_decode_finite(
+                document["peak_perf"], "peak_perf", source
+            ),
+            memory_bandwidth=_decode_finite(
+                document["memory_bandwidth"], "memory_bandwidth", source
+            ),
             ips=ips,
             name=document.get("name", "soc"),
         )
@@ -90,14 +133,18 @@ def encode_workload(workload: Workload) -> dict:
     }
 
 
-def decode_workload(document: dict) -> Workload:
+def decode_workload(document: dict, source=None) -> Workload:
     """JSON dict -> Workload (validates via the dataclass)."""
     _expect_kind(document, "workload")
     try:
         return Workload(
-            fractions=tuple(float(f) for f in document["fractions"]),
+            fractions=tuple(
+                _decode_finite(f, f"fractions[{index}]", source)
+                for index, f in enumerate(document["fractions"])
+            ),
             intensities=tuple(
-                _decode_number(i, "intensity") for i in document["intensities"]
+                _decode_number(i, f"intensities[{index}]", source)
+                for index, i in enumerate(document["intensities"])
             ),
             name=document.get("name", "usecase"),
         )
@@ -155,11 +202,16 @@ def dumps(obj) -> str:
         document = encode_result(obj)
     else:
         raise SerializationError(f"cannot serialize {type(obj).__name__}")
-    return json.dumps(document, indent=2, sort_keys=True)
+    # allow_nan=False: never *write* the non-finite tokens decode rejects.
+    return json.dumps(document, indent=2, sort_keys=True, allow_nan=False)
 
 
-def loads(text: str):
-    """Deserialize a JSON string into a SoCSpec or Workload."""
+def loads(text: str, source=None):
+    """Deserialize a JSON string into a SoCSpec or Workload.
+
+    ``source`` (a file path) is woven into decode errors so a bad
+    field is reported as ``fractions[2] in /path/to/usecase.json``.
+    """
     try:
         document = json.loads(text)
     except json.JSONDecodeError as err:
@@ -173,7 +225,7 @@ def loads(text: str):
             f"unknown or non-loadable kind {kind!r}; loadable: "
             f"{sorted(_DECODERS)}"
         )
-    return decoder(document)
+    return decoder(document, source=source)
 
 
 def save(obj, path) -> None:
@@ -185,4 +237,4 @@ def save(obj, path) -> None:
 def load(path):
     """Deserialize a SoCSpec or Workload from a file."""
     with open(path, "r", encoding="utf-8") as handle:
-        return loads(handle.read())
+        return loads(handle.read(), source=str(path))

@@ -12,7 +12,7 @@ import json
 
 from ..errors import SerializationError
 from ..soc.description import FabricTier, IPInstance, SoCDescription
-from .json_codec import SCHEMA
+from .json_codec import SCHEMA, _decode_finite
 
 
 def encode_description(description: SoCDescription) -> dict:
@@ -44,8 +44,12 @@ def encode_description(description: SoCDescription) -> dict:
     }
 
 
-def decode_description(document: dict) -> SoCDescription:
-    """JSON dict -> SoCDescription (re-validates everything)."""
+def decode_description(document: dict, source=None) -> SoCDescription:
+    """JSON dict -> SoCDescription (re-validates everything).
+
+    ``source`` (a file path) is woven into decode errors; non-finite
+    numbers are rejected with ``SERIALIZATION_NONFINITE``.
+    """
     if not isinstance(document, dict):
         raise SerializationError("expected an object")
     if document.get("kind") != "soc-description":
@@ -60,27 +64,38 @@ def decode_description(document: dict) -> SoCDescription:
         fabrics = tuple(
             FabricTier(
                 name=entry["name"],
-                bandwidth=float(entry["bandwidth"]),
+                bandwidth=_decode_finite(
+                    entry["bandwidth"], f"fabrics[{index}].bandwidth",
+                    source,
+                ),
                 parent=entry.get("parent"),
             )
-            for entry in document.get("fabrics", [])
+            for index, entry in enumerate(document.get("fabrics", []))
         )
         ips = tuple(
             IPInstance(
                 name=entry["name"],
                 kind=entry["kind"],
-                peak_perf=float(entry["peak_perf"]),
-                bandwidth=float(entry["bandwidth"]),
+                peak_perf=_decode_finite(
+                    entry["peak_perf"], f"ips[{index}].peak_perf", source
+                ),
+                bandwidth=_decode_finite(
+                    entry["bandwidth"], f"ips[{index}].bandwidth", source
+                ),
                 fabric=entry.get("fabric"),
-                local_memory_bytes=float(
-                    entry.get("local_memory_bytes", 0.0)
+                local_memory_bytes=_decode_finite(
+                    entry.get("local_memory_bytes", 0.0),
+                    f"ips[{index}].local_memory_bytes",
+                    source,
                 ),
             )
-            for entry in document["ips"]
+            for index, entry in enumerate(document["ips"])
         )
         return SoCDescription(
             name=document.get("name", "soc"),
-            memory_bandwidth=float(document["memory_bandwidth"]),
+            memory_bandwidth=_decode_finite(
+                document["memory_bandwidth"], "memory_bandwidth", source
+            ),
             fabrics=fabrics,
             ips=ips,
         )
@@ -94,7 +109,7 @@ def save_description(description: SoCDescription, path) -> None:
     """Write a description to ``path`` as JSON."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(encode_description(description), handle, indent=2,
-                  sort_keys=True)
+                  sort_keys=True, allow_nan=False)
 
 
 def load_description(path) -> SoCDescription:
@@ -104,4 +119,4 @@ def load_description(path) -> SoCDescription:
             document = json.load(handle)
         except json.JSONDecodeError as err:
             raise SerializationError(f"invalid JSON: {err}") from err
-    return decode_description(document)
+    return decode_description(document, source=str(path))

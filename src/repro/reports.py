@@ -11,8 +11,10 @@ from __future__ import annotations
 
 
 from .core import FIGURE_6_SEQUENCE, FIGURE_6_EXPECTED_GOPS, cached_evaluator
+from .errors import ReproError
 from .obs.metrics import counter as _counter
 from .obs.trace import span as _span
+from .resilience.partial import check_on_error, degraded_banner, record_failure
 from .units import GIGA
 
 #: Report generators re-evaluate the same Figure 6 design points every
@@ -157,27 +159,54 @@ def report_table1() -> str:
     return "\n".join(lines)
 
 
-def report_all() -> str:
-    """Every paper artifact, concatenated — the one-shot reproduction."""
-    sections = [
-        report_fig2(),
-        report_table1(),
-        report_fig6(),
-        report_fig7(),
-        report_fig8(),
-        report_fig9(),
-    ]
+def report_all(on_error: str = "raise") -> str:
+    """Every paper artifact, concatenated — the one-shot reproduction.
+
+    Under ``on_error="skip"``/``"record"``, a section whose generator
+    raises a :class:`~repro.errors.ReproError` is dropped (or, for
+    ``"record"``, replaced by a one-line placeholder) and a degraded-
+    output banner heads the report instead of the failure aborting the
+    whole reproduction.
+    """
+    check_on_error(on_error)
+    generators = (
+        ("fig2", report_fig2),
+        ("table1", report_table1),
+        ("fig6", report_fig6),
+        ("fig7", report_fig7),
+        ("fig8", report_fig8),
+        ("fig9", report_fig9),
+    )
+    sections = []
+    failures = []
+    for name, generator in generators:
+        try:
+            sections.append(generator())
+        except ReproError as err:
+            if on_error == "raise":
+                raise
+            failure = record_failure((name,), err)
+            failures.append(failure)
+            if on_error == "record":
+                sections.append(
+                    f"[section {name} unavailable: "
+                    f"{failure.code}: {failure.message}]"
+                )
     rule = "\n" + "=" * 72 + "\n"
-    return rule.join(sections)
+    body = rule.join(sections)
+    if failures:
+        banner = degraded_banner(failures, len(generators), what="sections")
+        return banner + "\n\n" + body if body else banner
+    return body
 
 
 def _instrumented(experiment: str, generator):
     """Wrap a report generator with a span and a generation counter."""
 
-    def run() -> str:
+    def run(*args, **kwargs) -> str:
         _counter("reports.generated").inc()
         with _span("report.generate", experiment=experiment):
-            return generator()
+            return generator(*args, **kwargs)
 
     run.__name__ = generator.__name__
     run.__doc__ = generator.__doc__

@@ -1,0 +1,109 @@
+"""JSONL checkpoint/resume for long-running measurement sweeps.
+
+A sweep writes one JSON line per completed sample; on resume the
+checkpoint is replayed and already-measured samples are skipped.  The
+file format is append-only so a crash mid-write loses at most the last
+(partial, and therefore unparseable) line — :func:`load_checkpoint`
+tolerates a trailing torn line but rejects corruption anywhere else.
+
+Keys identify a sample by its sweep coordinates, which must be
+JSON-stable; :func:`sample_key` canonicalizes them via ``repr`` of
+floats so ``65536`` and ``65536.0`` do not alias.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..errors import SerializationError
+from ..obs.metrics import counter as _counter
+
+_CHECKPOINT_HITS = _counter("resilience.checkpoint.hits")
+_CHECKPOINT_WRITES = _counter("resilience.checkpoint.writes")
+
+#: Format marker written into every record for forward compatibility.
+SCHEMA = 1
+
+
+def sample_key(**coords) -> str:
+    """Canonical string key for a sweep sample's coordinates."""
+    parts = []
+    for name in sorted(coords):
+        value = coords[name]
+        if isinstance(value, float):
+            value = repr(value)
+        parts.append(f"{name}={value}")
+    return ";".join(parts)
+
+
+class SweepCheckpoint:
+    """Append-only JSONL store of completed sweep samples.
+
+    ``SweepCheckpoint(path)`` loads any existing records; ``get``
+    answers "was this sample already measured?" and ``record`` appends
+    a new one, flushing eagerly so progress survives a kill.  Pass
+    ``path=None`` for a disabled, in-memory-only checkpoint (every
+    sweep can then use the same code path).
+    """
+
+    def __init__(self, path=None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self._records: dict = {}
+        if self.path is not None and os.path.exists(self.path):
+            self._records = load_checkpoint(self.path)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str):
+        """The stored payload for ``key``, or ``None`` if unseen."""
+        record = self._records.get(key)
+        if record is not None:
+            _CHECKPOINT_HITS.inc()
+        return record
+
+    def record(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key``, appending to the file."""
+        self._records[key] = payload
+        _CHECKPOINT_WRITES.inc()
+        if self.path is None:
+            return
+        line = json.dumps(
+            {"schema": SCHEMA, "key": key, "payload": payload},
+            allow_nan=False,
+            sort_keys=True,
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+
+def load_checkpoint(path) -> dict:
+    """Parse a checkpoint file into ``{key: payload}``.
+
+    A torn final line (crash mid-append) is silently dropped; malformed
+    JSON anywhere earlier, or a record missing its key, raises
+    :class:`SerializationError` naming the file and line number.
+    """
+    path = os.fspath(path)
+    records: dict = {}
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            if lineno == len(lines):
+                break  # torn tail from an interrupted append
+            raise SerializationError(
+                f"corrupt checkpoint record at {path}:{lineno}: {err}"
+            ) from err
+        if not isinstance(record, dict) or "key" not in record:
+            raise SerializationError(
+                f"checkpoint record at {path}:{lineno} has no 'key' field"
+            )
+        records[str(record["key"])] = record.get("payload")
+    return records

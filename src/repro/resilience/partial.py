@@ -1,0 +1,73 @@
+"""Shared partial-failure vocabulary for batch and sweep drivers.
+
+Every driver that accepts ``on_error="raise"|"skip"|"record"`` reports
+failed points with the same :class:`PointFailure` record so the CLI,
+reports, and tests can treat a failed batch row, a failed 1-D sweep
+value, and a failed 2-D grid cell uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError, SpecError
+from ..obs.metrics import counter as _counter
+
+_POINTS_SKIPPED = _counter("resilience.points.skipped")
+
+#: The accepted ``on_error`` modes, in documentation order.
+ON_ERROR_MODES = ("raise", "skip", "record")
+
+
+def check_on_error(on_error: str) -> str:
+    """Validate an ``on_error`` mode string, returning it unchanged."""
+    if on_error not in ON_ERROR_MODES:
+        raise SpecError(
+            f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+        )
+    return on_error
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One evaluation point that failed under a tolerant ``on_error`` mode.
+
+    ``coords`` locates the point in whatever space the driver sweeps:
+    ``(index,)`` for a flat batch, ``(value,)`` for a 1-D parameter
+    sweep, ``(x, y)`` for a grid cell.  ``code`` is the stable
+    machine-readable error code (:mod:`repro.errors`); ``message`` is
+    the human-readable detail.
+    """
+
+    coords: tuple
+    code: str
+    message: str
+
+
+def point_failure(coords, code: str, message: str) -> PointFailure:
+    """Build a :class:`PointFailure`, counting it on the skip counter."""
+    _POINTS_SKIPPED.inc()
+    return PointFailure(coords=tuple(coords), code=code, message=message)
+
+
+def record_failure(coords, err: BaseException) -> PointFailure:
+    """Build a :class:`PointFailure` from an exception, counting it."""
+    code = getattr(err, "code", None)
+    if not isinstance(code, str):
+        code = "REPRO_ERROR" if isinstance(err, ReproError) else "UNEXPECTED"
+    return point_failure(coords, code, str(err))
+
+
+def degraded_banner(errors, total: int, what: str = "points") -> str:
+    """One-line warning the CLI/reports print above partial results."""
+    errors = tuple(errors)
+    codes: dict = {}
+    for failure in errors:
+        codes[failure.code] = codes.get(failure.code, 0) + 1
+    breakdown = ", ".join(
+        f"{code}x{count}" for code, count in sorted(codes.items())
+    )
+    return (
+        f"DEGRADED OUTPUT: {len(errors)}/{total} {what} failed "
+        f"({breakdown}); remaining results are exact."
+    )

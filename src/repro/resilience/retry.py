@@ -1,0 +1,175 @@
+"""Retry, timeout, backoff, and outlier rejection for noisy measurement.
+
+The ERT methodology the paper adopts already assumes repetition ("we
+repeatedly benchmark this kernel ... to seek the best achievable
+performance"); this module adds the *failure* half of that story: what
+to do when a sample drops out entirely, how long to keep trying, and
+how to keep an anomalous sample from polluting the best-of reduction.
+
+:class:`RetryPolicy` is a frozen value object; :func:`call_with_retry`
+executes one measurement closure under a policy, and
+:func:`reject_outliers_mad` trims a repeat set by median absolute
+deviation before the pessimistic best-of reduction.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from ..errors import MeasurementError, SpecError
+from ..obs.metrics import counter as _counter
+
+_RETRIES = _counter("resilience.retries")
+_RETRIES_EXHAUSTED = _counter("resilience.retries_exhausted")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to fight for one measurement sample.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per sample (first attempt included).
+    timeout_s:
+        Wall-clock budget per sample across all of its attempts;
+        ``inf`` (default) never times out.  Checked *between* attempts,
+        so a single slow attempt is never interrupted mid-flight.
+    backoff_base_s:
+        Sleep before the first retry; 0 (default) retries immediately,
+        which is right for a simulator and for tests.
+    backoff_multiplier:
+        Exponential growth of the backoff between successive retries.
+    jitter:
+        Relative randomization of each backoff delay (0.1 = up to
+        ±10%), drawn from the caller-supplied RNG so retried sweeps
+        stay reproducible.
+    mad_threshold:
+        Modified z-score cutoff for :func:`reject_outliers_mad`; 0
+        disables outlier rejection.
+    """
+
+    max_attempts: int = 5
+    timeout_s: float = math.inf
+    backoff_base_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.0
+    mad_threshold: float = 3.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SpecError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if not self.timeout_s > 0:
+            raise SpecError(f"timeout_s must be positive, got {self.timeout_s!r}")
+        if self.backoff_base_s < 0:
+            raise SpecError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s!r}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise SpecError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier!r}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SpecError(f"jitter must lie in [0, 1], got {self.jitter!r}")
+        if self.mad_threshold < 0:
+            raise SpecError(
+                f"mad_threshold must be >= 0, got {self.mad_threshold!r}"
+            )
+
+    def backoff_delay(self, retry_index: int, rng=None) -> float:
+        """Seconds to wait before retry ``retry_index`` (1-based)."""
+        if retry_index < 1:
+            raise SpecError(f"retry_index must be >= 1, got {retry_index}")
+        delay = self.backoff_base_s * self.backoff_multiplier ** (retry_index - 1)
+        if self.jitter > 0 and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+
+#: The policy the CLI and ``run_sweep`` reach for when asked to retry.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def call_with_retry(
+    fn,
+    policy: RetryPolicy,
+    *,
+    retryable: tuple = (MeasurementError,),
+    rng=None,
+    sleep=time.sleep,
+    clock=time.monotonic,
+    context: str = "measurement",
+):
+    """Run ``fn()`` under ``policy``; return its value or raise.
+
+    Only ``retryable`` exceptions trigger a retry; anything else (a
+    genuine :class:`~repro.errors.SimulationError`, a programming
+    error) propagates immediately.  After the attempt or time budget is
+    spent, raises :class:`MeasurementError` with code
+    ``MEASUREMENT_RETRIES_EXHAUSTED`` (or ``MEASUREMENT_TIMEOUT``)
+    chaining the last underlying failure.
+    """
+    deadline = None
+    if math.isfinite(policy.timeout_s):
+        deadline = clock() + policy.timeout_s
+    last_error = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retryable as err:
+            last_error = err
+            if attempt == policy.max_attempts:
+                break
+            if deadline is not None and clock() >= deadline:
+                _RETRIES_EXHAUSTED.inc()
+                raise MeasurementError(
+                    f"{context} exceeded its {policy.timeout_s:g}s budget "
+                    f"after {attempt} attempt(s): {err}",
+                    code="MEASUREMENT_TIMEOUT",
+                ) from err
+            _RETRIES.inc()
+            delay = policy.backoff_delay(attempt, rng)
+            if delay > 0:
+                sleep(delay)
+    _RETRIES_EXHAUSTED.inc()
+    raise MeasurementError(
+        f"{context} failed after {policy.max_attempts} attempt(s): "
+        f"{last_error}",
+        code="MEASUREMENT_RETRIES_EXHAUSTED",
+    ) from last_error
+
+
+def reject_outliers_mad(values, threshold: float = 3.5) -> list:
+    """Drop values whose modified z-score exceeds ``threshold``.
+
+    The modified z-score (Iglewicz & Hoaglin) is
+    ``0.6745 * |x - median| / MAD``; values beyond the threshold on
+    *either* side are rejected.  With a zero MAD (at least half the
+    samples identical) or fewer than three samples, nothing is
+    rejected — there is no robust scale to judge against.
+    """
+    values = list(values)
+    if threshold <= 0 or len(values) < 3:
+        return values
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        median = 0.5 * (ordered[mid - 1] + ordered[mid])
+    deviations = sorted(abs(v - median) for v in values)
+    mid = len(deviations) // 2
+    if len(deviations) % 2:
+        mad = deviations[mid]
+    else:
+        mad = 0.5 * (deviations[mid - 1] + deviations[mid])
+    if mad == 0:
+        return values
+    kept = [
+        v for v in values if 0.6745 * abs(v - median) / mad <= threshold
+    ]
+    return kept or values

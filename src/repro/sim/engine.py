@@ -97,6 +97,7 @@ class ComputeEngine:
         bandwidth_cap: float | None = None,
         write_fraction: float | None = None,
         footprint_bytes: float | None = None,
+        dram_derate: float = 1.0,
     ) -> float:
         """Steady-state FLOP/s for a streaming kernel on this engine.
 
@@ -123,6 +124,11 @@ class ComputeEngine:
             Resident working set override (a two-array streaming kernel
             occupies twice its element count); defaults to one array of
             single-precision words.
+        dram_derate:
+            Transient DRAM-interface multiplier in (0, 1] — an injected
+            bandwidth-degradation episode
+            (:mod:`repro.resilience.faults`); affects only the
+            hierarchy's DRAM path.
         """
         require_finite_positive(flops_per_byte, "flops_per_byte")
         if not self.supports_float:
@@ -132,7 +138,9 @@ class ComputeEngine:
         compute_bound = self.peak_flops(simd) * self.utilization(elements)
         footprint = footprint_bytes or elements * 4.0  # single-precision words
         mix = self.write_fraction if write_fraction is None else write_fraction
-        bandwidth = self.hierarchy.streaming_bandwidth(footprint, mix)
+        bandwidth = self.hierarchy.streaming_bandwidth(
+            footprint, mix, dram_derate=dram_derate
+        )
         if bandwidth_cap is not None:
             bandwidth = min(bandwidth, bandwidth_cap)
         return min(compute_bound, bandwidth * flops_per_byte)

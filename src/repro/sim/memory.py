@@ -24,6 +24,14 @@ from .._validation import require_finite_positive, require_fraction
 from ..errors import SpecError
 
 
+def _check_derate(dram_derate: float) -> float:
+    if not 0.0 < dram_derate <= 1.0:
+        raise SpecError(
+            f"dram_derate must lie in (0, 1], got {dram_derate!r}"
+        )
+    return float(dram_derate)
+
+
 @dataclass(frozen=True)
 class MemoryLevel:
     """One cache/scratchpad level: capacity plus streaming bandwidth."""
@@ -82,15 +90,24 @@ class MemoryHierarchy:
         if self.levels and self.dram_read_bandwidth > self.levels[-1].bandwidth:
             raise SpecError("DRAM cannot be faster than the last cache level")
 
-    def dram_bandwidth(self, write_fraction: float) -> float:
+    def dram_bandwidth(
+        self, write_fraction: float, dram_derate: float = 1.0
+    ) -> float:
         """Effective DRAM streaming bandwidth for a given traffic mix.
 
         With fraction ``w`` of the bytes being writes served at
         ``penalty * B`` and ``1 - w`` reads at ``B``, the harmonic
-        blend is ``B / (1 - w + w / penalty)``.
+        blend is ``B / (1 - w + w / penalty)``.  ``dram_derate``
+        scales the interface for a transient contention/fault episode
+        (see :mod:`repro.resilience.faults`); it touches the DRAM path
+        only, never cache-resident traffic.
         """
         w = require_fraction(write_fraction, "write_fraction", SpecError)
-        return self.dram_read_bandwidth / ((1.0 - w) + w / self.write_penalty)
+        derate = _check_derate(dram_derate)
+        return (
+            self.dram_read_bandwidth * derate
+            / ((1.0 - w) + w / self.write_penalty)
+        )
 
     def service_level(self, footprint_bytes: float) -> str:
         """Name of the level that serves a streaming footprint."""
@@ -101,7 +118,10 @@ class MemoryHierarchy:
         return "DRAM"
 
     def streaming_bandwidth(
-        self, footprint_bytes: float, write_fraction: float = 0.5
+        self,
+        footprint_bytes: float,
+        write_fraction: float = 0.5,
+        dram_derate: float = 1.0,
     ) -> float:
         """Attainable bandwidth when streaming over ``footprint_bytes``.
 
@@ -114,7 +134,7 @@ class MemoryHierarchy:
         require_finite_positive(footprint_bytes, "footprint_bytes")
         bandwidths = [level.bandwidth for level in self.levels]
         capacities = [level.capacity_bytes for level in self.levels]
-        bandwidths.append(self.dram_bandwidth(write_fraction))
+        bandwidths.append(self.dram_bandwidth(write_fraction, dram_derate))
         capacities.append(math.inf)
 
         for index, capacity in enumerate(capacities):

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import SpecError
+from ..resilience.retry import call_with_retry
 from ..units import GIGA
 from .kernel import KernelSpec
 from .platform import ConcurrentJob, SimulatedSoC
@@ -104,6 +105,7 @@ def run_mixing_sweep(
     total_flops: float = DEFAULT_TOTAL_FLOPS,
     cpu_engine: str = "CPU",
     gpu_engine: str = "GPU",
+    retry_policy=None,
 ) -> MixingSweep:
     """Run the Fig. 8 grid on a simulated platform.
 
@@ -111,6 +113,11 @@ def run_mixing_sweep(
     GPU portions run concurrently (0 < f < 1) through the platform's
     contention and coordination models.  Normalization follows the
     paper: all work on the CPU at intensity 1.
+
+    When the platform has a fault injector attached
+    (:meth:`~repro.sim.platform.SimulatedSoC.attach_faults`), pass a
+    :class:`repro.resilience.RetryPolicy` so injected measurement
+    dropouts are retried per cell instead of aborting the grid.
     """
     for f in fractions:
         if not 0 <= f <= 1:
@@ -119,16 +126,24 @@ def run_mixing_sweep(
         if i <= 0:
             raise SpecError(f"intensities must be positive, got {i!r}")
 
-    baseline_gflops, _ = _run_point(
-        platform, cpu_engine, gpu_engine, 0.0, 1.0, elements, total_flops
-    )
-    points = []
-    for intensity in intensities:
-        for fraction in fractions:
-            gflops, runtime = _run_point(
+    def measure(fraction, intensity):
+        def attempt():
+            return _run_point(
                 platform, cpu_engine, gpu_engine,
                 fraction, intensity, elements, total_flops,
             )
+        if retry_policy is None:
+            return attempt()
+        return call_with_retry(
+            attempt, retry_policy,
+            context=f"mixing cell (f={fraction:g}, I={intensity:g})",
+        )
+
+    baseline_gflops, _ = measure(0.0, 1.0)
+    points = []
+    for intensity in intensities:
+        for fraction in fractions:
+            gflops, runtime = measure(fraction, intensity)
             points.append(
                 MixingPoint(
                     fraction=fraction,

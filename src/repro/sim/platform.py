@@ -197,6 +197,29 @@ class SimulatedSoC:
             thermal or ThermalSpec(), controlled=thermally_controlled
         )
         self.power_models = dict(power_models or {})
+        self.fault_injector = None
+
+    def attach_faults(self, injector) -> None:
+        """Attach a :class:`repro.resilience.FaultInjector` (or detach).
+
+        While attached, every run consults the injector in a fixed
+        order — dropout, then DRAM-bandwidth episode, then (inside the
+        thermal model) forced-throttle episode, then multiplicative
+        noise — so the injected timeline is a pure function of the
+        injector's plan and seed.  Pass ``None`` to detach.
+        """
+        self.fault_injector = injector
+        self.thermal.fault_source = (
+            injector.throttle_factor if injector is not None else None
+        )
+
+    def _consult_faults(self, context: str) -> float:
+        """Dropout check + DRAM derate draw for one run (1.0 = clean)."""
+        injector = self.fault_injector
+        if injector is None or not injector.plan.any_active:
+            return 1.0
+        injector.check_dropout(context)
+        return injector.bandwidth_derate()
 
     def engine(self, name: str) -> ComputeEngine:
         """Look up an engine by name."""
@@ -228,13 +251,14 @@ class SimulatedSoC:
         footprint, derated by the thermal governor when uncontrolled.
         """
         _KERNEL_RUNS.inc()
+        dram_derate = self._consult_faults(f"run_kernel on {engine_name!r}")
         with _span(
             "sim.run_kernel",
             engine=engine_name,
             intensity=kernel.intensity,
             footprint_bytes=kernel.footprint_bytes,
         ) as sp:
-            result = self._run_kernel_impl(engine_name, kernel)
+            result = self._run_kernel_impl(engine_name, kernel, dram_derate)
             sp.set_attribute("gflops", result.gflops)
             sp.set_attribute("service_level", result.service_level)
             sp.set_attribute("throttle_factor", result.throttle_factor)
@@ -244,13 +268,16 @@ class SimulatedSoC:
         return result
 
     def _run_kernel_impl(
-        self, engine_name: str, kernel: KernelSpec
+        self, engine_name: str, kernel: KernelSpec, dram_derate: float = 1.0
     ) -> KernelResult:
         engine = self.engine(engine_name)
         # Fabric and DRAM-interface caps gate off-chip traffic only;
         # cache/TCM-resident working sets never leave the engine.
         if engine.dram_resident(kernel.footprint_bytes):
-            cap = min(self._bandwidth_cap(engine_name), self.dram_bandwidth)
+            cap = min(
+                self._bandwidth_cap(engine_name),
+                self.dram_bandwidth * dram_derate,
+            )
         else:
             cap = math.inf
         rate = engine.attained_flops(
@@ -260,6 +287,7 @@ class SimulatedSoC:
             bandwidth_cap=cap,
             write_fraction=kernel.write_fraction,
             footprint_bytes=kernel.footprint_bytes,
+            dram_derate=dram_derate,
         )
         bytes_rate = rate / kernel.intensity
         power = self._power_model(engine_name).power(rate, bytes_rate)
@@ -287,7 +315,15 @@ class SimulatedSoC:
             self.thermal.advance(power, time_to_limit)
             self.thermal.advance(power * sustained_scale,
                                  runtime - time_to_limit)
-        effective_rate = kernel.total_flops / runtime
+        # Injected faults degrade the *sustained* rate after the clean
+        # thermal transient: a forced-governor episode (drawn inside the
+        # thermal model, so it fires even in the controlled chamber)
+        # and ambient multiplicative noise.
+        fault_scale = self.thermal.fault_factor()
+        if self.fault_injector is not None:
+            fault_scale *= self.fault_injector.noise_factor()
+        effective_rate = kernel.total_flops / runtime * fault_scale
+        runtime = kernel.total_flops / effective_rate
         throttle = effective_rate / rate
         return KernelResult(
             engine=engine_name,
@@ -305,7 +341,10 @@ class SimulatedSoC:
     # ------------------------------------------------------------------
 
     def _effective_rate(
-        self, job: ConcurrentJob, dram_share: float | None
+        self,
+        job: ConcurrentJob,
+        dram_share: float | None,
+        dram_derate: float = 1.0,
     ) -> float:
         """Useful FLOP/s for a job given its DRAM allocation.
 
@@ -333,7 +372,8 @@ class SimulatedSoC:
             * compute_scale
         )
         bandwidth = engine.hierarchy.streaming_bandwidth(
-            kernel.footprint_bytes, kernel.write_fraction
+            kernel.footprint_bytes, kernel.write_fraction,
+            dram_derate=dram_derate,
         )
         bandwidth = min(bandwidth, cap)
         return min(compute_bound, bandwidth * kernel.intensity)
@@ -365,15 +405,20 @@ class SimulatedSoC:
             self.engine(job.engine)  # validate
 
         _CONCURRENT_RUNS.inc()
+        dram_derate = self._consult_faults(
+            f"run_concurrent on {', '.join(names)}"
+        )
         with _span(
             "sim.run_concurrent", engines=",".join(names)
         ) as concurrent_span:
-            result = self._run_concurrent_impl(jobs, qos_weights)
+            result = self._run_concurrent_impl(jobs, qos_weights, dram_derate)
         concurrent_span.set_attribute("runtime_s", result.total_runtime_s)
         concurrent_span.set_attribute("steps", len(result.timeline))
         return result
 
-    def _run_concurrent_impl(self, jobs, qos_weights) -> ConcurrentResult:
+    def _run_concurrent_impl(
+        self, jobs, qos_weights, dram_derate: float = 1.0
+    ) -> ConcurrentResult:
         remaining = {job.engine: job.work_flops for job in jobs}
         job_by_engine = {job.engine: job for job in jobs}
         completions: dict = {}
@@ -392,12 +437,17 @@ class SimulatedSoC:
                     job_by_engine[e].kernel.footprint_bytes
                 )
             ]
-            capacity = self.dram_bandwidth * contention_efficiency(len(dram_jobs))
+            capacity = (
+                self.dram_bandwidth * dram_derate
+                * contention_efficiency(len(dram_jobs))
+            )
             demands = []
             for e in dram_jobs:
                 job = job_by_engine[e]
                 # Demand if unconstrained by the shared interface.
-                unconstrained = self._effective_rate(job, dram_share=None)
+                unconstrained = self._effective_rate(
+                    job, dram_share=None, dram_derate=dram_derate
+                )
                 demands.append(unconstrained / job.kernel.intensity)
             if qos_weights and dram_jobs:
                 weights = [qos_weights.get(e, 1.0) for e in dram_jobs]
@@ -411,7 +461,9 @@ class SimulatedSoC:
             for e in active:
                 job = job_by_engine[e]
                 share = shares.get(e)
-                rate = self._effective_rate(job, dram_share=share)
+                rate = self._effective_rate(
+                    job, dram_share=share, dram_derate=dram_derate
+                )
                 if rate <= 0:
                     raise SimulationError(f"job on {e!r} made no progress")
                 rates[e] = rate

@@ -66,38 +66,63 @@ class ThermalSpec:
 
 
 class ThermalState:
-    """Mutable die temperature evolved across simulated runs."""
+    """Mutable die temperature evolved across simulated runs.
 
-    def __init__(self, spec: ThermalSpec, controlled: bool = True) -> None:
+    ``fault_source`` is an optional zero-argument callable returning a
+    forced-governor multiplier in (0, 1] — how
+    :class:`repro.resilience.FaultInjector` injects throttle episodes
+    that fire *even in the controlled chamber* (a heat-soaked die from
+    a previous tenant the governor reacts to regardless of our
+    monitoring setup).
+    """
+
+    def __init__(
+        self,
+        spec: ThermalSpec,
+        controlled: bool = True,
+        fault_source=None,
+    ) -> None:
         self.spec = spec
         self.controlled = controlled
         self.temperature_c = spec.ambient_c
+        self.fault_source = fault_source
 
     def reset(self) -> None:
         """Cool the die back to ambient (e.g. between benchmark sets)."""
         self.temperature_c = self.spec.ambient_c
 
+    def fault_factor(self) -> float:
+        """Injected forced-throttle multiplier (1.0 when no faults)."""
+        if self.fault_source is None:
+            return 1.0
+        return float(self.fault_source())
+
     def throttle_factor(self, power_watts: float) -> float:
         """Rate multiplier the governor imposes for a sustained draw.
 
-        In the controlled chamber this is always 1.0.  Otherwise, if
-        the steady-state temperature for ``power_watts`` exceeds the
-        limit, the sustained rate is scaled so dissipation matches the
-        budget; a hot die (from previous runs) has less headroom.
+        In the controlled chamber this is always 1.0 apart from
+        injected fault episodes.  Otherwise, if the steady-state
+        temperature for ``power_watts`` exceeds the limit, the
+        sustained rate is scaled so dissipation matches the budget; a
+        hot die (from previous runs) has less headroom.
         """
         require_nonnegative(power_watts, "power_watts")
-        if self.controlled or power_watts == 0:
+        if power_watts == 0:
             return 1.0
+        fault = self.fault_factor()
+        if self.controlled:
+            return fault
         headroom_c = self.spec.limit_c - self.temperature_c
         if headroom_c <= 0:
             # Already at/above limit: only the sustainable share runs.
-            return self.spec.sustainable_watts / power_watts \
+            base = self.spec.sustainable_watts / power_watts \
                 if power_watts > self.spec.sustainable_watts else 1.0
+            return base * fault
         steady_rise = power_watts * self.spec.resistance_c_per_w
         allowed_rise = self.spec.limit_c - self.spec.ambient_c
         if steady_rise <= allowed_rise:
-            return 1.0
-        return allowed_rise / steady_rise
+            return fault
+        return allowed_rise / steady_rise * fault
 
     def time_to_limit(self, power_watts: float) -> float:
         """Seconds until the die reaches the governor limit at ``power``.

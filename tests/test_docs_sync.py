@@ -29,6 +29,7 @@ PACKAGES = (
     ("repro.viz", "Visualization"),
     ("repro.io", "Serialization"),
     ("repro.obs", "Observability"),
+    ("repro.resilience", "Resilience: faults, retries, partial failure"),
 )
 
 

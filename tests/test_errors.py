@@ -2,16 +2,22 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro.errors import (
+    FINE_GRAINED_CODES,
     EvaluationError,
     FittingError,
+    MeasurementError,
     ReproError,
     SerializationError,
     SimulationError,
     SpecError,
     WorkloadError,
+    error_classes,
+    exit_code_for,
 )
 
 
@@ -30,7 +36,8 @@ class TestHierarchy:
             assert issubclass(exc, ValueError)
 
     def test_runtime_errors_are_runtime_errors(self):
-        for exc in (EvaluationError, SimulationError, FittingError):
+        for exc in (EvaluationError, SimulationError, FittingError,
+                    MeasurementError):
             assert issubclass(exc, RuntimeError)
 
     def test_one_except_clause_catches_the_library(self):
@@ -65,3 +72,83 @@ class TestMessagesNameTheField:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "Traceback" not in err
+
+
+class TestErrorCatalog:
+    """The machine-readable code/exit-code contract stays coherent.
+
+    ``error_classes()`` walks ``__subclasses__`` at call time, so a
+    future subclass added without a code or with a colliding exit code
+    fails here instead of silently aliasing an existing one.
+    """
+
+    def test_every_class_has_an_upper_snake_code(self):
+        for cls in error_classes():
+            assert re.fullmatch(r"[A-Z][A-Z0-9_]*", cls.code), cls
+
+    def test_class_codes_are_unique(self):
+        codes = [cls.code for cls in error_classes()]
+        assert len(codes) == len(set(codes))
+
+    def test_exit_codes_are_distinct_and_leave_unix_space(self):
+        """One exit status per class, none colliding with 0/1 (success
+        and the interpreter's own failure status)."""
+        exit_codes = [cls.exit_code for cls in error_classes()]
+        assert len(exit_codes) == len(set(exit_codes))
+        assert all(2 <= value < 126 for value in exit_codes)
+
+    def test_fine_grained_codes_map_to_repro_classes(self):
+        for code, cls in FINE_GRAINED_CODES.items():
+            assert re.fullmatch(r"[A-Z][A-Z0-9_]*", code)
+            assert issubclass(cls, ReproError)
+
+    def test_fine_grained_codes_do_not_shadow_class_defaults(self):
+        defaults = {cls.code for cls in error_classes()}
+        assert not defaults & set(FINE_GRAINED_CODES)
+
+    def test_instance_code_override(self):
+        err = SerializationError("bad field", code="SERIALIZATION_NONFINITE")
+        assert err.code == "SERIALIZATION_NONFINITE"
+        assert SerializationError.code == "SERIALIZATION_FAILED"
+        assert err.exit_code == SerializationError.exit_code
+
+    def test_exit_code_for_falls_back_to_two(self):
+        assert exit_code_for(ReproError("x")) == 2
+        assert exit_code_for(ValueError("not ours")) == 2
+        assert exit_code_for(SerializationError("x")) == 8
+        assert exit_code_for(MeasurementError("x")) == 10
+
+
+class TestCliExitCodes:
+    """The CLI exits with the failing class's status, not a blanket 2."""
+
+    def test_spec_error_exits_three(self, tmp_path, capsys):
+        from repro.cli import main
+
+        soc = tmp_path / "soc.json"
+        soc.write_text(
+            '{"kind": "soc", "schema": 1, "peak_perf": -1,'
+            ' "memory_bandwidth": 1, "ips": []}'
+        )
+        workload = tmp_path / "usecase.json"
+        workload.write_text(
+            '{"kind": "workload", "schema": 1,'
+            ' "fractions": [1.0], "intensities": [1.0]}'
+        )
+        code = main(["eval", "--soc", str(soc), "--workload", str(workload)])
+        assert code == SpecError.exit_code == 3
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_serialization_error_exits_eight(self, tmp_path, capsys):
+        from repro.cli import main
+
+        soc = tmp_path / "soc.json"
+        soc.write_text(
+            '{"kind": "soc", "schema": 1, "peak_perf": NaN,'
+            ' "memory_bandwidth": 1, "ips": []}'
+        )
+        code = main(["eval", "--soc", str(soc), "--workload", str(soc)])
+        assert code == SerializationError.exit_code == 8
+        err = capsys.readouterr().err
+        assert "peak_perf" in err
+        assert str(soc) in err

@@ -62,6 +62,72 @@ def test_random_workload_plots_and_reports(seed, n_ips):
     assert "memory" in table
 
 
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),  # 0 = valid, else fault
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.1, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_record_mode_partitions_the_grid(rows):
+    """`on_error="record"` never loses or duplicates a grid point.
+
+    Whatever mix of valid and corrupted rows the generator produces,
+    the valid mask and the structured errors partition the batch: every
+    index appears exactly once, on exactly one side.
+    """
+    import numpy as np
+
+    from repro.core import IPBlock, SoCSpec
+    from repro.core.batch import evaluate_batch
+
+    soc = SoCSpec(
+        peak_perf=1e10,
+        memory_bandwidth=1e10,
+        ips=(IPBlock("cpu", 1.0, 1e10), IPBlock("gpu", 4.0, 2e10)),
+    )
+    fractions, intensities, expected_bad = [], [], set()
+    for index, (fault, f, intensity) in enumerate(rows):
+        frac, inten = [f, 1.0 - f], [intensity, intensity]
+        if fault == 1:
+            frac = [0.7, 0.7]          # sum violation
+        elif fault == 2:
+            frac = [-0.2, 1.2]         # range violation
+        elif fault == 3:
+            inten = [-1.0, intensity]  # non-positive intensity
+        elif fault == 4:
+            inten = [math.nan, intensity]
+        if fault:
+            expected_bad.add(index)
+        fractions.append(frac)
+        intensities.append(inten)
+
+    k = len(rows)
+    batch = evaluate_batch(
+        soc,
+        np.array(fractions),
+        np.array(intensities),
+        on_error="record",
+    )
+    assert batch.attainables.shape == (k,)
+    assert batch.valid.shape == (k,)
+    error_indices = [failure.coords[0] for failure in batch.errors]
+    assert len(error_indices) == len(set(error_indices))
+    assert set(error_indices) == expected_bad
+    assert int(batch.valid.sum()) + len(batch.errors) == k
+    valid_indices = set(np.nonzero(batch.valid)[0].tolist())
+    assert valid_indices | set(error_indices) == set(range(k))
+    assert not valid_indices & set(error_indices)
+    # Invalid rows are masked, valid rows carry real answers.
+    assert np.isnan(batch.attainables[sorted(expected_bad)]).all()
+    assert np.isfinite(batch.attainables[sorted(valid_indices)]).all()
+
+
 class TestSimulatorRespectsRooflines:
     """The behavioural simulator can never beat its own engine model."""
 

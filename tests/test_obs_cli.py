@@ -80,9 +80,15 @@ class TestTraceSummarize:
 
     def test_summarize_malformed_trace_errors_cleanly(self, tmp_path,
                                                       capsys):
+        from repro.errors import ObservabilityError
+
         path = tmp_path / "bad.jsonl"
         path.write_text("not json\n")
-        assert main(["trace", "summarize", str(path)]) == 2
+        # The CLI exits with the failing class's status (see
+        # repro.errors.exit_code_for), not a blanket 2.
+        assert main(
+            ["trace", "summarize", str(path)]
+        ) == ObservabilityError.exit_code
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "Traceback" not in err
