@@ -9,20 +9,27 @@ noise) and track the absolute throughput of both paths.
 
 from __future__ import annotations
 
+import json
 import timeit
+from pathlib import Path
 
 import numpy as np
 
 from repro.core import (
     FIGURE_6B,
+    InterconnectVariant,
     SoCSpec,
     Workload,
     evaluate,
     evaluate_batch,
     fraction_grid,
 )
+from repro.core.extensions import Bus, InterconnectSpec
 from repro.explore import sweep_fraction
 from repro.units import GIGA
+
+#: Variant-sweep timing snapshot (repo root, alongside BENCH_obs.json).
+VARIANTS_SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_variants.json"
 
 #: A 10k-point offload-fraction grid over the paper's two-IP design.
 N_POINTS = 10_000
@@ -73,6 +80,65 @@ def test_batch_sweep_matches_scalar_loop_exactly():
         soc, workload, 1, F_VALUES, evaluate_fn=_scalar_evaluate
     )
     assert fast.attainables() == slow.attainables()
+    assert tuple(p.bottleneck for p in fast.points) == tuple(
+        p.bottleneck for p in slow.points
+    )
+
+
+def test_variant_batch_sweep_5x_faster_than_scalar_loop():
+    """Extension sweeps ride the lowered batch backend: >= 5x on a
+    10k-point interconnect f-sweep vs the per-point scalar pipeline.
+
+    The scalar loop is forced via ``on_error="record"`` (tolerant modes
+    evaluate point by point for per-point provenance); the fast path is
+    the default raise-mode dispatch through
+    :func:`repro.core.variants.evaluate_variant_batch`.  Timings land
+    in ``BENCH_variants.json`` for cross-PR comparison.
+    """
+    soc, workload = _pair()
+    variant = InterconnectVariant(
+        InterconnectSpec((Bus("fabric", 18 * GIGA),), ((0,), (0,)))
+    )
+    fast = min(timeit.repeat(
+        lambda: sweep_fraction(soc, workload, 1, F_VALUES, variant=variant),
+        repeat=5, number=1,
+    ))
+    slow = min(timeit.repeat(
+        lambda: sweep_fraction(
+            soc, workload, 1, F_VALUES, variant=variant, on_error="record"
+        ),
+        repeat=3, number=1,
+    ))
+    speedup = slow / fast
+    print(f"\n10k-point interconnect f-sweep: scalar {slow * 1e3:.1f} ms, "
+          f"batch {fast * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    VARIANTS_SNAPSHOT.write_text(json.dumps({
+        "variant": "interconnect",
+        "points": N_POINTS,
+        "scalar_seconds": slow,
+        "batch_seconds": fast,
+        "speedup": speedup,
+    }, indent=2) + "\n", encoding="utf-8")
+    assert speedup >= 5.0, (
+        f"variant batch sweep only {speedup:.1f}x faster than the "
+        f"scalar loop (scalar {slow:.4f}s, batch {fast:.4f}s); need >= 5x"
+    )
+
+
+def test_variant_batch_sweep_matches_scalar_loop():
+    """Both variant dispatch paths agree point for point (<= 1e-12)."""
+    soc, workload = _pair()
+    variant = InterconnectVariant(
+        InterconnectSpec((Bus("fabric", 18 * GIGA),), ((0,), (0,)))
+    )
+    fast = sweep_fraction(soc, workload, 1, F_VALUES, variant=variant)
+    slow = sweep_fraction(
+        soc, workload, 1, F_VALUES, variant=variant, on_error="record"
+    )
+    assert not slow.errors
+    assert np.allclose(
+        fast.attainables(), slow.attainables(), rtol=1e-12, atol=0.0
+    )
     assert tuple(p.bottleneck for p in fast.points) == tuple(
         p.bottleneck for p in slow.points
     )

@@ -9,8 +9,8 @@ SRAM (Section V-A) and more DRAM bandwidth — and compare their value.
 Run:  python examples/camera_usecases.py
 """
 
-from repro.core import evaluate
-from repro.core.extensions import MemorySideCache, evaluate_with_memory_side
+from repro.core import MemorySideVariant, evaluate, evaluate_variant
+from repro.core.extensions import MemorySideCache
 from repro.explore import minimum_sufficient_bandwidth
 from repro.soc import generic_soc
 from repro.units import format_bandwidth
@@ -47,8 +47,8 @@ def main() -> None:
     # traffic (Section V-A).
     ratios = [1.0] * spec.n_ips
     ratios[spec.ip_index("ISP")] = 0.2
-    cached = evaluate_with_memory_side(spec, workload,
-                                       MemorySideCache(tuple(ratios)))
+    cached = evaluate_variant(spec, workload,
+                              MemorySideVariant(MemorySideCache(tuple(ratios))))
     print(f"with ISP-side SRAM (m_ISP=0.2): "
           f"{cached.attainable / ops:.0f} FPS ({cached.bottleneck}-bound)")
 

@@ -4,10 +4,12 @@ Subcommands::
 
     gables eval     --soc soc.json --workload usecase.json
     gables eval     --figure 6b [--explain]
+    gables eval     --figure 6b --variant interconnect
     gables plot     --figure 6d --out fig6d.svg       (or --ascii)
     gables sweep    --figure 6b --param f --steps 9
+    gables sweep    --figure 6b --variant multipath --param bpeak
     gables measure  --engine CPU                       (simulated ERT)
-    gables report   fig2 | fig6 | fig7 | fig8 | fig9 | table1 | all
+    gables report   fig2 | ... | table1 | variants | all
     gables presets
     gables trace summarize trace.jsonl
 
@@ -39,7 +41,13 @@ import sys
 
 from . import io as repro_io
 from . import obs
-from .core import FIGURE_6_SEQUENCE, evaluate
+from .core import (
+    FIGURE_6_SEQUENCE,
+    VARIANT_CHOICES,
+    evaluate,
+    evaluate_variant,
+    variant_from_config,
+)
 from .core.two_ip import TwoIPScenario
 from .errors import ReproError, exit_code_for
 from .resilience import FAULT_PLANS, ON_ERROR_MODES, degraded_banner
@@ -76,10 +84,48 @@ def _load_pair(args) -> tuple:
     return repro_io.load(args.soc), repro_io.load(args.workload)
 
 
+def _variant_from_args(args, soc):
+    """Build the requested :class:`ModelVariant`, or None for base."""
+    name = getattr(args, "variant", None)
+    if not name:
+        return None
+    config = None
+    raw = getattr(args, "variant_config", None)
+    if raw:
+        import json
+
+        try:
+            if raw.lstrip().startswith("{"):
+                config = json.loads(raw)
+            else:
+                with open(raw, encoding="utf-8") as handle:
+                    config = json.load(handle)
+        except (OSError, ValueError) as err:
+            raise ReproError(
+                f"cannot read --variant-config: {err}"
+            ) from err
+    return variant_from_config(name, soc, config)
+
+
 def _cmd_eval(args) -> int:
     soc, workload = _load_pair(args)
-    result = evaluate(soc, workload)
+    variant = _variant_from_args(args, soc)
+    if variant is None:
+        result = evaluate(soc, workload)
+    else:
+        result = evaluate_variant(
+            soc, workload if variant.requires_workload else None, variant
+        )
     print(f"SoC: {soc.name}   usecase: {workload.name}")
+    if variant is not None and not variant.requires_workload:
+        print(f"phased usecase: attainable "
+              f"{format_ops(result.attainable)} "
+              f"(binding phase: {result.bottleneck_phase})")
+        for (phase, sub), time in zip(result.phase_results,
+                                      result.phase_times):
+            print(f"  {phase.name}: work={phase.work:g} "
+                  f"time={time:.4g}s/op ({sub.bottleneck}-bound)")
+        return 0
     print(result.summary())
     if getattr(args, "explain", False):
         record = obs.provenance.from_result(soc, workload, result)
@@ -94,7 +140,9 @@ def _cmd_plot(args) -> int:
     from .viz import RooflinePlotData, roofline_ascii, roofline_svg
 
     soc, workload = _load_pair(args)
-    data = RooflinePlotData.from_model(soc, workload)
+    data = RooflinePlotData.from_model(
+        soc, workload, variant=_variant_from_args(args, soc)
+    )
     if args.ascii or not args.out:
         print(roofline_ascii(data))
         return 0
@@ -108,23 +156,26 @@ def _cmd_sweep(args) -> int:
     from .explore import sweep_fraction, sweep_intensity, sweep_memory_bandwidth
 
     soc, workload = _load_pair(args)
+    variant = _variant_from_args(args, soc)
     steps = args.steps
     on_error = args.on_error
     if args.param == "f":
         values = [k / (steps - 1) for k in range(steps)]
         series = sweep_fraction(
-            soc, workload, args.ip, values, on_error=on_error
+            soc, workload, args.ip, values, on_error=on_error,
+            variant=variant,
         )
     elif args.param == "intensity":
         values = [2.0**k for k in range(-4, steps - 4)]
         series = sweep_intensity(
-            soc, workload, args.ip, values, on_error=on_error
+            soc, workload, args.ip, values, on_error=on_error,
+            variant=variant,
         )
     elif args.param == "bpeak":
         base = soc.memory_bandwidth
         values = [base * (0.25 + 0.25 * k) for k in range(steps)]
         series = sweep_memory_bandwidth(
-            soc, workload, values, on_error=on_error
+            soc, workload, values, on_error=on_error, variant=variant,
         )
     else:
         raise ReproError(f"unknown sweep parameter {args.param!r}")
@@ -302,11 +353,14 @@ def _cmd_report(args) -> int:
         # report_all owns the per-section capture and banner.
         print(report(on_error=args.on_error))
         return 0
+    report_args = ()
+    if args.experiment == "variants" and getattr(args, "variant", None):
+        report_args = (args.variant,)
     if args.on_error == "raise":
-        print(report())
+        print(report(*report_args))
         return 0
     try:
-        print(report())
+        print(report(*report_args))
     except ReproError as err:
         failure = record_failure((args.experiment,), err)
         print(degraded_banner((failure,), 1, what="sections"))
@@ -393,8 +447,23 @@ def build_parser() -> argparse.ArgumentParser:
             "--figure", help="use a paper Figure 6 scenario: 6a|6b|6c|6d"
         )
 
+    def add_variant_args(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group("model variant")
+        group.add_argument(
+            "--variant", choices=VARIANT_CHOICES, default=None,
+            help="evaluate through a model variant's lowered pipeline "
+                 "(default: base concurrent Gables)",
+        )
+        group.add_argument(
+            "--variant-config", dest="variant_config", metavar="JSON",
+            default=None,
+            help="variant structure as inline JSON or a JSON file path "
+                 "(buses/routes/miss ratios/phases; see docs/api.md)",
+        )
+
     p_eval = sub.add_parser("eval", help="evaluate a usecase on an SoC")
     add_model_args(p_eval)
+    add_variant_args(p_eval)
     p_eval.add_argument(
         "--explain", action="store_true",
         help="print the evaluation's provenance record (which min() "
@@ -404,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_plot = sub.add_parser("plot", help="render a scaled-roofline plot")
     add_model_args(p_plot)
+    add_variant_args(p_plot)
     p_plot.add_argument("--out", help="output SVG path (omit for ASCII)")
     p_plot.add_argument("--ascii", action="store_true",
                         help="render to the terminal")
@@ -411,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="sweep a model parameter")
     add_model_args(p_sweep)
+    add_variant_args(p_sweep)
     p_sweep.add_argument("--param", default="f",
                          choices=("f", "intensity", "bpeak"))
     p_sweep.add_argument("--ip", type=int, default=1,
@@ -501,7 +572,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="regenerate a paper artifact")
     p_report.add_argument(
         "experiment",
-        help="fig2 | fig6 | fig7 | fig8 | fig9 | table1 | all",
+        help="fig2 | fig6 | fig7 | fig8 | fig9 | table1 | variants | all",
+    )
+    p_report.add_argument(
+        "--variant", choices=VARIANT_CHOICES, default=None,
+        help="restrict the 'variants' report to one model variant",
     )
     p_report.add_argument(
         "--on-error", dest="on_error", default="raise",

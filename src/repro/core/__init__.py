@@ -11,13 +11,17 @@ The public surface:
   (Equations 12-14), used for cross-checking and plotting;
 - :class:`Roofline` — the classic single-chip model Gables builds on;
 - :mod:`repro.core.extensions` — memory-side SRAM, interconnect
-  topology, serialized work, and phased usecases.
+  topology, serialized work, and phased usecases;
+- :func:`evaluate_variant` / :func:`evaluate_variant_batch` — the
+  lowered pipeline evaluating any :class:`ModelVariant` (base plus
+  every extension) through one engine (:mod:`repro.core.lowering`).
 """
 
 from .batch import (
     BatchResult,
     cached_evaluator,
     evaluate_batch,
+    evaluate_lowered_batch,
     fraction_grid,
 )
 from .blend import blend_workloads, interference_slowdown
@@ -30,9 +34,31 @@ from .gables import (
     ip_terms,
     scaled_roofline_curves,
 )
+from .lowering import (
+    BusConstraint,
+    LoweredModel,
+    LoweredPhase,
+    RouteSolver,
+    execute_lowered_phase,
+)
 from .params import IPBlock, SoCSpec, Workload
-from .result import GablesResult, IPTerm
+from .result import GablesResult, IPTerm, compose_result
 from .roofline import Ceiling, Roofline, machine_balance
+from .variants import (
+    VARIANT_CHOICES,
+    BaseVariant,
+    CoordinationVariant,
+    InterconnectVariant,
+    MemorySideVariant,
+    ModelVariant,
+    MultipathVariant,
+    PhasedBatchResult,
+    PhasedVariant,
+    SerializedVariant,
+    evaluate_variant,
+    evaluate_variant_batch,
+    variant_from_config,
+)
 from .uncertainty import (
     Interval,
     IntervalResult,
@@ -53,8 +79,11 @@ from .two_ip import (
 )
 
 __all__ = [
+    "BaseVariant",
     "BatchResult",
+    "BusConstraint",
     "Ceiling",
+    "CoordinationVariant",
     "FIGURE_6A",
     "FIGURE_6B",
     "FIGURE_6C",
@@ -64,14 +93,25 @@ __all__ = [
     "GablesResult",
     "IPBlock",
     "IPTerm",
+    "InterconnectVariant",
     "Interval",
     "IntervalResult",
+    "LoweredModel",
+    "LoweredPhase",
+    "MemorySideVariant",
+    "ModelVariant",
+    "MultipathVariant",
+    "PhasedBatchResult",
+    "PhasedVariant",
     "Roofline",
     "RooflineCurve",
+    "RouteSolver",
+    "SerializedVariant",
     "SoCSpec",
     "TwoIPScenario",
     "UncertainSoC",
     "UncertainWorkload",
+    "VARIANT_CHOICES",
     "Workload",
     "evaluate_interval",
     "evaluate_with_margin",
@@ -79,14 +119,20 @@ __all__ = [
     "attainable_performance_dual",
     "blend_workloads",
     "cached_evaluator",
+    "compose_result",
+    "execute_lowered_phase",
     "interference_slowdown",
     "drop_lines",
     "evaluate",
     "evaluate_batch",
+    "evaluate_lowered_batch",
     "evaluate_two_ip",
+    "evaluate_variant",
+    "evaluate_variant_batch",
     "fraction_grid",
     "ip_terms",
     "machine_balance",
     "min_envelope",
     "scaled_roofline_curves",
+    "variant_from_config",
 ]

@@ -40,12 +40,14 @@ from ..obs.trace import tracing_enabled as _tracing_enabled
 from ..resilience.partial import check_on_error, point_failure
 from .._validation import FRACTION_SUM_TOL
 from .gables import evaluate
+from .lowering import COORDINATION, LoweredPhase
 from .params import SoCSpec, Workload
 from .result import BINDING_REL_TOL, MEMORY, GablesResult, IPTerm
 
 #: Module-level instrument handles (one registry lookup at import).
 _BATCH_CALLS = _counter("core.evaluate_batch.calls")
 _BATCH_POINTS = _counter("core.evaluate_batch.points")
+_LOWERED_CALLS = _counter("core.evaluate_lowered_batch.calls")
 _CACHE_HITS = _counter("core.evaluate.cache_hits")
 
 
@@ -90,6 +92,17 @@ class BatchResult:
         Under ``on_error="skip"``, the original batch indices of the
         retained rows (failed rows are compressed away); ``None``
         otherwise.
+    extra_names, extra_times_matrix:
+        Lowered-variant shared-resource components (bus and
+        coordination times): names in column order and their (K, Q)
+        time matrix.  Empty / ``None`` for the base model.
+    combine:
+        ``"max"`` (concurrent, Equation 11) or ``"sum"`` (serialized,
+        Equation 19) — how per-point component times became the
+        attainable bound.
+    folded_memory:
+        True when each IP's time already folds its ``Di / Bpeak`` DRAM
+        term (the serialized regime); ``memory_times`` is then zero.
     """
 
     component_names: tuple
@@ -107,6 +120,10 @@ class BatchResult:
     valid: np.ndarray | None = None
     errors: tuple = ()
     point_indices: np.ndarray | None = None
+    extra_names: tuple = ()
+    extra_times_matrix: np.ndarray | None = None
+    combine: str = "max"
+    folded_memory: bool = False
 
     def __len__(self) -> int:
         """Number of evaluated points K."""
@@ -115,7 +132,7 @@ class BatchResult:
     @property
     def n_ips(self) -> int:
         """Number of IPs N."""
-        return len(self.component_names) - 1
+        return len(self.component_names) - 1 - len(self.extra_names)
 
     @property
     def memory_code(self) -> int:
@@ -166,7 +183,7 @@ class BatchResult:
                 f"evaluation{detail}"
             )
         terms = []
-        for i, name in enumerate(self.component_names[:-1]):
+        for i, name in enumerate(self.component_names[: self.n_ips]):
             fraction = float(self.fractions[index, i])
             time = float(self.ip_times[index, i])
             compute_time = float(self.compute_times[index, i])
@@ -174,6 +191,13 @@ class BatchResult:
             if fraction == 0:
                 limiter = "idle"
                 perf_bound = None
+            elif self.folded_memory and time > max(
+                transfer_time, compute_time
+            ):
+                # The folded Di/Bpeak term strictly dominates: the IP is
+                # bound by its own DRAM traffic (serialized regime).
+                limiter = "memory"
+                perf_bound = math.inf if time == 0 else 1.0 / time
             else:
                 limiter = (
                     "bandwidth" if transfer_time > compute_time else "compute"
@@ -194,8 +218,14 @@ class BatchResult:
                 )
             )
         memory_time = float(self.memory_times[index])
+        extra = {
+            name: float(self.extra_times_matrix[index, j])
+            for j, name in enumerate(self.extra_names)
+        }
         times = {term.name: term.time for term in terms}
-        times[MEMORY] = memory_time
+        if self.combine == "max":
+            times[MEMORY] = memory_time
+            times.update(extra)
         binding_time = max(times.values())
         binding = tuple(
             name
@@ -210,6 +240,7 @@ class BatchResult:
             attainable=float(self.attainables[index]),
             bottleneck=self.bottleneck(index),
             binding_components=binding,
+            extra_times=extra,
         )
 
 
@@ -384,6 +415,91 @@ def evaluate_batch(
     bad workload arrays, :class:`SpecError` for bad hardware arrays,
     :class:`EvaluationError` for degenerate all-zero-time points).
     """
+    (
+        fractions, intensities, memory_bandwidth, ip_bandwidths, ip_peaks,
+        valid, failures, k,
+    ) = _prepare_batch(
+        soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+        ip_peaks, validate, on_error,
+    )
+    _BATCH_CALLS.inc()
+    _BATCH_POINTS.inc(k)
+    if not _tracing_enabled():
+        return _evaluate_batch_impl(
+            soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+            ip_peaks, valid=valid, on_error=on_error, failures=failures,
+        )
+    # One span per batch — never one per point (issue contract).
+    with _span("core.evaluate_batch", soc=soc.name, points=k):
+        return _evaluate_batch_impl(
+            soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+            ip_peaks, valid=valid, on_error=on_error, failures=failures,
+        )
+
+
+def evaluate_lowered_batch(
+    soc: SoCSpec,
+    phase: LoweredPhase,
+    fractions,
+    intensities,
+    *,
+    memory_bandwidth=None,
+    ip_bandwidths=None,
+    ip_peaks=None,
+    validate: bool = True,
+    on_error: str = "raise",
+) -> BatchResult:
+    """Vectorized backend of the lowered pipeline: one phase, K points.
+
+    Evaluates a single :class:`~repro.core.lowering.LoweredPhase` —
+    any single-phase model variant (base, serialized, memory-side,
+    interconnect, multipath, coordination) — over K workload points
+    with the same hardware overrides, validation, and tolerant
+    ``on_error`` semantics as :func:`evaluate_batch`.  The phase's own
+    ``workload`` attribute is ignored: the grid supplies the workload
+    vectors (multi-phase models are sequenced one batch per phase by
+    :func:`repro.core.variants.evaluate_variant_batch`).
+
+    Extra shared-resource components (bus and coordination times) come
+    back as the :attr:`BatchResult.extra_times_matrix` columns and
+    participate in per-point bottleneck attribution exactly as in the
+    scalar engine.  Agreement with the scalar backend is within 1e-12
+    relative (the reduction-order caveat in the module docstring).
+    """
+    (
+        fractions, intensities, memory_bandwidth, ip_bandwidths, ip_peaks,
+        valid, failures, k,
+    ) = _prepare_batch(
+        soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+        ip_peaks, validate, on_error,
+    )
+    _LOWERED_CALLS.inc()
+    _BATCH_POINTS.inc(k)
+    if not _tracing_enabled():
+        return _evaluate_batch_impl(
+            soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+            ip_peaks, valid=valid, on_error=on_error, failures=failures,
+            phase=phase,
+        )
+    with _span("core.evaluate_lowered_batch", soc=soc.name, points=k):
+        return _evaluate_batch_impl(
+            soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+            ip_peaks, valid=valid, on_error=on_error, failures=failures,
+            phase=phase,
+        )
+
+
+def _prepare_batch(
+    soc: SoCSpec,
+    fractions,
+    intensities,
+    memory_bandwidth,
+    ip_bandwidths,
+    ip_peaks,
+    validate: bool,
+    on_error: str,
+) -> tuple:
+    """Shared input coercion + validation for the batch entry points."""
     check_on_error(on_error)
     n = soc.n_ips
     fractions = _as_batch_matrix(fractions, n, "fractions", WorkloadError)
@@ -436,20 +552,10 @@ def evaluate_batch(
             )
         else:
             valid = np.ones(k, dtype=bool)
-
-    _BATCH_CALLS.inc()
-    _BATCH_POINTS.inc(k)
-    if not _tracing_enabled():
-        return _evaluate_batch_impl(
-            soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
-            ip_peaks, valid=valid, on_error=on_error, failures=failures,
-        )
-    # One span per batch — never one per point (issue contract).
-    with _span("core.evaluate_batch", soc=soc.name, points=k):
-        return _evaluate_batch_impl(
-            soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
-            ip_peaks, valid=valid, on_error=on_error, failures=failures,
-        )
+    return (
+        fractions, intensities, memory_bandwidth, ip_bandwidths, ip_peaks,
+        valid, failures, k,
+    )
 
 
 def _evaluate_batch_impl(
@@ -462,7 +568,11 @@ def _evaluate_batch_impl(
     valid: np.ndarray | None = None,
     on_error: str = "raise",
     failures: list | None = None,
+    phase: LoweredPhase | None = None,
 ) -> BatchResult:
+    k = fractions.shape[0]
+    combine = "max" if phase is None else phase.combine
+    folded = phase is not None and phase.fold_memory_per_ip
     with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
         # Equation 9 per point: Ci = fi / (Ai * Ppeak); Di = fi / Ii
         # (f / inf == 0.0 covers the perfect-reuse case the scalar path
@@ -472,44 +582,159 @@ def _evaluate_batch_impl(
         transfer_times = data_bytes / ip_bandwidths
         ip_times = np.maximum(transfer_times, compute_times)
 
-        # Equation 10: Tmemory = sum(Di) / Bpeak, and the Iavg dual.
-        total_bytes = data_bytes.sum(axis=1)
-        memory_times = total_bytes / memory_bandwidth
-        average_intensities = np.where(
-            total_bytes == 0, np.inf, 1.0 / total_bytes
+        mem_bw_col = (
+            memory_bandwidth[:, np.newaxis]
+            if memory_bandwidth.ndim == 1
+            else memory_bandwidth
         )
-        memory_perf_bounds = np.where(
-            memory_times == 0,
-            np.inf,
-            memory_bandwidth * average_intensities,
+        if folded:
+            # Equation 18: each IP also pays Di / Bpeak itself.
+            ip_times = np.maximum(ip_times, data_bytes / mem_bw_col)
+
+        # Host coordination: serialized dispatch work lands on IP[0]
+        # and joins the bottleneck set as its own component.
+        t_coord = None
+        if phase is not None and phase.dispatch_seconds is not None:
+            dispatch = np.asarray(phase.dispatch_seconds, dtype=float)
+            active = fractions[:, 1:] > 0
+            t_coord = (
+                np.where(active, dispatch[1:], 0.0).sum(axis=1)
+                / phase.ops_per_item
+            )
+            if np.any(t_coord > 0):
+                if COORDINATION in soc.ip_names:
+                    raise SpecError(
+                        f"component name {COORDINATION!r} collides with "
+                        "an IP"
+                    )
+                ip_times[:, 0] = ip_times[:, 0] + t_coord
+            else:
+                t_coord = None
+
+        # Equation 10: Tmemory = sum(Di) / Bpeak, and the Iavg dual —
+        # with the memory-side filter (Eq. 15) or the serialized fold
+        # (memory term leaves the comparison) applied as lowered.
+        total_bytes = data_bytes.sum(axis=1)
+        if phase is not None and phase.memory_weights is not None:
+            weights = np.asarray(phase.memory_weights, dtype=float)
+            filtered_bytes = (data_bytes * weights).sum(axis=1)
+            memory_times = filtered_bytes / memory_bandwidth
+            average_intensities = np.where(
+                filtered_bytes == 0, np.inf, 1.0 / filtered_bytes
+            )
+            memory_perf_bounds = np.where(
+                memory_times == 0,
+                np.inf,
+                memory_bandwidth * average_intensities,
+            )
+        elif phase is not None and not phase.include_memory:
+            memory_times = np.zeros(k)
+            average_intensities = np.where(
+                total_bytes == 0, np.inf, 1.0 / total_bytes
+            )
+            memory_perf_bounds = np.full(k, np.inf)
+        else:
+            memory_times = total_bytes / memory_bandwidth
+            average_intensities = np.where(
+                total_bytes == 0, np.inf, 1.0 / total_bytes
+            )
+            memory_perf_bounds = np.where(
+                memory_times == 0,
+                np.inf,
+                memory_bandwidth * average_intensities,
+            )
+
+        # Extra shared-resource columns: fixed buses (Eq. 16), then
+        # solver-assigned bus loads, then the coordination component.
+        extra_cols: list = []
+        extra_names: list = []
+        if phase is not None:
+            for bus in phase.buses:
+                weights = np.asarray(bus.traffic_weights, dtype=float)
+                extra_cols.append(
+                    (data_bytes * weights).sum(axis=1) / bus.bandwidth
+                )
+                extra_names.append(bus.name)
+            if phase.route_solver is not None:
+                solver = phase.route_solver
+                solved = np.zeros((k, len(solver.bus_names)))
+                rows = (
+                    range(k)
+                    if valid is None
+                    else np.nonzero(valid)[0].tolist()
+                )
+                for index in rows:
+                    row = data_bytes[index]
+                    times = solver(row.tolist())
+                    solved[index] = [times[b] for b in solver.bus_names]
+                extra_cols.extend(
+                    solved[:, j] for j in range(len(solver.bus_names))
+                )
+                extra_names.extend(solver.bus_names)
+            if extra_names:
+                overlap = (set(soc.ip_names) | {MEMORY}) & set(extra_names)
+                if overlap:
+                    raise SpecError(
+                        f"bus names collide with IP/memory names: "
+                        f"{sorted(overlap)!r}"
+                    )
+        if t_coord is not None:
+            extra_cols.append(t_coord)
+            extra_names.append(COORDINATION)
+        extra_matrix = (
+            np.column_stack(extra_cols) if extra_cols else None
         )
 
-        # Equation 11 plus bottleneck attribution: binding component is
-        # the *first* (IP order, memory last) whose time ties the max
-        # within BINDING_REL_TOL — same rule as pick_bottleneck().
-        all_times = np.concatenate(
-            [ip_times, memory_times[:, np.newaxis]], axis=1
-        )
-        binding = all_times.max(axis=1)
-        if on_error == "raise":
-            if not np.all(binding > 0):
-                bad = int(np.argmin(binding > 0))
-                raise EvaluationError(
-                    f"degenerate usecase at batch point {bad}: every "
-                    "component takes zero time"
-                )
+        # Equation 11 (or 19) plus bottleneck attribution: binding
+        # component is the *first* (IP order, memory, then extras)
+        # whose time ties the max within BINDING_REL_TOL — same rule
+        # as pick_bottleneck().
+        if combine == "sum":
+            all_times = ip_times
+            total_times = ip_times.sum(axis=1)
+            if on_error == "raise":
+                if not np.all(total_times > 0):
+                    raise EvaluationError(
+                        "serialized usecase takes zero time"
+                    )
+            else:
+                progressing = total_times > 0
+                degenerate = valid & ~progressing
+                for index in np.nonzero(degenerate)[0].tolist():
+                    failures.append((
+                        index,
+                        "EVAL_DEGENERATE_POINT",
+                        "serialized usecase takes zero time",
+                    ))
+                valid = valid & progressing
+            attainables = 1.0 / total_times
+            binding = all_times.max(axis=1)
         else:
-            # NaN compares False, so invalid rows are excluded too.
-            progressing = binding > 0
-            degenerate = valid & ~progressing
-            for index in np.nonzero(degenerate)[0].tolist():
-                failures.append((
-                    index,
-                    "EVAL_DEGENERATE_POINT",
-                    "degenerate usecase: every component takes zero time",
-                ))
-            valid = valid & progressing
-        attainables = 1.0 / binding
+            columns = [ip_times, memory_times[:, np.newaxis]]
+            if extra_matrix is not None:
+                columns.append(extra_matrix)
+            all_times = np.concatenate(columns, axis=1)
+            binding = all_times.max(axis=1)
+            if on_error == "raise":
+                if not np.all(binding > 0):
+                    bad = int(np.argmin(binding > 0))
+                    raise EvaluationError(
+                        f"degenerate usecase at batch point {bad}: every "
+                        "component takes zero time"
+                    )
+            else:
+                # NaN compares False, so invalid rows are excluded too.
+                progressing = binding > 0
+                degenerate = valid & ~progressing
+                for index in np.nonzero(degenerate)[0].tolist():
+                    failures.append((
+                        index,
+                        "EVAL_DEGENERATE_POINT",
+                        "degenerate usecase: every component takes zero "
+                        "time",
+                    ))
+                valid = valid & progressing
+            attainables = 1.0 / binding
         binding_col = binding[:, np.newaxis]
         ties = (all_times == binding_col) | (
             np.abs(all_times - binding_col)
@@ -537,6 +762,8 @@ def _evaluate_batch_impl(
             array[invalid] = np.nan
         for array in (compute_times, data_bytes, transfer_times, ip_times):
             array[invalid, :] = np.nan
+        if extra_matrix is not None:
+            extra_matrix[invalid, :] = np.nan
         if on_error == "skip":
             point_indices = np.nonzero(valid)[0]
             keep = point_indices
@@ -551,10 +778,12 @@ def _evaluate_batch_impl(
             average_intensities = average_intensities[keep]
             attainables = attainables[keep]
             bottleneck_codes = bottleneck_codes[keep]
+            if extra_matrix is not None:
+                extra_matrix = extra_matrix[keep]
             valid = np.ones(keep.shape[0], dtype=bool)
 
     return BatchResult(
-        component_names=soc.ip_names + (MEMORY,),
+        component_names=soc.ip_names + (MEMORY,) + tuple(extra_names),
         fractions=fractions,
         intensities=intensities,
         compute_times=compute_times,
@@ -569,6 +798,10 @@ def _evaluate_batch_impl(
         valid=valid,
         errors=errors,
         point_indices=point_indices,
+        extra_names=tuple(extra_names),
+        extra_times_matrix=extra_matrix,
+        combine=combine,
+        folded_memory=folded,
     )
 
 

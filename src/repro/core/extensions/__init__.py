@@ -23,18 +23,29 @@ from .coordination import (
     COORDINATION,
     CoordinationModel,
     coordination_break_even_items,
-    evaluate_with_coordination,
+    lower_coordination,
     max_item_rate_with_coordination,
 )
-from .interconnect import Bus, InterconnectSpec, evaluate_with_buses
-from .memory_side import MemorySideCache, evaluate_with_memory_side
+from .interconnect import Bus, InterconnectSpec, lower_interconnect
+from .memory_side import MemorySideCache, lower_memory_side
 from .multipath import (
     MultiPathInterconnect,
-    evaluate_with_multipath,
+    lower_multipath,
     optimal_route_split,
 )
-from .phases import Phase, PhasedUsecase, evaluate_phases
-from .serialized import evaluate_serialized
+from .phases import Phase, PhasedResult, PhasedUsecase, lower_phases
+from .serialized import lower_serialized
+
+# Deprecated legacy entry points; imported last so the shims can reach
+# the variant layer (which imports the submodules above) lazily.
+from ._compat import (  # noqa: E402  (deliberate ordering)
+    evaluate_phases,
+    evaluate_serialized,
+    evaluate_with_buses,
+    evaluate_with_coordination,
+    evaluate_with_memory_side,
+    evaluate_with_multipath,
+)
 
 __all__ = [
     "COORDINATION",
@@ -44,6 +55,7 @@ __all__ = [
     "MemorySideCache",
     "MultiPathInterconnect",
     "Phase",
+    "PhasedResult",
     "PhasedUsecase",
     "coordination_break_even_items",
     "evaluate_phases",
@@ -53,5 +65,11 @@ __all__ = [
     "evaluate_with_buses",
     "evaluate_with_memory_side",
     "evaluate_with_multipath",
+    "lower_coordination",
+    "lower_interconnect",
+    "lower_memory_side",
+    "lower_multipath",
+    "lower_phases",
+    "lower_serialized",
     "optimal_route_split",
 ]

@@ -1,0 +1,85 @@
+"""Deprecated ``evaluate_with_*`` entry points (compatibility shims).
+
+Every extension now *lowers* onto the shared engine in
+:mod:`repro.core.lowering` and is evaluated through
+:func:`repro.core.variants.evaluate_variant`.  The legacy per-extension
+evaluators below are thin wrappers kept for callers that predate the
+lowered pipeline; each one emits a :class:`DeprecationWarning` and
+delegates to the variant API, so results are identical bit for bit.
+
+New code (including everything in this repository outside this module)
+must use ``evaluate_variant`` — a lint test enforces that no in-repo
+module imports these names.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from ..params import SoCSpec, Workload
+from ..result import GablesResult
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use repro.core.variants.evaluate_variant "
+        f"with {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def evaluate_with_memory_side(
+    soc: SoCSpec, workload: Workload, cache
+) -> GablesResult:
+    """Deprecated: evaluate via ``MemorySideVariant`` instead."""
+    from ..variants import MemorySideVariant, evaluate_variant
+
+    _warn("evaluate_with_memory_side", "MemorySideVariant")
+    return evaluate_variant(soc, workload, MemorySideVariant(cache))
+
+
+def evaluate_with_buses(
+    soc: SoCSpec, workload: Workload, interconnect
+) -> GablesResult:
+    """Deprecated: evaluate via ``InterconnectVariant`` instead."""
+    from ..variants import InterconnectVariant, evaluate_variant
+
+    _warn("evaluate_with_buses", "InterconnectVariant")
+    return evaluate_variant(soc, workload, InterconnectVariant(interconnect))
+
+
+def evaluate_with_multipath(
+    soc: SoCSpec, workload: Workload, interconnect
+) -> GablesResult:
+    """Deprecated: evaluate via ``MultipathVariant`` instead."""
+    from ..variants import MultipathVariant, evaluate_variant
+
+    _warn("evaluate_with_multipath", "MultipathVariant")
+    return evaluate_variant(soc, workload, MultipathVariant(interconnect))
+
+
+def evaluate_with_coordination(
+    soc: SoCSpec, workload: Workload, coordination
+) -> GablesResult:
+    """Deprecated: evaluate via ``CoordinationVariant`` instead."""
+    from ..variants import CoordinationVariant, evaluate_variant
+
+    _warn("evaluate_with_coordination", "CoordinationVariant")
+    return evaluate_variant(soc, workload, CoordinationVariant(coordination))
+
+
+def evaluate_serialized(soc: SoCSpec, workload: Workload) -> GablesResult:
+    """Deprecated: evaluate via ``SerializedVariant`` instead."""
+    from ..variants import SerializedVariant, evaluate_variant
+
+    _warn("evaluate_serialized", "SerializedVariant")
+    return evaluate_variant(soc, workload, SerializedVariant())
+
+
+def evaluate_phases(soc: SoCSpec, usecase):
+    """Deprecated: evaluate via ``PhasedVariant`` instead."""
+    from ..variants import PhasedVariant, evaluate_variant
+
+    _warn("evaluate_phases", "PhasedVariant")
+    return evaluate_variant(soc, None, PhasedVariant(usecase))

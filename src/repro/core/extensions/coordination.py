@@ -22,17 +22,12 @@ single accelerator, here applied to the whole concurrent usecase.
 
 from __future__ import annotations
 
-import dataclasses
 import math
 
 from ..._validation import require_finite_positive, require_nonnegative
 from ...errors import SpecError, WorkloadError
-from ..gables import ip_terms, memory_time
+from ..lowering import COORDINATION, LoweredModel, LoweredPhase
 from ..params import SoCSpec, Workload
-from ..result import MEMORY, GablesResult, pick_bottleneck
-
-#: Component label for the host-coordination term.
-COORDINATION = "coordination"
 
 
 class CoordinationModel:
@@ -90,58 +85,29 @@ class CoordinationModel:
         return per_item / self.ops_per_item
 
 
-def evaluate_with_coordination(
-    soc: SoCSpec, workload: Workload, coordination: CoordinationModel
-) -> GablesResult:
-    """Gables with the host-coordination term in the max().
+def lower_coordination(
+    soc: SoCSpec, coordination: CoordinationModel
+) -> LoweredModel:
+    """Lower the coordination term onto the shared engine.
 
-    The coordination time is serialized on the host, so it also adds
-    to the host IP's own time (the CPU cannot compute while servicing
-    interrupts); the term additionally appears standalone in the
-    bottleneck attribution so reports can name it.
+    The dispatch costs and item granularity ride on the lowered phase;
+    the engine folds the serialized host work into the host IP's term
+    (the CPU cannot compute while servicing interrupts) and adds the
+    standalone ``"coordination"`` component to the bottleneck max().
     """
     if coordination.n_ips != soc.n_ips:
         raise WorkloadError(
             f"coordination model covers {coordination.n_ips} IPs but SoC "
             f"has {soc.n_ips}"
         )
-    terms = list(ip_terms(soc, workload))
-    t_coord = coordination.coordination_time(workload)
-    t_memory = memory_time(soc, terms)
-    iavg = workload.average_intensity()
-
-    # The host pays for compute AND coordination serially; fold the
-    # cost into its term so reports and utilization reflect it.
-    if t_coord > 0:
-        host = terms[0]
-        host_time = host.time + t_coord
-        terms[0] = dataclasses.replace(
-            host,
-            time=host_time,
-            perf_bound=(1.0 / host_time if host.fraction > 0 or t_coord > 0
-                        else host.perf_bound),
-        )
-    times = {term.name: term.time for term in terms}
-    times[MEMORY] = t_memory
-    if t_coord > 0:
-        if COORDINATION in times:
-            raise SpecError(
-                f"component name {COORDINATION!r} collides with an IP"
-            )
-        times[COORDINATION] = t_coord
-    primary, binding = pick_bottleneck(times)
-
-    return GablesResult(
-        ip_terms=tuple(terms),
-        memory_time=t_memory,
-        memory_perf_bound=(
-            math.inf if t_memory == 0 else soc.memory_bandwidth * iavg
+    return LoweredModel(
+        kind="coordination",
+        phases=(
+            LoweredPhase(
+                dispatch_seconds=coordination.dispatch_seconds,
+                ops_per_item=coordination.ops_per_item,
+            ),
         ),
-        average_intensity=iavg,
-        attainable=1.0 / max(times.values()),
-        bottleneck=primary,
-        binding_components=binding,
-        extra_times={COORDINATION: t_coord} if t_coord > 0 else {},
     )
 
 
@@ -151,7 +117,10 @@ def max_item_rate_with_coordination(
     coordination: CoordinationModel,
 ) -> float:
     """Items/s ceiling including the host-coordination bottleneck."""
-    result = evaluate_with_coordination(soc, workload, coordination)
+    # Local import: variants imports this module at load time.
+    from ..variants import CoordinationVariant, evaluate_variant
+
+    result = evaluate_variant(soc, workload, CoordinationVariant(coordination))
     return result.attainable / coordination.ops_per_item
 
 

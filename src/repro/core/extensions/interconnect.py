@@ -27,9 +27,10 @@ import networkx as nx
 
 from ..._validation import require_positive
 from ...errors import SpecError, WorkloadError
-from ..gables import ip_terms, memory_time
+from ..gables import ip_terms
+from ..lowering import BusConstraint, LoweredModel, LoweredPhase
 from ..params import SoCSpec, Workload
-from ..result import MEMORY, GablesResult, pick_bottleneck
+from ..result import MEMORY
 
 
 class Bus:
@@ -160,36 +161,38 @@ def bus_times(soc: SoCSpec, workload: Workload, interconnect: InterconnectSpec) 
     return times
 
 
-def evaluate_with_buses(
-    soc: SoCSpec, workload: Workload, interconnect: InterconnectSpec
-) -> GablesResult:
-    """Evaluate Gables with explicit fabric bounds (Equation 17).
+def lower_interconnect(
+    soc: SoCSpec, interconnect: InterconnectSpec
+) -> LoweredModel:
+    """Lower Equation 17 onto the shared engine.
 
-    The result's ``extra_times`` carries the per-bus terms, and the
-    bottleneck attribution may now name a bus.
+    Each bus becomes a fixed :class:`~repro.core.lowering.BusConstraint`
+    whose traffic weights encode the ``Use(i, j)`` matrix; the lowering
+    is workload-independent, so one lowering serves a whole sweep.
     """
-    terms = ip_terms(soc, workload)
-    t_memory = memory_time(soc, terms)
-    iavg = workload.average_intensity()
-    t_buses = bus_times(soc, workload, interconnect)
-
-    times = {term.name: term.time for term in terms}
-    times[MEMORY] = t_memory
-    overlap = set(times) & set(t_buses)
+    if interconnect.n_ips != soc.n_ips:
+        raise WorkloadError(
+            f"interconnect usage covers {interconnect.n_ips} IPs "
+            f"but SoC has {soc.n_ips}"
+        )
+    overlap = (set(soc.ip_names) | {MEMORY}) & {
+        bus.name for bus in interconnect.buses
+    }
     if overlap:
-        raise SpecError(f"bus names collide with IP/memory names: {sorted(overlap)!r}")
-    times.update(t_buses)
-    primary, binding = pick_bottleneck(times)
-
-    return GablesResult(
-        ip_terms=terms,
-        memory_time=t_memory,
-        memory_perf_bound=(
-            math.inf if t_memory == 0 else soc.memory_bandwidth * iavg
-        ),
-        average_intensity=iavg,
-        attainable=1.0 / max(times.values()),
-        bottleneck=primary,
-        binding_components=binding,
-        extra_times=t_buses,
+        raise SpecError(
+            f"bus names collide with IP/memory names: {sorted(overlap)!r}"
+        )
+    buses = tuple(
+        BusConstraint(
+            name=bus.name,
+            bandwidth=bus.bandwidth,
+            traffic_weights=tuple(
+                1.0 if interconnect.uses(i, j) else 0.0
+                for i in range(interconnect.n_ips)
+            ),
+        )
+        for j, bus in enumerate(interconnect.buses)
+    )
+    return LoweredModel(
+        kind="interconnect", phases=(LoweredPhase(buses=buses),)
     )

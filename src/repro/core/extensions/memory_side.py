@@ -21,13 +21,10 @@ working-set estimator for early-stage what-ifs.
 
 from __future__ import annotations
 
-import math
-
 from ..._validation import require_finite_positive, require_probability
 from ...errors import SpecError, WorkloadError
-from ..gables import ip_terms
-from ..params import SoCSpec, Workload
-from ..result import MEMORY, GablesResult, pick_bottleneck
+from ..lowering import LoweredModel, LoweredPhase
+from ..params import SoCSpec
 
 
 class MemorySideCache:
@@ -87,43 +84,23 @@ class MemorySideCache:
         )
 
 
-def evaluate_with_memory_side(
-    soc: SoCSpec, workload: Workload, cache: MemorySideCache
-) -> GablesResult:
-    """Evaluate Gables with the memory-side SRAM (Equation 15).
+def lower_memory_side(
+    soc: SoCSpec, cache: MemorySideCache
+) -> LoweredModel:
+    """Lower Equation 15 onto the shared engine.
 
-    Identical to :func:`repro.core.gables.evaluate` except the memory
-    term uses the filtered traffic ``D'i = mi * Di``.  The result's
-    ``memory_perf_bound`` is correspondingly ``Bpeak * I'avg`` where
-    ``I'avg`` is the effective intensity after filtering.
+    The miss ratios become the phase's ``memory_weights``: the engine
+    filters the DRAM term (``D'i = mi * Di``) and reports the
+    effective post-filter intensity, exactly as the legacy evaluator
+    did.
     """
     if cache.n_ips != soc.n_ips:
         raise WorkloadError(
             f"cache has {cache.n_ips} miss ratios but SoC has {soc.n_ips} IPs"
         )
-    terms = ip_terms(soc, workload)
-    filtered_bytes = math.fsum(
-        cache.miss_ratios[term.index] * term.data_bytes for term in terms
-    )
-    t_memory = filtered_bytes / soc.memory_bandwidth
-    # Effective average intensity: ops per *off-chip* byte after filtering.
-    effective_iavg = math.inf if filtered_bytes == 0 else 1.0 / filtered_bytes
-    memory_perf_bound = (
-        math.inf if t_memory == 0 else soc.memory_bandwidth * effective_iavg
-    )
-
-    times = {term.name: term.time for term in terms}
-    times[MEMORY] = t_memory
-    primary, binding = pick_bottleneck(times)
-
-    return GablesResult(
-        ip_terms=terms,
-        memory_time=t_memory,
-        memory_perf_bound=memory_perf_bound,
-        average_intensity=effective_iavg,
-        attainable=1.0 / max(times.values()),
-        bottleneck=primary,
-        binding_components=binding,
+    return LoweredModel(
+        kind="memory-side",
+        phases=(LoweredPhase(memory_weights=cache.miss_ratios),),
     )
 
 

@@ -25,10 +25,13 @@ import numpy as np
 from scipy import optimize
 
 from ...errors import EvaluationError, SpecError, WorkloadError
-from ..gables import ip_terms, memory_time
-from ..params import SoCSpec, Workload
-from ..result import MEMORY, GablesResult, pick_bottleneck
+from ..lowering import LoweredModel, LoweredPhase, RouteSolver
+from ..params import SoCSpec
 from .interconnect import Bus
+
+#: Bound on per-instance memoized route splits (see
+#: :func:`optimal_route_split`); old entries are evicted FIFO.
+_SPLIT_CACHE_LIMIT = 256
 
 
 class MultiPathInterconnect:
@@ -65,6 +68,10 @@ class MultiPathInterconnect:
                 tuple(self._resolve(route, i) for route in alternatives)
             )
         self.routes = tuple(resolved)
+        # Memoized LP solutions keyed by traffic *ratios*: the optimal
+        # splits are scale-invariant in the byte volumes, so a sweep
+        # that only rescales traffic re-solves nothing.
+        self._split_cache: dict = {}
 
     def _resolve(self, route, ip_index: int) -> tuple:
         indices = []
@@ -100,6 +107,12 @@ def optimal_route_split(
 ) -> tuple:
     """Traffic splits minimizing the worst per-bus time.
 
+    The LP is scale-invariant in the traffic vector, so solutions are
+    memoized per interconnect instance keyed on the traffic *ratios*
+    ``Di / max(D)``: a bandwidth or fraction sweep that rescales all
+    traffic uniformly solves the LP once and reuses the splits (the
+    per-bus times are always recomputed from the actual volumes).
+
     Parameters
     ----------
     interconnect:
@@ -119,6 +132,33 @@ def optimal_route_split(
             f"got {len(data_bytes)} data volumes for "
             f"{interconnect.n_ips} routed IPs"
         )
+    key = _cache_key(data_bytes)
+    cache = interconnect._split_cache
+    if key is not None and key in cache:
+        splits = cache[key]
+    else:
+        splits = _solve_route_split(interconnect, data_bytes)
+        if key is not None:
+            if len(cache) >= _SPLIT_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            cache[key] = splits
+    return splits, _bus_times_for_splits(interconnect, splits, data_bytes)
+
+
+def _cache_key(data_bytes) -> tuple | None:
+    """Scale-invariant memoization key, or ``None`` (don't cache)."""
+    if not all(math.isfinite(d) for d in data_bytes):
+        return None
+    peak = max(data_bytes, default=0.0)
+    if peak <= 0:
+        return ("all-zero",)
+    return tuple(d / peak for d in data_bytes)
+
+
+def _solve_route_split(
+    interconnect: MultiPathInterconnect, data_bytes
+) -> tuple:
+    """Solve the min-max-bus-time LP; returns only the splits."""
     # Decision variables: one split per (ip, route) pair, plus t.
     pairs = [
         (i, r)
@@ -184,54 +224,49 @@ def optimal_route_split(
             float(result.x[k]) for k, (ip, _) in enumerate(pairs) if ip == i
         )
         splits.append(shares)
+    return tuple(splits)
 
+
+def _bus_times_for_splits(
+    interconnect: MultiPathInterconnect, splits, data_bytes
+) -> dict:
+    """Loaded per-bus times for given splits, in legacy pair order."""
     bus_times = {}
     for j, bus in enumerate(interconnect.buses):
         load = math.fsum(
-            float(result.x[k]) * data_bytes[i] / bus.bandwidth
-            for k, (i, r) in enumerate(pairs)
+            splits[i][r] * data_bytes[i] / bus.bandwidth
+            for i in range(interconnect.n_ips)
+            for r in range(len(interconnect.routes[i]))
             if j in interconnect.routes[i][r]
         )
         bus_times[bus.name] = load
-    return tuple(splits), bus_times
+    return bus_times
 
 
-def evaluate_with_multipath(
-    soc: SoCSpec, workload: Workload, interconnect: MultiPathInterconnect
-) -> GablesResult:
-    """Gables with optimally-split multi-path routing (Equation 17,
-    with bus times from the LP instead of the fixed Use matrix)."""
+def lower_multipath(
+    soc: SoCSpec, interconnect: MultiPathInterconnect
+) -> LoweredModel:
+    """Lower multi-path routing onto the shared engine.
+
+    The LP becomes a :class:`~repro.core.lowering.RouteSolver`: the
+    engine hands it each evaluation point's per-IP byte volumes and
+    receives the optimally-loaded per-bus times (Equation 17 with the
+    LP in place of the fixed Use matrix), memoized across points with
+    identical traffic ratios.
+    """
     if interconnect.n_ips != soc.n_ips:
         raise WorkloadError(
             f"interconnect routes {interconnect.n_ips} IPs but SoC has "
             f"{soc.n_ips}"
         )
-    terms = ip_terms(soc, workload)
-    t_memory = memory_time(soc, terms)
-    _, t_buses = optimal_route_split(
-        interconnect, [term.data_bytes for term in terms]
+
+    def solve(data_bytes) -> dict:
+        return optimal_route_split(interconnect, data_bytes)[1]
+
+    solver = RouteSolver(
+        bus_names=tuple(bus.name for bus in interconnect.buses),
+        solve=solve,
     )
-
-    times = {term.name: term.time for term in terms}
-    times[MEMORY] = t_memory
-    overlap = set(times) & set(t_buses)
-    if overlap:
-        raise SpecError(
-            f"bus names collide with IP/memory names: {sorted(overlap)!r}"
-        )
-    times.update(t_buses)
-    primary, binding = pick_bottleneck(times)
-    iavg = workload.average_intensity()
-
-    return GablesResult(
-        ip_terms=terms,
-        memory_time=t_memory,
-        memory_perf_bound=(
-            math.inf if t_memory == 0 else soc.memory_bandwidth * iavg
-        ),
-        average_intensity=iavg,
-        attainable=1.0 / max(times.values()),
-        bottleneck=primary,
-        binding_components=binding,
-        extra_times=t_buses,
+    return LoweredModel(
+        kind="multipath", phases=(LoweredPhase(route_solver=solver),)
     )

@@ -21,8 +21,8 @@ import math
 from dataclasses import dataclass
 
 from ..._validation import require_fractions_sum_to_one
-from ...errors import EvaluationError, WorkloadError
-from ..gables import evaluate
+from ...errors import WorkloadError
+from ..lowering import LoweredModel, LoweredPhase
 from ..params import SoCSpec, Workload
 
 
@@ -107,6 +107,16 @@ class PhasedResult:
     phase_times: tuple
     bottleneck_phase: str
 
+    @property
+    def bottleneck(self) -> str:
+        """Alias for :attr:`bottleneck_phase`.
+
+        Lets sweep consumers read ``result.bottleneck`` uniformly
+        whether a point produced a :class:`~repro.core.result.GablesResult`
+        or a phased result.
+        """
+        return self.bottleneck_phase
+
     def phase_share(self) -> dict:
         """Fraction of total runtime spent in each phase, by name."""
         total = math.fsum(self.phase_times)
@@ -116,30 +126,23 @@ class PhasedResult:
         }
 
 
-def evaluate_phases(soc: SoCSpec, usecase: PhasedUsecase) -> PhasedResult:
-    """Evaluate a phased usecase: concurrent within, serial across.
+def lower_phases(soc: SoCSpec, usecase: PhasedUsecase) -> LoweredModel:
+    """Lower a phased usecase onto the shared engine.
 
-    Phase ``k`` contributes time ``work_k / P_k`` where ``P_k`` is the
-    base-Gables attainable performance of its within-phase workload;
-    the usecase's attainable performance is the reciprocal of the sum.
+    Each phase becomes one :class:`~repro.core.lowering.LoweredPhase`
+    carrying its own workload vector, so the lowered model is
+    *workload-free*: the engine evaluates each phase with base Gables
+    and the variant layer serializes the phase times
+    (``T_phase[k] = work_k / P_k``).
     """
     if usecase.n_ips != soc.n_ips:
         raise WorkloadError(
             f"usecase covers {usecase.n_ips} IPs but SoC has {soc.n_ips}"
         )
-    results = []
-    times = []
-    for phase in usecase.phases:
-        result = evaluate(soc, phase.workload)
-        results.append((phase, result))
-        times.append(phase.work / result.attainable)
-    total = math.fsum(times)
-    if total <= 0:
-        raise EvaluationError("phased usecase takes zero time")
-    slowest = max(range(len(times)), key=lambda k: times[k])
-    return PhasedResult(
-        attainable=1.0 / total,
-        phase_results=tuple(results),
-        phase_times=tuple(times),
-        bottleneck_phase=usecase.phases[slowest].name,
+    return LoweredModel(
+        kind="phases",
+        phases=tuple(
+            LoweredPhase(name=phase.name, work=phase.work, workload=phase.workload)
+            for phase in usecase.phases
+        ),
     )

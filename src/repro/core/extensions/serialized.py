@@ -23,10 +23,9 @@ from __future__ import annotations
 import math
 from dataclasses import replace
 
-from ...errors import EvaluationError
 from ..gables import ip_terms
+from ..lowering import LoweredModel, LoweredPhase
 from ..params import SoCSpec, Workload
-from ..result import GablesResult, pick_bottleneck
 
 
 def serialized_ip_times(soc: SoCSpec, workload: Workload) -> tuple:
@@ -56,30 +55,24 @@ def serialized_ip_times(soc: SoCSpec, workload: Workload) -> tuple:
     return tuple(terms)
 
 
-def evaluate_serialized(soc: SoCSpec, workload: Workload) -> GablesResult:
-    """Evaluate the serialized-work model (Equations 18-19).
+def lower_serialized(soc: SoCSpec) -> LoweredModel:
+    """Lower Equations 18-19 onto the shared engine.
 
-    The result reuses :class:`~repro.core.result.GablesResult` with the
-    conventions: ``memory_time`` is 0 (folded into the per-IP terms),
-    the ``attainable`` is ``1 / sum(T')``, and the ``bottleneck`` is
-    the IP contributing the largest share of the serialized runtime.
+    One phase with the serialized conventions: DRAM time folds into
+    each per-IP term (``fold_memory_per_ip``), the shared memory term
+    leaves the bottleneck comparison (``include_memory=False``), and
+    the per-IP times *sum* instead of max (``combine="sum"``).
     """
-    terms = serialized_ip_times(soc, workload)
-    total_time = math.fsum(term.time for term in terms)
-    if total_time <= 0:
-        raise EvaluationError("serialized usecase takes zero time")
-
-    times = {term.name: term.time for term in terms}
-    primary, binding = pick_bottleneck(times)
-
-    return GablesResult(
-        ip_terms=terms,
-        memory_time=0.0,
-        memory_perf_bound=math.inf,
-        average_intensity=workload.average_intensity(),
-        attainable=1.0 / total_time,
-        bottleneck=primary,
-        binding_components=binding,
+    del soc  # the lowering is hardware-symbolic; kept for signature parity
+    return LoweredModel(
+        kind="serialized",
+        phases=(
+            LoweredPhase(
+                combine="sum",
+                include_memory=False,
+                fold_memory_per_ip=True,
+            ),
+        ),
     )
 
 
@@ -93,8 +86,11 @@ def concurrency_benefit(soc: SoCSpec, workload: Workload) -> float:
     A value near 1 means the usecase is dominated by a single component
     and concurrency buys nothing — useful early-design signal.
     """
-    from ..gables import evaluate  # local import to avoid cycle at module load
+    # Local import: variants imports this module at load time.
+    from ..variants import SerializedVariant, evaluate_variant
 
-    concurrent = evaluate(soc, workload).attainable
-    serialized = evaluate_serialized(soc, workload).attainable
+    concurrent = evaluate_variant(soc, workload).attainable
+    serialized = evaluate_variant(
+        soc, workload, SerializedVariant()
+    ).attainable
     return concurrent / serialized

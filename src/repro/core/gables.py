@@ -34,7 +34,7 @@ from ..obs.trace import span as _span
 from ..obs.trace import tracing_enabled as _tracing_enabled
 from .curves import RooflineCurve
 from .params import SoCSpec, Workload
-from .result import MEMORY, GablesResult, IPTerm, pick_bottleneck
+from .result import MEMORY, GablesResult, IPTerm, compose_result
 
 #: Module-level instrument handle: resolved once so the hot path pays a
 #: single attribute add per evaluation, not a registry lookup.
@@ -129,20 +129,11 @@ def _evaluate_impl(soc: SoCSpec, workload: Workload) -> GablesResult:
     memory_perf_bound = (
         math.inf if t_memory == 0 else soc.memory_bandwidth * iavg
     )
-
-    times = {term.name: term.time for term in terms}
-    times[MEMORY] = t_memory
-    primary, binding = pick_bottleneck(times)
-    attainable = 1.0 / max(times.values())
-
-    return GablesResult(
-        ip_terms=terms,
+    return compose_result(
+        terms,
         memory_time=t_memory,
         memory_perf_bound=memory_perf_bound,
         average_intensity=iavg,
-        attainable=attainable,
-        bottleneck=primary,
-        binding_components=binding,
     )
 
 

@@ -172,6 +172,73 @@ class GablesResult:
         return "\n".join(lines)
 
 
+def compose_result(
+    terms: tuple,
+    *,
+    memory_time: float,
+    memory_perf_bound: float,
+    average_intensity: float,
+    extra_times: dict | None = None,
+    combine: str = "max",
+    include_memory: bool = True,
+) -> GablesResult:
+    """The single shared :class:`GablesResult` construction path.
+
+    Every evaluator — the base model, each lowered variant, and the
+    batch materializer — funnels through here so the bottleneck rule,
+    the attainable reciprocal, and the result conventions are defined
+    exactly once.
+
+    Parameters
+    ----------
+    terms:
+        Per-IP :class:`IPTerm` records in index order (their ``time``
+        fields already reflect any variant folding).
+    memory_time, memory_perf_bound, average_intensity:
+        The shared-memory quantities (Equations 10 and 13), already
+        filtered/derived by the caller for extended variants.
+    extra_times:
+        Additional shared-resource components (bus times, the
+        coordination term), in presentation order.  They join the
+        bottleneck ``max()`` after the IP and memory terms.
+    combine:
+        ``"max"`` (concurrent, Equation 11) or ``"sum"`` (serialized,
+        Equation 19: the usecase time is the sum of the per-IP times
+        and only IP terms compete for the bottleneck label).
+    include_memory:
+        Whether the memory term participates in the bottleneck
+        ``max()`` (False for the serialized model, which folds DRAM
+        time into each per-IP term).
+    """
+    extra_times = dict(extra_times) if extra_times else {}
+    if combine == "sum":
+        total_time = math.fsum(term.time for term in terms)
+        if total_time <= 0:
+            raise EvaluationError("serialized usecase takes zero time")
+        times = {term.name: term.time for term in terms}
+        primary, binding = pick_bottleneck(times)
+        attainable = 1.0 / total_time
+    elif combine == "max":
+        times = {term.name: term.time for term in terms}
+        if include_memory:
+            times[MEMORY] = memory_time
+        times.update(extra_times)
+        primary, binding = pick_bottleneck(times)
+        attainable = 1.0 / max(times.values())
+    else:
+        raise EvaluationError(f"unknown combine rule {combine!r}")
+    return GablesResult(
+        ip_terms=tuple(terms),
+        memory_time=memory_time,
+        memory_perf_bound=memory_perf_bound,
+        average_intensity=average_intensity,
+        attainable=attainable,
+        bottleneck=primary,
+        binding_components=binding,
+        extra_times=extra_times,
+    )
+
+
 def pick_bottleneck(times: dict) -> tuple:
     """Binding component(s) from a name -> time mapping.
 

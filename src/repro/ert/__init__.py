@@ -11,10 +11,16 @@ from .fitting import (
     EmpiricalRoofline,
     acceleration_between,
     fit_roofline,
+    measured_soc_spec,
     optimistic_roofline,
     pessimism_ratio,
 )
-from .report import gables_parameter_table, roofline_summary, sweep_table
+from .report import (
+    gables_parameter_table,
+    roofline_summary,
+    sweep_table,
+    variant_prediction_table,
+)
 from .sweep import (
     DEFAULT_FOOTPRINTS,
     DEFAULT_INTENSITIES,
@@ -34,9 +40,11 @@ __all__ = [
     "acceleration_between",
     "fit_roofline",
     "gables_parameter_table",
+    "measured_soc_spec",
     "optimistic_roofline",
     "pessimism_ratio",
     "roofline_summary",
     "run_sweep",
     "sweep_table",
+    "variant_prediction_table",
 ]

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..core.params import IPBlock, SoCSpec
 from ..core.roofline import Ceiling, Roofline
 from ..errors import FittingError
 from .sweep import SweepResult
@@ -147,6 +148,49 @@ def acceleration_between(
     if reference.peak_gflops <= 0:
         raise FittingError("reference peak must be positive")
     return accelerator.peak_gflops / reference.peak_gflops
+
+
+def measured_soc_spec(
+    reference: EmpiricalRoofline,
+    others,
+    memory_bandwidth: float | None = None,
+    name: str = "measured",
+) -> SoCSpec:
+    """Assemble the measured engines into a model-ready SoC.
+
+    The Section IV hand-off made executable: ``Ppeak`` is the reference
+    engine's attained peak, each other engine contributes its ``Ai``
+    (peak ratio, :func:`acceleration_between`) and ``Bi`` (attained
+    DRAM bytes/s), and ``Bpeak`` defaults to the best attained DRAM
+    bandwidth among all engines (the shared interface can move at
+    least what any one engine drove through it).  The returned
+    :class:`~repro.core.params.SoCSpec` plugs directly into the model
+    front door — ``evaluate_variant(spec, workload, variant)`` — so
+    measured chips run through the same lowered pipeline as paper
+    specs.
+    """
+    others = tuple(others)
+    if memory_bandwidth is None:
+        memory_bandwidth = max(
+            fitted.dram_bandwidth for fitted in (reference, *others)
+        )
+    if memory_bandwidth <= 0:
+        raise FittingError("memory bandwidth must be positive")
+    ips = [IPBlock(reference.engine, 1.0, reference.dram_bandwidth)]
+    ips += [
+        IPBlock(
+            fitted.engine,
+            acceleration_between(reference, fitted),
+            fitted.dram_bandwidth,
+        )
+        for fitted in others
+    ]
+    return SoCSpec(
+        peak_perf=reference.peak_gflops * 1e9,
+        memory_bandwidth=memory_bandwidth,
+        ips=tuple(ips),
+        name=name,
+    )
 
 
 def optimistic_roofline(

@@ -7,7 +7,8 @@ for the CLI and the benchmark harness.
 
 from __future__ import annotations
 
-from ..units import format_bandwidth, format_flops
+from ..core.variants import evaluate_variant
+from ..units import format_bandwidth, format_flops, format_ops
 from .fitting import EmpiricalRoofline, acceleration_between
 from .sweep import SweepResult
 
@@ -43,6 +44,29 @@ def sweep_table(sweep: SweepResult, max_rows: int | None = None) -> str:
         )
     if max_rows and len(sweep.samples) > max_rows:
         rows.append(f"... ({len(sweep.samples) - max_rows} more)")
+    return "\n".join(rows)
+
+
+def variant_prediction_table(soc, workload, variants) -> str:
+    """Model predictions for a measured SoC under several variants.
+
+    ``soc`` is typically :func:`repro.ert.fitting.measured_soc_spec`'s
+    output; each :class:`~repro.core.variants.ModelVariant` in
+    ``variants`` runs through the lowered pipeline and contributes one
+    row of attainable performance plus its binding component — the
+    measured-versus-modeled comparison of Section IV extended to every
+    formulation of the model.
+    """
+    rows = [f"{'variant':>14} {'attainable':>14} {'bottleneck':>14}"]
+    for variant in variants:
+        result = evaluate_variant(
+            soc, workload if variant.requires_workload else None, variant
+        )
+        rows.append(
+            f"{variant.kind:>14} "
+            f"{format_ops(result.attainable) + 'ops/s':>14} "
+            f"{result.bottleneck:>14}"
+        )
     return "\n".join(rows)
 
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core.batch import evaluate_batch
 from ..core.params import SoCSpec, Workload
+from ..core.variants import ModelVariant, evaluate_variant_batch
 from ..errors import SpecError
 from ..obs.metrics import counter as _counter
 from ..obs.trace import span as _span
@@ -93,12 +94,15 @@ def explore_bandwidth_frontier(
     workload: Workload,
     bandwidths: Sequence[float],
     cost_model: CostModel | None = None,
+    variant: ModelVariant | None = None,
 ) -> tuple:
     """Pareto frontier over ``Bpeak`` candidates for one usecase.
 
     Demonstrates the Fig. 6c lesson quantitatively: beyond the
     sufficient bandwidth, cost rises with zero performance gain, so
-    those points fall off the frontier.
+    those points fall off the frontier.  With ``variant`` set the axis
+    is evaluated through the lowered pipeline instead of base Gables;
+    workload-carrying variants (phased usecases) ignore ``workload``.
     """
     if not bandwidths:
         raise SpecError("need at least one candidate bandwidth")
@@ -106,15 +110,37 @@ def explore_bandwidth_frontier(
     # Candidate SoC objects are still built per point (the cost model
     # sees them); the model runs once over the whole bandwidth axis.
     candidates = [soc.with_memory_bandwidth(b) for b in bandwidths]
+    bandwidth_axis = np.asarray(bandwidths, dtype=float)
     k = len(bandwidths)
     shape = (k, workload.n_ips)
-    batch = evaluate_batch(
-        soc,
-        np.broadcast_to(np.asarray(workload.fractions, dtype=float), shape),
-        np.broadcast_to(np.asarray(workload.intensities, dtype=float), shape),
-        memory_bandwidth=np.asarray(bandwidths, dtype=float),
-        validate=False,
-    )
+    if variant is not None and not variant.requires_workload:
+        batch = evaluate_variant_batch(
+            soc, variant, memory_bandwidth=bandwidth_axis
+        )
+    else:
+        fractions = np.broadcast_to(
+            np.asarray(workload.fractions, dtype=float), shape
+        )
+        intensities = np.broadcast_to(
+            np.asarray(workload.intensities, dtype=float), shape
+        )
+        if variant is None:
+            batch = evaluate_batch(
+                soc,
+                fractions,
+                intensities,
+                memory_bandwidth=bandwidth_axis,
+                validate=False,
+            )
+        else:
+            batch = evaluate_variant_batch(
+                soc,
+                variant,
+                fractions,
+                intensities,
+                memory_bandwidth=bandwidth_axis,
+                validate=False,
+            )
     points = [
         DesignPoint(
             label=f"Bpeak={bandwidth / 1e9:.3g}GB/s",

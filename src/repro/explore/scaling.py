@@ -18,6 +18,7 @@ import numpy as np
 from .._validation import require_finite_positive
 from ..core.batch import evaluate_batch
 from ..core.params import IPBlock, SoCSpec, Workload
+from ..core.variants import ModelVariant, evaluate_variant_batch
 from ..errors import SpecError
 
 
@@ -102,6 +103,7 @@ def bottleneck_drift(
     workload: Workload,
     years: int = 5,
     trend: TechnologyTrend | None = None,
+    variant: ModelVariant | None = None,
 ) -> tuple:
     """Project a fixed usecase across future chip generations.
 
@@ -111,6 +113,11 @@ def bottleneck_drift(
     flatten to the bandwidth growth rate and the bottleneck reads
     ``memory`` — the model's argument for investing in reuse rather
     than FLOPs.
+
+    With ``variant`` set the projection runs through the lowered
+    pipeline; buses and coordination then appear as candidate
+    bottlenecks.  Workload-carrying variants (phased usecases) ignore
+    ``workload`` and attribute each year to its binding *phase*.
     """
     if years < 0:
         raise SpecError(f"years must be >= 0, got {years}")
@@ -131,16 +138,30 @@ def bottleneck_drift(
         np.inf,
         base_bandwidths * link[:, np.newaxis],
     )
-    shape = (years + 1, workload.n_ips)
-    batch = evaluate_batch(
-        soc,
-        np.broadcast_to(np.asarray(workload.fractions, dtype=float), shape),
-        np.broadcast_to(np.asarray(workload.intensities, dtype=float), shape),
+    overrides = dict(
         memory_bandwidth=memory,
         ip_bandwidths=ip_bandwidths,
         ip_peaks=ip_peaks,
-        validate=False,
     )
+    if variant is not None and not variant.requires_workload:
+        batch = evaluate_variant_batch(soc, variant, **overrides)
+    else:
+        shape = (years + 1, workload.n_ips)
+        fractions = np.broadcast_to(
+            np.asarray(workload.fractions, dtype=float), shape
+        )
+        intensities = np.broadcast_to(
+            np.asarray(workload.intensities, dtype=float), shape
+        )
+        if variant is None:
+            batch = evaluate_batch(
+                soc, fractions, intensities, validate=False, **overrides
+            )
+        else:
+            batch = evaluate_variant_batch(
+                soc, variant, fractions, intensities,
+                validate=False, **overrides,
+            )
     attainables = batch.attainables.tolist()
     bottlenecks = batch.bottlenecks()
     today = attainables[0]
@@ -162,14 +183,18 @@ def years_until_memory_bound(
     workload: Workload,
     trend: TechnologyTrend | None = None,
     horizon: int = 20,
+    variant: ModelVariant | None = None,
 ) -> float:
     """First projected year the memory interface binds (inf if never).
 
     The planning number the drift study produces: how long the current
-    software (its intensities) stays ahead of the memory wall.
+    software (its intensities) stays ahead of the memory wall.  Only
+    meaningful for variants that attribute to components (phased
+    variants attribute to phases, so the answer is always ``inf``).
     """
     trend = trend or TechnologyTrend()
-    for point in bottleneck_drift(soc, workload, horizon, trend):
+    for point in bottleneck_drift(soc, workload, horizon, trend,
+                                  variant=variant):
         if point.bottleneck == "memory":
             return point.year
     return float("inf")

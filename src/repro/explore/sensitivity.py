@@ -23,6 +23,11 @@ import numpy as np
 from ..core.batch import evaluate_batch
 from ..core.gables import evaluate
 from ..core.params import SoCSpec, Workload
+from ..core.variants import (
+    ModelVariant,
+    evaluate_variant,
+    evaluate_variant_batch,
+)
 from ..errors import SpecError
 
 #: Relative perturbation for finite differences.
@@ -51,12 +56,26 @@ class SensitivityReport:
 
 
 def sensitivity(
-    soc: SoCSpec, workload: Workload, step: float = _DEFAULT_STEP
+    soc: SoCSpec,
+    workload: Workload,
+    step: float = _DEFAULT_STEP,
+    variant: ModelVariant | None = None,
 ) -> SensitivityReport:
-    """Compute the full elasticity report for one design point."""
+    """Compute the full elasticity report for one design point.
+
+    With ``variant`` set, both the baseline and the perturbation batch
+    run through the lowered pipeline, so the elasticities account for
+    the variant's extra constraints (buses, coordination, ...).
+    Workload-carrying variants (phased usecases) ignore ``workload``.
+    """
     if not 0 < step < 0.1:
         raise SpecError(f"step must lie in (0, 0.1), got {step!r}")
-    baseline = evaluate(soc, workload).attainable
+    if variant is None:
+        baseline = evaluate(soc, workload).attainable
+    elif variant.requires_workload:
+        baseline = evaluate_variant(soc, workload, variant).attainable
+    else:
+        baseline = evaluate_variant(soc, None, variant).attainable
     if baseline == 0:
         raise SpecError("degenerate baseline performance")
 
@@ -106,15 +125,29 @@ def sensitivity(
         add(knob, 1.0 - step)
 
     shape = (len(peaks_rows), n)
-    batch = evaluate_batch(
-        soc,
-        np.broadcast_to(np.asarray(workload.fractions, dtype=float), shape),
-        np.broadcast_to(np.asarray(workload.intensities, dtype=float), shape),
+    overrides = dict(
         memory_bandwidth=np.array(memory_rows),
         ip_bandwidths=np.array(bandwidth_rows),
         ip_peaks=np.array(peaks_rows),
-        validate=False,
     )
+    if variant is not None and not variant.requires_workload:
+        batch = evaluate_variant_batch(soc, variant, **overrides)
+    else:
+        fractions = np.broadcast_to(
+            np.asarray(workload.fractions, dtype=float), shape
+        )
+        intensities = np.broadcast_to(
+            np.asarray(workload.intensities, dtype=float), shape
+        )
+        if variant is None:
+            batch = evaluate_batch(
+                soc, fractions, intensities, validate=False, **overrides
+            )
+        else:
+            batch = evaluate_variant_batch(
+                soc, variant, fractions, intensities,
+                validate=False, **overrides,
+            )
     attained = batch.attainables.tolist()
     elasticities: dict = {}
     for position, knob in enumerate(knobs):

@@ -26,6 +26,11 @@ import numpy as np
 from ..core.batch import evaluate_batch, fraction_grid
 from ..core.gables import evaluate
 from ..core.params import SoCSpec, Workload
+from ..core.variants import (
+    ModelVariant,
+    evaluate_variant,
+    evaluate_variant_batch,
+)
 from ..errors import ReproError, SpecError, WorkloadError
 from ..obs.metrics import counter as _counter
 from ..obs.trace import span as _span
@@ -123,19 +128,31 @@ def _series(
     evaluate_fn: EvaluateFn,
     batch_fn=None,
     on_error: str = "raise",
+    variant: ModelVariant | None = None,
 ) -> SweepSeries:
     check_on_error(on_error)
+    if variant is not None and evaluate_fn is not evaluate:
+        raise SpecError(
+            "pass either a custom evaluate_fn or a variant, not both"
+        )
+    use_batch = (
+        batch_fn is not None
+        and evaluate_fn is evaluate
+        and on_error == "raise"
+    )
+    if variant is not None:
+        # Route scalar fallbacks through the lowered engine; the batch
+        # fast path (built variant-aware by the sweep functions) stays.
+        def evaluate_fn(soc, workload, _variant=variant):  # noqa: F811
+            return evaluate_variant(soc, workload, _variant)
+
     if len(values) == 0:
         raise SpecError(f"sweep over {parameter!r} needs at least one value")
     _SWEEP_SERIES.inc()
     _SWEEP_POINTS.inc(len(values))
     errors: tuple = ()
     with _span("explore.sweep", parameter=parameter, points=len(values)):
-        if (
-            batch_fn is not None
-            and evaluate_fn is evaluate
-            and on_error == "raise"
-        ):
+        if use_batch:
             # Fast path: the whole grid through the vectorized engine.
             _SWEEP_BATCHES.inc()
             batch = batch_fn(np.asarray(values, dtype=float))
@@ -181,6 +198,17 @@ def _series(
     return SweepSeries(parameter=parameter, points=points, errors=errors)
 
 
+def _require_workload_variant(
+    variant: ModelVariant | None, parameter: str
+) -> None:
+    """Reject workload-parameter sweeps of workload-free variants."""
+    if variant is not None and not variant.requires_workload:
+        raise SpecError(
+            f"variant {variant.kind!r} carries its own workloads; "
+            f"cannot sweep {parameter!r}"
+        )
+
+
 def _workload_matrices(workload: Workload, k: int) -> tuple:
     """The workload's (fi, Ii) vectors tiled to K batch rows."""
     shape = (k, workload.n_ips)
@@ -200,6 +228,7 @@ def sweep_fraction(
     fractions: Sequence[float],
     evaluate_fn: EvaluateFn = evaluate,
     on_error: str = "raise",
+    variant: ModelVariant | None = None,
 ) -> SweepSeries:
     """Sweep the share of work at one IP (the paper's f-sweeps).
 
@@ -207,13 +236,18 @@ def sweep_fraction(
     proportionally among the rest (see
     :meth:`~repro.core.params.Workload.with_fraction_at`).
     """
+    _require_workload_variant(variant, f"f[{ip_index}]")
 
     def batch_fn(values: np.ndarray):
         grid = fraction_grid(workload.fractions, ip_index, values)
         intensities_m = np.broadcast_to(
             np.asarray(workload.intensities, dtype=float), grid.shape
         )
-        return evaluate_batch(soc, grid, intensities_m, validate=False)
+        if variant is None:
+            return evaluate_batch(soc, grid, intensities_m, validate=False)
+        return evaluate_variant_batch(
+            soc, variant, grid, intensities_m, validate=False
+        )
 
     return _series(
         f"f[{ip_index}]",
@@ -222,6 +256,7 @@ def sweep_fraction(
         evaluate_fn,
         batch_fn,
         on_error=on_error,
+        variant=variant,
     )
 
 
@@ -232,10 +267,12 @@ def sweep_intensity(
     intensities: Sequence[float],
     evaluate_fn: EvaluateFn = evaluate,
     on_error: str = "raise",
+    variant: ModelVariant | None = None,
 ) -> SweepSeries:
     """Sweep one IP's operational intensity (Fig. 6c -> 6d's ``I1``)."""
     if not 0 <= ip_index < workload.n_ips:
         raise SpecError(f"ip_index {ip_index} out of range")
+    _require_workload_variant(variant, f"I[{ip_index}]")
 
     def build(value: float) -> tuple:
         intensities_new = list(workload.intensities)
@@ -252,11 +289,15 @@ def sweep_intensity(
         )
         matrix[:, ip_index] = values
         fractions_m, _ = _workload_matrices(workload, len(values))
-        return evaluate_batch(soc, fractions_m, matrix, validate=False)
+        if variant is None:
+            return evaluate_batch(soc, fractions_m, matrix, validate=False)
+        return evaluate_variant_batch(
+            soc, variant, fractions_m, matrix, validate=False
+        )
 
     return _series(
         f"I[{ip_index}]", intensities, build, evaluate_fn, batch_fn,
-        on_error=on_error,
+        on_error=on_error, variant=variant,
     )
 
 
@@ -266,13 +307,22 @@ def sweep_memory_bandwidth(
     bandwidths: Sequence[float],
     evaluate_fn: EvaluateFn = evaluate,
     on_error: str = "raise",
+    variant: ModelVariant | None = None,
 ) -> SweepSeries:
     """Sweep ``Bpeak`` (Fig. 6b -> 6c's question: does more DRAM help?)."""
 
     def batch_fn(values: np.ndarray):
+        if variant is not None and not variant.requires_workload:
+            return evaluate_variant_batch(
+                soc, variant, memory_bandwidth=values
+            )
         fractions_m, intensities_m = _workload_matrices(workload, len(values))
-        return evaluate_batch(
-            soc, fractions_m, intensities_m, memory_bandwidth=values
+        if variant is None:
+            return evaluate_batch(
+                soc, fractions_m, intensities_m, memory_bandwidth=values
+            )
+        return evaluate_variant_batch(
+            soc, variant, fractions_m, intensities_m, memory_bandwidth=values
         )
 
     return _series(
@@ -282,6 +332,7 @@ def sweep_memory_bandwidth(
         evaluate_fn,
         batch_fn,
         on_error=on_error,
+        variant=variant,
     )
 
 
@@ -292,6 +343,7 @@ def sweep_ip_bandwidth(
     bandwidths: Sequence[float],
     evaluate_fn: EvaluateFn = evaluate,
     on_error: str = "raise",
+    variant: ModelVariant | None = None,
 ) -> SweepSeries:
     """Sweep one IP's link bandwidth ``Bi``."""
     if not 0 <= ip_index < soc.n_ips:
@@ -302,9 +354,17 @@ def sweep_ip_bandwidth(
             np.array([ip.bandwidth for ip in soc.ips]), (len(values), 1)
         )
         matrix[:, ip_index] = values
+        if variant is not None and not variant.requires_workload:
+            return evaluate_variant_batch(
+                soc, variant, ip_bandwidths=matrix
+            )
         fractions_m, intensities_m = _workload_matrices(workload, len(values))
-        return evaluate_batch(
-            soc, fractions_m, intensities_m, ip_bandwidths=matrix
+        if variant is None:
+            return evaluate_batch(
+                soc, fractions_m, intensities_m, ip_bandwidths=matrix
+            )
+        return evaluate_variant_batch(
+            soc, variant, fractions_m, intensities_m, ip_bandwidths=matrix
         )
 
     return _series(
@@ -314,6 +374,7 @@ def sweep_ip_bandwidth(
         evaluate_fn,
         batch_fn,
         on_error=on_error,
+        variant=variant,
     )
 
 
@@ -324,6 +385,7 @@ def sweep_acceleration(
     accelerations: Sequence[float],
     evaluate_fn: EvaluateFn = evaluate,
     on_error: str = "raise",
+    variant: ModelVariant | None = None,
 ) -> SweepSeries:
     """Sweep one IP's acceleration ``Ai`` (how big should the IP be?)."""
     if ip_index == 0:
@@ -341,9 +403,15 @@ def sweep_acceleration(
             (len(values), 1),
         )
         matrix[:, ip_index] = values * soc.peak_perf
+        if variant is not None and not variant.requires_workload:
+            return evaluate_variant_batch(soc, variant, ip_peaks=matrix)
         fractions_m, intensities_m = _workload_matrices(workload, len(values))
-        return evaluate_batch(
-            soc, fractions_m, intensities_m, ip_peaks=matrix
+        if variant is None:
+            return evaluate_batch(
+                soc, fractions_m, intensities_m, ip_peaks=matrix
+            )
+        return evaluate_variant_batch(
+            soc, variant, fractions_m, intensities_m, ip_peaks=matrix
         )
 
     return _series(
@@ -353,4 +421,5 @@ def sweep_acceleration(
         evaluate_fn,
         batch_fn,
         on_error=on_error,
+        variant=variant,
     )

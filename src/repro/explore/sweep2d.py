@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.batch import evaluate_batch
 from ..core.params import SoCSpec, Workload
+from ..core.variants import ModelVariant, evaluate_variant_batch
 from ..errors import ReproError, SpecError
 from ..obs.trace import span as _span
 from ..resilience.partial import PointFailure, check_on_error, record_failure
@@ -92,6 +93,7 @@ def sweep_grid(
     y_values: Sequence[float],
     build: Callable[[float, float], Workload],
     on_error: str = "raise",
+    variant: ModelVariant | None = None,
 ) -> SweepGrid:
     """Evaluate a workload builder over a dense (x, y) grid.
 
@@ -99,6 +101,8 @@ def sweep_grid(
     but the model itself is evaluated as one ``K = rows * cols`` batch
     through :func:`repro.core.batch.evaluate_batch` — on dense grids
     the per-cell model cost disappears into a handful of numpy passes.
+    With ``variant`` set, the batch routes through the lowered pipeline
+    (:func:`repro.core.variants.evaluate_variant_batch`) instead.
 
     Under ``on_error="skip"``/``"record"``, cells whose ``build`` call
     or model evaluation raises a :class:`~repro.errors.ReproError` are
@@ -107,6 +111,11 @@ def sweep_grid(
     bitwise identical to a fault-free run.
     """
     check_on_error(on_error)
+    if variant is not None and not variant.requires_workload:
+        raise SpecError(
+            f"variant {variant.kind!r} carries its own workloads; "
+            "the (x, y) grid sweeps workload parameters"
+        )
     if not x_values or not y_values:
         raise SpecError("both axes need at least one value")
     coords = [(x, y) for y in y_values for x in x_values]
@@ -136,7 +145,14 @@ def sweep_grid(
             )
         # Workload construction already validated every row; the batch
         # skip mode still weeds out degenerate (all-zero-time) points.
-        batch = evaluate_batch(
+        batch_eval = (
+            evaluate_batch
+            if variant is None
+            else lambda *args, **kwargs: evaluate_variant_batch(
+                args[0], variant, *args[1:], **kwargs
+            )
+        )
+        batch = batch_eval(
             soc,
             np.array([w.fractions for w in workloads]),
             np.array([w.intensities for w in workloads]),
@@ -182,6 +198,7 @@ def analytic_mixing_grid(
     intensities: Sequence[float] = (1, 4, 16, 64, 256, 1024),
     ip_index: int = 1,
     on_error: str = "raise",
+    variant: ModelVariant | None = None,
 ) -> SweepGrid:
     """The Figure 8 grid evaluated on the model (the upper bound).
 
@@ -202,5 +219,6 @@ def analytic_mixing_grid(
         )
 
     return sweep_grid(
-        soc, "f", fractions, "I", intensities, build, on_error=on_error
+        soc, "f", fractions, "I", intensities, build,
+        on_error=on_error, variant=variant,
     )

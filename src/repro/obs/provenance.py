@@ -75,6 +75,9 @@ class ExplainRecord:
     attainable: float
     bottleneck: str
     binding_components: tuple
+    #: Extension components (bus times, coordination), as (name, time)
+    #: pairs in presentation order — populated by variant evaluations.
+    extra_times: tuple = ()
 
     # -- audit ---------------------------------------------------------
 
@@ -82,6 +85,7 @@ class ExplainRecord:
         """Every min()-branch as a name -> seconds-per-op mapping."""
         times = {term.name: term.time for term in self.terms}
         times["memory"] = self.memory_time
+        times.update(self.extra_times)
         return times
 
     def to_system(self):
@@ -135,6 +139,8 @@ class ExplainRecord:
             f"{math.fsum(t.data_bytes for t in self.terms):.4g} B/op "
             f"at Iavg {self.average_intensity:.4g}"
         )
+        for name, t in self.extra_times:
+            lines.append(f"  {name}: {t:.4g}s/op shared-resource term")
         binding = ", ".join(self.binding_components)
         lines.append(
             f"  slowest component wins the max(): {binding}"
@@ -179,6 +185,7 @@ class ExplainRecord:
             "attainable": self.attainable,
             "bottleneck": self.bottleneck,
             "binding_components": list(self.binding_components),
+            "extra_times": {name: t for name, t in self.extra_times},
         }
 
 
@@ -216,6 +223,7 @@ def from_result(soc, workload, result) -> ExplainRecord:
         attainable=result.attainable,
         bottleneck=result.bottleneck,
         binding_components=tuple(result.binding_components),
+        extra_times=tuple(getattr(result, "extra_times", {}).items()),
     )
 
 

@@ -159,6 +159,55 @@ def report_table1() -> str:
     return "\n".join(lines)
 
 
+def report_variants(variant: str | None = None) -> str:
+    """Every model variant on the Figure 6d design point.
+
+    One row per :data:`~repro.core.variants.VARIANT_CHOICES` entry (or
+    just ``variant`` when given), evaluated through the lowered
+    pipeline with the CLI's illustrative default structures — the
+    quickest way to see how each Section V extension reshapes the same
+    design's bound.
+    """
+    from .core import (
+        FIGURE_6D,
+        VARIANT_CHOICES,
+        PhasedVariant,
+        Workload,
+        evaluate_variant,
+        variant_from_config,
+    )
+    from .core.extensions import Phase, PhasedUsecase
+
+    soc = FIGURE_6D.soc()
+    workload = FIGURE_6D.workload()
+    names = (variant,) if variant else VARIANT_CHOICES
+    lines = [f"Model variants on the {FIGURE_6D.name} design point "
+             f"({soc.name})"]
+    lines.append(f"{'variant':>14} {'Gops/s':>10} {'bottleneck':>14}")
+    for name in names:
+        if name == "phases":
+            # No CLI default exists for phases; illustrate with a
+            # half-host, half-concurrent split of the same workload.
+            chosen = PhasedVariant(PhasedUsecase((
+                Phase(0.5, Workload.single_ip(
+                    soc.n_ips, 0, workload.intensities[0], name="host"
+                ), name="host"),
+                Phase(0.5, workload, name="concurrent"),
+            )))
+        else:
+            chosen = variant_from_config(name, soc)
+        result = evaluate_variant(
+            soc,
+            workload if chosen.requires_workload else None,
+            chosen,
+        )
+        lines.append(
+            f"{name:>14} {result.attainable / GIGA:>10.4g} "
+            f"{result.bottleneck:>14}"
+        )
+    return "\n".join(lines)
+
+
 def report_all(on_error: str = "raise") -> str:
     """Every paper artifact, concatenated — the one-shot reproduction.
 
@@ -223,6 +272,7 @@ REPORTS = {
         "fig8": report_fig8,
         "fig9": report_fig9,
         "table1": report_table1,
+        "variants": report_variants,
         "all": report_all,
     }.items()
 }

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import networkx as nx
 
-from ..core.extensions.phases import Phase, PhasedUsecase, evaluate_phases
+from ..core.extensions.phases import Phase, PhasedUsecase
 from ..core.params import Workload
+from ..core.variants import PhasedVariant, evaluate_variant
 from ..errors import WorkloadError
 from .dataflow import WORLD, Dataflow
 
@@ -92,7 +93,7 @@ def single_item_phases(dataflow: Dataflow, ip_order) -> PhasedUsecase:
 def single_item_latency(soc, dataflow: Dataflow) -> float:
     """Seconds for one item to traverse the empty pipeline."""
     usecase = single_item_phases(dataflow, soc.ip_names)
-    result = evaluate_phases(soc, usecase)
+    result = evaluate_variant(soc, None, PhasedVariant(usecase))
     return dataflow.total_ops_per_item() / result.attainable
 
 

@@ -15,8 +15,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..core.curves import RooflineCurve
 from ..core.gables import drop_lines, evaluate, scaled_roofline_curves
 from ..core.params import SoCSpec, Workload
+from ..core.result import MEMORY
+from ..core.variants import ModelVariant, evaluate_variant
 from ..errors import SpecError
 from .ascii_art import render_log_log
 from .scale import LogScale, si_label
@@ -38,13 +41,55 @@ class RooflinePlotData:
 
     @classmethod
     def from_model(
-        cls, soc: SoCSpec, workload: Workload, title: str | None = None
+        cls,
+        soc: SoCSpec,
+        workload: Workload,
+        title: str | None = None,
+        variant: ModelVariant | None = None,
     ) -> "RooflinePlotData":
-        """Evaluate the model and package the plot geometry."""
-        result = evaluate(soc, workload)
+        """Evaluate the model and package the plot geometry.
+
+        With ``variant`` set, evaluation goes through the lowered
+        pipeline and the variant's shared-resource components (bus
+        times, the coordination term) appear as flat ceilings at their
+        realized bound ``1/time``, with operating points at the
+        workload's average intensity.  Phased variants have no single
+        roofline picture and are rejected.
+        """
+        if variant is None:
+            result = evaluate(soc, workload)
+            extra = {}
+        else:
+            if not variant.requires_workload:
+                raise SpecError(
+                    "phased variants evaluate their own per-phase "
+                    "workloads; plot each phase separately"
+                )
+            result = evaluate_variant(soc, workload, variant)
+            extra = result.extra_times
+        curves = list(scaled_roofline_curves(soc, workload))
+        points = list(drop_lines(soc, workload))
+        if variant is not None and math.isfinite(result.memory_perf_bound):
+            # The variant may filter or reroute DRAM traffic; pin the
+            # memory marker to the bound the lowered model computed.
+            points = [
+                (name, result.average_intensity, result.memory_perf_bound)
+                if name == MEMORY else (name, intensity, perf)
+                for name, intensity, perf in points
+            ]
+        average_intensity = result.average_intensity
+        for name, time in extra.items():
+            if time <= 0:
+                continue  # an unbounded extra can never bind
+            bound = 1.0 / time
+            curves.append(
+                RooflineCurve(name=name, slope=math.inf, roof=bound)
+            )
+            if math.isfinite(average_intensity):
+                points.append((name, average_intensity, bound))
         return cls(
-            curves=scaled_roofline_curves(soc, workload),
-            operating_points=drop_lines(soc, workload),
+            curves=tuple(curves),
+            operating_points=tuple(points),
             attainable=result.attainable,
             bottleneck=result.bottleneck,
             title=title or f"{soc.name} / {workload.name}",
@@ -172,9 +217,11 @@ def roofline_ascii(data: RooflinePlotData, width: int = 76,
 
 
 def save_roofline_svg(soc: SoCSpec, workload: Workload, path,
-                      title: str | None = None) -> None:
+                      title: str | None = None,
+                      variant: ModelVariant | None = None) -> None:
     """One-call evaluate-and-save (used by the CLI and examples)."""
-    data = RooflinePlotData.from_model(soc, workload, title=title)
+    data = RooflinePlotData.from_model(soc, workload, title=title,
+                                       variant=variant)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(roofline_svg(data))
 

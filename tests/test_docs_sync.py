@@ -12,6 +12,7 @@ import importlib
 from pathlib import Path
 
 DOC_PATH = Path(__file__).resolve().parent.parent / "docs" / "api.md"
+ARCH_PATH = Path(__file__).resolve().parent.parent / "docs" / "architecture.md"
 
 #: Packages indexed in the public API doc, in presentation order.
 PACKAGES = (
@@ -42,7 +43,9 @@ def generate_api_doc() -> str:
         "`tests/test_docs_sync.py`.  See the docstrings (every public",
         "item has one) for signatures and semantics.  For the batch",
         "evaluation engine and when to use it over the scalar",
-        "evaluator, see [performance.md](performance.md).",
+        "evaluator, see [performance.md](performance.md); for the",
+        "lowered variant pipeline every model variant evaluates",
+        "through, see [architecture.md](architecture.md).",
         "",
     ]
     for module_name, title in PACKAGES:
@@ -65,6 +68,33 @@ def test_api_doc_is_current():
     assert actual == expected, (
         "docs/api.md is stale; regenerate with "
         "`python -m tests.test_docs_sync`"
+    )
+
+
+def test_architecture_doc_names_every_variant():
+    """docs/architecture.md stays in step with the variant registry:
+    every CLI variant name and every load-bearing pipeline symbol must
+    appear in the doc."""
+    from repro.core.variants import VARIANT_CHOICES
+
+    assert ARCH_PATH.exists(), "docs/architecture.md missing"
+    text = ARCH_PATH.read_text(encoding="utf-8")
+    anchors = VARIANT_CHOICES + (
+        "ModelVariant",
+        "LoweredPhase",
+        "BusConstraint",
+        "RouteSolver",
+        "LoweredModel",
+        "execute_lowered_phase",
+        "evaluate_lowered_batch",
+        "evaluate_variant",
+        "evaluate_variant_batch",
+        "compose_result",
+        "variant_from_config",
+    )
+    missing = [name for name in anchors if name not in text]
+    assert not missing, (
+        "docs/architecture.md no longer mentions: " + ", ".join(missing)
     )
 
 

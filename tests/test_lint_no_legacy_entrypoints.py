@@ -1,0 +1,89 @@
+"""Lint: in-repo code goes through the lowered variant pipeline.
+
+The legacy per-extension evaluators (``evaluate_serialized``,
+``evaluate_with_buses``, ...) survive only as deprecated shims in
+:mod:`repro.core.extensions._compat` for external callers.  Everything
+inside this repository must route through
+:func:`repro.core.variants.evaluate_variant` /
+``evaluate_variant_batch`` instead, so ``on_error`` semantics, spans,
+and provenance stay instrumented in exactly one place.  This test is
+the CI step enforcing that: it greps the source tree for the legacy
+entry points and fails on any use outside the extensions package
+itself (where the shims live and the lowerings are defined).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The deprecated entry points.  Word-bounded so the unrelated
+#: ``evaluate_with_margin`` (uncertainty API) never matches.
+LEGACY_ENTRYPOINTS = (
+    "evaluate_serialized",
+    "evaluate_phases",
+    "evaluate_with_buses",
+    "evaluate_with_coordination",
+    "evaluate_with_memory_side",
+    "evaluate_with_multipath",
+)
+_PATTERN = re.compile(
+    r"\b(" + "|".join(LEGACY_ENTRYPOINTS) + r")\b"
+)
+
+#: Where the shims are defined and re-exported (allowed), relative to
+#: the repo root.  Tests may also reference the names (they pin the
+#: deprecation behaviour and the equivalence contract).
+ALLOWED_PREFIX = "src/repro/core/extensions/"
+
+
+def _scanned_files():
+    for root in ("src/repro", "examples"):
+        yield from sorted((REPO_ROOT / root).rglob("*.py"))
+
+
+def test_no_legacy_entrypoint_use_outside_compat():
+    offenders = []
+    for path in _scanned_files():
+        relative = path.relative_to(REPO_ROOT).as_posix()
+        if relative.startswith(ALLOWED_PREFIX):
+            continue
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            match = _PATTERN.search(line)
+            if match:
+                offenders.append(
+                    f"{relative}:{number}: {match.group(1)} "
+                    f"({line.strip()})"
+                )
+    assert not offenders, (
+        "legacy extension entry points used outside "
+        f"{ALLOWED_PREFIX}; route through evaluate_variant / "
+        "evaluate_variant_batch instead:\n" + "\n".join(offenders)
+    )
+
+
+def test_margin_api_is_not_a_false_positive():
+    assert not _PATTERN.search("evaluate_with_margin(soc, workload, 20)")
+
+
+def test_shims_still_emit_deprecation_warnings():
+    import warnings
+
+    from repro.core import SoCSpec, IPBlock, Workload
+    from repro.core.extensions import evaluate_serialized
+
+    soc = SoCSpec(
+        peak_perf=40e9, memory_bandwidth=10e9,
+        ips=(IPBlock("CPU", 1.0, 30e9),),
+    )
+    workload = Workload(fractions=(1.0,), intensities=(4.0,))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        evaluate_serialized(soc, workload)
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    )

@@ -18,7 +18,8 @@ from repro.reports import (
 class TestRegistry:
     def test_every_paper_artifact_has_a_report(self):
         assert set(REPORTS) == {
-            "fig2", "fig6", "fig7", "fig8", "fig9", "table1", "all"
+            "fig2", "fig6", "fig7", "fig8", "fig9", "table1",
+            "variants", "all",
         }
 
     def test_all_report_concatenates_everything(self):
