@@ -1,30 +1,92 @@
-"""Shared fixtures for the benchmark harness.
+"""Shared fixtures and history capture for the benchmark harness.
 
 Each ``test_bench_*`` module regenerates one paper artifact (see
 DESIGN.md's experiment index): the ``benchmark`` fixture times the
 regeneration, and plain asserts check the reproduction against the
 paper's published numbers and shapes.
+
+Every session also feeds the benchmark history: per-test call
+durations and the end-of-run metrics snapshot become normalized
+:class:`repro.obs.bench.BenchRecord` rows, written as the
+``BENCH_obs.json`` snapshot (schema 1) and *appended* to
+``BENCH_HISTORY.jsonl`` — the trajectory ``gables bench compare`` and
+the CI ``bench-history`` job check for regressions.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
-from repro.obs import get_registry, write_metrics_json
+from repro.obs import get_registry
+from repro.obs.bench import (
+    append_history,
+    git_revision,
+    host_fingerprint,
+    make_record,
+    new_run_id,
+)
 from repro.sim import simulated_snapdragon_835
+
+_ROOT = Path(__file__).resolve().parent.parent
 
 #: Where the end-of-run observability snapshot lands (repo root), so
 #: the metrics trajectory (evaluations run, sweep points, contention
 #: rounds, ...) is comparable across PRs alongside the timing numbers.
-OBS_SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+OBS_SNAPSHOT = _ROOT / "BENCH_obs.json"
+
+#: The append-only benchmark trajectory (one JSONL record per metric
+#: per run); never truncated by the harness.
+BENCH_HISTORY = _ROOT / "BENCH_HISTORY.jsonl"
+
+#: nodeid -> call-phase duration for every passed benchmark test.
+_DURATIONS: dict = {}
+
+
+def pytest_runtest_logreport(report):
+    """Collect call-phase wall time per passing test."""
+    if report.when == "call" and report.passed:
+        _DURATIONS[report.nodeid] = report.duration
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Dump the metrics registry accumulated by the benchmark run."""
-    if get_registry().names():
-        write_metrics_json(OBS_SNAPSHOT)
+    """Write the normalized snapshot and append to the history."""
+    run_id = new_run_id()
+    git_rev = git_revision(_ROOT)
+    host = host_fingerprint()
+
+    def record(name, value, unit, meta):
+        return make_record(
+            name, value, unit,
+            run_id=run_id, git_rev=git_rev, host=host, meta=meta,
+        )
+
+    records = []
+    for name, entry in get_registry().snapshot().items():
+        value = entry.get("value", entry.get("sum", 0.0))
+        records.append(record(
+            f"metrics.{name}",
+            value or 0.0,
+            "count" if entry["type"] == "counter" else "value",
+            {"type": entry["type"]},
+        ))
+    for nodeid, duration in sorted(_DURATIONS.items()):
+        records.append(record(
+            f"bench.{nodeid.split('::')[-1]}", duration, "s",
+            {"nodeid": nodeid},
+        ))
+    if not records:
+        return
+    OBS_SNAPSHOT.write_text(
+        json.dumps(
+            {"schema": 1, "records": [r.to_dict() for r in records]},
+            indent=2, sort_keys=True,
+        ) + "\n",
+        encoding="utf-8",
+    )
+    append_history(BENCH_HISTORY, records)
 
 
 @pytest.fixture(scope="session")

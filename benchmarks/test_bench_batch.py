@@ -26,6 +26,7 @@ from repro.core import (
 )
 from repro.core.extensions import Bus, InterconnectSpec
 from repro.explore import sweep_fraction
+from repro.obs.bench import make_record
 from repro.units import GIGA
 
 #: Variant-sweep timing snapshot (repo root, alongside BENCH_obs.json).
@@ -112,13 +113,19 @@ def test_variant_batch_sweep_5x_faster_than_scalar_loop():
     speedup = slow / fast
     print(f"\n10k-point interconnect f-sweep: scalar {slow * 1e3:.1f} ms, "
           f"batch {fast * 1e3:.1f} ms, speedup {speedup:.1f}x")
-    VARIANTS_SNAPSHOT.write_text(json.dumps({
-        "variant": "interconnect",
-        "points": N_POINTS,
-        "scalar_seconds": slow,
-        "batch_seconds": fast,
-        "speedup": speedup,
-    }, indent=2) + "\n", encoding="utf-8")
+    meta = {"variant": "interconnect", "points": N_POINTS}
+    records = [
+        make_record("variants.interconnect.scalar_seconds", slow,
+                    meta=meta),
+        make_record("variants.interconnect.batch_seconds", fast,
+                    meta=meta),
+        make_record("variants.interconnect.speedup", speedup, "x",
+                    meta=meta),
+    ]
+    VARIANTS_SNAPSHOT.write_text(json.dumps(
+        {"schema": 1, "records": [r.to_dict() for r in records]},
+        indent=2, sort_keys=True,
+    ) + "\n", encoding="utf-8")
     assert speedup >= 5.0, (
         f"variant batch sweep only {speedup:.1f}x faster than the "
         f"scalar loop (scalar {slow:.4f}s, batch {fast:.4f}s); need >= 5x"

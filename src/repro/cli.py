@@ -10,11 +10,15 @@ Subcommands::
     gables sweep    --figure 6b --variant multipath --param bpeak
     gables measure  --engine CPU                       (simulated ERT)
     gables report   fig2 | ... | table1 | variants | all
+    gables report   dashboard out.html      (self-contained HTML page)
     gables presets
     gables trace summarize trace.jsonl
+    gables trace export trace.jsonl --format chrome    (Perfetto)
+    gables profile -- sweep --figure 6b --steps 99
+    gables bench compare --against rolling
 
 Observability flags (accepted globally and on every subcommand; see
-docs/observability.md)::
+docs/observability.md and docs/profiling.md)::
 
     gables --trace t.jsonl --metrics m.json eval --figure 6b
     gables -v sweep --figure 6b        # INFO logging (-vv for DEBUG)
@@ -343,6 +347,11 @@ def _cmd_report(args) -> int:
     from .reports import REPORTS
     from .resilience import record_failure
 
+    if args.experiment == "dashboard":
+        out = args.out or "dashboard.html"
+        obs.write_dashboard_html(out, history_path="BENCH_HISTORY.jsonl")
+        print(f"wrote {out} (self-contained; open in any browser)")
+        return 0
     report = REPORTS.get(args.experiment)
     if report is None:
         raise ReproError(
@@ -368,6 +377,8 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_trace_summarize(args) -> int:
+    import shutil
+
     from .viz import trace_summary_table
 
     try:
@@ -381,7 +392,98 @@ def _cmd_trace_summarize(args) -> int:
     total = obs.trace_total_seconds(summaries)
     print(f"{args.file}: {len(spans)} spans, "
           f"{total:.6f} s of root wall time")
-    print(trace_summary_table(summaries, fmt=args.format))
+    width = args.width
+    if width is None and args.format == "markdown":
+        # Deep span trees must wrap onto continuation rows, never be
+        # truncated at the terminal edge.
+        width = shutil.get_terminal_size((80, 24)).columns
+    print(trace_summary_table(summaries, fmt=args.format, width=width))
+    return 0
+
+
+def _cmd_trace_export(args) -> int:
+    from pathlib import Path
+
+    try:
+        spans = obs.read_trace_jsonl(args.file)
+    except OSError as err:
+        raise ReproError(f"cannot read trace file: {err}") from err
+    out = args.out or str(Path(args.file).with_suffix(".chrome.json"))
+    try:
+        events = obs.write_trace_chrome(out, spans)
+    except OSError as err:
+        raise ReproError(f"cannot write {out}: {err}") from err
+    print(f"wrote {events} span events to {out} "
+          "(open in https://ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import time
+
+    inner = list(args.cmd)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if not inner:
+        raise ReproError(
+            "usage: gables profile [--out FILE] -- <subcommand> [args]"
+        )
+    if inner[0] == "profile":
+        raise ReproError("cannot nest 'profile' inside 'profile'")
+    inner_args = build_parser().parse_args(inner)
+    _configure_logging(inner_args)
+    obs.reset_profiling()
+    obs.enable_profiling()
+    start = time.perf_counter()
+    try:
+        with obs.profile_scope(f"cli.{inner_args.command}"):
+            code = inner_args.handler(inner_args)
+    finally:
+        wall = time.perf_counter() - start
+        obs.disable_profiling()
+    nodes = obs.get_profiler().report()
+    profiled_s = obs.get_profiler().total_seconds()
+    print()
+    print(obs.format_profile(nodes, total_s=wall))
+    coverage = 100.0 * profiled_s / wall if wall > 0 else 0.0
+    print(f"\nprofiled {profiled_s:.6f}s of {wall:.6f}s wall "
+          f"({coverage:.1f}% coverage)")
+    if args.out:
+        out = str(args.out)
+        if out.endswith(".svg"):
+            from .viz import save_profile_flame_svg
+
+            save_profile_flame_svg(out, nodes)
+        else:
+            obs.write_profile_json(out, nodes)
+        print(f"wrote {out}", file=sys.stderr)
+    return code
+
+
+def _cmd_bench_compare(args) -> int:
+    import os
+
+    records: list = []
+    if args.against == "rolling":
+        if not os.path.exists(args.history):
+            print(f"{args.history}: no benchmark history yet; "
+                  "nothing to compare")
+            return 0
+        records.extend(obs.read_history(args.history))
+    for path in args.files:
+        try:
+            records.extend(obs.load_bench_file(path))
+        except OSError as err:
+            raise ReproError(f"cannot read benchmark file: {err}") from err
+    if not records:
+        print("no benchmark records to compare")
+        return 0
+    report = obs.compare_runs(
+        records, threshold=args.threshold, window=args.window
+    )
+    print(report.format())
+    if report.regressions and not args.report_only:
+        return 1
     return 0
 
 
@@ -572,7 +674,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_report = sub.add_parser("report", help="regenerate a paper artifact")
     p_report.add_argument(
         "experiment",
-        help="fig2 | fig6 | fig7 | fig8 | fig9 | table1 | variants | all",
+        help="fig2 | fig6 | fig7 | fig8 | fig9 | table1 | variants | all "
+             "| dashboard",
+    )
+    p_report.add_argument(
+        "out", nargs="?", default=None,
+        help="output path for 'dashboard' (default: dashboard.html)",
     )
     p_report.add_argument(
         "--variant", choices=VARIANT_CHOICES, default=None,
@@ -599,7 +706,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_summarize.add_argument("file", help="JSONL trace file")
     p_summarize.add_argument("--format", default="markdown",
                              choices=("markdown", "csv"))
+    p_summarize.add_argument(
+        "--width", type=int, default=None, metavar="COLS",
+        help="wrap span names so markdown rows fit COLS columns "
+             "(default: the terminal width; CSV never wraps)",
+    )
     p_summarize.set_defaults(handler=_cmd_trace_summarize)
+    p_export = trace_sub.add_parser(
+        "export", help="convert a JSONL trace for external viewers"
+    )
+    p_export.add_argument("file", help="JSONL trace file")
+    p_export.add_argument("--format", default="chrome",
+                          choices=("chrome",),
+                          help="output flavour (chrome trace-event JSON, "
+                               "loadable in Perfetto)")
+    p_export.add_argument("--out", default=None,
+                          help="output path (default: <file>.chrome.json)")
+    p_export.set_defaults(handler=_cmd_trace_export)
+
+    p_profile = sub.add_parser(
+        "profile", help="run any subcommand under the phase profiler"
+    )
+    p_profile.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also save the tree: JSON, or a flamegraph SVG when the "
+             "path ends in .svg",
+    )
+    p_profile.add_argument(
+        "cmd", nargs=argparse.REMAINDER,
+        help="the subcommand to profile, after '--'",
+    )
+    p_profile.set_defaults(handler=_cmd_profile)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark history and regression checks"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_compare = bench_sub.add_parser(
+        "compare",
+        help="compare the newest benchmark run against the rolling "
+             "baseline",
+    )
+    p_compare.add_argument(
+        "files", nargs="*",
+        help="extra BENCH_*.json snapshots folded in as the current run",
+    )
+    p_compare.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                           help="JSONL benchmark history file")
+    p_compare.add_argument("--against", default="rolling",
+                           choices=("rolling",),
+                           help="baseline to compare against")
+    p_compare.add_argument("--threshold", type=float, default=0.20,
+                           help="regression bar as a fraction (0.20 = "
+                                "flag >= 20%% slower)")
+    p_compare.add_argument("--window", type=int, default=10,
+                           help="rolling-baseline window, in runs")
+    p_compare.add_argument("--report-only", dest="report_only",
+                           action="store_true",
+                           help="print the comparison but always exit 0")
+    p_compare.set_defaults(handler=_cmd_bench_compare)
     return parser
 
 

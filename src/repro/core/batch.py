@@ -35,14 +35,22 @@ import numpy as np
 
 from ..errors import EvaluationError, SpecError, WorkloadError
 from ..obs.metrics import counter as _counter
+from ..obs.profile import get_profiler as _get_profiler
+from ..obs.profile import profile_scope as _profile_scope
+from ..obs.trace import get_tracer as _get_tracer
 from ..obs.trace import span as _span
-from ..obs.trace import tracing_enabled as _tracing_enabled
 from ..resilience.partial import check_on_error, point_failure
 from .._validation import FRACTION_SUM_TOL
 from .gables import evaluate
 from .lowering import COORDINATION, LoweredPhase
 from .params import SoCSpec, Workload
 from .result import BINDING_REL_TOL, MEMORY, GablesResult, IPTerm
+
+#: Singletons bound once at import: the hot-path disabled check is
+#: two attribute loads, no function calls (the overhead benchmarks
+#: hold instrumented entry points within a few percent of bare).
+_TRACER = _get_tracer()
+_PROFILER = _get_profiler()
 
 #: Module-level instrument handles (one registry lookup at import).
 _BATCH_CALLS = _counter("core.evaluate_batch.calls")
@@ -424,13 +432,14 @@ def evaluate_batch(
     )
     _BATCH_CALLS.inc()
     _BATCH_POINTS.inc(k)
-    if not _tracing_enabled():
+    if not (_TRACER.enabled or _PROFILER.enabled):
         return _evaluate_batch_impl(
             soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
             ip_peaks, valid=valid, on_error=on_error, failures=failures,
         )
-    # One span per batch — never one per point (issue contract).
-    with _span("core.evaluate_batch", soc=soc.name, points=k):
+    # One span/scope per batch — never one per point (issue contract).
+    with _span("core.evaluate_batch", soc=soc.name, points=k), \
+            _profile_scope("core.evaluate_batch"):
         return _evaluate_batch_impl(
             soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
             ip_peaks, valid=valid, on_error=on_error, failures=failures,
@@ -475,13 +484,14 @@ def evaluate_lowered_batch(
     )
     _LOWERED_CALLS.inc()
     _BATCH_POINTS.inc(k)
-    if not _tracing_enabled():
+    if not (_TRACER.enabled or _PROFILER.enabled):
         return _evaluate_batch_impl(
             soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
             ip_peaks, valid=valid, on_error=on_error, failures=failures,
             phase=phase,
         )
-    with _span("core.evaluate_lowered_batch", soc=soc.name, points=k):
+    with _span("core.evaluate_lowered_batch", soc=soc.name, points=k), \
+            _profile_scope("core.evaluate_lowered_batch"):
         return _evaluate_batch_impl(
             soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
             ip_peaks, valid=valid, on_error=on_error, failures=failures,

@@ -12,7 +12,13 @@ import math
 from dataclasses import dataclass, field
 
 from ..errors import EvaluationError
+from ..obs.profile import get_profiler as _get_profiler
+from ..obs.profile import profile_scope as _profile_scope
 from ..units import format_intensity, format_ops
+
+#: Singleton bound once at import: the hot-path disabled check is
+#: one attribute load, no function call.
+_PROFILER = _get_profiler()
 
 #: Relative tolerance when deciding whether two component times "tie"
 #: for the bottleneck (used to report balanced designs such as Fig. 6d).
@@ -210,6 +216,38 @@ def compose_result(
         ``max()`` (False for the serialized model, which folds DRAM
         time into each per-IP term).
     """
+    if _PROFILER.enabled:
+        with _profile_scope("core.compose_result"):
+            return _compose_result_impl(
+                terms,
+                memory_time=memory_time,
+                memory_perf_bound=memory_perf_bound,
+                average_intensity=average_intensity,
+                extra_times=extra_times,
+                combine=combine,
+                include_memory=include_memory,
+            )
+    return _compose_result_impl(
+        terms,
+        memory_time=memory_time,
+        memory_perf_bound=memory_perf_bound,
+        average_intensity=average_intensity,
+        extra_times=extra_times,
+        combine=combine,
+        include_memory=include_memory,
+    )
+
+
+def _compose_result_impl(
+    terms: tuple,
+    *,
+    memory_time: float,
+    memory_perf_bound: float,
+    average_intensity: float,
+    extra_times: dict | None = None,
+    combine: str = "max",
+    include_memory: bool = True,
+) -> GablesResult:
     extra_times = dict(extra_times) if extra_times else {}
     if combine == "sum":
         total_time = math.fsum(term.time for term in terms)

@@ -30,8 +30,10 @@ import numpy as np
 from ..errors import EvaluationError, SpecError, WorkloadError
 from ..obs import provenance as _provenance
 from ..obs.metrics import counter as _counter
+from ..obs.profile import get_profiler as _get_profiler
+from ..obs.profile import profile_scope as _profile_scope
+from ..obs.trace import get_tracer as _get_tracer
 from ..obs.trace import span as _span
-from ..obs.trace import tracing_enabled as _tracing_enabled
 from .extensions.coordination import CoordinationModel, lower_coordination
 from .extensions.interconnect import (
     Bus,
@@ -50,6 +52,12 @@ from .extensions.serialized import lower_serialized
 from .lowering import LoweredModel, LoweredPhase, execute_lowered_phase
 from .params import SoCSpec, Workload
 from .result import GablesResult
+
+#: Singletons bound once at import: the hot-path disabled check is
+#: two attribute loads, no function calls (the overhead benchmarks
+#: hold instrumented entry points within a few percent of bare).
+_TRACER = _get_tracer()
+_PROFILER = _get_profiler()
 
 #: CLI-facing variant names, in presentation order.
 VARIANT_CHOICES = (
@@ -186,9 +194,13 @@ def evaluate_variant(
     """
     if variant is None:
         variant = BaseVariant()
-    lowered = variant.lower(soc)
+    if _PROFILER.enabled:
+        with _profile_scope("core.variant.lower"):
+            lowered = variant.lower(soc)
+    else:
+        lowered = variant.lower(soc)
     _VARIANT_CALLS.inc()
-    if not _tracing_enabled():
+    if not (_TRACER.enabled or _PROFILER.enabled):
         result = _evaluate_lowered(soc, workload, lowered)
     else:
         with _span(
@@ -196,7 +208,7 @@ def evaluate_variant(
             soc=soc.name,
             variant=lowered.kind,
             workload=None if workload is None else workload.name,
-        ) as sp:
+        ) as sp, _profile_scope("core.evaluate_variant"):
             result = _evaluate_lowered(soc, workload, lowered)
             sp.set_attribute("bottleneck", result.bottleneck)
             sp.set_attribute("attainable", result.attainable)

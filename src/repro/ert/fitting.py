@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from ..core.params import IPBlock, SoCSpec
 from ..core.roofline import Ceiling, Roofline
 from ..errors import FittingError
+from ..obs.profile import profiled as _profiled
 from .sweep import SweepResult
 
 #: A sample counts as bandwidth-bound when it attains less than this
@@ -82,6 +83,7 @@ class EmpiricalRoofline:
         )
 
 
+@_profiled("ert.fit_roofline")
 def fit_roofline(sweep: SweepResult) -> EmpiricalRoofline:
     """Extract the empirical roofline from a sweep.
 

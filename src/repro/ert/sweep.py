@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..errors import SpecError
 from ..obs.metrics import counter as _counter
+from ..obs.profile import profile_scope as _profile_scope
 from ..obs.trace import span as _span
 from ..resilience.checkpoint import SweepCheckpoint, sample_key
 from ..resilience.faults import FaultInjector, FaultPlan
@@ -180,7 +181,7 @@ def run_sweep(
             engine=engine,
             variant=variant,
             grid=len(intensities) * len(footprints),
-        ):
+        ), _profile_scope("ert.run_sweep"):
             samples = _sweep_samples(
                 platform, engine, intensities, footprints, variant, simd,
                 repeats, rng, noise, retry_policy, checkpoint,
@@ -268,28 +269,30 @@ def _measure_sample(
     one, a :class:`~repro.errors.MeasurementError` propagates.
     """
     observations = []
-    for _ in range(repeats):
-        def attempt():
-            return platform.run_kernel(engine, kernel)
+    with _profile_scope("ert.measure"):
+        for _ in range(repeats):
+            def attempt():
+                return platform.run_kernel(engine, kernel)
 
-        if retry_policy is not None:
-            result = call_with_retry(
-                attempt,
-                retry_policy,
-                context=(
-                    f"{engine} sample at I={intensity:g}, "
-                    f"{kernel.footprint_bytes:g} B"
-                ),
-            )
-        else:
-            result = attempt()
-        observed = result.gflops
-        if rng is not None:
-            observed *= 1.0 - noise * float(rng.random())
-        observations.append((observed, result.service_level))
+            if retry_policy is not None:
+                result = call_with_retry(
+                    attempt,
+                    retry_policy,
+                    context=(
+                        f"{engine} sample at I={intensity:g}, "
+                        f"{kernel.footprint_bytes:g} B"
+                    ),
+                )
+            else:
+                result = attempt()
+            observed = result.gflops
+            if rng is not None:
+                observed *= 1.0 - noise * float(rng.random())
+            observations.append((observed, result.service_level))
     values = [value for value, _ in observations]
     if retry_policy is not None:
-        values = reject_outliers_mad(values, retry_policy.mad_threshold)
+        with _profile_scope("ert.outlier_reject"):
+            values = reject_outliers_mad(values, retry_policy.mad_threshold)
     best = max(values)
     service_level = next(
         level for value, level in observations if value == best

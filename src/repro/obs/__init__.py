@@ -1,4 +1,4 @@
-"""Observability: tracing spans, metrics, and evaluation provenance.
+"""Observability: tracing, profiling, metrics, provenance, benchmarks.
 
 A dependency-free instrumentation layer threaded through the library's
 hot paths (model evaluation, the simulator, ERT and design-space
@@ -6,33 +6,62 @@ sweeps, report generation):
 
 - :mod:`.trace` — nestable, thread-safe spans on a process-global
   tracer that is a shared no-op when disabled;
-- :mod:`.metrics` — always-on named counters, gauges, and histograms;
+- :mod:`.profile` — an aggregating phase-level profiler (self /
+  cumulative timing trees) behind ``gables profile -- <subcommand>``;
+- :mod:`.metrics` — always-on named counters, gauges, histograms, and
+  block timers;
 - :mod:`.provenance` — auditable *explain records* for every
   ``evaluate()``, cross-checked against
   :mod:`repro.analysis.bottleneck`;
-- :mod:`.export` — JSONL trace events, JSON metrics snapshots, and the
-  span-tree summaries behind ``gables trace summarize``.
+- :mod:`.export` — JSONL trace events, Chrome/Perfetto trace export,
+  JSON metrics snapshots, and the span-tree summaries behind
+  ``gables trace summarize``;
+- :mod:`.bench` — normalized benchmark records, the append-only
+  ``BENCH_HISTORY.jsonl`` store, and rolling-median regression
+  detection behind ``gables bench compare``;
+- :mod:`.dashboard` — the one-page self-contained HTML dashboard
+  behind ``gables report dashboard``.
 
 Quickstart::
 
     from repro import obs
 
     obs.enable_tracing()
+    obs.enable_profiling()
     result = evaluate(soc, workload)          # spans + counters recorded
     obs.write_trace_jsonl("trace.jsonl")
-    print(obs.get_registry().snapshot())
+    obs.write_trace_chrome("trace.chrome.json")   # open in Perfetto
+    print(obs.format_profile(obs.get_profiler().report()))
 
-Everything here degrades to near-zero overhead when tracing is off —
-the benchmark suite holds instrumented ``evaluate()`` within a few
-percent of un-instrumented throughput.
+Everything here degrades to near-zero overhead when tracing and
+profiling are off — the benchmark suite holds the instrumented batch
+kernels within 1% of un-instrumented throughput.
 """
 
+from .bench import (
+    BenchRecord,
+    ComparisonReport,
+    ComparisonRow,
+    append_history,
+    compare_runs,
+    detect_regressions,
+    git_revision,
+    host_fingerprint,
+    load_bench_file,
+    make_record,
+    new_run_id,
+    read_history,
+    rolling_baseline,
+)
+from .dashboard import render_dashboard, write_dashboard_html
 from .export import (
     SpanSummary,
+    chrome_trace_events,
     read_trace_jsonl,
     summarize_spans,
     trace_total_seconds,
     write_metrics_json,
+    write_trace_chrome,
     write_trace_jsonl,
 )
 from .metrics import (
@@ -40,11 +69,27 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Timer,
     counter,
     gauge,
     get_registry,
     histogram,
     reset_metrics,
+    timer,
+)
+from .profile import (
+    ProfileNode,
+    Profiler,
+    disable_profiling,
+    enable_profiling,
+    format_profile,
+    get_profiler,
+    profile_scope,
+    profile_to_dict,
+    profiled,
+    profiling_enabled,
+    reset_profiling,
+    write_profile_json,
 )
 from .provenance import (
     ExplainRecord,
@@ -69,49 +114,81 @@ from .trace import (
 )
 
 __all__ = [
+    "BenchRecord",
+    "ComparisonReport",
+    "ComparisonRow",
     "Counter",
     "ExplainRecord",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProfileNode",
+    "Profiler",
     "SpanRecord",
     "SpanSummary",
     "TermExplain",
+    "Timer",
     "Tracer",
+    "append_history",
+    "chrome_trace_events",
+    "compare_runs",
     "counter",
+    "detect_regressions",
+    "disable_profiling",
     "disable_provenance",
     "disable_tracing",
+    "enable_profiling",
     "enable_provenance",
     "enable_tracing",
     "explain",
     "explain_history",
+    "format_profile",
     "gauge",
+    "get_profiler",
     "get_registry",
     "get_tracer",
+    "git_revision",
     "histogram",
+    "host_fingerprint",
     "last_explain",
+    "load_bench_file",
+    "make_record",
+    "new_run_id",
+    "profile_scope",
+    "profile_to_dict",
+    "profiled",
+    "profiling_enabled",
     "provenance_enabled",
+    "read_history",
     "read_trace_jsonl",
+    "render_dashboard",
     "reset_metrics",
+    "reset_profiling",
     "reset_provenance",
     "reset_tracing",
+    "rolling_baseline",
     "span",
     "summarize_spans",
+    "timer",
     "trace_total_seconds",
     "tracing_enabled",
+    "write_dashboard_html",
     "write_metrics_json",
+    "write_profile_json",
+    "write_trace_chrome",
     "write_trace_jsonl",
 ]
 
 
 def reset_observability() -> None:
-    """Reset tracing, metrics, and provenance to a pristine state.
+    """Reset tracing, profiling, metrics, and provenance to pristine.
 
-    The test-suite hook: tracing disabled and emptied, every metric
-    zeroed in place (handles stay live), provenance capture off with an
-    empty history.
+    The test-suite hook: tracing and profiling disabled and emptied,
+    every metric zeroed in place (handles stay live), provenance
+    capture off with an empty history.
     """
     reset_tracing()
+    reset_profiling()
     reset_metrics()
     reset_provenance()
 

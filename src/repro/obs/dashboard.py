@@ -1,0 +1,349 @@
+"""One-page self-contained HTML performance dashboard.
+
+:func:`render_dashboard` folds the observability surfaces — metrics
+snapshot, profiler tree, span waterfall, benchmark history — plus
+roofline thumbnails into a single HTML document with inline CSS and
+inline SVG only: no scripts, no network fetches, openable from a file
+share or a CI artifact.  ``gables report dashboard out.html`` runs a
+small instrumented demo workload (the Figure 6 walkthrough plus a
+fraction sweep) when the current process has nothing collected yet, so
+the page is never empty.
+
+The ``viz`` package imports ``core`` which imports ``obs``, so this
+module must lazy-import ``viz`` inside functions to avoid a cycle.
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+from .bench import read_history
+from .metrics import get_registry
+from .profile import format_profile, get_profiler
+from .trace import get_tracer
+
+#: Cap rendered waterfall rows; beyond this the longest spans win.
+MAX_WATERFALL_ROWS = 48
+
+#: Cap sparkline panels (one per timing metric in the history).
+MAX_SPARKLINES = 12
+
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto;
+       max-width: 72rem; color: #0b0b0b; background: #fcfcfb; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem;
+     border-bottom: 1px solid #e4e3de; padding-bottom: 0.3rem; }
+table { border-collapse: collapse; font-size: 0.85rem; }
+th, td { padding: 0.25rem 0.7rem; text-align: left;
+         border-bottom: 1px solid #e4e3de; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+pre { background: #f4f3ef; padding: 0.8rem; overflow-x: auto;
+      font-size: 0.8rem; }
+.spark { display: inline-block; margin: 0.4rem 1rem 0.4rem 0;
+         vertical-align: top; font-size: 0.8rem; }
+.thumb { display: inline-block; margin: 0.4rem 1rem 0.4rem 0;
+         vertical-align: top; }
+.empty { color: #52514e; font-style: italic; }
+footer { margin-top: 3rem; color: #52514e; font-size: 0.8rem; }
+"""
+
+
+def _span_depths(spans) -> dict:
+    by_id = {record.span_id: record for record in spans}
+    depths: dict = {}
+
+    def depth_of(record) -> int:
+        cached = depths.get(record.span_id)
+        if cached is not None:
+            return cached
+        seen = set()
+        depth = 0
+        parent_id = record.parent_id
+        while parent_id is not None and parent_id in by_id:
+            if parent_id in seen:
+                break
+            seen.add(parent_id)
+            depth += 1
+            parent_id = by_id[parent_id].parent_id
+        depths[record.span_id] = depth
+        return depth
+
+    for record in spans:
+        depth_of(record)
+    return depths
+
+
+def waterfall_svg(spans, width: int = 960) -> str:
+    """Finished spans as a timeline waterfall (one bar per span).
+
+    Bars run from each span's start to its end relative to the earliest
+    start; rows follow start order, colors cycle by nesting depth.
+    When there are more spans than :data:`MAX_WATERFALL_ROWS`, the
+    longest survive (the short ones are exactly the ones a waterfall
+    cannot resolve visually anyway).
+    """
+    from ..viz.svg import SERIES_COLORS, TEXT_PRIMARY, SvgCanvas
+
+    closed = [record for record in spans if record.end_s is not None]
+    if not closed:
+        canvas = SvgCanvas(width=max(width, 64), height=64)
+        canvas.text(12, 36, "no finished spans", size=12)
+        return canvas.to_string()
+    if len(closed) > MAX_WATERFALL_ROWS:
+        keep = set(
+            id(r) for r in sorted(
+                closed, key=lambda r: -r.duration_s
+            )[:MAX_WATERFALL_ROWS]
+        )
+        closed = [r for r in closed if id(r) in keep]
+    closed.sort(key=lambda r: r.start_s)
+    depths = _span_depths(closed)
+    t0 = min(r.start_s for r in closed)
+    t1 = max(r.end_s for r in closed)
+    span_s = max(t1 - t0, 1e-12)
+    row_h, gap, margin, header = 18, 2, 12, 24
+    label_w = 220
+    height = header + len(closed) * (row_h + gap) + margin
+    canvas = SvgCanvas(width=max(width, 64), height=max(height, 64))
+    plot_w = canvas.width - margin - label_w - margin
+    canvas.text(margin, header - 8,
+                f"{len(closed)} spans over {span_s:.6f}s",
+                color=TEXT_PRIMARY, size=12, weight="bold")
+    for row, record in enumerate(closed):
+        y = header + row * (row_h + gap)
+        depth = depths[record.span_id]
+        label = ("  " * min(depth, 8)) + record.name
+        if len(label) > 34:
+            label = label[:33] + "…"
+        canvas.text(margin, y + row_h - 5, label, size=10)
+        x = margin + label_w + plot_w * (record.start_s - t0) / span_s
+        bar_w = max(1.0, plot_w * record.duration_s / span_s)
+        canvas.rect(
+            x, y, bar_w, row_h,
+            SERIES_COLORS[depth % len(SERIES_COLORS)],
+            tooltip=(f"{record.name}: {record.duration_s:.6f}s "
+                     f"(thread {record.thread}, status {record.status})"),
+        )
+    return canvas.to_string()
+
+
+def sparkline_svg(values, width: int = 180, height: int = 40,
+                  label: str = "") -> str:
+    """A tiny trend line for one metric's history (newest right)."""
+    from ..viz.svg import SERIES_COLORS, SvgCanvas
+
+    values = [float(v) for v in values]
+    canvas = SvgCanvas(width=max(width, 64), height=max(height, 64))
+    if not values:
+        return canvas.to_string()
+    margin = 6
+    lo, hi = min(values), max(values)
+    spread = (hi - lo) or 1.0
+    plot_w = canvas.width - 2 * margin
+    plot_h = canvas.height - 2 * margin
+    step = plot_w / max(len(values) - 1, 1)
+    points = [
+        (margin + i * step,
+         margin + plot_h * (1.0 - (v - lo) / spread))
+        for i, v in enumerate(values)
+    ]
+    if len(points) == 1:
+        points = [points[0], (points[0][0] + 1, points[0][1])]
+    canvas.polyline(points, SERIES_COLORS[0], width=1.5,
+                    tooltip=label or None)
+    canvas.circle(points[-1][0], points[-1][1], r=2.5,
+                  color=SERIES_COLORS[5])
+    return canvas.to_string()
+
+
+def _metrics_section(snapshot) -> str:
+    if not snapshot:
+        return '<p class="empty">no metrics collected</p>'
+    rows = []
+    for name, entry in sorted(snapshot.items()):
+        kind = entry.get("type", "?")
+        if kind == "histogram":
+            value = (f"n={entry['count']} sum={entry['sum']:.6g} "
+                     f"mean={entry['mean']:.6g}")
+            if "p95" in entry:
+                value += f" p50={entry['p50']:.6g} p95={entry['p95']:.6g}"
+        else:
+            value = f"{entry.get('value', 0):.6g}"
+        rows.append(
+            f"<tr><td>{_html.escape(name)}</td>"
+            f"<td>{_html.escape(kind)}</td>"
+            f'<td class="num">{_html.escape(value)}</td></tr>'
+        )
+    return ("<table><tr><th>metric</th><th>type</th><th>value</th></tr>"
+            + "".join(rows) + "</table>")
+
+
+def _profile_section(nodes) -> str:
+    from ..viz.flamegraph import profile_flame_svg
+
+    nodes = tuple(nodes)
+    if not nodes:
+        return '<p class="empty">profiler collected nothing</p>'
+    tree = _html.escape(format_profile(nodes))
+    flame = profile_flame_svg(nodes, width=960)
+    return f"<pre>{tree}</pre>{flame}"
+
+
+def _sparkline_section(history) -> str:
+    timings = [r for r in history if r.unit == "s"]
+    if not timings:
+        return ('<p class="empty">no benchmark history '
+                "(run the benchmark suite to populate "
+                "BENCH_HISTORY.jsonl)</p>")
+    series: dict = {}
+    for record in timings:
+        series.setdefault(record.name, []).append(record.value)
+    parts = []
+    for name in sorted(series)[:MAX_SPARKLINES]:
+        values = series[name]
+        parts.append(
+            '<span class="spark">'
+            f"{sparkline_svg(values, label=name)}<br>"
+            f"{_html.escape(name)}: {values[-1]:.6g}s "
+            f"({len(values)} runs)</span>"
+        )
+    dropped = len(series) - min(len(series), MAX_SPARKLINES)
+    if dropped:
+        parts.append(f'<p class="empty">({dropped} more metrics in the '
+                     "history file)</p>")
+    return "".join(parts)
+
+
+def _roofline_section(rooflines) -> str:
+    rooflines = tuple(rooflines)
+    if not rooflines:
+        return '<p class="empty">no roofline thumbnails</p>'
+    return "".join(
+        f'<span class="thumb">{svg}<br>{_html.escape(label)}</span>'
+        for label, svg in rooflines
+    )
+
+
+def render_dashboard(
+    *,
+    metrics=None,
+    profile_nodes=None,
+    spans=None,
+    history=(),
+    rooflines=(),
+    title: str = "Gables performance observatory",
+) -> str:
+    """The one-page dashboard as a self-contained HTML string.
+
+    Every argument defaults to the live global collector (metrics
+    registry, profiler, tracer); pass explicit data to render saved
+    artifacts instead.  The output embeds everything inline — CSS, SVG,
+    text — and references no external resources.
+    """
+    if metrics is None:
+        metrics = get_registry().snapshot()
+    if profile_nodes is None:
+        profile_nodes = get_profiler().report()
+    if spans is None:
+        spans = get_tracer().finished_spans()
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{_html.escape(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>{_html.escape(title)}</h1>
+<section id="metrics">
+<h2>Metrics</h2>
+{_metrics_section(metrics)}
+</section>
+<section id="profile">
+<h2>Phase profile</h2>
+{_profile_section(profile_nodes)}
+</section>
+<section id="waterfall">
+<h2>Span waterfall</h2>
+{waterfall_svg(spans)}
+</section>
+<section id="sparklines">
+<h2>Benchmark history</h2>
+{_sparkline_section(history)}
+</section>
+<section id="rooflines">
+<h2>Rooflines</h2>
+{_roofline_section(rooflines)}
+</section>
+<footer>generated offline by the repro observability stack —
+no scripts, no network.</footer>
+</body>
+</html>
+"""
+
+
+def demo_rooflines() -> tuple:
+    """Roofline SVG thumbnails for the Figure 6 walkthrough."""
+    from ..core.two_ip import FIGURE_6_SEQUENCE
+    from ..viz import RooflinePlotData, roofline_svg
+
+    thumbs = []
+    for scenario in FIGURE_6_SEQUENCE:
+        data = RooflinePlotData.from_model(
+            scenario.soc(), scenario.workload()
+        )
+        thumbs.append((scenario.name, roofline_svg(data, width=300,
+                                                   height=220)))
+    return tuple(thumbs)
+
+
+def collect_demo_activity() -> None:
+    """Run a small instrumented workload into the global collectors.
+
+    Enables tracing and profiling, evaluates the Figure 6 walkthrough
+    (base model and the interconnect variant) and a 9-point fraction
+    sweep, so a fresh process still renders a populated dashboard.
+    Collection stays enabled so the caller's own activity keeps
+    accumulating; callers that care should reset afterwards.
+    """
+    from ..core import evaluate, evaluate_variant, variant_from_config
+    from ..core.two_ip import FIGURE_6_SEQUENCE
+    from ..explore import sweep_fraction
+    from .trace import enable_tracing
+
+    enable_tracing()
+    profiler = get_profiler()
+    profiler.enabled = True
+    for scenario in FIGURE_6_SEQUENCE:
+        soc, workload = scenario.soc(), scenario.workload()
+        evaluate(soc, workload)
+        evaluate_variant(
+            soc, workload, variant_from_config("interconnect", soc, None)
+        )
+    demo = FIGURE_6_SEQUENCE[1]
+    sweep_fraction(
+        demo.soc(), demo.workload(), 1,
+        [k / 8 for k in range(9)],
+    )
+
+
+def write_dashboard_html(path, history_path=None, demo: bool = True) -> str:
+    """Render the dashboard to ``path``; returns the HTML written.
+
+    With ``demo`` (the default), an instrumented demo workload runs
+    first whenever the global profiler has collected nothing, so the
+    page always has content.  ``history_path`` points at a
+    ``BENCH_HISTORY.jsonl`` file (missing file -> empty trend section).
+    """
+    if demo and not get_profiler().report():
+        collect_demo_activity()
+    history: tuple = ()
+    if history_path is not None:
+        try:
+            history = read_history(history_path)
+        except OSError:
+            history = ()
+    document = render_dashboard(history=history, rooflines=demo_rooflines())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return document

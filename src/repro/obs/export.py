@@ -9,8 +9,10 @@ per *finished* span, in completion order::
 
 JSONL keeps traces appendable and greppable; :func:`read_trace_jsonl`
 round-trips them back into :class:`~repro.obs.trace.SpanRecord`
-objects, and :func:`summarize_spans` folds them into a per-path tree
-(the ``gables trace summarize`` table).
+objects, :func:`summarize_spans` folds them into a per-path tree (the
+``gables trace summarize`` table), and :func:`write_trace_chrome`
+re-emits them in the Chrome trace-event format for Perfetto (the
+``gables trace export --format chrome`` path).
 
 Metrics snapshots are a single JSON document keyed by metric name (see
 :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`).
@@ -73,6 +75,83 @@ def write_metrics_json(path, registry=None) -> dict:
         json.dump(snapshot, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return snapshot
+
+
+# ---------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------
+
+
+def _json_safe(value):
+    """Chrome's trace loader wants strict JSON: no Infinity/NaN."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+def chrome_trace_events(spans=None) -> dict:
+    """Spans (default: the global tracer's) as a Chrome trace document.
+
+    Produces the JSON-object flavour of the trace-event format —
+    ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — with one
+    complete (``"ph": "X"``) event per finished span and one
+    ``thread_name`` metadata (``"ph": "M"``) event per thread, loadable
+    in Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+    Timestamps are microseconds relative to the earliest span start, so
+    the trace viewport starts at zero.
+    """
+    if spans is None:
+        spans = get_tracer().finished_spans()
+    closed = [record for record in spans if record.end_s is not None]
+    t0 = min((record.start_s for record in closed), default=0.0)
+    thread_ids: dict = {}
+    for record in closed:
+        thread_ids.setdefault(record.thread, len(thread_ids) + 1)
+    events = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": thread},
+        }
+        for thread, tid in thread_ids.items()
+    ]
+    for record in closed:
+        args = {
+            key: _json_safe(value)
+            for key, value in record.attributes.items()
+        }
+        args["span_id"] = record.span_id
+        if record.parent_id is not None:
+            args["parent_id"] = record.parent_id
+        if record.status != "ok":
+            args["status"] = record.status
+        events.append({
+            "name": record.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (record.start_s - t0) * 1e6,
+            "dur": record.duration_s * 1e6,
+            "pid": 1,
+            "tid": thread_ids[record.thread],
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace_chrome(path, spans=None) -> int:
+    """Write spans as a Chrome trace-event JSON file.
+
+    Returns the number of span (``"X"``) events written.
+    """
+    document = chrome_trace_events(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, allow_nan=False)
+        handle.write("\n")
+    return sum(
+        1 for event in document["traceEvents"] if event["ph"] == "X"
+    )
 
 
 # ---------------------------------------------------------------------

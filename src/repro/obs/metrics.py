@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 
 from ..errors import ObservabilityError
 
@@ -154,6 +155,39 @@ class Histogram:
         return data
 
 
+class Timer:
+    """Context manager recording elapsed seconds into a histogram.
+
+    Each entry/exit observes one duration, so the backing histogram
+    reports count/sum/min/max (always) and p50/p95 (over the retained
+    sample window) of the timed block::
+
+        with timer("ert.fit.seconds"):
+            fitted = fit_roofline(sweep)
+
+    Re-enterable and reusable: ``timer(name)`` hands out a fresh
+    ``Timer`` over the shared named histogram, so concurrent or nested
+    uses never clobber each other's start marks.
+    """
+
+    __slots__ = ("histogram", "_clock", "_start")
+
+    def __init__(self, histogram: Histogram, clock=time.perf_counter) -> None:
+        self.histogram = histogram
+        self._clock = clock
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        if self._start is not None:
+            self.histogram.record(self._clock() - self._start)
+            self._start = None
+        return False
+
+
 class MetricsRegistry:
     """Get-or-create home for named instruments.
 
@@ -189,6 +223,10 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         return self._get_or_create(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        """A fresh :class:`Timer` over the named histogram."""
+        return Timer(self._get_or_create(name, Histogram))
 
     def names(self) -> tuple:
         """Registered metric names, sorted."""
@@ -237,6 +275,11 @@ def gauge(name: str) -> Gauge:
 def histogram(name: str) -> Histogram:
     """Get or create a histogram in the global registry."""
     return _REGISTRY.histogram(name)
+
+
+def timer(name: str) -> Timer:
+    """A :class:`Timer` over a histogram in the global registry."""
+    return _REGISTRY.timer(name)
 
 
 def reset_metrics() -> None:

@@ -10,6 +10,7 @@ Sweep and market figures use :func:`line_chart_svg` /
 
 from .ascii_art import SERIES_GLYPHS, AsciiCanvas, render_log_log
 from .diagram import dataflow_diagram_svg, soc_diagram_svg
+from .flamegraph import profile_flame_svg, save_profile_flame_svg
 from .heatmap import SEQUENTIAL_RAMP, heatmap_svg
 from .html_report import interactive_report, save_interactive_report
 from .roofline_plot import (
@@ -51,7 +52,9 @@ __all__ = [
     "sweep_table",
     "trace_summary_table",
     "line_chart_svg",
+    "profile_flame_svg",
     "save_interactive_report",
+    "save_profile_flame_svg",
     "render_log_log",
     "soc_diagram_svg",
     "roofline_ascii",

@@ -96,13 +96,19 @@ def drift_table(points, fmt: str = "markdown") -> str:
     return _render(headers, rows, fmt)
 
 
-def trace_summary_table(summaries, fmt: str = "markdown") -> str:
+def trace_summary_table(summaries, fmt: str = "markdown",
+                        width: int | None = None) -> str:
     """A span-tree time breakdown as a table.
 
     ``summaries`` is the output of
     :func:`repro.obs.export.summarize_spans` (depth-first tree order);
     rows indent span names by depth and report each path's share of the
     total root-span wall time.
+
+    ``width`` (markdown only) caps the rendered line length for
+    terminal display: deeply indented span names that would overflow
+    are *wrapped* onto continuation rows — indentation preserved, stat
+    cells blank — never truncated.  ``None`` leaves rows unwrapped.
     """
     total = sum(s.total_s for s in summaries if s.depth == 0)
     headers = ("span", "count", "total (s)", "mean (s)",
@@ -118,7 +124,38 @@ def trace_summary_table(summaries, fmt: str = "markdown") -> str:
             f"{summary.self_s:.6f}",
             f"{share:.1f}",
         ))
+    if width is not None and fmt == "markdown":
+        rows = _wrap_span_rows(rows, width)
     return _render(headers, rows, fmt)
+
+
+def _wrap_span_rows(rows, width: int) -> list:
+    """Wrap over-long span cells onto continuation rows.
+
+    The markdown renderer emits ``| span | c1 | ... |``, so each line
+    costs ``4 + len(span) + sum(3 + len(cell))`` characters.  For every
+    row whose line would exceed ``width``, the span cell is split at
+    the largest budget that fits (floored at 16 characters so a narrow
+    terminal still produces usable rows); continuation rows repeat the
+    indentation and leave the stat cells empty.
+    """
+    wrapped = []
+    for row in rows:
+        span, *stats = (str(cell) for cell in row)
+        overhead = 4 + sum(3 + len(cell) for cell in stats)
+        budget = max(16, width - overhead)
+        if len(span) <= budget:
+            wrapped.append(row)
+            continue
+        indent = span[: len(span) - len(span.lstrip(" "))]
+        body = span[len(indent):]
+        chunk = max(1, budget - len(indent))
+        pieces = [indent + body[i:i + chunk]
+                  for i in range(0, len(body), chunk)]
+        wrapped.append((pieces[0], *stats))
+        for piece in pieces[1:]:
+            wrapped.append((piece, *[""] * len(stats)))
+    return wrapped
 
 
 def _render(headers, rows, fmt: str) -> str:

@@ -13,6 +13,7 @@ from pathlib import Path
 
 DOC_PATH = Path(__file__).resolve().parent.parent / "docs" / "api.md"
 ARCH_PATH = Path(__file__).resolve().parent.parent / "docs" / "architecture.md"
+PROFILING_PATH = Path(__file__).resolve().parent.parent / "docs" / "profiling.md"
 
 #: Packages indexed in the public API doc, in presentation order.
 PACKAGES = (
@@ -96,6 +97,40 @@ def test_architecture_doc_names_every_variant():
     assert not missing, (
         "docs/architecture.md no longer mentions: " + ", ".join(missing)
     )
+
+
+def test_profiling_doc_names_every_observatory_surface():
+    """docs/profiling.md stays in step with the performance
+    observatory: every public entry point and CLI surface it documents
+    must still appear, and the doc must be cross-linked from the pages
+    that feed into it."""
+    assert PROFILING_PATH.exists(), "docs/profiling.md missing"
+    text = PROFILING_PATH.read_text(encoding="utf-8")
+    anchors = (
+        "enable_profiling",
+        "profile_scope",
+        "profiled",
+        "format_profile",
+        "write_profile_json",
+        "profile_flame_svg",
+        "gables profile",
+        "trace export",
+        "traceEvents",
+        "BENCH_HISTORY.jsonl",
+        "bench compare",
+        "render_dashboard",
+        "write_dashboard_html",
+        "report dashboard",
+    )
+    missing = [name for name in anchors if name not in text]
+    assert not missing, (
+        "docs/profiling.md no longer mentions: " + ", ".join(missing)
+    )
+    root = PROFILING_PATH.parent
+    for page in ("observability.md", "performance.md", "cli.md"):
+        assert "profiling.md" in (root / page).read_text(encoding="utf-8"), (
+            f"docs/{page} lost its cross-link to profiling.md"
+        )
 
 
 def test_every_indexed_package_importable():

@@ -1,0 +1,315 @@
+"""The phase-level profiler: tree building, rendering, CLI, overhead."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core import FIGURE_6B, evaluate, evaluate_variant
+from repro.errors import ObservabilityError
+from repro.obs.profile import NULL_SCOPE, Profiler, ProfileNode
+
+
+class FakeClock:
+    """A deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestProfiler:
+    def test_nested_scopes_build_a_tree(self):
+        profiler = Profiler(clock=FakeClock())
+        profiler.enabled = True
+        with profiler.scope("outer"):
+            with profiler.scope("inner"):
+                pass
+        (root,) = profiler.report()
+        assert root.name == "outer"
+        assert root.count == 1
+        (child,) = root.children
+        assert child.name == "inner"
+        assert child.count == 1
+
+    def test_repeated_scopes_aggregate_into_one_node(self):
+        profiler = Profiler(clock=FakeClock())
+        profiler.enabled = True
+        for _ in range(5):
+            with profiler.scope("stage"):
+                pass
+        (root,) = profiler.report()
+        assert root.count == 5
+
+    def test_deterministic_totals_with_injected_clock(self):
+        # Each scope body costs exactly one tick (enter reads the
+        # clock once, exit once), so totals are exact integers.
+        profiler = Profiler(clock=FakeClock(step=1.0))
+        profiler.enabled = True
+        with profiler.scope("outer"):
+            with profiler.scope("inner"):
+                pass
+        (root,) = profiler.report()
+        (child,) = root.children
+        assert child.total_s == pytest.approx(1.0)
+        assert root.total_s == pytest.approx(3.0)
+        assert root.self_s == pytest.approx(2.0)
+
+    def test_self_time_clamped_at_zero(self):
+        node = ProfileNode(
+            name="p", count=1, total_s=1.0, self_s=0.0,
+            children=(ProfileNode("c", 1, 2.0, 2.0, ()),),
+        )
+        # from_dict round-trip preserves the clamped value.
+        assert ProfileNode.from_dict(node.to_dict()) == node
+
+    def test_same_name_different_parents_are_distinct_nodes(self):
+        profiler = Profiler(clock=FakeClock())
+        profiler.enabled = True
+        with profiler.scope("a"):
+            with profiler.scope("shared"):
+                pass
+        with profiler.scope("b"):
+            with profiler.scope("shared"):
+                pass
+        roots = profiler.report()
+        assert {r.name for r in roots} == {"a", "b"}
+        for root in roots:
+            assert [c.name for c in root.children] == ["shared"]
+
+    def test_exception_unwinds_open_scopes(self):
+        profiler = Profiler(clock=FakeClock())
+        profiler.enabled = True
+        with pytest.raises(RuntimeError):
+            with profiler.scope("outer"):
+                with profiler.scope("inner"):
+                    raise RuntimeError("boom")
+        assert profiler.active_depth() == 0
+        (root,) = profiler.report()
+        assert root.count == 1
+
+    def test_empty_scope_name_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Profiler().scope("")
+
+    def test_reset_keeps_enabled_flag(self):
+        profiler = Profiler(clock=FakeClock())
+        profiler.enabled = True
+        with profiler.scope("x"):
+            pass
+        profiler.reset()
+        assert profiler.enabled
+        assert profiler.report() == ()
+
+    def test_report_orders_children_by_descending_total(self):
+        clock = FakeClock(step=0.0)
+        profiler = Profiler(clock=clock)
+        profiler.enabled = True
+        for name, cost in (("cheap", 1.0), ("dear", 5.0)):
+            profiler._enter(name)
+            profiler._exit(name, cost)
+        assert [r.name for r in profiler.report()] == ["dear", "cheap"]
+
+
+class TestGlobalProfilerApi:
+    def test_profile_scope_is_null_when_disabled(self):
+        assert obs.profile_scope("anything") is NULL_SCOPE
+
+    def test_enable_disable_cycle(self):
+        obs.enable_profiling()
+        assert obs.profiling_enabled()
+        with obs.profile_scope("stage"):
+            pass
+        obs.disable_profiling()
+        assert not obs.profiling_enabled()
+        # The collected tree survives disable; reset drops it.
+        assert obs.get_profiler().report()
+        obs.reset_profiling()
+        assert obs.get_profiler().report() == ()
+
+    def test_profiled_decorator_bare_and_named(self):
+        obs.enable_profiling()
+
+        @obs.profiled
+        def plain():
+            return 1
+
+        @obs.profiled("custom.name")
+        def named():
+            return 2
+
+        assert plain() == 1 and named() == 2
+        names = {r.name for r in obs.get_profiler().report()}
+        assert "custom.name" in names
+        assert any("plain" in name for name in names)
+
+    def test_reset_observability_resets_profiling(self):
+        obs.enable_profiling()
+        with obs.profile_scope("stage"):
+            pass
+        obs.reset_observability()
+        assert not obs.profiling_enabled()
+        assert obs.get_profiler().report() == ()
+
+
+class TestInstrumentedPipeline:
+    def test_evaluate_records_core_scope(self):
+        obs.enable_profiling()
+        evaluate(FIGURE_6B.soc(), FIGURE_6B.workload())
+        (root,) = obs.get_profiler().report()
+        assert root.name == "core.evaluate"
+        child_names = {c.name for c in root.children}
+        assert "core.compose_result" in child_names
+
+    def test_evaluate_variant_records_lower_and_execute(self):
+        obs.enable_profiling()
+        evaluate_variant(FIGURE_6B.soc(), FIGURE_6B.workload(), None)
+        names = {r.name for r in obs.get_profiler().report()}
+        assert "core.variant.lower" in names
+        assert "core.evaluate_variant" in names
+        (variant_root,) = [
+            r for r in obs.get_profiler().report()
+            if r.name == "core.evaluate_variant"
+        ]
+        assert [c.name for c in variant_root.children] == [
+            "core.execute_lowered_phase"
+        ]
+
+    def test_profiling_off_adds_nothing(self):
+        evaluate(FIGURE_6B.soc(), FIGURE_6B.workload())
+        assert obs.get_profiler().report() == ()
+
+
+class TestRendering:
+    def _nodes(self):
+        profiler = Profiler(clock=FakeClock())
+        profiler.enabled = True
+        with profiler.scope("outer"):
+            with profiler.scope("inner"):
+                pass
+        return profiler.report()
+
+    def test_format_profile_header_and_indent(self):
+        text = obs.format_profile(self._nodes())
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "phase", "calls", "total", "(s)", "self", "(s)", "%", "total"
+        ]
+        assert lines[1].startswith("outer")
+        assert lines[2].startswith("  inner")
+
+    def test_format_profile_external_total_reports_coverage(self):
+        text = obs.format_profile(self._nodes(), total_s=6.0)
+        # Root total is 3 ticks of a 6s wall: 50%.
+        assert "50.0" in text
+
+    def test_profile_json_round_trip(self, tmp_path):
+        nodes = self._nodes()
+        path = tmp_path / "profile.json"
+        document = obs.write_profile_json(path, nodes)
+        loaded = json.loads(path.read_text())
+        assert loaded == document
+        assert loaded["schema"] == 1
+        (tree_root,) = loaded["tree"]
+        assert ProfileNode.from_dict(tree_root) == nodes[0]
+
+    def test_flamegraph_svg_renders_deep_trees(self):
+        profiler = Profiler(clock=FakeClock())
+        profiler.enabled = True
+
+        def nest(depth):
+            if depth == 0:
+                return
+            with profiler.scope(f"level{depth}"):
+                nest(depth - 1)
+
+        nest(12)
+        from repro.viz import profile_flame_svg
+
+        svg = profile_flame_svg(profiler.report())
+        assert svg.startswith("<svg")
+        assert "level12" in svg  # root bar is wide enough for a label
+
+
+class TestProfileCli:
+    def test_profile_wraps_subcommand_and_prints_tree(self, capsys):
+        assert main(["profile", "--", "eval", "--figure", "6b"]) == 0
+        out = capsys.readouterr().out
+        assert "cli.eval" in out
+        assert "core.evaluate" in out
+        assert "% coverage" in out
+
+    def test_profile_stage_totals_cover_the_wall_time(self, capsys):
+        # Acceptance criterion: the root stage total stays within 5%
+        # of the end-to-end wall time the CLI reports.
+        assert main(["profile", "--", "sweep", "--figure", "6b",
+                     "--steps", "99"]) == 0
+        out = capsys.readouterr().out
+        line = next(l for l in out.splitlines() if "coverage" in l)
+        coverage = float(line.rsplit("(", 1)[1].split("%")[0])
+        assert coverage >= 95.0
+
+    def test_profile_out_json(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        assert main(["profile", "--out", str(path), "--",
+                     "eval", "--figure", "6b"]) == 0
+        document = json.loads(path.read_text())
+        assert document["schema"] == 1
+        assert document["tree"][0]["name"] == "cli.eval"
+
+    def test_profile_out_svg_flamegraph(self, tmp_path):
+        path = tmp_path / "p.svg"
+        assert main(["profile", "--out", str(path), "--",
+                     "eval", "--figure", "6b"]) == 0
+        assert path.read_text().startswith("<svg")
+
+    def test_profile_without_subcommand_errors(self, capsys):
+        assert main(["profile", "--"]) != 0
+        assert "usage" in capsys.readouterr().err
+
+    def test_profile_cannot_nest(self, capsys):
+        assert main(["profile", "--", "profile", "--",
+                     "eval", "--figure", "6b"]) != 0
+        assert "nest" in capsys.readouterr().err
+
+    def test_profiling_disabled_after_run(self):
+        main(["profile", "--", "eval", "--figure", "6b"])
+        assert not obs.profiling_enabled()
+
+
+class TestTimerMetric:
+    def test_timer_records_into_histogram(self):
+        clock = FakeClock(step=2.0)
+        from repro.obs.metrics import Histogram, Timer
+
+        hist = Histogram("t")
+        with Timer(hist, clock=clock):
+            pass
+        assert hist.count == 1
+        assert hist.total == pytest.approx(2.0)
+
+    def test_global_timer_snapshot_shape(self):
+        for _ in range(3):
+            with obs.timer("stage.seconds"):
+                pass
+        snapshot = obs.get_registry().snapshot()["stage.seconds"]
+        assert snapshot["type"] == "histogram"
+        assert snapshot["count"] == 3
+        assert {"sum", "min", "max", "p50", "p95"} <= set(snapshot)
+
+    def test_timer_reusable_and_exception_safe(self):
+        t = obs.timer("reused.seconds")
+        with pytest.raises(RuntimeError):
+            with t:
+                raise RuntimeError("boom")
+        with t:
+            pass
+        assert obs.get_registry().snapshot()["reused.seconds"]["count"] == 2
