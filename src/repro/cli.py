@@ -16,6 +16,9 @@ Subcommands::
     gables trace export trace.jsonl --format chrome    (Perfetto)
     gables profile -- sweep --figure 6b --steps 99
     gables bench compare --against rolling
+    gables fleet run --workers 2 --telemetry shards/
+    gables telemetry merge shards/ --dashboard fleet.html
+    gables logs summarize shards/worker-w0/logs.jsonl --tail 10
 
 Observability flags (accepted globally and on every subcommand; see
 docs/observability.md and docs/profiling.md)::
@@ -487,6 +490,117 @@ def _cmd_bench_compare(args) -> int:
     return 0
 
 
+def _cmd_fleet_run(args) -> int:
+    from .explore import fleet_bench_records, run_fleet_sweep
+    from .market import market_spec_population
+    from .resilience import DEFAULT_RETRY_POLICY, RetryPolicy
+
+    cases = market_spec_population(since=args.since, limit=args.specs)
+    retry_policy = None
+    if args.retries is not None:
+        retry_policy = RetryPolicy(max_attempts=args.retries)
+    elif args.fault_plan:
+        # Same convention as ``gables measure``: injected dropouts need
+        # retries to converge.
+        retry_policy = DEFAULT_RETRY_POLICY
+    result = run_fleet_sweep(
+        cases,
+        workers=args.workers,
+        on_error=args.on_error,
+        fault_plan_name=args.fault_plan,
+        seed=args.seed,
+        retry_policy=retry_policy,
+        checkpoint_path=args.checkpoint,
+        telemetry_dir=args.telemetry,
+    )
+    print(
+        f"fleet {result.fleet_run_id}: {len(result.points)} points over "
+        f"{len(result.workers)} worker(s) in {result.elapsed_s:.3f}s "
+        f"({result.throughput:,.0f} points/s)"
+    )
+    for report in sorted(result.workers, key=lambda r: r.shard):
+        extra = ""
+        if report.checkpoint_reused:
+            extra += f", {report.checkpoint_reused} from checkpoint"
+        faults = report.fault_summary
+        if faults and faults.get("injected"):
+            extra += f", {faults['injected']} faults injected"
+        print(
+            f"  {report.worker_id} (shard {report.shard}, "
+            f"pid {report.pid}): {report.points}/{report.cases} points, "
+            f"{report.heartbeats} heartbeat(s){extra}"
+        )
+    if result.errors:
+        print(degraded_banner(result.errors, len(cases)))
+    if result.telemetry_dir:
+        print(f"telemetry shards under {result.telemetry_dir}")
+    if args.history:
+        records = fleet_bench_records(result)
+        try:
+            obs.append_history(args.history, records)
+        except OSError as err:
+            raise ReproError(
+                f"cannot write benchmark history: {err}"
+            ) from err
+        print(
+            f"appended {len(records)} throughput record(s) to {args.history}"
+        )
+    if args.dashboard:
+        if not args.telemetry:
+            raise ReproError("--dashboard requires --telemetry DIR")
+        obs.write_fleet_dashboard_html(
+            args.dashboard, args.telemetry, history_path=args.history or None
+        )
+        print(f"wrote {args.dashboard} (self-contained; open in any browser)")
+    return 0
+
+
+def _cmd_telemetry_merge(args) -> int:
+    from pathlib import Path
+
+    merged = obs.merge_telemetry(obs.load_shards(args.dir))
+    out = args.out or str(Path(args.dir) / "merged")
+    paths = obs.write_merged(out, merged)
+    summary = merged.summary()
+    print(
+        f"merged {len(summary['workers'])} shard(s) of fleet "
+        f"{summary['fleet_run_id'] or '(unknown)'}: "
+        f"{summary['spans']} spans, {summary['metrics']} metric keys, "
+        f"{summary['log_records']} log records"
+    )
+    for name in sorted(paths):
+        print(f"  wrote {paths[name]}")
+    if args.dashboard:
+        obs.write_fleet_dashboard_html(args.dashboard, args.dir)
+        print(f"wrote {args.dashboard} (self-contained; open in any browser)")
+    return 0
+
+
+def _cmd_logs_summarize(args) -> int:
+    try:
+        records = obs.read_log_jsonl(args.file)
+    except OSError as err:
+        raise ReproError(f"cannot read log file: {err}") from err
+    print(f"{args.file}:")
+    print(obs.format_log_summary(obs.summarize_logs(records)))
+    if args.tail:
+        print()
+        print(f"last {min(args.tail, len(records))} record(s):")
+        for record in obs.tail_logs(records, args.tail):
+            fields = "".join(
+                f" {key}={value}" for key, value in sorted(
+                    record.fields.items()
+                )
+            )
+            worker = record.worker_id or "-"
+            message = f" {record.message}" if record.message else ""
+            print(
+                f"  {record.ts:.6f} {record.level:<7} [{worker}] "
+                f"{record.event}{message}{fields}"
+            )
+    return 0
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser, top_level: bool) -> None:
     """Observability flags, shared by the root parser and every subcommand.
 
@@ -765,6 +879,107 @@ def build_parser() -> argparse.ArgumentParser:
                            action="store_true",
                            help="print the comparison but always exit 0")
     p_compare.set_defaults(handler=_cmd_bench_compare)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="sharded market-wide sweeps with telemetry"
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    p_fleet_run = fleet_sub.add_parser(
+        "run",
+        help="evaluate a market-wide spec population across worker "
+             "processes",
+    )
+    p_fleet_run.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (1 runs inline, no spawn)",
+    )
+    p_fleet_run.add_argument(
+        "--specs", type=int, default=None, metavar="N",
+        help="evaluate only the first N market specs (default: all)",
+    )
+    p_fleet_run.add_argument(
+        "--since", type=int, default=None, metavar="YEAR",
+        help="restrict the population to chipsets announced since YEAR",
+    )
+    p_fleet_run.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="write one telemetry shard per worker under DIR "
+             "(merge with 'gables telemetry merge')",
+    )
+    p_fleet_run.add_argument(
+        "--history", default="BENCH_HISTORY.jsonl", metavar="FILE",
+        help="append fleet/worker throughput records here "
+             "(empty string disables)",
+    )
+    p_fleet_run.add_argument(
+        "--dashboard", metavar="FILE", default=None,
+        help="also render the merged fleet dashboard HTML "
+             "(requires --telemetry)",
+    )
+    fleet_resilience = p_fleet_run.add_argument_group("resilience")
+    fleet_resilience.add_argument(
+        "--fault-plan", dest="fault_plan", metavar="NAME", default=None,
+        choices=sorted(FAULT_PLANS),
+        help="inject deterministic faults from a named plan: "
+             + ", ".join(sorted(FAULT_PLANS)),
+    )
+    fleet_resilience.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-injection seed (each worker uses seed + shard)",
+    )
+    fleet_resilience.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max attempts per point (defaults to the stock retry "
+             "policy when a fault plan is active)",
+    )
+    fleet_resilience.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="base JSONL checkpoint path; each worker appends to "
+             "FILE.<worker_id> and replays it on resume",
+    )
+    fleet_resilience.add_argument(
+        "--on-error", dest="on_error", default="raise",
+        choices=ON_ERROR_MODES,
+        help="tolerate failing fleet points: skip them, or record "
+             "them under a degraded-output banner",
+    )
+    p_fleet_run.set_defaults(handler=_cmd_fleet_run)
+
+    p_telemetry = sub.add_parser(
+        "telemetry", help="merge per-worker telemetry shards"
+    )
+    telemetry_sub = p_telemetry.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    p_merge = telemetry_sub.add_parser(
+        "merge",
+        help="fold worker shards into one trace/metrics/profile/log view",
+    )
+    p_merge.add_argument("dir", help="telemetry directory (one worker-* "
+                                     "shard per worker)")
+    p_merge.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="output directory (default: <dir>/merged)",
+    )
+    p_merge.add_argument(
+        "--dashboard", metavar="FILE", default=None,
+        help="also render the merged fleet dashboard HTML",
+    )
+    p_merge.set_defaults(handler=_cmd_telemetry_merge)
+
+    p_logs = sub.add_parser(
+        "logs", help="inspect structured JSONL log files"
+    )
+    logs_sub = p_logs.add_subparsers(dest="logs_command", required=True)
+    p_logs_summarize = logs_sub.add_parser(
+        "summarize", help="level/event/worker overview of a JSONL log"
+    )
+    p_logs_summarize.add_argument("file", help="JSONL log file")
+    p_logs_summarize.add_argument(
+        "--tail", type=int, default=0, metavar="N",
+        help="also print the last N records",
+    )
+    p_logs_summarize.set_defaults(handler=_cmd_logs_summarize)
     return parser
 
 

@@ -19,6 +19,15 @@ from .balance import (
     minimum_sufficient_bandwidth,
     optimal_fraction,
 )
+from .fleet import (
+    FleetPoint,
+    FleetResult,
+    WorkerReport,
+    evaluate_population,
+    fleet_bench_records,
+    run_fleet_sweep,
+    worker_checkpoint_path,
+)
 from .pareto import (
     DesignPoint,
     default_cost_model,
@@ -62,6 +71,13 @@ __all__ = [
     "CandidateScore",
     "DesignPoint",
     "DriftPoint",
+    "FleetPoint",
+    "FleetResult",
+    "WorkerReport",
+    "evaluate_population",
+    "fleet_bench_records",
+    "run_fleet_sweep",
+    "worker_checkpoint_path",
     "TechnologyTrend",
     "bottleneck_drift",
     "project_soc",

@@ -1,0 +1,571 @@
+"""Sharded fleet-sweep runner: market-scale evaluation, observable.
+
+ROADMAP's "market-wide what-if" studies evaluate the Gables model over
+*every* chipset the market package synthesizes — hundreds of specs per
+run, thousands once portfolios multiply.  One process is enough
+compute-wise (the model is microseconds per point) but the point of
+the fleet runner is the *shape*: the same sharded, telemetry-emitting,
+fault-tolerant structure a hardware measurement fleet needs, exercised
+end-to-end against the analytical model where every answer is exactly
+checkable.
+
+Structure:
+
+- :func:`evaluate_population` is the serial core: one shard's cases
+  through :func:`repro.core.evaluate`, with structured-log /
+  metric / profile hooks (all free when disabled), optional fault
+  injection + retry (:mod:`repro.resilience`), checkpoint reuse, and
+  tolerant ``on_error`` modes.
+- :func:`run_fleet_sweep` shards a population round-robin over worker
+  *processes* (``spawn`` — no inherited tracer state, no fork/thread
+  hazards), propagates the parent's :class:`~repro.obs.context.TraceContext`
+  through ``GABLES_*`` environment variables, and has every worker
+  drain its telemetry into a :class:`~repro.obs.collect.ShardCollector`
+  directory for ``gables telemetry merge``.
+
+Determinism is a hard contract, pinned by tests: cases are assigned
+``indices[shard::workers]`` and reassembled by original index, and the
+model evaluation is pure float math, so a 2-worker fleet's points are
+**bitwise identical** to the serial run's.  Faults only ever fail an
+*attempt* (retried, or surfaced per ``on_error``) — they never perturb
+a surviving result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..core.gables import evaluate
+from ..errors import ObservabilityError, ReproError, SpecError
+from ..obs import reset_observability
+from ..obs.bench import make_record, new_run_id
+from ..obs.collect import ShardCollector
+from ..obs.context import (
+    TraceContext,
+    adopt_env_context,
+    env_propagation,
+    new_context,
+    reset_context,
+    set_context,
+)
+from ..obs.logging import (
+    configure_logging,
+    log_event,
+    logging_configured,
+    reset_logging,
+)
+from ..obs.metrics import counter as _counter
+from ..obs.profile import (
+    enable_profiling,
+    profile_scope as _profile_scope,
+    profiling_enabled,
+)
+from ..obs.trace import enable_tracing, span as _span
+from ..resilience.checkpoint import SweepCheckpoint, sample_key
+from ..resilience.faults import FaultInjector, FaultPlan, fault_plan
+from ..resilience.partial import PointFailure, check_on_error, record_failure
+from ..resilience.retry import RetryPolicy, call_with_retry
+
+_FLEET_POINTS = _counter("explore.fleet.points")
+_FLEET_FAILURES = _counter("explore.fleet.failures")
+_FLEET_CHECKPOINT_REUSED = _counter("explore.fleet.checkpoint_reused")
+
+#: Default heartbeat cadence, in evaluated points.
+HEARTBEAT_EVERY = 25
+
+
+@dataclass(frozen=True)
+class FleetPoint:
+    """One evaluated case — pure model outputs plus its population index.
+
+    Deliberately carries *no* worker provenance: the same case must
+    produce the same ``FleetPoint`` whether it ran serially or on any
+    shard (the bitwise-identity contract).  Provenance lives in
+    :class:`WorkerReport` and the telemetry shards.
+    """
+
+    index: int
+    key: str
+    attainable: float
+    bottleneck: str
+    memory_time: float
+    average_intensity: float
+    attempts: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "attainable": self.attainable,
+            "bottleneck": self.bottleneck,
+            "memory_time": self.memory_time,
+            "average_intensity": self.average_intensity,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetPoint":
+        return cls(
+            index=int(data["index"]),
+            key=str(data["key"]),
+            attainable=float(data["attainable"]),
+            bottleneck=str(data["bottleneck"]),
+            memory_time=float(data["memory_time"]),
+            average_intensity=float(data["average_intensity"]),
+            attempts=int(data.get("attempts", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """What one shard did: provenance, timing, liveness, faults."""
+
+    worker_id: str
+    shard: int
+    pid: int
+    cases: int
+    points: int
+    failures: int
+    elapsed_s: float
+    heartbeats: int
+    checkpoint_reused: int = 0
+    fault_summary: dict | None = None
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """A completed fleet sweep, reassembled in population order."""
+
+    fleet_run_id: str
+    trace_id: str
+    points: tuple
+    errors: tuple
+    workers: tuple
+    elapsed_s: float
+    telemetry_dir: str | None = None
+    fault_plan: str | None = None
+
+    @property
+    def throughput(self) -> float:
+        """Points per second across the whole fleet."""
+        return len(self.points) / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+def evaluate_population(
+    cases,
+    *,
+    indices=None,
+    on_error: str = "raise",
+    injector: FaultInjector | None = None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: SweepCheckpoint | None = None,
+    heartbeat=None,
+    heartbeat_every: int = HEARTBEAT_EVERY,
+) -> tuple:
+    """One shard of cases through the model; returns (points, failures).
+
+    ``indices`` are the cases' positions in the full population
+    (defaults to ``0..len-1``); they key checkpoint entries and order
+    the fleet's reassembly.  ``injector`` may fail attempts (dropouts),
+    which ``retry_policy`` retries; a point that still fails is raised,
+    skipped, or recorded per ``on_error``.  ``heartbeat`` (a callable)
+    fires every ``heartbeat_every`` evaluated points.
+
+    The telemetry hooks on this loop — a span per shard, a profile
+    scope and structured-log event per point, the fleet counters — cost
+    nothing when their collector is disabled: the enablement checks are
+    hoisted out of the loop (collectors are process-global and cannot
+    flip mid-shard), so the disabled path per point is the plain
+    ``evaluate`` call plus counter adds.  The benchmark suite holds the
+    hooked loop within the library's 1% disabled-overhead budget.
+    """
+    cases = tuple(cases)
+    check_on_error(on_error)
+    if indices is None:
+        indices = range(len(cases))
+    indices = tuple(int(i) for i in indices)
+    if len(indices) != len(cases):
+        raise SpecError(
+            f"indices ({len(indices)}) must match cases ({len(cases)})"
+        )
+    if heartbeat_every < 1:
+        raise SpecError(
+            f"heartbeat_every must be >= 1, got {heartbeat_every}"
+        )
+    points, failures = [], []
+    # Hoisted enablement checks: the loop's disabled path must stay
+    # within the 1% overhead budget, so nothing per point may build a
+    # scope, a closure, or a kwargs dict unless its collector is live.
+    profiled = profiling_enabled()
+    logged = logging_configured()
+    plain = injector is None and retry_policy is None and not profiled
+    key = None
+    reused = 0
+    with _span("fleet.shard", attributes={"cases": len(cases)}):
+        for position, (index, case) in enumerate(zip(indices, cases)):
+            if heartbeat is not None and position % heartbeat_every == 0:
+                heartbeat()
+            if checkpoint is not None:
+                key = sample_key(case=case.key)
+                cached = checkpoint.get(key)
+                if cached is not None:
+                    reused += 1
+                    points.append(FleetPoint.from_dict(cached))
+                    continue
+            try:
+                if plain:
+                    result = evaluate(case.soc, case.workload)
+                else:
+                    result = _instrumented_attempt(
+                        case, injector, retry_policy
+                    )
+            except ReproError as err:
+                _FLEET_FAILURES.inc()
+                log_event(
+                    "error", "fleet.point.failed", str(err),
+                    spec=case.key, code=getattr(err, "code", "REPRO_ERROR"),
+                )
+                if on_error == "raise":
+                    raise
+                failures.append(record_failure((case.key,), err))
+                continue
+            point = FleetPoint(
+                index=index,
+                key=case.key,
+                attainable=result.attainable,
+                bottleneck=result.bottleneck,
+                memory_time=result.memory_time,
+                average_intensity=result.average_intensity,
+            )
+            if logged:
+                log_event(
+                    "debug", "fleet.point",
+                    spec=case.key, bottleneck=point.bottleneck,
+                )
+            if checkpoint is not None:
+                checkpoint.record(key, point.to_dict())
+            points.append(point)
+    # Counters batch at shard end: one `.inc()` per shard keeps the
+    # per-point disabled path free of method calls.
+    _FLEET_POINTS.inc(len(points) - reused)
+    if reused:
+        _FLEET_CHECKPOINT_REUSED.inc(reused)
+    return tuple(points), tuple(failures)
+
+
+def _instrumented_attempt(case, injector, retry_policy):
+    """One case with fault injection / retry / profiling attached."""
+
+    def attempt():
+        if injector is not None:
+            injector.check_dropout(f"fleet point {case.key}")
+        return evaluate(case.soc, case.workload)
+
+    with _profile_scope("fleet.point"):
+        if retry_policy is not None:
+            return call_with_retry(
+                attempt, retry_policy, context=f"fleet point {case.key}",
+            )
+        return attempt()
+
+
+def worker_checkpoint_path(checkpoint_path, worker_id: str):
+    """The per-worker checkpoint file for a shared base path.
+
+    Each shard appends to its own file — concurrent appends to one
+    JSONL from multiple processes can interleave mid-line.  Shard
+    assignment is deterministic for a given worker count, so a resumed
+    fleet finds its own entries.
+    """
+    if checkpoint_path is None:
+        return None
+    return f"{os.fspath(checkpoint_path)}.{worker_id}"
+
+
+def _shard_payload(
+    *, worker_id, shard, indices, cases, fleet_run_id, on_error, plan,
+    seed, retry_policy, checkpoint_path, telemetry_dir, heartbeat_every,
+) -> dict:
+    """Everything one worker needs, as a picklable dict."""
+    return {
+        "worker_id": worker_id,
+        "shard": shard,
+        "indices": indices,
+        "cases": cases,
+        "fleet_run_id": fleet_run_id,
+        "on_error": on_error,
+        "plan": plan,
+        "seed": seed,
+        "retry_policy": retry_policy,
+        "checkpoint_path": checkpoint_path,
+        "telemetry_dir": telemetry_dir,
+        "heartbeat_every": heartbeat_every,
+    }
+
+
+def _run_shard(payload: dict, parent_context: TraceContext | None) -> dict:
+    """Execute one shard in the current process; returns a result dict.
+
+    Assumes the process-global collectors are in the desired state:
+    the worker entry (:func:`_fleet_worker`) resets them first, the
+    inline (``workers=1``) path runs against the caller's own.
+    """
+    context = (
+        parent_context
+        if parent_context is not None
+        else new_context(payload["fleet_run_id"])
+    ).child(worker_id=payload["worker_id"], shard=payload["shard"])
+    set_context(context)
+    collector = None
+    if payload["telemetry_dir"] is not None:
+        collector = ShardCollector(payload["telemetry_dir"], context)
+        configure_logging(collector.log_path)
+        enable_tracing()
+        enable_profiling()
+    injector = None
+    if payload["plan"] is not None:
+        injector = FaultInjector(
+            payload["plan"], seed=payload["seed"] + payload["shard"]
+        )
+    checkpoint = None
+    preloaded = 0
+    path = worker_checkpoint_path(
+        payload["checkpoint_path"], payload["worker_id"]
+    )
+    if path is not None:
+        checkpoint = SweepCheckpoint(path)
+        preloaded = len(checkpoint)
+    heartbeat = collector.heartbeat if collector is not None else None
+    log_event(
+        "info", "fleet.shard.start",
+        cases=len(payload["cases"]), shard=payload["shard"],
+    )
+    start = time.perf_counter()
+    points, failures = evaluate_population(
+        payload["cases"],
+        indices=payload["indices"],
+        on_error=payload["on_error"],
+        injector=injector,
+        retry_policy=payload["retry_policy"],
+        checkpoint=checkpoint,
+        heartbeat=heartbeat,
+        heartbeat_every=payload["heartbeat_every"],
+    )
+    elapsed = time.perf_counter() - start
+    if heartbeat is not None:
+        heartbeat()  # final liveness sample closes the wall window
+    log_event(
+        "info", "fleet.shard.done",
+        points=len(points), failures=len(failures), elapsed_s=elapsed,
+    )
+    fault_summary = injector.summary() if injector is not None else None
+    if collector is not None:
+        collector.finalize()
+    return {
+        "worker_id": payload["worker_id"],
+        "shard": payload["shard"],
+        "pid": os.getpid(),
+        "elapsed_s": elapsed,
+        "heartbeats": collector.heartbeats_written if collector else 0,
+        "checkpoint_reused": preloaded,
+        "points": [p.to_dict() for p in points],
+        "failures": [
+            {"coords": list(f.coords), "code": f.code, "message": f.message}
+            for f in failures
+        ],
+        "fault_summary": fault_summary,
+    }
+
+
+def _fleet_worker(payload: dict) -> dict:
+    """Worker-process entry point (module-level for picklability).
+
+    Resets every process-global collector first — a pool process may
+    serve more than one shard — then adopts the parent's trace context
+    from the ``GABLES_*`` environment the spawn inherited.
+    """
+    reset_observability()
+    reset_logging()
+    reset_context()
+    parent_context = adopt_env_context()
+    return _run_shard(payload, parent_context)
+
+
+def _report_from(result: dict, cases: int) -> WorkerReport:
+    return WorkerReport(
+        worker_id=result["worker_id"],
+        shard=result["shard"],
+        pid=result["pid"],
+        cases=cases,
+        points=len(result["points"]),
+        failures=len(result["failures"]),
+        elapsed_s=result["elapsed_s"],
+        heartbeats=result["heartbeats"],
+        checkpoint_reused=result.get("checkpoint_reused", 0),
+        fault_summary=result.get("fault_summary"),
+    )
+
+
+def run_fleet_sweep(
+    cases,
+    *,
+    workers: int = 2,
+    on_error: str = "raise",
+    fault_plan_name: str | FaultPlan | None = None,
+    seed: int = 0,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint_path=None,
+    telemetry_dir=None,
+    fleet_run_id: str | None = None,
+    heartbeat_every: int = HEARTBEAT_EVERY,
+) -> FleetResult:
+    """Evaluate a case population across ``workers`` processes.
+
+    Cases are assigned round-robin (``indices[shard::workers]``) and
+    the points reassembled by original index, so the result is
+    independent of worker count and scheduling — bitwise identical to
+    ``workers=1``.  With ``telemetry_dir`` set, each worker writes a
+    telemetry shard under it (see :mod:`repro.obs.collect`); with a
+    fault plan, each worker's injector is seeded ``seed + shard`` so
+    fault timelines are reproducible per shard.
+
+    ``workers=1`` runs inline in the calling process (no spawn): same
+    code path, same telemetry, and the caller's own collectors are
+    *used, not reset* — enable tracing/profiling beforehand to keep
+    collecting into them.
+    """
+    cases = tuple(cases)
+    if not cases:
+        raise SpecError("run_fleet_sweep needs at least one case")
+    if workers < 1:
+        raise SpecError(f"workers must be >= 1, got {workers}")
+    check_on_error(on_error)
+    plan = fault_plan_name
+    if isinstance(plan, str):
+        plan = fault_plan(plan)
+    if plan is not None and not isinstance(plan, FaultPlan):
+        raise SpecError(
+            "fault_plan_name must be a plan name, FaultPlan, or None"
+        )
+    run_id = fleet_run_id or new_run_id()
+    context = new_context(run_id)
+    telemetry = os.fspath(telemetry_dir) if telemetry_dir is not None else None
+    payloads = []
+    for shard in range(workers):
+        indices = tuple(range(len(cases)))[shard::workers]
+        payloads.append(_shard_payload(
+            worker_id=f"w{shard}",
+            shard=shard,
+            indices=indices,
+            cases=tuple(cases[i] for i in indices),
+            fleet_run_id=run_id,
+            on_error=on_error,
+            plan=plan,
+            seed=seed,
+            retry_policy=retry_policy,
+            checkpoint_path=(
+                os.fspath(checkpoint_path) if checkpoint_path is not None
+                else None
+            ),
+            telemetry_dir=telemetry,
+            heartbeat_every=heartbeat_every,
+        ))
+    start = time.perf_counter()
+    if workers == 1:
+        results = [_run_shard(payloads[0], context)]
+    else:
+        spawn = multiprocessing.get_context("spawn")
+        with env_propagation(context):
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=spawn
+            ) as pool:
+                futures = [pool.submit(_fleet_worker, p) for p in payloads]
+                results = [future.result() for future in futures]
+    elapsed = time.perf_counter() - start
+
+    by_index: dict = {}
+    failures = []
+    for result in results:
+        for data in result["points"]:
+            point = FleetPoint.from_dict(data)
+            if point.index in by_index:
+                raise ObservabilityError(
+                    f"fleet point index {point.index} produced twice"
+                )
+            by_index[point.index] = point
+        failures.extend(
+            PointFailure(
+                coords=tuple(f["coords"]), code=f["code"],
+                message=f["message"],
+            )
+            for f in result["failures"]
+        )
+    reports = tuple(
+        _report_from(result, cases=len(payload["cases"]))
+        for payload, result in zip(payloads, results)
+    )
+    return FleetResult(
+        fleet_run_id=run_id,
+        trace_id=context.trace_id,
+        points=tuple(by_index[i] for i in sorted(by_index)),
+        errors=tuple(failures) if on_error == "record" else (),
+        workers=reports,
+        elapsed_s=elapsed,
+        telemetry_dir=telemetry,
+        fault_plan=plan.name if plan is not None else None,
+    )
+
+
+def fleet_bench_records(result: FleetResult, *, run_id=None) -> tuple:
+    """Throughput and wall-time records for ``BENCH_HISTORY.jsonl``.
+
+    One fleet-wide throughput record, plus per-worker throughput and
+    elapsed-seconds records.  Every record carries the fleet provenance
+    fields (``fleet_run_id``, and ``worker_id``/``shard`` on worker
+    rows), so ``gables bench compare`` keys each worker lane by its
+    :attr:`~repro.obs.bench.BenchRecord.provenance_key` — the
+    ``unit == "s"`` worker rows get their own rolling baselines instead
+    of collapsing every shard into one noisy series.
+    """
+    run_id = run_id or result.fleet_run_id
+    records = [make_record(
+        "fleet.sweep.throughput",
+        result.throughput,
+        unit="points/s",
+        run_id=run_id,
+        fleet_run_id=result.fleet_run_id,
+        meta={
+            "points": len(result.points),
+            "workers": len(result.workers),
+            "fault_plan": result.fault_plan or "",
+        },
+    )]
+    for report in result.workers:
+        rate = (
+            report.points / report.elapsed_s if report.elapsed_s > 0 else 0.0
+        )
+        records.append(make_record(
+            "fleet.worker.throughput",
+            rate,
+            unit="points/s",
+            run_id=run_id,
+            fleet_run_id=result.fleet_run_id,
+            worker_id=report.worker_id,
+            shard=report.shard,
+            meta={"points": report.points, "heartbeats": report.heartbeats},
+        ))
+        records.append(make_record(
+            "fleet.worker.seconds",
+            report.elapsed_s,
+            unit="s",
+            run_id=run_id,
+            fleet_run_id=result.fleet_run_id,
+            worker_id=report.worker_id,
+            shard=report.shard,
+            meta={"points": report.points},
+        ))
+    return tuple(records)

@@ -35,6 +35,12 @@ from .series import (
     ip_count_by_generation,
     soc_introductions_by_year,
 )
+from .specs import (
+    MarketSpecCase,
+    market_spec_population,
+    soc_spec_for_record,
+    workload_for_record,
+)
 
 __all__ = [
     "ChipsetRecord",
@@ -44,10 +50,14 @@ __all__ = [
     "vendors_per_year",
     "IP_COUNT_BY_GENERATION",
     "MarketDataset",
+    "MarketSpecCase",
     "QUALCOMM_CHIPSETS",
     "SOC_INTRODUCTIONS_BY_YEAR",
     "VENDOR_EXITS",
     "generate_market_dataset",
     "ip_count_by_generation",
+    "market_spec_population",
     "soc_introductions_by_year",
+    "soc_spec_for_record",
+    "workload_for_record",
 ]

@@ -1,0 +1,140 @@
+"""Gables model inputs derived from the synthetic market records.
+
+The market package reproduces Figure 2 as *counts* — chipsets per
+year, IPs per generation.  Fleet-scale studies (ROADMAP: "market-wide
+what-if sweeps") need each :class:`~repro.market.dataset.ChipsetRecord`
+turned into something :func:`repro.core.evaluate` accepts: an
+:class:`~repro.core.SoCSpec` with the record's IP count and a matching
+:class:`~repro.core.Workload`.  The record fields pin the physically
+meaningful axes (core count scales ``Ppeak``, introduction year scales
+``Bpeak`` with DRAM generations, ``ip_count`` sets N); everything the
+dataset does not constrain (per-IP accelerations, link bandwidths,
+usecase fractions and intensities) is synthesized *deterministically
+from the record's model string* via CRC32 — not Python's ``hash``,
+which is salted per process and would give every fleet worker a
+different population.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..core import IPBlock, SoCSpec, Workload
+from ..errors import SpecError
+from .dataset import ChipsetRecord, MarketDataset, generate_market_dataset
+
+#: Reference year for the performance/bandwidth growth curves.
+_BASE_YEAR = 2007
+
+
+def _unit(model: str, salt: str) -> float:
+    """A deterministic value in [0, 1) keyed by (model, salt).
+
+    CRC32 is stable across processes and Python versions — the property
+    that makes a sharded fleet's population bitwise identical to the
+    serial one.
+    """
+    return zlib.crc32(f"{model}:{salt}".encode()) / 2**32
+
+
+def soc_spec_for_record(record: ChipsetRecord) -> SoCSpec:
+    """The record as an N-IP :class:`SoCSpec`.
+
+    ``Ppeak`` scales with core count and year (process generations),
+    ``Bpeak`` with year (DRAM generations); IP[0] is the CPU complex
+    (``A0 = 1`` by definition), later IPs draw accelerations in
+    ``[0.5, 16.5)`` and link bandwidths as fractions of ``Bpeak``.
+    """
+    model = record.model
+    years = max(0, record.year - _BASE_YEAR)
+    peak_perf = record.cpu_cores * 2e9 * (1.0 + 0.15 * years)
+    bpeak = (4.0 + 2.0 * years) * 1e9 * (0.8 + 0.4 * _unit(model, "bw"))
+    ips = [IPBlock(
+        name="CPU",
+        acceleration=1.0,
+        bandwidth=bpeak * (0.5 + 0.5 * _unit(model, "b0")),
+    )]
+    for index in range(1, record.ip_count):
+        ips.append(IPBlock(
+            name=f"IP{index}",
+            acceleration=0.5 + 16.0 * _unit(model, f"a{index}"),
+            bandwidth=bpeak * (0.3 + 1.2 * _unit(model, f"b{index}")),
+        ))
+    return SoCSpec(
+        peak_perf=peak_perf,
+        memory_bandwidth=bpeak,
+        ips=tuple(ips),
+        name=model,
+    )
+
+
+def workload_for_record(record: ChipsetRecord) -> Workload:
+    """A deterministic usecase exercising every IP of the record's SoC.
+
+    Fractions are normalized positive draws (every IP does some work,
+    so every IP term participates in the bottleneck attribution);
+    intensities span ``[0.1, 100)`` ops/byte log-uniformly — from
+    streaming IPs well under any ridge to compute-bound ones.
+    """
+    model = record.model
+    weights = [
+        0.05 + _unit(model, f"f{index}") for index in range(record.ip_count)
+    ]
+    total = sum(weights)
+    fractions = tuple(weight / total for weight in weights)
+    intensities = tuple(
+        10.0 ** (-1.0 + 3.0 * _unit(model, f"i{index}"))
+        for index in range(record.ip_count)
+    )
+    return Workload(
+        fractions=fractions,
+        intensities=intensities,
+        name=f"{model}-usecase",
+    )
+
+
+@dataclass(frozen=True)
+class MarketSpecCase:
+    """One fleet-sweep evaluation point: record + derived model inputs."""
+
+    record: ChipsetRecord
+    soc: SoCSpec
+    workload: Workload
+
+    @property
+    def key(self) -> str:
+        """The checkpoint/provenance key (the record's model string)."""
+        return self.record.model
+
+
+def market_spec_population(
+    dataset: MarketDataset | None = None,
+    *,
+    since: int | None = None,
+    limit: int | None = None,
+) -> tuple:
+    """Every market record as a :class:`MarketSpecCase`, dataset order.
+
+    ``since`` keeps records introduced in or after that year; ``limit``
+    truncates (after filtering) for quick smokes.  The population is a
+    pure function of the dataset, so every process that generates it —
+    the serial baseline, each fleet worker — sees the same cases in the
+    same order.
+    """
+    if dataset is None:
+        dataset = generate_market_dataset()
+    if limit is not None and limit < 1:
+        raise SpecError(f"population limit must be >= 1, got {limit}")
+    cases = []
+    for record in dataset.records:
+        if since is not None and record.year < since:
+            continue
+        cases.append(MarketSpecCase(
+            record=record,
+            soc=soc_spec_for_record(record),
+            workload=workload_for_record(record),
+        ))
+        if limit is not None and len(cases) >= limit:
+            break
+    return tuple(cases)

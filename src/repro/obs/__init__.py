@@ -53,9 +53,45 @@ from .bench import (
     read_history,
     rolling_baseline,
 )
-from .dashboard import render_dashboard, write_dashboard_html
+from .collect import (
+    MergedTelemetry,
+    ShardCollector,
+    TelemetryShard,
+    WorkerHealth,
+    discover_shards,
+    load_shards,
+    merge_profiles,
+    merge_telemetry,
+    merged_chrome_trace,
+    read_shard,
+    resource_sample,
+    straggler_report,
+    write_merged,
+)
+from .context import (
+    TraceContext,
+    adopt_env_context,
+    anchor_offset,
+    clock_anchor,
+    context_scope,
+    current_context,
+    env_propagation,
+    extract_env,
+    inject_env,
+    new_context,
+    new_trace_id,
+    reset_context,
+    set_context,
+)
+from .dashboard import (
+    fleet_lanes_svg,
+    render_dashboard,
+    write_dashboard_html,
+    write_fleet_dashboard_html,
+)
 from .export import (
     SpanSummary,
+    chrome_span_events,
     chrome_trace_events,
     read_trace_jsonl,
     summarize_spans,
@@ -64,6 +100,19 @@ from .export import (
     write_trace_chrome,
     write_trace_jsonl,
 )
+from .logging import (
+    LogRecord,
+    StructuredLogger,
+    configure_logging,
+    format_log_summary,
+    get_logger,
+    log_event,
+    logging_configured,
+    read_log_jsonl,
+    reset_logging,
+    summarize_logs,
+    tail_logs,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -71,9 +120,11 @@ from .metrics import (
     MetricsRegistry,
     Timer,
     counter,
+    encode_metric_key,
     gauge,
     get_registry,
     histogram,
+    merge_snapshots,
     reset_metrics,
     timer,
 )
@@ -121,58 +172,100 @@ __all__ = [
     "ExplainRecord",
     "Gauge",
     "Histogram",
+    "LogRecord",
+    "MergedTelemetry",
     "MetricsRegistry",
     "ProfileNode",
     "Profiler",
+    "ShardCollector",
     "SpanRecord",
     "SpanSummary",
+    "StructuredLogger",
+    "TelemetryShard",
     "TermExplain",
     "Timer",
+    "TraceContext",
     "Tracer",
+    "WorkerHealth",
+    "adopt_env_context",
+    "anchor_offset",
     "append_history",
+    "chrome_span_events",
     "chrome_trace_events",
+    "clock_anchor",
     "compare_runs",
+    "configure_logging",
+    "context_scope",
     "counter",
+    "current_context",
     "detect_regressions",
+    "discover_shards",
     "disable_profiling",
     "disable_provenance",
     "disable_tracing",
     "enable_profiling",
     "enable_provenance",
     "enable_tracing",
+    "encode_metric_key",
+    "env_propagation",
     "explain",
     "explain_history",
+    "extract_env",
+    "fleet_lanes_svg",
+    "format_log_summary",
     "format_profile",
     "gauge",
+    "get_logger",
     "get_profiler",
     "get_registry",
     "get_tracer",
     "git_revision",
     "histogram",
     "host_fingerprint",
+    "inject_env",
     "last_explain",
     "load_bench_file",
+    "load_shards",
+    "log_event",
+    "logging_configured",
     "make_record",
+    "merge_profiles",
+    "merge_snapshots",
+    "merge_telemetry",
+    "merged_chrome_trace",
+    "new_context",
     "new_run_id",
+    "new_trace_id",
     "profile_scope",
     "profile_to_dict",
     "profiled",
     "profiling_enabled",
     "provenance_enabled",
     "read_history",
+    "read_log_jsonl",
+    "read_shard",
     "read_trace_jsonl",
     "render_dashboard",
+    "reset_context",
+    "reset_logging",
     "reset_metrics",
     "reset_profiling",
     "reset_provenance",
     "reset_tracing",
+    "resource_sample",
     "rolling_baseline",
+    "set_context",
     "span",
+    "straggler_report",
+    "summarize_logs",
     "summarize_spans",
+    "tail_logs",
     "timer",
     "trace_total_seconds",
     "tracing_enabled",
     "write_dashboard_html",
+    "write_fleet_dashboard_html",
+    "write_merged",
     "write_metrics_json",
     "write_profile_json",
     "write_trace_chrome",
@@ -181,16 +274,19 @@ __all__ = [
 
 
 def reset_observability() -> None:
-    """Reset tracing, profiling, metrics, and provenance to pristine.
+    """Reset every process-global collector to pristine.
 
     The test-suite hook: tracing and profiling disabled and emptied,
     every metric zeroed in place (handles stay live), provenance
-    capture off with an empty history.
+    capture off with an empty history, the structured logger closed
+    and removed, and the trace context dropped.
     """
     reset_tracing()
     reset_profiling()
     reset_metrics()
     reset_provenance()
+    reset_logging()
+    reset_context()
 
 
 __all__.append("reset_observability")

@@ -62,6 +62,12 @@ class BenchRecord:
     else.  ``run_id`` groups the records of one benchmark-suite
     invocation; ``meta`` carries free-form context (grid size, variant
     name, legacy-schema origin).
+
+    ``worker_id``/``shard``/``fleet_run_id`` are fleet provenance for
+    records produced by sharded runs (``gables fleet run``).  They are
+    serialized only when set, so single-process histories keep their
+    exact prior shape — no schema bump, and old readers (which ignore
+    unknown keys) stay compatible.
     """
 
     name: str
@@ -72,10 +78,13 @@ class BenchRecord:
     git_rev: str = "unknown"
     host: dict = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
+    worker_id: str = ""
+    shard: int | None = None
+    fleet_run_id: str = ""
 
     def to_dict(self) -> dict:
         """A JSON-ready mapping (the JSONL history schema)."""
-        return {
+        data = {
             "schema": SCHEMA_VERSION,
             "name": self.name,
             "value": self.value,
@@ -86,10 +95,18 @@ class BenchRecord:
             "host": dict(self.host),
             "meta": dict(self.meta),
         }
+        if self.worker_id:
+            data["worker_id"] = self.worker_id
+        if self.shard is not None:
+            data["shard"] = self.shard
+        if self.fleet_run_id:
+            data["fleet_run_id"] = self.fleet_run_id
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "BenchRecord":
         """Inverse of :meth:`to_dict` (tolerates missing provenance)."""
+        shard = data.get("shard")
         return cls(
             name=data["name"],
             value=float(data["value"]),
@@ -99,7 +116,30 @@ class BenchRecord:
             git_rev=str(data.get("git_rev", "unknown")),
             host=dict(data.get("host", {})),
             meta=dict(data.get("meta", {})),
+            worker_id=str(data.get("worker_id", "")),
+            shard=None if shard is None else int(shard),
+            fleet_run_id=str(data.get("fleet_run_id", "")),
         )
+
+    @property
+    def provenance_key(self) -> str:
+        """The comparison key: name, suffixed with fleet provenance.
+
+        ``fleet.worker.throughput[worker=w1;shard=1]`` when the fleet
+        fields are present, the bare name otherwise — so sharded
+        records compare worker-against-same-worker across runs instead
+        of collapsing every shard into one series.  ``fleet_run_id``
+        identifies a single run (like ``run_id``) and is deliberately
+        *not* part of the key.
+        """
+        parts = []
+        if self.worker_id:
+            parts.append(f"worker={self.worker_id}")
+        if self.shard is not None:
+            parts.append(f"shard={self.shard}")
+        if not parts:
+            return self.name
+        return f"{self.name}[{';'.join(parts)}]"
 
 
 def host_fingerprint() -> dict:
@@ -149,6 +189,9 @@ def make_record(
     git_rev: str | None = None,
     host: dict | None = None,
     meta: dict | None = None,
+    worker_id: str = "",
+    shard: int | None = None,
+    fleet_run_id: str = "",
 ) -> BenchRecord:
     """A fully provenance-stamped record for *this* host and revision."""
     if not name:
@@ -162,6 +205,9 @@ def make_record(
         git_rev=git_rev if git_rev is not None else git_revision(),
         host=host if host is not None else host_fingerprint(),
         meta=dict(meta) if meta else {},
+        worker_id=worker_id,
+        shard=shard,
+        fleet_run_id=fleet_run_id,
     )
 
 
@@ -378,6 +424,11 @@ def compare_runs(
     per-metric rolling baseline (one value per run: that run's last
     record of the metric).  Only ``unit == "s"`` records are judged —
     counters have no slower-is-worse direction.
+
+    Records carrying fleet provenance (``worker_id``/``shard``) are
+    grouped by their :attr:`BenchRecord.provenance_key` — each worker
+    lane gets its own baseline instead of collapsing every shard into
+    one noisy series.
     """
     records = [r for r in history if r.unit == "s"]
     if not records:
@@ -397,7 +448,7 @@ def compare_runs(
 
     by_metric: dict = {}
     for record in records:
-        by_metric.setdefault(record.name, {})[record.run_id] = record
+        by_metric.setdefault(record.provenance_key, {})[record.run_id] = record
 
     rows = []
     for name in sorted(by_metric):

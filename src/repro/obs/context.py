@@ -1,0 +1,286 @@
+"""Cross-process trace context: ids, env propagation, clock anchors.
+
+A single process correlates its telemetry implicitly — spans nest on a
+thread, metrics live in one registry.  A *fleet* of worker processes
+needs an explicit thread of identity: every shard of telemetry must
+say which trace it belongs to, which fleet run spawned it, and which
+worker produced it.  This module provides that identity as a frozen
+:class:`TraceContext` plus the two halves of W3C-style propagation,
+specialized to the only transport a ``multiprocessing`` worker reliably
+inherits: environment variables.
+
+- :func:`inject_env` serializes the active context into ``GABLES_*``
+  environment variables before workers are spawned;
+- :func:`extract_env` (and the convenience :func:`adopt_env_context`)
+  reads them back inside the child, so the child's telemetry carries
+  the parent's ``trace_id`` and the whole fleet merges into one trace.
+
+Because spans are timed with ``time.perf_counter`` — a *per-process*
+monotonic clock with an arbitrary epoch — cross-process timestamps are
+meaningless until re-anchored.  :func:`clock_anchor` captures a
+wall-clock↔monotonic correspondence for the current process; the
+telemetry merger (:mod:`repro.obs.collect`) uses each shard's anchor to
+rebase span times onto the shared wall clock so Perfetto lanes from
+different workers line up.
+
+Everything here is stdlib-only and adds nothing to hot paths: the
+context is consulted when telemetry is *serialized*, not per event.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+from ..errors import ObservabilityError
+
+#: Environment variable names used for inject/extract, in spec order.
+ENV_TRACE_ID = "GABLES_TRACE_ID"
+ENV_PARENT_SPAN = "GABLES_PARENT_SPAN_ID"
+ENV_FLEET_RUN = "GABLES_FLEET_RUN_ID"
+ENV_WORKER_ID = "GABLES_WORKER_ID"
+ENV_SHARD = "GABLES_SHARD"
+
+#: All context-carrying environment variables (for cleanup).
+CONTEXT_ENV_VARS = (
+    ENV_TRACE_ID, ENV_PARENT_SPAN, ENV_FLEET_RUN, ENV_WORKER_ID, ENV_SHARD,
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-digit trace id (random, collision-negligible)."""
+    return uuid.uuid4().hex
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity one process's telemetry carries.
+
+    ``trace_id`` names the distributed trace (one fleet run = one
+    trace); ``parent_span_id`` is the span in the *parent* process
+    under which this process's root spans logically nest.
+    ``fleet_run_id``/``worker_id``/``shard`` are the fleet provenance
+    fields stamped into logs, shard manifests, and bench records.
+    """
+
+    trace_id: str
+    parent_span_id: int | None = None
+    fleet_run_id: str = ""
+    worker_id: str = ""
+    shard: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.trace_id:
+            raise ObservabilityError("TraceContext needs a non-empty trace_id")
+
+    def child(self, *, worker_id: str, shard: int) -> "TraceContext":
+        """The context a worker adopts: same trace, own provenance."""
+        return replace(self, worker_id=worker_id, shard=int(shard))
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping (the shard-manifest field)."""
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
+            "fleet_run_id": self.fleet_run_id,
+            "worker_id": self.worker_id,
+            "shard": self.shard,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext":
+        """Inverse of :meth:`to_dict`."""
+        shard = data.get("shard")
+        parent = data.get("parent_span_id")
+        return cls(
+            trace_id=str(data["trace_id"]),
+            parent_span_id=None if parent is None else int(parent),
+            fleet_run_id=str(data.get("fleet_run_id", "")),
+            worker_id=str(data.get("worker_id", "")),
+            shard=None if shard is None else int(shard),
+        )
+
+
+def new_context(fleet_run_id: str = "") -> TraceContext:
+    """A root context for a fresh trace (the fleet parent's)."""
+    return TraceContext(trace_id=new_trace_id(), fleet_run_id=fleet_run_id)
+
+
+#: The process-current context (one per process, like the collectors).
+_CURRENT: TraceContext | None = None
+
+
+def current_context() -> TraceContext | None:
+    """The process-current :class:`TraceContext`, or ``None``."""
+    return _CURRENT
+
+
+def set_context(context: TraceContext | None) -> TraceContext | None:
+    """Install ``context`` as process-current; returns the previous one."""
+    global _CURRENT
+    if context is not None and not isinstance(context, TraceContext):
+        raise ObservabilityError("set_context needs a TraceContext or None")
+    previous = _CURRENT
+    _CURRENT = context
+    return previous
+
+
+def reset_context() -> None:
+    """Drop the process-current context (test-suite hook)."""
+    set_context(None)
+
+
+@contextmanager
+def context_scope(context: TraceContext):
+    """Install ``context`` for the duration of a ``with`` block."""
+    previous = set_context(context)
+    try:
+        yield context
+    finally:
+        set_context(previous)
+
+
+# ---------------------------------------------------------------------
+# Environment-variable propagation
+# ---------------------------------------------------------------------
+
+
+def inject_env(context: TraceContext, env=None) -> dict:
+    """Serialize ``context`` into ``env`` (default: ``os.environ``).
+
+    Returns the mapping that was written.  Unset optional fields clear
+    any stale variable so a previous fleet run cannot leak identity
+    into the next.
+    """
+    if env is None:
+        env = os.environ
+    env[ENV_TRACE_ID] = context.trace_id
+    optional = {
+        ENV_PARENT_SPAN: (
+            None if context.parent_span_id is None
+            else str(context.parent_span_id)
+        ),
+        ENV_FLEET_RUN: context.fleet_run_id or None,
+        ENV_WORKER_ID: context.worker_id or None,
+        ENV_SHARD: None if context.shard is None else str(context.shard),
+    }
+    for name, value in optional.items():
+        if value is None:
+            env.pop(name, None)
+        else:
+            env[name] = value
+    return env
+
+
+def extract_env(env=None) -> TraceContext | None:
+    """Read a :class:`TraceContext` back out of ``env``.
+
+    Returns ``None`` when no trace id is present (the process was not
+    spawned by an instrumented parent).  Malformed numeric fields raise
+    :class:`~repro.errors.ObservabilityError` — a half-written context
+    is a bug worth surfacing, not guessing around.
+    """
+    if env is None:
+        env = os.environ
+    trace_id = env.get(ENV_TRACE_ID)
+    if not trace_id:
+        return None
+
+    def int_or_none(name: str):
+        raw = env.get(name)
+        if raw is None or raw == "":
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise ObservabilityError(
+                f"environment variable {name}={raw!r} is not an integer"
+            ) from None
+
+    return TraceContext(
+        trace_id=trace_id,
+        parent_span_id=int_or_none(ENV_PARENT_SPAN),
+        fleet_run_id=env.get(ENV_FLEET_RUN, ""),
+        worker_id=env.get(ENV_WORKER_ID, ""),
+        shard=int_or_none(ENV_SHARD),
+    )
+
+
+def clear_env(env=None) -> None:
+    """Remove every context variable from ``env`` (default: environ)."""
+    if env is None:
+        env = os.environ
+    for name in CONTEXT_ENV_VARS:
+        env.pop(name, None)
+
+
+def adopt_env_context(env=None) -> TraceContext | None:
+    """Extract the parent's context and install it process-current.
+
+    The worker-process entry hook: returns the adopted context, or
+    ``None`` (leaving the current context untouched) when the
+    environment carries no trace.
+    """
+    context = extract_env(env)
+    if context is not None:
+        set_context(context)
+    return context
+
+
+@contextmanager
+def env_propagation(context: TraceContext, env=None):
+    """Inject ``context`` into ``env`` for a ``with`` block, then restore.
+
+    The parent-side half of propagation: wrap worker spawning in this
+    scope so children inherit the ``GABLES_*`` variables, without the
+    parent's environment staying polluted afterwards.
+    """
+    if env is None:
+        env = os.environ
+    saved = {name: env.get(name) for name in CONTEXT_ENV_VARS}
+    inject_env(context, env)
+    try:
+        yield env
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                env.pop(name, None)
+            else:
+                env[name] = value
+
+
+# ---------------------------------------------------------------------
+# Wall-clock ↔ monotonic anchoring
+# ---------------------------------------------------------------------
+
+
+def clock_anchor() -> dict:
+    """A wall↔monotonic correspondence for *this* process, JSON-ready.
+
+    ``wall_s`` (``time.time``) and ``mono_s`` (``time.perf_counter``)
+    are sampled back to back; ``mono_s`` is re-sampled after and the
+    midpoint used, bounding the skew of the pair to half the sampling
+    gap.  ``wall_s - mono_s`` is the offset that rebases this process's
+    span timestamps onto the shared wall clock.
+    """
+    mono_before = time.perf_counter()
+    wall = time.time()
+    mono_after = time.perf_counter()
+    return {
+        "wall_s": wall,
+        "mono_s": 0.5 * (mono_before + mono_after),
+        "pid": os.getpid(),
+    }
+
+
+def anchor_offset(anchor: dict) -> float:
+    """``wall_s - mono_s``: add to a monotonic stamp for wall time."""
+    try:
+        return float(anchor["wall_s"]) - float(anchor["mono_s"])
+    except (KeyError, TypeError, ValueError):
+        raise ObservabilityError(
+            f"clock anchor must carry numeric wall_s/mono_s, got {anchor!r}"
+        ) from None

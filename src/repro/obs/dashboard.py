@@ -28,6 +28,12 @@ MAX_WATERFALL_ROWS = 48
 #: Cap sparkline panels (one per timing metric in the history).
 MAX_SPARKLINES = 12
 
+#: Cap span bars per worker lane in the fleet view.
+MAX_LANE_ROWS = 10
+
+#: Log-tail length in the fleet view.
+FLEET_LOG_TAIL = 20
+
 _CSS = """
 body { font-family: system-ui, sans-serif; margin: 2rem auto;
        max-width: 72rem; color: #0b0b0b; background: #fcfcfb; }
@@ -214,6 +220,137 @@ def _sparkline_section(history) -> str:
     return "".join(parts)
 
 
+def fleet_lanes_svg(shards, width: int = 960) -> str:
+    """Per-worker span lanes on one shared wall-clock axis.
+
+    Each worker (telemetry shard) gets a band; inside it, that
+    worker's longest spans (up to :data:`MAX_LANE_ROWS`) are drawn as
+    bars, timestamps rebased through the shard's clock anchor so the
+    lanes line up the way the merged Perfetto trace does.
+    """
+    from ..viz.svg import SERIES_COLORS, TEXT_PRIMARY, SvgCanvas
+    from .context import anchor_offset
+
+    lanes = []
+    for shard in shards:
+        offset = anchor_offset(shard.anchor)
+        spans = [
+            (record.start_s + offset, record.end_s + offset, record)
+            for record in shard.spans if record.end_s is not None
+        ]
+        spans.sort(key=lambda item: -(item[1] - item[0]))
+        spans = sorted(spans[:MAX_LANE_ROWS], key=lambda item: item[0])
+        lanes.append((shard, spans))
+    all_spans = [item for _, spans in lanes for item in spans]
+    if not all_spans:
+        canvas = SvgCanvas(width=max(width, 64), height=64)
+        canvas.text(12, 36, "no worker spans", size=12)
+        return canvas.to_string()
+    t0 = min(start for start, _, _ in all_spans)
+    t1 = max(end for _, end, _ in all_spans)
+    total_s = max(t1 - t0, 1e-12)
+    row_h, gap, margin, header, lane_pad = 14, 2, 12, 24, 10
+    label_w = 200
+    height = header + margin
+    for _, spans in lanes:
+        height += lane_pad + max(len(spans), 1) * (row_h + gap)
+    canvas = SvgCanvas(width=max(width, 64), height=max(height, 64))
+    plot_w = canvas.width - margin - label_w - margin
+    canvas.text(margin, header - 8,
+                f"{len(lanes)} worker lanes over {total_s:.6f}s",
+                color=TEXT_PRIMARY, size=12, weight="bold")
+    y = header
+    for lane_index, (shard, spans) in enumerate(lanes):
+        y += lane_pad
+        label = f"worker {shard.worker_id} (pid {shard.pid})"
+        canvas.text(margin, y + row_h - 4, label, size=10,
+                    color=TEXT_PRIMARY, weight="bold")
+        color = SERIES_COLORS[lane_index % len(SERIES_COLORS)]
+        for row, (start, end, record) in enumerate(spans):
+            bar_y = y + row * (row_h + gap)
+            x = margin + label_w + plot_w * (start - t0) / total_s
+            bar_w = max(1.0, plot_w * (end - start) / total_s)
+            canvas.rect(
+                x, bar_y, bar_w, row_h, color,
+                tooltip=(f"{shard.worker_id}: {record.name} "
+                         f"{end - start:.6f}s"),
+            )
+        y += max(len(spans), 1) * (row_h + gap)
+    return canvas.to_string()
+
+
+def _fleet_health_table(shards) -> str:
+    from .collect import straggler_report
+
+    rows = []
+    for health in straggler_report(shards):
+        rss = "-" if health.rss_kb is None else f"{health.rss_kb}"
+        verdict = "STRAGGLER" if health.straggler else "ok"
+        rows.append(
+            f"<tr><td>{_html.escape(health.worker_id)}</td>"
+            f'<td class="num">{health.shard}</td>'
+            f'<td class="num">{health.pid}</td>'
+            f'<td class="num">{health.heartbeats}</td>'
+            f'<td class="num">{health.wall_s:.3f}</td>'
+            f'<td class="num">{health.cpu_s:.3f}</td>'
+            f'<td class="num">{rss}</td>'
+            f"<td>{verdict}</td></tr>"
+        )
+    return (
+        "<table><tr><th>worker</th><th>shard</th><th>pid</th>"
+        "<th>heartbeats</th><th>wall (s)</th><th>cpu (s)</th>"
+        "<th>peak rss (kB)</th><th>verdict</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def _fleet_log_tail(merged) -> str:
+    from .logging import tail_logs
+
+    tail = tail_logs(merged.logs, FLEET_LOG_TAIL)
+    if not tail:
+        return '<p class="empty">no structured log records</p>'
+    lines = []
+    for record in tail:
+        extra = ""
+        if record.fields:
+            extra = " " + " ".join(
+                f"{key}={value}" for key, value in sorted(record.fields.items())
+            )
+        lines.append(
+            f"{record.ts:.3f} {record.level:<7} [{record.worker_id or '-'}] "
+            f"{record.event}{(' ' + record.message) if record.message else ''}"
+            f"{extra}"
+        )
+    return f"<pre>{_html.escape(chr(10).join(lines))}</pre>"
+
+
+def _fleet_section(merged) -> str:
+    """The fleet tab: lanes, health table, merged flamegraph, log tail."""
+    from ..viz.flamegraph import profile_flame_svg
+
+    summary = merged.summary()
+    headline = (
+        f"fleet run {summary['fleet_run_id'] or '<unstamped>'} — "
+        f"trace {summary['trace_id'][:12]}…, "
+        f"{len(summary['workers'])} workers, {summary['spans']} spans, "
+        f"{summary['log_records']} log records"
+    )
+    if merged.profile:
+        flame = profile_flame_svg(
+            merged.profile, width=960, title="merged fleet profile"
+        )
+    else:
+        flame = '<p class="empty">no merged profile</p>'
+    return (
+        f"<p>{_html.escape(headline)}</p>"
+        f"<h3>Worker lanes</h3>{fleet_lanes_svg(merged.shards)}"
+        f"<h3>Worker health</h3>{_fleet_health_table(merged.shards)}"
+        f"<h3>Merged flamegraph</h3>{flame}"
+        f"<h3>Log tail</h3>{_fleet_log_tail(merged)}"
+    )
+
+
 def _roofline_section(rooflines) -> str:
     rooflines = tuple(rooflines)
     if not rooflines:
@@ -231,14 +368,18 @@ def render_dashboard(
     spans=None,
     history=(),
     rooflines=(),
+    fleet=None,
     title: str = "Gables performance observatory",
 ) -> str:
     """The one-page dashboard as a self-contained HTML string.
 
     Every argument defaults to the live global collector (metrics
     registry, profiler, tracer); pass explicit data to render saved
-    artifacts instead.  The output embeds everything inline — CSS, SVG,
-    text — and references no external resources.
+    artifacts instead.  ``fleet`` is an optional
+    :class:`~repro.obs.collect.MergedTelemetry` — when given, a fleet
+    health section (per-worker lanes, heartbeat/straggler table, merged
+    flamegraph, log tail) renders first.  The output embeds everything
+    inline — CSS, SVG, text — and references no external resources.
     """
     if metrics is None:
         metrics = get_registry().snapshot()
@@ -246,6 +387,12 @@ def render_dashboard(
         profile_nodes = get_profiler().report()
     if spans is None:
         spans = get_tracer().finished_spans()
+    fleet_html = ""
+    if fleet is not None:
+        fleet_html = (
+            '<section id="fleet">\n<h2>Fleet</h2>\n'
+            f"{_fleet_section(fleet)}\n</section>\n"
+        )
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -255,7 +402,7 @@ def render_dashboard(
 </head>
 <body>
 <h1>{_html.escape(title)}</h1>
-<section id="metrics">
+{fleet_html}<section id="metrics">
 <h2>Metrics</h2>
 {_metrics_section(metrics)}
 </section>
@@ -344,6 +491,38 @@ def write_dashboard_html(path, history_path=None, demo: bool = True) -> str:
         except OSError:
             history = ()
     document = render_dashboard(history=history, rooflines=demo_rooflines())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return document
+
+
+def write_fleet_dashboard_html(path, telemetry_dir,
+                               history_path=None) -> str:
+    """Render a fleet run's merged telemetry to ``path`` as a dashboard.
+
+    Loads every worker shard under ``telemetry_dir``, merges them, and
+    renders the dashboard *from the merged view*: the fleet section on
+    top, and the metrics / profile / waterfall sections showing the
+    merged snapshot, tree, and renumbered spans rather than this
+    process's (empty) collectors.
+    """
+    from .collect import load_shards, merge_telemetry
+
+    merged = merge_telemetry(load_shards(telemetry_dir))
+    history: tuple = ()
+    if history_path is not None:
+        try:
+            history = read_history(history_path)
+        except OSError:
+            history = ()
+    document = render_dashboard(
+        metrics=merged.metrics,
+        profile_nodes=merged.profile,
+        spans=merged.spans,
+        history=history,
+        fleet=merged,
+        title="Gables fleet observatory",
+    )
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(document)
     return document

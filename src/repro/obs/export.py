@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from dataclasses import dataclass
 
 from ..errors import ObservabilityError
@@ -89,34 +90,48 @@ def _json_safe(value):
     return value
 
 
-def chrome_trace_events(spans=None) -> dict:
-    """Spans (default: the global tracer's) as a Chrome trace document.
+def chrome_span_events(
+    spans,
+    *,
+    pid: int,
+    process_name: str | None = None,
+    clock_offset_s: float = 0.0,
+    t0: float = 0.0,
+) -> list:
+    """One process's spans as raw Chrome trace events (no envelope).
 
-    Produces the JSON-object flavour of the trace-event format —
-    ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — with one
-    complete (``"ph": "X"``) event per finished span and one
-    ``thread_name`` metadata (``"ph": "M"``) event per thread, loadable
-    in Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
-    Timestamps are microseconds relative to the earliest span start, so
-    the trace viewport starts at zero.
+    The multi-process building block behind :func:`chrome_trace_events`
+    and the telemetry merger: events are stamped with the *real*
+    ``pid`` of the emitting process (so merged traces render one
+    Perfetto process lane per worker), threads get stable per-process
+    ``tid`` ordinals, ``clock_offset_s`` rebases this process's
+    monotonic span stamps onto a shared clock (the wall↔monotonic
+    anchor offset, see :func:`repro.obs.context.anchor_offset`), and
+    ``t0`` is the shared zero point *after* rebasing.
     """
-    if spans is None:
-        spans = get_tracer().finished_spans()
     closed = [record for record in spans if record.end_s is not None]
-    t0 = min((record.start_s for record in closed), default=0.0)
     thread_ids: dict = {}
     for record in closed:
         thread_ids.setdefault(record.thread, len(thread_ids) + 1)
-    events = [
+    events = []
+    if process_name is not None:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        })
+    events.extend(
         {
             "name": "thread_name",
             "ph": "M",
-            "pid": 1,
+            "pid": pid,
             "tid": tid,
             "args": {"name": thread},
         }
         for thread, tid in thread_ids.items()
-    ]
+    )
     for record in closed:
         args = {
             key: _json_safe(value)
@@ -131,12 +146,44 @@ def chrome_trace_events(spans=None) -> dict:
             "name": record.name,
             "cat": "repro",
             "ph": "X",
-            "ts": (record.start_s - t0) * 1e6,
+            "ts": (record.start_s + clock_offset_s - t0) * 1e6,
             "dur": record.duration_s * 1e6,
-            "pid": 1,
+            "pid": pid,
             "tid": thread_ids[record.thread],
             "args": args,
         })
+    return events
+
+
+def chrome_trace_events(
+    spans=None,
+    *,
+    pid: int | None = None,
+    process_name: str | None = None,
+) -> dict:
+    """Spans (default: the global tracer's) as a Chrome trace document.
+
+    Produces the JSON-object flavour of the trace-event format —
+    ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` — with one
+    complete (``"ph": "X"``) event per finished span, one
+    ``thread_name`` metadata (``"ph": "M"``) event per thread, and an
+    optional ``process_name`` metadata event, loadable in Perfetto
+    (https://ui.perfetto.dev) and ``chrome://tracing``.  Events carry
+    the real ``pid`` of this process (override with ``pid=``) so
+    multi-process traces merged from telemetry shards render as
+    separate Perfetto lanes.  Timestamps are microseconds relative to
+    the earliest span start, so the trace viewport starts at zero.
+    """
+    if spans is None:
+        spans = get_tracer().finished_spans()
+    closed = [record for record in spans if record.end_s is not None]
+    t0 = min((record.start_s for record in closed), default=0.0)
+    events = chrome_span_events(
+        closed,
+        pid=os.getpid() if pid is None else pid,
+        process_name=process_name,
+        t0=t0,
+    )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

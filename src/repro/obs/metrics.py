@@ -24,6 +24,19 @@ locked — under CPython's GIL a lost update needs an adversarial thread
 interleaving, and these metrics inform engineering judgement, not
 billing.  Registry *structure* (instrument creation, reset, snapshot)
 is lock-protected.
+
+Two extensions serve the cross-process telemetry layer
+(``docs/telemetry.md``):
+
+- **labels** — every instrument accessor takes an optional ``labels``
+  mapping (``counter("fleet.points", labels={"worker": "w1"})``); each
+  distinct label set is its own instrument, keyed in snapshots as
+  ``name{key=value,...}``.  The unlabeled API is unchanged.
+- **mergeable snapshots** — :func:`merge_snapshots` combines worker
+  snapshots under the addition laws: counter values and histogram
+  count/sum add, histogram min/max take extremes, gauges keep the last
+  writer (they have no meaningful sum).  Percentiles are dropped on
+  merge — sample windows are not mergeable without loss, totals are.
 """
 
 from __future__ import annotations
@@ -35,13 +48,33 @@ import time
 from ..errors import ObservabilityError
 
 
+def encode_metric_key(name: str, labels=None) -> str:
+    """The snapshot key for an instrument: ``name`` or ``name{k=v,...}``.
+
+    Labels are sorted so the encoding is canonical; values are
+    stringified (label values are identity, not data).
+    """
+    if not name:
+        raise ObservabilityError("metric name must be non-empty")
+    if "{" in name or "}" in name:
+        raise ObservabilityError(
+            f"metric name {name!r} may not contain braces; pass labels "
+            "via the labels mapping"
+        )
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels=None) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else None
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -56,16 +89,20 @@ class Counter:
         self.value = 0.0
 
     def to_dict(self) -> dict:
-        return {"type": "counter", "value": self.value}
+        data = {"type": "counter", "value": self.value}
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
 
 
 class Gauge:
     """A point-in-time value (last write wins)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels=None) -> None:
         self.name = name
+        self.labels = dict(labels) if labels else None
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -75,7 +112,10 @@ class Gauge:
         self.value = 0.0
 
     def to_dict(self) -> dict:
-        return {"type": "gauge", "value": self.value}
+        data = {"type": "gauge", "value": self.value}
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
 
 
 class Histogram:
@@ -86,15 +126,17 @@ class Histogram:
     long runs; count/sum/min/max always cover *every* observation.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max",
+    __slots__ = ("name", "count", "total", "min", "max", "labels",
                  "_samples", "_max_samples", "_next")
 
-    def __init__(self, name: str, max_samples: int = 4096) -> None:
+    def __init__(self, name: str, max_samples: int = 4096,
+                 labels=None) -> None:
         if max_samples < 1:
             raise ObservabilityError(
                 f"histogram {name!r} needs max_samples >= 1"
             )
         self.name = name
+        self.labels = dict(labels) if labels else None
         self._max_samples = max_samples
         self._init_state()
 
@@ -152,6 +194,8 @@ class Histogram:
         if self._samples:
             data["p50"] = self.percentile(50)
             data["p95"] = self.percentile(95)
+        if self.labels:
+            data["labels"] = dict(self.labels)
         return data
 
 
@@ -200,33 +244,32 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._instruments: dict = {}
 
-    def _get_or_create(self, name: str, cls):
-        if not name:
-            raise ObservabilityError("metric name must be non-empty")
+    def _get_or_create(self, name: str, cls, labels=None):
+        key = encode_metric_key(name, labels)
         with self._lock:
-            instrument = self._instruments.get(name)
+            instrument = self._instruments.get(key)
             if instrument is None:
-                instrument = self._instruments[name] = cls(name)
+                instrument = self._instruments[key] = cls(name, labels=labels)
             elif not isinstance(instrument, cls):
                 raise ObservabilityError(
-                    f"metric {name!r} already registered as "
+                    f"metric {key!r} already registered as "
                     f"{type(instrument).__name__.lower()}, not "
                     f"{cls.__name__.lower()}"
                 )
             return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter)
+    def counter(self, name: str, labels=None) -> Counter:
+        return self._get_or_create(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge)
+    def gauge(self, name: str, labels=None) -> Gauge:
+        return self._get_or_create(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get_or_create(name, Histogram)
+    def histogram(self, name: str, labels=None) -> Histogram:
+        return self._get_or_create(name, Histogram, labels)
 
-    def timer(self, name: str) -> Timer:
+    def timer(self, name: str, labels=None) -> Timer:
         """A fresh :class:`Timer` over the named histogram."""
-        return Timer(self._get_or_create(name, Histogram))
+        return Timer(self._get_or_create(name, Histogram, labels))
 
     def names(self) -> tuple:
         """Registered metric names, sorted."""
@@ -262,26 +305,86 @@ def get_registry() -> MetricsRegistry:
     return _REGISTRY
 
 
-def counter(name: str) -> Counter:
+def counter(name: str, labels=None) -> Counter:
     """Get or create a counter in the global registry."""
-    return _REGISTRY.counter(name)
+    return _REGISTRY.counter(name, labels)
 
 
-def gauge(name: str) -> Gauge:
+def gauge(name: str, labels=None) -> Gauge:
     """Get or create a gauge in the global registry."""
-    return _REGISTRY.gauge(name)
+    return _REGISTRY.gauge(name, labels)
 
 
-def histogram(name: str) -> Histogram:
+def histogram(name: str, labels=None) -> Histogram:
     """Get or create a histogram in the global registry."""
-    return _REGISTRY.histogram(name)
+    return _REGISTRY.histogram(name, labels)
 
 
-def timer(name: str) -> Timer:
+def timer(name: str, labels=None) -> Timer:
     """A :class:`Timer` over a histogram in the global registry."""
-    return _REGISTRY.timer(name)
+    return _REGISTRY.timer(name, labels)
 
 
 def reset_metrics() -> None:
     """Zero every instrument in the global registry."""
     _REGISTRY.reset()
+
+
+# ---------------------------------------------------------------------
+# Snapshot merging (the cross-process addition laws)
+# ---------------------------------------------------------------------
+
+
+def _merge_entry(merged: dict, entry: dict, key: str) -> dict:
+    kind = entry.get("type")
+    if merged.get("type") != kind:
+        raise ObservabilityError(
+            f"cannot merge metric {key!r}: {merged.get('type')!r} vs "
+            f"{kind!r}"
+        )
+    if kind == "counter":
+        merged["value"] = merged.get("value", 0.0) + entry.get("value", 0.0)
+    elif kind == "gauge":
+        merged["value"] = entry.get("value", 0.0)  # last writer wins
+    elif kind == "histogram":
+        merged["count"] = merged.get("count", 0) + entry.get("count", 0)
+        merged["sum"] = merged.get("sum", 0.0) + entry.get("sum", 0.0)
+        for field, pick in (("min", min), ("max", max)):
+            a, b = merged.get(field), entry.get(field)
+            if a is None:
+                merged[field] = b
+            elif b is not None:
+                merged[field] = pick(a, b)
+        merged["mean"] = (
+            merged["sum"] / merged["count"] if merged["count"] else 0.0
+        )
+        # Percentiles are window statistics; windows do not merge
+        # without loss, so the merged entry carries none.
+        merged.pop("p50", None)
+        merged.pop("p95", None)
+    else:
+        raise ObservabilityError(
+            f"cannot merge metric {key!r} of unknown type {kind!r}"
+        )
+    return merged
+
+
+def merge_snapshots(*snapshots) -> dict:
+    """Combine metric snapshots under the addition laws, keys sorted.
+
+    Counters and histogram count/sum add exactly (the union of the
+    inputs); histogram min/max take the extremes; gauges keep the last
+    snapshot's value.  Type conflicts for the same key raise — a
+    counter in one worker and a gauge in another is a bug, not data.
+    """
+    merged: dict = {}
+    for snapshot in snapshots:
+        for key, entry in snapshot.items():
+            if key not in merged:
+                merged[key] = dict(entry)
+                if merged[key].get("type") == "histogram":
+                    merged[key].pop("p50", None)
+                    merged[key].pop("p95", None)
+            else:
+                _merge_entry(merged[key], entry, key)
+    return {key: merged[key] for key in sorted(merged)}

@@ -14,6 +14,7 @@ from pathlib import Path
 DOC_PATH = Path(__file__).resolve().parent.parent / "docs" / "api.md"
 ARCH_PATH = Path(__file__).resolve().parent.parent / "docs" / "architecture.md"
 PROFILING_PATH = Path(__file__).resolve().parent.parent / "docs" / "profiling.md"
+TELEMETRY_PATH = Path(__file__).resolve().parent.parent / "docs" / "telemetry.md"
 
 #: Packages indexed in the public API doc, in presentation order.
 PACKAGES = (
@@ -131,6 +132,56 @@ def test_profiling_doc_names_every_observatory_surface():
         assert "profiling.md" in (root / page).read_text(encoding="utf-8"), (
             f"docs/{page} lost its cross-link to profiling.md"
         )
+
+
+def test_telemetry_doc_names_every_fleet_surface():
+    """docs/telemetry.md stays in step with the cross-process layer:
+    every public entry point and CLI surface it documents must still
+    appear, and the doc must be cross-linked from the pages (and the
+    README) that feed into it."""
+    assert TELEMETRY_PATH.exists(), "docs/telemetry.md missing"
+    text = TELEMETRY_PATH.read_text(encoding="utf-8")
+    anchors = (
+        "TraceContext",
+        "new_context",
+        "env_propagation",
+        "adopt_env_context",
+        "GABLES_TRACE_ID",
+        "clock_anchor",
+        "configure_logging",
+        "log_event",
+        "read_log_jsonl",
+        "summarize_logs",
+        "ShardCollector",
+        "load_shards",
+        "merge_telemetry",
+        "merged_chrome_trace",
+        "write_merged",
+        "straggler_report",
+        "run_fleet_sweep",
+        "market_spec_population",
+        "fleet_bench_records",
+        "worker_checkpoint_path",
+        "write_fleet_dashboard_html",
+        "provenance_key",
+        "gables fleet run",
+        "telemetry merge",
+        "logs summarize",
+        "BENCH_HISTORY.jsonl",
+    )
+    missing = [name for name in anchors if name not in text]
+    assert not missing, (
+        "docs/telemetry.md no longer mentions: " + ", ".join(missing)
+    )
+    root = TELEMETRY_PATH.parent
+    for page in ("observability.md", "profiling.md", "cli.md"):
+        assert "telemetry.md" in (root / page).read_text(encoding="utf-8"), (
+            f"docs/{page} lost its cross-link to telemetry.md"
+        )
+    readme = root.parent / "README.md"
+    assert "docs/telemetry.md" in readme.read_text(encoding="utf-8"), (
+        "README.md lost its pointer to docs/telemetry.md"
+    )
 
 
 def test_every_indexed_package_importable():

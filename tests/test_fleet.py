@@ -1,0 +1,301 @@
+"""The sharded fleet-sweep runner and its market-spec population.
+
+The load-bearing contract: a multi-worker fleet's points are bitwise
+identical to the serial run's — sharding, spawn, telemetry, faults, and
+checkpoints may change *how* the population is evaluated, never *what*
+it evaluates to.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.errors import SpecError
+from repro.explore import (
+    FleetPoint,
+    evaluate_population,
+    fleet_bench_records,
+    run_fleet_sweep,
+    worker_checkpoint_path,
+)
+from repro.market import market_spec_population
+from repro.resilience import RetryPolicy
+
+
+@pytest.fixture(scope="module")
+def population():
+    return market_spec_population()
+
+
+@pytest.fixture(scope="module")
+def small_population(population):
+    return population[:60]
+
+
+class TestMarketSpecPopulation:
+    def test_population_covers_the_whole_market(self, population):
+        # The acceptance bar is a >=500-spec fleet; the full synthetic
+        # market clears it with room.
+        assert len(population) >= 500
+        assert len({case.key for case in population}) == len(population)
+
+    def test_population_is_deterministic(self, population):
+        again = market_spec_population()
+        assert [case.soc for case in again] == [
+            case.soc for case in population
+        ]
+        assert [case.workload for case in again] == [
+            case.workload for case in population
+        ]
+
+    def test_since_and_limit_filter(self, population):
+        recent = market_spec_population(since=2014)
+        assert recent
+        assert all(case.record.year >= 2014 for case in recent)
+        assert len(market_spec_population(limit=7)) == 7
+        with pytest.raises(SpecError, match="limit"):
+            market_spec_population(limit=0)
+
+    def test_every_case_evaluates(self, small_population):
+        points, failures = evaluate_population(small_population)
+        assert not failures
+        assert len(points) == len(small_population)
+        assert all(point.attainable > 0 for point in points)
+
+
+class TestFleetIdentity:
+    def test_two_worker_fleet_is_bitwise_identical_to_serial(
+        self, population
+    ):
+        serial, _ = evaluate_population(population)
+        fleet = run_fleet_sweep(population, workers=2)
+        # Tuple equality on frozen dataclasses of floats: exact, not
+        # approximate.  Any clock, shard, or pickling leak breaks this.
+        assert fleet.points == serial
+        assert len(fleet.workers) == 2
+        assert {report.shard for report in fleet.workers} == {0, 1}
+
+    def test_inline_single_worker_matches_too(self, small_population):
+        serial, _ = evaluate_population(small_population)
+        fleet = run_fleet_sweep(small_population, workers=1)
+        assert fleet.points == serial
+        (report,) = fleet.workers
+        assert report.cases == len(small_population)
+
+    def test_three_workers_same_answer(self, small_population):
+        two = run_fleet_sweep(small_population, workers=2)
+        three = run_fleet_sweep(small_population, workers=3)
+        assert two.points == three.points
+
+    def test_validation(self, small_population):
+        with pytest.raises(SpecError, match="at least one"):
+            run_fleet_sweep(())
+        with pytest.raises(SpecError, match="workers"):
+            run_fleet_sweep(small_population, workers=0)
+        with pytest.raises(SpecError, match="fault_plan"):
+            run_fleet_sweep(small_population, fault_plan_name=3.14)
+
+
+class TestFleetResilience:
+    def test_chaos_fleet_with_retries_loses_nothing(self, small_population):
+        fleet = run_fleet_sweep(
+            small_population, workers=2,
+            fault_plan_name="chaos-default", seed=0,
+            retry_policy=RetryPolicy(max_attempts=8),
+        )
+        serial, _ = evaluate_population(small_population)
+        # Faults fail attempts, never points: retried results are the
+        # exact serial values.
+        assert fleet.points == serial
+        assert fleet.fault_plan == "chaos-default"
+        injected = sum(
+            report.fault_summary["injected"] for report in fleet.workers
+        )
+        assert injected > 0
+
+    def test_record_mode_surfaces_unretried_dropouts(self, small_population):
+        fleet = run_fleet_sweep(
+            small_population, workers=2,
+            fault_plan_name="chaos-default", seed=0,
+            on_error="record",
+        )
+        assert fleet.errors, "chaos without retries must drop points"
+        assert len(fleet.points) + len(fleet.errors) == len(small_population)
+        assert all(f.code == "MEASUREMENT_DROPOUT" for f in fleet.errors)
+        skip = run_fleet_sweep(
+            small_population, workers=2,
+            fault_plan_name="chaos-default", seed=0,
+            on_error="skip",
+        )
+        assert skip.errors == ()
+        assert [p.key for p in skip.points] == [p.key for p in fleet.points]
+
+    def test_checkpoint_resume_reuses_every_point(
+        self, small_population, tmp_path
+    ):
+        base = tmp_path / "fleet.ck.jsonl"
+        first = run_fleet_sweep(
+            small_population, workers=2, checkpoint_path=base
+        )
+        assert sum(r.checkpoint_reused for r in first.workers) == 0
+        second = run_fleet_sweep(
+            small_population, workers=2, checkpoint_path=base
+        )
+        assert second.points == first.points
+        assert sum(r.checkpoint_reused for r in second.workers) == len(
+            small_population
+        )
+        # Each worker owns its shard's file.
+        for worker_id in ("w0", "w1"):
+            assert (tmp_path / f"fleet.ck.jsonl.{worker_id}").exists()
+        assert worker_checkpoint_path(None, "w0") is None
+
+    def test_fleet_point_round_trips_through_checkpoints(self):
+        point = FleetPoint(index=3, key="Q-1", attainable=1e9,
+                           bottleneck="memory", memory_time=1e-9,
+                           average_intensity=2.5, attempts=2)
+        assert FleetPoint.from_dict(point.to_dict()) == point
+
+
+class TestFleetTelemetry:
+    @pytest.fixture(scope="class")
+    def telemetry_run(self, tmp_path_factory):
+        cases = market_spec_population(limit=60)
+        root = tmp_path_factory.mktemp("telemetry")
+        result = run_fleet_sweep(cases, workers=2, telemetry_dir=root)
+        return result, root
+
+    def test_every_worker_leaves_a_shard(self, telemetry_run):
+        result, root = telemetry_run
+        shards = obs.load_shards(root)
+        assert {s.worker_id for s in shards} == {"w0", "w1"}
+        for shard in shards:
+            assert shard.context.trace_id == result.trace_id
+            assert shard.context.fleet_run_id == result.fleet_run_id
+            assert shard.spans, "worker must record its shard span"
+            assert shard.heartbeats
+            assert any(r.event == "fleet.shard.done" for r in shard.logs)
+            assert shard.metrics["explore.fleet.points"]["value"] == 30
+
+    def test_merged_view_is_one_trace(self, telemetry_run):
+        result, root = telemetry_run
+        merged = obs.merge_telemetry(obs.load_shards(root))
+        assert merged.trace_id == result.trace_id
+        assert merged.fleet_run_id == result.fleet_run_id
+        assert merged.metrics["explore.fleet.points"]["value"] == 60
+        # Every log record carries the fleet's trace id — the
+        # cross-process correlation the layer exists for.
+        assert all(r.trace_id == result.trace_id for r in merged.logs)
+        assert {r.worker_id for r in merged.logs} == {"w0", "w1"}
+        reports = {r.worker_id: r for r in result.workers}
+        assert {
+            worker: len(beats)
+            for worker, beats in merged.heartbeats.items()
+        } == {w: reports[w].heartbeats for w in reports}
+
+    def test_fleet_dashboard_renders_merged_view(self, telemetry_run,
+                                                 tmp_path):
+        _, root = telemetry_run
+        out = tmp_path / "fleet.html"
+        obs.write_fleet_dashboard_html(out, root)
+        page = out.read_text()
+        assert "<h2>Fleet</h2>" in page
+        assert "Worker lanes" in page
+        assert "Worker health" in page
+        assert "worker w0" in page and "worker w1" in page
+
+
+class TestFleetBenchRecords:
+    def test_records_carry_fleet_provenance(self, small_population):
+        result = run_fleet_sweep(small_population, workers=2)
+        records = fleet_bench_records(result)
+        assert [r.name for r in records] == [
+            "fleet.sweep.throughput",
+            "fleet.worker.throughput", "fleet.worker.seconds",
+            "fleet.worker.throughput", "fleet.worker.seconds",
+        ]
+        fleet_record, w0, w0_s, w1, _w1_s = records
+        assert w0_s.unit == "s"
+        assert (w0_s.worker_id, w0_s.shard) == ("w0", 0)
+        assert fleet_record.fleet_run_id == result.fleet_run_id
+        assert (w0.worker_id, w0.shard) == ("w0", 0)
+        assert (w1.worker_id, w1.shard) == ("w1", 1)
+        assert w0.provenance_key == "fleet.worker.throughput[worker=w0;shard=0]"
+        # Unset provenance keeps the plain name (schema unchanged).
+        assert fleet_record.provenance_key == "fleet.sweep.throughput"
+        assert "worker_id" not in fleet_record.to_dict()
+
+    def test_compare_groups_by_worker_lane(self, small_population):
+        first = run_fleet_sweep(small_population, workers=2)
+        second = run_fleet_sweep(small_population, workers=2)
+        records = [
+            record
+            for result, run in ((first, "run-a"), (second, "run-b"))
+            for record in fleet_bench_records(result, run_id=run)
+        ]
+        report = obs.compare_runs(records, window=5)
+        # Only unit=="s" rows are judged, one baseline per worker lane.
+        lanes = {row.name for row in report.rows}
+        assert lanes == {
+            "fleet.worker.seconds[worker=w0;shard=0]",
+            "fleet.worker.seconds[worker=w1;shard=1]",
+        }
+
+
+class TestFleetCli:
+    def test_fleet_run_merge_and_logs_commands(self, tmp_path, capsys):
+        telemetry = tmp_path / "shards"
+        history = tmp_path / "hist.jsonl"
+        dashboard = tmp_path / "fleet.html"
+        assert main([
+            "fleet", "run", "--workers", "2", "--specs", "12",
+            "--telemetry", str(telemetry), "--history", str(history),
+            "--dashboard", str(dashboard),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "12 points over 2 worker(s)" in out
+        assert "appended 5 throughput record(s)" in out
+        names = [r.name for r in obs.read_history(history)]
+        assert names.count("fleet.worker.throughput") == 2
+        assert names.count("fleet.worker.seconds") == 2
+        assert dashboard.exists()
+
+        assert main(["telemetry", "merge", str(telemetry)]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 shard(s)" in out
+        summary = json.loads(
+            (telemetry / "merged" / "summary.json").read_text()
+        )
+        assert summary["workers"] == ["w0", "w1"]
+
+        log_file = telemetry / "worker-w0" / "logs.jsonl"
+        assert main(["logs", "summarize", str(log_file),
+                     "--tail", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "workers: w0" in out
+        assert "fleet.shard.done" in out
+
+    def test_fleet_run_chaos_record_prints_degraded_banner(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "fleet", "run", "--workers", "2", "--specs", "30",
+            "--history", "", "--fault-plan", "chaos-default",
+            "--retries", "1", "--on-error", "record",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "DEGRADED" in out or "degraded" in out
+
+    def test_dashboard_without_telemetry_is_an_error(self, tmp_path,
+                                                     capsys):
+        code = main([
+            "fleet", "run", "--specs", "4", "--history", "",
+            "--dashboard", str(tmp_path / "x.html"),
+        ])
+        assert code != 0
+        assert "--telemetry" in capsys.readouterr().err

@@ -1,0 +1,160 @@
+"""Cross-process trace context: ids, env propagation, clock anchors."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    TraceContext,
+    adopt_env_context,
+    anchor_offset,
+    clock_anchor,
+    context_scope,
+    current_context,
+    env_propagation,
+    extract_env,
+    inject_env,
+    new_context,
+    new_trace_id,
+    set_context,
+)
+from repro.obs.context import CONTEXT_ENV_VARS, clear_env
+
+
+class TestTraceContext:
+    def test_new_trace_id_is_32_hex_and_unique(self):
+        first, second = new_trace_id(), new_trace_id()
+        assert len(first) == 32
+        assert set(first) <= set("0123456789abcdef")
+        assert first != second
+
+    def test_empty_trace_id_rejected(self):
+        with pytest.raises(ObservabilityError, match="trace_id"):
+            TraceContext(trace_id="")
+
+    def test_child_keeps_trace_identity(self):
+        parent = new_context("run-1")
+        child = parent.child(worker_id="w3", shard=3)
+        assert child.trace_id == parent.trace_id
+        assert child.fleet_run_id == "run-1"
+        assert (child.worker_id, child.shard) == ("w3", 3)
+        # The parent is frozen; deriving a child never mutates it.
+        assert parent.worker_id == ""
+        assert parent.shard is None
+
+    def test_dict_round_trip(self):
+        context = TraceContext(
+            trace_id="ab" * 16, parent_span_id=17,
+            fleet_run_id="run-2", worker_id="w0", shard=0,
+        )
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+    def test_current_context_install_and_scope(self):
+        assert current_context() is None
+        outer = new_context()
+        set_context(outer)
+        inner = outer.child(worker_id="w1", shard=1)
+        with context_scope(inner):
+            assert current_context() is inner
+        assert current_context() is outer
+
+    def test_set_context_rejects_non_context(self):
+        with pytest.raises(ObservabilityError, match="TraceContext"):
+            set_context("not a context")
+
+
+class TestEnvPropagation:
+    def test_inject_extract_round_trip(self):
+        env: dict = {}
+        context = TraceContext(
+            trace_id="cd" * 16, parent_span_id=5,
+            fleet_run_id="run-3", worker_id="w2", shard=2,
+        )
+        inject_env(context, env)
+        assert extract_env(env) == context
+
+    def test_minimal_context_round_trips_without_optional_vars(self):
+        env: dict = {}
+        context = TraceContext(trace_id="ef" * 16)
+        inject_env(context, env)
+        # Only the trace id is present; nothing optional leaks.
+        assert set(env) == {"GABLES_TRACE_ID"}
+        assert extract_env(env) == context
+
+    def test_inject_clears_stale_variables(self):
+        env: dict = {}
+        inject_env(TraceContext(trace_id="aa" * 16, worker_id="w9",
+                                shard=9), env)
+        inject_env(TraceContext(trace_id="bb" * 16), env)
+        extracted = extract_env(env)
+        assert extracted.worker_id == ""
+        assert extracted.shard is None
+
+    def test_extract_without_trace_returns_none(self):
+        assert extract_env({}) is None
+
+    def test_extract_rejects_malformed_shard(self):
+        env = {"GABLES_TRACE_ID": "ab" * 16, "GABLES_SHARD": "two"}
+        with pytest.raises(ObservabilityError, match="GABLES_SHARD"):
+            extract_env(env)
+
+    def test_env_propagation_scope_restores_environment(self):
+        env = {"GABLES_TRACE_ID": "old", "UNRELATED": "kept"}
+        context = new_context("run-4")
+        with env_propagation(context, env):
+            assert env["GABLES_TRACE_ID"] == context.trace_id
+            assert env["GABLES_FLEET_RUN_ID"] == "run-4"
+        assert env == {"GABLES_TRACE_ID": "old", "UNRELATED": "kept"}
+
+    def test_env_propagation_restores_on_exception(self):
+        env: dict = {}
+        with pytest.raises(RuntimeError):
+            with env_propagation(new_context(), env):
+                raise RuntimeError("boom")
+        assert not any(name in env for name in CONTEXT_ENV_VARS)
+
+    def test_adopt_env_context_installs_current(self):
+        env: dict = {}
+        context = new_context("run-5").child(worker_id="w0", shard=0)
+        inject_env(context, env)
+        assert adopt_env_context(env) == context
+        assert current_context() == context
+
+    def test_adopt_without_trace_leaves_current_alone(self):
+        installed = new_context()
+        set_context(installed)
+        assert adopt_env_context({}) is None
+        assert current_context() is installed
+
+    def test_clear_env_removes_every_variable(self):
+        env: dict = {}
+        inject_env(
+            TraceContext(trace_id="ab" * 16, parent_span_id=1,
+                         fleet_run_id="r", worker_id="w", shard=0),
+            env,
+        )
+        clear_env(env)
+        assert env == {}
+
+
+class TestClockAnchor:
+    def test_anchor_samples_this_process(self):
+        before = time.time()
+        anchor = clock_anchor()
+        after = time.time()
+        assert before <= anchor["wall_s"] <= after
+        assert anchor["pid"] == os.getpid()
+
+    def test_offset_rebases_monotonic_onto_wall(self):
+        anchor = clock_anchor()
+        now_mono = time.perf_counter()
+        rebased = now_mono + anchor_offset(anchor)
+        assert abs(rebased - time.time()) < 0.5
+
+    def test_offset_rejects_malformed_anchor(self):
+        with pytest.raises(ObservabilityError, match="anchor"):
+            anchor_offset({"wall_s": "not a number"})

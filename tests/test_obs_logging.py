@@ -1,0 +1,136 @@
+"""Structured JSONL logging: correlation, filtering, torn-tail reads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs import (
+    LogRecord,
+    configure_logging,
+    log_event,
+    logging_configured,
+    read_log_jsonl,
+    reset_logging,
+    summarize_logs,
+    tail_logs,
+)
+
+
+class TestStructuredLogger:
+    def test_unconfigured_log_event_is_a_noop(self):
+        assert not logging_configured()
+        assert log_event("info", "nobody.listens") is None
+
+    def test_records_round_trip_through_jsonl(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        configure_logging(path)
+        log_event("info", "fleet.start", "hello", cases=7)
+        log_event("error", "fleet.point.failed", "bad spec", spec="X-1")
+        records = read_log_jsonl(path)
+        assert [r.event for r in records] == [
+            "fleet.start", "fleet.point.failed",
+        ]
+        assert records[0].fields == {"cases": 7}
+        assert records[0].message == "hello"
+        assert records[1].level == "error"
+
+    def test_records_stamp_trace_context_and_active_span(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        configure_logging(path)
+        context = obs.new_context("run-9").child(worker_id="w1", shard=1)
+        obs.set_context(context)
+        obs.enable_tracing()
+        with obs.span("fleet.shard"):
+            log_event("debug", "fleet.point", spec="Q-1")
+        obs.disable_tracing()
+        (record,) = read_log_jsonl(path)
+        (span_record,) = obs.get_tracer().finished_spans()
+        assert record.trace_id == context.trace_id
+        assert record.worker_id == "w1"
+        assert record.span_id == span_record.span_id
+
+    def test_min_level_filters_below_threshold(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = configure_logging(path, min_level="warning")
+        assert logger.debug("quiet") is None
+        assert logger.info("quiet.too") is None
+        assert logger.warning("loud") is not None
+        assert [r.event for r in read_log_jsonl(path)] == ["loud"]
+
+    def test_unknown_level_rejected(self, tmp_path):
+        logger = configure_logging(tmp_path / "log.jsonl")
+        with pytest.raises(ObservabilityError, match="log level"):
+            logger.log("fatal", "nope")
+
+    def test_reconfigure_closes_previous_logger(self, tmp_path):
+        first = configure_logging(tmp_path / "a.jsonl")
+        configure_logging(tmp_path / "b.jsonl")
+        # The displaced logger's handle is closed; writes are dropped,
+        # not crashed.
+        assert first.log("info", "late") is None
+        reset_logging()
+        assert not logging_configured()
+
+
+class TestTornTailReader:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        configure_logging(path)
+        log_event("info", "kept.one")
+        log_event("info", "kept.two")
+        reset_logging()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"ts": 1.0, "level": "info", "ev')
+        records = read_log_jsonl(path)
+        assert [r.event for r in records] == ["kept.one", "kept.two"]
+
+    def test_corruption_mid_file_raises(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        good = json.dumps(LogRecord(ts=1.0, level="info",
+                                    event="ok").to_dict())
+        path.write_text("not json\n" + good + "\n")
+        with pytest.raises(ObservabilityError, match="bad log record"):
+            read_log_jsonl(path)
+
+
+class TestSummaries:
+    @staticmethod
+    def _records():
+        return (
+            LogRecord(ts=10.0, level="info", event="fleet.shard.start",
+                      worker_id="w0", trace_id="t1"),
+            LogRecord(ts=11.0, level="debug", event="fleet.point",
+                      worker_id="w0", trace_id="t1"),
+            LogRecord(ts=12.5, level="error", event="fleet.point.failed",
+                      message="dropout", worker_id="w1", trace_id="t1"),
+        )
+
+    def test_summarize_counts_levels_events_workers(self):
+        summary = summarize_logs(self._records())
+        assert summary["records"] == 3
+        assert summary["levels"] == {"debug": 1, "info": 1, "error": 1}
+        assert summary["events"]["fleet.point"] == 1
+        assert summary["workers"] == ["w0", "w1"]
+        assert summary["traces"] == ["t1"]
+        assert summary["window_s"] == pytest.approx(2.5)
+        # Errors are carried verbatim, never hidden in a count.
+        (error,) = summary["errors"]
+        assert error["message"] == "dropout"
+
+    def test_format_log_summary_is_readable(self):
+        text = obs.format_log_summary(summarize_logs(self._records()))
+        assert "3 log record(s) over 2.500s" in text
+        assert "workers: w0, w1" in text
+        assert "ERROR fleet.point.failed: dropout (worker w1)" in text
+
+    def test_tail_orders_by_timestamp(self):
+        records = self._records()
+        shuffled = (records[2], records[0], records[1])
+        assert tail_logs(shuffled, 2) == (records[1], records[2])
+        assert tail_logs(shuffled, 0) == ()
+        with pytest.raises(ObservabilityError, match="tail length"):
+            tail_logs(shuffled, -1)

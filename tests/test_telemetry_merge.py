@@ -1,0 +1,306 @@
+"""Telemetry shards and the merger: union laws, pinned by properties.
+
+The merge contract (``repro.obs.collect``): spans are a renumbered,
+clock-rebased union; metrics obey the snapshot addition laws; profile
+trees sum same-name-path nodes exactly.  The hypothesis properties
+here generate arbitrary little fleets and check merged == union to
+within 1e-9.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    LogRecord,
+    ProfileNode,
+    SpanRecord,
+    TelemetryShard,
+    TraceContext,
+    merge_profiles,
+    merge_telemetry,
+    merged_chrome_trace,
+    straggler_report,
+    write_merged,
+)
+
+TRACE_ID = "ab" * 16
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+duration = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False,
+                     allow_infinity=False)
+
+
+def make_shard(worker, shard_idx, *, spans=(), metrics=None, profile=(),
+               logs=(), heartbeats=(), wall=1000.0, mono=0.0, pid=100,
+               trace_id=TRACE_ID):
+    context = TraceContext(
+        trace_id=trace_id, fleet_run_id="run-1",
+        worker_id=worker, shard=shard_idx,
+    )
+    return TelemetryShard(
+        dir=f"telemetry/worker-{worker}",
+        context=context,
+        pid=pid,
+        anchor={"wall_s": wall, "mono_s": mono, "pid": pid},
+        spans=tuple(spans),
+        metrics=dict(metrics or {}),
+        profile=tuple(profile),
+        logs=tuple(logs),
+        heartbeats=tuple(heartbeats),
+    )
+
+
+@st.composite
+def span_lists(draw):
+    count = draw(st.integers(min_value=0, max_value=5))
+    spans = []
+    for span_id in range(count):
+        parent = None
+        if span_id and draw(st.booleans()):
+            parent = draw(st.integers(min_value=0, max_value=span_id - 1))
+        start = draw(finite)
+        spans.append(SpanRecord(
+            name=f"span.{span_id}", span_id=span_id, parent_id=parent,
+            thread="MainThread", start_s=start,
+            end_s=start + draw(duration),
+        ))
+    return spans
+
+
+@st.composite
+def metric_snapshots(draw):
+    snapshot = {}
+    for key in draw(st.sets(st.sampled_from(["a", "b", "c"]))):
+        snapshot[key] = {"type": "counter", "value": draw(finite)}
+    if draw(st.booleans()):
+        count = draw(st.integers(min_value=1, max_value=50))
+        values = draw(st.lists(finite, min_size=count, max_size=count))
+        snapshot["h"] = {
+            "type": "histogram", "count": count, "sum": sum(values),
+            "mean": sum(values) / count, "min": min(values),
+            "max": max(values), "p50": values[0], "p95": values[-1],
+        }
+    return snapshot
+
+
+@st.composite
+def profile_trees(draw):
+    roots = []
+    for name in draw(st.sets(st.sampled_from(["load", "eval", "fit"]))):
+        children = tuple(
+            ProfileNode(name=child, count=draw(st.integers(1, 9)),
+                        total_s=draw(duration), self_s=draw(duration),
+                        children=())
+            for child in draw(st.sets(st.sampled_from(["inner", "leaf"])))
+        )
+        total = draw(duration)
+        roots.append(ProfileNode(
+            name=name, count=draw(st.integers(1, 9)),
+            total_s=total, self_s=total * draw(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+            ),
+            children=children,
+        ))
+    return tuple(roots)
+
+
+@st.composite
+def fleets(draw):
+    workers = draw(st.integers(min_value=1, max_value=4))
+    return tuple(
+        make_shard(
+            f"w{i}", i,
+            spans=draw(span_lists()),
+            metrics=draw(metric_snapshots()),
+            profile=draw(profile_trees()),
+            wall=1000.0 + draw(finite),
+            mono=draw(finite),
+            pid=100 + i,
+        )
+        for i in range(workers)
+    )
+
+
+class TestMergeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(fleets())
+    def test_merged_spans_are_a_renumbered_union(self, shards):
+        merged = merge_telemetry(shards)
+        assert len(merged.spans) == sum(len(s.spans) for s in shards)
+        ids = [record.span_id for record in merged.spans]
+        assert len(ids) == len(set(ids)), "span ids must not collide"
+        # Parent links stay intra-shard: every parent id resolves to a
+        # merged span, and durations survive the clock rebase exactly.
+        by_id = {record.span_id: record for record in merged.spans}
+        for record in merged.spans:
+            if record.parent_id is not None:
+                assert record.parent_id in by_id
+        originals = [r for s in shards for r in s.spans]
+        for original, rebased in zip(originals, merged.spans):
+            assert rebased.duration_s == pytest.approx(
+                original.duration_s, abs=1e-9
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(fleets())
+    def test_merged_metric_totals_equal_the_union(self, shards):
+        merged = merge_telemetry(shards).metrics
+        for key in ("a", "b", "c"):
+            entries = [s.metrics[key] for s in shards if key in s.metrics]
+            if not entries:
+                assert key not in merged
+                continue
+            expected = math.fsum(e["value"] for e in entries)
+            assert merged[key]["value"] == pytest.approx(expected, abs=1e-9)
+        histograms = [s.metrics["h"] for s in shards if "h" in s.metrics]
+        if histograms:
+            assert merged["h"]["count"] == sum(h["count"] for h in histograms)
+            assert merged["h"]["sum"] == pytest.approx(
+                math.fsum(h["sum"] for h in histograms), abs=1e-6
+            )
+            assert merged["h"]["min"] == min(h["min"] for h in histograms)
+            assert merged["h"]["max"] == max(h["max"] for h in histograms)
+            # Percentiles are window statistics; the merge drops them.
+            assert "p50" not in merged["h"] and "p95" not in merged["h"]
+
+    @settings(max_examples=60, deadline=None)
+    @given(fleets())
+    def test_merged_profile_sums_same_name_paths(self, shards):
+        merged = merge_telemetry(shards).profile
+
+        def flatten(nodes, prefix=()):
+            for node in nodes:
+                path = prefix + (node.name,)
+                yield path, node
+                yield from flatten(node.children, path)
+
+        expected: dict = {}
+        for shard in shards:
+            for path, node in flatten(shard.profile):
+                count, total, self_s = expected.get(path, (0, [], []))
+                expected[path] = (
+                    count + node.count, total + [node.total_s],
+                    self_s + [node.self_s],
+                )
+        got = {path: node for path, node in flatten(merged)}
+        assert set(got) == set(expected)
+        for path, (count, totals, selfs) in expected.items():
+            assert got[path].count == count
+            assert got[path].total_s == pytest.approx(
+                math.fsum(totals), abs=1e-9
+            )
+            assert got[path].self_s == pytest.approx(
+                math.fsum(selfs), abs=1e-9
+            )
+
+
+class TestMergeMechanics:
+    def test_merge_rejects_empty_and_mixed_traces(self):
+        with pytest.raises(ObservabilityError, match="at least one"):
+            merge_telemetry(())
+        shards = (
+            make_shard("w0", 0),
+            make_shard("w1", 1, trace_id="cd" * 16),
+        )
+        with pytest.raises(ObservabilityError, match="different traces"):
+            merge_telemetry(shards)
+
+    def test_span_times_rebase_onto_the_shared_wall_clock(self):
+        span = SpanRecord(name="s", span_id=0, parent_id=None,
+                          thread="MainThread", start_s=2.0, end_s=3.0)
+        shard = make_shard("w0", 0, spans=[span], wall=1000.0, mono=0.0)
+        (rebased,) = merge_telemetry([shard]).spans
+        assert rebased.start_s == pytest.approx(1002.0)
+        assert rebased.end_s == pytest.approx(1003.0)
+
+    def test_logs_merge_in_timestamp_order(self):
+        early = LogRecord(ts=1.0, level="info", event="early",
+                          worker_id="w1")
+        late = LogRecord(ts=2.0, level="info", event="late",
+                         worker_id="w0")
+        merged = merge_telemetry((
+            make_shard("w0", 0, logs=[late]),
+            make_shard("w1", 1, logs=[early]),
+        ))
+        assert [r.event for r in merged.logs] == ["early", "late"]
+        assert merged.workers == ("w0", "w1")
+
+    def test_merge_profiles_orders_by_descending_total(self):
+        merged = merge_profiles([
+            (ProfileNode(name="small", count=1, total_s=1.0, self_s=1.0,
+                         children=()),),
+            (ProfileNode(name="big", count=1, total_s=5.0, self_s=5.0,
+                         children=()),),
+        ])
+        assert [node.name for node in merged] == ["big", "small"]
+
+    def test_merged_chrome_trace_keeps_per_worker_lanes(self):
+        spans = [SpanRecord(name="work", span_id=0, parent_id=None,
+                            thread="MainThread", start_s=1.0, end_s=2.0)]
+        shards = (
+            make_shard("w0", 0, spans=spans, pid=111, wall=1000.0),
+            make_shard("w1", 1, spans=spans, pid=222, wall=1005.0),
+        )
+        document = merged_chrome_trace(shards)
+        events = document["traceEvents"]
+        labels = {e["args"]["name"] for e in events
+                  if e.get("name") == "process_name"}
+        assert labels == {"worker w0 (shard 0)", "worker w1 (shard 1)"}
+        assert {e["pid"] for e in events} == {111, 222}
+        xs = [e for e in events if e["ph"] == "X"]
+        # Shared zero point: the earliest span across the fleet is t=0,
+        # the other lane sits at its true wall-clock distance (5s).
+        assert min(e["ts"] for e in xs) == pytest.approx(0.0)
+        assert max(e["ts"] for e in xs) == pytest.approx(5e6)
+
+    def test_write_merged_emits_every_view(self, tmp_path):
+        shard = make_shard("w0", 0, metrics={"a": {"type": "counter",
+                                                   "value": 2.0}})
+        paths = write_merged(tmp_path / "merged", merge_telemetry([shard]))
+        assert sorted(paths) == [
+            "logs.jsonl", "metrics.json", "profile.json", "spans.jsonl",
+            "summary.json", "trace.chrome.json",
+        ]
+        summary = json.loads((tmp_path / "merged" / "summary.json")
+                             .read_text())
+        assert summary["workers"] == ["w0"]
+        assert summary["metrics"] == 1
+
+
+class TestStragglerReport:
+    @staticmethod
+    def _beats(start, *offsets):
+        return tuple({"ts": start + o, "cpu_s": o, "rss_kb": 1000}
+                     for o in offsets)
+
+    def test_slow_worker_flagged_against_fleet_median(self):
+        shards = (
+            make_shard("w0", 0, heartbeats=self._beats(0.0, 0, 1.0)),
+            make_shard("w1", 1, heartbeats=self._beats(0.0, 0, 1.1)),
+            make_shard("w2", 2, heartbeats=self._beats(0.0, 0, 9.0)),
+        )
+        rows = straggler_report(shards)
+        assert [r.straggler for r in rows] == [False, False, True]
+        assert rows[2].wall_s == pytest.approx(9.0)
+        assert rows[2].rss_kb == 1000
+
+    def test_zero_heartbeat_worker_is_never_flagged(self):
+        shards = (
+            make_shard("w0", 0, heartbeats=self._beats(0.0, 0, 1.0)),
+            make_shard("w1", 1),
+        )
+        rows = straggler_report(shards)
+        assert rows[1].heartbeats == 0
+        assert rows[1].straggler is False
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ObservabilityError, match="threshold"):
+            straggler_report((), threshold=0.0)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -49,7 +50,26 @@ class TestChromeTraceEvents:
         meta = doc["traceEvents"][0]
         assert meta["name"] == "thread_name"
         assert meta["args"] == {"name": "worker"}
-        assert meta["pid"] == 1
+        # Real pid so merged multi-process traces get separate lanes.
+        assert meta["pid"] == os.getpid()
+
+    def test_pid_and_process_name_overrides(self):
+        doc = obs.chrome_trace_events(
+            [_span("root", 1)], pid=4242, process_name="worker w1",
+        )
+        proc_meta = doc["traceEvents"][0]
+        assert proc_meta["name"] == "process_name"
+        assert proc_meta["args"] == {"name": "worker w1"}
+        assert all(e["pid"] == 4242 for e in doc["traceEvents"])
+
+    def test_chrome_span_events_rebases_onto_shared_clock(self):
+        events = obs.chrome_span_events(
+            [_span("root", 1, start=2.0, end=3.0)],
+            pid=7, clock_offset_s=100.0, t0=101.0,
+        )
+        span_event = [e for e in events if e["ph"] == "X"][0]
+        # (2.0 + 100.0 - 101.0) seconds → 1e6 microseconds.
+        assert span_event["ts"] == pytest.approx(1_000_000.0)
 
     def test_timestamps_are_relative_microseconds(self):
         doc = obs.chrome_trace_events([
