@@ -140,7 +140,29 @@ def _cmd_eval(args) -> int:
         print(record.narrative())
         print(f"audit vs bottleneck analysis: "
               f"{'agrees' if record.audit() else 'DISAGREES'}")
+        print(_compiler_line(soc, variant))
     return 0
+
+
+def _compiler_line(soc, variant) -> str:
+    """The ``eval --explain`` compiler status line: which fused kernel
+    a batch over this (SoC, variant) would use, and the cache state."""
+    from .core import compile as model_compile
+
+    phase = None
+    if variant is not None:
+        phase = variant.lower(soc).phases[0]
+    digest = model_compile.compile_digest(soc, phase)
+    cached = "cached" if model_compile.is_cached(soc, phase) else "uncompiled"
+    native = (
+        "native+ufunc" if model_compile.native_available() else "ufunc"
+    )
+    stats = model_compile.compile_cache_stats()
+    return (
+        f"batch compiler: kernel {digest} ({cached}, {native} tier); "
+        f"cache size={stats['size']} hits={stats['hits']} "
+        f"misses={stats['misses']} builds={stats['builds']}"
+    )
 
 
 def _cmd_plot(args) -> int:
@@ -166,23 +188,25 @@ def _cmd_sweep(args) -> int:
     variant = _variant_from_args(args, soc)
     steps = args.steps
     on_error = args.on_error
+    engine = getattr(args, "engine", "auto")
     if args.param == "f":
         values = [k / (steps - 1) for k in range(steps)]
         series = sweep_fraction(
             soc, workload, args.ip, values, on_error=on_error,
-            variant=variant,
+            variant=variant, engine=engine,
         )
     elif args.param == "intensity":
         values = [2.0**k for k in range(-4, steps - 4)]
         series = sweep_intensity(
             soc, workload, args.ip, values, on_error=on_error,
-            variant=variant,
+            variant=variant, engine=engine,
         )
     elif args.param == "bpeak":
         base = soc.memory_bandwidth
         values = [base * (0.25 + 0.25 * k) for k in range(steps)]
         series = sweep_memory_bandwidth(
             soc, workload, values, on_error=on_error, variant=variant,
+            engine=engine,
         )
     else:
         raise ReproError(f"unknown sweep parameter {args.param!r}")
@@ -495,6 +519,8 @@ def _cmd_fleet_run(args) -> int:
     from .market import market_spec_population
     from .resilience import DEFAULT_RETRY_POLICY, RetryPolicy
 
+    if args.grid:
+        return _fleet_grid_run(args)
     cases = market_spec_population(since=args.since, limit=args.specs)
     retry_policy = None
     if args.retries is not None:
@@ -552,6 +578,56 @@ def _cmd_fleet_run(args) -> int:
             args.dashboard, args.telemetry, history_path=args.history or None
         )
         print(f"wrote {args.dashboard} (self-contained; open in any browser)")
+    return 0
+
+
+def _fleet_grid_run(args) -> int:
+    """``gables fleet run --grid N``: the sharded synthetic-grid sweep."""
+    from .explore import fleet_bench_records, run_fleet_grid_sweep
+    from .soc import generic_soc
+
+    if args.fault_plan or args.checkpoint or args.retries is not None:
+        raise ReproError(
+            "--grid sweeps are pure batch math; fault plans, retries and "
+            "checkpoints apply to the case fleet only"
+        )
+    if args.on_error != "raise":
+        raise ReproError("--grid sweeps support on_error='raise' only")
+    result = run_fleet_grid_sweep(
+        generic_soc().to_gables_spec(),
+        points=args.grid,
+        workers=args.workers,
+        chunk=args.chunk,
+        seed=args.seed,
+        engine=args.batch_engine,
+        telemetry_dir=args.telemetry,
+    )
+    print(
+        f"grid fleet {result.fleet_run_id}: {result.points:,} points in "
+        f"{len(result.chunks)} chunk(s) over {len(result.workers)} "
+        f"worker(s) in {result.elapsed_s:.3f}s "
+        f"({result.throughput:,.0f} points/s, engine={result.engine})"
+    )
+    print(f"  result digest {result.digest[:16]}…")
+    for report in sorted(result.workers, key=lambda r: r.shard):
+        print(
+            f"  {report.worker_id} (shard {report.shard}, "
+            f"pid {report.pid}): {report.points:,} points in "
+            f"{report.cases} chunk(s), {report.heartbeats} heartbeat(s)"
+        )
+    if result.telemetry_dir:
+        print(f"telemetry shards under {result.telemetry_dir}")
+    if args.history:
+        records = fleet_bench_records(result)
+        try:
+            obs.append_history(args.history, records)
+        except OSError as err:
+            raise ReproError(
+                f"cannot write benchmark history: {err}"
+            ) from err
+        print(
+            f"appended {len(records)} throughput record(s) to {args.history}"
+        )
     return 0
 
 
@@ -708,6 +784,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ON_ERROR_MODES,
         help="tolerate failing sweep points: skip them, or record "
              "them under a degraded-output banner",
+    )
+    p_sweep.add_argument(
+        "--engine", default="auto",
+        choices=("auto", "compiled", "interpreted"),
+        help="batch-evaluation tier for the sweep grid (auto picks the "
+             "fused compiled kernel whenever the batch qualifies)",
     )
     p_sweep.set_defaults(handler=_cmd_sweep)
 
@@ -942,6 +1024,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ON_ERROR_MODES,
         help="tolerate failing fleet points: skip them, or record "
              "them under a degraded-output banner",
+    )
+    grid_group = p_fleet_run.add_argument_group("grid sweeps")
+    grid_group.add_argument(
+        "--grid", type=int, default=0, metavar="POINTS",
+        help="sweep POINTS synthetic market workload rows (chunked, "
+             "digest-checked) instead of the case population",
+    )
+    grid_group.add_argument(
+        "--chunk", type=int, default=250_000, metavar="ROWS",
+        help="grid chunk size: rows generated + evaluated per batch",
+    )
+    grid_group.add_argument(
+        "--engine", dest="batch_engine", default="auto",
+        choices=("auto", "compiled", "interpreted"),
+        help="batch-evaluation tier for --grid sweeps",
     )
     p_fleet_run.set_defaults(handler=_cmd_fleet_run)
 

@@ -19,10 +19,22 @@ The public surface:
 
 from .batch import (
     BatchResult,
+    PreparedBatch,
     cached_evaluator,
     evaluate_batch,
     evaluate_lowered_batch,
     fraction_grid,
+    prepare_batch,
+)
+from .compile import (
+    ENGINE_CHOICES,
+    CompiledPhaseKernel,
+    FusedBatchResult,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_digest,
+    compile_phase,
+    native_available,
 )
 from .blend import blend_workloads, interference_slowdown
 from .curves import RooflineCurve, min_envelope
@@ -83,7 +95,11 @@ __all__ = [
     "BatchResult",
     "BusConstraint",
     "Ceiling",
+    "CompiledPhaseKernel",
     "CoordinationVariant",
+    "ENGINE_CHOICES",
+    "FusedBatchResult",
+    "PreparedBatch",
     "FIGURE_6A",
     "FIGURE_6B",
     "FIGURE_6C",
@@ -119,6 +135,10 @@ __all__ = [
     "attainable_performance_dual",
     "blend_workloads",
     "cached_evaluator",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "compile_digest",
+    "compile_phase",
     "compose_result",
     "execute_lowered_phase",
     "interference_slowdown",
@@ -133,6 +153,8 @@ __all__ = [
     "ip_terms",
     "machine_balance",
     "min_envelope",
+    "native_available",
+    "prepare_batch",
     "scaled_roofline_curves",
     "variant_from_config",
 ]

@@ -41,6 +41,7 @@ from ..obs.trace import get_tracer as _get_tracer
 from ..obs.trace import span as _span
 from ..resilience.partial import check_on_error, point_failure
 from .._validation import FRACTION_SUM_TOL
+from .compile import ENGINE_CHOICES, compile_phase
 from .gables import evaluate
 from .lowering import COORDINATION, LoweredPhase
 from .params import SoCSpec, Workload
@@ -374,6 +375,318 @@ def _pointwise_failures(
     return valid, failures
 
 
+def _guard_token(array) -> tuple | None:
+    """A cheap mutation fingerprint for one prepared array: identity
+    (buffer address, layout) plus a sampled-bytes checksum."""
+    if array is None:
+        return None
+    if array.ndim == 0 or array.shape[0] == 0:
+        return (array.shape, array.tobytes())
+    k = array.shape[0]
+    rows = (0, k // 2, k - 1) if k > 2 else range(k)
+    return (
+        array.shape,
+        array.strides,
+        array.__array_interface__["data"][0],
+        b"".join(array[r].tobytes() for r in rows),
+    )
+
+
+@dataclass
+class PreparedBatch:
+    """Already-coerced, already-validated batch inputs.
+
+    Sweep drivers and multi-phase models issue many evaluate calls
+    over the same (or partially same) grids; preparing once with
+    :func:`prepare_batch` and passing the result in place of the raw
+    ``fractions`` argument skips the per-call ``_as_batch_matrix``
+    coercion and validation passes.  Reuse is *hash-guarded*: a cheap
+    fingerprint of every array is checked on each use, and any
+    detected mutation transparently re-runs validation.
+    """
+
+    soc: SoCSpec
+    fractions: np.ndarray
+    intensities: np.ndarray
+    memory_bandwidth: np.ndarray
+    ip_bandwidths: np.ndarray
+    ip_peaks: np.ndarray
+    valid: np.ndarray | None
+    failures: tuple
+    k: int
+    validate: bool
+    on_error: str
+    _guards: tuple = ()
+    _fortran: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if not self._guards:
+            self._guards = self._fingerprints()
+
+    def _fingerprints(self) -> tuple:
+        return tuple(
+            _guard_token(array)
+            for array in (
+                self.fractions, self.intensities, self.memory_bandwidth,
+                self.ip_bandwidths, self.ip_peaks,
+            )
+        )
+
+    def as_tuple(self, soc: SoCSpec, validate: bool, on_error: str) -> tuple:
+        """The ``_prepare_batch`` result tuple, re-validating only when
+        the guard detects mutated arrays (or a stricter context)."""
+        return self.resolved(soc, validate, on_error)[0]
+
+    def resolved(
+        self, soc: SoCSpec, validate: bool, on_error: str
+    ) -> tuple:
+        """``(as_tuple result, self-or-None)``: the second element is
+        this batch when its cached state is trusted for the call (so
+        derived caches like the Fortran grid pair apply), or ``None``
+        on the re-validated stale path."""
+        if soc is not self.soc and soc != self.soc:
+            raise SpecError(
+                "PreparedBatch was prepared for a different SoC"
+            )
+        if on_error != self.on_error or (validate and not self.validate):
+            stale = True
+        else:
+            stale = self._guards != self._fingerprints()
+        if stale:
+            self._fortran = None
+            return _prepare_batch(
+                soc, self.fractions, self.intensities,
+                self.memory_bandwidth, self.ip_bandwidths, self.ip_peaks,
+                validate, on_error,
+            ), None
+        return (
+            self.fractions, self.intensities, self.memory_bandwidth,
+            self.ip_bandwidths, self.ip_peaks, self.valid,
+            list(self.failures), self.k,
+        ), self
+
+    def fortran_pair(self) -> tuple:
+        """The workload grids in column-contiguous (Fortran) order,
+        transposed once and cached — the native fused kernel walks
+        columns, and re-ordering a 10k-point grid costs as much as
+        evaluating it."""
+        pair = self._fortran
+        if pair is None:
+            pair = (
+                np.asfortranarray(self.fractions),
+                np.asfortranarray(self.intensities),
+            )
+            self._fortran = pair
+        return pair
+
+    def with_workload(
+        self, fractions, intensities, validate: bool = True
+    ) -> "PreparedBatch":
+        """A sibling batch sharing this one's coerced hardware arrays.
+
+        The fast path of a multi-phase model: each phase swaps in its
+        own (already-validated) workload grid while the hardware
+        overrides keep their one-time coercion + validation.  Only
+        ``on_error="raise"`` batches support workload swapping (the
+        tolerant modes' per-point masks couple workload and hardware).
+        """
+        if self.on_error != "raise":
+            raise SpecError(
+                "with_workload requires an on_error='raise' batch"
+            )
+        n = self.soc.n_ips
+        fractions = _as_batch_matrix(fractions, n, "fractions",
+                                     WorkloadError)
+        intensities = _as_batch_matrix(intensities, n, "intensities",
+                                       WorkloadError)
+        if fractions.shape != intensities.shape:
+            raise WorkloadError(
+                f"fractions and intensities must have the same shape, "
+                f"got {fractions.shape} and {intensities.shape}"
+            )
+        if fractions.shape[0] != self.k:
+            raise WorkloadError(
+                f"workload grid has {fractions.shape[0]} points, "
+                f"prepared batch has {self.k}"
+            )
+        if validate:
+            _validate_workload_arrays(fractions, intensities)
+        return PreparedBatch(
+            soc=self.soc,
+            fractions=fractions,
+            intensities=intensities,
+            memory_bandwidth=self.memory_bandwidth,
+            ip_bandwidths=self.ip_bandwidths,
+            ip_peaks=self.ip_peaks,
+            valid=self.valid,
+            failures=self.failures,
+            k=self.k,
+            validate=self.validate,
+            on_error=self.on_error,
+        )
+
+
+def prepare_batch(
+    soc: SoCSpec,
+    fractions,
+    intensities,
+    *,
+    memory_bandwidth=None,
+    ip_bandwidths=None,
+    ip_peaks=None,
+    validate: bool = True,
+    on_error: str = "raise",
+) -> PreparedBatch:
+    """Coerce + validate batch inputs once, for reuse across calls.
+
+    The returned :class:`PreparedBatch` can be passed to
+    :func:`evaluate_batch` / :func:`evaluate_lowered_batch` in place
+    of the ``fractions`` argument (with ``intensities=None``).
+    """
+    (
+        fractions, intensities, memory_bandwidth, ip_bandwidths, ip_peaks,
+        valid, failures, k,
+    ) = _prepare_batch(
+        soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+        ip_peaks, validate, on_error,
+    )
+    return PreparedBatch(
+        soc=soc,
+        fractions=fractions,
+        intensities=intensities,
+        memory_bandwidth=memory_bandwidth,
+        ip_bandwidths=ip_bandwidths,
+        ip_peaks=ip_peaks,
+        valid=valid,
+        failures=tuple(failures),
+        k=k,
+        validate=validate,
+        on_error=on_error,
+    )
+
+
+def _resolve_engine(engine: str, on_error: str) -> str:
+    """Map the three-way ``engine`` switch onto an executable choice.
+
+    ``auto`` picks the compiled kernel whenever the batch qualifies;
+    ``on_error="skip"`` compresses rows out of every array, which only
+    the interpreter implements (``auto`` falls back silently,
+    ``compiled`` refuses).
+    """
+    if engine not in ENGINE_CHOICES:
+        raise SpecError(
+            f"unknown engine {engine!r}; choose from "
+            f"{', '.join(ENGINE_CHOICES)}"
+        )
+    if engine == "interpreted":
+        return "interpreted"
+    if on_error == "skip":
+        if engine == "compiled":
+            raise SpecError(
+                "engine='compiled' does not support on_error='skip'; "
+                "use engine='auto' or 'interpreted'"
+            )
+        return "interpreted"
+    return "compiled"
+
+
+def _compiled_call(
+    soc, phase, fractions, intensities, memory_bandwidth, ip_bandwidths,
+    ip_peaks, valid, on_error, failures, prepared=None,
+):
+    """Run the fused kernel, wiring the lazy interpreted replay."""
+    kernel = compile_phase(soc, phase)
+    valid_init = None if valid is None else valid.copy()
+    failures_init = tuple(failures)
+
+    def replay() -> BatchResult:
+        return _evaluate_batch_impl(
+            soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+            ip_peaks,
+            valid=None if valid_init is None else valid_init.copy(),
+            on_error=on_error, failures=list(failures_init), phase=phase,
+        )
+
+    return kernel(
+        fractions, intensities, memory_bandwidth, ip_bandwidths, ip_peaks,
+        valid=valid, on_error=on_error, failures=failures,
+        route_solver=None if phase is None else phase.route_solver,
+        replay=replay,
+        fortran=None if prepared is None else prepared.fortran_pair,
+    )
+
+
+#: Identity-keyed prepare cache for the compiled engine: a sweep loop
+#: re-evaluates the same grid objects many times, and re-running
+#: coercion + validation costs as much as the fused kernel itself.
+#: Entries hold strong references to the keyed objects, so an id can
+#: never be recycled while it keys the cache; reuse stays hash-guarded
+#: through :meth:`PreparedBatch.as_tuple`.
+_PREP_CACHE_LIMIT = 8
+_PREP_CACHE: dict = {}
+
+
+def _prepared_cached(
+    soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+    ip_peaks, validate, on_error,
+):
+    """The `_prepare_batch` tuple (plus its :class:`PreparedBatch`)
+    via the compiled-path prepare cache."""
+    key = (
+        id(soc), id(fractions), id(intensities), id(memory_bandwidth),
+        id(ip_bandwidths), id(ip_peaks), validate, on_error,
+    )
+    entry = _PREP_CACHE.get(key)
+    if entry is not None:
+        anchors, prepared = entry
+        if (
+            anchors[0] is soc
+            and anchors[1] is fractions
+            and anchors[2] is intensities
+            and anchors[3] is memory_bandwidth
+            and anchors[4] is ip_bandwidths
+            and anchors[5] is ip_peaks
+        ):
+            return prepared.resolved(soc, validate, on_error)
+    prepared = prepare_batch(
+        soc, fractions, intensities, memory_bandwidth=memory_bandwidth,
+        ip_bandwidths=ip_bandwidths, ip_peaks=ip_peaks,
+        validate=validate, on_error=on_error,
+    )
+    if len(_PREP_CACHE) >= _PREP_CACHE_LIMIT:
+        _PREP_CACHE.clear()
+    _PREP_CACHE[key] = (
+        (soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+         ip_peaks),
+        prepared,
+    )
+    return prepared.resolved(soc, validate, on_error)
+
+
+def _prepared_inputs(
+    soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+    ip_peaks, validate, on_error, use,
+):
+    """Resolve raw arrays or a :class:`PreparedBatch` into the
+    ``_prepare_batch`` result tuple plus the backing
+    :class:`PreparedBatch` (``None`` on the uncached paths)."""
+    if isinstance(fractions, PreparedBatch):
+        if intensities is not None:
+            raise WorkloadError(
+                "pass intensities=None when fractions is a PreparedBatch"
+            )
+        return fractions.resolved(soc, validate, on_error)
+    if use == "compiled":
+        return _prepared_cached(
+            soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+            ip_peaks, validate, on_error,
+        )
+    return _prepare_batch(
+        soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
+        ip_peaks, validate, on_error,
+    ), None
+
+
 def evaluate_batch(
     soc: SoCSpec,
     fractions,
@@ -384,6 +697,7 @@ def evaluate_batch(
     ip_peaks=None,
     validate: bool = True,
     on_error: str = "raise",
+    engine: str = "auto",
 ) -> BatchResult:
     """Evaluate Equations 9-11 over K parameter points in one shot.
 
@@ -418,20 +732,49 @@ def evaluate_batch(
         ``point_indices``.  Structural problems (mismatched shapes, an
         empty batch) always raise.
 
+    engine:
+        ``"auto"`` (default) runs the fused compiled kernel
+        (:mod:`repro.core.compile`) whenever the batch qualifies and
+        falls back to the interpreter otherwise (``on_error="skip"``);
+        ``"compiled"`` forces the kernel (raising when unsupported);
+        ``"interpreted"`` forces the original engine.  Both engines
+        produce bitwise-identical numbers; the compiled path returns a
+        lazy :class:`~repro.core.compile.FusedBatchResult` duck-type.
+
+    ``fractions`` may also be a :class:`PreparedBatch` (with
+    ``intensities=None``) to reuse a one-time coercion + validation
+    pass across calls.
+
     Returns a :class:`BatchResult`; raises the same exception types as
     the scalar constructors and evaluator (:class:`WorkloadError` for
     bad workload arrays, :class:`SpecError` for bad hardware arrays,
     :class:`EvaluationError` for degenerate all-zero-time points).
     """
+    use = _resolve_engine(engine, on_error)
     (
         fractions, intensities, memory_bandwidth, ip_bandwidths, ip_peaks,
         valid, failures, k,
-    ) = _prepare_batch(
+    ), prepared = _prepared_inputs(
         soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
-        ip_peaks, validate, on_error,
+        ip_peaks, validate, on_error, use,
     )
     _BATCH_CALLS.inc()
     _BATCH_POINTS.inc(k)
+    if use == "compiled":
+        if not (_TRACER.enabled or _PROFILER.enabled):
+            return _compiled_call(
+                soc, None, fractions, intensities, memory_bandwidth,
+                ip_bandwidths, ip_peaks, valid, on_error, failures,
+                prepared,
+            )
+        with _span("core.evaluate_batch", soc=soc.name, points=k,
+                   engine="compiled"), \
+                _profile_scope("core.evaluate_batch"):
+            return _compiled_call(
+                soc, None, fractions, intensities, memory_bandwidth,
+                ip_bandwidths, ip_peaks, valid, on_error, failures,
+                prepared,
+            )
     if not (_TRACER.enabled or _PROFILER.enabled):
         return _evaluate_batch_impl(
             soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
@@ -457,6 +800,7 @@ def evaluate_lowered_batch(
     ip_peaks=None,
     validate: bool = True,
     on_error: str = "raise",
+    engine: str = "auto",
 ) -> BatchResult:
     """Vectorized backend of the lowered pipeline: one phase, K points.
 
@@ -474,16 +818,38 @@ def evaluate_lowered_batch(
     participate in per-point bottleneck attribution exactly as in the
     scalar engine.  Agreement with the scalar backend is within 1e-12
     relative (the reduction-order caveat in the module docstring).
+
+    ``engine`` selects the execution tier exactly as in
+    :func:`evaluate_batch`; route-solver phases stay compiled — only
+    the per-point solver callback itself runs in Python, with the
+    surrounding arithmetic fused.  ``fractions`` may be a
+    :class:`PreparedBatch` (with ``intensities=None``).
     """
+    use = _resolve_engine(engine, on_error)
     (
         fractions, intensities, memory_bandwidth, ip_bandwidths, ip_peaks,
         valid, failures, k,
-    ) = _prepare_batch(
+    ), prepared = _prepared_inputs(
         soc, fractions, intensities, memory_bandwidth, ip_bandwidths,
-        ip_peaks, validate, on_error,
+        ip_peaks, validate, on_error, use,
     )
     _LOWERED_CALLS.inc()
     _BATCH_POINTS.inc(k)
+    if use == "compiled":
+        if not (_TRACER.enabled or _PROFILER.enabled):
+            return _compiled_call(
+                soc, phase, fractions, intensities, memory_bandwidth,
+                ip_bandwidths, ip_peaks, valid, on_error, failures,
+                prepared,
+            )
+        with _span("core.evaluate_lowered_batch", soc=soc.name, points=k,
+                   engine="compiled"), \
+                _profile_scope("core.evaluate_lowered_batch"):
+            return _compiled_call(
+                soc, phase, fractions, intensities, memory_bandwidth,
+                ip_bandwidths, ip_peaks, valid, on_error, failures,
+                prepared,
+            )
     if not (_TRACER.enabled or _PROFILER.enabled):
         return _evaluate_batch_impl(
             soc, fractions, intensities, memory_bandwidth, ip_bandwidths,

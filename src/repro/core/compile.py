@@ -1,0 +1,1305 @@
+"""The lowered-model kernel compiler: fused batch evaluators.
+
+Both backends of the lowered pipeline *interpret* a
+:class:`~repro.core.lowering.LoweredPhase` on every call: the batch
+engine re-resolves the phase structure (which memory rule?  which
+buses?  coordination or not?) per grid and leans on ``axis=1``
+reductions over ``(K, N)`` matrices, which numpy executes an order of
+magnitude slower than the equivalent chain of contiguous ``(K,)``
+column operations.  This module *compiles* a phase instead: given a
+:class:`~repro.core.params.SoCSpec` and a phase, it builds a
+:class:`CompiledPhaseKernel` — a specialized closure whose operation
+chain is fixed at build time — and caches it under a canonical
+(variant, SoC, phase-structure) key.
+
+What the compiler specializes:
+
+- **Phase structure is constant-folded.**  The memory rule (full
+  traffic, filtered, folded per IP), the bus list with its traffic
+  weights, the dispatch table, and the combine rule are resolved once
+  at build time; the kernel body contains no per-call branching over
+  the IR.
+- **Broadcast operands fold to scalars.**  A grid column whose batch
+  stride is zero (``np.broadcast_to`` workload vectors, scalar
+  hardware overrides) participates as a Python-level constant: the
+  whole sub-chain that depends only on constants collapses to scalar
+  arithmetic executed once instead of K times.
+- **Scratch is arena-allocated.**  Intermediate ``(K,)`` columns live
+  in a pooled arena reused across calls, eliminating the allocation
+  and page-fault churn that dominates a fresh-array ufunc chain.
+  Only the exposed outputs (``attainables``, ``bottleneck_codes``)
+  are freshly allocated.
+
+Exactness
+---------
+The kernel performs the *same IEEE-754 operations in the same order*
+as the interpreted batch engine (:mod:`repro.core.batch`), just
+restructured column-wise: every division, accumulation and ``max``
+uses identical operands, and numpy's ``axis=1`` reductions over
+``N < 8`` components are sequential in column order, matching the
+kernel's explicit accumulation.  Compiled and interpreted results are
+therefore **bitwise identical** — the equivalence suite
+(``tests/test_compile.py``) pins this across all variant kinds,
+tolerant ``on_error`` modes and per-point hardware overrides.
+
+Route-solver phases (the multi-path LP) keep their per-point Python
+loop embedded in the compiled kernel: the surrounding term chain stays
+fused and only the solver itself runs row-wise, exactly as the
+interpreter does.
+
+The result type, :class:`FusedBatchResult`, is a lazy duck-type of
+:class:`~repro.core.batch.BatchResult`: the fields every sweep
+consumes (``attainables``, ``bottleneck_codes``, ``component_names``,
+``errors``…) are eager; the full per-term matrices and
+:meth:`~FusedBatchResult.result` drill-downs materialize on first
+access by replaying the interpreted engine on the stored inputs.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+from ..errors import EvaluationError, SpecError
+from ..obs.metrics import counter as _counter
+from .lowering import COORDINATION, LoweredPhase
+from .params import SoCSpec
+from .result import BINDING_REL_TOL, MEMORY
+
+#: Engine names accepted by the batch entry points and the CLI.
+ENGINE_CHOICES = ("auto", "compiled", "interpreted")
+
+#: Module-level instrument handles (one registry lookup at import).
+_COMPILE_HITS = _counter("core.compile.hits")
+_COMPILE_MISSES = _counter("core.compile.misses")
+_COMPILE_BUILDS = _counter("core.compile.builds")
+
+#: Kernels outlive any single sweep; the cache is bounded far above
+#: any realistic working set (a kernel is a few hundred bytes).
+_CACHE_LIMIT = 256
+
+_LOCK = threading.Lock()
+_KERNELS: dict = {}
+_STATS = {"hits": 0, "misses": 0, "builds": 0}
+
+#: Identity-keyed fast path over the canonical cache: a sweep loop
+#: hands the same (SoC, phase) objects to every call, so the kernel
+#: lookup skips rebuilding :func:`compile_key` entirely.  Entries hold
+#: strong references, which keeps the ids valid for exactly as long
+#: as they key the memo.
+_MEMO_LIMIT = 64
+_MEMO: dict = {}
+
+
+def compile_key(soc: SoCSpec, phase: LoweredPhase | None) -> tuple:
+    """The canonical (SoC, phase-structure) cache key.
+
+    Covers every build-time constant the kernel folds: the SoC's
+    hardware rates and IP names, the phase's memory rule, bus list,
+    solver bus names (the solver callable itself is supplied per call;
+    two lowerings of the same multipath spec share one kernel) and the
+    dispatch table.  Hashable by construction.
+    """
+    if phase is None:
+        phase = LoweredPhase()
+    solver_names = (
+        None
+        if phase.route_solver is None
+        else tuple(phase.route_solver.bus_names)
+    )
+    return (
+        soc.ip_names,
+        tuple(soc.ip_peak(i) for i in range(soc.n_ips)),
+        tuple(ip.bandwidth for ip in soc.ips),
+        soc.memory_bandwidth,
+        phase.combine,
+        phase.include_memory,
+        phase.fold_memory_per_ip,
+        phase.memory_weights,
+        tuple(
+            (bus.name, bus.bandwidth, bus.traffic_weights)
+            for bus in phase.buses
+        ),
+        solver_names,
+        phase.dispatch_seconds,
+        phase.ops_per_item,
+    )
+
+
+def compile_digest(soc: SoCSpec, phase: LoweredPhase | None) -> str:
+    """A short stable hex digest of :func:`compile_key` (for
+    provenance surfaces like ``gables eval --explain``)."""
+    key = compile_key(soc, phase)
+    return hashlib.sha1(repr(key).encode("utf-8")).hexdigest()[:12]
+
+
+def is_cached(soc: SoCSpec, phase: LoweredPhase | None) -> bool:
+    """Whether a kernel for this (SoC, phase) is already built."""
+    with _LOCK:
+        return compile_key(soc, phase) in _KERNELS
+
+
+def compile_phase(
+    soc: SoCSpec, phase: LoweredPhase | None = None
+) -> "CompiledPhaseKernel":
+    """The compiled kernel for one (SoC, phase) pair, built on miss.
+
+    Hits and misses are counted on the ``core.compile.{hits,misses,
+    builds}`` metrics and in :func:`compile_cache_stats`.
+    """
+    memo_key = (id(soc), id(phase))
+    entry = _MEMO.get(memo_key)
+    if entry is not None and entry[0] is soc and entry[1] is phase:
+        _STATS["hits"] += 1
+        _COMPILE_HITS.inc()
+        return entry[2]
+    key = compile_key(soc, phase)
+    with _LOCK:
+        kernel = _KERNELS.get(key)
+        if kernel is not None:
+            _STATS["hits"] += 1
+            _COMPILE_HITS.inc()
+            if len(_MEMO) >= _MEMO_LIMIT:
+                _MEMO.clear()
+            _MEMO[memo_key] = (soc, phase, kernel)
+            return kernel
+        _STATS["misses"] += 1
+        _COMPILE_MISSES.inc()
+    kernel = CompiledPhaseKernel(soc, phase)
+    with _LOCK:
+        _STATS["builds"] += 1
+        _COMPILE_BUILDS.inc()
+        if len(_KERNELS) >= _CACHE_LIMIT:
+            _KERNELS.pop(next(iter(_KERNELS)))
+        kernel = _KERNELS.setdefault(key, kernel)
+        if len(_MEMO) >= _MEMO_LIMIT:
+            _MEMO.clear()
+        _MEMO[memo_key] = (soc, phase, kernel)
+        return kernel
+
+
+def compile_cache_stats() -> dict:
+    """Cache counters: ``{"size", "hits", "misses", "builds"}``."""
+    with _LOCK:
+        return {"size": len(_KERNELS), **_STATS}
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached kernel and scratch arena (counters persist
+    on the metrics registry; the local stats reset)."""
+    with _LOCK:
+        _KERNELS.clear()
+        _MEMO.clear()
+        _STATS.update(hits=0, misses=0, builds=0)
+    _ARENAS.clear()
+
+
+class _ArenaPool:
+    """Pooled scratch blocks, keyed on (rows, K, dtype kind).
+
+    Checkout/return keeps concurrent callers safe (each call owns its
+    block) while the steady-state sweep loop reuses one warm block —
+    fresh 80 KB allocations cost more in page faults than the ufunc
+    passes they feed.
+    """
+
+    def __init__(self, keep_per_key: int = 4, keep_keys: int = 16) -> None:
+        self._lock = threading.Lock()
+        self._free: dict = {}
+        self._keep_per_key = keep_per_key
+        self._keep_keys = keep_keys
+
+    def acquire(self, rows: int, k: int, dtype=np.float64) -> np.ndarray:
+        key = (rows, k, np.dtype(dtype).char)
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                return stack.pop()
+        return np.empty((rows, k), dtype=dtype)
+
+    def release(self, block: np.ndarray) -> None:
+        key = (block.shape[0], block.shape[1], block.dtype.char)
+        with self._lock:
+            stack = self._free.get(key)
+            if stack is None:
+                if len(self._free) >= self._keep_keys:
+                    return
+                stack = self._free[key] = []
+            if len(stack) < self._keep_per_key:
+                stack.append(block)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()
+
+
+_ARENAS = _ArenaPool()
+
+
+class _Scratch:
+    """Bump allocator over arena blocks (rows handed out in order).
+
+    Overflow grows by chaining an equally-sized block; the kernel
+    records the high-water mark so subsequent calls acquire one
+    right-sized block from the pool.  :meth:`drop` recycles a dead
+    intermediate for the next :meth:`take` — keeping the live row set
+    (and with it the cache working set) as small as the dependence
+    structure allows.
+    """
+
+    __slots__ = ("blocks", "block", "row", "taken", "recycled")
+
+    def __init__(self, block: np.ndarray) -> None:
+        self.blocks = [block]
+        self.block = block
+        self.row = 0
+        self.taken = 0
+        self.recycled: list = []
+
+    def take(self) -> np.ndarray:
+        if self.recycled:
+            return self.recycled.pop()
+        if self.row == self.block.shape[0]:
+            self.block = np.empty_like(self.blocks[0])
+            self.blocks.append(self.block)
+            self.row = 0
+        row = self.block[self.row]
+        self.row += 1
+        self.taken += 1
+        return row
+
+    def drop(self, row) -> None:
+        """Recycle an ``_op`` result (folded scalars no-op)."""
+        if isinstance(row, np.ndarray):
+            self.recycled.append(row)
+
+
+def _is_array(value) -> bool:
+    return isinstance(value, np.ndarray)
+
+
+def _op(ufunc, a, b, scratch: _Scratch):
+    """One fused-chain step: scalar folding or an arena-backed ufunc.
+
+    Both operands scalar -> numpy scalar arithmetic (identical IEEE-754
+    semantics, executed once instead of K times); otherwise the ufunc
+    writes into the next scratch row.
+    """
+    if not (_is_array(a) or _is_array(b)):
+        return ufunc(a, b)
+    out = scratch.take()
+    ufunc(a, b, out=out)
+    return out
+
+
+# -- the native tier ----------------------------------------------------
+#
+# One *generic* fused C kernel, compiled once per process with the
+# system C compiler and loaded through ctypes.  The per-(SoC, phase)
+# specialization stays in Python — CompiledPhaseKernel resolves the
+# phase structure into flat constant arrays — and the C loop fuses the
+# whole per-point chain into a single L1-tiled sweep, which removes
+# the one cost the ufunc chain cannot: a full memory pass per
+# operation.  Every arithmetic step mirrors the interpreter exactly
+# (same IEEE-754 divisions, multiplications and accumulation order;
+# MAXNP replicates np.maximum's NaN propagation), so native results
+# remain bitwise identical.  Anything that prevents the fused loop —
+# a route solver, per-point hardware override columns, broadcast
+# workload grids (which the ufunc chain folds to scalars), a missing
+# or failing compiler — silently falls back to the ufunc tier.
+
+_NATIVE_SOURCE = r"""
+#include <stddef.h>
+
+#define MAXNP(a, b) \
+    ((a) != (a) ? (a) : ((b) != (b) ? (b) : ((a) >= (b) ? (a) : (b))))
+#define BLK 256
+
+/* Column-tiled fused Gables phase evaluator.
+ *
+ * F, I hold the workload grids column-contiguous ((k, n) Fortran
+ * order): column j starts at F + j * k.  PK[j] = A_j * Ppeak and
+ * BW[j] are the effective per-IP constants, MBW the DRAM bandwidth.
+ * MW (nullable) carries Eq. 15 memory filter weights, BUSW/BUSBW the
+ * nbus fixed-bus weight rows (Eq. 16), DW/OPI the coordination
+ * dispatch table (coord_on resolves the batch-global "does
+ * coordination join the component set" predicate on the Python
+ * side).  Outputs: att = 1/binding, boundv = the degenerate-check
+ * operand (binding, or the serialized total), codes = first-tie-wins
+ * bottleneck indices.
+ */
+void gables_fused(
+    long k, long n,
+    const double *F, const double *I,
+    const double *PK, const double *BW, double MBW,
+    int include_memory, const double *MW, int folded,
+    long nbus, const double *BUSW, const double *BUSBW,
+    const double *DW, double OPI, int coord_on,
+    int combine_sum, double RTOL,
+    double *att, double *boundv, long *codes)
+{
+    double comp[40][BLK];
+    double d[32][BLK];
+    double scratch[BLK];
+    for (long r0 = 0; r0 < k; r0 += BLK) {
+        long m = (k - r0 < BLK) ? (k - r0) : BLK;
+        long nc = n + (combine_sum ? 0 : 1 + nbus + (coord_on ? 1 : 0));
+        for (long j = 0; j < n; ++j) {
+            const double *f = F + j * k + r0;
+            const double *ii = I + j * k + r0;
+            const double pk = PK[j], bw = BW[j];
+            double *dj = d[j], *cj = comp[j];
+            if (folded) {
+                for (long r = 0; r < m; ++r) {
+                    double c = f[r] / pk;
+                    double dd = f[r] / ii[r];
+                    double t = dd / bw;
+                    double ip = MAXNP(t, c);
+                    double dram = dd / MBW;
+                    dj[r] = dd;
+                    cj[r] = MAXNP(ip, dram);
+                }
+            } else {
+                for (long r = 0; r < m; ++r) {
+                    double c = f[r] / pk;
+                    double dd = f[r] / ii[r];
+                    double t = dd / bw;
+                    dj[r] = dd;
+                    cj[r] = MAXNP(t, c);
+                }
+            }
+        }
+        if (coord_on) {
+            double *tc = comp[n + 1 + nbus];
+            for (long r = 0; r < m; ++r) scratch[r] = 0.0;
+            for (long j = 1; j < n; ++j) {
+                const double *f = F + j * k + r0;
+                const double w = DW[j];
+                for (long r = 0; r < m; ++r)
+                    scratch[r] += (f[r] > 0.0) ? w : 0.0;
+            }
+            for (long r = 0; r < m; ++r) {
+                tc[r] = scratch[r] / OPI;
+                comp[0][r] = comp[0][r] + tc[r];
+            }
+        }
+        if (!combine_sum) {
+            double *mem = comp[n];
+            if (MW) {
+                for (long r = 0; r < m; ++r)
+                    scratch[r] = d[0][r] * MW[0];
+                for (long j = 1; j < n; ++j)
+                    for (long r = 0; r < m; ++r)
+                        scratch[r] += d[j][r] * MW[j];
+                for (long r = 0; r < m; ++r) mem[r] = scratch[r] / MBW;
+            } else if (include_memory) {
+                for (long r = 0; r < m; ++r) scratch[r] = d[0][r];
+                for (long j = 1; j < n; ++j)
+                    for (long r = 0; r < m; ++r) scratch[r] += d[j][r];
+                for (long r = 0; r < m; ++r) mem[r] = scratch[r] / MBW;
+            } else {
+                for (long r = 0; r < m; ++r) mem[r] = 0.0;
+            }
+            for (long b = 0; b < nbus; ++b) {
+                const double *w = BUSW + b * n;
+                double *bt = comp[n + 1 + b];
+                for (long r = 0; r < m; ++r)
+                    scratch[r] = d[0][r] * w[0];
+                for (long j = 1; j < n; ++j)
+                    for (long r = 0; r < m; ++r)
+                        scratch[r] += d[j][r] * w[j];
+                for (long r = 0; r < m; ++r)
+                    bt[r] = scratch[r] / BUSBW[b];
+            }
+        }
+        double *bind = scratch;
+        if (combine_sum) {
+            double total[BLK];
+            for (long r = 0; r < m; ++r) total[r] = comp[0][r];
+            for (long j = 1; j < n; ++j)
+                for (long r = 0; r < m; ++r) total[r] += comp[j][r];
+            for (long r = 0; r < m; ++r) {
+                boundv[r0 + r] = total[r];
+                att[r0 + r] = 1.0 / total[r];
+            }
+            for (long r = 0; r < m; ++r) bind[r] = comp[0][r];
+            for (long j = 1; j < n; ++j)
+                for (long r = 0; r < m; ++r)
+                    bind[r] = MAXNP(bind[r], comp[j][r]);
+        } else {
+            for (long r = 0; r < m; ++r) bind[r] = comp[0][r];
+            for (long j = 1; j < nc; ++j)
+                for (long r = 0; r < m; ++r)
+                    bind[r] = MAXNP(bind[r], comp[j][r]);
+            for (long r = 0; r < m; ++r) {
+                boundv[r0 + r] = bind[r];
+                att[r0 + r] = 1.0 / bind[r];
+            }
+        }
+        /* First-tie-wins as a branch-free count of leading non-ties
+         * (an all-false tie row matches argmax == 0). */
+        long cnt[BLK];
+        long alive[BLK];
+        for (long r = 0; r < m; ++r) { cnt[r] = 0; alive[r] = 1; }
+        for (long j = 0; j < nc; ++j) {
+            const double *cj = comp[j];
+            for (long r = 0; r < m; ++r) {
+                double diff = bind[r] - cj[r];
+                long nb = !(diff <= RTOL * bind[r] || cj[r] == bind[r]);
+                alive[r] &= nb;
+                cnt[r] += alive[r];
+            }
+        }
+        for (long r = 0; r < m; ++r)
+            codes[r0 + r] = (cnt[r] == nc) ? 0 : cnt[r];
+    }
+}
+"""
+
+#: Per-IP / component capacity of the native kernel's tile buffers.
+_NATIVE_MAX_IPS = 32
+_NATIVE_MAX_COMPONENTS = 40
+
+_NATIVE_UNSET = object()
+_NATIVE = _NATIVE_UNSET
+
+
+def _build_native():
+    """Compile and load the generic fused kernel, or ``None``.
+
+    ``-ffp-contract=off`` forbids FMA contraction so the C arithmetic
+    rounds exactly like numpy's; ``-ffast-math`` is never used.  The
+    shared object is loaded from a temporary directory that is removed
+    immediately (the mapping survives the unlink), so nothing persists
+    on disk.  Any failure — no compiler, a cross-compiling toolchain,
+    a sandbox that blocks loading — degrades to the ufunc tier.
+    """
+    if np.dtype(np.intp).itemsize != ctypes.sizeof(ctypes.c_long):
+        return None
+    compiler = (
+        os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    )
+    if compiler is None:
+        return None
+    try:
+        with tempfile.TemporaryDirectory(prefix="gables-native-") as work:
+            src = os.path.join(work, "gables_fused.c")
+            lib_path = os.path.join(work, "gables_fused.so")
+            with open(src, "w", encoding="utf-8") as handle:
+                handle.write(_NATIVE_SOURCE)
+            for extra in (["-march=native"], []):
+                cmd = [
+                    compiler, "-O3", "-ffp-contract=off", "-fPIC",
+                    "-shared", *extra, "-o", lib_path, src,
+                ]
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=120
+                )
+                if proc.returncode == 0:
+                    break
+            else:
+                return None
+            lib = ctypes.CDLL(lib_path)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    fn = lib.gables_fused
+    fn.restype = None
+    fn.argtypes = [
+        ctypes.c_long, ctypes.c_long,              # k, n
+        ctypes.c_void_p, ctypes.c_void_p,          # F, I
+        ctypes.c_void_p, ctypes.c_void_p,          # PK, BW
+        ctypes.c_double,                           # MBW
+        ctypes.c_int, ctypes.c_void_p, ctypes.c_int,  # include, MW, folded
+        ctypes.c_long, ctypes.c_void_p, ctypes.c_void_p,  # nbus, BUSW, BUSBW
+        ctypes.c_void_p, ctypes.c_double, ctypes.c_int,   # DW, OPI, coord_on
+        ctypes.c_int, ctypes.c_double,             # combine_sum, RTOL
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,  # att, bound, codes
+    ]
+    return fn
+
+
+def _native_fn():
+    """The loaded native kernel (built on first use), or ``None``."""
+    global _NATIVE
+    if _NATIVE is _NATIVE_UNSET:
+        with _LOCK:
+            if _NATIVE is _NATIVE_UNSET:
+                if os.environ.get("GABLES_NATIVE", "1") == "0":
+                    _NATIVE = None
+                else:
+                    _NATIVE = _build_native()
+    return _NATIVE
+
+
+def native_available() -> bool:
+    """Whether the fused C tier is active in this process (triggers
+    the one-time build attempt)."""
+    return _native_fn() is not None
+
+
+_LAZY_FIELDS = frozenset(
+    (
+        "fractions",
+        "intensities",
+        "compute_times",
+        "data_bytes",
+        "transfer_times",
+        "ip_times",
+        "memory_times",
+        "memory_perf_bounds",
+        "average_intensities",
+        "extra_times_matrix",
+    )
+)
+
+
+class FusedBatchResult:
+    """A compiled-engine batch result: eager bounds, lazy drill-down.
+
+    Duck-types :class:`~repro.core.batch.BatchResult`.  The kernel
+    computes only what the bound needs — ``attainables`` and
+    ``bottleneck_codes`` (plus the tolerant-mode ``valid``/``errors``)
+    — so the full per-term matrices (``ip_times``, ``data_bytes``,
+    ``memory_perf_bounds``, …) and :meth:`result` reconstructions are
+    materialized on first access by replaying the interpreted engine
+    on the stored inputs.  The replay is the interpreter itself, so
+    drill-down values match the interpreted backend bitwise.
+    """
+
+    __slots__ = (
+        "component_names",
+        "attainables",
+        "bottleneck_codes",
+        "valid",
+        "errors",
+        "point_indices",
+        "extra_names",
+        "combine",
+        "folded_memory",
+        "_replay",
+        "_full",
+    )
+
+    def __init__(
+        self,
+        *,
+        component_names: tuple,
+        attainables: np.ndarray,
+        bottleneck_codes: np.ndarray,
+        valid: np.ndarray | None,
+        errors: tuple,
+        extra_names: tuple,
+        combine: str,
+        folded_memory: bool,
+        replay,
+    ) -> None:
+        self.component_names = component_names
+        self.attainables = attainables
+        self.bottleneck_codes = bottleneck_codes
+        self.valid = valid
+        self.errors = errors
+        self.point_indices = None
+        self.extra_names = extra_names
+        self.combine = combine
+        self.folded_memory = folded_memory
+        self._replay = replay
+        self._full = None
+
+    def __len__(self) -> int:
+        """Number of evaluated points K."""
+        return self.attainables.shape[0]
+
+    @property
+    def n_ips(self) -> int:
+        """Number of IPs N."""
+        return len(self.component_names) - 1 - len(self.extra_names)
+
+    @property
+    def memory_code(self) -> int:
+        """The ``bottleneck_codes`` value meaning "memory binds"."""
+        return self.n_ips
+
+    def bottleneck(self, index: int) -> str:
+        """The binding component's name at point ``index``."""
+        code = int(self.bottleneck_codes[index])
+        if code < 0:
+            return "invalid"
+        return self.component_names[code]
+
+    def bottlenecks(self) -> tuple:
+        """Binding component names for every point, in batch order."""
+        names = self.component_names
+        return tuple(
+            "invalid" if code < 0 else names[code]
+            for code in self.bottleneck_codes.tolist()
+        )
+
+    def materialize(self):
+        """The full interpreted :class:`BatchResult` for these inputs
+        (computed once, then cached on the instance)."""
+        if self._full is None:
+            self._full = self._replay()
+        return self._full
+
+    def result(self, index: int):
+        """Materialize point ``index`` as a full scalar result object."""
+        return self.materialize().result(index)
+
+    def __getattr__(self, name: str):
+        if name in _LAZY_FIELDS:
+            return getattr(self.materialize(), name)
+        raise AttributeError(name)
+
+
+class CompiledPhaseKernel:
+    """One fused batch evaluator, specialized to (SoC, phase structure).
+
+    Built by :func:`compile_phase`; called with the already-prepared
+    inputs of :func:`repro.core.batch._prepare_batch`.  Supports the
+    ``"raise"`` and ``"record"`` error modes (``"skip"`` compresses
+    rows and stays on the interpreter).
+    """
+
+    def __init__(self, soc: SoCSpec, phase: LoweredPhase | None) -> None:
+        if phase is None:
+            phase = LoweredPhase()
+        self.digest = compile_digest(soc, phase)
+        self.n_ips = n = soc.n_ips
+        self.combine = phase.combine
+        self.folded = phase.fold_memory_per_ip
+        self.include_memory = phase.include_memory
+        self.memory_weights = (
+            None
+            if phase.memory_weights is None
+            else tuple(float(w) for w in phase.memory_weights)
+        )
+        self.buses = tuple(
+            (bus.name, float(bus.bandwidth),
+             tuple(float(w) for w in bus.traffic_weights))
+            for bus in phase.buses
+        )
+        self.solver_names = (
+            ()
+            if phase.route_solver is None
+            else tuple(phase.route_solver.bus_names)
+        )
+        self.dispatch = (
+            None
+            if phase.dispatch_seconds is None
+            else tuple(float(d) for d in phase.dispatch_seconds)
+        )
+        self.ops_per_item = phase.ops_per_item
+        self.ip_names = soc.ip_names
+        # Static name-collision checks move to build time (the
+        # runtime-dependent coordination check stays in the call).
+        static_extras = tuple(name for name, _, _ in self.buses)
+        static_extras += self.solver_names
+        overlap = (set(soc.ip_names) | {MEMORY}) & set(static_extras)
+        if overlap:
+            raise SpecError(
+                f"bus names collide with IP/memory names: "
+                f"{sorted(overlap)!r}"
+            )
+        # Hardware constants folded at build time (used when no
+        # per-point override is supplied).
+        self.peaks = tuple(soc.ip_peak(i) for i in range(n))
+        self.ip_bandwidths = tuple(ip.bandwidth for ip in soc.ips)
+        self.memory_bandwidth = soc.memory_bandwidth
+        # Arena sizing: a generous static bound on the bump-allocated
+        # scratch rows one call can consume (every operand per-point,
+        # nothing folded).
+        n_extras = len(self.buses) + len(self.solver_names) + 1
+        n_comp = n + 1 + n_extras
+        self._rows = 8 * n + 3 * n_extras + n_comp + 16
+        # Native-tier constants: the phase structure resolved into the
+        # flat arrays the generic C kernel consumes.  Solver phases
+        # and oversized component sets stay on the ufunc tier.
+        self._native_static = (
+            not self.solver_names
+            and n <= _NATIVE_MAX_IPS
+            and n_comp <= _NATIVE_MAX_COMPONENTS
+            and (self.dispatch is None
+                 or (all(d >= 0 for d in self.dispatch)
+                     and self.ops_per_item is not None
+                     and 0 < float(self.ops_per_item) < float("inf")))
+        )
+        self._pk = np.ascontiguousarray(self.peaks, dtype=np.float64)
+        self._bw = np.ascontiguousarray(
+            self.ip_bandwidths, dtype=np.float64
+        )
+        self._mw = (
+            None
+            if self.memory_weights is None
+            else np.ascontiguousarray(self.memory_weights, dtype=np.float64)
+        )
+        if self.buses:
+            self._busw = np.ascontiguousarray(
+                [w for _, _, w in self.buses], dtype=np.float64
+            )
+            self._busbw = np.ascontiguousarray(
+                [b for _, b, _ in self.buses], dtype=np.float64
+            )
+        else:
+            self._busw = self._busbw = None
+        self._dw = (
+            None
+            if self.dispatch is None
+            else np.ascontiguousarray(self.dispatch, dtype=np.float64)
+        )
+
+    # -- operand loading ------------------------------------------------
+
+    @staticmethod
+    def _column(matrix: np.ndarray, j: int, scratch: _Scratch | None):
+        """Column ``j`` as a folded scalar or a contiguous copy."""
+        column = matrix[:, j]
+        if column.strides[0] == 0:
+            return column[0]
+        if scratch is None:
+            return column
+        out = scratch.take()
+        np.copyto(out, column)
+        return out
+
+    @staticmethod
+    def _axis(vector):
+        """A (K,)/0-d override axis as a folded scalar or the array."""
+        if vector.ndim == 0:
+            return vector[()]
+        if vector.strides[0] == 0:
+            return vector[0]
+        return vector
+
+    @staticmethod
+    def _hardware(override, j: int, constants: tuple):
+        """Per-IP hardware operand: folded SoC constant ((N,) default
+        array), folded broadcast override, or a per-point column."""
+        if override.ndim == 1:
+            return constants[j]
+        column = override[:, j]
+        if column.strides[0] == 0:
+            return column[0]
+        return column
+
+    # -- the fused chain ------------------------------------------------
+
+    def __call__(
+        self,
+        fractions: np.ndarray,
+        intensities: np.ndarray,
+        memory_bandwidth: np.ndarray,
+        ip_bandwidths: np.ndarray,
+        ip_peaks: np.ndarray,
+        valid: np.ndarray | None = None,
+        on_error: str = "raise",
+        failures: list | None = None,
+        route_solver=None,
+        replay=None,
+        fortran=None,
+    ) -> FusedBatchResult:
+        k = fractions.shape[0]
+        n = self.n_ips
+        failures = list(failures or ())
+        if self._native_static and k:
+            result = self._run_native(
+                fractions, intensities, memory_bandwidth, ip_bandwidths,
+                ip_peaks, valid, on_error, failures, replay, k, n, fortran,
+            )
+            if result is not None:
+                return result
+        scratch = _Scratch(_ARENAS.acquire(self._rows, k))
+        bools = _ARENAS.acquire(4, k, dtype=bool)
+        try:
+            return self._run(
+                fractions, intensities, memory_bandwidth, ip_bandwidths,
+                ip_peaks, valid, on_error, failures, route_solver, replay,
+                k, n, scratch, _Scratch(bools),
+            )
+        finally:
+            if len(scratch.blocks) > 1:
+                # Undersized: remember the high-water mark so the next
+                # call acquires a single right-sized block.
+                self._rows = scratch.taken + 4
+            for block in scratch.blocks:
+                _ARENAS.release(block)
+            _ARENAS.release(bools)
+
+    @staticmethod
+    def _effective_row(override: np.ndarray, default: np.ndarray):
+        """The per-IP constants row the native kernel consumes, or
+        ``None`` when the override varies per point."""
+        if override.ndim == 1:
+            return default
+        if override.shape[0] == 1 or override.strides[0] == 0:
+            return np.ascontiguousarray(override[0], dtype=np.float64)
+        return None
+
+    def _run_native(
+        self, fractions, intensities, memory_bandwidth, ip_bandwidths,
+        ip_peaks, valid, on_error, failures, replay, k, n, fortran,
+    ):
+        """One fused C sweep, or ``None`` when this call cannot take
+        the native tier (per-point hardware overrides, broadcast
+        workload grids, no compiler)."""
+        fn = _native_fn()
+        if fn is None:
+            return None
+        if fractions.strides[0] == 0 or intensities.strides[0] == 0:
+            # Broadcast grids fold to scalar chains in the ufunc tier,
+            # which beats materializing K copies for the C loop.
+            return None
+        if (fractions.dtype != np.float64
+                or intensities.dtype != np.float64):
+            return None
+        mbw = self._axis(memory_bandwidth)
+        if _is_array(mbw):
+            return None
+        pk = self._effective_row(ip_peaks, self._pk)
+        bw = self._effective_row(ip_bandwidths, self._bw)
+        if pk is None or bw is None:
+            return None
+        coord_on = False
+        if self._dw is not None:
+            # Batch-global predicate: with non-negative dispatch
+            # weights and finite ops_per_item, max(t_coord) > 0 iff
+            # some dispatching IP is active somewhere in the batch.
+            for j in range(1, n):
+                if self._dw[j] > 0 and bool((fractions[:, j] > 0).any()):
+                    coord_on = True
+                    break
+            if coord_on and COORDINATION in self.ip_names:
+                raise SpecError(
+                    f"component name {COORDINATION!r} collides "
+                    "with an IP"
+                )
+        if fortran is not None:
+            columns = fortran()
+        else:
+            columns = (
+                fractions
+                if fractions.flags.f_contiguous
+                else np.asfortranarray(fractions),
+                intensities
+                if intensities.flags.f_contiguous
+                else np.asfortranarray(intensities),
+            )
+        grid_f, grid_i = columns
+        attainables = np.empty(k)
+        boundv = np.empty(k)
+        codes = np.empty(k, dtype=np.intp)
+        busw, busbw = self._busw, self._busbw
+        fn(
+            k, n,
+            grid_f.ctypes.data, grid_i.ctypes.data,
+            pk.ctypes.data, bw.ctypes.data, float(mbw),
+            1 if self.include_memory else 0,
+            None if self._mw is None else self._mw.ctypes.data,
+            1 if self.folded else 0,
+            0 if busw is None else busw.shape[0],
+            None if busw is None else busw.ctypes.data,
+            None if busbw is None else busbw.ctypes.data,
+            None if self._dw is None else self._dw.ctypes.data,
+            float(self.ops_per_item) if self.ops_per_item else 1.0,
+            1 if coord_on else 0,
+            1 if self.combine == "sum" else 0,
+            BINDING_REL_TOL,
+            attainables.ctypes.data, boundv.ctypes.data, codes.ctypes.data,
+        )
+        extra_names = tuple(name for name, _, _ in self.buses)
+        if coord_on:
+            extra_names += (COORDINATION,)
+        if self.combine == "sum":
+            raise_msg = "serialized usecase takes zero time"
+            record_msg = "serialized usecase takes zero time"
+        else:
+            raise_msg = (
+                "degenerate usecase at batch point {bad}: every "
+                "component takes zero time"
+            )
+            record_msg = (
+                "degenerate usecase: every component takes zero time"
+            )
+        errors = ()
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if on_error == "raise":
+                if not boundv.min() > 0:
+                    bad = int(np.argmin(boundv > 0))
+                    raise EvaluationError(raise_msg.format(bad=bad))
+            else:
+                from ..resilience.partial import point_failure
+
+                progressing = boundv > 0
+                degenerate = valid & ~progressing
+                for index in np.nonzero(degenerate)[0].tolist():
+                    failures.append(
+                        (index, "EVAL_DEGENERATE_POINT", record_msg)
+                    )
+                valid = valid & progressing
+                failures.sort(key=lambda item: item[0])
+                errors = tuple(
+                    point_failure((index, ), code, message)
+                    for index, code, message in failures
+                )
+                codes = np.where(valid, codes, -1)
+                attainables[~valid] = np.nan
+        return FusedBatchResult(
+            component_names=self.ip_names + (MEMORY,) + extra_names,
+            attainables=attainables,
+            bottleneck_codes=codes,
+            valid=valid,
+            errors=errors,
+            extra_names=extra_names,
+            combine=self.combine,
+            folded_memory=self.folded,
+            replay=replay,
+        )
+
+    def _run(
+        self, fractions, intensities, memory_bandwidth, ip_bandwidths,
+        ip_peaks, valid, on_error, failures, route_solver, replay,
+        k, n, scratch, bool_scratch,
+    ) -> FusedBatchResult:
+        mem_bw = self._axis(memory_bandwidth)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            # Equation 9, column-wise: Ci = fi / (Ai * Ppeak);
+            # Di = fi / Ii; transfer = Di / Bi; T_IP = max.
+            f_cols = [self._column(fractions, j, None) for j in range(n)]
+            d_cols = []
+            ip_cols = []
+            for j in range(n):
+                f_j = f_cols[j]
+                i_j = self._column(intensities, j, None)
+                peak_j = self._hardware(ip_peaks, j, self.peaks)
+                bw_j = self._hardware(ip_bandwidths, j, self.ip_bandwidths)
+                c_j = _op(np.divide, f_j, peak_j, scratch)
+                d_j = _op(np.divide, f_j, i_j, scratch)
+                t_j = _op(np.divide, d_j, bw_j, scratch)
+                ip_j = _op(np.maximum, t_j, c_j, scratch)
+                scratch.drop(t_j)
+                scratch.drop(c_j)
+                if self.folded:
+                    # Equation 18: each IP also pays Di / Bpeak itself.
+                    dram_j = _op(np.divide, d_j, mem_bw, scratch)
+                    folded_j = _op(np.maximum, ip_j, dram_j, scratch)
+                    scratch.drop(dram_j)
+                    scratch.drop(ip_j)
+                    ip_j = folded_j
+                d_cols.append(d_j)
+                ip_cols.append(ip_j)
+
+            # Host coordination: dispatch work lands on IP[0] and joins
+            # the bottleneck set as its own component.
+            t_coord = None
+            if self.dispatch is not None:
+                acc = np.float64(0.0)
+                for j in range(1, n):
+                    f_j = f_cols[j]
+                    if _is_array(f_j):
+                        active = bool_scratch.block[3]
+                        np.greater(f_j, 0.0, out=active)
+                        w_j = scratch.take()
+                        if np.isfinite(self.dispatch[j]):
+                            # bool * w is exactly {0.0, w} and ~10x
+                            # cheaper than a masked copy.
+                            np.multiply(active, self.dispatch[j], out=w_j)
+                        else:
+                            w_j.fill(0.0)
+                            np.copyto(
+                                w_j, self.dispatch[j], where=active
+                            )
+                    else:
+                        w_j = (
+                            np.float64(self.dispatch[j])
+                            if f_j > 0
+                            else np.float64(0.0)
+                        )
+                    summed = _op(np.add, acc, w_j, scratch)
+                    scratch.drop(w_j)
+                    scratch.drop(acc)
+                    acc = summed
+                t_coord = _op(np.divide, acc, self.ops_per_item, scratch)
+                scratch.drop(acc)
+                t_coord_max = t_coord.max() if _is_array(t_coord) else t_coord
+                if t_coord_max > 0:
+                    if COORDINATION in self.ip_names:
+                        raise SpecError(
+                            f"component name {COORDINATION!r} collides "
+                            "with an IP"
+                        )
+                    dispatched = _op(np.add, ip_cols[0], t_coord, scratch)
+                    scratch.drop(ip_cols[0])
+                    ip_cols[0] = dispatched
+                else:
+                    t_coord = None
+
+            # Equation 10 (or the Eq. 15 filter / Eq. 18 fold).
+            if self.memory_weights is not None:
+                traffic, own = self._weighted_sum(
+                    d_cols, self.memory_weights, scratch
+                )
+                memory_times = _op(np.divide, traffic, mem_bw, scratch)
+                if own:
+                    scratch.drop(traffic)
+            elif not self.include_memory:
+                memory_times = np.float64(0.0)
+            else:
+                traffic = d_cols[0]
+                for j in range(1, n):
+                    summed = _op(np.add, traffic, d_cols[j], scratch)
+                    if traffic is not d_cols[0]:
+                        scratch.drop(traffic)
+                    traffic = summed
+                memory_times = _op(np.divide, traffic, mem_bw, scratch)
+                if traffic is not d_cols[0]:
+                    scratch.drop(traffic)
+
+            # Shared-resource constraints: fixed buses (Eq. 16), then
+            # solver-assigned loads, then the coordination component.
+            extra_cols = []
+            extra_names = []
+            for name, bandwidth, weights in self.buses:
+                carried, own = self._weighted_sum(d_cols, weights, scratch)
+                extra_cols.append(_op(np.divide, carried, bandwidth, scratch))
+                if own:
+                    scratch.drop(carried)
+                extra_names.append(name)
+            if self.solver_names:
+                # The per-point LP stays a Python loop (it is one), but
+                # the fused surroundings are unaffected.
+                solved = np.zeros((k, len(self.solver_names)))
+                rows = (
+                    range(k)
+                    if valid is None
+                    else np.nonzero(valid)[0].tolist()
+                )
+                consts = [
+                    None if _is_array(col) else float(col)
+                    for col in d_cols
+                ]
+                for index in rows:
+                    row_bytes = [
+                        consts[j]
+                        if consts[j] is not None
+                        else float(d_cols[j][index])
+                        for j in range(n)
+                    ]
+                    times = route_solver(row_bytes)
+                    solved[index] = [
+                        times[name] for name in self.solver_names
+                    ]
+                extra_cols.extend(
+                    solved[:, j] for j in range(len(self.solver_names))
+                )
+                extra_names.extend(self.solver_names)
+            if t_coord is not None:
+                extra_cols.append(t_coord)
+                extra_names.append(COORDINATION)
+            # Traffic columns are dead once every consumer above ran.
+            for d_j in d_cols:
+                scratch.drop(d_j)
+
+            # Equation 11 (or 19) + first-tie-wins attribution.
+            if self.combine == "sum":
+                components = ip_cols
+                total = ip_cols[0]
+                for j in range(1, n):
+                    summed = _op(np.add, total, ip_cols[j], scratch)
+                    if total is not ip_cols[0]:
+                        scratch.drop(total)
+                    total = summed
+                valid, attainables = self._bound(
+                    total, on_error, valid, failures, k,
+                    "serialized usecase takes zero time",
+                    "serialized usecase takes zero time",
+                )
+                if total is not ip_cols[0]:
+                    scratch.drop(total)
+                binding = self._binding(components, scratch)
+            else:
+                components = list(ip_cols)
+                components.append(memory_times)
+                components.extend(extra_cols)
+                binding = self._binding(components, scratch)
+                valid, attainables = self._bound(
+                    binding, on_error, valid, failures, k,
+                    "degenerate usecase at batch point {bad}: every "
+                    "component takes zero time",
+                    "degenerate usecase: every component takes zero "
+                    "time",
+                )
+            codes = self._codes(
+                binding, components, k, scratch, bool_scratch
+            )
+
+        errors = ()
+        if on_error != "raise":
+            from ..resilience.partial import point_failure
+
+            failures.sort(key=lambda item: item[0])
+            errors = tuple(
+                point_failure((index,), code, message)
+                for index, code, message in failures
+            )
+            codes = np.where(valid, codes, -1)
+            attainables[~valid] = np.nan
+
+        return FusedBatchResult(
+            component_names=self.ip_names + (MEMORY,) + tuple(extra_names),
+            attainables=attainables,
+            bottleneck_codes=codes,
+            valid=valid,
+            errors=errors,
+            extra_names=tuple(extra_names),
+            combine=self.combine,
+            folded_memory=self.folded,
+            replay=replay,
+        )
+
+    @staticmethod
+    def _weighted_sum(d_cols, weights, scratch):
+        """``sum_j d_j * w_j`` in column order, folding the no-op
+        multiply when ``w == 1.0`` (``x * 1.0`` is bitwise ``x``).
+        Returns ``(total, owned)`` where ``owned`` says the row came
+        from scratch (zero-weight terms stay in the chain: with an
+        infinite ``d_j``, ``d_j * 0.0`` is NaN, matching the
+        interpreter)."""
+        total = None
+        total_own = False
+        for d_j, w in zip(d_cols, weights):
+            if w == 1.0:
+                term, own = d_j, False
+            else:
+                term = _op(np.multiply, d_j, w, scratch)
+                own = True
+            if total is None:
+                total, total_own = term, own
+            else:
+                summed = _op(np.add, total, term, scratch)
+                if own:
+                    scratch.drop(term)
+                if total_own:
+                    scratch.drop(total)
+                total, total_own = summed, True
+        return total, total_own
+
+    @staticmethod
+    def _binding(components, scratch):
+        """Successive maximum over the component columns (bitwise
+        equal to ``max(axis=1)``), recycling the intermediate rows."""
+        binding = components[0]
+        for col in components[1:]:
+            widened = _op(np.maximum, binding, col, scratch)
+            if binding is not components[0]:
+                scratch.drop(binding)
+            binding = widened
+        return binding
+
+    @staticmethod
+    def _bound(total, on_error, valid, failures, k, raise_msg, record_msg):
+        """Degenerate-point policy + the exposed attainable bound."""
+        if on_error == "raise":
+            if _is_array(total):
+                # min > 0 == all(total > 0) here (a NaN min compares
+                # False, matching the interpreter's all() on NaN rows).
+                if not total.min() > 0:
+                    bad = int(np.argmin(total > 0))
+                    raise EvaluationError(raise_msg.format(bad=bad))
+                return valid, np.reciprocal(total)
+            if not total > 0:
+                raise EvaluationError(raise_msg.format(bad=0))
+            return valid, np.full(k, float(np.reciprocal(total)))
+        progressing = (
+            total > 0
+            if _is_array(total)
+            else np.full(k, bool(total > 0))
+        )
+        degenerate = valid & ~progressing
+        for index in np.nonzero(degenerate)[0].tolist():
+            failures.append((index, "EVAL_DEGENERATE_POINT", record_msg))
+        valid = valid & progressing
+        if _is_array(total):
+            attainables = np.reciprocal(total)
+        else:
+            attainables = np.full(k, float(np.reciprocal(total)))
+        return valid, attainables
+
+    def _codes(self, binding, components, k, scratch, bool_scratch):
+        """First-tie-wins bottleneck codes via a descending masked
+        scan (identical to ``ties.argmax(axis=1)``: with every time
+        non-negative and ``binding`` their max, the interpreter's tie
+        test reduces to ``binding - t <= RTOL * binding``, plus the
+        equality escape only an infinite binding needs)."""
+        if not _is_array(binding):
+            code = 0
+            for j, col in enumerate(components):
+                tie = (binding - col <= BINDING_REL_TOL * binding) or (
+                    col == binding
+                )
+                if tie:
+                    code = j
+                    break
+            return np.full(k, code, dtype=np.intp)
+        # Masked assignment (codes[tie] = j and all its spellings) costs
+        # ~10x an elementwise pass, so first-tie-wins is a sum of
+        # prefix products of the not-tied masks: code = sum over
+        # m < top of prod(j <= m) nb_j, which counts the components
+        # before the first tie.  The {0, 1} products and the small sum
+        # are exact in float64.
+        if len(components) == 1:
+            # A lone component is always the (first) tie.
+            return np.zeros(k, dtype=np.intp)
+        codesf = scratch.take()
+        thresh = scratch.take()
+        np.multiply(binding, BINDING_REL_TOL, out=thresh)
+        diff = scratch.take()
+        prefix = bool_scratch.take()
+        nb = bool_scratch.take()
+        # Conservative all-finite probe: the sum of a non-negative
+        # vector is finite iff every entry is (a spurious overflow to
+        # inf only costs the rare slow branch below).
+        finite = bool(np.isfinite(binding.sum()))
+        top = len(components) - 1
+        if finite:
+            # With a finite non-negative binding the component that
+            # achieves the max always ties, so the prefix product dies
+            # before it overcounts and the top tie mask is never
+            # needed.
+            for j in range(top):
+                np.subtract(binding, components[j], out=diff)
+                np.greater(diff, thresh, out=nb)
+                if j == 0:
+                    np.multiply(nb, 1.0, out=codesf)
+                    prefix, nb = nb, prefix
+                else:
+                    np.logical_and(prefix, nb, out=prefix)
+                    np.add(codesf, prefix, out=codesf)
+            return codesf.astype(np.intp)
+        # Non-finite rows (inf, or NaN in record mode) follow the
+        # interpreter: tie is (diff <= thresh) | (col == binding), and
+        # an all-false tie row (NaN binding) resolves to argmax == 0,
+        # so the accumulated count is cancelled when even the top
+        # component fails to tie.
+        eq = bool_scratch.take()
+        for j in range(top + 1):
+            col = components[j]
+            np.subtract(binding, col, out=diff)
+            np.greater(diff, thresh, out=nb)
+            np.not_equal(col, binding, out=eq)
+            np.logical_and(nb, eq, out=nb)
+            if j == 0:
+                np.multiply(nb, 1.0, out=codesf)
+                prefix, nb = nb, prefix
+                continue
+            np.logical_and(prefix, nb, out=prefix)
+            if j < top:
+                np.add(codesf, prefix, out=codesf)
+        np.logical_not(prefix, out=prefix)
+        np.multiply(codesf, prefix, out=codesf)
+        return codesf.astype(np.intp)

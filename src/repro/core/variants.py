@@ -196,9 +196,9 @@ def evaluate_variant(
         variant = BaseVariant()
     if _PROFILER.enabled:
         with _profile_scope("core.variant.lower"):
-            lowered = variant.lower(soc)
+            lowered = _lowered_cached(variant, soc)
     else:
-        lowered = variant.lower(soc)
+        lowered = _lowered_cached(variant, soc)
     _VARIANT_CALLS.inc()
     if not (_TRACER.enabled or _PROFILER.enabled):
         result = _evaluate_lowered(soc, workload, lowered)
@@ -255,6 +255,27 @@ def _evaluate_phased(soc: SoCSpec, lowered: LoweredModel) -> PhasedResult:
     )
 
 
+#: Identity-keyed lowering memo: sweep loops evaluate the same frozen
+#: (variant, SoC) pair thousands of times, and a stable LoweredModel
+#: identity also lets the kernel compiler's own memo hit.  Entries
+#: anchor the keyed objects, so ids cannot be recycled while cached.
+_LOWER_MEMO_LIMIT = 32
+_LOWER_MEMO: dict = {}
+
+
+def _lowered_cached(variant: "ModelVariant", soc: SoCSpec) -> LoweredModel:
+    """``variant.lower(soc)``, memoized on object identity."""
+    key = (id(variant), id(soc))
+    entry = _LOWER_MEMO.get(key)
+    if entry is not None and entry[0] is variant and entry[1] is soc:
+        return entry[2]
+    lowered = variant.lower(soc)
+    if len(_LOWER_MEMO) >= _LOWER_MEMO_LIMIT:
+        _LOWER_MEMO.clear()
+    _LOWER_MEMO[key] = (variant, soc, lowered)
+    return lowered
+
+
 @dataclass(frozen=True)
 class PhasedBatchResult:
     """K phased evaluations as parallel arrays.
@@ -295,6 +316,7 @@ def evaluate_variant_batch(
     ip_peaks=None,
     validate: bool = True,
     on_error: str = "raise",
+    engine: str = "auto",
 ):
     """Evaluate any model variant over K points on the batch backend.
 
@@ -308,12 +330,17 @@ def evaluate_variant_batch(
     hardware override arrays (K=1 with no overrides) and the return is
     a :class:`PhasedBatchResult`.  Phased batches support only
     ``on_error="raise"``.
+
+    ``engine`` selects the execution tier (see
+    :func:`repro.core.batch.evaluate_batch`); a phased variant's
+    per-phase sub-batches share one coerced+validated hardware grid
+    via :func:`repro.core.batch.prepare_batch`.
     """
-    from .batch import evaluate_lowered_batch
+    from .batch import evaluate_lowered_batch, prepare_batch
 
     if variant is None:
         variant = BaseVariant()
-    lowered = variant.lower(soc)
+    lowered = _lowered_cached(variant, soc)
     if not lowered.workload_free:
         if fractions is None or intensities is None:
             raise WorkloadError(
@@ -330,6 +357,7 @@ def evaluate_variant_batch(
             ip_peaks=ip_peaks,
             validate=validate,
             on_error=on_error,
+            engine=engine,
         )
 
     if fractions is not None or intensities is not None:
@@ -345,23 +373,41 @@ def evaluate_variant_batch(
         soc, memory_bandwidth, ip_bandwidths, ip_peaks
     )
     phase_columns = []
+    prepared = None
     for phase in lowered.phases:
-        tiled_f = np.tile(
-            np.asarray(phase.workload.fractions, dtype=float), (k, 1)
+        # Broadcast (not tile) the per-phase workload vector: the
+        # stride-0 columns fold to scalars in the compiled kernel, and
+        # the hardware grids keep their one-time coercion+validation.
+        grid_f = np.broadcast_to(
+            np.asarray(phase.workload.fractions, dtype=float), (k, soc.n_ips)
         )
-        tiled_i = np.tile(
-            np.asarray(phase.workload.intensities, dtype=float), (k, 1)
+        grid_i = np.broadcast_to(
+            np.asarray(phase.workload.intensities, dtype=float),
+            (k, soc.n_ips),
         )
+        if prepared is None:
+            prepared = prepare_batch(
+                soc,
+                grid_f,
+                grid_i,
+                memory_bandwidth=memory_bandwidth,
+                ip_bandwidths=ip_bandwidths,
+                ip_peaks=ip_peaks,
+                validate=validate,
+                on_error="raise",
+            )
+        else:
+            prepared = prepared.with_workload(
+                grid_f, grid_i, validate=validate
+            )
         sub = evaluate_lowered_batch(
             soc,
             LoweredPhase(name=phase.name, work=phase.work),
-            tiled_f,
-            tiled_i,
-            memory_bandwidth=memory_bandwidth,
-            ip_bandwidths=ip_bandwidths,
-            ip_peaks=ip_peaks,
+            prepared,
+            None,
             validate=validate,
             on_error="raise",
+            engine=engine,
         )
         phase_columns.append(phase.work / sub.attainables)
     phase_times = np.column_stack(phase_columns)

@@ -20,11 +20,17 @@ from .balance import (
     optimal_fraction,
 )
 from .fleet import (
+    FleetGridResult,
     FleetPoint,
     FleetResult,
+    GridChunkSummary,
     WorkerReport,
+    evaluate_grid_chunks,
     evaluate_population,
     fleet_bench_records,
+    grid_chunk,
+    grid_chunk_plan,
+    run_fleet_grid_sweep,
     run_fleet_sweep,
     worker_checkpoint_path,
 )
@@ -71,11 +77,17 @@ __all__ = [
     "CandidateScore",
     "DesignPoint",
     "DriftPoint",
+    "FleetGridResult",
     "FleetPoint",
     "FleetResult",
+    "GridChunkSummary",
     "WorkerReport",
+    "evaluate_grid_chunks",
     "evaluate_population",
     "fleet_bench_records",
+    "grid_chunk",
+    "grid_chunk_plan",
+    "run_fleet_grid_sweep",
     "run_fleet_sweep",
     "worker_checkpoint_path",
     "TechnologyTrend",

@@ -33,13 +33,18 @@ a surviving result.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..core.batch import _resolve_engine, evaluate_batch
 from ..core.gables import evaluate
+from ..core.variants import evaluate_variant_batch
 from ..errors import ObservabilityError, ReproError, SpecError
 from ..obs import reset_observability
 from ..obs.bench import make_record, new_run_id
@@ -122,7 +127,13 @@ class FleetPoint:
 
 @dataclass(frozen=True)
 class WorkerReport:
-    """What one shard did: provenance, timing, liveness, faults."""
+    """What one shard did: provenance, timing, liveness, faults.
+
+    ``engine`` names the batch-evaluation tier the shard ran
+    (``"compiled"``/``"interpreted"``); the scalar case fleet always
+    reports ``"interpreted"`` — its per-case loop is the scalar
+    interpreter.
+    """
 
     worker_id: str
     shard: int
@@ -134,6 +145,7 @@ class WorkerReport:
     heartbeats: int
     checkpoint_reused: int = 0
     fault_summary: dict | None = None
+    engine: str = "interpreted"
 
 
 @dataclass(frozen=True)
@@ -148,6 +160,7 @@ class FleetResult:
     elapsed_s: float
     telemetry_dir: str | None = None
     fault_plan: str | None = None
+    engine: str = "interpreted"
 
     @property
     def throughput(self) -> float:
@@ -407,6 +420,7 @@ def _report_from(result: dict, cases: int) -> WorkerReport:
         heartbeats=result["heartbeats"],
         checkpoint_reused=result.get("checkpoint_reused", 0),
         fault_summary=result.get("fault_summary"),
+        engine=result.get("engine", "interpreted"),
     )
 
 
@@ -520,29 +534,374 @@ def run_fleet_sweep(
     )
 
 
-def fleet_bench_records(result: FleetResult, *, run_id=None) -> tuple:
+# ---------------------------------------------------------------------
+# Grid fleet: sharded compiled market sweeps over synthetic grids
+# ---------------------------------------------------------------------
+
+#: Default grid-fleet chunk size: points generated + evaluated at once.
+#: Large enough to amortize the per-batch kernel dispatch, small enough
+#: that a chunk's grids (2 x chunk x N float64) stay cache-friendly.
+GRID_CHUNK = 250_000
+
+
+def grid_chunk(
+    n_ips: int, chunk_index: int, size: int, seed: int = 0
+) -> tuple:
+    """Chunk ``chunk_index`` of the synthetic market workload grid.
+
+    Returns ``(fractions, intensities)`` of shape ``(size, n_ips)``.
+    Generation is *chunk-addressed*: the RNG is seeded from
+    ``(seed, chunk_index)``, so any process can materialize any chunk
+    independently and two runs that partition the same point count into
+    the same chunks see bitwise-identical grids — the foundation of the
+    grid fleet's determinism contract.
+    """
+    if n_ips < 1:
+        raise SpecError(f"n_ips must be >= 1, got {n_ips}")
+    if size < 1:
+        raise SpecError(f"chunk size must be >= 1, got {size}")
+    rng = np.random.default_rng(
+        np.random.SeedSequence((int(seed), int(chunk_index)))
+    )
+    fractions = rng.dirichlet(np.ones(n_ips), size=size)
+    intensities = rng.uniform(0.25, 64.0, size=(size, n_ips))
+    return fractions, intensities
+
+
+def grid_chunk_plan(points: int, chunk: int = GRID_CHUNK) -> tuple:
+    """``(chunk_index, size)`` pairs partitioning ``points`` rows."""
+    if points < 1:
+        raise SpecError(f"points must be >= 1, got {points}")
+    if chunk < 1:
+        raise SpecError(f"chunk must be >= 1, got {chunk}")
+    plan = []
+    offset = 0
+    index = 0
+    while offset < points:
+        size = min(chunk, points - offset)
+        plan.append((index, size))
+        offset += size
+        index += 1
+    return tuple(plan)
+
+
+@dataclass(frozen=True)
+class GridChunkSummary:
+    """One evaluated grid chunk: identity digest plus cheap reductions.
+
+    ``digest`` is the SHA-256 over the chunk's attainables and
+    bottleneck codes (raw float64/intp bytes, row order) — two runs
+    agree bitwise on a chunk iff their digests match, without shipping
+    megabytes of arrays between processes.
+    """
+
+    index: int
+    points: int
+    digest: str
+    total: float
+    best: float
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "points": self.points,
+            "digest": self.digest,
+            "total": self.total,
+            "best": self.best,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GridChunkSummary":
+        return cls(
+            index=int(data["index"]),
+            points=int(data["points"]),
+            digest=str(data["digest"]),
+            total=float(data["total"]),
+            best=float(data["best"]),
+        )
+
+
+@dataclass(frozen=True)
+class FleetGridResult:
+    """A completed grid-fleet sweep, chunks reassembled in order."""
+
+    fleet_run_id: str
+    trace_id: str
+    points: int
+    chunks: tuple
+    digest: str
+    workers: tuple
+    elapsed_s: float
+    engine: str
+    telemetry_dir: str | None = None
+
+    @property
+    def throughput(self) -> float:
+        """Points per second across the whole fleet."""
+        return self.points / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+def evaluate_grid_chunks(
+    soc,
+    assignments,
+    *,
+    seed: int = 0,
+    variant=None,
+    engine: str = "auto",
+    heartbeat=None,
+) -> tuple:
+    """One shard's ``(chunk_index, size)`` assignments through the model.
+
+    Each chunk is generated (:func:`grid_chunk`), evaluated as one
+    batch, and reduced to a :class:`GridChunkSummary`; the arrays never
+    leave the process.  ``heartbeat`` fires once per chunk.
+    """
+    summaries = []
+    n = soc.n_ips
+    with _span("fleet.grid_shard", attributes={"chunks": len(assignments)}):
+        for chunk_index, size in assignments:
+            if heartbeat is not None:
+                heartbeat()
+            fractions, intensities = grid_chunk(n, chunk_index, size, seed)
+            if variant is None:
+                batch = evaluate_batch(
+                    soc, fractions, intensities, validate=False,
+                    engine=engine,
+                )
+            else:
+                batch = evaluate_variant_batch(
+                    soc, variant, fractions, intensities, validate=False,
+                    engine=engine,
+                )
+            attainables = np.ascontiguousarray(batch.attainables)
+            codes = np.ascontiguousarray(batch.bottleneck_codes)
+            sha = hashlib.sha256(attainables.tobytes())
+            sha.update(codes.tobytes())
+            summaries.append(GridChunkSummary(
+                index=chunk_index,
+                points=size,
+                digest=sha.hexdigest(),
+                total=float(attainables.sum()),
+                best=float(attainables.max()),
+            ))
+    _FLEET_POINTS.inc(sum(size for _, size in assignments))
+    return tuple(summaries)
+
+
+def _grid_payload(
+    *, worker_id, shard, assignments, soc, variant, seed, engine,
+    fleet_run_id, telemetry_dir,
+) -> dict:
+    """Everything one grid worker needs, as a picklable dict."""
+    return {
+        "worker_id": worker_id,
+        "shard": shard,
+        "assignments": assignments,
+        "soc": soc,
+        "variant": variant,
+        "seed": seed,
+        "engine": engine,
+        "fleet_run_id": fleet_run_id,
+        "telemetry_dir": telemetry_dir,
+    }
+
+
+def _run_grid_shard(payload: dict, parent_context) -> dict:
+    """Execute one grid shard in the current process."""
+    context = (
+        parent_context
+        if parent_context is not None
+        else new_context(payload["fleet_run_id"])
+    ).child(worker_id=payload["worker_id"], shard=payload["shard"])
+    set_context(context)
+    collector = None
+    if payload["telemetry_dir"] is not None:
+        collector = ShardCollector(payload["telemetry_dir"], context)
+        configure_logging(collector.log_path)
+        enable_tracing()
+        enable_profiling()
+    heartbeat = collector.heartbeat if collector is not None else None
+    log_event(
+        "info", "fleet.grid_shard.start",
+        chunks=len(payload["assignments"]), shard=payload["shard"],
+        engine=payload["engine"],
+    )
+    start = time.perf_counter()
+    summaries = evaluate_grid_chunks(
+        payload["soc"],
+        payload["assignments"],
+        seed=payload["seed"],
+        variant=payload["variant"],
+        engine=payload["engine"],
+        heartbeat=heartbeat,
+    )
+    elapsed = time.perf_counter() - start
+    if heartbeat is not None:
+        heartbeat()
+    log_event(
+        "info", "fleet.grid_shard.done",
+        chunks=len(summaries), elapsed_s=elapsed,
+    )
+    if collector is not None:
+        collector.finalize()
+    return {
+        "worker_id": payload["worker_id"],
+        "shard": payload["shard"],
+        "pid": os.getpid(),
+        "elapsed_s": elapsed,
+        "heartbeats": collector.heartbeats_written if collector else 0,
+        "chunks": [s.to_dict() for s in summaries],
+    }
+
+
+def _fleet_grid_worker(payload: dict) -> dict:
+    """Grid-worker process entry point (module-level for picklability)."""
+    reset_observability()
+    reset_logging()
+    reset_context()
+    parent_context = adopt_env_context()
+    return _run_grid_shard(payload, parent_context)
+
+
+def run_fleet_grid_sweep(
+    soc,
+    *,
+    points: int,
+    variant=None,
+    workers: int = 2,
+    chunk: int = GRID_CHUNK,
+    seed: int = 0,
+    engine: str = "auto",
+    telemetry_dir=None,
+    fleet_run_id: str | None = None,
+) -> FleetGridResult:
+    """Evaluate ``points`` synthetic market rows across worker processes.
+
+    The grid never exists in one piece: it is partitioned into
+    chunk-addressed pieces (:func:`grid_chunk_plan`), chunks are
+    assigned round-robin to shards, and every worker generates its own
+    chunks locally (:func:`grid_chunk`) — so a 10^8-point sweep moves
+    kilobytes of summaries between processes, not gigabytes of grids.
+    The result is scheduling-independent: chunk summaries reassemble by
+    chunk index, and the fleet ``digest`` hashes the per-chunk digests
+    in that order, so any worker count (including a serial
+    ``workers=1`` run with ``engine="interpreted"``) that evaluates the
+    same points bitwise-identically produces the same digest.
+    """
+    if workers < 1:
+        raise SpecError(f"workers must be >= 1, got {workers}")
+    resolved_engine = _resolve_engine(engine, "raise")
+    plan = grid_chunk_plan(points, chunk)
+    run_id = fleet_run_id or new_run_id()
+    context = new_context(run_id)
+    telemetry = os.fspath(telemetry_dir) if telemetry_dir is not None else None
+    payloads = []
+    for shard in range(workers):
+        assignments = plan[shard::workers]
+        if not assignments and shard > 0:
+            continue  # fewer chunks than workers: idle shards are skipped
+        payloads.append(_grid_payload(
+            worker_id=f"w{shard}",
+            shard=shard,
+            assignments=assignments,
+            soc=soc,
+            variant=variant,
+            seed=seed,
+            engine=engine,
+            fleet_run_id=run_id,
+            telemetry_dir=telemetry,
+        ))
+    start = time.perf_counter()
+    if workers == 1:
+        results = [_run_grid_shard(payloads[0], context)]
+    else:
+        spawn = multiprocessing.get_context("spawn")
+        with env_propagation(context):
+            with ProcessPoolExecutor(
+                max_workers=len(payloads), mp_context=spawn
+            ) as pool:
+                futures = [
+                    pool.submit(_fleet_grid_worker, p) for p in payloads
+                ]
+                results = [future.result() for future in futures]
+    elapsed = time.perf_counter() - start
+
+    by_index: dict = {}
+    for result in results:
+        for data in result["chunks"]:
+            summary = GridChunkSummary.from_dict(data)
+            if summary.index in by_index:
+                raise ObservabilityError(
+                    f"grid chunk {summary.index} produced twice"
+                )
+            by_index[summary.index] = summary
+    if sorted(by_index) != [index for index, _ in plan]:
+        raise ObservabilityError("grid fleet lost chunks during reassembly")
+    chunks = tuple(by_index[index] for index, _ in plan)
+    sha = hashlib.sha256()
+    for summary in chunks:
+        sha.update(summary.digest.encode("ascii"))
+    reports = tuple(
+        WorkerReport(
+            worker_id=result["worker_id"],
+            shard=result["shard"],
+            pid=result["pid"],
+            cases=len(payload["assignments"]),
+            points=sum(s["points"] for s in result["chunks"]),
+            failures=0,
+            elapsed_s=result["elapsed_s"],
+            heartbeats=result["heartbeats"],
+            engine=resolved_engine,
+        )
+        for payload, result in zip(payloads, results)
+    )
+    return FleetGridResult(
+        fleet_run_id=run_id,
+        trace_id=context.trace_id,
+        points=points,
+        chunks=chunks,
+        digest=sha.hexdigest(),
+        workers=reports,
+        elapsed_s=elapsed,
+        engine=resolved_engine,
+        telemetry_dir=telemetry,
+    )
+
+
+def fleet_bench_records(result, *, run_id=None) -> tuple:
     """Throughput and wall-time records for ``BENCH_HISTORY.jsonl``.
 
-    One fleet-wide throughput record, plus per-worker throughput and
+    Accepts a :class:`FleetResult` or :class:`FleetGridResult`.  One
+    fleet-wide throughput record, plus per-worker throughput and
     elapsed-seconds records.  Every record carries the fleet provenance
-    fields (``fleet_run_id``, and ``worker_id``/``shard`` on worker
-    rows), so ``gables bench compare`` keys each worker lane by its
+    fields (``fleet_run_id``, the ``engine`` tag, and
+    ``worker_id``/``shard`` on worker rows), so ``gables bench
+    compare`` keys each lane by its
     :attr:`~repro.obs.bench.BenchRecord.provenance_key` — the
-    ``unit == "s"`` worker rows get their own rolling baselines instead
-    of collapsing every shard into one noisy series.
+    ``unit == "s"`` worker rows get their own rolling baselines per
+    worker *and* per engine instead of collapsing compiled and
+    interpreted runs into one noisy series.
     """
     run_id = run_id or result.fleet_run_id
+    grid = isinstance(result, FleetGridResult)
+    point_count = result.points if grid else len(result.points)
+    meta = {
+        "points": point_count,
+        "workers": len(result.workers),
+    }
+    if grid:
+        meta["chunks"] = len(result.chunks)
+    else:
+        meta["fault_plan"] = result.fault_plan or ""
+    name = "fleet.grid.throughput" if grid else "fleet.sweep.throughput"
     records = [make_record(
-        "fleet.sweep.throughput",
+        name,
         result.throughput,
         unit="points/s",
         run_id=run_id,
         fleet_run_id=result.fleet_run_id,
-        meta={
-            "points": len(result.points),
-            "workers": len(result.workers),
-            "fault_plan": result.fault_plan or "",
-        },
+        engine=result.engine,
+        meta=meta,
     )]
     for report in result.workers:
         rate = (
@@ -556,6 +915,7 @@ def fleet_bench_records(result: FleetResult, *, run_id=None) -> tuple:
             fleet_run_id=result.fleet_run_id,
             worker_id=report.worker_id,
             shard=report.shard,
+            engine=report.engine,
             meta={"points": report.points, "heartbeats": report.heartbeats},
         ))
         records.append(make_record(
@@ -566,6 +926,7 @@ def fleet_bench_records(result: FleetResult, *, run_id=None) -> tuple:
             fleet_run_id=result.fleet_run_id,
             worker_id=report.worker_id,
             shard=report.shard,
+            engine=report.engine,
             meta={"points": report.points},
         ))
     return tuple(records)

@@ -95,6 +95,7 @@ def explore_bandwidth_frontier(
     bandwidths: Sequence[float],
     cost_model: CostModel | None = None,
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> tuple:
     """Pareto frontier over ``Bpeak`` candidates for one usecase.
 
@@ -115,7 +116,7 @@ def explore_bandwidth_frontier(
     shape = (k, workload.n_ips)
     if variant is not None and not variant.requires_workload:
         batch = evaluate_variant_batch(
-            soc, variant, memory_bandwidth=bandwidth_axis
+            soc, variant, memory_bandwidth=bandwidth_axis, engine=engine
         )
     else:
         fractions = np.broadcast_to(
@@ -131,6 +132,7 @@ def explore_bandwidth_frontier(
                 intensities,
                 memory_bandwidth=bandwidth_axis,
                 validate=False,
+                engine=engine,
             )
         else:
             batch = evaluate_variant_batch(
@@ -140,6 +142,7 @@ def explore_bandwidth_frontier(
                 intensities,
                 memory_bandwidth=bandwidth_axis,
                 validate=False,
+                engine=engine,
             )
     points = [
         DesignPoint(

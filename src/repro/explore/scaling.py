@@ -104,6 +104,7 @@ def bottleneck_drift(
     years: int = 5,
     trend: TechnologyTrend | None = None,
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> tuple:
     """Project a fixed usecase across future chip generations.
 
@@ -144,7 +145,9 @@ def bottleneck_drift(
         ip_peaks=ip_peaks,
     )
     if variant is not None and not variant.requires_workload:
-        batch = evaluate_variant_batch(soc, variant, **overrides)
+        batch = evaluate_variant_batch(
+            soc, variant, engine=engine, **overrides
+        )
     else:
         shape = (years + 1, workload.n_ips)
         fractions = np.broadcast_to(
@@ -155,12 +158,13 @@ def bottleneck_drift(
         )
         if variant is None:
             batch = evaluate_batch(
-                soc, fractions, intensities, validate=False, **overrides
+                soc, fractions, intensities, validate=False,
+                engine=engine, **overrides,
             )
         else:
             batch = evaluate_variant_batch(
                 soc, variant, fractions, intensities,
-                validate=False, **overrides,
+                validate=False, engine=engine, **overrides,
             )
     attainables = batch.attainables.tolist()
     bottlenecks = batch.bottlenecks()
@@ -184,6 +188,7 @@ def years_until_memory_bound(
     trend: TechnologyTrend | None = None,
     horizon: int = 20,
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> float:
     """First projected year the memory interface binds (inf if never).
 
@@ -194,7 +199,7 @@ def years_until_memory_bound(
     """
     trend = trend or TechnologyTrend()
     for point in bottleneck_drift(soc, workload, horizon, trend,
-                                  variant=variant):
+                                  variant=variant, engine=engine):
         if point.bottleneck == "memory":
             return point.year
     return float("inf")

@@ -60,6 +60,7 @@ def sensitivity(
     workload: Workload,
     step: float = _DEFAULT_STEP,
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> SensitivityReport:
     """Compute the full elasticity report for one design point.
 
@@ -131,7 +132,9 @@ def sensitivity(
         ip_peaks=np.array(peaks_rows),
     )
     if variant is not None and not variant.requires_workload:
-        batch = evaluate_variant_batch(soc, variant, **overrides)
+        batch = evaluate_variant_batch(
+            soc, variant, engine=engine, **overrides
+        )
     else:
         fractions = np.broadcast_to(
             np.asarray(workload.fractions, dtype=float), shape
@@ -141,12 +144,13 @@ def sensitivity(
         )
         if variant is None:
             batch = evaluate_batch(
-                soc, fractions, intensities, validate=False, **overrides
+                soc, fractions, intensities, validate=False,
+                engine=engine, **overrides,
             )
         else:
             batch = evaluate_variant_batch(
                 soc, variant, fractions, intensities,
-                validate=False, **overrides,
+                validate=False, engine=engine, **overrides,
             )
     attained = batch.attainables.tolist()
     elasticities: dict = {}

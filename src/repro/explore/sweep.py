@@ -231,6 +231,7 @@ def sweep_fraction(
     evaluate_fn: EvaluateFn = evaluate,
     on_error: str = "raise",
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> SweepSeries:
     """Sweep the share of work at one IP (the paper's f-sweeps).
 
@@ -246,9 +247,12 @@ def sweep_fraction(
             np.asarray(workload.intensities, dtype=float), grid.shape
         )
         if variant is None:
-            return evaluate_batch(soc, grid, intensities_m, validate=False)
+            return evaluate_batch(
+                soc, grid, intensities_m, validate=False, engine=engine
+            )
         return evaluate_variant_batch(
-            soc, variant, grid, intensities_m, validate=False
+            soc, variant, grid, intensities_m, validate=False,
+            engine=engine,
         )
 
     return _series(
@@ -270,6 +274,7 @@ def sweep_intensity(
     evaluate_fn: EvaluateFn = evaluate,
     on_error: str = "raise",
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> SweepSeries:
     """Sweep one IP's operational intensity (Fig. 6c -> 6d's ``I1``)."""
     if not 0 <= ip_index < workload.n_ips:
@@ -292,9 +297,12 @@ def sweep_intensity(
         matrix[:, ip_index] = values
         fractions_m, _ = _workload_matrices(workload, len(values))
         if variant is None:
-            return evaluate_batch(soc, fractions_m, matrix, validate=False)
+            return evaluate_batch(
+                soc, fractions_m, matrix, validate=False, engine=engine
+            )
         return evaluate_variant_batch(
-            soc, variant, fractions_m, matrix, validate=False
+            soc, variant, fractions_m, matrix, validate=False,
+            engine=engine,
         )
 
     return _series(
@@ -310,21 +318,24 @@ def sweep_memory_bandwidth(
     evaluate_fn: EvaluateFn = evaluate,
     on_error: str = "raise",
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> SweepSeries:
     """Sweep ``Bpeak`` (Fig. 6b -> 6c's question: does more DRAM help?)."""
 
     def batch_fn(values: np.ndarray):
         if variant is not None and not variant.requires_workload:
             return evaluate_variant_batch(
-                soc, variant, memory_bandwidth=values
+                soc, variant, memory_bandwidth=values, engine=engine
             )
         fractions_m, intensities_m = _workload_matrices(workload, len(values))
         if variant is None:
             return evaluate_batch(
-                soc, fractions_m, intensities_m, memory_bandwidth=values
+                soc, fractions_m, intensities_m, memory_bandwidth=values,
+                engine=engine,
             )
         return evaluate_variant_batch(
-            soc, variant, fractions_m, intensities_m, memory_bandwidth=values
+            soc, variant, fractions_m, intensities_m,
+            memory_bandwidth=values, engine=engine,
         )
 
     return _series(
@@ -346,6 +357,7 @@ def sweep_ip_bandwidth(
     evaluate_fn: EvaluateFn = evaluate,
     on_error: str = "raise",
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> SweepSeries:
     """Sweep one IP's link bandwidth ``Bi``."""
     if not 0 <= ip_index < soc.n_ips:
@@ -358,15 +370,17 @@ def sweep_ip_bandwidth(
         matrix[:, ip_index] = values
         if variant is not None and not variant.requires_workload:
             return evaluate_variant_batch(
-                soc, variant, ip_bandwidths=matrix
+                soc, variant, ip_bandwidths=matrix, engine=engine
             )
         fractions_m, intensities_m = _workload_matrices(workload, len(values))
         if variant is None:
             return evaluate_batch(
-                soc, fractions_m, intensities_m, ip_bandwidths=matrix
+                soc, fractions_m, intensities_m, ip_bandwidths=matrix,
+                engine=engine,
             )
         return evaluate_variant_batch(
-            soc, variant, fractions_m, intensities_m, ip_bandwidths=matrix
+            soc, variant, fractions_m, intensities_m, ip_bandwidths=matrix,
+            engine=engine,
         )
 
     return _series(
@@ -388,6 +402,7 @@ def sweep_acceleration(
     evaluate_fn: EvaluateFn = evaluate,
     on_error: str = "raise",
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> SweepSeries:
     """Sweep one IP's acceleration ``Ai`` (how big should the IP be?)."""
     if ip_index == 0:
@@ -406,14 +421,18 @@ def sweep_acceleration(
         )
         matrix[:, ip_index] = values * soc.peak_perf
         if variant is not None and not variant.requires_workload:
-            return evaluate_variant_batch(soc, variant, ip_peaks=matrix)
+            return evaluate_variant_batch(
+                soc, variant, ip_peaks=matrix, engine=engine
+            )
         fractions_m, intensities_m = _workload_matrices(workload, len(values))
         if variant is None:
             return evaluate_batch(
-                soc, fractions_m, intensities_m, ip_peaks=matrix
+                soc, fractions_m, intensities_m, ip_peaks=matrix,
+                engine=engine,
             )
         return evaluate_variant_batch(
-            soc, variant, fractions_m, intensities_m, ip_peaks=matrix
+            soc, variant, fractions_m, intensities_m, ip_peaks=matrix,
+            engine=engine,
         )
 
     return _series(

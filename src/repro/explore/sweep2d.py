@@ -94,6 +94,7 @@ def sweep_grid(
     build: Callable[[float, float], Workload],
     on_error: str = "raise",
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> SweepGrid:
     """Evaluate a workload builder over a dense (x, y) grid.
 
@@ -158,6 +159,7 @@ def sweep_grid(
             np.array([w.intensities for w in workloads]),
             validate=False,
             on_error="raise" if on_error == "raise" else "skip",
+            engine=engine,
         )
         for failure in batch.errors:
             x, y = kept_coords[failure.coords[0]]
@@ -199,6 +201,7 @@ def analytic_mixing_grid(
     ip_index: int = 1,
     on_error: str = "raise",
     variant: ModelVariant | None = None,
+    engine: str = "auto",
 ) -> SweepGrid:
     """The Figure 8 grid evaluated on the model (the upper bound).
 
@@ -220,5 +223,5 @@ def analytic_mixing_grid(
 
     return sweep_grid(
         soc, "f", fractions, "I", intensities, build,
-        on_error=on_error, variant=variant,
+        on_error=on_error, variant=variant, engine=engine,
     )

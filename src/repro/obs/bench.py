@@ -64,10 +64,12 @@ class BenchRecord:
     name, legacy-schema origin).
 
     ``worker_id``/``shard``/``fleet_run_id`` are fleet provenance for
-    records produced by sharded runs (``gables fleet run``).  They are
-    serialized only when set, so single-process histories keep their
-    exact prior shape — no schema bump, and old readers (which ignore
-    unknown keys) stay compatible.
+    records produced by sharded runs (``gables fleet run``), and
+    ``engine`` names the batch-evaluation tier that produced a timing
+    (``"compiled"``/``"interpreted"``).  All are serialized only when
+    set, so single-process histories keep their exact prior shape — no
+    schema bump, and old readers (which ignore unknown keys) stay
+    compatible.
     """
 
     name: str
@@ -81,6 +83,7 @@ class BenchRecord:
     worker_id: str = ""
     shard: int | None = None
     fleet_run_id: str = ""
+    engine: str = ""
 
     def to_dict(self) -> dict:
         """A JSON-ready mapping (the JSONL history schema)."""
@@ -101,6 +104,8 @@ class BenchRecord:
             data["shard"] = self.shard
         if self.fleet_run_id:
             data["fleet_run_id"] = self.fleet_run_id
+        if self.engine:
+            data["engine"] = self.engine
         return data
 
     @classmethod
@@ -119,24 +124,28 @@ class BenchRecord:
             worker_id=str(data.get("worker_id", "")),
             shard=None if shard is None else int(shard),
             fleet_run_id=str(data.get("fleet_run_id", "")),
+            engine=str(data.get("engine", "")),
         )
 
     @property
     def provenance_key(self) -> str:
-        """The comparison key: name, suffixed with fleet provenance.
+        """The comparison key: name, suffixed with provenance.
 
         ``fleet.worker.throughput[worker=w1;shard=1]`` when the fleet
-        fields are present, the bare name otherwise — so sharded
-        records compare worker-against-same-worker across runs instead
-        of collapsing every shard into one series.  ``fleet_run_id``
-        identifies a single run (like ``run_id``) and is deliberately
-        *not* part of the key.
+        fields are present, ``...[engine=compiled]`` when an engine tag
+        is, the bare name otherwise — so sharded records compare
+        worker-against-same-worker and compiled lanes against compiled
+        baselines instead of collapsing everything into one series.
+        ``fleet_run_id`` identifies a single run (like ``run_id``) and
+        is deliberately *not* part of the key.
         """
         parts = []
         if self.worker_id:
             parts.append(f"worker={self.worker_id}")
         if self.shard is not None:
             parts.append(f"shard={self.shard}")
+        if self.engine:
+            parts.append(f"engine={self.engine}")
         if not parts:
             return self.name
         return f"{self.name}[{';'.join(parts)}]"
@@ -192,6 +201,7 @@ def make_record(
     worker_id: str = "",
     shard: int | None = None,
     fleet_run_id: str = "",
+    engine: str = "",
 ) -> BenchRecord:
     """A fully provenance-stamped record for *this* host and revision."""
     if not name:
@@ -208,6 +218,7 @@ def make_record(
         worker_id=worker_id,
         shard=shard,
         fleet_run_id=fleet_run_id,
+        engine=engine,
     )
 
 

@@ -441,7 +441,15 @@ class TestTransitionBracketing:
 
 
 def test_batch_result_is_frozen(two_ip_soc):
+    from repro.core.compile import FusedBatchResult
+
     batch = evaluate_batch(two_ip_soc, [[0.5, 0.5]], [[8.0, 2.0]])
-    assert isinstance(batch, BatchResult)
+    # The default engine returns the compiled duck-type; forcing the
+    # interpreter still yields the frozen dataclass.
+    assert isinstance(batch, (BatchResult, FusedBatchResult))
+    interpreted = evaluate_batch(
+        two_ip_soc, [[0.5, 0.5]], [[8.0, 2.0]], engine="interpreted"
+    )
+    assert isinstance(interpreted, BatchResult)
     with pytest.raises(AttributeError):
-        batch.attainables = None
+        interpreted.attainables = None

@@ -1,0 +1,554 @@
+"""The compiled batch engine: fused kernels vs the interpreter.
+
+:mod:`repro.core.compile` specializes a (SoC, lowered phase) pair into
+a fused batch kernel — constant-folded phase structure, pre-resolved
+bus weights, a generated native C sweep with a ufunc-chain fallback —
+that the batch entry points pick via ``engine="auto"``.  This suite
+pins the contract that makes the speed safe:
+
+- the compiled engine agrees with the interpreter within **1e-12
+  relative** (and, on this toolchain, bitwise) across every variant
+  kind, including ``on_error="record"`` NaN masking and per-point
+  hardware overrides;
+- the equivalence holds on **both compiled tiers** — the native C
+  kernel and the pure-ufunc lane it degrades to;
+- the kernel cache and its ``core.compile.*`` counters behave;
+- :class:`PreparedBatch` reuse is hash-guarded, never stale;
+- the grid fleet's chunk-addressed generation and digests are
+  deterministic and engine-independent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BaseVariant,
+    BatchResult,
+    CoordinationVariant,
+    FusedBatchResult,
+    InterconnectVariant,
+    IPBlock,
+    MemorySideVariant,
+    MultipathVariant,
+    PhasedVariant,
+    SerializedVariant,
+    SoCSpec,
+    Workload,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_digest,
+    evaluate_batch,
+    evaluate_variant,
+    evaluate_variant_batch,
+    native_available,
+    prepare_batch,
+)
+from repro.core import compile as model_compile
+from repro.core.batch import _resolve_engine
+from repro.core.extensions import (
+    Bus,
+    CoordinationModel,
+    InterconnectSpec,
+    MemorySideCache,
+    MultiPathInterconnect,
+    Phase,
+    PhasedUsecase,
+)
+from repro.errors import SpecError
+from repro.explore import (
+    evaluate_grid_chunks,
+    grid_chunk,
+    grid_chunk_plan,
+    run_fleet_grid_sweep,
+)
+from repro.obs import metrics
+
+_REL = 1e-12
+
+
+def _soc(n: int = 3) -> SoCSpec:
+    accel = (1.0, 8.0, 4.0, 16.0, 2.0)
+    bws = (30e9, 60e9, 20e9, 45e9, 15e9)
+    return SoCSpec(
+        peak_perf=40e9,
+        memory_bandwidth=10e9,
+        ips=tuple(
+            IPBlock(f"ip{i}", accel[i], bws[i]) for i in range(n)
+        ),
+    )
+
+
+def _grid(n: int, k: int = 64, seed: int = 3):
+    rng = np.random.default_rng(seed)
+    fractions = rng.dirichlet(np.ones(n), size=k)
+    intensities = rng.uniform(0.25, 64.0, size=(k, n))
+    return fractions, intensities
+
+
+def _variants(n: int) -> list:
+    buses = (Bus("noc", 20e9), Bus("sideband", 8e9))
+    usage = tuple((0,) if i % 2 else (0, 1) for i in range(n))
+    routes = tuple(((0,), (1,)) for _ in range(n))
+    return [
+        BaseVariant(),
+        SerializedVariant(),
+        MemorySideVariant(
+            MemorySideCache(tuple(1.0 / (i + 1) for i in range(n)))
+        ),
+        InterconnectVariant(InterconnectSpec(buses, usage)),
+        MultipathVariant(MultiPathInterconnect(buses, routes)),
+        CoordinationVariant(CoordinationModel(
+            tuple(1e-4 * i for i in range(n)), ops_per_item=1e6
+        )),
+    ]
+
+
+def _assert_equivalent(compiled, interpreted):
+    """The compiled result matches the interpreter at 1e-12 relative,
+    with identical NaN masks and bottleneck attributions."""
+    a, b = compiled.attainables, interpreted.attainables
+    assert a.shape == b.shape
+    assert np.array_equal(np.isnan(a), np.isnan(b))
+    mask = ~np.isnan(a)
+    np.testing.assert_allclose(a[mask], b[mask], rtol=_REL, atol=0.0)
+    assert np.array_equal(
+        compiled.bottleneck_codes, interpreted.bottleneck_codes
+    )
+    assert compiled.component_names == interpreted.component_names
+
+
+# ---------------------------------------------------------------------------
+# Engine resolution
+# ---------------------------------------------------------------------------
+
+
+class TestEngineResolution:
+    def test_unknown_engine_is_a_spec_error(self):
+        soc = _soc(2)
+        with pytest.raises(SpecError, match="unknown engine"):
+            evaluate_batch(
+                soc, [[0.5, 0.5]], [[8.0, 2.0]], engine="vectorised"
+            )
+
+    def test_compiled_refuses_skip_mode(self):
+        with pytest.raises(SpecError, match="skip"):
+            _resolve_engine("compiled", "skip")
+
+    def test_auto_falls_back_to_interpreter_for_skip(self):
+        assert _resolve_engine("auto", "skip") == "interpreted"
+        soc = _soc(2)
+        batch = evaluate_batch(
+            soc, [[0.5, 0.5], [0.9, 0.9]], [[8.0, 2.0], [8.0, 2.0]],
+            on_error="skip", engine="auto",
+        )
+        assert isinstance(batch, BatchResult)
+        assert len(batch.errors) == 1
+
+    def test_engine_choice_picks_the_result_type(self):
+        soc = _soc(2)
+        fractions, intensities = _grid(2, k=4)
+        compiled = evaluate_batch(
+            soc, fractions, intensities, engine="compiled"
+        )
+        interpreted = evaluate_batch(
+            soc, fractions, intensities, engine="interpreted"
+        )
+        auto = evaluate_batch(soc, fractions, intensities, engine="auto")
+        assert isinstance(compiled, FusedBatchResult)
+        assert isinstance(interpreted, BatchResult)
+        assert isinstance(auto, FusedBatchResult)
+
+
+# ---------------------------------------------------------------------------
+# Kernel cache
+# ---------------------------------------------------------------------------
+
+
+class TestCompileCache:
+    def test_digest_is_stable_and_short(self):
+        soc = _soc(3)
+        phase = BaseVariant().lower(soc).phases[0]
+        digest = compile_digest(soc, phase)
+        assert len(digest) == 12
+        assert digest == compile_digest(soc, phase)
+        other = compile_digest(_soc(2), BaseVariant().lower(_soc(2)).phases[0])
+        assert other != digest
+
+    def test_cache_hits_after_first_build(self):
+        clear_compile_cache()
+        soc = _soc(3)
+        fractions, intensities = _grid(3, k=8)
+        before = compile_cache_stats()
+        evaluate_batch(soc, fractions, intensities, engine="compiled")
+        mid = compile_cache_stats()
+        assert mid["size"] >= 1
+        assert mid["builds"] > before["builds"]
+        evaluate_batch(soc, fractions, intensities, engine="compiled")
+        after = compile_cache_stats()
+        assert after["builds"] == mid["builds"]
+        assert after["hits"] > mid["hits"]
+        clear_compile_cache()
+        assert compile_cache_stats()["size"] == 0
+
+    def test_counters_surface_in_the_obs_registry(self):
+        registry = metrics.get_registry()
+        names = registry.names()
+        for suffix in ("hits", "misses", "builds"):
+            assert f"core.compile.{suffix}" in names
+        hits = metrics.counter("core.compile.hits")
+        before = hits.value
+        soc = _soc(2)
+        fractions, intensities = _grid(2, k=8)
+        evaluate_batch(soc, fractions, intensities, engine="compiled")
+        evaluate_batch(soc, fractions, intensities, engine="compiled")
+        assert hits.value > before
+
+
+# ---------------------------------------------------------------------------
+# Compiled vs interpreted: every variant kind
+# ---------------------------------------------------------------------------
+
+
+class TestCompiledEquivalence:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_every_single_phase_variant_matches(self, n):
+        soc = _soc(n)
+        fractions, intensities = _grid(n)
+        for variant in _variants(n):
+            compiled = evaluate_variant_batch(
+                soc, variant, fractions, intensities, engine="compiled"
+            )
+            interpreted = evaluate_variant_batch(
+                soc, variant, fractions, intensities, engine="interpreted"
+            )
+            _assert_equivalent(compiled, interpreted)
+
+    def test_phased_variant_matches(self):
+        soc = _soc(2)
+        phases = tuple(
+            Phase(
+                work=0.5,
+                workload=Workload(
+                    fractions=(f, 1.0 - f), intensities=(4.0, 16.0)
+                ),
+                name=f"p{i}",
+            )
+            for i, f in enumerate((0.25, 0.75))
+        )
+        variant = PhasedVariant(PhasedUsecase(phases))
+        memory = np.array([5e9, 10e9, 20e9])
+        compiled = evaluate_variant_batch(
+            soc, variant, memory_bandwidth=memory, engine="compiled"
+        )
+        interpreted = evaluate_variant_batch(
+            soc, variant, memory_bandwidth=memory, engine="interpreted"
+        )
+        np.testing.assert_allclose(
+            compiled.attainables, interpreted.attainables,
+            rtol=_REL, atol=0.0,
+        )
+        np.testing.assert_allclose(
+            compiled.phase_times, interpreted.phase_times,
+            rtol=_REL, atol=0.0,
+        )
+        assert compiled.bottlenecks() == interpreted.bottlenecks()
+
+    def test_record_mode_masks_identically(self):
+        soc = _soc(2)
+        fractions = np.array([
+            [0.5, 0.5],
+            [0.9, 0.9],    # does not sum to 1
+            [0.25, 0.75],
+            [-0.5, 1.5],   # negative fraction
+        ])
+        intensities = np.array([
+            [8.0, 2.0],
+            [8.0, 2.0],
+            [0.0, 4.0],    # zero intensity on an active IP
+            [8.0, 2.0],
+        ])
+        for variant in _variants(2):
+            compiled = evaluate_variant_batch(
+                soc, variant, fractions, intensities,
+                on_error="record", engine="compiled",
+            )
+            interpreted = evaluate_variant_batch(
+                soc, variant, fractions, intensities,
+                on_error="record", engine="interpreted",
+            )
+            _assert_equivalent(compiled, interpreted)
+            assert [f.coords for f in compiled.errors] == [
+                f.coords for f in interpreted.errors
+            ]
+            assert [f.code for f in compiled.errors] == [
+                f.code for f in interpreted.errors
+            ]
+
+    def test_per_point_hardware_overrides_match(self):
+        soc = _soc(3)
+        fractions, intensities = _grid(3, k=32)
+        rng = np.random.default_rng(11)
+        memory = rng.uniform(5e9, 40e9, size=32)
+        bandwidths = rng.uniform(10e9, 80e9, size=(32, 3))
+        peaks = rng.uniform(10e9, 90e9, size=(32, 3))
+        for variant in _variants(3):
+            compiled = evaluate_variant_batch(
+                soc, variant, fractions, intensities,
+                memory_bandwidth=memory, ip_bandwidths=bandwidths,
+                ip_peaks=peaks, engine="compiled",
+            )
+            interpreted = evaluate_variant_batch(
+                soc, variant, fractions, intensities,
+                memory_bandwidth=memory, ip_bandwidths=bandwidths,
+                ip_peaks=peaks, engine="interpreted",
+            )
+            _assert_equivalent(compiled, interpreted)
+
+    def test_broadcast_grids_match(self):
+        # Stride-0 rows skip the native tier and fold to scalar ufunc
+        # chains; the answer must not change.
+        soc = _soc(3)
+        fractions = np.broadcast_to(
+            np.array([0.2, 0.3, 0.5]), (16, 3)
+        )
+        intensities = np.broadcast_to(np.array([4.0, 8.0, 2.0]), (16, 3))
+        memory = np.linspace(5e9, 40e9, 16)
+        compiled = evaluate_batch(
+            soc, fractions, intensities, memory_bandwidth=memory,
+            engine="compiled",
+        )
+        interpreted = evaluate_batch(
+            soc, fractions, intensities, memory_bandwidth=memory,
+            engine="interpreted",
+        )
+        _assert_equivalent(compiled, interpreted)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_socs_and_grids_match(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=5))
+        accel = [1.0] + [
+            data.draw(st.floats(min_value=0.01, max_value=1000))
+            for _ in range(n - 1)
+        ]
+        rate = st.floats(min_value=1e6, max_value=1e14)
+        soc = SoCSpec(
+            peak_perf=data.draw(rate),
+            memory_bandwidth=data.draw(rate),
+            ips=tuple(
+                IPBlock(f"ip{i}", accel[i], data.draw(rate))
+                for i in range(n)
+            ),
+        )
+        seed = data.draw(st.integers(min_value=0, max_value=2**31))
+        fractions, intensities = _grid(n, k=16, seed=seed)
+        variant = data.draw(st.sampled_from(_variants(n)))
+        compiled = evaluate_variant_batch(
+            soc, variant, fractions, intensities, engine="compiled"
+        )
+        interpreted = evaluate_variant_batch(
+            soc, variant, fractions, intensities, engine="interpreted"
+        )
+        _assert_equivalent(compiled, interpreted)
+
+
+class TestUfuncLane:
+    """The pure-ufunc tier (no native kernel) stays equivalent too."""
+
+    @pytest.fixture(autouse=True)
+    def _no_native(self, monkeypatch):
+        monkeypatch.setattr(model_compile, "_NATIVE", None)
+
+    def test_native_reports_unavailable(self):
+        assert not native_available()
+
+    @pytest.mark.parametrize("n", [1, 3])
+    def test_every_variant_matches_without_native(self, n):
+        soc = _soc(n)
+        fractions, intensities = _grid(n, k=48)
+        for variant in _variants(n):
+            compiled = evaluate_variant_batch(
+                soc, variant, fractions, intensities, engine="compiled"
+            )
+            interpreted = evaluate_variant_batch(
+                soc, variant, fractions, intensities, engine="interpreted"
+            )
+            _assert_equivalent(compiled, interpreted)
+
+    def test_record_mode_without_native(self):
+        soc = _soc(2)
+        fractions = np.array([[0.5, 0.5], [2.0, 2.0], [0.1, 0.9]])
+        intensities = np.full((3, 2), 4.0)
+        compiled = evaluate_batch(
+            soc, fractions, intensities, on_error="record",
+            engine="compiled",
+        )
+        interpreted = evaluate_batch(
+            soc, fractions, intensities, on_error="record",
+            engine="interpreted",
+        )
+        _assert_equivalent(compiled, interpreted)
+        assert math.isnan(compiled.attainables[1])
+
+
+# ---------------------------------------------------------------------------
+# Lazy drill-down
+# ---------------------------------------------------------------------------
+
+
+class TestFusedBatchResult:
+    def test_drilldown_replays_the_interpreter_bitwise(self):
+        soc = _soc(3)
+        fractions, intensities = _grid(3, k=16)
+        compiled = evaluate_batch(
+            soc, fractions, intensities, engine="compiled"
+        )
+        interpreted = evaluate_batch(
+            soc, fractions, intensities, engine="interpreted"
+        )
+        # Matrices the kernel never computed materialize on demand via
+        # an interpreter replay, so they match *bitwise*.
+        assert np.array_equal(compiled.ip_times, interpreted.ip_times)
+        assert np.array_equal(compiled.data_bytes, interpreted.data_bytes)
+        assert np.array_equal(
+            compiled.memory_times, interpreted.memory_times
+        )
+        assert compiled.bottlenecks() == interpreted.bottlenecks()
+
+    def test_point_result_matches_the_scalar_engine(self):
+        soc = _soc(2)
+        fractions, intensities = _grid(2, k=4)
+        compiled = evaluate_batch(
+            soc, fractions, intensities, engine="compiled"
+        )
+        for index in range(len(compiled)):
+            scalar = evaluate_variant(
+                soc,
+                Workload(
+                    fractions=tuple(fractions[index]),
+                    intensities=tuple(intensities[index]),
+                ),
+            )
+            point = compiled.result(index)
+            assert point.attainable == pytest.approx(
+                scalar.attainable, rel=_REL
+            )
+            assert point.bottleneck == scalar.bottleneck
+
+
+# ---------------------------------------------------------------------------
+# PreparedBatch reuse
+# ---------------------------------------------------------------------------
+
+
+class TestPreparedBatch:
+    def test_prepared_inputs_reproduce_the_direct_call(self):
+        soc = _soc(3)
+        fractions, intensities = _grid(3, k=32)
+        prepared = prepare_batch(soc, fractions, intensities)
+        direct = evaluate_batch(soc, fractions, intensities)
+        via_prepared = evaluate_batch(soc, prepared, None)
+        _assert_equivalent(via_prepared, direct)
+        # And again — the second use takes the guard-verified fast path.
+        _assert_equivalent(evaluate_batch(soc, prepared, None), direct)
+
+    def test_soc_mismatch_is_a_spec_error(self):
+        prepared = prepare_batch(_soc(3), *_grid(3, k=4))
+        with pytest.raises(SpecError, match="different SoC"):
+            evaluate_batch(_soc(2), prepared, None)
+
+    def test_mutation_is_detected_and_revalidated(self):
+        soc = _soc(2)
+        fractions, intensities = _grid(2, k=8)
+        prepared = prepare_batch(soc, fractions, intensities)
+        evaluate_batch(soc, prepared, None)
+        # Corrupt a *sampled* row in place (the guard fingerprints
+        # rows 0, k//2 and k-1): the hash guard must catch it and
+        # re-validate instead of trusting the stale prepared state.
+        prepared.fractions[0] = (0.9, 0.9)
+        with pytest.raises(Exception, match="fraction"):
+            evaluate_batch(soc, prepared, None)
+
+    def test_fortran_pair_is_cached_and_column_major(self):
+        soc = _soc(3)
+        prepared = prepare_batch(soc, *_grid(3, k=16))
+        grid_f, grid_i = prepared.fortran_pair()
+        assert grid_f.flags.f_contiguous
+        assert grid_i.flags.f_contiguous
+        again_f, again_i = prepared.fortran_pair()
+        assert again_f is grid_f and again_i is grid_i
+        np.testing.assert_array_equal(grid_f, prepared.fractions)
+
+
+# ---------------------------------------------------------------------------
+# Grid fleet determinism
+# ---------------------------------------------------------------------------
+
+
+class TestGridFleet:
+    def test_chunks_are_chunk_addressed_and_deterministic(self):
+        first = grid_chunk(3, 7, 100, seed=5)
+        again = grid_chunk(3, 7, 100, seed=5)
+        assert np.array_equal(first[0], again[0])
+        assert np.array_equal(first[1], again[1])
+        other = grid_chunk(3, 8, 100, seed=5)
+        assert not np.array_equal(first[0], other[0])
+        np.testing.assert_allclose(first[0].sum(axis=1), 1.0)
+        assert first[1].min() >= 0.25 and first[1].max() <= 64.0
+
+    def test_plan_partitions_exactly(self):
+        plan = grid_chunk_plan(1050, 250)
+        assert plan == ((0, 250), (1, 250), (2, 250), (3, 250), (4, 50))
+        assert sum(size for _, size in plan) == 1050
+        with pytest.raises(SpecError, match="points"):
+            grid_chunk_plan(0)
+
+    def test_chunk_digests_are_engine_independent(self):
+        soc = _soc(3)
+        plan = grid_chunk_plan(600, 200)
+        compiled = evaluate_grid_chunks(
+            soc, plan, seed=2, engine="compiled"
+        )
+        interpreted = evaluate_grid_chunks(
+            soc, plan, seed=2, engine="interpreted"
+        )
+        assert [c.digest for c in compiled] == [
+            c.digest for c in interpreted
+        ]
+        assert [c.points for c in compiled] == [200, 200, 200]
+
+    def test_inline_sweep_matches_across_engines(self):
+        soc = _soc(3)
+        compiled = run_fleet_grid_sweep(
+            soc, points=2000, workers=1, chunk=500, engine="compiled",
+            seed=9,
+        )
+        interpreted = run_fleet_grid_sweep(
+            soc, points=2000, workers=1, chunk=500, engine="interpreted",
+            seed=9,
+        )
+        assert compiled.digest == interpreted.digest
+        assert compiled.points == 2000
+        assert compiled.engine == "compiled"
+        assert interpreted.engine == "interpreted"
+        assert len(compiled.chunks) == 4
+
+    def test_two_worker_fleet_reassembles_the_serial_digest(self):
+        soc = _soc(2)
+        serial = run_fleet_grid_sweep(
+            soc, points=2000, workers=1, chunk=500, engine="interpreted",
+            seed=4,
+        )
+        fleet = run_fleet_grid_sweep(
+            soc, points=2000, workers=2, chunk=500, engine="compiled",
+            seed=4,
+        )
+        assert fleet.digest == serial.digest
+        assert len(fleet.workers) == 2
+        assert all(r.engine == "compiled" for r in fleet.workers)

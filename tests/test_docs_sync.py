@@ -15,6 +15,7 @@ DOC_PATH = Path(__file__).resolve().parent.parent / "docs" / "api.md"
 ARCH_PATH = Path(__file__).resolve().parent.parent / "docs" / "architecture.md"
 PROFILING_PATH = Path(__file__).resolve().parent.parent / "docs" / "profiling.md"
 TELEMETRY_PATH = Path(__file__).resolve().parent.parent / "docs" / "telemetry.md"
+PERFORMANCE_PATH = Path(__file__).resolve().parent.parent / "docs" / "performance.md"
 
 #: Packages indexed in the public API doc, in presentation order.
 PACKAGES = (
@@ -181,6 +182,53 @@ def test_telemetry_doc_names_every_fleet_surface():
     readme = root.parent / "README.md"
     assert "docs/telemetry.md" in readme.read_text(encoding="utf-8"), (
         "README.md lost its pointer to docs/telemetry.md"
+    )
+
+
+def test_performance_doc_names_every_compiler_surface():
+    """docs/performance.md stays in step with the kernel compiler:
+    every engine tier, fallback rule, cache surface, and fleet entry
+    point it documents must still appear, and the doc must be
+    cross-linked from the architecture page and the README."""
+    assert PERFORMANCE_PATH.exists(), "docs/performance.md missing"
+    text = PERFORMANCE_PATH.read_text(encoding="utf-8")
+    anchors = (
+        "engine=",
+        '"interpreted"',
+        '"compiled"',
+        '"auto"',
+        "compile_phase",
+        "CompiledPhaseKernel",
+        "compile_key",
+        "compile_digest",
+        "compile_cache_stats",
+        "clear_compile_cache",
+        "native_available",
+        "core.compile.hits",
+        "GABLES_NATIVE",
+        "FusedBatchResult",
+        "prepare_batch",
+        "PreparedBatch",
+        "run_fleet_grid_sweep",
+        "gables fleet run --grid",
+        "GridChunkSummary",
+        "gables eval --explain",
+        "BENCH_HISTORY.jsonl",
+        "bench compare",
+        "tests/test_compile.py",
+        "benchmarks/test_bench_compile.py",
+    )
+    missing = [name for name in anchors if name not in text]
+    assert not missing, (
+        "docs/performance.md no longer mentions: " + ", ".join(missing)
+    )
+    root = PERFORMANCE_PATH.parent
+    assert "performance.md" in ARCH_PATH.read_text(encoding="utf-8"), (
+        "docs/architecture.md lost its cross-link to performance.md"
+    )
+    readme = root.parent / "README.md"
+    assert "docs/performance.md" in readme.read_text(encoding="utf-8"), (
+        "README.md lost its pointer to docs/performance.md"
     )
 
 

@@ -224,9 +224,14 @@ class TestFleetBenchRecords:
         assert fleet_record.fleet_run_id == result.fleet_run_id
         assert (w0.worker_id, w0.shard) == ("w0", 0)
         assert (w1.worker_id, w1.shard) == ("w1", 1)
-        assert w0.provenance_key == "fleet.worker.throughput[worker=w0;shard=0]"
-        # Unset provenance keeps the plain name (schema unchanged).
-        assert fleet_record.provenance_key == "fleet.sweep.throughput"
+        assert w0.provenance_key == (
+            "fleet.worker.throughput[worker=w0;shard=0;engine=interpreted]"
+        )
+        # The scalar fleet's per-point loop is the scalar interpreter.
+        assert fleet_record.engine == "interpreted"
+        assert fleet_record.provenance_key == (
+            "fleet.sweep.throughput[engine=interpreted]"
+        )
         assert "worker_id" not in fleet_record.to_dict()
 
     def test_compare_groups_by_worker_lane(self, small_population):
@@ -241,8 +246,8 @@ class TestFleetBenchRecords:
         # Only unit=="s" rows are judged, one baseline per worker lane.
         lanes = {row.name for row in report.rows}
         assert lanes == {
-            "fleet.worker.seconds[worker=w0;shard=0]",
-            "fleet.worker.seconds[worker=w1;shard=1]",
+            "fleet.worker.seconds[worker=w0;shard=0;engine=interpreted]",
+            "fleet.worker.seconds[worker=w1;shard=1;engine=interpreted]",
         }
 
 
