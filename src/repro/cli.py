@@ -19,6 +19,11 @@ Subcommands::
     gables fleet run --workers 2 --telemetry shards/
     gables telemetry merge shards/ --dashboard fleet.html
     gables logs summarize shards/worker-w0/logs.jsonl --tail 10
+    gables serve --port 8080 --cache cache.jsonl
+    gables client eval --figure 6b --url http://127.0.0.1:8080
+    gables client health
+    gables client loadgen --clients 8 --fault-plan chaos-default \
+                          --history BENCH_HISTORY.jsonl
 
 Observability flags (accepted globally and on every subcommand; see
 docs/observability.md and docs/profiling.md)::
@@ -677,6 +682,91 @@ def _cmd_logs_summarize(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import GablesServer, ServiceConfig
+
+    config = ServiceConfig(
+        queue_limit=args.queue_limit,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        default_deadline_s=args.deadline_s,
+        engine=args.batch_engine,
+        cache_path=args.cache,
+        allow_fault_injection=args.chaos,
+    )
+    server = GablesServer(
+        config, host=args.host, port=args.port,
+        drain_timeout_s=args.drain_timeout_s,
+    )
+    server.install_signal_handlers()
+    chaos = " (chaos hooks enabled)" if args.chaos else ""
+    print(f"gables-serve listening on {server.url}{chaos}", flush=True)
+    server.serve_forever()
+    report = server.drain_report or {}
+    print(f"drained cleanly: {report.get('drained', True)} "
+          f"(in-flight left: {report.get('inflight_left', 0)})")
+    return 0 if report.get("drained", True) else 1
+
+
+def _cmd_client_eval(args) -> int:
+    import json
+
+    from .serve import ServiceClient
+
+    soc, workload = _load_pair(args)
+    config = None
+    raw = getattr(args, "variant_config", None)
+    if raw:
+        try:
+            if raw.lstrip().startswith("{"):
+                config = json.loads(raw)
+            else:
+                with open(raw, encoding="utf-8") as handle:
+                    config = json.load(handle)
+        except (OSError, ValueError) as err:
+            raise ReproError(f"cannot read --variant-config: {err}") from err
+    with ServiceClient(args.url) as client:
+        if args.variant:
+            payload = client.evaluate_variant(
+                soc, workload, args.variant, config=config,
+                deadline_s=args.deadline_s,
+            )
+        else:
+            payload = client.evaluate(
+                soc, workload, deadline_s=args.deadline_s
+            )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_client_health(args) -> int:
+    import json
+
+    from .serve import ServiceClient
+
+    with ServiceClient(args.url) as client:
+        document = client.health()
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0 if document.get("status") == "ok" else 1
+
+
+def _cmd_client_loadgen(args) -> int:
+    from .errors import ServeError
+    from .serve import format_report, record_slo, run_load
+
+    report = run_load(
+        args.url,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        fault_plan=args.fault_plan,
+        seed=args.seed,
+    )
+    print(format_report(report))
+    if args.history:
+        written = record_slo(report, args.history)
+        print(f"appended {written} SLO record(s) to {args.history}")
+    return 0 if report.ok else ServeError.exit_code
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser, top_level: bool) -> None:
     """Observability flags, shared by the root parser and every subcommand.
 
@@ -1077,6 +1167,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the last N records",
     )
     p_logs_summarize.set_defaults(handler=_cmd_logs_summarize)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the evaluation service (HTTP/JSON, stdlib only)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="bind port (0 picks a free one)")
+    p_serve.add_argument(
+        "--engine", dest="batch_engine", default="auto",
+        choices=("auto", "compiled", "interpreted"),
+        help="batch-evaluation tier for coalesced requests",
+    )
+    p_serve.add_argument(
+        "--queue-limit", dest="queue_limit", type=int, default=64,
+        metavar="N",
+        help="in-flight admission budget; beyond it requests are "
+             "shed with 429",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms", dest="batch_window_ms", type=float,
+        default=2.0, metavar="MS",
+        help="micro-batching latency budget",
+    )
+    p_serve.add_argument(
+        "--deadline-s", dest="deadline_s", type=float, default=10.0,
+        metavar="S",
+        help="default per-request deadline",
+    )
+    p_serve.add_argument(
+        "--cache", metavar="FILE", default=None,
+        help="persist the result cache to a JSONL file (recovered on "
+             "restart, torn tail tolerated)",
+    )
+    p_serve.add_argument(
+        "--chaos", action="store_true",
+        help="accept per-request fault-injection hooks "
+             "(crash/wedge/compiled-crash) — test rigs only",
+    )
+    p_serve.add_argument(
+        "--drain-timeout-s", dest="drain_timeout_s", type=float,
+        default=10.0, metavar="S",
+        help="how long a SIGTERM drain waits for in-flight requests",
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running 'gables serve' endpoint"
+    )
+    client_sub = p_client.add_subparsers(dest="client_command",
+                                         required=True)
+    p_client_eval = client_sub.add_parser(
+        "eval", help="evaluate one usecase remotely"
+    )
+    p_client_eval.add_argument("--url", default="http://127.0.0.1:8080",
+                               help="server base URL")
+    p_client_eval.add_argument("--figure", metavar="TAG",
+                               help="built-in scenario, e.g. 6b")
+    p_client_eval.add_argument("--soc", metavar="FILE",
+                               help="SoC spec JSON")
+    p_client_eval.add_argument("--workload", metavar="FILE",
+                               help="workload JSON")
+    p_client_eval.add_argument(
+        "--variant", choices=[v for v in VARIANT_CHOICES if v != "phases"],
+        default=None, help="evaluate a model variant",
+    )
+    p_client_eval.add_argument(
+        "--variant-config", dest="variant_config", metavar="JSON|FILE",
+        default=None, help="variant structure (inline JSON or a file)",
+    )
+    p_client_eval.add_argument(
+        "--deadline-s", dest="deadline_s", type=float, default=None,
+        metavar="S", help="request deadline budget",
+    )
+    p_client_eval.set_defaults(handler=_cmd_client_eval)
+    p_client_health = client_sub.add_parser(
+        "health", help="print the server's /healthz document"
+    )
+    p_client_health.add_argument("--url", default="http://127.0.0.1:8080",
+                                 help="server base URL")
+    p_client_health.set_defaults(handler=_cmd_client_health)
+    p_client_loadgen = client_sub.add_parser(
+        "loadgen",
+        help="concurrent load + chaos harness against a live server",
+    )
+    p_client_loadgen.add_argument("--url", default="http://127.0.0.1:8080",
+                                  help="server base URL")
+    p_client_loadgen.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent client threads",
+    )
+    p_client_loadgen.add_argument(
+        "--requests", type=int, default=25,
+        help="requests per client",
+    )
+    p_client_loadgen.add_argument(
+        "--fault-plan", dest="fault_plan", metavar="NAME", default=None,
+        choices=sorted(FAULT_PLANS),
+        help="deterministically mix in poison requests from a named "
+             "plan: " + ", ".join(sorted(FAULT_PLANS)),
+    )
+    p_client_loadgen.add_argument(
+        "--seed", type=int, default=0,
+        help="poison-request draw seed (reproducible mixes)",
+    )
+    p_client_loadgen.add_argument(
+        "--history", metavar="FILE", default=None,
+        help="append p50/p99/rps SLO records to this bench-history "
+             "JSONL file",
+    )
+    p_client_loadgen.set_defaults(handler=_cmd_client_loadgen)
     return parser
 
 

@@ -113,6 +113,21 @@ class MeasurementError(ReproError, RuntimeError):
     exit_code = 10
 
 
+class ServeError(ReproError, RuntimeError):
+    """The evaluation service rejected or could not finish a request.
+
+    Raised by :mod:`repro.serve` for request-layer problems that are
+    not model errors: malformed request envelopes, unknown endpoints,
+    admission-control shedding, expired deadlines, a draining server,
+    and worker crashes.  Raise sites always attach a fine-grained
+    ``SERVE_*`` code from :data:`FINE_GRAINED_CODES`; the HTTP status
+    each code maps to lives in :data:`repro.serve.HTTP_STATUS_BY_CODE`.
+    """
+
+    code = "SERVE_FAILED"
+    exit_code = 11
+
+
 #: Fine-grained instance codes raise sites attach via ``code=``, mapped
 #: to the class that is allowed to carry them.  The catalog is the
 #: contract automated callers dispatch on; ``tests/test_errors.py``
@@ -128,6 +143,15 @@ FINE_GRAINED_CODES: dict = {
     "MEASUREMENT_DROPOUT": MeasurementError,
     "MEASUREMENT_TIMEOUT": MeasurementError,
     "MEASUREMENT_RETRIES_EXHAUSTED": MeasurementError,
+    "MEASUREMENT_DEADLINE_EXCEEDED": MeasurementError,
+    "SERVE_BAD_REQUEST": ServeError,
+    "SERVE_UNKNOWN_ENDPOINT": ServeError,
+    "SERVE_METHOD_NOT_ALLOWED": ServeError,
+    "SERVE_PAYLOAD_TOO_LARGE": ServeError,
+    "SERVE_DEADLINE_EXCEEDED": ServeError,
+    "SERVE_OVERLOADED": ServeError,
+    "SERVE_SHUTTING_DOWN": ServeError,
+    "SERVE_WORKER_CRASHED": ServeError,
 }
 
 

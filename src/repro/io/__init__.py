@@ -2,9 +2,14 @@
 
 ``save``/``load`` move :class:`~repro.core.params.SoCSpec` and
 :class:`~repro.core.params.Workload` documents to and from disk;
-results export one-way via :func:`dumps`.
+results export one-way via :func:`dumps`.  :func:`read_jsonl_tolerant`
+/ :func:`append_jsonl` are the shared contract every append-only JSONL
+artifact (checkpoints, benchmark history, structured logs, the serving
+result cache) reads and writes through: a torn final line from a
+killed writer is dropped, corruption anywhere earlier raises.
 """
 
+from .jsonl import append_jsonl, read_jsonl_tolerant
 from .soc_codec import (
     decode_description,
     encode_description,
@@ -26,6 +31,8 @@ from .json_codec import (
 
 __all__ = [
     "SCHEMA",
+    "append_jsonl",
+    "read_jsonl_tolerant",
     "decode_description",
     "decode_soc",
     "decode_workload",

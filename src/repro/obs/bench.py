@@ -245,22 +245,14 @@ def read_history(path) -> tuple:
     corruption anywhere else raises — the history is an artifact worth
     failing loudly over.
     """
-    records = []
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.read().splitlines()
-    for line_no, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            records.append(BenchRecord.from_dict(json.loads(line)))
-        except (ValueError, KeyError, TypeError) as err:
-            if line_no == len(lines):
-                break  # torn tail from an interrupted append
-            raise ObservabilityError(
-                f"{path}:{line_no}: bad benchmark record ({err})"
-            ) from None
-    return tuple(records)
+    from ..io.jsonl import read_jsonl_tolerant
+
+    return read_jsonl_tolerant(
+        path,
+        BenchRecord.from_dict,
+        error=ObservabilityError,
+        label="benchmark record",
+    )
 
 
 def load_bench_file(path) -> tuple:

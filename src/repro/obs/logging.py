@@ -230,22 +230,14 @@ def read_log_jsonl(path) -> tuple:
     silently; corruption anywhere else raises — same contract as the
     checkpoint and bench-history readers.
     """
-    records = []
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.read().splitlines()
-    for line_no, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            records.append(LogRecord.from_dict(json.loads(line)))
-        except (ValueError, KeyError, TypeError) as err:
-            if line_no == len(lines):
-                break  # torn tail from an interrupted append
-            raise ObservabilityError(
-                f"{path}:{line_no}: bad log record ({err})"
-            ) from None
-    return tuple(records)
+    from ..io.jsonl import read_jsonl_tolerant
+
+    return read_jsonl_tolerant(
+        path,
+        LogRecord.from_dict,
+        error=ObservabilityError,
+        label="log record",
+    )
 
 
 def summarize_logs(records) -> dict:

@@ -17,6 +17,7 @@ import json
 import os
 
 from ..errors import SerializationError
+from ..io.jsonl import read_jsonl_tolerant
 from ..obs.metrics import counter as _counter
 
 _CHECKPOINT_HITS = _counter("resilience.checkpoint.hits")
@@ -79,31 +80,25 @@ class SweepCheckpoint:
             handle.flush()
 
 
+def _decode_checkpoint_entry(record) -> tuple:
+    """One parsed line -> ``(key, payload)``; reject keyless records."""
+    if not isinstance(record, dict):
+        raise TypeError("checkpoint record is not an object")
+    return str(record["key"]), record.get("payload")
+
+
 def load_checkpoint(path) -> dict:
     """Parse a checkpoint file into ``{key: payload}``.
 
     A torn final line (crash mid-append) is silently dropped; malformed
     JSON anywhere earlier, or a record missing its key, raises
-    :class:`SerializationError` naming the file and line number.
+    :class:`SerializationError` naming the file and line number (the
+    shared :func:`repro.io.read_jsonl_tolerant` contract).
     """
-    path = os.fspath(path)
-    records: dict = {}
-    with open(path, encoding="utf-8") as handle:
-        lines = handle.read().splitlines()
-    for lineno, line in enumerate(lines, start=1):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as err:
-            if lineno == len(lines):
-                break  # torn tail from an interrupted append
-            raise SerializationError(
-                f"corrupt checkpoint record at {path}:{lineno}: {err}"
-            ) from err
-        if not isinstance(record, dict) or "key" not in record:
-            raise SerializationError(
-                f"checkpoint record at {path}:{lineno} has no 'key' field"
-            )
-        records[str(record["key"])] = record.get("payload")
-    return records
+    pairs = read_jsonl_tolerant(
+        path,
+        _decode_checkpoint_entry,
+        error=SerializationError,
+        label="checkpoint record",
+    )
+    return dict(pairs)

@@ -23,6 +23,7 @@ from ..obs.metrics import counter as _counter
 
 _RETRIES = _counter("resilience.retries")
 _RETRIES_EXHAUSTED = _counter("resilience.retries_exhausted")
+_DEADLINE_EXCEEDED = _counter("resilience.deadline_exceeded")
 
 
 @dataclass(frozen=True)
@@ -37,6 +38,15 @@ class RetryPolicy:
         Wall-clock budget per sample across all of its attempts;
         ``inf`` (default) never times out.  Checked *between* attempts,
         so a single slow attempt is never interrupted mid-flight.
+    deadline_s:
+        Overall wall-clock budget for the whole :func:`call_with_retry`
+        call, *including* backoff sleeps; ``inf`` (default) never
+        expires.  Unlike ``timeout_s`` (which only cuts retries short)
+        the deadline is also checked before the first attempt, so a
+        caller-imposed budget that has already elapsed — a server
+        request whose deadline passed while queued — fails fast with
+        code ``MEASUREMENT_DEADLINE_EXCEEDED`` instead of burning one
+        more attempt.
     backoff_base_s:
         Sleep before the first retry; 0 (default) retries immediately,
         which is right for a simulator and for tests.
@@ -53,6 +63,7 @@ class RetryPolicy:
 
     max_attempts: int = 5
     timeout_s: float = math.inf
+    deadline_s: float = math.inf
     backoff_base_s: float = 0.0
     backoff_multiplier: float = 2.0
     jitter: float = 0.0
@@ -65,6 +76,10 @@ class RetryPolicy:
             )
         if not self.timeout_s > 0:
             raise SpecError(f"timeout_s must be positive, got {self.timeout_s!r}")
+        if not self.deadline_s > 0:
+            raise SpecError(
+                f"deadline_s must be positive, got {self.deadline_s!r}"
+            )
         if self.backoff_base_s < 0:
             raise SpecError(
                 f"backoff_base_s must be >= 0, got {self.backoff_base_s!r}"
@@ -103,6 +118,7 @@ def call_with_retry(
     sleep=time.sleep,
     clock=time.monotonic,
     context: str = "measurement",
+    deadline: float | None = None,
 ):
     """Run ``fn()`` under ``policy``; return its value or raise.
 
@@ -112,10 +128,37 @@ def call_with_retry(
     spent, raises :class:`MeasurementError` with code
     ``MEASUREMENT_RETRIES_EXHAUSTED`` (or ``MEASUREMENT_TIMEOUT``)
     chaining the last underlying failure.
+
+    ``deadline`` is an optional *absolute* instant on ``clock``'s
+    timeline by which the whole call must finish; it composes with the
+    policy's own relative ``deadline_s`` (the earlier one wins).  A
+    spent deadline — checked before the first attempt and between
+    attempts — raises :class:`MeasurementError` with code
+    ``MEASUREMENT_DEADLINE_EXCEEDED``, so a server-imposed request
+    budget propagates through retried measurement work as a catalogued
+    error instead of an over-budget success.
     """
-    deadline = None
+    now = clock()
+    timeout_at = None
     if math.isfinite(policy.timeout_s):
-        deadline = clock() + policy.timeout_s
+        timeout_at = now + policy.timeout_s
+    if math.isfinite(policy.deadline_s):
+        policy_deadline = now + policy.deadline_s
+        deadline = (
+            policy_deadline if deadline is None
+            else min(deadline, policy_deadline)
+        )
+
+    def deadline_spent(attempts: int, err) -> None:
+        if deadline is not None and clock() >= deadline:
+            _DEADLINE_EXCEEDED.inc()
+            raise MeasurementError(
+                f"{context} exceeded its deadline after "
+                f"{attempts} attempt(s): {err}",
+                code="MEASUREMENT_DEADLINE_EXCEEDED",
+            ) from err
+
+    deadline_spent(0, None)
     last_error = None
     for attempt in range(1, policy.max_attempts + 1):
         try:
@@ -124,7 +167,8 @@ def call_with_retry(
             last_error = err
             if attempt == policy.max_attempts:
                 break
-            if deadline is not None and clock() >= deadline:
+            deadline_spent(attempt, err)
+            if timeout_at is not None and clock() >= timeout_at:
                 _RETRIES_EXHAUSTED.inc()
                 raise MeasurementError(
                     f"{context} exceeded its {policy.timeout_s:g}s budget "

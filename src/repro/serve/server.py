@@ -1,0 +1,312 @@
+"""The HTTP/JSON surface over :class:`~repro.serve.EvaluationService`.
+
+Deliberately thin: ``http.server`` from the stdlib (one thread per
+connection via :class:`~http.server.ThreadingHTTPServer`), strict
+JSON in, strict JSON out, every failure mapped through
+:mod:`repro.serve.protocol` into a structured error body with a
+catalogued code and the HTTP status from
+:data:`~repro.serve.protocol.HTTP_STATUS_BY_CODE`.  All policy —
+admission, deadlines, batching, breakers — lives in the service;
+the only decisions made here are transport ones:
+
+- every request is assigned a fresh
+  :class:`~repro.obs.context.TraceContext` and answers with its id in
+  the ``X-Gables-Request-Id`` header (and in error bodies), so a
+  client-side failure can be joined against server-side logs;
+- 429 and 503 responses carry ``Retry-After``;
+- request bodies beyond the configured limit are refused with 413
+  *before* being read into memory;
+- ``SIGTERM``/``SIGINT`` trigger a graceful drain: readiness flips
+  immediately, in-flight requests finish, then the listener stops.
+
+Routes::
+
+    GET  /healthz     liveness + service metrics
+    GET  /readyz      200 when admitting, 503 while draining/saturated
+    GET  /variants    servable variant names
+    POST /eval        one scalar evaluation (coalesced server-side)
+    POST /sweep       one parameter sweep
+    POST /variants    one variant evaluation
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ReproError, ServeError
+from ..obs.context import context_scope, new_context
+from ..obs.logging import log_event
+from .protocol import error_body, http_status_for
+from .service import EvaluationService, ServiceConfig
+
+#: Seconds clients are told to wait after a 429/503.
+RETRY_AFTER_S = 1
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP exchange; all real work delegates to the service."""
+
+    protocol_version = "HTTP/1.1"
+    timeout = 65
+    server_version = "gables-serve"
+    sys_version = ""
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def service(self) -> EvaluationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        log_event("debug", "serve.http", format % args)
+
+    def _send_json(self, status: int, document: dict, *,
+                   request_id: str = "") -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if request_id:
+            self.send_header("X-Gables-Request-Id", request_id)
+        if status in (429, 503):
+            self.send_header("Retry-After", str(RETRY_AFTER_S))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, err: ReproError, *,
+                         request_id: str = "") -> None:
+        self._send_json(
+            http_status_for(err),
+            error_body(err, request_id=request_id),
+            request_id=request_id,
+        )
+
+    def _read_body(self) -> dict:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length)
+        except (TypeError, ValueError):
+            raise ServeError(
+                "request must carry a numeric Content-Length",
+                code="SERVE_BAD_REQUEST",
+            ) from None
+        limit = self.service.config.max_body_bytes
+        if length > limit:
+            raise ServeError(
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte limit",
+                code="SERVE_PAYLOAD_TOO_LARGE",
+            )
+        raw = self.rfile.read(length)
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as err:
+            raise ServeError(
+                f"request body is not valid JSON: {err}",
+                code="SERVE_BAD_REQUEST",
+            ) from None
+        if not isinstance(document, dict):
+            raise ServeError(
+                "request body must be a JSON object",
+                code="SERVE_BAD_REQUEST",
+            )
+        return document
+
+    def _dispatch(self, method: str) -> None:
+        context = new_context()
+        request_id = context.trace_id
+        with context_scope(context):
+            try:
+                handler = self._route(method)
+                handler(request_id)
+            except ReproError as err:
+                log_event(
+                    "warning", "serve.request.error",
+                    str(err), code=err.code, path=self.path,
+                )
+                self._send_error_json(err, request_id=request_id)
+            except (BrokenPipeError, ConnectionResetError):
+                # The client hung up; nothing left to answer.
+                self.close_connection = True
+            except Exception as err:  # pragma: no cover - last resort
+                log_event(
+                    "error", "serve.request.crash", str(err),
+                    path=self.path,
+                )
+                self._send_error_json(
+                    ServeError(
+                        f"internal error handling {self.path}: {err}",
+                        code="SERVE_WORKER_CRASHED",
+                    ),
+                    request_id=request_id,
+                )
+
+    def _route(self, method: str):
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        routes = {
+            ("GET", "/healthz"): self._do_healthz,
+            ("GET", "/readyz"): self._do_readyz,
+            ("GET", "/variants"): self._do_variants_catalog,
+            ("POST", "/eval"): self._do_eval,
+            ("POST", "/sweep"): self._do_sweep,
+            ("POST", "/variants"): self._do_variants,
+        }
+        handler = routes.get((method, path))
+        if handler is not None:
+            return handler
+        if any(known == path for _, known in routes):
+            raise ServeError(
+                f"{method} is not allowed on {path}",
+                code="SERVE_METHOD_NOT_ALLOWED",
+            )
+        raise ServeError(
+            f"no such endpoint: {path}",
+            code="SERVE_UNKNOWN_ENDPOINT",
+        )
+
+    # -- routes --------------------------------------------------------
+
+    def _do_healthz(self, request_id: str) -> None:
+        self._send_json(200, self.service.health(), request_id=request_id)
+
+    def _do_readyz(self, request_id: str) -> None:
+        ready, document = self.service.ready()
+        self._send_json(
+            200 if ready else 503, document, request_id=request_id
+        )
+
+    def _do_variants_catalog(self, request_id: str) -> None:
+        self._send_json(
+            200, self.service.handle_variants(None), request_id=request_id
+        )
+
+    def _do_eval(self, request_id: str) -> None:
+        payload = self.service.handle_eval(self._read_body())
+        self._send_json(200, payload, request_id=request_id)
+
+    def _do_sweep(self, request_id: str) -> None:
+        payload = self.service.handle_sweep(self._read_body())
+        self._send_json(200, payload, request_id=request_id)
+
+    def _do_variants(self, request_id: str) -> None:
+        payload = self.service.handle_variants(self._read_body())
+        self._send_json(200, payload, request_id=request_id)
+
+    # -- HTTP verbs ----------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+
+class GablesServer:
+    """The bound listener plus its lifecycle.
+
+    ``GablesServer(config, port=0)`` binds immediately (port 0 picks a
+    free one — the test suite's pattern); :meth:`start` serves on a
+    background thread, :meth:`serve_forever` on the caller's.
+    :meth:`shutdown_gracefully` drains the service then stops the
+    listener, and is what the installed signal handlers invoke.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, *,
+                 host: str = "127.0.0.1", port: int = 8080,
+                 drain_timeout_s: float = 10.0) -> None:
+        self.service = EvaluationService(config)
+        self.drain_timeout_s = drain_timeout_s
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._shutdown_once = threading.Lock()
+        self._finished = threading.Event()
+        self.drain_report: dict | None = None
+
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)``."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "GablesServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._serve, name="gables-serve-listener", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until shut down."""
+        self._serve()
+
+    def _serve(self) -> None:
+        log_event("info", "serve.start", self.url)
+        try:
+            self._httpd.serve_forever(poll_interval=0.05)
+        finally:
+            self._httpd.server_close()
+            self._finished.set()
+            log_event("info", "serve.stop", self.url)
+
+    def shutdown_gracefully(self) -> dict:
+        """Drain in-flight work, then stop the listener.  Idempotent.
+
+        Readiness flips to 503 the moment the drain starts, so a load
+        balancer probing ``/readyz`` stops sending traffic while the
+        listener is still answering in-flight requests.
+        """
+        if not self._shutdown_once.acquire(blocking=False):
+            self._finished.wait()
+            return self.drain_report or {}
+        self.drain_report = self.service.drain(self.drain_timeout_s)
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        return self.drain_report
+
+    def install_signal_handlers(self) -> None:
+        """Route ``SIGTERM``/``SIGINT`` into a graceful shutdown.
+
+        The handler hands off to a fresh thread: calling
+        ``httpd.shutdown()`` from the thread running
+        ``serve_forever`` deadlocks, and a signal can land on exactly
+        that thread.
+        """
+
+        def handle(signum, frame) -> None:
+            log_event("info", "serve.signal", signal.Signals(signum).name)
+            threading.Thread(
+                target=self.shutdown_gracefully,
+                name="gables-serve-drain",
+                daemon=True,
+            ).start()
+
+        signal.signal(signal.SIGTERM, handle)
+        signal.signal(signal.SIGINT, handle)
+
+
+def run_server(config: ServiceConfig | None = None, *,
+               host: str = "127.0.0.1", port: int = 8080,
+               drain_timeout_s: float = 10.0) -> GablesServer:
+    """Bind, install signal handlers, and serve on the calling thread.
+
+    The blocking entry point behind ``gables serve``; returns the
+    (stopped) server after a signal-triggered drain for the caller to
+    inspect ``drain_report``.
+    """
+    server = GablesServer(
+        config, host=host, port=port, drain_timeout_s=drain_timeout_s
+    )
+    server.install_signal_handlers()
+    server.serve_forever()
+    return server

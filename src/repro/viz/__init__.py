@@ -21,7 +21,7 @@ from .roofline_plot import (
     save_roofline_svg,
 )
 from .scale import LogScale, si_label
-from .svg import SERIES_COLORS, SvgCanvas, series_color
+from .svg import SERIES_COLORS, SvgCanvas, series_color, series_style
 from .sweep_plot import bar_chart_svg, line_chart_svg, sweep_series_svg
 from .tables import (
     csv_table,
@@ -61,6 +61,7 @@ __all__ = [
     "roofline_svg",
     "save_roofline_svg",
     "series_color",
+    "series_style",
     "si_label",
     "sweep_series_svg",
 ]

@@ -23,7 +23,7 @@ from ..core.variants import ModelVariant, evaluate_variant
 from ..errors import SpecError
 from .ascii_art import render_log_log
 from .scale import LogScale, si_label
-from .svg import AXIS, GRID, TEXT_PRIMARY, TEXT_SECONDARY, SvgCanvas, series_color
+from .svg import AXIS, GRID, TEXT_PRIMARY, TEXT_SECONDARY, SvgCanvas, series_style
 
 #: Plot margins in pixels: left, right, top, bottom.
 _MARGINS = (72, 24, 40, 56)
@@ -154,9 +154,9 @@ def roofline_svg(
     # The scaled rooflines.
     samples = x_scale.sample(96)
     for index, curve in enumerate(data.curves):
-        color = series_color(index)
+        color, dash = series_style(index)
         points = [to_px(i, curve(i)) for i in samples]
-        canvas.polyline(points, color=color,
+        canvas.polyline(points, color=color, dash=dash,
                         tooltip=f"{curve.name} scaled roofline")
         # Direct label at the right edge of the curve.
         label_x, label_y = points[-1]
@@ -168,7 +168,7 @@ def roofline_svg(
     floor_y = top + plot_h
     for name, intensity, perf in data.operating_points:
         x, y = to_px(intensity, perf)
-        color = series_color(name_to_index[name])
+        color, _ = series_style(name_to_index[name])
         canvas.line(x, y, x, floor_y, color=color, width=1, dash="4 4")
         canvas.circle(x, y, r=4, color=color,
                       tooltip=f"{name}: I={intensity:.4g}, "

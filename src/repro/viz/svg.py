@@ -33,6 +33,13 @@ GRID = "#e4e3de"
 AXIS = "#b5b4ac"
 
 
+#: Recessive color for series beyond the categorical palette.
+OVERFLOW_COLOR = TEXT_SECONDARY
+
+#: Dash patterns distinguishing folded overflow series from each other.
+_OVERFLOW_DASHES = ("6 3", "2 3", "9 3 2 3", "1 4")
+
+
 def series_color(index: int) -> str:
     """Color for series ``index``; beyond 8 series, raise — fold or
     split the chart instead of inventing hues."""
@@ -44,6 +51,21 @@ def series_color(index: int) -> str:
             "chart (small multiples / fold into 'other') rather than cycling"
         )
     return SERIES_COLORS[index]
+
+
+def series_style(index: int) -> tuple:
+    """``(color, dash)`` for series ``index`` — the total-function
+    sibling of :func:`series_color` for charts whose series count is
+    data-driven (a roofline has one curve per IP plus memory plus any
+    variant ceilings).  The first 8 series get the categorical palette,
+    solid; later series fold into one recessive gray, told apart by
+    dash pattern — the palette itself is never cycled."""
+    if index < 0:
+        raise SpecError(f"series index must be >= 0, got {index}")
+    if index < len(SERIES_COLORS):
+        return SERIES_COLORS[index], None
+    overflow = index - len(SERIES_COLORS)
+    return OVERFLOW_COLOR, _OVERFLOW_DASHES[overflow % len(_OVERFLOW_DASHES)]
 
 
 class SvgCanvas:
@@ -72,15 +94,16 @@ class SvgCanvas:
         )
 
     def polyline(self, points, color: str, width: float = 2.0,
-                 tooltip: str | None = None) -> None:
+                 tooltip: str | None = None, dash: str | None = None) -> None:
         """An open path through ``points`` ((x, y) pairs)."""
         if len(points) < 2:
             raise SpecError("polyline needs at least two points")
         coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
         title = f"<title>{escape(tooltip)}</title>" if tooltip else ""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
         self._body.append(
             f'<polyline points="{coords}" fill="none" stroke="{color}" '
-            f'stroke-width="{width}" stroke-linejoin="round" '
+            f'stroke-width="{width}"{dash_attr} stroke-linejoin="round" '
             f'stroke-linecap="round">{title}</polyline>'
         )
 

@@ -18,6 +18,7 @@ from .svg import (
     TEXT_SECONDARY,
     SvgCanvas,
     series_color,
+    series_style,
 )
 
 _MARGINS = (72, 110, 40, 56)  # left, right (room for direct labels), top, bottom
@@ -136,11 +137,11 @@ def line_chart_svg(
     for index, (name, points) in enumerate(series.items()):
         if not points:
             raise SpecError(f"series {name!r} is empty")
-        color = series_color(index)
+        color, dash = series_style(index)
         ordered = sorted(points, key=lambda p: p[0])
         pixels = [to_px(x, y) for x, y in ordered]
         if len(pixels) >= 2:
-            canvas.polyline(pixels, color=color, tooltip=name)
+            canvas.polyline(pixels, color=color, dash=dash, tooltip=name)
         for (x, y), (px, py) in zip(ordered, pixels):
             canvas.circle(px, py, r=3.5, color=color,
                           tooltip=f"{name}: ({x:g}, {y:.4g})")

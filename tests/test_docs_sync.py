@@ -16,6 +16,7 @@ ARCH_PATH = Path(__file__).resolve().parent.parent / "docs" / "architecture.md"
 PROFILING_PATH = Path(__file__).resolve().parent.parent / "docs" / "profiling.md"
 TELEMETRY_PATH = Path(__file__).resolve().parent.parent / "docs" / "telemetry.md"
 PERFORMANCE_PATH = Path(__file__).resolve().parent.parent / "docs" / "performance.md"
+SERVING_PATH = Path(__file__).resolve().parent.parent / "docs" / "serving.md"
 
 #: Packages indexed in the public API doc, in presentation order.
 PACKAGES = (
@@ -34,6 +35,7 @@ PACKAGES = (
     ("repro.io", "Serialization"),
     ("repro.obs", "Observability"),
     ("repro.resilience", "Resilience: faults, retries, partial failure"),
+    ("repro.serve", "Serving: the HTTP evaluation service"),
 )
 
 
@@ -182,6 +184,56 @@ def test_telemetry_doc_names_every_fleet_surface():
     readme = root.parent / "README.md"
     assert "docs/telemetry.md" in readme.read_text(encoding="utf-8"), (
         "README.md lost its pointer to docs/telemetry.md"
+    )
+
+
+def test_serving_doc_names_every_service_surface():
+    """docs/serving.md stays in step with the evaluation service:
+    every endpoint, error code family, resilience mechanism, and CLI
+    surface it documents must still appear, and the doc must be
+    cross-linked from the pages (and the README) that feed into it."""
+    assert SERVING_PATH.exists(), "docs/serving.md missing"
+    text = SERVING_PATH.read_text(encoding="utf-8")
+    anchors = (
+        "GablesServer",
+        "ServiceClient",
+        "error_from_payload",
+        "canonical_request_key",
+        "HTTP_STATUS_BY_CODE",
+        "run_load",
+        "/eval",
+        "/sweep",
+        "/variants",
+        "/healthz",
+        "/readyz",
+        "X-Gables-Request-Id",
+        "SERVE_OVERLOADED",
+        "SERVE_DEADLINE_EXCEEDED",
+        "SERVE_WORKER_CRASHED",
+        "SERVE_SHUTTING_DOWN",
+        "Retry-After",
+        "evaluate_batch",
+        "read_jsonl_tolerant",
+        "append_jsonl",
+        "deadline_s",
+        "gables serve",
+        "gables client",
+        "chaos-default",
+        "serve.loadgen.p99",
+        "BENCH_HISTORY.jsonl",
+    )
+    missing = [name for name in anchors if name not in text]
+    assert not missing, (
+        "docs/serving.md no longer mentions: " + ", ".join(missing)
+    )
+    root = SERVING_PATH.parent
+    for page in ("robustness.md", "cli.md"):
+        assert "serving.md" in (root / page).read_text(encoding="utf-8"), (
+            f"docs/{page} lost its cross-link to serving.md"
+        )
+    readme = root.parent / "README.md"
+    assert "docs/serving.md" in readme.read_text(encoding="utf-8"), (
+        "README.md lost its pointer to docs/serving.md"
     )
 
 

@@ -13,6 +13,7 @@ from repro.errors import (
     MeasurementError,
     ReproError,
     SerializationError,
+    ServeError,
     SimulationError,
     SpecError,
     WorkloadError,
@@ -37,7 +38,7 @@ class TestHierarchy:
 
     def test_runtime_errors_are_runtime_errors(self):
         for exc in (EvaluationError, SimulationError, FittingError,
-                    MeasurementError):
+                    MeasurementError, ServeError):
             assert issubclass(exc, RuntimeError)
 
     def test_one_except_clause_catches_the_library(self):
@@ -117,6 +118,118 @@ class TestErrorCatalog:
         assert exit_code_for(ValueError("not ours")) == 2
         assert exit_code_for(SerializationError("x")) == 8
         assert exit_code_for(MeasurementError("x")) == 10
+
+
+class TestHttpStatusMapping:
+    """Every catalogued code must map onto exactly one HTTP status.
+
+    The service promises a structured JSON error with a meaningful
+    status for *any* library failure; a new error class or
+    fine-grained code that forgets its HTTP mapping would silently
+    fall back to 500 and break that promise.
+    """
+
+    def test_every_class_code_has_a_status(self):
+        from repro.serve import HTTP_STATUS_BY_CODE
+
+        for cls in error_classes():
+            assert cls.code in HTTP_STATUS_BY_CODE, cls
+
+    def test_every_fine_grained_code_has_a_status(self):
+        from repro.serve import HTTP_STATUS_BY_CODE
+
+        for code in FINE_GRAINED_CODES:
+            assert code in HTTP_STATUS_BY_CODE, code
+
+    def test_statuses_are_plausible_http(self):
+        from repro.serve import HTTP_STATUS_BY_CODE
+
+        for code, status in HTTP_STATUS_BY_CODE.items():
+            assert 400 <= status <= 599, (code, status)
+
+    def test_mapping_has_no_orphan_codes(self):
+        """The mapping names only codes the catalog defines, so a
+        renamed code cannot leave a stale mapping entry behind."""
+        from repro.serve import HTTP_STATUS_BY_CODE
+
+        known = {cls.code for cls in error_classes()}
+        known |= set(FINE_GRAINED_CODES)
+        assert set(HTTP_STATUS_BY_CODE) <= known
+
+    def test_http_status_for_prefers_instance_code(self):
+        from repro.serve import http_status_for
+
+        assert http_status_for(ServeError("x")) == 500
+        assert http_status_for(
+            ServeError("x", code="SERVE_OVERLOADED")
+        ) == 429
+        assert http_status_for(ValueError("not ours")) == 500
+
+
+#: The full machine-readable error contract, frozen.  A rename, a
+#: removed code, or a changed exit code / HTTP status is a *breaking*
+#: change for scripts and service clients — updating this table is the
+#: deliberate act that acknowledges one.
+FROZEN_CLASS_CATALOG = (
+    ("REPRO_ERROR", "ReproError", 2, 500),
+    ("SPEC_INVALID", "SpecError", 3, 400),
+    ("WORKLOAD_INVALID", "WorkloadError", 4, 400),
+    ("EVALUATION_FAILED", "EvaluationError", 5, 422),
+    ("SIMULATION_FAILED", "SimulationError", 6, 500),
+    ("FITTING_FAILED", "FittingError", 7, 500),
+    ("SERIALIZATION_FAILED", "SerializationError", 8, 400),
+    ("OBSERVABILITY_FAILED", "ObservabilityError", 9, 500),
+    ("MEASUREMENT_FAILED", "MeasurementError", 10, 500),
+    ("SERVE_FAILED", "ServeError", 11, 500),
+)
+
+FROZEN_FINE_GRAINED_CATALOG = (
+    ("EVAL_DEGENERATE_POINT", "EvaluationError", 422),
+    ("MEASUREMENT_DEADLINE_EXCEEDED", "MeasurementError", 504),
+    ("MEASUREMENT_DROPOUT", "MeasurementError", 500),
+    ("MEASUREMENT_RETRIES_EXHAUSTED", "MeasurementError", 500),
+    ("MEASUREMENT_TIMEOUT", "MeasurementError", 504),
+    ("SERIALIZATION_NONFINITE", "SerializationError", 400),
+    ("SERVE_BAD_REQUEST", "ServeError", 400),
+    ("SERVE_DEADLINE_EXCEEDED", "ServeError", 504),
+    ("SERVE_METHOD_NOT_ALLOWED", "ServeError", 405),
+    ("SERVE_OVERLOADED", "ServeError", 429),
+    ("SERVE_PAYLOAD_TOO_LARGE", "ServeError", 413),
+    ("SERVE_SHUTTING_DOWN", "ServeError", 503),
+    ("SERVE_UNKNOWN_ENDPOINT", "ServeError", 404),
+    ("SERVE_WORKER_CRASHED", "ServeError", 500),
+    ("SPEC_NEGATIVE_BANDWIDTH", "SpecError", 400),
+    ("SPEC_NONPOSITIVE_PEAK", "SpecError", 400),
+    ("WORKLOAD_FRACTION_RANGE", "WorkloadError", 400),
+    ("WORKLOAD_FRACTION_SUM", "WorkloadError", 400),
+    ("WORKLOAD_INTENSITY_NONPOSITIVE", "WorkloadError", 400),
+)
+
+
+class TestFrozenCatalog:
+    """The shipped catalog matches the frozen table, entry for entry."""
+
+    def test_class_catalog_is_frozen(self):
+        from repro.serve import HTTP_STATUS_BY_CODE
+
+        actual = tuple(sorted(
+            (
+                (cls.code, cls.__name__, cls.exit_code,
+                 HTTP_STATUS_BY_CODE[cls.code])
+                for cls in error_classes()
+            ),
+            key=lambda entry: entry[2],
+        ))
+        assert actual == FROZEN_CLASS_CATALOG
+
+    def test_fine_grained_catalog_is_frozen(self):
+        from repro.serve import HTTP_STATUS_BY_CODE
+
+        actual = tuple(sorted(
+            (code, cls.__name__, HTTP_STATUS_BY_CODE[code])
+            for code, cls in FINE_GRAINED_CODES.items()
+        ))
+        assert actual == FROZEN_FINE_GRAINED_CATALOG
 
 
 class TestCliExitCodes:

@@ -133,6 +133,96 @@ class TestRetryPolicy:
             )
         assert excinfo.value.code == "MEASUREMENT_TIMEOUT"
 
+    def test_deadline_s_validation(self):
+        with pytest.raises(SpecError):
+            RetryPolicy(deadline_s=0.0)
+        with pytest.raises(SpecError):
+            RetryPolicy(deadline_s=-1.0)
+
+    def test_policy_deadline_cuts_retries_short(self):
+        clock = {"now": 0.0}
+
+        def fake_clock():
+            clock["now"] += 10.0
+            return clock["now"]
+
+        def always_fails():
+            raise MeasurementError("slow", code="MEASUREMENT_DROPOUT")
+
+        policy = RetryPolicy(max_attempts=100, deadline_s=15.0)
+        with pytest.raises(MeasurementError) as excinfo:
+            call_with_retry(
+                always_fails, policy, sleep=lambda _: None, clock=fake_clock
+            )
+        assert excinfo.value.code == "MEASUREMENT_DEADLINE_EXCEEDED"
+        assert isinstance(excinfo.value.__cause__, MeasurementError)
+        exceeded = get_registry().counter("resilience.deadline_exceeded")
+        assert exceeded.value == 1
+
+    def test_already_spent_deadline_fails_before_first_attempt(self):
+        """A caller-imposed absolute deadline in the past fails fast —
+        zero attempts burned (the server's queued-too-long path)."""
+        calls = {"n": 0}
+
+        def never_called():
+            calls["n"] += 1
+            return "ok"
+
+        clock = {"now": 100.0}
+        with pytest.raises(MeasurementError) as excinfo:
+            call_with_retry(
+                never_called, RetryPolicy(), sleep=lambda _: None,
+                clock=lambda: clock["now"], deadline=50.0,
+            )
+        assert excinfo.value.code == "MEASUREMENT_DEADLINE_EXCEEDED"
+        assert "0 attempt(s)" in str(excinfo.value)
+        assert calls["n"] == 0
+
+    def test_caller_deadline_composes_with_policy_earlier_wins(self):
+        """An absolute ``deadline`` and the policy's relative
+        ``deadline_s`` merge to the earlier instant."""
+        clock = {"now": 0.0}
+
+        def fake_clock():
+            clock["now"] += 10.0
+            return clock["now"]
+
+        def always_fails():
+            raise MeasurementError("slow", code="MEASUREMENT_DROPOUT")
+
+        # Policy allows 1000 s, the caller only 15: the caller wins.
+        policy = RetryPolicy(max_attempts=100, deadline_s=1000.0)
+        with pytest.raises(MeasurementError) as excinfo:
+            call_with_retry(
+                always_fails, policy, sleep=lambda _: None,
+                clock=fake_clock, deadline=15.0,
+            )
+        assert excinfo.value.code == "MEASUREMENT_DEADLINE_EXCEEDED"
+        # Caller allows forever, policy 15 s: the policy wins.
+        clock["now"] = 0.0
+        with pytest.raises(MeasurementError) as excinfo:
+            call_with_retry(
+                always_fails, RetryPolicy(max_attempts=100, deadline_s=15.0),
+                sleep=lambda _: None, clock=fake_clock, deadline=10_000.0,
+            )
+        assert excinfo.value.code == "MEASUREMENT_DEADLINE_EXCEEDED"
+
+    def test_deadline_never_interrupts_a_winning_attempt(self):
+        """The deadline is checked between attempts, so work that
+        succeeds within its attempt returns even if the clock passed
+        the deadline meanwhile."""
+        clock = {"now": 0.0}
+
+        def slow_success():
+            clock["now"] += 100.0
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, deadline_s=5.0)
+        assert call_with_retry(
+            slow_success, policy, sleep=lambda _: None,
+            clock=lambda: clock["now"],
+        ) == "ok"
+
     def test_non_retryable_errors_propagate(self):
         def broken():
             raise SpecError("not a measurement problem")

@@ -1,0 +1,654 @@
+"""Tests for the evaluation service: protocol, isolation, chaos.
+
+Layered like the package: pure protocol checks first, then the
+transport-free :class:`~repro.serve.EvaluationService` fault paths,
+then the HTTP surface, and finally the acceptance chaos load test —
+eight concurrent clients against a live server under the
+``chaos-default`` fault plan, where every clean request must succeed
+**bitwise identical** to offline :func:`repro.core.gables.evaluate`
+and every injected fault must come back as a structured ``SERVE_*`` /
+``WORKLOAD_*`` JSON error, plus a subprocess SIGTERM drain test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core import FIGURE_6_SEQUENCE
+from repro.core.gables import evaluate
+from repro.errors import (
+    EvaluationError,
+    MeasurementError,
+    ReproError,
+    ServeError,
+    WorkloadError,
+)
+from repro.io.json_codec import encode_result, encode_soc, encode_workload
+from repro.serve import (
+    CircuitBreaker,
+    EvaluationService,
+    GablesServer,
+    ResultCache,
+    ServiceClient,
+    ServiceConfig,
+    canonical_request_key,
+    error_body,
+    error_from_payload,
+    parse_eval_request,
+    parse_sweep_request,
+    run_load,
+    slo_records,
+)
+from repro.serve.loadgen import record_slo
+
+SCENARIO = FIGURE_6_SEQUENCE[1]
+
+
+def eval_document(scenario=SCENARIO, **extra) -> dict:
+    document = {
+        "soc": encode_soc(scenario.soc()),
+        "workload": encode_workload(scenario.workload()),
+    }
+    document.update(extra)
+    return document
+
+
+def offline_result(scenario=SCENARIO) -> dict:
+    return encode_result(evaluate(scenario.soc(), scenario.workload()))
+
+
+@pytest.fixture()
+def service():
+    """A small, fast service instance, drained at teardown."""
+    instance = EvaluationService(ServiceConfig(
+        batch_window_s=0.001,
+        # Interpreted tier keeps evaluations fast enough that the
+        # tight watchdog below never mistakes warmup for a wedge.
+        engine="interpreted",
+        watchdog_poll_s=0.01,
+        watchdog_hang_s=0.5,
+        wedge_s=1.5,
+        allow_fault_injection=True,
+    ))
+    yield instance
+    instance.drain(timeout_s=5.0)
+
+
+class TestProtocol:
+    def test_missing_soc_rejected(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse_eval_request({"workload": {}})
+        assert excinfo.value.code == "SERVE_BAD_REQUEST"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ServeError, match="frobnicate"):
+            parse_eval_request(eval_document(frobnicate=1))
+
+    def test_phases_variant_not_servable(self):
+        with pytest.raises(ServeError, match="phases"):
+            parse_eval_request(eval_document(variant="phases"))
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ServeError, match="fault"):
+            parse_eval_request(eval_document(fault="meteor-strike"))
+
+    def test_nonpositive_deadline_rejected(self):
+        for bad in (0, -1, float("inf")):
+            with pytest.raises(ServeError):
+                parse_eval_request(eval_document(deadline_s=bad))
+
+    def test_cache_key_ignores_deadline_and_matches_identical(self):
+        plain = parse_eval_request(eval_document())
+        with_deadline = parse_eval_request(eval_document(deadline_s=5.0))
+        other = parse_eval_request(eval_document(FIGURE_6_SEQUENCE[3]))
+        assert plain.cache_key == with_deadline.cache_key
+        assert plain.cache_key != other.cache_key
+
+    def test_canonical_key_is_order_insensitive(self):
+        assert canonical_request_key({"a": 1, "b": 2}) == \
+            canonical_request_key({"b": 2, "a": 1})
+
+    def test_sweep_too_many_points_is_413(self):
+        document = eval_document(param="f", ip_index=0,
+                                 values=[0.1] * 50)
+        with pytest.raises(ServeError) as excinfo:
+            parse_sweep_request(document, max_points=10)
+        assert excinfo.value.code == "SERVE_PAYLOAD_TOO_LARGE"
+
+    def test_sweep_requires_known_param(self):
+        document = eval_document(param="voltage", values=[1.0])
+        with pytest.raises(ServeError, match="param"):
+            parse_sweep_request(document)
+
+    def test_error_body_round_trips_the_class(self):
+        body = error_body(
+            WorkloadError("fractions must sum to one"), request_id="r1"
+        )
+        err = error_from_payload(body)
+        assert isinstance(err, WorkloadError)
+        assert err.code == "WORKLOAD_INVALID"
+        assert err.request_id == "r1"
+        assert "sum to one" in str(err)
+
+    def test_error_body_round_trips_fine_grained_code(self):
+        body = error_body(
+            MeasurementError("late", code="MEASUREMENT_DEADLINE_EXCEEDED")
+        )
+        err = error_from_payload(body)
+        assert isinstance(err, MeasurementError)
+        assert err.code == "MEASUREMENT_DEADLINE_EXCEEDED"
+
+    def test_unknown_payload_degrades_to_serve_error(self):
+        err = error_from_payload({"nonsense": True})
+        assert isinstance(err, ServeError)
+
+
+class TestResultCache:
+    def test_lru_eviction(self, tmp_path):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") == {"v": 1}  # refresh a
+        cache.put("c", {"v": 3})           # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("c") == {"v": 3}
+
+    def test_crash_only_restart_recovers_entries(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(capacity=8, path=path)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        # Simulate a crash mid-append: torn tail on disk.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "c", "payl')
+        reborn = ResultCache(capacity=8, path=path)
+        assert reborn.get("a") == {"v": 1}
+        assert reborn.get("b") == {"v": 2}
+        assert reborn.get("c") is None
+
+    def test_restart_keeps_only_newest_capacity(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(capacity=16, path=path)
+        for index in range(6):
+            cache.put(f"k{index}", {"v": index})
+        reborn = ResultCache(capacity=2, path=path)
+        assert len(reborn) == 2
+        assert reborn.get("k5") == {"v": 5}
+        assert reborn.get("k0") is None
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_recovers(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(threshold=2, cooldown_s=5.0,
+                                 clock=lambda: clock["now"])
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock["now"] = 6.0
+        assert breaker.allow()  # half-open probe
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0,
+                                 clock=lambda: clock["now"])
+        breaker.record_failure()
+        clock["now"] = 2.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+
+class TestServiceEval:
+    def test_bitwise_identical_to_offline(self, service):
+        payload = service.handle_eval(eval_document())
+        assert payload["result"] == offline_result()
+        assert payload["meta"]["cached"] is False
+
+    def test_cache_hit_marks_meta(self, service):
+        service.handle_eval(eval_document())
+        payload = service.handle_eval(eval_document())
+        assert payload["meta"]["cached"] is True
+        assert payload["result"] == offline_result()
+
+    def test_coalesced_batch_is_bitwise_and_isolates_bad_rows(
+            self, service):
+        """Concurrent good and poisoned evals land in one batch; the
+        bad row comes back as a structured error while its neighbors
+        match offline evaluation bit for bit."""
+        barrier = threading.Barrier(5)
+        outcomes = [None] * 5
+
+        def run(slot: int, document: dict) -> None:
+            barrier.wait()
+            try:
+                outcomes[slot] = ("ok", service.handle_eval(document))
+            except ReproError as err:
+                outcomes[slot] = ("err", err)
+
+        bad = eval_document()
+        bad["workload"] = {
+            **bad["workload"],
+            "fractions": [f + 0.5 for f in bad["workload"]["fractions"]],
+        }
+        documents = [eval_document(FIGURE_6_SEQUENCE[i]) for i in range(4)]
+        documents.append(bad)
+        threads = [
+            threading.Thread(target=run, args=(slot, document))
+            for slot, document in enumerate(documents)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for slot in range(4):
+            kind, payload = outcomes[slot]
+            assert kind == "ok"
+            assert payload["result"] == offline_result(
+                FIGURE_6_SEQUENCE[slot]
+            )
+        kind, err = outcomes[4]
+        assert kind == "err"
+        assert isinstance(err, WorkloadError)
+
+    def test_tiny_deadline_is_structured_504(self, service):
+        with pytest.raises(ServeError) as excinfo:
+            service.handle_eval(eval_document(deadline_s=1e-9))
+        assert excinfo.value.code == "SERVE_DEADLINE_EXCEEDED"
+
+    def test_crash_fault_is_isolated(self, service):
+        with pytest.raises(ServeError) as excinfo:
+            service.handle_eval(eval_document(fault="crash"))
+        assert excinfo.value.code == "SERVE_WORKER_CRASHED"
+        payload = service.handle_eval(eval_document())
+        assert payload["result"] == offline_result()
+
+    def test_fault_hook_refused_without_chaos(self):
+        plain = EvaluationService(ServiceConfig())
+        try:
+            with pytest.raises(ServeError) as excinfo:
+                plain.handle_eval(eval_document(fault="crash"))
+            assert excinfo.value.code == "SERVE_BAD_REQUEST"
+        finally:
+            plain.drain(timeout_s=2.0)
+
+
+class TestOverloadAndWatchdog:
+    def test_overload_sheds_with_429_code(self):
+        service = EvaluationService(ServiceConfig(
+            queue_limit=1,
+            watchdog_poll_s=0.01,
+            watchdog_hang_s=5.0,
+            wedge_s=0.5,
+            allow_fault_injection=True,
+        ))
+        try:
+            started = threading.Event()
+            outcome = {}
+
+            def occupant() -> None:
+                started.set()
+                try:
+                    outcome["value"] = service.handle_eval(
+                        eval_document(fault="wedge")
+                    )
+                except ReproError as err:
+                    outcome["error"] = err
+
+            thread = threading.Thread(target=occupant)
+            thread.start()
+            started.wait()
+            time.sleep(0.1)  # let the occupant reach the worker
+            with pytest.raises(ServeError) as excinfo:
+                service.handle_eval(eval_document())
+            assert excinfo.value.code == "SERVE_OVERLOADED"
+            thread.join()
+            # wedge_s < watchdog_hang_s here: the wedge wakes up and
+            # the occupant's request completes normally.
+            assert "value" in outcome
+        finally:
+            service.drain(timeout_s=5.0)
+
+    def test_watchdog_recycles_wedged_worker(self, service):
+        """A wedged worker is detected, its batch failed with a
+        structured error, and a fresh worker serves the next request."""
+        with pytest.raises(ServeError) as excinfo:
+            service.handle_eval(eval_document(fault="wedge"))
+        assert excinfo.value.code == "SERVE_WORKER_CRASHED"
+        assert "recycled" in str(excinfo.value)
+        payload = service.handle_eval(eval_document())
+        assert payload["result"] == offline_result()
+        assert service.health()["metrics"]["watchdog_recycles"] >= 1
+
+
+class TestCircuitBreakerFallback:
+    def test_compiled_crash_falls_back_and_trips(self):
+        service = EvaluationService(ServiceConfig(
+            engine="compiled",
+            breaker_threshold=1,
+            breaker_cooldown_s=60.0,
+            batch_window_s=0.001,
+            allow_fault_injection=True,
+        ))
+        try:
+            # The request that observes the compiled-tier fault still
+            # succeeds — served by the interpreted fallback.
+            payload = service.handle_eval(
+                eval_document(fault="compiled-crash")
+            )
+            assert payload["result"] == offline_result()
+            assert payload["meta"]["engine"] == "interpreted"
+            assert service.breaker.state == "open"
+            # While open, clean requests skip the compiled tier.
+            fresh = service.handle_eval(eval_document(FIGURE_6_SEQUENCE[2]))
+            assert fresh["meta"]["engine"] == "interpreted"
+            assert fresh["result"] == offline_result(FIGURE_6_SEQUENCE[2])
+        finally:
+            service.drain(timeout_s=2.0)
+
+
+class TestDrain:
+    def test_drain_refuses_new_work_and_finishes_inflight(self):
+        service = EvaluationService(ServiceConfig(
+            watchdog_poll_s=0.01,
+            watchdog_hang_s=10.0,
+            wedge_s=0.3,
+            allow_fault_injection=True,
+        ))
+        outcome = {}
+        started = threading.Event()
+
+        def inflight() -> None:
+            started.set()
+            # A wedge shorter than the watchdog's patience: the
+            # request is genuinely in flight for ~0.3 s, then
+            # completes normally — exactly what a drain must wait for.
+            outcome["value"] = service.handle_eval(
+                eval_document(fault="wedge")
+            )
+
+        thread = threading.Thread(target=inflight)
+        thread.start()
+        started.wait()
+        time.sleep(0.05)
+        report = service.drain(timeout_s=5.0)
+        thread.join()
+        assert report["drained"] is True
+        assert outcome["value"]["result"] == offline_result()
+        with pytest.raises(ServeError) as excinfo:
+            service.handle_eval(eval_document())
+        assert excinfo.value.code == "SERVE_SHUTTING_DOWN"
+
+    def test_drain_is_idempotent(self, service):
+        assert service.drain(timeout_s=2.0)["drained"] is True
+        assert service.drain(timeout_s=2.0)["drained"] is True
+
+
+@pytest.fixture()
+def server():
+    instance = GablesServer(
+        ServiceConfig(
+            batch_window_s=0.001,
+            max_body_bytes=20_000,
+            allow_fault_injection=True,
+        ),
+        port=0,
+    ).start()
+    yield instance
+    instance.shutdown_gracefully()
+
+
+class TestHttpSurface:
+    def test_unreachable_server_raises_catalogued_error(self):
+        # Port 9 (discard) is never listening; the transport failure
+        # must surface as a ServeError, not a raw OSError traceback.
+        with ServiceClient("http://127.0.0.1:9", timeout_s=0.5) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.health()
+        assert excinfo.value.code == "SERVE_FAILED"
+        assert "cannot reach" in str(excinfo.value)
+
+    def test_eval_round_trip_with_request_id(self, server):
+        with ServiceClient(server.url) as client:
+            payload = client.evaluate(SCENARIO.soc(), SCENARIO.workload())
+            assert payload["result"] == offline_result()
+            assert client.last_request_id
+
+    def test_error_classes_cross_the_wire(self, server):
+        workload = encode_workload(SCENARIO.workload())
+        workload["fractions"] = [0.9] * len(workload["fractions"])
+        with ServiceClient(server.url) as client:
+            with pytest.raises(WorkloadError):
+                client.evaluate(encode_soc(SCENARIO.soc()), workload)
+
+    def test_unknown_endpoint_404(self, server):
+        with ServiceClient(server.url) as client:
+            status, payload = client.raw("GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "SERVE_UNKNOWN_ENDPOINT"
+
+    def test_wrong_method_405(self, server):
+        with ServiceClient(server.url) as client:
+            status, payload = client.raw("POST", "/healthz", {})
+        assert status == 405
+        assert payload["error"]["code"] == "SERVE_METHOD_NOT_ALLOWED"
+
+    def test_oversized_body_413(self, server):
+        document = eval_document(SCENARIO)
+        document["workload"] = dict(document["workload"])
+        document["padding"] = "x" * 30_000
+        with ServiceClient(server.url) as client:
+            status, payload = client.raw("POST", "/eval", document)
+        assert status == 413
+        assert payload["error"]["code"] == "SERVE_PAYLOAD_TOO_LARGE"
+
+    def test_malformed_json_400(self, server):
+        import http.client
+
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/eval", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert payload["error"]["code"] == "SERVE_BAD_REQUEST"
+
+    def test_healthz_and_readyz(self, server):
+        with ServiceClient(server.url) as client:
+            health = client.health()
+            assert health["status"] == "ok"
+            assert "metrics" in health
+            assert client.ready() is True
+
+    def test_variants_catalog_excludes_phases(self, server):
+        with ServiceClient(server.url) as client:
+            names = client.variant_names()
+        assert "base" in names
+        assert "phases" not in names
+
+    def test_sweep_round_trip(self, server):
+        with ServiceClient(server.url) as client:
+            payload = client.sweep(
+                SCENARIO.soc(), SCENARIO.workload(),
+                param="f", ip_index=1,
+                values=[0.0, 0.25, 0.5, 0.75, 1.0],
+            )
+        assert payload["parameter"] == "f[1]"
+        assert len(payload["values"]) == 5
+        from repro.explore.sweep import sweep_fraction
+
+        series = sweep_fraction(
+            SCENARIO.soc(), SCENARIO.workload(), 1,
+            [0.0, 0.25, 0.5, 0.75, 1.0],
+        )
+        assert tuple(payload["attainables"]) == series.attainables()
+
+    def test_variant_eval_round_trip(self, server):
+        from repro.core import evaluate_variant, variant_from_config
+
+        soc, workload = SCENARIO.soc(), SCENARIO.workload()
+        with ServiceClient(server.url) as client:
+            payload = client.evaluate_variant(soc, workload, "serialized")
+        offline = evaluate_variant(
+            soc, workload, variant_from_config("serialized", soc)
+        )
+        assert payload["result"] == encode_result(offline)
+
+
+class TestChaosLoad:
+    """The acceptance criterion: concurrent chaos, zero contamination."""
+
+    def test_chaos_load_isolates_faults_bitwise(self, server, tmp_path):
+        # Warm the engine tiers so latency percentiles measure steady
+        # state, not one-time compilation.
+        with ServiceClient(server.url) as client:
+            for scenario in FIGURE_6_SEQUENCE:
+                client.evaluate(scenario.soc(), scenario.workload())
+
+        report = run_load(
+            server.url, clients=8, requests_per_client=12,
+            fault_plan="chaos-default", seed=42,
+        )
+        # Clean requests: zero failures, bitwise-identical results.
+        assert report.clean_requests > 0
+        assert report.clean_failures == ()
+        for index, payload in report.clean_samples:
+            scenario = FIGURE_6_SEQUENCE[index]
+            assert payload["result"] == encode_result(
+                evaluate(scenario.soc(), scenario.workload())
+            ), f"cross-request contamination on scenario {index}"
+        # Injected faults: every one surfaced as a structured,
+        # catalogued error (and at least one was actually injected).
+        assert report.injected_requests > 0
+        assert report.fault_misses == ()
+        codes = {code for *_, code in report.fault_outcomes}
+        assert codes & {"SERVE_WORKER_CRASHED", "SERVE_DEADLINE_EXCEEDED"}
+        # Latency SLO: generous bound (shared CI boxes), but p99 must
+        # exist and be finite.
+        assert report.p99_s < 5.0
+        assert report.p50_s <= report.p99_s
+        # SLO records land in a bench history and read back.
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        written = record_slo(report, history)
+        assert written == 3
+        from repro.obs.bench import read_history
+
+        names = [record.name for record in read_history(history)]
+        assert names == [
+            "serve.loadgen.p50", "serve.loadgen.p99", "serve.loadgen.rps",
+        ]
+
+    def test_loadgen_is_deterministic_per_seed(self, server):
+        kwargs = dict(clients=2, requests_per_client=6,
+                      fault_plan="chaos-default", seed=9)
+        first = run_load(server.url, **kwargs)
+        second = run_load(server.url, **kwargs)
+        # Thread interleaving may reorder the global log, but each
+        # (worker, sequence) slot draws the same injection every run.
+        assert sorted(
+            (w, s, kind) for w, s, kind, _ in first.fault_outcomes
+        ) == sorted(
+            (w, s, kind) for w, s, kind, _ in second.fault_outcomes
+        )
+        assert first.clean_requests == second.clean_requests
+
+
+class TestCachePersistenceOverHttp:
+    def test_crash_only_restart_serves_warm_cache(self, tmp_path):
+        cache_path = tmp_path / "cache.jsonl"
+        config = ServiceConfig(cache_path=str(cache_path))
+        first = GablesServer(config, port=0).start()
+        try:
+            with ServiceClient(first.url) as client:
+                cold = client.evaluate(SCENARIO.soc(), SCENARIO.workload())
+                assert cold["meta"]["cached"] is False
+        finally:
+            first.shutdown_gracefully()
+        # "Crash": no handshake, just a new process-equivalent server
+        # pointed at the same cache file.
+        second = GablesServer(config, port=0).start()
+        try:
+            with ServiceClient(second.url) as client:
+                warm = client.evaluate(SCENARIO.soc(), SCENARIO.workload())
+            assert warm["meta"]["cached"] is True
+            assert warm["result"] == cold["result"]
+        finally:
+            second.shutdown_gracefully()
+
+
+class TestSigtermDrain:
+    """A real process, a real signal: in-flight work must finish."""
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(p) for p in (os.path.join(os.getcwd(), "src"),)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            assert "listening on" in line, line
+            url = line.split("listening on ")[1].split()[0]
+
+            outcomes = []
+
+            def hammer() -> None:
+                with ServiceClient(url, timeout_s=30.0) as client:
+                    payload = client.sweep(
+                        SCENARIO.soc(), SCENARIO.workload(),
+                        param="f", ip_index=1,
+                        values=[i / 7999 for i in range(8000)],
+                    )
+                    outcomes.append(len(payload["values"]))
+
+            with ServiceClient(url, timeout_s=10.0) as probe:
+                base = probe.health()["metrics"]["requests"]
+                thread = threading.Thread(target=hammer)
+                thread.start()
+                # Signal only once the sweep has been *admitted* (or
+                # already finished): the drain must let admitted work
+                # complete rather than cut the socket.
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    health = probe.health()
+                    if (health["inflight"] >= 1
+                            or health["metrics"]["requests"] > base):
+                        break
+                    time.sleep(0.005)
+            process.send_signal(signal.SIGTERM)
+            thread.join()
+            stdout, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert outcomes == [8000]
+        assert process.returncode == 0, stdout
+        assert "drained cleanly: True" in stdout

@@ -99,6 +99,52 @@ class TestSvgCanvas:
         with pytest.raises(SpecError):
             series_color(8)
 
+    def test_series_style_matches_palette_in_range(self):
+        from repro.viz import series_style
+
+        for index in range(8):
+            assert series_style(index) == (series_color(index), None)
+
+    def test_series_style_folds_overflow_recessively(self):
+        from repro.viz import SERIES_COLORS, series_style
+        from repro.viz.svg import OVERFLOW_COLOR
+
+        color, dash = series_style(8)
+        assert color == OVERFLOW_COLOR
+        assert color not in SERIES_COLORS
+        assert dash
+        # Adjacent overflow series are told apart by dash, not hue.
+        assert series_style(9)[0] == OVERFLOW_COLOR
+        assert series_style(9)[1] != dash
+        with pytest.raises(SpecError):
+            series_style(-1)
+
+    def test_nine_series_roofline_renders(self):
+        """8 IPs + the memory roofline = 9 curves; the chart must fold
+        the overflow instead of crashing (fuzz-pipeline regression)."""
+        import xml.dom.minidom
+
+        from repro.core import IPBlock, SoCSpec, Workload
+        from repro.viz import RooflinePlotData, roofline_svg
+
+        n_ips = 8
+        soc = SoCSpec(
+            peak_perf=1e10,
+            memory_bandwidth=1e10,
+            ips=tuple(
+                IPBlock(f"ip{i}", 1.0 if i == 0 else float(i + 1),
+                        (i + 1) * 1e9)
+                for i in range(n_ips)
+            ),
+        )
+        workload = Workload(
+            fractions=(1.0 / n_ips,) * n_ips,
+            intensities=(4.0,) * n_ips,
+        )
+        svg = roofline_svg(RooflinePlotData.from_model(soc, workload))
+        assert svg.startswith("<svg")
+        xml.dom.minidom.parseString(svg)
+
     def test_polyline_needs_two_points(self):
         canvas = SvgCanvas(100, 100)
         with pytest.raises(SpecError):
