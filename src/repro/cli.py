@@ -24,6 +24,9 @@ Subcommands::
     gables client health
     gables client loadgen --clients 8 --fault-plan chaos-default \
                           --history BENCH_HISTORY.jsonl
+    gables slo check --url http://127.0.0.1:8080 \
+                     --history BENCH_HISTORY.jsonl --alerts ALERTS.jsonl
+    gables slo dashboard --url http://127.0.0.1:8080 --out serve.html
 
 Observability flags (accepted globally and on every subcommand; see
 docs/observability.md and docs/profiling.md)::
@@ -767,6 +770,77 @@ def _cmd_client_loadgen(args) -> int:
     return 0 if report.ok else ServeError.exit_code
 
 
+def _cmd_slo_check(args) -> int:
+    """Burn-rate check over the live server and/or bench history.
+
+    Prints one report per source; breaches append structured alerts
+    to ``--alerts`` and a page-severity burn exits nonzero via
+    ``SLO_BURN_RATE_EXCEEDED`` (ticket-severity burns warn but pass).
+    """
+    import json
+
+    from .errors import ObservabilityError
+    from .obs.dashboard import _http_get
+
+    if not args.url and not args.history:
+        raise ReproError(
+            "nothing to check: provide --url and/or --history"
+        )
+    objectives = obs.default_objectives(
+        availability=args.availability,
+        latency_objective=args.latency_objective,
+        threshold_s=args.p99_threshold,
+    )
+    reports = []
+    if args.url:
+        report = json.loads(_http_get(args.url, "/slo"))
+        reports.append((f"{args.url}/slo", report))
+    if args.history:
+        try:
+            records = obs.read_history(args.history)
+        except OSError as err:
+            raise ReproError(
+                f"cannot read bench history: {err}"
+            ) from err
+        events = obs.history_events(
+            records, threshold_s=args.p99_threshold
+        )
+        report = obs.evaluate_slos(objectives, events)
+        report["window_events"] = len(events)
+        reports.append((args.history, report))
+    worst = ""
+    alerts = []
+    for source, report in reports:
+        print(f"{source}:")
+        print(obs.format_slo_report(report))
+        print()
+        alerts.extend(obs.alert_records(report, source=source))
+        severity = report.get("severity", "")
+        if severity and (not worst or severity == "page"):
+            worst = severity
+    if alerts:
+        obs.append_alerts(args.alerts, alerts)
+        print(f"appended {len(alerts)} alert(s) to {args.alerts}")
+    if worst == "page":
+        raise ObservabilityError(
+            f"error budget burning at page severity "
+            f"({len(alerts)} alert(s) in {args.alerts})",
+            code="SLO_BURN_RATE_EXCEEDED",
+        )
+    print("slo check: ok" if not worst
+          else f"slo check: {worst}-severity burn (not paging)")
+    return 0
+
+
+def _cmd_slo_dashboard(args) -> int:
+    obs.write_serve_dashboard_html(
+        args.out, args.url, refresh_s=args.refresh_s
+    )
+    print(f"wrote {args.out} (self-contained; auto-refreshes every "
+          f"{args.refresh_s:g}s)")
+    return 0
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser, top_level: bool) -> None:
     """Observability flags, shared by the root parser and every subcommand.
 
@@ -1279,6 +1353,59 @@ def build_parser() -> argparse.ArgumentParser:
              "JSONL file",
     )
     p_client_loadgen.set_defaults(handler=_cmd_client_loadgen)
+
+    p_slo = sub.add_parser(
+        "slo", help="error-budget burn-rate checks and the live serve tab"
+    )
+    slo_sub = p_slo.add_subparsers(dest="slo_command", required=True)
+    p_slo_check = slo_sub.add_parser(
+        "check",
+        help="evaluate SLO burn rates; nonzero exit on a page-severity "
+             "burn",
+    )
+    p_slo_check.add_argument(
+        "--url", default=None,
+        help="live server base URL to scrape GET /slo from",
+    )
+    p_slo_check.add_argument(
+        "--history", metavar="FILE", default=None,
+        help="bench-history JSONL with serve.loadgen.p99 records",
+    )
+    p_slo_check.add_argument(
+        "--alerts", metavar="FILE", default="ALERTS.jsonl",
+        help="append structured alerts here on breach "
+             "(default ALERTS.jsonl)",
+    )
+    p_slo_check.add_argument(
+        "--availability", type=float, default=0.999,
+        help="availability objective (default 0.999)",
+    )
+    p_slo_check.add_argument(
+        "--latency-objective", dest="latency_objective", type=float,
+        default=0.99, help="latency objective fraction (default 0.99)",
+    )
+    p_slo_check.add_argument(
+        "--p99-threshold", dest="p99_threshold", type=float,
+        default=0.25, metavar="S",
+        help="latency SLO threshold in seconds (default 0.25)",
+    )
+    p_slo_check.set_defaults(handler=_cmd_slo_check)
+    p_slo_dashboard = slo_sub.add_parser(
+        "dashboard",
+        help="scrape /metrics + /slo into a self-refreshing HTML page",
+    )
+    p_slo_dashboard.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="server base URL"
+    )
+    p_slo_dashboard.add_argument(
+        "--out", metavar="FILE", default="serve-dashboard.html",
+        help="output HTML file",
+    )
+    p_slo_dashboard.add_argument(
+        "--refresh-s", dest="refresh_s", type=float, default=5.0,
+        metavar="S", help="meta-refresh interval (default 5)",
+    )
+    p_slo_dashboard.set_defaults(handler=_cmd_slo_dashboard)
     return parser
 
 

@@ -152,6 +152,9 @@ FINE_GRAINED_CODES: dict = {
     "SERVE_OVERLOADED": ServeError,
     "SERVE_SHUTTING_DOWN": ServeError,
     "SERVE_WORKER_CRASHED": ServeError,
+    "OBS_EXPOSITION_MALFORMED": ObservabilityError,
+    "SLO_BAD_OBJECTIVE": ObservabilityError,
+    "SLO_BURN_RATE_EXCEEDED": ObservabilityError,
 }
 
 

@@ -43,11 +43,16 @@ def read_jsonl_tolerant(
 
     The file is read as bytes and decoded per line: a write torn
     mid-UTF-8-sequence leaves invalid bytes that must count as a torn
-    tail too, not escape as ``UnicodeDecodeError``.
+    tail too, not escape as ``UnicodeDecodeError``.  Lines are framed
+    on ``\\n`` alone — the writer's terminator — so torn bytes that
+    happen to contain ``\\r``/``\\f`` stay one droppable tail instead
+    of splitting into a "corrupt" earlier line.
     """
     path = os.fspath(path)
     with open(path, "rb") as handle:
-        lines = handle.read().splitlines()
+        lines = handle.read().split(b"\n")
+    if lines and not lines[-1]:
+        lines.pop()  # the terminator of a complete final line
     records = []
     for lineno, line in enumerate(lines, start=1):
         if not line.strip():

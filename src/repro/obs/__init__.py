@@ -20,7 +20,12 @@ sweeps, report generation):
   ``BENCH_HISTORY.jsonl`` store, and rolling-median regression
   detection behind ``gables bench compare``;
 - :mod:`.dashboard` — the one-page self-contained HTML dashboard
-  behind ``gables report dashboard``.
+  behind ``gables report dashboard``;
+- :mod:`.expo` — Prometheus-style text exposition of the metrics
+  registry, served live at ``GET /metrics``;
+- :mod:`.slo` — declarative SLOs with multi-window error-budget
+  burn-rate alerts behind ``GET /slo`` and ``gables slo check``
+  (``docs/monitoring.md``).
 
 Quickstart::
 
@@ -71,13 +76,16 @@ from .collect import (
 from .context import (
     TraceContext,
     adopt_env_context,
+    adopt_header_context,
     anchor_offset,
     clock_anchor,
     context_scope,
     current_context,
     env_propagation,
     extract_env,
+    extract_headers,
     inject_env,
+    inject_headers,
     new_context,
     new_trace_id,
     reset_context,
@@ -88,6 +96,12 @@ from .dashboard import (
     render_dashboard,
     write_dashboard_html,
     write_fleet_dashboard_html,
+    write_serve_dashboard_html,
+)
+from .expo import (
+    exposition_content_type,
+    parse_exposition,
+    render_exposition,
 )
 from .export import (
     SpanSummary,
@@ -114,11 +128,13 @@ from .logging import (
     tail_logs,
 )
 from .metrics import (
+    BucketHistogram,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     Timer,
+    bucket_histogram,
     counter,
     encode_metric_key,
     gauge,
@@ -153,6 +169,23 @@ from .provenance import (
     provenance_enabled,
     reset_provenance,
 )
+from .slo import (
+    BurnWindow,
+    RequestWindow,
+    SLOEvent,
+    SLObjective,
+    alert_records,
+    append_alerts,
+    default_objectives,
+    evaluate_objective,
+    evaluate_slos,
+    format_slo_report,
+    history_events,
+    observe_request,
+    read_alerts,
+    request_window,
+    reset_slo,
+)
 from .trace import (
     SpanRecord,
     Tracer,
@@ -166,6 +199,8 @@ from .trace import (
 
 __all__ = [
     "BenchRecord",
+    "BucketHistogram",
+    "BurnWindow",
     "ComparisonReport",
     "ComparisonRow",
     "Counter",
@@ -177,6 +212,9 @@ __all__ = [
     "MetricsRegistry",
     "ProfileNode",
     "Profiler",
+    "RequestWindow",
+    "SLOEvent",
+    "SLObjective",
     "ShardCollector",
     "SpanRecord",
     "SpanSummary",
@@ -188,8 +226,12 @@ __all__ = [
     "Tracer",
     "WorkerHealth",
     "adopt_env_context",
+    "adopt_header_context",
+    "alert_records",
     "anchor_offset",
+    "append_alerts",
     "append_history",
+    "bucket_histogram",
     "chrome_span_events",
     "chrome_trace_events",
     "clock_anchor",
@@ -198,6 +240,7 @@ __all__ = [
     "context_scope",
     "counter",
     "current_context",
+    "default_objectives",
     "detect_regressions",
     "discover_shards",
     "disable_profiling",
@@ -208,12 +251,17 @@ __all__ = [
     "enable_tracing",
     "encode_metric_key",
     "env_propagation",
+    "evaluate_objective",
+    "evaluate_slos",
     "explain",
     "explain_history",
+    "exposition_content_type",
     "extract_env",
+    "extract_headers",
     "fleet_lanes_svg",
     "format_log_summary",
     "format_profile",
+    "format_slo_report",
     "gauge",
     "get_logger",
     "get_profiler",
@@ -221,8 +269,10 @@ __all__ = [
     "get_tracer",
     "git_revision",
     "histogram",
+    "history_events",
     "host_fingerprint",
     "inject_env",
+    "inject_headers",
     "last_explain",
     "load_bench_file",
     "load_shards",
@@ -236,21 +286,27 @@ __all__ = [
     "new_context",
     "new_run_id",
     "new_trace_id",
+    "observe_request",
+    "parse_exposition",
     "profile_scope",
     "profile_to_dict",
     "profiled",
     "profiling_enabled",
     "provenance_enabled",
+    "read_alerts",
     "read_history",
     "read_log_jsonl",
     "read_shard",
     "read_trace_jsonl",
     "render_dashboard",
+    "render_exposition",
+    "request_window",
     "reset_context",
     "reset_logging",
     "reset_metrics",
     "reset_profiling",
     "reset_provenance",
+    "reset_slo",
     "reset_tracing",
     "resource_sample",
     "rolling_baseline",
@@ -266,6 +322,7 @@ __all__ = [
     "write_dashboard_html",
     "write_fleet_dashboard_html",
     "write_merged",
+    "write_serve_dashboard_html",
     "write_metrics_json",
     "write_profile_json",
     "write_trace_chrome",
@@ -287,6 +344,7 @@ def reset_observability() -> None:
     reset_provenance()
     reset_logging()
     reset_context()
+    reset_slo()
 
 
 __all__.append("reset_observability")

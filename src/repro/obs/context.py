@@ -49,6 +49,16 @@ CONTEXT_ENV_VARS = (
     ENV_TRACE_ID, ENV_PARENT_SPAN, ENV_FLEET_RUN, ENV_WORKER_ID, ENV_SHARD,
 )
 
+#: HTTP header names used for wire-level propagation, the header-borne
+#: analogue of the ``GABLES_*`` environment variables.  The service
+#: client injects these on every request; the server adopts them so
+#: client and server spans join into one trace (``docs/monitoring.md``).
+HEADER_TRACE_ID = "X-Gables-Trace-Id"
+HEADER_PARENT_SPAN = "X-Gables-Parent-Span"
+
+#: All context-carrying HTTP headers, in injection order.
+CONTEXT_HEADERS = (HEADER_TRACE_ID, HEADER_PARENT_SPAN)
+
 
 def new_trace_id() -> str:
     """A fresh 32-hex-digit trace id (random, collision-negligible)."""
@@ -71,6 +81,7 @@ class TraceContext:
     fleet_run_id: str = ""
     worker_id: str = ""
     shard: int | None = None
+    request_id: str = ""
 
     def __post_init__(self) -> None:
         if not self.trace_id:
@@ -88,6 +99,7 @@ class TraceContext:
             "fleet_run_id": self.fleet_run_id,
             "worker_id": self.worker_id,
             "shard": self.shard,
+            "request_id": self.request_id,
         }
 
     @classmethod
@@ -101,6 +113,7 @@ class TraceContext:
             fleet_run_id=str(data.get("fleet_run_id", "")),
             worker_id=str(data.get("worker_id", "")),
             shard=None if shard is None else int(shard),
+            request_id=str(data.get("request_id", "")),
         )
 
 
@@ -250,6 +263,73 @@ def env_propagation(context: TraceContext, env=None):
                 env.pop(name, None)
             else:
                 env[name] = value
+
+
+# ---------------------------------------------------------------------
+# HTTP-header propagation (the wire-level half)
+# ---------------------------------------------------------------------
+
+
+def inject_headers(context: TraceContext, headers=None,
+                   *, parent_span_id=None) -> dict:
+    """Serialize ``context`` into HTTP request ``headers``.
+
+    The wire analogue of :func:`inject_env`: writes
+    ``X-Gables-Trace-Id`` and, when known, ``X-Gables-Parent-Span``
+    (``parent_span_id`` overrides the context's own, letting a client
+    name its *live* request span as the parent).  Returns the mapping
+    that was written.
+    """
+    if headers is None:
+        headers = {}
+    headers[HEADER_TRACE_ID] = context.trace_id
+    if parent_span_id is None:
+        parent_span_id = context.parent_span_id
+    if parent_span_id is None:
+        headers.pop(HEADER_PARENT_SPAN, None)
+    else:
+        headers[HEADER_PARENT_SPAN] = str(parent_span_id)
+    return headers
+
+
+def extract_headers(headers) -> TraceContext | None:
+    """Read a :class:`TraceContext` back out of HTTP ``headers``.
+
+    ``headers`` is any mapping with ``.get`` (an
+    ``http.server`` message object works, and is case-insensitive).
+    Returns ``None`` when no trace id is present; a malformed parent
+    span id raises :class:`~repro.errors.ObservabilityError` just like
+    :func:`extract_env` does for the environment.
+    """
+    trace_id = headers.get(HEADER_TRACE_ID)
+    if not trace_id:
+        return None
+    raw_parent = headers.get(HEADER_PARENT_SPAN)
+    if raw_parent is None or raw_parent == "":
+        parent_span_id = None
+    else:
+        try:
+            parent_span_id = int(raw_parent)
+        except ValueError:
+            raise ObservabilityError(
+                f"header {HEADER_PARENT_SPAN}={raw_parent!r} is not an "
+                "integer"
+            ) from None
+    return TraceContext(trace_id=str(trace_id),
+                        parent_span_id=parent_span_id)
+
+
+def adopt_header_context(headers) -> TraceContext | None:
+    """Extract a wire context and install it process-current.
+
+    The server-side entry hook, mirroring :func:`adopt_env_context`:
+    returns the adopted context, or ``None`` (leaving the current
+    context untouched) when the request carries no trace headers.
+    """
+    context = extract_headers(headers)
+    if context is not None:
+        set_context(context)
+    return context
 
 
 # ---------------------------------------------------------------------

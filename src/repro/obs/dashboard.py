@@ -16,6 +16,7 @@ module must lazy-import ``viz`` inside functions to avoid a cycle.
 from __future__ import annotations
 
 import html as _html
+import math
 
 from .bench import read_history
 from .metrics import get_registry
@@ -162,6 +163,24 @@ def sparkline_svg(values, width: int = 180, height: int = 40,
     return canvas.to_string()
 
 
+def _bucket_quantile(entry: dict, q: float):
+    """Upper-bound quantile estimate from a bucket_histogram entry."""
+    count = entry.get("count", 0)
+    buckets = entry.get("buckets", ())
+    if not count or not buckets:
+        return None
+    rank = max(1, math.ceil(q * count))
+    cumulative = 0
+    bounds = entry.get("bounds", ())
+    for index, bucket_count in enumerate(buckets):
+        cumulative += bucket_count
+        if cumulative >= rank:
+            if index < len(bounds):
+                return bounds[index]
+            return entry.get("max")
+    return entry.get("max")
+
+
 def _metrics_section(snapshot) -> str:
     if not snapshot:
         return '<p class="empty">no metrics collected</p>'
@@ -169,10 +188,19 @@ def _metrics_section(snapshot) -> str:
     for name, entry in sorted(snapshot.items()):
         kind = entry.get("type", "?")
         if kind == "histogram":
-            value = (f"n={entry['count']} sum={entry['sum']:.6g} "
-                     f"mean={entry['mean']:.6g}")
+            count = entry.get("count", 0)
+            total = entry.get("sum", 0.0)
+            mean = entry.get("mean", total / count if count else 0.0)
+            value = f"n={count} sum={total:.6g} mean={mean:.6g}"
             if "p95" in entry:
                 value += f" p50={entry['p50']:.6g} p95={entry['p95']:.6g}"
+        elif kind == "bucket_histogram":
+            value = (f"n={entry.get('count', 0)} "
+                     f"sum={entry.get('sum', 0.0):.6g}")
+            p50 = _bucket_quantile(entry, 0.50)
+            p99 = _bucket_quantile(entry, 0.99)
+            if p50 is not None and p99 is not None:
+                value += f" p50<={p50:.6g} p99<={p99:.6g}"
         else:
             value = f"{entry.get('value', 0):.6g}"
         rows.append(
@@ -330,9 +358,10 @@ def _fleet_section(merged) -> str:
     from ..viz.flamegraph import profile_flame_svg
 
     summary = merged.summary()
+    trace = summary["trace_id"][:12] or "<none>"
     headline = (
         f"fleet run {summary['fleet_run_id'] or '<unstamped>'} — "
-        f"trace {summary['trace_id'][:12]}…, "
+        f"trace {trace}…, "
         f"{len(summary['workers'])} workers, {summary['spans']} spans, "
         f"{summary['log_records']} log records"
     )
@@ -506,9 +535,25 @@ def write_fleet_dashboard_html(path, telemetry_dir,
     merged snapshot, tree, and renumbered spans rather than this
     process's (empty) collectors.
     """
-    from .collect import load_shards, merge_telemetry
+    from .collect import (
+        MergedTelemetry,
+        discover_shards,
+        merge_telemetry,
+        read_shard,
+    )
 
-    merged = merge_telemetry(load_shards(telemetry_dir))
+    shards = tuple(
+        read_shard(d) for d in discover_shards(telemetry_dir)
+    )
+    if shards:
+        merged = merge_telemetry(shards)
+    else:
+        # Zero workers (an aborted run, an empty directory) still
+        # deserves a valid page, not a traceback.
+        merged = MergedTelemetry(
+            fleet_run_id="", trace_id="", workers=(), spans=(),
+            metrics={}, profile=(), logs=(), heartbeats={}, shards=(),
+        )
     history: tuple = ()
     if history_path is not None:
         try:
@@ -522,6 +567,126 @@ def write_fleet_dashboard_html(path, telemetry_dir,
         history=history,
         fleet=merged,
         title="Gables fleet observatory",
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return document
+
+
+# ---------------------------------------------------------------------
+# The live serve tab (scraped from a running gables-serve)
+# ---------------------------------------------------------------------
+
+
+def _http_get(url: str, path: str, *, timeout_s: float = 10.0) -> str:
+    """One stdlib GET against a ``gables serve`` endpoint; body text."""
+    import http.client
+
+    from ..errors import ObservabilityError
+
+    if url.startswith("http://"):
+        netloc = url[len("http://"):]
+    elif "://" in url:
+        raise ObservabilityError(
+            f"only http:// URLs are supported, got {url!r}"
+        )
+    else:
+        netloc = url
+    host, _, port = netloc.rstrip("/").partition(":")
+    conn = http.client.HTTPConnection(
+        host or "127.0.0.1", int(port) if port else 80, timeout=timeout_s
+    )
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        if response.status >= 400:
+            raise ObservabilityError(
+                f"GET {path} on {url} answered {response.status}"
+            )
+        return response.read().decode("utf-8")
+    except OSError as err:
+        raise ObservabilityError(
+            f"cannot scrape {url}{path}: {err or type(err).__name__}"
+        ) from err
+    finally:
+        conn.close()
+
+
+def _slo_section(slo: dict) -> str:
+    if not slo or not slo.get("objectives"):
+        return '<p class="empty">no SLO report</p>'
+    from .slo import format_slo_report
+
+    state = (
+        f"SLO BREACH — severity {slo.get('severity')}"
+        if slo.get("breached") else "all objectives within budget"
+    )
+    return (
+        f"<p><strong>{_html.escape(state)}</strong> "
+        f"({slo.get('window_events', 0)} events in window)</p>"
+        f"<pre>{_html.escape(format_slo_report(slo))}</pre>"
+    )
+
+
+def render_serve_dashboard(*, metrics=None, slo=None, url: str = "",
+                           refresh_s: float = 5.0,
+                           title: str = "Gables serve observatory") -> str:
+    """The live serve tab as a self-contained auto-refreshing page.
+
+    Same no-scripts rule as :func:`render_dashboard` — the refresh is a
+    ``<meta http-equiv="refresh">`` tag, so the page stays openable
+    from a file share while tracking a live server when served fresh.
+    ``metrics`` is a snapshot-shaped mapping (e.g. from
+    :func:`~repro.obs.expo.parse_exposition`), ``slo`` the ``GET /slo``
+    report document.
+    """
+    metrics = metrics or {}
+    slo = slo or {}
+    source = (
+        f"scraped from {_html.escape(url)}" if url else "no live source"
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="{refresh_s:g}">
+<title>{_html.escape(title)}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<h1>{_html.escape(title)}</h1>
+<p>{source}; auto-refreshes every {refresh_s:g}s.</p>
+<section id="slo">
+<h2>SLO error budget</h2>
+{_slo_section(slo)}
+</section>
+<section id="serve-metrics">
+<h2>Serve metrics</h2>
+{_metrics_section(metrics)}
+</section>
+<footer>generated by the repro observability stack —
+no scripts, refresh via meta tag only.</footer>
+</body>
+</html>
+"""
+
+
+def write_serve_dashboard_html(path, url: str, *,
+                               refresh_s: float = 5.0) -> str:
+    """Scrape ``/metrics`` + ``/slo`` from ``url`` and render the serve tab.
+
+    The page auto-refreshes via a meta tag, so pointing a browser at a
+    periodically rewritten file (or serving it behind the scraper)
+    yields a live view without any client-side code.
+    """
+    from .expo import parse_exposition
+
+    metrics = parse_exposition(_http_get(url, "/metrics"))
+    import json as _json
+
+    slo = _json.loads(_http_get(url, "/slo"))
+    document = render_serve_dashboard(
+        metrics=metrics, slo=slo, url=url, refresh_s=refresh_s
     )
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(document)

@@ -59,6 +59,7 @@ class LogRecord:
     trace_id: str = ""
     span_id: int | None = None
     worker_id: str = ""
+    request_id: str = ""
     fields: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -72,6 +73,7 @@ class LogRecord:
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "worker_id": self.worker_id,
+            "request_id": self.request_id,
             "fields": dict(self.fields),
         }
 
@@ -88,6 +90,7 @@ class LogRecord:
             trace_id=str(data.get("trace_id", "")),
             span_id=None if span_id is None else int(span_id),
             worker_id=str(data.get("worker_id", "")),
+            request_id=str(data.get("request_id", "")),
             fields=dict(data.get("fields", {})),
         )
 
@@ -147,6 +150,7 @@ class StructuredLogger:
             trace_id=context.trace_id if context else "",
             span_id=stack[-1].span_id if stack else None,
             worker_id=context.worker_id if context else "",
+            request_id=context.request_id if context else "",
             fields=fields,
         )
         line = json.dumps(record.to_dict(), sort_keys=True, default=repr)
@@ -250,6 +254,7 @@ def summarize_logs(records) -> dict:
     records = tuple(records)
     by_level = {level: 0 for level in LOG_LEVELS}
     by_event: dict = {}
+    by_request: dict = {}
     workers: set = set()
     traces: set = set()
     errors = []
@@ -260,6 +265,10 @@ def summarize_logs(records) -> dict:
             workers.add(record.worker_id)
         if record.trace_id:
             traces.add(record.trace_id)
+        if record.request_id:
+            by_request[record.request_id] = (
+                by_request.get(record.request_id, 0) + 1
+            )
         if record.level == "error":
             errors.append(record.to_dict())
     summary = {
@@ -268,6 +277,7 @@ def summarize_logs(records) -> dict:
         "events": dict(sorted(by_event.items())),
         "workers": sorted(workers),
         "traces": sorted(traces),
+        "requests": dict(sorted(by_request.items())),
         "errors": errors,
     }
     if records:
@@ -290,6 +300,11 @@ def format_log_summary(summary: dict) -> str:
             f"{level}={count}"
             for level, count in summary["levels"].items()
         ))
+    if summary.get("requests"):
+        lines.append(
+            f"requests: {len(summary['requests'])} distinct "
+            "(X-Gables-Request-Id)"
+        )
     if summary.get("events"):
         width = max(len(event) for event in summary["events"])
         lines.append("events:")

@@ -41,11 +41,18 @@ Two extensions serve the cross-process telemetry layer
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
 import time
 
 from ..errors import ObservabilityError
+
+#: Default upper bounds for :class:`BucketHistogram`: a geometric
+#: ladder from 100 µs to ~3.5 min (factor 2), tuned for request
+#: latencies.  Powers of two keep the bounds bitwise-identical across
+#: processes, which the exact merge law depends on.
+DEFAULT_BUCKET_BOUNDS = tuple(1e-4 * 2.0 ** i for i in range(21))
 
 
 def encode_metric_key(name: str, labels=None) -> str:
@@ -199,6 +206,105 @@ class Histogram:
         return data
 
 
+class BucketHistogram:
+    """Fixed log-bucketed distribution with *exact* merge laws.
+
+    The sampled-window :class:`Histogram` biases its percentiles once
+    the window wraps under load; this instrument trades per-sample
+    fidelity for bucket counts that merge bitwise across processes:
+    merging two bucket histograms (same bounds) yields exactly the
+    histogram of the union of their observations.  Upper bounds use
+    ``le`` semantics (a value lands in the first bucket whose bound is
+    >= value); values above the last bound land in the implicit
+    ``+Inf`` overflow bucket.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "labels",
+                 "bounds", "buckets")
+
+    def __init__(self, name: str, bounds=None, labels=None) -> None:
+        bounds = tuple(
+            float(b) for b in (DEFAULT_BUCKET_BOUNDS if bounds is None
+                               else bounds)
+        )
+        if not bounds or any(
+            b <= a for a, b in zip(bounds, bounds[1:])
+        ) or not all(math.isfinite(b) for b in bounds):
+            raise ObservabilityError(
+                f"bucket histogram {name!r} needs finite, strictly "
+                "increasing bounds"
+            )
+        self.name = name
+        self.labels = dict(labels) if labels else None
+        self.bounds = bounds
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        # One slot per bound plus the +Inf overflow bucket.
+        self.buckets = [0] * (len(self.bounds) + 1)
+
+    def record(self, value: float) -> None:
+        """Observe one value."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (q in [0, 1]).
+
+        Returns the upper bound of the bucket holding the q-th
+        observation — an over-estimate by at most one bucket width,
+        which is the histogram's contract.  The overflow bucket
+        reports the exact observed max.
+        """
+        if not 0 <= q <= 1:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.count:
+            raise ObservabilityError(
+                f"bucket histogram {self.name!r} has no observations"
+            )
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max
+
+    def reset(self) -> None:
+        self._init_state()
+
+    def to_dict(self) -> dict:
+        data = {
+            "type": "bucket_histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
+
+
 class Timer:
     """Context manager recording elapsed seconds into a histogram.
 
@@ -267,6 +373,9 @@ class MetricsRegistry:
     def histogram(self, name: str, labels=None) -> Histogram:
         return self._get_or_create(name, Histogram, labels)
 
+    def bucket_histogram(self, name: str, labels=None) -> BucketHistogram:
+        return self._get_or_create(name, BucketHistogram, labels)
+
     def timer(self, name: str, labels=None) -> Timer:
         """A fresh :class:`Timer` over the named histogram."""
         return Timer(self._get_or_create(name, Histogram, labels))
@@ -320,6 +429,11 @@ def histogram(name: str, labels=None) -> Histogram:
     return _REGISTRY.histogram(name, labels)
 
 
+def bucket_histogram(name: str, labels=None) -> BucketHistogram:
+    """Get or create a bucket histogram in the global registry."""
+    return _REGISTRY.bucket_histogram(name, labels)
+
+
 def timer(name: str, labels=None) -> Timer:
     """A :class:`Timer` over a histogram in the global registry."""
     return _REGISTRY.timer(name, labels)
@@ -362,6 +476,28 @@ def _merge_entry(merged: dict, entry: dict, key: str) -> dict:
         # without loss, so the merged entry carries none.
         merged.pop("p50", None)
         merged.pop("p95", None)
+    elif kind == "bucket_histogram":
+        if list(merged.get("bounds", ())) != list(entry.get("bounds", ())):
+            raise ObservabilityError(
+                f"cannot merge bucket histogram {key!r}: bucket bounds "
+                "differ between snapshots"
+            )
+        merged["count"] = merged.get("count", 0) + entry.get("count", 0)
+        merged["sum"] = merged.get("sum", 0.0) + entry.get("sum", 0.0)
+        for field, pick in (("min", min), ("max", max)):
+            a, b = merged.get(field), entry.get(field)
+            if a is None:
+                merged[field] = b
+            elif b is not None:
+                merged[field] = pick(a, b)
+        merged["mean"] = (
+            merged["sum"] / merged["count"] if merged["count"] else 0.0
+        )
+        # The exact law: bucket counts are integers that add bitwise,
+        # so the merge *is* the histogram of the union of observations.
+        merged["buckets"] = [
+            a + b for a, b in zip(merged["buckets"], entry["buckets"])
+        ]
     else:
         raise ObservabilityError(
             f"cannot merge metric {key!r} of unknown type {kind!r}"
@@ -385,6 +521,10 @@ def merge_snapshots(*snapshots) -> dict:
                 if merged[key].get("type") == "histogram":
                     merged[key].pop("p50", None)
                     merged[key].pop("p95", None)
+                elif merged[key].get("type") == "bucket_histogram":
+                    # Detach mutable fields from the input snapshot.
+                    merged[key]["bounds"] = list(entry.get("bounds", ()))
+                    merged[key]["buckets"] = list(entry.get("buckets", ()))
             else:
                 _merge_entry(merged[key], entry, key)
     return {key: merged[key] for key in sorted(merged)}

@@ -134,6 +134,10 @@ class _NullSpan:
 
 NULL_SPAN = _NullSpan()
 
+#: Sentinel distinguishing "no parent passed" from an explicit None
+#: parent (a forced root) in :meth:`Tracer.span`.
+_PARENT_FROM_STACK = object()
+
 
 class Tracer:
     """Collects spans; one process-global instance serves the library.
@@ -158,10 +162,19 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    def span(self, name: str, **attributes) -> _ActiveSpan:
-        """Open a span; use as a context manager."""
-        stack = self._stack()
-        parent_id = stack[-1].span_id if stack else None
+    def span(self, name: str, parent_id=_PARENT_FROM_STACK,
+             **attributes) -> _ActiveSpan:
+        """Open a span; use as a context manager.
+
+        ``parent_id`` defaults to the innermost open span on the
+        calling thread; pass an explicit id to graft the span under a
+        parent from *elsewhere* — another thread, or the client span
+        named by a request's ``X-Gables-Parent-Span`` header — or
+        ``None`` to force a root.
+        """
+        if parent_id is _PARENT_FROM_STACK:
+            stack = self._stack()
+            parent_id = stack[-1].span_id if stack else None
         record = SpanRecord(
             name=name,
             span_id=next(self._ids),
@@ -236,13 +249,14 @@ def reset_tracing() -> None:
     _TRACER.reset()
 
 
-def span(name: str, **attributes):
+def span(name: str, parent_id=_PARENT_FROM_STACK, **attributes):
     """Open a span on the global tracer, or a no-op when disabled.
 
     The disabled path is a single attribute check returning a shared
     singleton — cheap enough for per-evaluation instrumentation on hot
-    loops.
+    loops.  ``parent_id`` forwards to :meth:`Tracer.span` for callers
+    grafting under a remote parent.
     """
     if not _TRACER.enabled:
         return NULL_SPAN
-    return _TRACER.span(name, **attributes)
+    return _TRACER.span(name, parent_id=parent_id, **attributes)

@@ -16,6 +16,8 @@ import json
 
 from ..errors import ReproError, ServeError
 from ..io.json_codec import encode_soc, encode_workload
+from ..obs.context import current_context, inject_headers, new_context
+from ..obs.trace import span
 from .protocol import error_from_payload
 
 
@@ -66,25 +68,47 @@ class ServiceClient:
         if document is not None:
             body = json.dumps(document, sort_keys=True).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in (1, 2):
-            conn = self._connection()
-            try:
-                conn.request(method, path, body=body, headers=headers)
-                response = conn.getresponse()
-                raw = response.read()
-                break
-            except (ConnectionError, http.client.HTTPException, OSError) as err:
-                # One reconnect covers a server-side keep-alive close;
-                # a second failure is a real connectivity problem.
-                self.close()
-                if attempt == 2:
-                    raise ServeError(
-                        f"cannot reach http://{self._host}:{self._port} "
-                        f"({err or type(err).__name__})"
-                    ) from err
-        self.last_request_id = response.headers.get(
-            "X-Gables-Request-Id", ""
-        )
+        # Wire-level trace propagation: the request carries the active
+        # trace id (or starts a fresh trace) and, when tracing is on,
+        # names the live client span as the server span's parent — the
+        # HTTP analogue of env propagation into fleet workers.
+        context = current_context()
+        if context is None:
+            context = new_context()
+        with span(
+            "serve.client.request", endpoint=path, method=method,
+            trace_id=context.trace_id,
+        ) as client_span:
+            record = getattr(client_span, "record", None)
+            inject_headers(
+                context, headers,
+                parent_span_id=record.span_id if record else None,
+            )
+            for attempt in (1, 2):
+                conn = self._connection()
+                try:
+                    conn.request(method, path, body=body, headers=headers)
+                    response = conn.getresponse()
+                    raw = response.read()
+                    break
+                except (ConnectionError, http.client.HTTPException,
+                        OSError) as err:
+                    # One reconnect covers a server-side keep-alive
+                    # close; a second failure is a real connectivity
+                    # problem.
+                    self.close()
+                    if attempt == 2:
+                        raise ServeError(
+                            f"cannot reach "
+                            f"http://{self._host}:{self._port} "
+                            f"({err or type(err).__name__})"
+                        ) from err
+            self.last_request_id = response.headers.get(
+                "X-Gables-Request-Id", ""
+            )
+            client_span.set_attribute(
+                "request_id", self.last_request_id
+            ).set_attribute("status", response.status)
         try:
             payload = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, ValueError) as err:

@@ -290,7 +290,13 @@ def run_load(
 
 
 def slo_records(report: LoadReport, *, run_id: str | None = None) -> tuple:
-    """The p50/p99/rps SLO observations as bench-history records."""
+    """The p50/p99/rps SLO observations as bench-history records.
+
+    Percentiles come from the *exact* per-request duration list the
+    report holds (no sampled-window bias), and ``samples`` records how
+    many durations backed them — the weight the SLO engine's
+    :func:`~repro.obs.slo.history_events` gives each run.
+    """
     run_id = run_id if run_id is not None else new_run_id()
     meta = {
         "plan": report.plan,
@@ -298,6 +304,7 @@ def slo_records(report: LoadReport, *, run_id: str | None = None) -> tuple:
         "requests": report.requests,
         "clean_requests": report.clean_requests,
         "injected_requests": report.injected_requests,
+        "samples": len(report.clean_latencies_s),
     }
     records = [
         make_record(

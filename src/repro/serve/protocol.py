@@ -85,6 +85,9 @@ HTTP_STATUS_BY_CODE: dict = {
     "SERVE_OVERLOADED": 429,
     "SERVE_SHUTTING_DOWN": 503,
     "SERVE_WORKER_CRASHED": 500,
+    "OBS_EXPOSITION_MALFORMED": 500,
+    "SLO_BAD_OBJECTIVE": 400,
+    "SLO_BURN_RATE_EXCEEDED": 503,
 }
 
 

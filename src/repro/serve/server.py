@@ -9,10 +9,18 @@ catalogued code and the HTTP status from
 admission, deadlines, batching, breakers — lives in the service;
 the only decisions made here are transport ones:
 
-- every request is assigned a fresh
-  :class:`~repro.obs.context.TraceContext` and answers with its id in
-  the ``X-Gables-Request-Id`` header (and in error bodies), so a
+- every request is assigned a fresh request id, answered in the
+  ``X-Gables-Request-Id`` header (and in error bodies) and stamped
+  into every structured log line emitted while handling it, so a
   client-side failure can be joined against server-side logs;
+- trace propagation: when the request carries ``X-Gables-Trace-Id``
+  (and optionally ``X-Gables-Parent-Span``), the handler adopts that
+  trace and opens its ``serve.request`` span under the client's span,
+  joining both sides into one trace;
+- every request feeds the per-endpoint/per-outcome latency series
+  behind ``GET /metrics`` and the live SLO window behind ``GET /slo``
+  (observability scrapes themselves are exposed but excluded from the
+  SLO window);
 - 429 and 503 responses carry ``Retry-After``;
 - request bodies beyond the configured limit are refused with 413
   *before* being read into memory;
@@ -24,6 +32,8 @@ Routes::
     GET  /healthz     liveness + service metrics
     GET  /readyz      200 when admitting, 503 while draining/saturated
     GET  /variants    servable variant names
+    GET  /metrics     Prometheus-style text exposition of the registry
+    GET  /slo         live SLO burn-rate report (JSON)
     POST /eval        one scalar evaluation (coalesced server-side)
     POST /sweep       one parameter sweep
     POST /variants    one variant evaluation
@@ -34,16 +44,36 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..errors import ReproError, ServeError
-from ..obs.context import context_scope, new_context
+from ..errors import ObservabilityError, ReproError, ServeError
+from ..obs.context import TraceContext, context_scope, extract_headers, \
+    new_trace_id
+from ..obs.expo import exposition_content_type, render_exposition
 from ..obs.logging import log_event
+from ..obs.metrics import bucket_histogram, counter, gauge
+from ..obs.slo import default_objectives, evaluate_slos, observe_request, \
+    request_window
+from ..obs.trace import span
 from .protocol import error_body, http_status_for
 from .service import EvaluationService, ServiceConfig
 
 #: Seconds clients are told to wait after a 429/503.
 RETRY_AFTER_S = 1
+
+#: Paths allowed as ``endpoint`` label values; anything else is folded
+#: into ``other`` so unknown-path probes cannot explode label
+#: cardinality in the registry.
+KNOWN_ENDPOINTS = frozenset((
+    "/healthz", "/readyz", "/variants", "/metrics", "/slo",
+    "/eval", "/sweep",
+))
+
+#: Endpoints that *report* observability rather than serve traffic;
+#: they are exposed in the latency series but excluded from the SLO
+#: window (a scrape must not move the SLO it reports).
+OBSERVER_ENDPOINTS = frozenset(("/metrics", "/slo"))
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -73,6 +103,17 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("X-Gables-Request-Id", request_id)
         if status in (429, 503):
             self.send_header("Retry-After", str(RETRY_AFTER_S))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, *,
+                   request_id: str = "") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", exposition_content_type())
+        self.send_header("Content-Length", str(len(body)))
+        if request_id:
+            self.send_header("X-Gables-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -113,16 +154,42 @@ class _Handler(BaseHTTPRequestHandler):
                 "request body must be a JSON object",
                 code="SERVE_BAD_REQUEST",
             )
+        # Chaos requests are deliberate failures: keep them visible in
+        # the exposition series but out of the live SLO window, so a
+        # chaos drill never spends the real error budget.
+        self._fault_requested = bool(document.get("fault"))
         return document
 
     def _dispatch(self, method: str) -> None:
-        context = new_context()
-        request_id = context.trace_id
-        with context_scope(context):
+        start = time.perf_counter()
+        self._fault_requested = False
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            remote = extract_headers(self.headers)
+        except ObservabilityError as err:
+            # Bad telemetry headers must not fail a good request.
+            log_event(
+                "warning", "serve.trace.malformed", str(err), path=path
+            )
+            remote = None
+        request_id = new_trace_id()
+        context = TraceContext(
+            trace_id=remote.trace_id if remote else request_id,
+            parent_span_id=remote.parent_span_id if remote else None,
+            request_id=request_id,
+        )
+        outcome = "ok"
+        with context_scope(context), span(
+            "serve.request",
+            parent_id=context.parent_span_id,
+            endpoint=path, method=method, request_id=request_id,
+            trace_id=context.trace_id,
+        ):
             try:
                 handler = self._route(method)
                 handler(request_id)
             except ReproError as err:
+                outcome = err.code
                 log_event(
                     "warning", "serve.request.error",
                     str(err), code=err.code, path=self.path,
@@ -130,8 +197,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error_json(err, request_id=request_id)
             except (BrokenPipeError, ConnectionResetError):
                 # The client hung up; nothing left to answer.
+                outcome = "SERVE_CLIENT_DISCONNECTED"
                 self.close_connection = True
             except Exception as err:  # pragma: no cover - last resort
+                outcome = "SERVE_WORKER_CRASHED"
                 log_event(
                     "error", "serve.request.crash", str(err),
                     path=self.path,
@@ -143,6 +212,21 @@ class _Handler(BaseHTTPRequestHandler):
                     ),
                     request_id=request_id,
                 )
+        self._record_request(path, outcome, time.perf_counter() - start)
+
+    def _record_request(self, path: str, outcome: str,
+                        elapsed_s: float) -> None:
+        """Feed the exposition series and the live SLO window."""
+        endpoint = path if path in KNOWN_ENDPOINTS else "other"
+        labels = {"endpoint": endpoint, "outcome": outcome}
+        counter("serve.http.requests", labels=labels).inc()
+        bucket_histogram(
+            "serve.request.seconds", labels=labels
+        ).record(elapsed_s)
+        if endpoint not in OBSERVER_ENDPOINTS and not getattr(
+            self, "_fault_requested", False
+        ):
+            observe_request(ok=outcome == "ok", latency_s=elapsed_s)
 
     def _route(self, method: str):
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
@@ -150,6 +234,8 @@ class _Handler(BaseHTTPRequestHandler):
             ("GET", "/healthz"): self._do_healthz,
             ("GET", "/readyz"): self._do_readyz,
             ("GET", "/variants"): self._do_variants_catalog,
+            ("GET", "/metrics"): self._do_metrics,
+            ("GET", "/slo"): self._do_slo,
             ("POST", "/eval"): self._do_eval,
             ("POST", "/sweep"): self._do_sweep,
             ("POST", "/variants"): self._do_variants,
@@ -182,6 +268,20 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(
             200, self.service.handle_variants(None), request_id=request_id
         )
+
+    def _do_metrics(self, request_id: str) -> None:
+        stats = self.service.load_stats()
+        gauge("serve.queue.depth").set(stats["queued"])
+        gauge("serve.inflight").set(stats["inflight"])
+        self._send_text(200, render_exposition(), request_id=request_id)
+
+    def _do_slo(self, request_id: str) -> None:
+        objectives = default_objectives(
+            threshold_s=self.service.config.slo_p99_s
+        )
+        report = evaluate_slos(objectives, request_window().events())
+        report["window_events"] = len(request_window())
+        self._send_json(200, report, request_id=request_id)
 
     def _do_eval(self, request_id: str) -> None:
         payload = self.service.handle_eval(self._read_body())

@@ -563,6 +563,15 @@ class EvaluationService:
             },
         }
 
+    def load_stats(self) -> dict:
+        """Instantaneous load: in-flight and queued request counts.
+
+        The ``/metrics`` handler snapshots these into the
+        ``serve.queue.depth``/``serve.inflight`` gauges at scrape time.
+        """
+        with self._cv:
+            return {"inflight": self._inflight, "queued": len(self._queue)}
+
     def ready(self) -> tuple:
         """``(is_ready, document)`` for ``/readyz``.
 

@@ -177,3 +177,57 @@ class TestDashboardCli:
         monkeypatch.chdir(tmp_path)
         assert main(["report", "dashboard"]) == 0
         assert (tmp_path / "dashboard.html").exists()
+
+
+class TestDashboardEdgeCases:
+    def test_zero_worker_fleet_dir_renders_valid_html(self, tmp_path):
+        from repro.obs.dashboard import write_fleet_dashboard_html
+
+        telemetry = tmp_path / "shards"
+        telemetry.mkdir()
+        path = tmp_path / "fleet.html"
+        write_fleet_dashboard_html(path, telemetry)
+        page = audit(path.read_text())
+        assert page.ok
+        assert page.external_refs == []
+        assert "fleet" in page.section_ids
+
+    def test_empty_registry_serve_tab_renders_valid_html(self):
+        from repro.obs.dashboard import render_serve_dashboard
+
+        html = render_serve_dashboard(metrics={}, slo={})
+        page = audit(html)
+        assert page.ok
+        assert page.external_refs == []
+        assert "<script" not in html.lower()
+        assert 'http-equiv="refresh"' in html
+        assert "no metrics collected" in html
+        assert "no SLO report" in html
+
+    def test_serve_tab_renders_scraped_snapshot(self):
+        from repro.obs.dashboard import render_serve_dashboard
+        from repro.obs.expo import parse_exposition, render_exposition
+        from repro.obs.slo import (
+            SLOEvent,
+            default_objectives,
+            evaluate_slos,
+        )
+
+        obs.counter("serve.http.requests",
+                    labels={"endpoint": "/eval", "outcome": "ok"}).inc(4)
+        obs.bucket_histogram("serve.request.seconds").record(0.01)
+        snapshot = parse_exposition(render_exposition())
+        slo = evaluate_slos(
+            default_objectives(),
+            [SLOEvent(ts=1e9, ok=True, latency_s=0.01)],
+            now=1e9,
+        )
+        html = render_serve_dashboard(
+            metrics=snapshot, slo=slo, url="http://127.0.0.1:1",
+            refresh_s=2.5,
+        )
+        page = audit(html)
+        assert page.ok
+        assert 'content="2.5"' in html
+        assert "serve_http_requests" in html
+        assert "within budget" in html

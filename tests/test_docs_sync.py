@@ -17,6 +17,7 @@ PROFILING_PATH = Path(__file__).resolve().parent.parent / "docs" / "profiling.md
 TELEMETRY_PATH = Path(__file__).resolve().parent.parent / "docs" / "telemetry.md"
 PERFORMANCE_PATH = Path(__file__).resolve().parent.parent / "docs" / "performance.md"
 SERVING_PATH = Path(__file__).resolve().parent.parent / "docs" / "serving.md"
+MONITORING_PATH = Path(__file__).resolve().parent.parent / "docs" / "monitoring.md"
 
 #: Packages indexed in the public API doc, in presentation order.
 PACKAGES = (
@@ -234,6 +235,61 @@ def test_serving_doc_names_every_service_surface():
     readme = root.parent / "README.md"
     assert "docs/serving.md" in readme.read_text(encoding="utf-8"), (
         "README.md lost its pointer to docs/serving.md"
+    )
+
+
+def test_monitoring_doc_names_every_telemetry_plane_surface():
+    """docs/monitoring.md stays in step with the live telemetry plane:
+    every exposition, propagation, and SLO surface it documents must
+    still appear, and the doc must be cross-linked from the pages (and
+    the README) that feed into it."""
+    assert MONITORING_PATH.exists(), "docs/monitoring.md missing"
+    text = MONITORING_PATH.read_text(encoding="utf-8")
+    anchors = (
+        "GET /metrics",
+        "render_exposition",
+        "parse_exposition",
+        "exposition_content_type",
+        "BucketHistogram",
+        "serve.http.requests",
+        "serve.request.seconds",
+        "serve.queue.depth",
+        "X-Gables-Trace-Id",
+        "X-Gables-Parent-Span",
+        "X-Gables-Request-Id",
+        "extract_headers",
+        "adopt_header_context",
+        "SLObjective",
+        "BurnWindow",
+        "RequestWindow",
+        "evaluate_slos",
+        "history_events",
+        "append_alerts",
+        "GET /slo",
+        "gables slo check",
+        "gables slo dashboard",
+        "write_serve_dashboard_html",
+        "SLO_BURN_RATE_EXCEEDED",
+        "SLO_BAD_OBJECTIVE",
+        "OBS_EXPOSITION_MALFORMED",
+        "ALERTS.jsonl",
+        "BENCH_HISTORY.jsonl",
+        "serve.loadgen.p99",
+        "slo_p99_s",
+    )
+    missing = [name for name in anchors if name not in text]
+    assert not missing, (
+        "docs/monitoring.md no longer mentions: " + ", ".join(missing)
+    )
+    root = MONITORING_PATH.parent
+    for page in ("observability.md", "serving.md", "telemetry.md",
+                 "cli.md"):
+        assert "monitoring.md" in (root / page).read_text(
+            encoding="utf-8"
+        ), f"docs/{page} lost its cross-link to monitoring.md"
+    readme = root.parent / "README.md"
+    assert "docs/monitoring.md" in readme.read_text(encoding="utf-8"), (
+        "README.md lost its pointer to docs/monitoring.md"
     )
 
 

@@ -189,6 +189,7 @@ FROZEN_FINE_GRAINED_CATALOG = (
     ("MEASUREMENT_DROPOUT", "MeasurementError", 500),
     ("MEASUREMENT_RETRIES_EXHAUSTED", "MeasurementError", 500),
     ("MEASUREMENT_TIMEOUT", "MeasurementError", 504),
+    ("OBS_EXPOSITION_MALFORMED", "ObservabilityError", 500),
     ("SERIALIZATION_NONFINITE", "SerializationError", 400),
     ("SERVE_BAD_REQUEST", "ServeError", 400),
     ("SERVE_DEADLINE_EXCEEDED", "ServeError", 504),
@@ -198,6 +199,8 @@ FROZEN_FINE_GRAINED_CATALOG = (
     ("SERVE_SHUTTING_DOWN", "ServeError", 503),
     ("SERVE_UNKNOWN_ENDPOINT", "ServeError", 404),
     ("SERVE_WORKER_CRASHED", "ServeError", 500),
+    ("SLO_BAD_OBJECTIVE", "ObservabilityError", 400),
+    ("SLO_BURN_RATE_EXCEEDED", "ObservabilityError", 503),
     ("SPEC_NEGATIVE_BANDWIDTH", "SpecError", 400),
     ("SPEC_NONPOSITIVE_PEAK", "SpecError", 400),
     ("WORKLOAD_FRACTION_RANGE", "WorkloadError", 400),

@@ -1,0 +1,247 @@
+"""Tests for the SLO error-budget engine.
+
+Burn-rate math, the multi-window breach rule (both windows must burn),
+history-record weighting, alert persistence, and the declarative
+validation surface (``SLO_BAD_OBJECTIVE``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.bench import make_record
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    BurnWindow,
+    RequestWindow,
+    SLObjective,
+    SLOEvent,
+    alert_records,
+    append_alerts,
+    default_objectives,
+    evaluate_objective,
+    evaluate_slos,
+    format_slo_report,
+    history_events,
+    observe_request,
+    read_alerts,
+    request_window,
+    reset_slo,
+)
+
+NOW = 1_000_000.0
+WINDOW = (BurnWindow(long_s=100.0, short_s=10.0, max_burn=2.0,
+                     severity="page"),)
+
+
+def availability(objective=0.99, windows=WINDOW) -> SLObjective:
+    return SLObjective(name="avail", kind="availability",
+                       objective=objective, windows=windows)
+
+
+def events(*oks, spacing_s=1.0, latency_s=0.0):
+    """Events ending at NOW, newest last."""
+    return [
+        SLOEvent(ts=NOW - (len(oks) - 1 - i) * spacing_s, ok=ok,
+                 latency_s=latency_s)
+        for i, ok in enumerate(oks)
+    ]
+
+
+class TestBurnMath:
+    def test_error_rate_equal_to_budget_burns_at_one(self):
+        # 1% budget, 1% errors -> burn 1.0 in both windows.
+        evs = events(*([False] + [True] * 99), spacing_s=0.05)
+        verdict = evaluate_objective(availability(), evs, now=NOW)
+        window = verdict["windows"][0]
+        assert window["long_burn"] == pytest.approx(1.0)
+        assert not verdict["breached"]
+
+    def test_breach_needs_both_windows(self):
+        # Errors sustained over the long window but absent from the
+        # short one: no page (the incident is already over).
+        evs = events(*([False] * 50 + [True] * 11), spacing_s=1.0)
+        verdict = evaluate_objective(availability(), evs, now=NOW)
+        window = verdict["windows"][0]
+        assert window["long_burn"] >= 2.0
+        assert window["short_burn"] == pytest.approx(0.0)
+        assert not window["breached"]
+
+    def test_sustained_burn_breaches(self):
+        evs = events(*[False] * 60, spacing_s=1.0)
+        verdict = evaluate_objective(availability(), evs, now=NOW)
+        assert verdict["breached"]
+        assert verdict["severity"] == "page"
+
+    def test_no_data_burns_are_none_not_zero(self):
+        verdict = evaluate_objective(availability(), [], now=NOW)
+        window = verdict["windows"][0]
+        assert window["long_burn"] is None
+        assert window["short_burn"] is None
+        assert not verdict["breached"]
+
+    def test_events_outside_window_are_ignored(self):
+        stale = [SLOEvent(ts=NOW - 1e6, ok=False)]
+        verdict = evaluate_objective(availability(), stale, now=NOW)
+        assert verdict["windows"][0]["long_burn"] is None
+
+    def test_weights_scale_the_burn(self):
+        evs = [SLOEvent(ts=NOW - 1, ok=False, weight=99.0),
+               SLOEvent(ts=NOW - 2, ok=True, weight=1.0)]
+        verdict = evaluate_objective(availability(), evs, now=NOW)
+        assert verdict["windows"][0]["short_burn"] == pytest.approx(99.0)
+        assert verdict["events"] == pytest.approx(100.0)
+
+    def test_latency_objective_judges_threshold(self):
+        slow = SLObjective(name="lat", kind="latency", objective=0.5,
+                           threshold_s=0.1, windows=WINDOW)
+        evs = [SLOEvent(ts=NOW - 1, ok=True, latency_s=0.05),
+               SLOEvent(ts=NOW - 2, ok=True, latency_s=5.0)]
+        verdict = evaluate_objective(slow, evs, now=NOW)
+        # Half the events are slow: error rate 0.5 = budget -> burn 1.
+        assert verdict["windows"][0]["long_burn"] == pytest.approx(1.0)
+
+    def test_failed_request_is_bad_for_latency_too(self):
+        lat = SLObjective(name="lat", kind="latency", objective=0.5,
+                          threshold_s=10.0, windows=WINDOW)
+        assert not lat.is_good(SLOEvent(ts=NOW, ok=False, latency_s=0.0))
+
+    def test_evaluate_slos_takes_worst_severity(self):
+        windows = (BurnWindow(long_s=100.0, short_s=10.0, max_burn=2.0,
+                              severity="ticket"),)
+        report = evaluate_slos(
+            [availability(), availability(objective=0.5, windows=windows)],
+            events(*[False] * 60, spacing_s=1.0), now=NOW,
+        )
+        assert report["breached"]
+        assert report["severity"] == "page"
+
+    def test_default_objectives_shape(self):
+        pair = default_objectives(threshold_s=0.25)
+        assert [o.name for o in pair] == ["availability", "latency_p99"]
+        assert pair[1].threshold_s == 0.25
+        assert pair[0].windows == DEFAULT_BURN_WINDOWS
+        assert pair[0].budget == pytest.approx(0.001)
+
+
+class TestValidation:
+    def test_bad_objective_kinds_and_ranges(self):
+        cases = [
+            dict(name="x", kind="throughput", objective=0.9),
+            dict(name="x", kind="availability", objective=0.0),
+            dict(name="x", kind="availability", objective=1.0),
+            dict(name="x", kind="latency", objective=0.9),  # no threshold
+            dict(name="x", kind="latency", objective=0.9, threshold_s=-1),
+            dict(name="x", kind="availability", objective=0.9, windows=()),
+        ]
+        for kwargs in cases:
+            with pytest.raises(ObservabilityError) as excinfo:
+                SLObjective(**kwargs)
+            assert excinfo.value.code == "SLO_BAD_OBJECTIVE"
+
+    def test_bad_burn_windows(self):
+        for kwargs in (dict(long_s=1.0, short_s=2.0, max_burn=1.0),
+                       dict(long_s=2.0, short_s=0.0, max_burn=1.0),
+                       dict(long_s=2.0, short_s=1.0, max_burn=0.0),
+                       dict(long_s=2.0, short_s=1.0, max_burn=1.0,
+                            severity="shrug")):
+            with pytest.raises(ObservabilityError) as excinfo:
+                BurnWindow(**kwargs)
+            assert excinfo.value.code == "SLO_BAD_OBJECTIVE"
+
+
+class TestRequestWindow:
+    def test_global_window_bounded_and_resettable(self):
+        reset_slo()
+        for _ in range(5):
+            observe_request(ok=True, latency_s=0.01)
+        assert len(request_window()) == 5
+        reset_slo()
+        assert len(request_window()) == 0
+
+    def test_window_evicts_oldest(self):
+        window = RequestWindow(max_events=2)
+        for ts in (1.0, 2.0, 3.0):
+            window.observe(ok=True, latency_s=0.0, ts=ts)
+        assert [e.ts for e in window.events()] == [2.0, 3.0]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ObservabilityError):
+            RequestWindow(max_events=0)
+
+
+class TestHistoryEvents:
+    def _record(self, value, samples=None, name="serve.loadgen.p99"):
+        meta = {} if samples is None else {"samples": samples}
+        return make_record(name, value, unit="s", run_id="r", meta=meta)
+
+    def test_p99_records_become_weighted_events(self):
+        records = [self._record(0.02, samples=200),
+                   self._record(0.5, samples=10),
+                   self._record(99.0, name="serve.loadgen.rps")]
+        evs = history_events(records, threshold_s=0.25)
+        assert len(evs) == 2
+        assert [e.weight for e in evs] == [200.0, 10.0]
+        assert all(e.ok for e in evs)
+        assert evs[0].ts > 0  # ISO timestamp parsed to epoch seconds
+
+    def test_missing_samples_defaults_to_weight_one(self):
+        evs = history_events([self._record(0.02)], threshold_s=0.25)
+        assert evs[0].weight == 1.0
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ObservabilityError) as excinfo:
+            history_events([], threshold_s=0.0)
+        assert excinfo.value.code == "SLO_BAD_OBJECTIVE"
+
+    def test_latency_objective_flags_regressed_history(self):
+        # A fresh history whose p99 blew through the threshold must
+        # breach; a clean one must not.
+        import time as _time
+
+        now = _time.time()
+        slow = [SLOEvent(ts=now - i, ok=True, latency_s=0.9, weight=50)
+                for i in range(3)]
+        fast = [SLOEvent(ts=now - i, ok=True, latency_s=0.01, weight=50)
+                for i in range(3)]
+        objectives = default_objectives(threshold_s=0.25)
+        assert evaluate_slos(objectives, slow)["severity"] == "page"
+        assert evaluate_slos(objectives, fast)["severity"] == ""
+
+
+class TestAlerts:
+    def _breached_report(self):
+        return evaluate_slos([availability()],
+                             events(*[False] * 60, spacing_s=1.0), now=NOW)
+
+    def test_alert_records_only_breached_objectives(self):
+        report = self._breached_report()
+        alerts = alert_records(report, source="test")
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert["kind"] == "slo_alert"
+        assert alert["objective"] == "avail"
+        assert alert["severity"] == "page"
+        assert alert["source"] == "test"
+        assert alert["windows"]  # only the breached windows
+        healthy = evaluate_slos([availability()], [], now=NOW)
+        assert alert_records(healthy) == []
+
+    def test_alerts_round_trip_through_jsonl(self, tmp_path):
+        path = tmp_path / "ALERTS.jsonl"
+        alerts = alert_records(self._breached_report(), source="t")
+        append_alerts(path, alerts)
+        append_alerts(path, alerts)
+        stored = read_alerts(path)
+        assert len(stored) == 2
+        assert stored[0]["objective"] == "avail"
+
+    def test_format_report_human_readable(self):
+        text = format_slo_report(self._breached_report())
+        assert "BREACH" in text and "avail" in text
+        healthy = format_slo_report(
+            evaluate_slos([availability()], [], now=NOW)
+        )
+        assert "within budget" in healthy
+        assert "n/a" in healthy  # no-data burns render as n/a, not 0
